@@ -1,0 +1,28 @@
+"""Benchmark fixtures: one shared run cache for the whole session.
+
+Every per-figure benchmark file pulls its simulation runs from this
+cache, so the full ``pytest benchmarks/ --benchmark-only`` sweep costs
+each (workload, protocol, predictor) combination exactly once.  Scale
+defaults to 0.5 and can be overridden with REPRO_SCALE.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import RunCache
+from repro.sim.machine import MachineConfig
+
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def cache() -> RunCache:
+    return RunCache(machine=MachineConfig(), scale=BENCH_SCALE, verbose=False)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,182 @@
+"""Ablations of SP-predictor design choices the paper discusses.
+
+* history depth (Section 4.4: "history depth should be at least as large
+  as the repetition distance"),
+* hot-set threshold and bounded hot-set size (Sections 3.3 / 5.2),
+* hardware vs software SP-table cost (Section 4.6),
+* region filtering of non-communicating predictions (Section 5.3).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.filters import FilteredPredictor
+from repro.core.predictor import SPPredictor, SPPredictorConfig
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.generator import BenchmarkSpec, EpochSpec, build_workload
+from repro.workloads.patterns import PatternKind
+from repro.workloads.suite import load_benchmark
+
+MACHINE = MachineConfig()
+
+
+def _sp(config=None, filtered=False):
+    pred = SPPredictor(MACHINE.num_cores, config)
+    return FilteredPredictor(pred) if filtered else pred
+
+
+@pytest.fixture(scope="module")
+def stride3_workload():
+    """A workload whose epochs repeat with stride 3."""
+    spec = BenchmarkSpec(
+        name="stride3",
+        epochs=(
+            EpochSpec(pattern=PatternKind.STRIDE, stride=3,
+                      consume_blocks=12, produce_blocks=12, private_blocks=4),
+        ) * 2,
+        iterations=24,
+    )
+    return build_workload(spec, scale=max(BENCH_SCALE, 0.4))
+
+
+class TestHistoryDepthAblation:
+    def test_depth_must_cover_stride(self, benchmark, stride3_workload):
+        """d=3 catches the stride-3 pattern; d=2 cannot."""
+
+        def run():
+            results = {}
+            for depth in (1, 2, 3):
+                cfg = SPPredictorConfig(history_depth=depth)
+                results[depth] = simulate(
+                    stride3_workload, machine=MACHINE, predictor=_sp(cfg)
+                )
+            return results
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        acc = {d: r.accuracy for d, r in results.items()}
+        print(f"\naccuracy by history depth: "
+              + ", ".join(f"d={d}: {a:.3f}" for d, a in sorted(acc.items())))
+        # Depth 3 sees the stride-3 repetition that depth 2 misses.
+        assert acc[3] > acc[2] + 0.1
+        assert acc[3] > acc[1]
+
+
+class TestRegionFilterAblation:
+    def test_filter_cuts_wasted_bandwidth(self, benchmark):
+        """Section 5.3: most prediction overhead comes from
+        non-communicating misses and can be filtered away."""
+        workload = load_benchmark("lu", scale=max(BENCH_SCALE, 0.4))
+
+        def run():
+            base = simulate(workload, machine=MACHINE)
+            plain = simulate(workload, machine=MACHINE, predictor=_sp())
+            filtered = simulate(
+                workload, machine=MACHINE, predictor=_sp(filtered=True)
+            )
+            return base, plain, filtered
+
+        base, plain, filtered = benchmark.pedantic(run, rounds=1, iterations=1)
+        plain_overhead = plain.network.bytes_total - base.network.bytes_total
+        filt_overhead = filtered.network.bytes_total - base.network.bytes_total
+        print(f"\nbandwidth overhead: plain {plain_overhead:,} B, "
+              f"filtered {filt_overhead:,} B "
+              f"({1 - filt_overhead / plain_overhead:.0%} removed)")
+        # The filter removes a large share of the overhead...
+        assert filt_overhead < 0.6 * plain_overhead
+        # ...without sacrificing correct predictions.
+        assert filtered.pred_correct >= 0.85 * plain.pred_correct
+        assert filtered.pred_on_noncomm < 0.3 * plain.pred_on_noncomm
+
+
+class TestTableImplementationAblation:
+    """Section 4.6's implementation-choice discussion, both directions:
+    a software (OS-trap) SP-table is fine when sync-epochs are coarse,
+    while fine-grain locking wants the hardware table ("a hardware
+    implementation would generally be more appropriate if sync-epochs
+    are short")."""
+
+    @staticmethod
+    def _run_pair(workload):
+        hw = simulate(
+            workload, machine=MACHINE,
+            predictor=_sp(SPPredictorConfig(sync_access_latency=4)),
+        )
+        sw = simulate(
+            workload, machine=MACHINE,
+            predictor=_sp(SPPredictorConfig(sync_access_latency=300)),
+        )
+        return hw, sw
+
+    def test_software_table_fine_vs_coarse_epochs(self, benchmark):
+        coarse_spec = BenchmarkSpec(
+            name="coarse-epochs",
+            epochs=(
+                EpochSpec(pattern=PatternKind.STABLE, consume_blocks=24,
+                          produce_blocks=24, private_blocks=8, think=6000),
+            ) * 2,
+            iterations=12,
+        )
+        coarse = build_workload(coarse_spec, scale=max(BENCH_SCALE, 0.4))
+        fine = load_benchmark("water-ns", scale=max(BENCH_SCALE, 0.4))
+
+        def run():
+            return self._run_pair(coarse), self._run_pair(fine)
+
+        (c_hw, c_sw), (f_hw, f_sw) = benchmark.pedantic(
+            run, rounds=1, iterations=1
+        )
+        coarse_slowdown = c_sw.cycles / c_hw.cycles
+        fine_slowdown = f_sw.cycles / f_hw.cycles
+        print(f"\nsoftware-table slowdown: coarse epochs "
+              f"{coarse_slowdown:.3f}x, fine-grain locking "
+              f"{fine_slowdown:.3f}x")
+        # Coarse epochs absorb the software-table cost...
+        assert 1.0 <= coarse_slowdown < 1.10
+        # ...fine-grain locking visibly cannot (hardware's niche).
+        assert fine_slowdown > coarse_slowdown
+
+
+class TestHotSetPolicyAblation:
+    def test_threshold_trades_bandwidth_for_accuracy(self, benchmark):
+        """Lower thresholds admit more cores: higher accuracy, more
+        bandwidth (Section 5.2's tunable policy)."""
+        workload = load_benchmark("bodytrack", scale=max(BENCH_SCALE, 0.4))
+
+        def run():
+            results = {}
+            for threshold in (0.05, 0.10, 0.30):
+                cfg = SPPredictorConfig(hot_threshold=threshold)
+                results[threshold] = simulate(
+                    workload, machine=MACHINE, predictor=_sp(cfg)
+                )
+            return results
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        sizes = {t: r.avg_predicted_targets for t, r in results.items()}
+        acc = {t: r.accuracy for t, r in results.items()}
+        print("\nthreshold -> predicted-set size / accuracy: "
+              + ", ".join(f"{t}: {sizes[t]:.2f}/{acc[t]:.3f}"
+                          for t in sorted(sizes)))
+        # Looser thresholds produce bigger predicted sets...
+        assert sizes[0.05] >= sizes[0.10] >= sizes[0.30]
+        # ...and accuracy responds monotonically in the same direction.
+        assert acc[0.05] >= acc[0.30]
+
+    def test_bounded_hot_set_caps_bandwidth(self, benchmark):
+        workload = load_benchmark("radiosity", scale=max(BENCH_SCALE, 0.4))
+
+        def run():
+            free = simulate(workload, machine=MACHINE, predictor=_sp())
+            capped = simulate(
+                workload, machine=MACHINE,
+                predictor=_sp(SPPredictorConfig(max_hot_set_size=2)),
+            )
+            return free, capped
+
+        free, capped = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(f"\npredicted-set size: free {free.avg_predicted_targets:.2f}, "
+              f"capped {capped.avg_predicted_targets:.2f}")
+        assert capped.avg_predicted_targets <= free.avg_predicted_targets
+        assert capped.avg_predicted_targets <= 2.0 + 1e-9
+        assert capped.prediction_bytes() <= free.prediction_bytes()

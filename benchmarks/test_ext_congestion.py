@@ -1,0 +1,47 @@
+"""Extension: validate the paper's low-congestion assumption.
+
+Section 5.3 assumes the NoC "does not get severely congested" and
+reports congestion stayed low for both the prediction-augmented
+directory protocol and broadcast.  This experiment measures the offered
+link load of every protocol on the most traffic-heavy workloads.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.predictor import SPPredictor
+from repro.noc.congestion import estimate_load
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import load_benchmark
+
+MACHINE = MachineConfig()
+BENCHES = ("streamcluster", "water-sp", "x264")
+
+
+def test_no_protocol_congests_the_mesh(benchmark):
+    scale = max(BENCH_SCALE, 0.4)
+
+    def run():
+        rows = {}
+        for name in BENCHES:
+            w = load_benchmark(name, scale=scale)
+            rows[(name, "directory")] = simulate(w, machine=MACHINE)
+            rows[(name, "sp")] = simulate(
+                w, machine=MACHINE, predictor=SPPredictor(MACHINE.num_cores)
+            )
+            rows[(name, "broadcast")] = simulate(
+                w, machine=MACHINE, protocol="broadcast"
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    mesh = MACHINE.mesh()
+    print()
+    for (name, proto), result in rows.items():
+        est = estimate_load(result, mesh)
+        print(f"{name:14s} {proto:10s} offered load {est.offered_load:.4f}")
+        assert not est.congested, (name, proto)
+        # Broadcast loads the mesh hardest but still stays uncongested.
+    for name in BENCHES:
+        d = estimate_load(rows[(name, "directory")], mesh).offered_load
+        b = estimate_load(rows[(name, "broadcast")], mesh).offered_load
+        assert b > d, name

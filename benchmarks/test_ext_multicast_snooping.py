@@ -1,0 +1,53 @@
+"""Extension: prediction-guided multicast snooping.
+
+The paper's introduction claims prediction can "relax the high bandwidth
+requirements [of snooping] by replacing broadcast with multicast" but
+only evaluates the directory use case.  This extension experiment
+evaluates the snooping use case with the same SP-predictor.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.predictor import SPPredictor
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import load_benchmark
+
+MACHINE = MachineConfig()
+BENCHES = ("x264", "water-ns", "bodytrack", "lu")
+
+
+def test_multicast_relaxes_snooping_bandwidth(benchmark):
+    scale = max(BENCH_SCALE, 0.4)
+
+    def run():
+        rows = {}
+        for name in BENCHES:
+            w = load_benchmark(name, scale=scale)
+            bcast = simulate(w, machine=MACHINE, protocol="broadcast")
+            mcast = simulate(
+                w, machine=MACHINE, protocol="multicast",
+                predictor=SPPredictor(MACHINE.num_cores),
+            )
+            rows[name] = (bcast, mcast)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, (bcast, mcast) in rows.items():
+        saved = 1 - mcast.network.bytes_total / bcast.network.bytes_total
+        snoops = 1 - mcast.snoop_lookups / bcast.snoop_lookups
+        print(f"{name:12s} comm {bcast.comm_ratio:5.2f}  "
+              f"bytes saved {saved:6.1%}  snoops saved {snoops:6.1%}  "
+              f"latency ratio {mcast.avg_miss_latency / bcast.avg_miss_latency:.2f}")
+        # The headline claim: multicast cuts snooping traffic and snoop
+        # energy substantially.  The saving scales with the communicating
+        # fraction — SP makes no prediction for most of a low-comm app's
+        # misses (they warm up as d=0 epochs with empty hot sets), so
+        # those stay broadcasts; and shifting phases (bodytrack) spend
+        # savings on broadcast retries.
+        expected = 0.12 if bcast.comm_ratio > 0.5 else 0.0
+        assert saved > expected, name
+        assert snoops > (0.25 if bcast.comm_ratio > 0.5 else 0.0), name
+        # Mispredictions retry as broadcast, so latency degrades only
+        # moderately relative to ideal broadcast snooping.
+        assert mcast.avg_miss_latency < 1.6 * bcast.avg_miss_latency, name

@@ -1,0 +1,74 @@
+"""Extension: robustness of headline results.
+
+Two checks a reviewer would ask for:
+
+* seed robustness — the headline accuracy is a property of the sharing
+  structure, not of one pseudo-random roll;
+* topology sensitivity — on a torus (shorter average distance) the
+  *relative* benefit of skipping indirection shrinks but survives.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core.predictor import SPPredictor
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import load_benchmark
+
+
+class TestSeedRobustness:
+    def test_accuracy_stable_across_seeds(self, benchmark):
+        scale = max(BENCH_SCALE, 0.4)
+        machine = MachineConfig()
+
+        def run():
+            out = {}
+            for seed in (1, 7, 23):
+                w = load_benchmark("radiosity", scale=scale, seed=seed)
+                out[seed] = simulate(
+                    w, machine=machine,
+                    predictor=SPPredictor(machine.num_cores),
+                )
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        accs = [r.accuracy for r in results.values()]
+        print("\nradiosity accuracy by seed: "
+              + ", ".join(f"{a:.3f}" for a in accs))
+        assert max(accs) - min(accs) < 0.10
+        comms = [r.comm_ratio for r in results.values()]
+        assert max(comms) - min(comms) < 0.05
+
+
+class TestTopologySensitivity:
+    def test_torus_preserves_sp_benefit(self, benchmark):
+        scale = max(BENCH_SCALE, 0.4)
+        workload = load_benchmark("x264", scale=scale)
+
+        def run():
+            out = {}
+            for topology in ("mesh", "torus"):
+                machine = MachineConfig(topology=topology)
+                base = simulate(workload, machine=machine)
+                sp = simulate(
+                    workload, machine=machine,
+                    predictor=SPPredictor(machine.num_cores),
+                )
+                out[topology] = (base, sp)
+            return out
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        print()
+        gains = {}
+        for topology, (base, sp) in results.items():
+            gains[topology] = 1 - sp.avg_miss_latency / base.avg_miss_latency
+            print(f"{topology:6s}: base {base.avg_miss_latency:.1f}c, "
+                  f"SP {sp.avg_miss_latency:.1f}c "
+                  f"(gain {gains[topology]:+.1%})")
+        # Absolute latencies drop on the torus...
+        assert (
+            results["torus"][0].avg_miss_latency
+            < results["mesh"][0].avg_miss_latency
+        )
+        # ...and SP still helps on both topologies.
+        for topology in ("mesh", "torus"):
+            assert gains[topology] > 0.05, topology

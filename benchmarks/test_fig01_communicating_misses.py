@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 1 (ratio of communicating misses)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig01_communicating_misses as fig1
+
+
+def test_fig01_communicating_misses(benchmark, cache):
+    table = run_once(benchmark, lambda: fig1.run(cache))
+    print("\n" + table.render())
+
+    by_name = {row["benchmark"]: row for row in table.rows}
+    avg = by_name["average"]["comm_ratio"]
+    # Paper shape: a high overall average (paper: 62%) ...
+    assert 0.40 <= avg <= 0.85
+    # ... with wide per-application variation: lu and radix low,
+    # x264 / water-sp / streamcluster high.
+    assert by_name["lu"]["comm_ratio"] < avg
+    assert by_name["radix"]["comm_ratio"] < avg
+    assert by_name["x264"]["comm_ratio"] > avg
+    assert by_name["water-sp"]["comm_ratio"] > avg
+    spread = [r["comm_ratio"] for r in table.rows[:-1]]
+    assert max(spread) - min(spread) > 0.3

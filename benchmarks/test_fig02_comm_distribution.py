@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 2 (core-0 communication distribution)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig02_comm_distribution as fig2
+
+
+def _concentration(row, num_cores=16):
+    """Fraction of a row's volume drawn by its single hottest target."""
+    volumes = [row.get(f"c{i}", 0) or 0 for i in range(num_cores)]
+    total = sum(volumes)
+    return max(volumes) / total if total else 0.0
+
+
+def test_fig02_comm_distribution(benchmark, cache):
+    table = run_once(benchmark, lambda: fig2.run(cache))
+    print("\n" + table.render())
+
+    whole = [r for r in table.rows if r["view"].startswith("(a)")]
+    epochs = [r for r in table.rows if r["view"].startswith("(b)")]
+    instances = [r for r in table.rows if r["view"].startswith("(c)")]
+    assert len(whole) == 1
+    assert len(epochs) >= 3
+    assert len(instances) >= 2
+
+    # Paper shape: per-epoch views concentrate on far fewer targets than
+    # the whole-run view.
+    whole_conc = _concentration(whole[0])
+    epoch_conc = sum(_concentration(r) for r in epochs) / len(epochs)
+    assert epoch_conc > whole_conc

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 4 (communication locality by granularity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_locality as fig4
+
+
+def test_fig04_locality(benchmark, cache):
+    table = run_once(benchmark, lambda: fig4.run(cache))
+    print("\n" + table.render())
+
+    rows = {
+        (r["benchmark"], r["granularity"]): r for r in table.rows
+    }
+    for bench in fig4.BENCHES:
+        epoch = rows[(bench, "sync-epoch")]
+        whole = rows[(bench, "single-interval")]
+        # The paper's central claim: sync-epoch locality dominates the
+        # whole-run view at every curve point.
+        for k in ("top1", "top2", "top4", "top8"):
+            assert epoch[k] >= whole[k] - 1e-9, (bench, k)
+        # And epochs concentrate most communication on very few cores.
+        assert epoch["top4"] > 0.8, bench
+        # All curves converge to full coverage.
+        assert epoch["top16"] > 0.999

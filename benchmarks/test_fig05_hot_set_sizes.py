@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 5 (hot communication set size distribution)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig05_hot_set_sizes as fig5
+
+
+def test_fig05_hot_set_sizes(benchmark, cache):
+    table = run_once(benchmark, lambda: fig5.run(cache))
+    print("\n" + table.render())
+
+    avg = next(r for r in table.rows if r["benchmark"] == "average")
+    # Paper: more than 78% of intervals have a hot set of <= 4 cores.
+    assert avg["small(<=4)"] >= 0.70
+    # Every benchmark should have some single-target epochs.
+    singles = [r["1"] for r in table.rows if r["benchmark"] != "average"]
+    assert sum(1 for s in singles if s > 0) >= 12

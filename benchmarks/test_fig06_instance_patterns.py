@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 6 (hot-set patterns across dynamic instances)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06_instance_patterns as fig6
+
+
+def test_fig06_instance_patterns(benchmark, cache):
+    table = run_once(benchmark, lambda: fig6.run(cache))
+    print("\n" + table.render())
+
+    suite = next(r for r in table.rows if r["benchmark"] == "suite")
+    # All the paper's example behaviours must actually occur in the suite.
+    assert suite["stable"] > 0
+    assert suite["repetitive"] > 0
+    assert suite["random"] > 0
+    # Stable-dominated: most groups are predictable (the basis of the
+    # paper's d=2 intersection policy).
+    predictable = (
+        suite["stable"] + suite["repetitive"] + suite["shifted-stable"]
+        + suite["combined"]
+    )
+    assert predictable > suite["random"]
+
+    # Concrete example sequences were extracted (Fig. 6's bit-vectors).
+    example_notes = [n for n in table.notes if n.startswith("example")]
+    assert len(example_notes) >= 3

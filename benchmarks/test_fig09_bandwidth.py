@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 9 (additional bandwidth of SP-prediction)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09_bandwidth as fig9
+
+
+def test_fig09_bandwidth(benchmark, cache):
+    table = run_once(benchmark, lambda: fig9.run(cache))
+    print("\n" + table.render())
+
+    avg = next(r for r in table.rows if r["benchmark"] == "average")
+    # Paper shape: SP adds a modest overhead (paper: ~18%) ...
+    assert 0.0 < avg["added_pct"] < 45.0
+
+    for row in table.rows:
+        if row["benchmark"] == "average":
+            continue
+        # ... far below what broadcasting would add, per benchmark.
+        assert row["added_pct"] < row["broadcast_added_pct"], row["benchmark"]
+        # The breakdown partitions the total overhead.
+        total = row["from_noncomm_pct"] + row["from_comm_pct"]
+        assert abs(total - row["added_pct"]) < 1e-6, row["benchmark"]
+
+    # A visible share of the overhead comes from predicting
+    # non-communicating misses (paper: ~70% of the overhead).
+    noncomm = sum(
+        r["from_noncomm_pct"] for r in table.rows if r["benchmark"] != "average"
+    )
+    comm = sum(
+        r["from_comm_pct"] for r in table.rows if r["benchmark"] != "average"
+    )
+    assert noncomm > 0.1 * (noncomm + comm)

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 11 (NoC + snoop energy, normalized)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_energy as fig11
+
+
+def test_fig11_energy(benchmark, cache):
+    table = run_once(benchmark, lambda: fig11.run(cache))
+    print("\n" + table.render())
+
+    avg = next(r for r in table.rows if r["benchmark"] == "average")
+    # Paper shape: SP costs moderately more energy than the directory
+    # (paper: 1.25x) while broadcast costs multiples (paper: 2.4x).
+    assert 1.0 < avg["sp_predictor"] < 1.8
+    assert avg["broadcast"] > 1.8
+    assert avg["broadcast"] > avg["sp_predictor"]
+
+    for row in table.rows:
+        if row["benchmark"] == "average":
+            continue
+        assert row["broadcast"] > row["sp_predictor"], row["benchmark"]

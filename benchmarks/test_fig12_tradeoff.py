@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 12 (predictor latency/bandwidth trade-off)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12_tradeoff as fig12
+
+
+def test_fig12_tradeoff(benchmark, cache):
+    table = run_once(benchmark, lambda: fig12.run(cache))
+    print("\n" + table.render())
+
+    rows = {(r["benchmark"], r["predictor"]): r for r in table.rows}
+    for bench in fig12.BENCHES:
+        directory = rows[(bench, "Directory")]
+        assert directory["indirection_pct"] == 100.0
+
+        for kind in fig12.PREDICTORS:
+            row = rows[(bench, kind)]
+            # Every predictor cuts indirection below the directory anchor
+            # and pays some bandwidth for it.
+            assert row["indirection_pct"] < 100.0, (bench, kind)
+            assert row["added_bw_pct"] >= 0.0, (bench, kind)
+
+        # Paper shape: SP is comparable to the table-based predictors —
+        # within striking distance of the better of ADDR/INST.
+        sp = rows[(bench, "SP")]["indirection_pct"]
+        best_table = min(
+            rows[(bench, "ADDR")]["indirection_pct"],
+            rows[(bench, "INST")]["indirection_pct"],
+        )
+        assert sp <= best_table + 35.0, bench
+
+    # UNI is the weakest on average (paper: lowest accuracy).
+    avg_ind = {
+        kind: sum(rows[(b, kind)]["indirection_pct"] for b in fig12.BENCHES)
+        / len(fig12.BENCHES)
+        for kind in fig12.PREDICTORS
+    }
+    assert avg_ind["UNI"] >= min(avg_ind.values())

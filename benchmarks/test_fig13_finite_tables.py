@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 13 (finite predictor tables, suite averages)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_finite_tables as fig13
+
+
+def test_fig13_finite_tables(benchmark, cache):
+    table = run_once(benchmark, lambda: fig13.run(cache))
+    print("\n" + table.render())
+
+    cap_label = f"{fig13.CAP}-entry"
+    rows = {(r["predictor"], r["tables"]): r for r in table.rows}
+
+    # Paper shape: a proportional capacity cap hurts ADDR and INST
+    # accuracy (more misses pay indirection, less bandwidth spent)...
+    for kind in ("ADDR", "INST"):
+        unlimited = rows[(kind, "unlimited")]
+        capped = rows[(kind, cap_label)]
+        assert capped["indirection_pct"] >= unlimited["indirection_pct"] - 0.5
+        assert capped["added_bw_pct"] <= unlimited["added_bw_pct"] + 0.5
+    # At least one of them degrades visibly.
+    degradations = [
+        rows[(kind, cap_label)]["indirection_pct"]
+        - rows[(kind, "unlimited")]["indirection_pct"]
+        for kind in ("ADDR", "INST")
+    ]
+    assert max(degradations) > 1.0
+
+    # ... while SP and UNI are insensitive: their state is inherently
+    # far below the cap.
+    for kind in ("SP", "UNI"):
+        unlimited = rows[(kind, "unlimited")]
+        capped = rows[(kind, cap_label)]
+        assert abs(
+            capped["indirection_pct"] - unlimited["indirection_pct"]
+        ) < 2.0, kind

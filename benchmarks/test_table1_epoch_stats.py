@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 1 (sync-epoch statistics)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_epoch_stats as table1
+
+
+def test_table1_epoch_stats(benchmark, cache):
+    table = run_once(benchmark, lambda: table1.run(cache))
+    print("\n" + table.render())
+
+    by_name = {row["benchmark"]: row for row in table.rows}
+    assert len(by_name) == 17
+
+    # Static call-site counts follow the paper's Table 1 exactly.
+    assert by_name["fmm"]["spec_crit_sites"] == 30
+    assert by_name["radiosity"]["spec_crit_sites"] == 34
+    assert by_name["streamcluster"]["spec_crit_sites"] == 1
+    assert by_name["water-sp"]["spec_static_epochs"] == 1
+    assert by_name["cholesky"]["spec_static_epochs"] == 27
+
+    # Dynamic ordering follows Table 1: heavily iterated apps replay
+    # epochs far more than the barely-repeating ones.
+    heavy = ("radiosity", "streamcluster", "fluidanimate")
+    light = ("fft", "ferret", "x264")
+    for h in heavy:
+        for l in light:
+            assert (
+                by_name[h]["dyn_epochs_per_core"]
+                > by_name[l]["dyn_epochs_per_core"]
+            ), (h, l)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Characterize a workload's sync-epoch communication (paper Section 3).
+
+Reproduces, for one benchmark, the three characterization views the
+paper builds its case on:
+
+1. Communication locality at three granularities (Fig. 4): how much of
+   a core's communication volume the hottest k cores cover, measured per
+   sync-epoch, over the whole run, and per static instruction.
+2. The hot-set size distribution (Fig. 5).
+3. Instance-pattern classification (Fig. 6): do hot sets stay stable,
+   repeat with a stride, or wander randomly across dynamic instances?
+
+Run:  python examples/characterize_epochs.py [benchmark] [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro import MachineConfig, load_benchmark
+from repro.analysis.locality import (
+    coverage_by_granularity,
+    hot_set_size_distribution,
+)
+from repro.analysis.patterns import classify_instances
+from repro.sim.engine import simulate
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "bodytrack"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    workload = load_benchmark(name, scale=scale)
+    result = simulate(workload, machine=MachineConfig(), collect_epochs=True)
+    print(f"{name}: {result.dynamic_epochs} dynamic epochs, "
+          f"{result.comm_misses:,} communicating misses\n")
+
+    print("-- communication locality (cumulative coverage by top-k cores) --")
+    curves = coverage_by_granularity(result)
+    print(f"{'granularity':22s}" + "".join(f"top{k:>2d} " for k in (1, 2, 4, 8)))
+    for label, curve in curves.items():
+        cells = "".join(f"{curve[k - 1]:5.2f} " for k in (1, 2, 4, 8))
+        print(f"{label:22s}{cells}")
+    print()
+
+    print("-- hot communication set sizes (10% threshold) --")
+    for size, frac in hot_set_size_distribution(result.epoch_records).items():
+        bar = "#" * round(40 * frac)
+        print(f"  {size:>2d} cores: {frac:5.1%} {bar}")
+    print()
+
+    print("-- instance-pattern classes across (core, static epoch) groups --")
+    reports = classify_instances(result.epoch_records)
+    counts = Counter(rep.pattern.value for rep in reports)
+    total = sum(counts.values())
+    for pattern, count in counts.most_common():
+        print(f"  {pattern:22s}{count:>5d}  ({count / total:5.1%})")
+    noisy = sum(rep.noisy_instances for rep in reports)
+    print(f"\nnoisy instances filtered: {noisy}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Build a custom workload spec and see how SP-prediction handles it.
+
+Shows the workload-authoring API: a bulk-synchronous program with a
+stride-2 exchange phase, a stable neighbour phase, and a contended
+critical section — then demonstrates how each phase's hot-set pattern is
+picked up by a different part of the SP-predictor (alternation
+detection, stable-intersection, and the lock-holder sequence).
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import MachineConfig, SPPredictor, simulate
+from repro.predictors.base import PredictionSource
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    EpochSpec,
+    LockSpec,
+    build_workload,
+)
+from repro.workloads.patterns import PatternKind
+
+
+def main() -> None:
+    spec = BenchmarkSpec(
+        name="my-solver",
+        epochs=(
+            # Phase 1: ping-pong exchange with a 2-instance period.
+            EpochSpec(pattern=PatternKind.STRIDE, stride=2,
+                      consume_blocks=16, produce_blocks=16, private_blocks=4),
+            # Phase 2: stable halo exchange with the mesh neighbour.
+            EpochSpec(pattern=PatternKind.NEIGHBOR,
+                      consume_blocks=12, produce_blocks=12, private_blocks=4),
+            # Phase 3: local refinement (no communication).
+            EpochSpec(pattern=PatternKind.PRIVATE, consume_blocks=0,
+                      produce_blocks=4, private_blocks=20),
+        ),
+        locks=(LockSpec(n_sites=1, protected_blocks=4),),  # global work queue
+        iterations=16,
+    )
+    workload = build_workload(spec)
+    machine = MachineConfig()
+
+    base = simulate(workload, machine=machine)
+    predictor = SPPredictor(machine.num_cores)
+    sp = simulate(workload, machine=machine, predictor=predictor)
+
+    print(f"custom workload '{spec.name}':")
+    print(f"  {workload.memory_accesses():,} accesses, "
+          f"{base.misses:,} L2 misses, {base.comm_ratio:.0%} communicating\n")
+
+    print(f"SP accuracy: {sp.accuracy:.1%} (ideal {sp.ideal_accuracy:.1%})")
+    print("correct predictions by predictor state:")
+    labels = {
+        PredictionSource.D0: "warm-up hot set (first sight)",
+        PredictionSource.HISTORY: "stored epoch signatures",
+        PredictionSource.LOCK: "lock-holder sequence",
+        PredictionSource.RECOVERY: "confidence-triggered recovery",
+    }
+    for source, label in labels.items():
+        count = sp.correct_by_source.get(source, 0)
+        if sp.pred_correct:
+            print(f"  {label:34s}{count:>7,} ({count / sp.pred_correct:5.1%})")
+
+    print(f"\nmiss latency: {base.avg_miss_latency:.1f} -> "
+          f"{sp.avg_miss_latency:.1f} cycles "
+          f"({1 - sp.avg_miss_latency / base.avg_miss_latency:+.1%})")
+    print(f"execution time: {base.cycles:,} -> {sp.cycles:,} cycles "
+          f"({1 - sp.cycles / base.cycles:+.1%})")
+    print(f"SP-table: {len(predictor.table)} entries, "
+          f"{predictor.table.storage_bits(machine.num_cores) / 8:.0f} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The paper's Section 2 example program, reconstructed.
+
+The paper motivates sync-epochs with a tree code: shared arrays (ME and
+LE) are exchanged between parents, children, and siblings of a tree
+whose nodes are balanced across processors.  During interval A each
+processor acts as a leaf and pulls LE data from its parent's and
+parent's-sibling's processors; during interval B it acts as an inner
+node and pulls its children's ME data.  The barrier between the
+intervals is exactly where the communication direction flips — and
+exactly what SP-prediction keys on.
+
+This script builds that program from raw trace events (the lowest-level
+workload API), shows the hot communication sets flipping at the barrier,
+and confirms the SP-predictor tracks the flip.
+
+Run:  python examples/paper_example_program.py
+"""
+
+from repro import MachineConfig, SPPredictor
+from repro.core.signatures import extract_hot_set, signature_bits
+from repro.sim.engine import simulate
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_WRITE, Workload
+
+N = 16
+BLOCKS_PER_NODE = 8
+LINE = 64
+
+PC_A = 0x100      # interval-A loads (leaf pulls parent LE)
+PC_B = 0x200      # interval-B loads (parent pulls child ME)
+PC_WRITE = 0x300
+BARRIER_TOP = 0x900
+BARRIER_A = 0x901
+BARRIER_B = 0x902
+
+
+def parent(i: int) -> int:
+    return (i - 1) // 2
+
+
+def sibling(i: int) -> int:
+    return i - 1 if i % 2 == 0 else i + 1
+
+
+def children(i: int):
+    return [c for c in (2 * i + 1, 2 * i + 2) if c < N]
+
+
+def node_region(node: int):
+    """Block addresses of a tree node's shared array (LE/ME combined)."""
+    base = node * BLOCKS_PER_NODE
+    return [(base + j) * LINE for j in range(BLOCKS_PER_NODE)]
+
+
+def build_tree_program(rounds: int = 10) -> Workload:
+    streams = [[] for _ in range(N)]
+    for _ in range(rounds):
+        # Everyone refreshes its own node's arrays.
+        for proc in range(N):
+            for addr in node_region(proc):
+                streams[proc].append((OP_WRITE, addr, PC_WRITE))
+            streams[proc].append((OP_SYNC, SyncKind.BARRIER, BARRIER_TOP, None))
+
+        # Interval A: act as a leaf — read the parent's LE and, per the
+        # paper's listing, some of the parent's sibling's LE.
+        for proc in range(N):
+            if proc != 0:
+                for addr in node_region(parent(proc)):
+                    streams[proc].append((OP_READ, addr, PC_A))
+                p = parent(proc)
+                if p != 0:
+                    for addr in node_region(sibling(p))[:4]:
+                        streams[proc].append((OP_READ, addr, PC_A))
+            streams[proc].append((OP_SYNC, SyncKind.BARRIER, BARRIER_A, None))
+
+        # Interval B: act as a parent — translate each child's ME.
+        for proc in range(N):
+            for child in children(proc):
+                for addr in node_region(child):
+                    streams[proc].append((OP_READ, addr, PC_B))
+            streams[proc].append((OP_SYNC, SyncKind.BARRIER, BARRIER_B, None))
+    return Workload(name="paper-tree-example", num_cores=N, events=streams)
+
+
+def main() -> None:
+    workload = build_tree_program()
+    machine = MachineConfig()
+    predictor = SPPredictor(N)
+    result = simulate(
+        workload, machine=machine, predictor=predictor, collect_epochs=True
+    )
+
+    proc = 5  # an inner node with a parent (2) and children (11, 12)
+    print(f"processor {proc}: parent {parent(proc)}, "
+          f"parent's sibling {sibling(parent(proc))}, "
+          f"children {children(proc)}\n")
+
+    print("hot communication sets of consecutive epochs (core 5):")
+    labels = {BARRIER_TOP: "interval A", BARRIER_A: "interval B",
+              BARRIER_B: "write-back"}
+    shown = 0
+    for rec in result.epoch_records:
+        if rec.core != proc or rec.volume == 0:
+            continue
+        hot = extract_hot_set(rec.volume_by_target, self_core=proc)
+        label = labels.get(rec.key[1], str(rec.key))
+        print(f"  {label:12s} {signature_bits(hot, N)}   hot set "
+              f"{sorted(hot)}")
+        shown += 1
+        if shown == 6:
+            break
+
+    print(f"\nSP-prediction accuracy on this program: {result.accuracy:.1%} "
+          f"(ideal {result.ideal_accuracy:.1%})")
+    print("the sharp A/B flip at each barrier is fully predictable from")
+    print("each interval's stored signature — the paper's core intuition.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare SP against ADDR / INST / UNI destination-set predictors.
+
+Reproduces the trade-off view of the paper's Figure 12 for a chosen
+workload: each predictor becomes a point in (added bandwidth per miss,
+misses still paying directory indirection), with storage cost alongside
+— the paper's argument is that SP reaches ADDR/INST-class accuracy at a
+fraction of the state.
+
+Run:  python examples/predictor_comparison.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import (
+    AddrPredictor,
+    InstPredictor,
+    MachineConfig,
+    SPPredictor,
+    UniPredictor,
+    load_benchmark,
+    simulate,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fmm"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    machine = MachineConfig()
+    workload = load_benchmark(name, scale=scale)
+    base = simulate(workload, machine=machine)
+    base_bpm = base.network.bytes_total / base.misses
+
+    print(f"{name}: baseline directory — "
+          f"{base.misses:,} misses, {base_bpm:.0f} bytes/miss, "
+          f"100% indirection\n")
+    header = (f"{'predictor':10s}{'accuracy':>10s}{'indirection':>13s}"
+              f"{'+bw/miss':>10s}{'storage':>12s}")
+    print(header)
+    print("-" * len(header))
+
+    predictors = [
+        SPPredictor(machine.num_cores),
+        AddrPredictor(machine.num_cores),
+        InstPredictor(machine.num_cores),
+        UniPredictor(machine.num_cores),
+    ]
+    for predictor in predictors:
+        r = simulate(workload, machine=machine, predictor=predictor)
+        bpm = r.network.bytes_total / r.misses
+        storage_bits = predictor.storage_bits(machine.num_cores)
+        print(
+            f"{predictor.name:10s}"
+            f"{r.accuracy:>10.1%}"
+            f"{r.indirection_ratio:>13.1%}"
+            f"{(bpm - base_bpm) / base_bpm:>10.1%}"
+            f"{storage_bits / 8 / 1024:>10.2f}KB"
+        )
+
+    print(
+        "\nLower indirection is better; SP should sit near ADDR/INST at a"
+        "\nfraction of their storage (the paper's Fig. 12/13 argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run SP-prediction against a baseline directory protocol.
+
+Builds one of the suite's synthetic workloads (x264, the paper's
+best-case application), simulates it three ways — baseline directory,
+directory + SP-prediction, and broadcast snooping — and prints the
+headline metrics the paper reports: prediction accuracy, average miss
+latency, execution time, and bandwidth.
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import MachineConfig, SPPredictor, load_benchmark, simulate
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "x264"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    machine = MachineConfig()  # the paper's Table 4 machine
+    workload = load_benchmark(name, scale=scale)
+    print(f"workload: {name} (scale {scale})")
+    print(f"  {workload.memory_accesses():,} memory accesses, "
+          f"{workload.sync_points():,} sync-points\n")
+
+    base = simulate(workload, machine=machine, protocol="directory")
+    sp = simulate(
+        workload, machine=machine, protocol="directory",
+        predictor=SPPredictor(machine.num_cores),
+    )
+    bcast = simulate(workload, machine=machine, protocol="broadcast")
+
+    print(f"{'':24s}{'directory':>12s}{'SP-pred':>12s}{'broadcast':>12s}")
+    print(f"{'misses':24s}{base.misses:>12,}{sp.misses:>12,}{bcast.misses:>12,}")
+    print(f"{'communicating ratio':24s}{base.comm_ratio:>12.2f}"
+          f"{sp.comm_ratio:>12.2f}{bcast.comm_ratio:>12.2f}")
+    print(f"{'avg miss latency (cyc)':24s}{base.avg_miss_latency:>12.1f}"
+          f"{sp.avg_miss_latency:>12.1f}{bcast.avg_miss_latency:>12.1f}")
+    print(f"{'execution time (cyc)':24s}{base.cycles:>12,}"
+          f"{sp.cycles:>12,}{bcast.cycles:>12,}")
+    print(f"{'NoC bytes':24s}{base.network.bytes_total:>12,}"
+          f"{sp.network.bytes_total:>12,}{bcast.network.bytes_total:>12,}")
+    print()
+    print(f"SP prediction accuracy: {sp.accuracy:.1%} "
+          f"(ideal {sp.ideal_accuracy:.1%})")
+    print(f"miss latency reduction: {1 - sp.avg_miss_latency / base.avg_miss_latency:.1%}")
+    print(f"execution time reduction: {1 - sp.cycles / base.cycles:.1%}")
+    print(f"added bandwidth: "
+          f"{sp.network.bytes_total / base.network.bytes_total - 1:.1%} "
+          f"(broadcast adds "
+          f"{bcast.network.bytes_total / base.network.bytes_total - 1:.1%})")
+
+
+if __name__ == "__main__":
+    main()

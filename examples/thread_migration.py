@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Thread migration demo (paper Section 5.5).
+
+The SP-predictor's communication signatures name target cores.  If the
+OS migrates threads, physical-ID signatures go stale; the paper's fix is
+to track *logical* thread IDs and translate through the current
+logical-to-physical mapping when predictions are formed.
+
+This demo migrates every thread one core to the right halfway through a
+stable producer-consumer run and compares three predictors:
+
+* a baseline run without migration (upper reference),
+* a migration-unaware SP-predictor (stale physical signatures),
+* a mapping-aware SP-predictor told about the migration.
+
+Run:  python examples/thread_migration.py
+"""
+
+from repro import MachineConfig, SPPredictor, simulate
+from repro.core.mapping import CoreMapping
+from repro.sim.engine import SimulationEngine
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_SYNC
+from repro.workloads.generator import BenchmarkSpec, EpochSpec, build_workload
+from repro.workloads.migration import apply_migration_schedule
+from repro.workloads.patterns import PatternKind
+
+
+def main() -> None:
+    machine = MachineConfig()
+    n = machine.num_cores
+    spec = BenchmarkSpec(
+        name="migratable",
+        epochs=(
+            EpochSpec(pattern=PatternKind.STABLE, consume_blocks=16,
+                      produce_blocks=16, private_blocks=4),
+        ) * 2,
+        iterations=24,
+    )
+    workload = build_workload(spec)
+
+    n_barriers = sum(
+        1 for ev in workload.stream(0)
+        if ev[0] == OP_SYNC and ev[1] is SyncKind.BARRIER
+    )
+    # An OS rebalance every ~quarter of the run, with placements that do
+    # not accidentally line up with the sharing pattern.
+    reversal = [n - 1 - i for i in range(n)]
+    shuffle = [(5 * i + 3) % n for i in range(n)]
+    schedule = [
+        (n_barriers // 4, reversal),
+        (n_barriers // 2, shuffle),
+        (3 * n_barriers // 4, reversal),
+    ]
+    migrated = apply_migration_schedule(workload, schedule)
+    print(f"{n_barriers} barriers; threads re-placed at barriers "
+          f"{[b for b, _ in schedule]}\n")
+
+    no_migration = simulate(workload, machine=machine, predictor=SPPredictor(n))
+
+    unaware = SimulationEngine(
+        migrated, machine=machine, predictor=SPPredictor(n)
+    ).run()
+
+    mapping = CoreMapping(n)
+    aware = SimulationEngine(
+        migrated, machine=machine,
+        predictor=SPPredictor(n, mapping=mapping),
+        migrations={b: placement for b, placement in schedule},
+    ).run()
+
+    print(f"{'configuration':34s}{'accuracy':>10s}{'miss lat':>10s}")
+    rows = [
+        ("no migration (reference)", no_migration),
+        ("migration, physical-ID signatures", unaware),
+        ("migration, logical-ID mapping", aware),
+    ]
+    for label, result in rows:
+        print(f"{label:34s}{result.accuracy:>10.1%}"
+              f"{result.avg_miss_latency:>9.1f}c")
+    print(f"\nmapping recorded {mapping.migrations} migration event(s)")
+    print(
+        "\nBoth predictors dip after each re-placement and recover within\n"
+        "a couple of epoch instances — an effect the paper's Section 5.5\n"
+        "does not quantify: right after a migration, *stale physical*\n"
+        "signatures still point at the caches where the data physically\n"
+        "remains, while logical-ID signatures point at the threads' new\n"
+        "cores and become right as soon as producers re-produce.  The\n"
+        "mapping's value is representational consistency (it never needs\n"
+        "to relearn long-lived state like lock-holder sequences), not a\n"
+        "first-instance accuracy win."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — reproduction of SP-prediction (Demetriades & Cho, MICRO 2012).
+
+Public API quick tour::
+
+    from repro import (
+        MachineConfig, simulate, load_benchmark,
+        SPPredictor, SPPredictorConfig,
+        AddrPredictor, InstPredictor, UniPredictor,
+    )
+
+    workload = load_benchmark("bodytrack", scale=0.5)
+    predictor = SPPredictor(num_cores=16)
+    result = simulate(workload, protocol="directory", predictor=predictor)
+    print(result.accuracy, result.avg_miss_latency)
+
+Subpackages:
+
+* :mod:`repro.core` — SP-prediction (the paper's contribution).
+* :mod:`repro.sync` — sync-points and sync-epochs.
+* :mod:`repro.cache`, :mod:`repro.coherence`, :mod:`repro.noc` — the
+  machine substrate (private caches, MESIF directory + snooping, mesh).
+* :mod:`repro.predictors` — ADDR / INST / UNI / oracle baselines.
+* :mod:`repro.workloads` — synthetic SPLASH-2/PARSEC-like workloads.
+* :mod:`repro.sim` — the trace-driven engine.
+* :mod:`repro.energy` — the Fig. 11 energy model.
+* :mod:`repro.analysis` — communication characterization (Figs. 2-6).
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from repro.core.filters import FilteredPredictor, RegionFilter
+from repro.core.mapping import CoreMapping
+from repro.core.predictor import SPPredictor, SPPredictorConfig
+from repro.core.signatures import extract_hot_set
+from repro.energy.model import EnergyModel
+from repro.predictors import (
+    AddrPredictor,
+    InstPredictor,
+    OraclePredictor,
+    OwnerTwoLevelPredictor,
+    UniPredictor,
+)
+from repro.sim import MachineConfig, SimulationEngine, SimulationResult, simulate
+from repro.workloads import SUITE, benchmark_names, load_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPPredictor",
+    "SPPredictorConfig",
+    "FilteredPredictor",
+    "RegionFilter",
+    "CoreMapping",
+    "OwnerTwoLevelPredictor",
+    "extract_hot_set",
+    "EnergyModel",
+    "AddrPredictor",
+    "InstPredictor",
+    "UniPredictor",
+    "OraclePredictor",
+    "MachineConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "simulate",
+    "SUITE",
+    "benchmark_names",
+    "load_benchmark",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Communication characterization (Section 3 of the paper)."""
+
+from repro.analysis.locality import (
+    cumulative_coverage,
+    average_cumulative_coverage,
+    hot_set_size_distribution,
+    coverage_by_granularity,
+)
+from repro.analysis.patterns import InstancePattern, classify_instances
+from repro.analysis.epoch_stats import EpochStats, epoch_statistics
+
+__all__ = [
+    "cumulative_coverage",
+    "average_cumulative_coverage",
+    "hot_set_size_distribution",
+    "coverage_by_granularity",
+    "InstancePattern",
+    "classify_instances",
+    "EpochStats",
+    "epoch_statistics",
+]

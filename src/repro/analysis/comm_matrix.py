@@ -1,0 +1,115 @@
+"""Communication-matrix analysis.
+
+The whole-run communication volume forms a matrix M where ``M[i][j]`` is
+the volume core i drew from core j.  These helpers summarize it the way
+communication-characterization studies (e.g. Barrow-Williams et al.,
+which the paper builds on) do: total volume, imbalance across sources,
+hotspot cores, and directionality (producer/consumer asymmetry vs
+symmetric exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class CommMatrixSummary:
+    """Headline statistics of a communication matrix."""
+
+    total_volume: int
+    active_pairs: int
+    possible_pairs: int
+    gini: float
+    symmetry: float
+    hotspot_core: int | None
+    hotspot_share: float
+
+    @property
+    def pair_density(self) -> float:
+        """Fraction of ordered core pairs with any communication."""
+        return (
+            self.active_pairs / self.possible_pairs
+            if self.possible_pairs
+            else 0.0
+        )
+
+
+def matrix_of(result: SimulationResult) -> list:
+    """The run's communication matrix (rows = observers)."""
+    return [list(row) for row in result.whole_run_volume]
+
+
+def total_volume(matrix) -> int:
+    return sum(sum(row) for row in matrix)
+
+
+def gini_coefficient(values) -> float:
+    """Inequality of a non-negative distribution (0 = uniform, ->1 = one
+    value holds everything)."""
+    vals = sorted(v for v in values)
+    n = len(vals)
+    total = sum(vals)
+    if n == 0 or total == 0:
+        return 0.0
+    cum = 0.0
+    weighted = 0.0
+    for i, v in enumerate(vals, start=1):
+        weighted += i * v
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def symmetry_index(matrix) -> float:
+    """1.0 when communication is perfectly symmetric (M == M^T), 0.0 when
+    perfectly one-directional."""
+    sym = 0.0
+    total = 0.0
+    n = len(matrix)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = matrix[i][j], matrix[j][i]
+            total += a + b
+            sym += 2 * min(a, b)
+    return sym / total if total else 1.0
+
+
+def hotspot(matrix) -> tuple:
+    """The core sourcing the most traffic and its share of all volume."""
+    n = len(matrix)
+    sourced = [sum(matrix[i][j] for i in range(n)) for j in range(n)]
+    total = sum(sourced)
+    if total == 0:
+        return None, 0.0
+    best = max(range(n), key=lambda j: sourced[j])
+    return best, sourced[best] / total
+
+
+def summarize(result: SimulationResult) -> CommMatrixSummary:
+    """Full summary of a finished run's communication matrix."""
+    matrix = matrix_of(result)
+    n = len(matrix)
+    flat = [matrix[i][j] for i in range(n) for j in range(n) if i != j]
+    active = sum(1 for v in flat if v > 0)
+    core, share = hotspot(matrix)
+    return CommMatrixSummary(
+        total_volume=total_volume(matrix),
+        active_pairs=active,
+        possible_pairs=n * (n - 1),
+        gini=gini_coefficient(flat),
+        symmetry=symmetry_index(matrix),
+        hotspot_core=core,
+        hotspot_share=share,
+    )
+
+
+def render(matrix, width: int = 4) -> str:
+    """Fixed-width text rendering of a communication matrix."""
+    n = len(matrix)
+    header = " " * (width + 1) + "".join(f"c{j}".rjust(width) for j in range(n))
+    lines = [header]
+    for i in range(n):
+        cells = "".join(str(matrix[i][j]).rjust(width) for j in range(n))
+        lines.append(f"c{i}".rjust(width) + " " + cells)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Sync-epoch statistics (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult
+from repro.sync.points import SyncKind
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Per-core-average sync-epoch statistics for one workload run."""
+
+    workload: str
+    static_critical_sections: int
+    static_sync_epochs: int
+    dynamic_epochs_per_core: float
+    dynamic_critical_sections_per_core: float
+
+    def row(self) -> dict:
+        return {
+            "benchmark": self.workload,
+            "static_crit_sect": self.static_critical_sections,
+            "static_sync_epochs": self.static_sync_epochs,
+            "dyn_epochs_per_core": round(self.dynamic_epochs_per_core, 1),
+        }
+
+
+def epoch_statistics(result: SimulationResult) -> EpochStats:
+    """Compute Table 1's columns from a run with ``collect_epochs=True``.
+
+    Static counts are distinct epoch identities; lock-keyed epochs are
+    counted as critical sections (shared entries), everything else as
+    ordinary static sync-epochs.
+    """
+    if not result.epoch_records:
+        raise ValueError("run the simulation with collect_epochs=True")
+
+    static_cs = set()
+    static_epochs = set()
+    dynamic = 0
+    dynamic_cs = 0
+    cores = set()
+    for rec in result.epoch_records:
+        cores.add(rec.core)
+        dynamic += 1
+        if rec.kind is SyncKind.LOCK:
+            static_cs.add(rec.key)
+            dynamic_cs += 1
+        else:
+            static_epochs.add(rec.key)
+    n_cores = max(len(cores), 1)
+    return EpochStats(
+        workload=result.workload,
+        static_critical_sections=len(static_cs),
+        static_sync_epochs=len(static_epochs),
+        dynamic_epochs_per_core=dynamic / n_cores,
+        dynamic_critical_sections_per_core=dynamic_cs / n_cores,
+    )

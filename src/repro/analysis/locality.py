@@ -1,0 +1,92 @@
+"""Communication locality measures (Sections 3.3, Figures 2/4/5).
+
+The *communication distribution* of an interval is the per-target volume
+vector; its *locality* is how much of the total volume a few targets
+cover.  These helpers compute the cumulative coverage curves of Figure 4
+(at sync-epoch, whole-run, and static-instruction granularity) and the
+hot-set size distribution of Figure 5.
+"""
+
+from __future__ import annotations
+
+from repro.core.signatures import DEFAULT_HOT_THRESHOLD, extract_hot_set
+from repro.sim.results import SimulationResult
+
+
+def cumulative_coverage(volumes) -> list:
+    """Cumulative fraction of volume covered by the top-k targets.
+
+    ``volumes`` is a per-target volume sequence; returns a list where
+    index ``k-1`` is the fraction covered by the ``k`` hottest targets.
+    An all-zero distribution returns all zeros.
+    """
+    ordered = sorted((v for v in volumes), reverse=True)
+    total = sum(ordered)
+    out = []
+    running = 0
+    for v in ordered:
+        running += v
+        out.append(running / total if total else 0.0)
+    return out
+
+
+def average_cumulative_coverage(distributions) -> list:
+    """Average the cumulative coverage curves of many intervals.
+
+    Intervals with zero volume are skipped (they have no communication to
+    localize).  All distributions must have the same length.
+    """
+    curves = [
+        cumulative_coverage(dist) for dist in distributions if sum(dist) > 0
+    ]
+    if not curves:
+        return []
+    width = len(curves[0])
+    if any(len(c) != width for c in curves):
+        raise ValueError("distributions must have equal target counts")
+    return [sum(c[k] for c in curves) / len(curves) for k in range(width)]
+
+
+def hot_set_size_distribution(
+    records,
+    threshold: float = DEFAULT_HOT_THRESHOLD,
+) -> dict:
+    """Histogram of hot-communication-set sizes over epoch records (Fig. 5).
+
+    Returns ``{size: fraction}`` over records with non-zero volume.
+    """
+    sizes = []
+    for rec in records:
+        if rec.volume == 0:
+            continue
+        hot = extract_hot_set(
+            rec.volume_by_target, self_core=rec.core, threshold=threshold
+        )
+        sizes.append(len(hot))
+    if not sizes:
+        return {}
+    hist: dict = {}
+    for size in sizes:
+        hist[size] = hist.get(size, 0) + 1
+    return {size: count / len(sizes) for size, count in sorted(hist.items())}
+
+
+def coverage_by_granularity(result: SimulationResult) -> dict:
+    """The three locality curves of Figure 4 for one run.
+
+    Requires a run with ``collect_epochs=True``.  Returns a dict with
+    ``"sync-epoch"``, ``"single-interval"``, and ``"static instruction"``
+    average cumulative coverage curves.
+    """
+    if not result.epoch_records:
+        raise ValueError("run the simulation with collect_epochs=True")
+    epoch_curves = average_cumulative_coverage(
+        rec.volume_by_target for rec in result.epoch_records
+    )
+    whole_curves = average_cumulative_coverage(result.whole_run_volume)
+    inst_curves = average_cumulative_coverage(result.pc_volume.values())
+    return {
+        "sync-epoch": epoch_curves,
+        "single-interval": whole_curves,
+        "static instruction": inst_curves,
+    }

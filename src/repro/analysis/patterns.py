@@ -1,0 +1,129 @@
+"""Instance-pattern classification (Section 3.4, Figure 6).
+
+Classifies how an epoch's hot communication set evolves across its
+dynamic instances: stable, repetitive (stride), a change between stable
+phases, random, or a combination (a stable core plus transient extras).
+Noisy instances (volume far below the epoch's typical volume) are
+excluded before classification, exactly as the paper excludes them from
+the dynamic pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.signatures import DEFAULT_HOT_THRESHOLD, extract_hot_set
+
+
+class InstancePattern(enum.Enum):
+    STABLE = "stable"
+    SHIFTED_STABLE = "shifted-stable"  # one stable pattern gives way to another
+    REPETITIVE = "repetitive"          # period-s repetition, s >= 2
+    COMBINED = "combined"              # a stable core plus varying extras
+    RANDOM = "random"
+    TOO_FEW = "too-few-instances"
+
+
+@dataclass(frozen=True)
+class EpochPatternReport:
+    """Classification of one static epoch's instance sequence."""
+
+    key: tuple
+    core: int
+    pattern: InstancePattern
+    instances: int
+    noisy_instances: int
+    period: int | None = None
+
+
+def _hot_sequences(records, threshold, noise_fraction):
+    """Group records by (core, key); drop noisy instances; extract hot sets."""
+    groups = defaultdict(list)
+    for rec in sorted(records, key=lambda r: r.instance):
+        groups[(rec.core, rec.key)].append(rec)
+    out = {}
+    for group_key, recs in groups.items():
+        volumes = [r.volume for r in recs]
+        mean = sum(volumes) / len(volumes)
+        kept, noisy = [], 0
+        for rec in recs:
+            if rec.volume < noise_fraction * mean or rec.volume == 0:
+                noisy += 1
+                continue
+            kept.append(
+                extract_hot_set(
+                    rec.volume_by_target,
+                    self_core=rec.core,
+                    threshold=threshold,
+                )
+            )
+        out[group_key] = (kept, noisy)
+    return out
+
+
+def _detect_period(seq) -> int | None:
+    """Smallest period p >= 2 such that seq[i] == seq[i - p] throughout."""
+    n = len(seq)
+    for period in range(2, min(6, n // 2) + 1):
+        if n < 2 * period:
+            continue
+        if all(seq[i] == seq[i - period] for i in range(period, n)):
+            # Require genuine variation within one period.
+            if len({frozenset(s) for s in seq[:period]}) > 1:
+                return period
+    return None
+
+
+def classify_sequence(hot_sets) -> tuple:
+    """Classify one sequence of hot sets; returns (pattern, period|None)."""
+    n = len(hot_sets)
+    if n < 3:
+        return InstancePattern.TOO_FEW, None
+    distinct = {frozenset(s) for s in hot_sets}
+    if len(distinct) == 1:
+        return InstancePattern.STABLE, None
+
+    period = _detect_period(hot_sets)
+    if period is not None:
+        return InstancePattern.REPETITIVE, period
+
+    # One stable pattern giving way to another: exactly one change point.
+    changes = sum(1 for a, b in zip(hot_sets, hot_sets[1:]) if a != b)
+    if len(distinct) == 2 and changes == 1:
+        return InstancePattern.SHIFTED_STABLE, None
+
+    # Combination: some core(s) present in every instance, extras varying.
+    common = frozenset.intersection(*map(frozenset, hot_sets))
+    if common:
+        return InstancePattern.COMBINED, None
+    return InstancePattern.RANDOM, None
+
+
+def classify_instances(
+    records,
+    threshold: float = DEFAULT_HOT_THRESHOLD,
+    noise_fraction: float = 0.25,
+) -> list:
+    """Classify every (core, static epoch) group in a set of epoch records.
+
+    ``records`` are :class:`repro.sim.results.EpochRecord` items from a
+    run with ``collect_epochs=True``.
+    """
+    reports = []
+    for (core, key), (kept, noisy) in _hot_sequences(
+        records, threshold, noise_fraction
+    ).items():
+        pattern, period = classify_sequence(kept)
+        reports.append(
+            EpochPatternReport(
+                key=key,
+                core=core,
+                pattern=pattern,
+                instances=len(kept),
+                noisy_instances=noisy,
+                period=period,
+            )
+        )
+    return reports

@@ -1,0 +1,132 @@
+"""Terminal plots for experiment output.
+
+The experiments CLI uses these to render figure *shapes* (bars for the
+per-benchmark figures, scatter for the trade-off planes) without any
+plotting dependency — the reproduction runs in bare environments.
+"""
+
+from __future__ import annotations
+
+_BLOCK = "#"
+_HALF = "+"
+
+
+def bar_chart(
+    labels,
+    values,
+    *,
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.3f}",
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    labels = [str(l) for l in labels]
+    values = list(values)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title
+    top = max_value if max_value is not None else max(max(values), 1e-12)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        frac = min(max(value / top, 0.0), 1.0)
+        cells = frac * width
+        bar = _BLOCK * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+                     + fmt.format(value))
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    labels,
+    series: dict,
+    *,
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Several values per label, one sub-row per series."""
+    names = list(series)
+    rows = {name: list(vals) for name, vals in series.items()}
+    for name in names:
+        if len(rows[name]) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    top = max((max(vals) for vals in rows.values() if vals), default=1.0)
+    top = max(top, 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    name_w = max(len(n) for n in names)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        for j, name in enumerate(names):
+            value = rows[name][i]
+            frac = min(max(value / top, 0.0), 1.0)
+            bar = _BLOCK * round(frac * width)
+            prefix = str(label).ljust(label_w) if j == 0 else " " * label_w
+            lines.append(f"{prefix} {name.ljust(name_w)} |{bar.ljust(width)}| "
+                         + fmt.format(value))
+    return "\n".join(lines)
+
+
+def scatter(
+    points,
+    *,
+    width: int = 60,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Scatter plot of ``(x, y, marker)`` triples on a character grid.
+
+    Markers are single characters; collisions keep the first marker.
+    """
+    pts = [(float(x), float(y), str(m)[:1] or "*") for x, y, m in points]
+    if not pts:
+        return title
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in pts:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        row = height - 1 - row  # origin at bottom-left
+        if grid[row][col] == " ":
+            grid[row][col] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_label} (top={y_hi:.1f}, bottom={y_lo:.1f})")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}: left={x_lo:.1f}, right={x_hi:.1f}")
+    return "\n".join(lines)
+
+
+def sparkline(values, *, width: int | None = None) -> str:
+    """A one-line trend of values using eighth-block characters."""
+    marks = " .:-=+*#%@"
+    vals = list(values)
+    if not vals:
+        return ""
+    if width is not None and len(vals) > width:
+        # Downsample by averaging buckets.
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket):int((i + 1) * bucket) or 1])
+            / max(1, len(vals[int(i * bucket):int((i + 1) * bucket)]))
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    return "".join(
+        marks[round((v - lo) / span * (len(marks) - 1))] for v in vals
+    )

@@ -1,0 +1,20 @@
+"""Cache substrate: set-associative caches and the private L1/L2 hierarchy.
+
+Coherence in the modelled machine is maintained between the private L2
+caches (Table 4 of the paper: 1 MB 8-way private L2, 16 KB direct-mapped
+L1, 64-byte lines).  The L1 acts as a hit filter in front of the L2; the
+coherence protocol sees only L2 activity.
+"""
+
+from repro.cache.cache import Cache, CacheConfig, CacheLine, EvictedLine
+from repro.cache.hierarchy import PrivateHierarchy, AccessKind, HierarchyOutcome
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheLine",
+    "EvictedLine",
+    "PrivateHierarchy",
+    "AccessKind",
+    "HierarchyOutcome",
+]

@@ -1,0 +1,142 @@
+"""Set-associative cache with true-LRU replacement.
+
+Lines carry a coherence ``state`` field owned by the coherence layer; the
+cache itself only manages placement, lookup, and replacement.  Addresses are
+byte addresses; the cache works internally on block (line) addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache (sizes in bytes)."""
+
+    size: int
+    assoc: int
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.line_size):
+            raise ValueError("line_size must be a power of two")
+        if self.size % (self.assoc * self.line_size) != 0:
+            raise ValueError("size must be a multiple of assoc * line_size")
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size // self.line_size
+
+    def block_of(self, addr: int) -> int:
+        """Block (line) address containing byte address ``addr``."""
+        return addr // self.line_size
+
+    def set_of_block(self, block: int) -> int:
+        return block % self.num_sets
+
+
+@dataclass
+class CacheLine:
+    """A resident line: block address plus a coherence state token.
+
+    ``state`` is opaque to the cache; the coherence layer stores one of the
+    MESIF states here.
+    """
+
+    block: int
+    state: object
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out by a fill, reported back to the caller."""
+
+    block: int
+    state: object
+
+
+@dataclass
+class Cache:
+    """A set-associative, true-LRU cache of coherence-stated lines.
+
+    Each set is an ordered list of :class:`CacheLine`, most-recently-used
+    first.  ``lookup`` does not touch recency; ``touch`` promotes; ``fill``
+    inserts (evicting LRU if needed); ``invalidate`` removes.
+    """
+
+    config: CacheConfig
+    _sets: list = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+
+    def lookup(self, block: int) -> CacheLine | None:
+        """Return the resident line for ``block``, or None. No LRU update."""
+        for line in self._sets[self.config.set_of_block(block)]:
+            if line.block == block:
+                return line
+        return None
+
+    def touch(self, block: int) -> CacheLine | None:
+        """Look up ``block`` and move it to MRU position if present."""
+        bucket = self._sets[self.config.set_of_block(block)]
+        for i, line in enumerate(bucket):
+            if line.block == block:
+                if i:
+                    bucket.insert(0, bucket.pop(i))
+                return line
+        return None
+
+    def fill(self, block: int, state: object) -> EvictedLine | None:
+        """Insert ``block`` in the given state; return the victim, if any.
+
+        If the block is already resident its state is overwritten and it is
+        promoted to MRU (no eviction happens).
+        """
+        bucket = self._sets[self.config.set_of_block(block)]
+        for i, line in enumerate(bucket):
+            if line.block == block:
+                line.state = state
+                if i:
+                    bucket.insert(0, bucket.pop(i))
+                return None
+        victim = None
+        if len(bucket) >= self.config.assoc:
+            lru = bucket.pop()
+            victim = EvictedLine(block=lru.block, state=lru.state)
+        bucket.insert(0, CacheLine(block=block, state=state))
+        return victim
+
+    def invalidate(self, block: int) -> CacheLine | None:
+        """Remove ``block`` if resident and return the removed line."""
+        bucket = self._sets[self.config.set_of_block(block)]
+        for i, line in enumerate(bucket):
+            if line.block == block:
+                return bucket.pop(i)
+        return None
+
+    def set_state(self, block: int, state: object) -> bool:
+        """Overwrite the coherence state of a resident block."""
+        line = self.lookup(block)
+        if line is None:
+            return False
+        line.state = state
+        return True
+
+    def resident_blocks(self) -> list:
+        """All resident block addresses (test/diagnostic helper)."""
+        return [line.block for bucket in self._sets for line in bucket]
+
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

@@ -1,0 +1,126 @@
+"""Private two-level cache hierarchy for one core.
+
+The L1 is a simple hit filter kept inclusive in the L2; coherence state is
+held only at the L2 (the coherence point, per Table 4 of the paper).  The
+hierarchy classifies every access into one of four outcomes; the simulator
+invokes the coherence protocol for the two miss outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.coherence.states import Mesif
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class HierarchyOutcome(enum.Enum):
+    """Classification of a memory access against the private hierarchy."""
+
+    L1_HIT = "l1_hit"
+    L2_HIT = "l2_hit"
+    UPGRADE_MISS = "upgrade_miss"  # resident but without write permission
+    MISS = "miss"                  # not resident in L2
+
+    @property
+    def is_miss(self) -> bool:
+        return self in (HierarchyOutcome.UPGRADE_MISS, HierarchyOutcome.MISS)
+
+
+@dataclass
+class HierarchyStats:
+    """Per-core hit/miss counters."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    upgrade_misses: int = 0
+    misses: int = 0
+
+
+class PrivateHierarchy:
+    """One core's private L1 + L2 pair.
+
+    The L1 stores no coherence state (a presence bit is enough because the
+    L2 is the coherence point and the L1 is kept inclusive): reads hit in L1
+    whenever the block is resident; writes hit in L1 only when the L2 copy
+    has write permission.
+    """
+
+    def __init__(self, core: int, l1: CacheConfig, l2: CacheConfig) -> None:
+        if l1.line_size != l2.line_size:
+            raise ValueError("L1 and L2 must share a line size")
+        self.core = core
+        self.l1 = Cache(l1)
+        self.l2 = Cache(l2)
+        self.stats = HierarchyStats()
+
+    @property
+    def line_size(self) -> int:
+        return self.l2.config.line_size
+
+    def block_of(self, addr: int) -> int:
+        return self.l2.config.block_of(addr)
+
+    def classify(self, addr: int, kind: AccessKind) -> HierarchyOutcome:
+        """Classify an access and update LRU/recency state on hits.
+
+        Misses do not modify the caches; the coherence protocol performs the
+        fill (via :meth:`fill`) once the transaction completes.
+        """
+        block = self.block_of(addr)
+        self.stats.accesses += 1
+        l2_line = self.l2.touch(block)
+
+        if l2_line is None or l2_line.state is Mesif.INVALID:
+            self.stats.misses += 1
+            return HierarchyOutcome.MISS
+
+        if kind is AccessKind.WRITE and not l2_line.state.can_write:
+            self.stats.upgrade_misses += 1
+            return HierarchyOutcome.UPGRADE_MISS
+
+        if kind is AccessKind.WRITE:
+            # Silent E->M transition on a write hit.
+            l2_line.state = Mesif.MODIFIED
+
+        if self.l1.touch(block) is not None:
+            self.stats.l1_hits += 1
+            return HierarchyOutcome.L1_HIT
+        self.l1.fill(block, state=True)
+        self.stats.l2_hits += 1
+        return HierarchyOutcome.L2_HIT
+
+    def peek_state(self, block: int) -> Mesif:
+        """Coherence state of a block, INVALID when not resident."""
+        line = self.l2.lookup(block)
+        return Mesif.INVALID if line is None else line.state
+
+    def fill(self, block: int, state: Mesif):
+        """Install a block after a coherence transaction completes.
+
+        Returns the evicted L2 line (if any) so the protocol can update the
+        directory for the victim.
+        """
+        victim = self.l2.fill(block, state)
+        if victim is not None:
+            self.l1.invalidate(victim.block)
+        self.l1.fill(block, state=True)
+        return victim
+
+    def set_state(self, block: int, state: Mesif) -> None:
+        """Change a resident block's coherence state (e.g. after upgrade)."""
+        if not self.l2.set_state(block, state):
+            raise KeyError(f"block {block:#x} not resident in core {self.core} L2")
+
+    def invalidate(self, block: int) -> Mesif:
+        """Drop a block (remote invalidation); returns its prior state."""
+        self.l1.invalidate(block)
+        line = self.l2.invalidate(block)
+        return Mesif.INVALID if line is None else line.state

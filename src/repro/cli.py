@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro simulate bodytrack --predictor SP --scale 0.5
+    python -m repro simulate my.trace --trace --protocol broadcast
+    python -m repro dump-trace x264 -o x264.trace --scale 0.2
+
+(The experiment harness has its own CLI: ``python -m repro.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.filters import FilteredPredictor
+from repro.experiments.common import PREDICTOR_KINDS, make_predictor
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import SUITE, benchmark_names, load_benchmark
+from repro.workloads.trace import dump_trace, load_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SP-prediction reproduction (MICRO 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    listp = sub.add_parser("list", help="list the benchmark suite")
+    listp.set_defaults(func=cmd_list)
+
+    sim = sub.add_parser("simulate", help="simulate one workload")
+    sim.add_argument("workload", help="benchmark name, or a trace file with --trace")
+    sim.add_argument("--trace", action="store_true",
+                     help="treat WORKLOAD as a trace file path")
+    sim.add_argument(
+        "--protocol", choices=("directory", "broadcast", "multicast"),
+        default="directory",
+    )
+    sim.add_argument("--predictor", choices=PREDICTOR_KINDS, default="none")
+    sim.add_argument("--region-filter", action="store_true",
+                     help="wrap the predictor in a RegionScout-style filter")
+    sim.add_argument("--scale", type=float, default=0.5,
+                     help="workload scale factor (default %(default)s)")
+    sim.add_argument("--json", action="store_true", help="JSON output")
+    sim.set_defaults(func=cmd_simulate)
+
+    dump = sub.add_parser("dump-trace", help="generate and save a trace file")
+    dump.add_argument("benchmark", choices=benchmark_names())
+    dump.add_argument("-o", "--output", required=True)
+    dump.add_argument("--scale", type=float, default=0.5)
+    dump.set_defaults(func=cmd_dump_trace)
+
+    comp = sub.add_parser(
+        "compare", help="run several predictors on one workload"
+    )
+    comp.add_argument("benchmark", choices=benchmark_names())
+    comp.add_argument(
+        "--predictors", nargs="+", default=["SP", "ADDR", "INST", "UNI"],
+        choices=[k for k in PREDICTOR_KINDS if k != "none"],
+    )
+    comp.add_argument("--scale", type=float, default=0.5)
+    comp.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def cmd_list(args) -> int:
+    header = (f"{'benchmark':15s}{'static epochs':>14s}{'lock sites':>12s}"
+              f"{'iterations':>12s}{'target comm':>13s}")
+    print(header)
+    print("-" * len(header))
+    for name in benchmark_names():
+        spec = SUITE[name]
+        print(
+            f"{name:15s}{spec.static_epoch_count():>14d}"
+            f"{spec.static_lock_sites():>12d}{spec.iterations:>12d}"
+            f"{spec.target_comm_ratio:>13.2f}"
+        )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    machine = MachineConfig()
+    if args.trace:
+        workload = load_trace(args.workload)
+    else:
+        workload = load_benchmark(args.workload, scale=args.scale)
+
+    engine = SimulationEngine(
+        workload, machine=machine, protocol=args.protocol
+    )
+    predictor = make_predictor(
+        args.predictor, machine.num_cores, directory=engine.directory
+    )
+    if predictor is not None and args.region_filter:
+        predictor = FilteredPredictor(predictor)
+    engine.predictor = predictor
+    if predictor is not None:
+        engine.result.predictor = predictor.name
+    result = engine.run()
+
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+    print(f"workload {result.workload}: protocol={result.protocol} "
+          f"predictor={result.predictor}")
+    print(f"  accesses            {result.accesses:>12,}")
+    print(f"  L2 misses           {result.misses:>12,}")
+    print(f"  communicating       {result.comm_misses:>12,} "
+          f"({result.comm_ratio:.1%})")
+    print(f"  avg miss latency    {result.avg_miss_latency:>12.1f} cycles")
+    print(f"  execution time      {result.cycles:>12,} cycles")
+    print(f"  NoC bytes           {result.network.bytes_total:>12,}")
+    print(f"  snoop lookups       {result.snoop_lookups:>12,}")
+    if result.pred_attempted:
+        print(f"  prediction accuracy {result.accuracy:>12.1%} "
+              f"(ideal {result.ideal_accuracy:.1%})")
+        print(f"  predictions         {result.pred_attempted:>12,} "
+              f"({result.pred_on_noncomm:,} on non-communicating misses)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    machine = MachineConfig()
+    workload = load_benchmark(args.benchmark, scale=args.scale)
+    base = SimulationEngine(workload, machine=machine).run()
+    base_bpm = base.bytes_per_miss() or 1.0
+
+    header = (f"{'predictor':10s}{'accuracy':>10s}{'indirection':>13s}"
+              f"{'+bw/miss':>10s}{'exec':>8s}")
+    print(f"{args.benchmark}: baseline directory = "
+          f"{base.avg_miss_latency:.1f} cyc/miss, {base.cycles:,} cycles\n")
+    print(header)
+    print("-" * len(header))
+    for kind in args.predictors:
+        engine = SimulationEngine(workload, machine=machine)
+        engine.predictor = make_predictor(
+            kind, machine.num_cores, directory=engine.directory
+        )
+        engine.result.predictor = kind
+        result = engine.run()
+        print(
+            f"{kind:10s}"
+            f"{result.accuracy:>10.1%}"
+            f"{result.indirection_ratio:>13.1%}"
+            f"{(result.bytes_per_miss() - base_bpm) / base_bpm:>10.1%}"
+            f"{result.cycles / base.cycles:>8.3f}"
+        )
+    return 0
+
+
+def cmd_dump_trace(args) -> int:
+    workload = load_benchmark(args.benchmark, scale=args.scale)
+    dump_trace(workload, args.output)
+    print(f"wrote {workload.total_events():,} events "
+          f"({workload.num_cores} cores) to {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Coherence substrate: MESIF directory protocol, prediction overlay, snooping.
+
+The baseline is a distributed full-map directory MESIF protocol (Table 4 /
+Section 4.5 of the paper).  The prediction overlay adds the three-party
+message flow of Section 4.5: requester sends predicted requests directly to
+the predicted nodes plus a tagged request to the directory, the directory
+verifies sufficiency and repairs mispredictions, and predicted nodes forward
+data / invalidate / nack.  A broadcast snooping protocol over a totally
+ordered interconnect serves as the bandwidth-hungry latency reference.
+"""
+
+from repro.coherence.states import Mesif
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.protocol import (
+    DirectoryProtocol,
+    MissKind,
+    TransactionResult,
+    ProtocolLatencies,
+)
+from repro.coherence.snooping import BroadcastProtocol
+from repro.coherence.multicast import MulticastProtocol
+from repro.coherence.limited import LimitedPointerDirectory
+from repro.coherence.verify import CoherenceVerifier, CoherenceViolation
+
+__all__ = [
+    "MulticastProtocol",
+    "LimitedPointerDirectory",
+    "CoherenceVerifier",
+    "CoherenceViolation",
+    "Mesif",
+    "Directory",
+    "DirectoryEntry",
+    "DirectoryProtocol",
+    "BroadcastProtocol",
+    "MissKind",
+    "TransactionResult",
+    "ProtocolLatencies",
+]

@@ -1,0 +1,139 @@
+"""Distributed full-map directory.
+
+Each block has a home tile (address-interleaved); the home's directory
+slice records the full sharing state: the set of caches with a valid copy,
+which of them (if any) owns the block in M/E, and which holds the MESIF
+Forward state.  Because caches notify the directory on evictions, the
+directory view is exact — which the paper relies on for detecting whether
+a predicted target set was sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharing state of a single block."""
+
+    sharers: set = field(default_factory=set)
+    owner: int | None = None      # holder of M or E, if any
+    forwarder: int | None = None  # holder of F, if any
+    dirty: bool = False           # owner's copy is Modified
+
+    @property
+    def cached_anywhere(self) -> bool:
+        return bool(self.sharers)
+
+    @property
+    def responder(self) -> int | None:
+        """The single cache that answers a read request (owner or F holder)."""
+        return self.owner if self.owner is not None else self.forwarder
+
+    def minimal_read_targets(self) -> frozenset:
+        """Smallest cache set sufficient to satisfy a read miss.
+
+        Empty when memory must respond (no owner and no forwarder).
+        """
+        resp = self.responder
+        return frozenset() if resp is None else frozenset((resp,))
+
+    def minimal_write_targets(self, requester: int) -> frozenset:
+        """Caches that must be contacted to grant exclusive ownership.
+
+        All remote valid copies must be invalidated (and a dirty owner must
+        forward its data), so the minimal set is every sharer but the
+        requester itself.
+        """
+        return frozenset(self.sharers - {requester})
+
+
+class Directory:
+    """Full-map directory distributed across the tiles of the machine.
+
+    ``home_of`` address-interleaves blocks across tiles.  Entries are
+    created lazily; a block nobody caches has an implicit empty entry.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("directory needs at least one node")
+        self.num_nodes = num_nodes
+        self._entries: dict = {}
+
+    def home_of(self, block: int) -> int:
+        return block % self.num_nodes
+
+    def entry(self, block: int) -> DirectoryEntry:
+        ent = self._entries.get(block)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[block] = ent
+        return ent
+
+    def peek(self, block: int) -> DirectoryEntry:
+        """Entry without creating one (empty entry for uncached blocks)."""
+        return self._entries.get(block, DirectoryEntry())
+
+    # -- state transitions driven by the protocol -------------------------
+
+    def record_read_fill(self, block: int, requester: int) -> None:
+        """Requester obtained a shared copy; it becomes the F holder.
+
+        A previous M/E owner has degraded to plain shared; memory is clean
+        again (the protocol accounts the writeback message).
+        """
+        ent = self.entry(block)
+        ent.sharers.add(requester)
+        ent.owner = None
+        ent.dirty = False
+        ent.forwarder = requester
+
+    def record_exclusive_fill(self, block: int, requester: int, dirty: bool) -> None:
+        """Requester became the sole owner (read miss with no sharers, or
+        any write miss / upgrade)."""
+        ent = self.entry(block)
+        ent.sharers = {requester}
+        ent.owner = requester
+        ent.forwarder = None
+        ent.dirty = dirty
+
+    def record_eviction(self, block: int, core: int, *, was_dirty: bool) -> None:
+        """A cache dropped its copy (capacity eviction, with notification)."""
+        ent = self._entries.get(block)
+        if ent is None:
+            return
+        ent.sharers.discard(core)
+        if ent.owner == core:
+            ent.owner = None
+            ent.dirty = False
+        if ent.forwarder == core:
+            ent.forwarder = None
+        if not ent.sharers:
+            del self._entries[block]
+
+    def record_store_upgrade(self, block: int, core: int) -> None:
+        """A resident sharer was granted exclusive ownership."""
+        self.record_exclusive_fill(block, core, dirty=True)
+
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    # -- hardware-precision hooks (overridden by limited-pointer orgs) --
+
+    def can_verify(self, block: int) -> bool:
+        """Whether predicted sets can be checked against this entry.
+
+        The full-map directory always can; limited-pointer organizations
+        cannot once an entry overflows to coarse representation.
+        """
+        return True
+
+    def invalidation_fanout(self, block: int, requester: int) -> frozenset:
+        """Cores the hardware sends invalidations to for a write.
+
+        Full map: exactly the remote sharers.  Coarse organizations may
+        return a superset (up to every core).
+        """
+        return self.peek(block).minimal_write_targets(requester)

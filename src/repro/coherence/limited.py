@@ -1,0 +1,101 @@
+"""Limited-pointer directory (Dir-P style) — substrate extension.
+
+The paper's baseline directory is full-map: one presence bit per core
+per entry, which is exactly what lets it verify predicted sets.  Real
+machines often spend less: a limited-pointer directory tracks up to P
+sharers precisely (plus a dedicated owner pointer) and falls back to a
+*coarse* representation on overflow, where writes must fan out
+invalidations to every core.
+
+This module models that organization so the interaction with
+SP-prediction can be studied:
+
+* reads are unaffected (the owner pointer survives overflow);
+* writes/upgrades to overflowed entries broadcast invalidations
+  (bandwidth + latency cost on the baseline);
+* the directory cannot *verify* a predicted set against an overflowed
+  entry, so predictions on coarse blocks cannot skip indirection even
+  when they happen to be sufficient — prediction's gains shrink as the
+  directory gets cheaper, which quantifies how much SP-prediction's
+  benefit depends on directory precision.
+
+The class keeps the base :class:`Directory`'s exact sharer sets as the
+model's ground truth (the protocol still needs to know which caches to
+actually invalidate); the pointer bound only limits what the *hardware
+would know*, exposed through :meth:`can_verify` and
+:meth:`invalidation_fanout`.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.directory import Directory
+
+
+class LimitedPointerDirectory(Directory):
+    """Directory with P precise sharer pointers + an owner pointer."""
+
+    def __init__(self, num_nodes: int, pointers: int = 4) -> None:
+        super().__init__(num_nodes)
+        if pointers < 1:
+            raise ValueError("need at least one sharer pointer")
+        self.pointers = pointers
+        #: block -> set of tracked sharers, or None once overflowed.
+        self._tracked: dict = {}
+        self.overflows = 0
+
+    # -- hardware-visible state ----------------------------------------
+
+    def tracked_sharers(self, block: int):
+        """The sharers the hardware knows, or None when coarse."""
+        return self._tracked.get(block, set())
+
+    def is_coarse(self, block: int) -> bool:
+        return block in self._tracked and self._tracked[block] is None
+
+    def can_verify(self, block: int) -> bool:
+        """Whether a predicted set can be checked against this entry."""
+        return not self.is_coarse(block)
+
+    def invalidation_fanout(self, block: int, requester: int) -> frozenset:
+        """Cores the hardware must send invalidations to."""
+        tracked = self._tracked.get(block)
+        if tracked is None and block in self._tracked:
+            # Coarse: invalidate everyone (Dir-P broadcast fallback).
+            return frozenset(range(self.num_nodes)) - {requester}
+        precise = tracked or set()
+        return frozenset(precise) - {requester}
+
+    # -- state transitions (mirror the base class, bounding pointers) ---
+
+    def _track_add(self, block: int, core: int) -> None:
+        tracked = self._tracked.get(block, set())
+        if tracked is None:
+            return  # already coarse
+        tracked = set(tracked)
+        tracked.add(core)
+        if len(tracked) > self.pointers:
+            self._tracked[block] = None
+            self.overflows += 1
+        else:
+            self._tracked[block] = tracked
+
+    def record_read_fill(self, block: int, requester: int) -> None:
+        super().record_read_fill(block, requester)
+        self._track_add(block, requester)
+
+    def record_exclusive_fill(self, block: int, requester: int, dirty: bool) -> None:
+        super().record_exclusive_fill(block, requester, dirty)
+        # Exclusive ownership resets the entry to one precise pointer.
+        self._tracked[block] = {requester}
+
+    def record_eviction(self, block: int, core: int, *, was_dirty: bool) -> None:
+        super().record_eviction(block, core, was_dirty=was_dirty)
+        if not self.peek(block).sharers:
+            self._tracked.pop(block, None)
+            return
+        tracked = self._tracked.get(block)
+        if tracked is not None and tracked:
+            tracked.discard(core)
+
+    def coarse_entries(self) -> int:
+        return sum(1 for v in self._tracked.values() if v is None)

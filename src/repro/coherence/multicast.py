@@ -1,0 +1,171 @@
+"""Multicast snooping: prediction-relaxed broadcast.
+
+The paper's introduction names two uses for coherence target prediction:
+skipping directory indirection (evaluated in the paper, and in
+:mod:`repro.coherence.protocol`), and — for snooping protocols —
+"relax[ing] the high bandwidth requirements by replacing broadcast with
+multicast" (Bilir et al.'s multicast snooping).  This module implements
+that second use so the claim can be evaluated too.
+
+On a miss with a prediction, the request is multicast to the predicted
+nodes plus the block's home (the ordering/verification point).  If the
+predicted set was insufficient, the home detects it and the request is
+retried as a full broadcast — a second round that costs latency and
+bandwidth, just as in multicast snooping proposals.  Without a
+prediction the protocol degenerates to plain broadcast.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.coherence.snooping import BroadcastProtocol
+from repro.coherence.states import Mesif
+from repro.noc.network import MessageClass
+
+
+class MulticastProtocol(BroadcastProtocol):
+    """Snooping MESIF with prediction-guided multicast.
+
+    Inherits all state handling from :class:`BroadcastProtocol`;
+    overrides only the request fan-out and its latency/bandwidth
+    accounting.
+    """
+
+    def read_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
+        predicted = self._clean(core, predicted)
+        if predicted is None:
+            return super().read_miss(core, block)
+        entry = self.directory.peek(block)
+        minimal = entry.minimal_read_targets()
+        comm = bool(minimal)
+        cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        home = self.directory.home_of(block)
+        responder = entry.responder
+        correct = comm and minimal <= predicted
+
+        fanout = set(predicted) | {home}
+        round1 = self.network.multicast(core, fanout, MessageClass.CONTROL, cat)
+        self.snoop_lookups += len(fanout - {core})
+
+        if correct:
+            latency = self.network.latency(core, responder)
+            latency += self.lat.l2_access
+            latency += self.network.send(responder, core, MessageClass.DATA, cat)
+            if entry.dirty:
+                self.network.send(responder, home, MessageClass.DATA,
+                                  self.CAT_WRITEBACK)
+            off_chip = False
+        else:
+            # Home detects insufficiency; retry as a full broadcast.
+            retry_delay = round1 + self.network.latency(home, core)
+            retry = super().read_miss(core, block)
+            return TransactionResult(
+                kind=retry.kind, core=core, block=block,
+                communicating=retry.communicating, off_chip=retry.off_chip,
+                minimal_targets=retry.minimal_targets, predicted=predicted,
+                prediction_correct=(False if comm else None),
+                latency=retry_delay + retry.latency, indirection=False,
+                responder=retry.responder, invalidated=retry.invalidated,
+            )
+
+        self._finish_read_fill(core, block, entry)
+        return TransactionResult(
+            kind=MissKind.READ, core=core, block=block, communicating=comm,
+            off_chip=off_chip, minimal_targets=minimal, predicted=predicted,
+            prediction_correct=correct if comm else None, latency=latency,
+            indirection=False, responder=responder, invalidated=frozenset(),
+        )
+
+    def write_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
+        predicted = self._clean(core, predicted)
+        if predicted is None:
+            return super().write_miss(core, block)
+        entry = self.directory.peek(block)
+        minimal = entry.minimal_write_targets(core)
+        comm = bool(minimal)
+        cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        home = self.directory.home_of(block)
+        responder = entry.responder
+        correct = comm and minimal <= predicted
+
+        fanout = set(predicted) | {home}
+        round1 = self.network.multicast(core, fanout, MessageClass.CONTROL, cat)
+        self.snoop_lookups += len(fanout - {core})
+
+        if not correct and comm:
+            retry_delay = round1 + self.network.latency(home, core)
+            retry = super().write_miss(core, block)
+            return TransactionResult(
+                kind=retry.kind, core=core, block=block,
+                communicating=retry.communicating, off_chip=retry.off_chip,
+                minimal_targets=retry.minimal_targets, predicted=predicted,
+                prediction_correct=False,
+                latency=retry_delay + retry.latency, indirection=False,
+                responder=retry.responder, invalidated=retry.invalidated,
+            )
+
+        if responder is not None and responder != core:
+            latency = self.network.latency(core, responder)
+            latency += self.lat.l2_access
+            latency += self.network.send(responder, core, MessageClass.DATA, cat)
+            off_chip = False
+        else:
+            latency = self.network.latency(core, home) + self.lat.memory
+            latency += self.network.send(home, core, MessageClass.DATA, cat)
+            off_chip = not comm
+
+        invalidated = self._apply_write_invalidations(core, block, minimal)
+        victim = self.hierarchies[core].fill(block, Mesif.MODIFIED)
+        self._handle_victim(core, victim)
+        self.directory.record_exclusive_fill(block, core, dirty=True)
+        return TransactionResult(
+            kind=MissKind.WRITE, core=core, block=block, communicating=comm,
+            off_chip=off_chip, minimal_targets=minimal, predicted=predicted,
+            prediction_correct=correct if comm else None, latency=latency,
+            indirection=False, responder=responder, invalidated=invalidated,
+        )
+
+    def upgrade_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
+        predicted = self._clean(core, predicted)
+        if predicted is None:
+            return super().upgrade_miss(core, block)
+        entry = self.directory.peek(block)
+        minimal = entry.minimal_write_targets(core)
+        comm = bool(minimal)
+        cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        home = self.directory.home_of(block)
+        correct = comm and minimal <= predicted
+
+        fanout = set(predicted) | {home}
+        round1 = self.network.multicast(core, fanout, MessageClass.CONTROL, cat)
+        self.snoop_lookups += len(fanout - {core})
+
+        if not correct and comm:
+            retry_delay = round1 + self.network.latency(home, core)
+            retry = super().upgrade_miss(core, block)
+            return TransactionResult(
+                kind=retry.kind, core=core, block=block,
+                communicating=retry.communicating, off_chip=retry.off_chip,
+                minimal_targets=retry.minimal_targets, predicted=predicted,
+                prediction_correct=False,
+                latency=retry_delay + retry.latency, indirection=False,
+                responder=retry.responder, invalidated=retry.invalidated,
+            )
+
+        latency = round1
+        invalidated = self._apply_write_invalidations(core, block, minimal)
+        self.hierarchies[core].set_state(block, Mesif.MODIFIED)
+        self.directory.record_store_upgrade(block, core)
+        return TransactionResult(
+            kind=MissKind.UPGRADE, core=core, block=block, communicating=comm,
+            off_chip=False, minimal_targets=minimal, predicted=predicted,
+            prediction_correct=correct if comm else None, latency=latency,
+            indirection=False, responder=None, invalidated=invalidated,
+        )
+
+    @staticmethod
+    def _clean(core, predicted):
+        if predicted is None:
+            return None
+        cleaned = frozenset(predicted) - {core}
+        return cleaned or None

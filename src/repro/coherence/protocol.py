@@ -1,0 +1,510 @@
+"""Directory MESIF protocol engine with the prediction overlay.
+
+Transactions are modelled atomically: each L2 miss runs one transaction
+that (a) moves the caches and directory to their next stable state,
+(b) accounts every message on the NoC, and (c) computes the critical-path
+latency of the miss.  The prediction overlay implements Section 4.5 of the
+paper: a predicted request travels directly to the predicted nodes and, in
+parallel, to the directory, which verifies that the predicted set was
+sufficient and repairs mispredictions at baseline-like latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.coherence.directory import Directory
+from repro.coherence.states import Mesif
+from repro.noc.network import MessageClass, Network
+
+
+class MissKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    UPGRADE = "upgrade"
+
+
+@dataclass(frozen=True)
+class ProtocolLatencies:
+    """Fixed latency components in cycles (Table 4)."""
+
+    l2_tag: int = 2
+    l2_data: int = 6
+    #: Directory slice access: read + update of the full sharing vector.
+    dir_lookup: int = 16
+    memory: int = 150
+
+    @property
+    def l2_access(self) -> int:
+        return self.l2_tag + self.l2_data
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Outcome of one coherence transaction.
+
+    ``minimal_targets`` is the smallest sufficient cache set (the owner /
+    forwarder for reads; every remote sharer for writes and upgrades); a
+    miss is *communicating* exactly when that set is non-empty.
+    ``prediction_correct`` is None when no prediction was attempted or the
+    miss was non-communicating (accuracy is defined over communicating
+    misses only, Section 5.2).
+    """
+
+    kind: MissKind
+    core: int
+    block: int
+    communicating: bool
+    off_chip: bool
+    minimal_targets: frozenset
+    predicted: frozenset | None
+    prediction_correct: bool | None
+    latency: int
+    indirection: bool
+    responder: int | None
+    invalidated: frozenset
+
+
+class DirectoryProtocol:
+    """Directory-based MESIF with optional per-miss target prediction.
+
+    The protocol owns the directory and drives every core's private
+    hierarchy; the simulation engine calls :meth:`read_miss`,
+    :meth:`write_miss`, or :meth:`upgrade_miss` for each L2 miss outcome,
+    optionally passing the predictor's target set.
+    """
+
+    #: Traffic categories used for the Fig. 9 bandwidth breakdown.
+    CAT_COMM = "base_comm"
+    CAT_NONCOMM = "base_noncomm"
+    CAT_PRED_COMM = "pred_comm"
+    CAT_PRED_NONCOMM = "pred_noncomm"
+    CAT_WRITEBACK = "writeback"
+
+    def __init__(
+        self,
+        hierarchies,
+        directory: Directory,
+        network: Network,
+        latencies: ProtocolLatencies | None = None,
+    ) -> None:
+        self.hierarchies = list(hierarchies)
+        self.directory = directory
+        self.network = network
+        self.lat = latencies or ProtocolLatencies()
+        self.snoop_lookups = 0
+        if directory.num_nodes != network.num_nodes:
+            raise ValueError("directory and network disagree on node count")
+        if len(self.hierarchies) != network.num_nodes:
+            raise ValueError("one private hierarchy per network node required")
+
+    # ------------------------------------------------------------------
+    # public transaction entry points
+    # ------------------------------------------------------------------
+
+    def read_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
+        predicted = self._clean_prediction(core, predicted)
+        entry = self.directory.peek(block)
+        minimal = entry.minimal_read_targets()
+        if predicted is None:
+            return self._baseline_read(core, block, entry, minimal)
+        return self._predicted_read(core, block, entry, minimal, predicted)
+
+    def write_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
+        predicted = self._clean_prediction(core, predicted)
+        entry = self.directory.peek(block)
+        minimal = entry.minimal_write_targets(core)
+        if predicted is None:
+            return self._baseline_write(core, block, entry, minimal)
+        return self._predicted_write(core, block, entry, minimal, predicted)
+
+    def upgrade_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
+        predicted = self._clean_prediction(core, predicted)
+        entry = self.directory.peek(block)
+        minimal = entry.minimal_write_targets(core)
+        if predicted is None:
+            return self._baseline_upgrade(core, block, entry, minimal)
+        return self._predicted_upgrade(core, block, entry, minimal, predicted)
+
+    # ------------------------------------------------------------------
+    # baseline (unpredicted) flows
+    # ------------------------------------------------------------------
+
+    def _baseline_read(self, core, block, entry, minimal) -> TransactionResult:
+        home = self.directory.home_of(block)
+        comm = bool(minimal)
+        cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        latency = self.network.send(core, home, MessageClass.CONTROL, cat)
+        latency += self.lat.dir_lookup
+        responder = entry.responder
+
+        if responder is not None:
+            latency += self._forward_read_from_owner(
+                core, block, entry, responder, cat
+            )
+            off_chip = False
+        else:
+            latency += self._memory_read(core, home, entry, cat)
+            off_chip = True
+
+        self._finish_read_fill(core, block, entry)
+        return TransactionResult(
+            kind=MissKind.READ, core=core, block=block, communicating=comm,
+            off_chip=off_chip, minimal_targets=minimal, predicted=None,
+            prediction_correct=None, latency=latency, indirection=True,
+            responder=responder, invalidated=frozenset(),
+        )
+
+    def _baseline_write(self, core, block, entry, minimal) -> TransactionResult:
+        home = self.directory.home_of(block)
+        comm = bool(minimal)
+        cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        # The entry mutates when the requester's fill is recorded; capture
+        # the data source now.
+        prior_owner = entry.owner if entry.owner != core else None
+        latency = self.network.send(core, home, MessageClass.CONTROL, cat)
+        latency += self.lat.dir_lookup
+        off_chip = not entry.cached_anywhere
+
+        if entry.owner is not None and entry.owner != core:
+            owner = entry.owner
+            path = self.network.send(home, owner, MessageClass.CONTROL, cat)
+            path += self._probe(owner) + self.lat.l2_data
+            path += self.network.send(owner, core, MessageClass.DATA, cat)
+            latency += path
+        elif minimal:
+            latency += self._invalidate_via_directory(
+                core, home, entry, minimal, cat, need_data=True, block=block
+            )
+        else:
+            latency += self._memory_read(core, home, entry, cat)
+
+        invalidated = self._apply_write_invalidations(core, block, minimal)
+        self._finish_write_fill(core, block)
+        return TransactionResult(
+            kind=MissKind.WRITE, core=core, block=block, communicating=comm,
+            off_chip=off_chip, minimal_targets=minimal, predicted=None,
+            prediction_correct=None, latency=latency, indirection=True,
+            responder=prior_owner, invalidated=invalidated,
+        )
+
+    def _baseline_upgrade(self, core, block, entry, minimal) -> TransactionResult:
+        home = self.directory.home_of(block)
+        comm = bool(minimal)
+        cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        latency = self.network.send(core, home, MessageClass.CONTROL, cat)
+        latency += self.lat.dir_lookup
+        if minimal:
+            latency += self._invalidate_via_directory(
+                core, home, entry, minimal, cat, need_data=False, block=block
+            )
+        else:
+            latency += self.network.send(home, core, MessageClass.CONTROL, cat)
+
+        invalidated = self._apply_write_invalidations(core, block, minimal)
+        self.hierarchies[core].set_state(block, Mesif.MODIFIED)
+        self.directory.record_store_upgrade(block, core)
+        return TransactionResult(
+            kind=MissKind.UPGRADE, core=core, block=block, communicating=comm,
+            off_chip=False, minimal_targets=minimal, predicted=None,
+            prediction_correct=None, latency=latency, indirection=True,
+            responder=None, invalidated=invalidated,
+        )
+
+    # ------------------------------------------------------------------
+    # predicted flows (Section 4.5 overlay)
+    # ------------------------------------------------------------------
+
+    def _predicted_read(self, core, block, entry, minimal, predicted):
+        home = self.directory.home_of(block)
+        comm = bool(minimal)
+        base_cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
+        correct = comm and minimal <= predicted
+        responder = entry.responder
+
+        # Requester: predicted requests to each predicted node, plus the
+        # (tagged) request to the directory that the baseline also sends.
+        self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
+        dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
+        self.snoop_lookups += len(predicted)
+
+        # Every predicted node that is not the responder nacks.
+        for node in predicted - ({responder} if responder is not None else set()):
+            self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+
+        # A coarse (limited-pointer) directory entry cannot verify the
+        # predicted set, so the requester must wait for the directory
+        # path even when the prediction was in fact sufficient.
+        if correct and self.directory.can_verify(block):
+            # Data comes straight from the predicted responder; the
+            # directory learns the new sharing state off the critical path.
+            latency = self.network.latency(core, responder)
+            latency += self.lat.l2_access  # lookup counted with the multicast
+            latency += self.network.send(responder, core, MessageClass.DATA, base_cat)
+            self._account_owner_update(entry, responder, home)
+            indirection = False
+            off_chip = False
+        else:
+            # Directory services the miss as in the baseline.
+            latency = dir_leg + self.lat.dir_lookup
+            if responder is not None:
+                latency += self._forward_read_from_owner(
+                    core, block, entry, responder, base_cat
+                )
+                off_chip = False
+            else:
+                latency += self._memory_read(core, home, entry, base_cat)
+                off_chip = True
+            indirection = True
+
+        self._finish_read_fill(core, block, entry)
+        return TransactionResult(
+            kind=MissKind.READ, core=core, block=block, communicating=comm,
+            off_chip=off_chip, minimal_targets=minimal, predicted=predicted,
+            prediction_correct=correct if comm else None, latency=latency,
+            indirection=indirection, responder=responder,
+            invalidated=frozenset(),
+        )
+
+    def _predicted_write(self, core, block, entry, minimal, predicted):
+        home = self.directory.home_of(block)
+        comm = bool(minimal)
+        base_cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
+        correct = comm and minimal <= predicted
+        prior_owner = entry.owner if entry.owner != core else None
+
+        self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
+        dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
+        self.snoop_lookups += len(predicted)
+
+        # Predicted nodes holding a copy invalidate and ack directly to the
+        # requester; predicted nodes without a copy nack.
+        useful = predicted & minimal
+        ack_lat = 0
+        for node in useful:
+            leg = self.network.latency(core, node) + self.lat.l2_tag
+            leg += self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+            ack_lat = max(ack_lat, leg)
+        for node in predicted - minimal:
+            self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+
+        dir_resp = dir_leg + self.lat.dir_lookup
+        dir_resp += self.network.send(home, core, MessageClass.CONTROL, base_cat)
+
+        if correct and self.directory.can_verify(block):
+            data_lat = self._predicted_write_data(core, home, entry, base_cat)
+            latency = max(dir_resp, ack_lat, data_lat)
+            indirection = False
+        else:
+            # The directory repairs: it invalidates the unpredicted sharers
+            # and sources data, at baseline-like latency.
+            missing = minimal - predicted
+            repair = dir_leg + self.lat.dir_lookup
+            if entry.owner is not None and entry.owner not in predicted:
+                owner = entry.owner
+                repair += self.network.send(home, owner, MessageClass.CONTROL, base_cat)
+                repair += self._probe(owner) + self.lat.l2_data
+                repair += self.network.send(owner, core, MessageClass.DATA, base_cat)
+            else:
+                inv_lat = 0
+                for node in missing:
+                    leg = self.network.send(home, node, MessageClass.CONTROL, base_cat)
+                    leg += self._probe(node)
+                    leg += self.network.send(node, core, MessageClass.CONTROL, base_cat)
+                    inv_lat = max(inv_lat, leg)
+                data_lat = self._predicted_write_data(core, home, entry, base_cat)
+                repair += max(inv_lat, data_lat)
+            latency = max(repair, ack_lat)
+            indirection = True
+
+        off_chip = not entry.cached_anywhere
+        invalidated = self._apply_write_invalidations(core, block, minimal)
+        self._finish_write_fill(core, block)
+        return TransactionResult(
+            kind=MissKind.WRITE, core=core, block=block, communicating=comm,
+            off_chip=off_chip, minimal_targets=minimal, predicted=predicted,
+            prediction_correct=correct if comm else None, latency=latency,
+            indirection=indirection, responder=prior_owner,
+            invalidated=invalidated,
+        )
+
+    def _predicted_upgrade(self, core, block, entry, minimal, predicted):
+        home = self.directory.home_of(block)
+        comm = bool(minimal)
+        base_cat = self.CAT_COMM if comm else self.CAT_NONCOMM
+        pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
+        correct = comm and minimal <= predicted
+
+        self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
+        dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
+        self.snoop_lookups += len(predicted)
+
+        useful = predicted & minimal
+        ack_lat = 0
+        for node in useful:
+            leg = self.network.latency(core, node) + self.lat.l2_tag
+            leg += self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+            ack_lat = max(ack_lat, leg)
+        for node in predicted - minimal:
+            self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+
+        dir_resp = dir_leg + self.lat.dir_lookup
+        dir_resp += self.network.send(home, core, MessageClass.CONTROL, base_cat)
+
+        if correct and self.directory.can_verify(block):
+            latency = max(dir_resp, ack_lat)
+            indirection = False
+        else:
+            missing = minimal - predicted
+            inv_lat = 0
+            for node in missing:
+                leg = self.network.send(home, node, MessageClass.CONTROL, base_cat)
+                leg += self._probe(node)
+                leg += self.network.send(node, core, MessageClass.CONTROL, base_cat)
+                inv_lat = max(inv_lat, leg)
+            latency = max(dir_leg + self.lat.dir_lookup + inv_lat, dir_resp, ack_lat)
+            indirection = True
+
+        invalidated = self._apply_write_invalidations(core, block, minimal)
+        self.hierarchies[core].set_state(block, Mesif.MODIFIED)
+        self.directory.record_store_upgrade(block, core)
+        return TransactionResult(
+            kind=MissKind.UPGRADE, core=core, block=block, communicating=comm,
+            off_chip=False, minimal_targets=minimal, predicted=predicted,
+            prediction_correct=correct if comm else None, latency=latency,
+            indirection=indirection, responder=None, invalidated=invalidated,
+        )
+
+    # ------------------------------------------------------------------
+    # shared flow fragments
+    # ------------------------------------------------------------------
+
+    def _probe(self, node: int) -> int:
+        """A remote L2 tag probe (counted for the snoop-energy model)."""
+        self.snoop_lookups += 1
+        return self.lat.l2_tag
+
+    def _forward_read_from_owner(self, core, block, entry, responder, cat) -> int:
+        """Directory forwards a read to the owner/F-holder, who replies."""
+        home = self.directory.home_of(block)
+        path = self.network.send(home, responder, MessageClass.CONTROL, cat)
+        path += self._probe(responder) + self.lat.l2_data
+        path += self.network.send(responder, core, MessageClass.DATA, cat)
+        self._account_owner_update(entry, responder, home)
+        return path
+
+    def _account_owner_update(self, entry, responder, home) -> None:
+        """Off-critical-path messages the responder sends the directory.
+
+        A dirty owner writes the line back so memory is clean once the
+        block degrades to shared; a clean responder just notifies.
+        """
+        if entry.owner == responder and entry.dirty:
+            self.network.send(responder, home, MessageClass.DATA, self.CAT_WRITEBACK)
+        else:
+            self.network.send(responder, home, MessageClass.CONTROL, self.CAT_WRITEBACK)
+
+    def _memory_read(self, core, home, entry, cat) -> int:
+        """Home fetches the line from memory and ships it to the requester."""
+        return self.lat.memory + self.network.send(
+            home, core, MessageClass.DATA, cat
+        )
+
+    def _invalidate_via_directory(
+        self, core, home, entry, minimal, cat, *, need_data: bool, block: int
+    ) -> int:
+        """Directory-side invalidation fan-out with acks collected at the
+        requester; data comes from the F holder if present, else memory.
+
+        The fan-out follows what the directory *hardware* knows
+        (``invalidation_fanout``): with a full map that is exactly the
+        remote sharers; a limited-pointer directory may fan out to a
+        superset after overflow, every target acking regardless.
+        """
+        fanout = self.directory.invalidation_fanout(block, core) | minimal
+        inv_lat = 0
+        for node in fanout:
+            leg = self.network.send(home, node, MessageClass.CONTROL, cat)
+            leg += self._probe(node)
+            leg += self.network.send(node, core, MessageClass.CONTROL, cat)
+            inv_lat = max(inv_lat, leg)
+        if not need_data:
+            grant = self.network.send(home, core, MessageClass.CONTROL, cat)
+            return max(inv_lat, grant)
+        if (
+            entry.forwarder is not None
+            and entry.forwarder != core
+            and self.directory.can_verify(block)
+        ):
+            fwd = entry.forwarder
+            data_lat = self.network.send(home, fwd, MessageClass.CONTROL, cat)
+            data_lat += self.lat.l2_data
+            data_lat += self.network.send(fwd, core, MessageClass.DATA, cat)
+        else:
+            # Coarse entries do not know the forwarder: memory supplies.
+            data_lat = self.lat.memory + self.network.send(
+                home, core, MessageClass.DATA, cat
+            )
+        return max(inv_lat, data_lat)
+
+    def _predicted_write_data(self, core, home, entry, cat) -> int:
+        """Data path for a fully predicted write miss."""
+        source = entry.responder
+        if source is not None and source != core:
+            path = self.network.latency(core, source) + self.lat.l2_data
+            path += self.network.send(source, core, MessageClass.DATA, cat)
+            return path
+        return (
+            self.network.latency(core, home)
+            + self.lat.dir_lookup
+            + self._memory_read(core, home, entry, cat)
+        )
+
+    def _apply_write_invalidations(self, core, block, minimal) -> frozenset:
+        """Drop every remote copy of the block."""
+        for node in minimal:
+            self.hierarchies[node].invalidate(block)
+        return frozenset(minimal)
+
+    def _finish_read_fill(self, core, block, entry) -> None:
+        """Install the line at the requester after a read miss."""
+        had_other_copies = bool(entry.sharers - {core})
+        if entry.responder is not None and entry.responder != core:
+            # The previous responder's copy degrades to plain Shared.
+            resp = entry.responder
+            if self.hierarchies[resp].peek_state(block) is not Mesif.INVALID:
+                self.hierarchies[resp].set_state(block, Mesif.SHARED)
+        state = Mesif.FORWARD if had_other_copies else Mesif.EXCLUSIVE
+        victim = self.hierarchies[core].fill(block, state)
+        self._handle_victim(core, victim)
+        if state is Mesif.EXCLUSIVE:
+            self.directory.record_exclusive_fill(block, core, dirty=False)
+        else:
+            self.directory.record_read_fill(block, core)
+
+    def _finish_write_fill(self, core, block) -> None:
+        victim = self.hierarchies[core].fill(block, Mesif.MODIFIED)
+        self._handle_victim(core, victim)
+        self.directory.record_exclusive_fill(block, core, dirty=True)
+
+    def _handle_victim(self, core, victim) -> None:
+        """Notify the directory (and write back dirty data) on eviction."""
+        if victim is None or victim.state is Mesif.INVALID:
+            return
+        home = self.directory.home_of(victim.block)
+        msg = MessageClass.DATA if victim.state is Mesif.MODIFIED else MessageClass.CONTROL
+        self.network.send(core, home, msg, self.CAT_WRITEBACK)
+        self.directory.record_eviction(
+            victim.block, core, was_dirty=victim.state is Mesif.MODIFIED
+        )
+
+    @staticmethod
+    def _clean_prediction(core, predicted):
+        """Normalize a predicted set: drop self, treat empty as no prediction."""
+        if predicted is None:
+            return None
+        cleaned = frozenset(predicted) - {core}
+        return cleaned or None

@@ -1,0 +1,43 @@
+"""MESIF coherence states.
+
+The baseline protocol is directory-based MESIF — MESI extended with a
+Forward (F) state that designates one clean sharer as the responder for
+read requests, enabling cache-to-cache transfer of clean data with a single
+sufficient target (paper Section 4.5 and footnote 3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mesif(enum.Enum):
+    """Stable cache-line states of the MESIF protocol."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+    FORWARD = "F"
+
+    @property
+    def can_read(self) -> bool:
+        return self is not Mesif.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        """Write permission without a coherence transaction (M or E)."""
+        return self in (Mesif.MODIFIED, Mesif.EXCLUSIVE)
+
+    @property
+    def is_clean_responder(self) -> bool:
+        """Whether this copy responds to predicted/snooped read requests.
+
+        Per the paper's predicted-node behaviour (Section 4.5): a line in
+        Exclusive, Modified, or Forwarding state forwards a copy.
+        """
+        return self in (Mesif.MODIFIED, Mesif.EXCLUSIVE, Mesif.FORWARD)
+
+    @property
+    def is_dirty(self) -> bool:
+        return self is Mesif.MODIFIED

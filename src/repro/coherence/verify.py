@@ -1,0 +1,96 @@
+"""Inline coherence invariant checking.
+
+A debugging aid for protocol work: after every transaction the verifier
+can check that the block still satisfies the MESIF invariants —
+directory/cache agreement, the single-writer/multiple-reader property,
+and at most one Forward copy.  The simulation engine exposes this as
+``verify_coherence=True`` (off by default; it costs a full scan of the
+block's sharers per transaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.states import Mesif
+
+
+class CoherenceViolation(AssertionError):
+    """A protocol invariant was broken (indicates a simulator bug)."""
+
+
+@dataclass
+class CoherenceVerifier:
+    """Checks MESIF invariants for blocks against a protocol's state.
+
+    Works with anything exposing ``hierarchies`` (indexable by core, each
+    with ``peek_state``) and ``directory`` (with ``peek``) — both the
+    directory and the broadcast protocols qualify.
+    """
+
+    protocol: object
+    checks: int = 0
+    _num_cores: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._num_cores = len(self.protocol.hierarchies)
+
+    def check_block(self, block: int) -> None:
+        """Raise :class:`CoherenceViolation` if the block's state is bad."""
+        self.checks += 1
+        entry = self.protocol.directory.peek(block)
+        holders = {}
+        for core in range(self._num_cores):
+            state = self.protocol.hierarchies[core].peek_state(block)
+            if state is not Mesif.INVALID:
+                holders[core] = state
+
+        if set(holders) != entry.sharers:
+            raise CoherenceViolation(
+                f"block {block:#x}: directory sharers {sorted(entry.sharers)} "
+                f"!= cache holders {sorted(holders)}"
+            )
+
+        writers = [c for c, s in holders.items() if s.can_write]
+        if len(writers) > 1:
+            raise CoherenceViolation(
+                f"block {block:#x}: multiple writable copies at {writers}"
+            )
+        if writers:
+            writer = writers[0]
+            if len(holders) != 1:
+                raise CoherenceViolation(
+                    f"block {block:#x}: writer {writer} coexists with "
+                    f"copies at {sorted(set(holders) - {writer})}"
+                )
+            if entry.owner != writer:
+                raise CoherenceViolation(
+                    f"block {block:#x}: cache writer {writer} but directory "
+                    f"owner {entry.owner}"
+                )
+
+        forwarders = [c for c, s in holders.items() if s is Mesif.FORWARD]
+        if len(forwarders) > 1:
+            raise CoherenceViolation(
+                f"block {block:#x}: multiple Forward copies at {forwarders}"
+            )
+        if (
+            entry.forwarder is not None
+            and entry.owner is None
+            and forwarders != [entry.forwarder]
+        ):
+            raise CoherenceViolation(
+                f"block {block:#x}: directory forwarder {entry.forwarder} "
+                f"but caches show {forwarders}"
+            )
+
+        dirty = [c for c, s in holders.items() if s.is_dirty]
+        if dirty and not entry.dirty:
+            raise CoherenceViolation(
+                f"block {block:#x}: dirty copy at {dirty[0]} but directory "
+                "believes memory is clean"
+            )
+
+    def check_all(self, blocks) -> None:
+        for block in blocks:
+            self.check_block(block)

@@ -1,0 +1,43 @@
+"""SP-prediction: the paper's primary contribution.
+
+Synchronization-Point based Prediction tracks per-epoch communication with
+a set of counters, extracts *hot communication set* signatures at epoch
+boundaries, stores them in the small SP-table, and replays them as target
+predictions when an epoch repeats (Sections 4.1-4.4, Tables 2 and 3).
+"""
+
+from repro.core.signatures import (
+    CommunicationCounters,
+    Signature,
+    extract_hot_set,
+    signature_bits,
+)
+from repro.core.sp_table import SPTable, SPTableEntry
+from repro.core.confidence import ConfidenceCounter
+from repro.core.patterns import (
+    detect_alternation,
+    detect_period,
+    predict_from_history,
+)
+from repro.core.predictor import SPPredictor, SPPredictorConfig, PredictionSource
+from repro.core.filters import RegionFilter, FilteredPredictor
+from repro.core.mapping import CoreMapping
+
+__all__ = [
+    "CommunicationCounters",
+    "Signature",
+    "extract_hot_set",
+    "signature_bits",
+    "SPTable",
+    "SPTableEntry",
+    "ConfidenceCounter",
+    "detect_alternation",
+    "detect_period",
+    "predict_from_history",
+    "SPPredictor",
+    "SPPredictorConfig",
+    "PredictionSource",
+    "RegionFilter",
+    "FilteredPredictor",
+    "CoreMapping",
+]

@@ -1,0 +1,65 @@
+"""Logical-thread to physical-core mapping (thread migration support).
+
+Section 5.5: if threads may migrate between cores, communication
+signatures should track *logical* thread IDs rather than physical core
+IDs, with the logical-to-physical mapping applied when a predictor is
+formed.  :class:`CoreMapping` is that translation layer; the
+SP-predictor accepts one and then stores all signatures in logical space
+while emitting physical target sets.
+"""
+
+from __future__ import annotations
+
+
+class CoreMapping:
+    """A bijective logical-thread -> physical-core mapping."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self._phys_of = list(range(num_cores))
+        self._logical_of = list(range(num_cores))
+        self.migrations = 0
+
+    def physical_of(self, logical: int) -> int:
+        return self._phys_of[logical]
+
+    def logical_of(self, physical: int) -> int:
+        return self._logical_of[physical]
+
+    def to_physical(self, logical_set) -> frozenset:
+        return frozenset(self._phys_of[l] for l in logical_set)
+
+    def to_logical(self, physical_set) -> frozenset:
+        return frozenset(self._logical_of[p] for p in physical_set)
+
+    def migrate(self, logical: int, new_physical: int) -> None:
+        """Move a thread to a new core, swapping with its current tenant.
+
+        Swapping keeps the mapping bijective — the displaced thread takes
+        the vacated core, which is how an OS swap-migration behaves.
+        """
+        old_physical = self._phys_of[logical]
+        if old_physical == new_physical:
+            return
+        displaced = self._logical_of[new_physical]
+        self._phys_of[logical] = new_physical
+        self._phys_of[displaced] = old_physical
+        self._logical_of[new_physical] = logical
+        self._logical_of[old_physical] = displaced
+        self.migrations += 1
+
+    def apply_permutation(self, physical_of_logical) -> None:
+        """Install a whole new placement at once (e.g. a rebalance)."""
+        perm = list(physical_of_logical)
+        if sorted(perm) != list(range(self.num_cores)):
+            raise ValueError("placement must be a permutation of cores")
+        self._phys_of = perm
+        self._logical_of = [0] * self.num_cores
+        for logical, physical in enumerate(perm):
+            self._logical_of[physical] = logical
+        self.migrations += 1
+
+    def is_identity(self) -> bool:
+        return self._phys_of == list(range(self.num_cores))

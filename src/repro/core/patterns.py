@@ -1,0 +1,96 @@
+"""Hot-set history pattern policies.
+
+Implements the prediction-formation policy of Table 3 for non-lock epochs:
+
+* ``d = 1`` — predict the last (only) signature.
+* ``d = 2`` — predict the *stable* set: the intersection of the two most
+  recent signatures, which both catches stable destinations and adapts
+  quickly when one stable pattern gives way to another (Figure 6(b)).
+* stride-2 repetition — when the stored signatures are observed to
+  alternate (A, B, A, B, ...), predict the signature from two instances
+  ago (Section 4.4's pattern detection, tuned to stride 2 as in the
+  evaluated design).
+"""
+
+from __future__ import annotations
+
+from repro.core.signatures import Signature
+
+
+def detect_alternation(history, newest: Signature) -> bool:
+    """Does ``newest`` continue a stride-2 alternating pattern?
+
+    ``history`` holds the stored signatures oldest-first (length <= 2).
+    Alternation evidence requires the newest signature to equal the one at
+    depth 2 while differing from the one at depth 1 — i.e. A B A.
+    """
+    return detect_period(history, newest) == 2
+
+
+def detect_period(history, newest: Signature) -> int | None:
+    """Smallest repetition stride ``newest`` is consistent with.
+
+    Implements the general mechanism of Section 4.4: hardware compares a
+    new bit vector with all the stored bit vectors and saves the depth
+    ``s`` of the one that matches; the next vector is then predicted
+    using the one at depth ``s - 1``.  A history depth of ``d`` can
+    therefore detect strides up to ``d`` (the paper's evaluated design
+    uses d = 2, i.e. stride-2 only).
+
+    Returns None when no stride >= 2 matches, or when the signatures are
+    all identical (that is the *stable* case, not a repetition).
+    """
+    if len(history) < 2:
+        return None
+    if newest == history[-1]:
+        return None
+    for stride in range(2, len(history) + 1):
+        if newest == history[-stride]:
+            return stride
+    return None
+
+
+def predict_from_history(
+    history,
+    *,
+    alternating: bool = False,
+    period: int | None = None,
+) -> Signature | None:
+    """Form a prediction from stored signatures (oldest-first).
+
+    ``period`` (from :func:`detect_period`) takes precedence: a stride-p
+    repetition predicts the signature from p instances ago.  The legacy
+    ``alternating`` flag is the p = 2 special case.  Otherwise the d = 2
+    policy applies: stable pair -> itself; differing pair -> the stable
+    intersection, falling back to the most recent signature.
+
+    Returns None when no history is available (the d = 0 case, which
+    falls back to within-interval warm-up extraction).
+    """
+    if not history:
+        return None
+    if len(history) == 1:
+        return history[-1]
+    if period is None and alternating:
+        period = 2
+    if period is not None and 2 <= period <= len(history):
+        # Stride-p: the next instance repeats the one p instances ago,
+        # which is the stored signature at depth p.
+        candidate = history[-period]
+        if candidate != history[-1]:
+            return candidate
+    prev2, prev1 = history[-2], history[-1]
+    if prev1 == prev2:
+        return prev1
+    stable = prev1 & prev2
+    # An empty intersection would predict nothing; the most recent
+    # signature is the best remaining guess.
+    return stable if stable else prev1
+
+
+def union_of(history) -> Signature:
+    """Union of all stored signatures (lock sync-point policy, Table 3)."""
+    out = Signature()
+    for sig in history:
+        out = out | sig
+    return out

@@ -1,0 +1,312 @@
+"""The SP-predictor: run-time sync-epoch target prediction.
+
+Implements the event/action semantics of Tables 2 and 3:
+
+* On every sync-point the ending epoch's hot communication set is
+  extracted from the communication counters and stored in the SP-table
+  (unless the instance was noisy), the counters reset, and the new epoch's
+  stored signatures are retrieved to form the predictor register.
+* While no history exists (``d = 0``) the predictor warms up for a number
+  of misses and then adopts the hot set of the running interval.
+* Lock-acquire epochs (critical sections) predict the union of the last
+  ``d`` lock holders; the acquiring core pushes its own ID at acquire time
+  so the shared entry always lists the most recent holders.
+* A 4-bit confidence counter per core, reset high at each epoch, triggers
+  recovery — re-extracting the hot set from the running counters — when it
+  decays to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.core.confidence import ConfidenceCounter
+from repro.core.patterns import predict_from_history, union_of
+from repro.core.signatures import (
+    DEFAULT_HOT_THRESHOLD,
+    CommunicationCounters,
+    Signature,
+)
+from repro.core.sp_table import SPTable
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+from repro.sync.points import StaticSyncId, SyncKind
+
+
+@dataclass(frozen=True)
+class SPPredictorConfig:
+    """Tuning knobs of the evaluated SP-predictor design."""
+
+    hot_threshold: float = DEFAULT_HOT_THRESHOLD
+    history_depth: int = 2
+    #: Misses observed before a first-seen epoch extracts its warm-up hot
+    #: set.  The paper suggests "e.g., 30 misses" on epochs thousands of
+    #: misses long; scaled to this simulator's much shorter epochs.
+    warmup_misses: int = 10
+    confidence_bits: int = 4
+    #: An instance is noisy when its volume falls below this fraction of
+    #: the entry's mean stored-instance volume (Section 3.4).
+    noise_fraction: float = 0.25
+    #: ...or below this absolute floor.
+    min_volume: int = 2
+    #: Extend lock predictions with the preceding epoch's signature
+    #: (the optional coarse-critical-section extension of Table 3).
+    lock_include_preceding: bool = False
+    #: Optional SP-table capacity cap (Figure 13 space sensitivity).
+    max_entries: int | None = None
+    #: Optional cap on extracted hot-set size (Section 5.2's
+    #: bandwidth-bounded policy tweak).
+    max_hot_set_size: int | None = None
+    #: Cycles charged at every sync-point for SP-table access plus
+    #: hot-set extraction.  A hardware table costs a few cycles
+    #: (Section 5.1 accounts 4 for extraction); a software table handled
+    #: by an OS trap (Section 4.6) costs hundreds — the ablation
+    #: benchmark shows why the paper can afford either.
+    sync_access_latency: int = 4
+
+
+@dataclass
+class _CoreState:
+    """Per-core predictor machinery (Section 4.6's fixed 17-byte cost)."""
+
+    counters: CommunicationCounters
+    confidence: ConfidenceCounter
+    epoch_key: tuple | None = None
+    epoch_is_lock: bool = False
+    predictor_reg: Signature | None = None
+    source: PredictionSource = PredictionSource.D0
+    miss_count: int = 0
+    prev_epoch_signature: Signature = field(default_factory=Signature)
+
+
+class SPPredictor(TargetPredictor):
+    """Synchronization-Point based coherence target predictor.
+
+    When a :class:`~repro.core.mapping.CoreMapping` is supplied (thread
+    migration support, Section 5.5), all internal state — counters,
+    signatures, lock-holder IDs — lives in *logical thread* space; the
+    mapping translates predictions to physical cores on the way out and
+    observed physical responders to logical threads on the way in, so
+    stored history survives thread migration.
+    """
+
+    name = "SP"
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: SPPredictorConfig | None = None,
+        mapping=None,
+    ):
+        if num_cores < 2:
+            raise ValueError("SP-prediction needs at least two cores")
+        self.num_cores = num_cores
+        self.config = config or SPPredictorConfig()
+        self.mapping = mapping
+        self.table = SPTable(
+            depth=self.config.history_depth,
+            max_entries=self.config.max_entries,
+        )
+        self._cores = [
+            _CoreState(
+                counters=CommunicationCounters(num_cores=num_cores, self_core=c),
+                confidence=ConfidenceCounter(bits=self.config.confidence_bits),
+            )
+            for c in range(num_cores)
+        ]
+        self.recoveries = 0
+
+    # -- logical/physical translation helpers --------------------------
+
+    def _logical(self, physical: int) -> int:
+        return physical if self.mapping is None else self.mapping.logical_of(physical)
+
+    def _to_physical(self, logical_set):
+        if self.mapping is None:
+            return logical_set
+        return self.mapping.to_physical(logical_set)
+
+    def _to_logical_set(self, physical_set):
+        if self.mapping is None:
+            return physical_set
+        return self.mapping.to_logical(physical_set)
+
+    # ------------------------------------------------------------------
+    # sync-point handling (Table 2 build + Table 3 obtain)
+    # ------------------------------------------------------------------
+
+    def on_sync(self, core: int, static_id: StaticSyncId) -> None:
+        core = self._logical(core)
+        state = self._cores[core]
+        self._store_ending_epoch(core, state)
+
+        state.counters.reset()
+        state.miss_count = 0
+        state.confidence.reset_high()
+
+        key = static_id.table_key
+        state.epoch_key = key
+        state.epoch_is_lock = static_id.kind is SyncKind.LOCK
+
+        if state.epoch_is_lock:
+            self._begin_lock_epoch(core, state, key)
+        else:
+            self._begin_normal_epoch(core, state, key)
+
+    def _store_ending_epoch(self, core: int, state: _CoreState) -> None:
+        """Extract and store the hot set of the epoch that just ended."""
+        if state.epoch_key is None:
+            state.prev_epoch_signature = Signature()
+            return
+        hot = state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
+        state.prev_epoch_signature = hot
+        if state.epoch_is_lock:
+            # Critical sections store only the holder's ID, and they do so
+            # at acquire time (see _begin_lock_epoch); nothing to add here.
+            return
+        volume = state.counters.volume
+        if self._is_noisy(core, state.epoch_key, volume):
+            return
+        self.table.record(core, state.epoch_key, hot, volume)
+
+    def _is_noisy(self, core: int, key: tuple, volume: int) -> bool:
+        """Noisy-instance filter (Section 3.4): skip low-activity instances."""
+        if volume < self.config.min_volume:
+            return True
+        entry = self.table.probe(core, key)
+        if entry is None or entry.instances_recorded == 0:
+            return False
+        return volume < self.config.noise_fraction * entry.mean_volume
+
+    def _begin_lock_epoch(self, core: int, state: _CoreState, key: tuple) -> None:
+        entry = self.table.entry(core, key)
+        history = entry.history()
+        prediction = union_of(history) if history else None
+        if prediction is not None and self.config.lock_include_preceding:
+            prediction = prediction | state.prev_epoch_signature
+        if prediction is not None:
+            prediction = prediction - {core}
+        # The acquiring core becomes the lock holder: push its ID so later
+        # acquirers of the same lock predict it (update-at-acquire keeps
+        # shared-entry updates atomic, Section 4.3).
+        self.table.record(core, key, Signature((core,)))
+        if prediction:
+            state.predictor_reg = prediction
+            state.source = PredictionSource.LOCK
+        else:
+            state.predictor_reg = None
+            state.source = PredictionSource.D0
+
+    def _begin_normal_epoch(self, core: int, state: _CoreState, key: tuple) -> None:
+        entry = self.table.probe(core, key)
+        history = entry.history() if entry is not None else []
+        prediction = predict_from_history(
+            history, period=entry.period if entry else None
+        )
+        if prediction:
+            state.predictor_reg = prediction - {core}
+            state.source = PredictionSource.HISTORY
+        else:
+            state.predictor_reg = None
+            state.source = PredictionSource.D0
+
+    # ------------------------------------------------------------------
+    # per-miss prediction and training
+    # ------------------------------------------------------------------
+
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        state = self._cores[self._logical(core)]
+        state.miss_count += 1
+        if (
+            state.predictor_reg is None
+            and state.source is PredictionSource.D0
+            and state.miss_count >= self.config.warmup_misses
+        ):
+            hot = state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
+            if hot:
+                state.predictor_reg = hot
+        if not state.predictor_reg:
+            return None
+        return Prediction(
+            targets=frozenset(self._to_physical(state.predictor_reg)),
+            source=state.source,
+        )
+
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        state = self._cores[self._logical(core)]
+        if kind is MissKind.READ:
+            if result.communicating and result.responder is not None:
+                state.counters.record_response(self._logical(result.responder))
+        else:
+            state.counters.record_invalidation_acks(
+                self._to_logical_set(result.invalidated)
+            )
+            if (
+                kind is MissKind.WRITE
+                and result.communicating
+                and result.responder is not None
+            ):
+                state.counters.record_response(self._logical(result.responder))
+
+        if result.predicted is not None and result.prediction_correct is not None:
+            state.confidence.record(result.prediction_correct)
+            if state.confidence.exhausted:
+                self._recover(core, state)
+
+    def _recover(self, core: int, state: _CoreState) -> None:
+        """Confidence hit zero: adopt the running interval's hot set."""
+        hot = state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
+        if hot:
+            state.predictor_reg = hot
+            state.source = PredictionSource.RECOVERY
+            self.recoveries += 1
+        state.confidence.reset_high()
+
+    def on_finish(self, core: int) -> None:
+        """Store the trailing epoch when a core's execution ends."""
+        core = self._logical(core)
+        state = self._cores[core]
+        self._store_ending_epoch(core, state)
+        state.epoch_key = None
+
+    # ------------------------------------------------------------------
+
+    def current_hot_set(self, core: int) -> Signature:
+        """Hot set of the running interval (diagnostics / ideal studies)."""
+        state = self._cores[self._logical(core)]
+        return state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
+
+    def sync_latency(self) -> int:
+        """Cycles a core spends on the SP-table at each sync-point."""
+        return self.config.sync_access_latency
+
+    def on_migrate(self, physical_of_logical) -> None:
+        """Threads moved cores; update the logical-to-physical mapping.
+
+        A predictor constructed without a mapping ignores the event (its
+        physical-ID signatures go stale, which is precisely the Section
+        5.5 problem the mapping solves).
+        """
+        if self.mapping is not None:
+            self.mapping.apply_permutation(physical_of_logical)
+
+    # -- profile-guided warm start --------------------------------------
+
+    def export_profile(self) -> list:
+        """Serialize the SP-table for a later warm start (Section 5.2's
+        off-line profiling suggestion)."""
+        return self.table.export_profile()
+
+    def preload_profile(self, profile) -> int:
+        """Install previously exported signatures; returns entries loaded."""
+        return self.table.preload_profile(profile)
+
+    def storage_bits(self, num_cores: int) -> int:
+        """SP-table plus the fixed per-core counter/register cost."""
+        per_core = num_cores * 8 + num_cores  # 1-byte counters + register
+        return self.table.storage_bits(num_cores) + self.num_cores * per_core

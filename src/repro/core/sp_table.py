@@ -1,0 +1,160 @@
+"""The SP-table: per-static-sync-epoch communication history.
+
+Each entry records one static sync-epoch for one core — or one lock,
+shared by all cores — and keeps a bounded sequence of communication
+signatures (the *history depth* ``d``; the evaluated design uses d = 2).
+Updates shift the oldest signature out and the newest in (Section 4.3).
+
+The table also tracks, per entry, whether the signature stream has shown
+stride-2 alternation (for the pattern policy of Section 4.4) and a running
+mean of instance communication volumes (for the noisy-instance filter of
+Section 3.4).
+
+An optional ``max_entries`` bound turns the table into an LRU-replaced
+cache, used for the space-sensitivity study of Figure 13.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.core.patterns import detect_period
+from repro.core.signatures import Signature
+
+
+@dataclass
+class SPTableEntry:
+    """History for one (core, static sync-epoch) — or one shared lock."""
+
+    depth: int
+    signatures: deque = field(default_factory=deque)
+    period: int | None = None
+    instances_recorded: int = 0
+    mean_volume: float = 0.0
+
+    @property
+    def alternating(self) -> bool:
+        """Stride-2 repetition detected (the evaluated design's case)."""
+        return self.period == 2
+
+    def push(self, signature: Signature, volume: int = 0) -> None:
+        """Shift in the newest signature (oldest falls off at depth)."""
+        self.period = detect_period(list(self.signatures), signature)
+        self.signatures.append(signature)
+        while len(self.signatures) > self.depth:
+            self.signatures.popleft()
+        self.instances_recorded += 1
+        # Running mean of per-instance communication volume (noise floor).
+        n = self.instances_recorded
+        self.mean_volume += (volume - self.mean_volume) / n
+
+    def history(self) -> list:
+        """Stored signatures, oldest first."""
+        return list(self.signatures)
+
+    @property
+    def available_depth(self) -> int:
+        return len(self.signatures)
+
+
+class SPTable:
+    """Associative history table keyed by sync-epoch identity.
+
+    Keys come from :meth:`StaticSyncId.table_key`: ``("pc", pc)`` entries
+    are private per core (the full key is ``(core, "pc", pc)``), while
+    ``("lock", addr)`` entries are shared by all cores so that every
+    critical section protected by the same lock sees the same history.
+    """
+
+    def __init__(self, depth: int = 2, max_entries: int | None = None) -> None:
+        if depth < 1:
+            raise ValueError("history depth must be >= 1")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when given")
+        self.depth = depth
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.lookups = 0
+        self.updates = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _full_key(core: int, table_key: tuple) -> tuple:
+        if table_key[0] == "lock":
+            return table_key
+        return (core,) + table_key
+
+    def probe(self, core: int, table_key: tuple) -> SPTableEntry | None:
+        """Look up an entry without creating it; refreshes LRU order."""
+        self.lookups += 1
+        key = self._full_key(core, table_key)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def entry(self, core: int, table_key: tuple) -> SPTableEntry:
+        """Look up or allocate the entry (allocating may evict under a cap)."""
+        key = self._full_key(core, table_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = SPTableEntry(depth=self.depth)
+            self._entries[key] = entry
+            self._enforce_capacity()
+        self._entries.move_to_end(key)
+        return entry
+
+    def record(
+        self, core: int, table_key: tuple, signature: Signature, volume: int = 0
+    ) -> SPTableEntry:
+        """Store an ending epoch's signature (Table 2's final action)."""
+        self.updates += 1
+        entry = self.entry(core, table_key)
+        entry.push(signature, volume)
+        return entry
+
+    def _enforce_capacity(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- profile-guided warm start (Section 5.2's off-line suggestion) --
+
+    def export_profile(self) -> list:
+        """Serialize table contents for a later warm start.
+
+        Returns ``[(full_key, [sorted_signature, ...], mean_volume), ...]``
+        with signatures oldest-first, suitable for JSON round-trips.
+        """
+        return [
+            (list(key), [sorted(sig) for sig in entry.history()],
+             entry.mean_volume)
+            for key, entry in self._entries.items()
+        ]
+
+    def preload_profile(self, profile) -> int:
+        """Install previously exported history; returns entries loaded."""
+        loaded = 0
+        for key, signatures, mean_volume in profile:
+            full_key = tuple(key)
+            entry = self._entries.get(full_key)
+            if entry is None:
+                entry = SPTableEntry(depth=self.depth)
+                self._entries[full_key] = entry
+                self._enforce_capacity()
+            for sig in signatures:
+                entry.push(frozenset(sig), volume=int(mean_volume))
+            loaded += 1
+        return loaded
+
+    def storage_bits(self, num_cores: int, tag_bits: int = 32) -> int:
+        """Approximate storage footprint in bits (Section 4.6 sizing)."""
+        per_entry = tag_bits + 1 + self.depth * num_cores
+        capacity = self.max_entries if self.max_entries is not None else len(self)
+        return capacity * per_entry

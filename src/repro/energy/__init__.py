@@ -1,0 +1,5 @@
+"""Dynamic energy model for NoC traffic and cache snoops (Section 5.3)."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]

@@ -1,0 +1,57 @@
+"""Analytic dynamic-energy model.
+
+Follows the paper's assumptions (Section 5.3): NoC energy is proportional
+to the amount of data transferred, a router consumes four times the
+energy of a link, and each L2 snoop costs one tag-array lookup (the paper
+took the lookup energy from CACTI at 32 nm).  Only relative energy
+matters for Fig. 11, so the unit is "one byte-link traversal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy split into its modelled components (arbitrary units)."""
+
+    link: float
+    router: float
+    snoop: float
+
+    @property
+    def total(self) -> float:
+        return self.link + self.router + self.snoop
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients.
+
+    ``link_per_byte`` is the unit; ``router_per_byte`` follows the paper's
+    4x assumption.  ``snoop_lookup`` approximates a 1 MB 8-way tag lookup
+    relative to moving one byte over a link (CACTI-flavoured ratio).
+    """
+
+    link_per_byte: float = 1.0
+    router_per_byte: float = 4.0
+    snoop_lookup: float = 40.0
+
+    def of_run(self, result: SimulationResult) -> EnergyBreakdown:
+        """Energy consumed by one simulation run."""
+        stats = result.network
+        return EnergyBreakdown(
+            link=self.link_per_byte * stats.byte_links,
+            router=self.router_per_byte * stats.byte_routers,
+            snoop=self.snoop_lookup * result.snoop_lookups,
+        )
+
+    def normalized(
+        self, result: SimulationResult, baseline: SimulationResult
+    ) -> float:
+        """Total energy relative to a baseline run (Fig. 11's y-axis)."""
+        base = self.of_run(baseline).total
+        return self.of_run(result).total / base if base else 0.0

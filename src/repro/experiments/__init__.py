@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(cache) -> ExperimentTable``; the CLI
+(``python -m repro.experiments``) renders them as text.  The
+:class:`~repro.experiments.common.RunCache` shares simulation runs
+between experiments so regenerating every figure costs each
+(workload, protocol, predictor) combination only once.
+"""
+
+from repro.experiments.common import ExperimentTable, RunCache, render_table
+
+__all__ = ["ExperimentTable", "RunCache", "render_table"]
+
+#: Experiment registry: id -> module name (import lazily in the runner).
+EXPERIMENTS = {
+    "fig1": "repro.experiments.fig01_communicating_misses",
+    "fig2": "repro.experiments.fig02_comm_distribution",
+    "table1": "repro.experiments.table1_epoch_stats",
+    "fig4": "repro.experiments.fig04_locality",
+    "fig5": "repro.experiments.fig05_hot_set_sizes",
+    "fig6": "repro.experiments.fig06_instance_patterns",
+    "fig7": "repro.experiments.fig07_accuracy",
+    "table5": "repro.experiments.table5_set_sizes",
+    "fig8": "repro.experiments.fig08_miss_latency",
+    "fig9": "repro.experiments.fig09_bandwidth",
+    "fig10": "repro.experiments.fig10_execution_time",
+    "fig11": "repro.experiments.fig11_energy",
+    "fig12": "repro.experiments.fig12_tradeoff",
+    "fig13": "repro.experiments.fig13_finite_tables",
+}

@@ -1,0 +1,120 @@
+"""CLI: regenerate the paper's tables and figures as text.
+
+Usage::
+
+    python -m repro.experiments                # everything
+    python -m repro.experiments fig7 fig8      # selected experiments
+    python -m repro.experiments --scale 0.3    # smaller/faster runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import DEFAULT_SCALE, RunCache
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help="workload scale factor (default %(default)s)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render figure shapes as terminal plots below each table",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(EXPERIMENTS)}"
+        )
+
+    cache = RunCache(scale=args.scale, verbose=not args.quiet)
+    for exp_id in selected:
+        module = importlib.import_module(EXPERIMENTS[exp_id])
+        start = time.time()
+        table = module.run(cache)
+        print(table.render())
+        if args.plot:
+            plot = render_plot(exp_id, table)
+            if plot:
+                print()
+                print(plot)
+        if not args.quiet:
+            print(f"[{exp_id} took {time.time() - start:.1f}s]")
+        print()
+    return 0
+
+
+#: Bar-plottable experiments: (value column, label column).
+_BAR_PLOTS = {
+    "fig1": ("comm_ratio", "benchmark"),
+    "fig7": ("total", "benchmark"),
+    "fig8": ("sp_predictor", "benchmark"),
+    "fig9": ("added_pct", "benchmark"),
+    "fig10": ("sp_predictor", "benchmark"),
+    "fig11": ("sp_predictor", "benchmark"),
+}
+
+#: Scatter-plottable experiments: (x column, y column, marker column).
+_SCATTER_PLOTS = {
+    "fig12": ("added_bw_pct", "indirection_pct", "predictor"),
+    "fig13": ("added_bw_pct", "indirection_pct", "predictor"),
+}
+
+
+def render_plot(exp_id: str, table) -> str | None:
+    """Best-effort terminal plot of an experiment's shape."""
+    from repro.analysis.textplots import bar_chart, scatter
+
+    if exp_id in _BAR_PLOTS:
+        value_col, label_col = _BAR_PLOTS[exp_id]
+        rows = [r for r in table.rows if isinstance(r.get(value_col), float)]
+        if not rows:
+            return None
+        return bar_chart(
+            [r[label_col] for r in rows],
+            [r[value_col] for r in rows],
+            title=f"{table.experiment}: {value_col}",
+        )
+    if exp_id in _SCATTER_PLOTS:
+        x_col, y_col, marker_col = _SCATTER_PLOTS[exp_id]
+        points = [
+            (r[x_col], r[y_col], str(r[marker_col])[0])
+            for r in table.rows
+            if isinstance(r.get(x_col), float)
+        ]
+        if not points:
+            return None
+        return scatter(
+            points, title=f"{table.experiment}: trade-off plane",
+            x_label=x_col, y_label=y_col,
+        )
+    return None
+
+
+if __name__ == "__main__":
+    sys.exit(main())

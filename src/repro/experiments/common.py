@@ -1,0 +1,169 @@
+"""Shared experiment infrastructure: run cache, predictor factory, tables."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.predictor import SPPredictor, SPPredictorConfig
+from repro.predictors.addr import AddrPredictor
+from repro.predictors.inst import InstPredictor
+from repro.predictors.oracle import OraclePredictor
+from repro.predictors.owner2 import OwnerTwoLevelPredictor
+from repro.predictors.uni import UniPredictor
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.sim.results import SimulationResult
+from repro.workloads.suite import benchmark_names, load_benchmark
+
+#: Default simulation scale for experiments; override with REPRO_SCALE.
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+
+#: Predictor names the harness can instantiate.
+PREDICTOR_KINDS = ("none", "SP", "ADDR", "INST", "UNI", "OWNER2", "ORACLE")
+
+
+def make_predictor(
+    kind: str,
+    num_cores: int,
+    directory=None,
+    max_entries: int | None = None,
+):
+    """Instantiate a fresh predictor by name (None for ``"none"``)."""
+    if kind == "none":
+        return None
+    if kind == "SP":
+        # ADDR/INST caps are per-core table slices; the SP-table is one
+        # shared structure, so scale the cap to keep the comparison a
+        # per-slice one (Section 4.6's "each slice" sizing).
+        cap = max_entries * num_cores if max_entries is not None else None
+        return SPPredictor(num_cores, SPPredictorConfig(max_entries=cap))
+    if kind == "ADDR":
+        return AddrPredictor(num_cores, max_entries=max_entries)
+    if kind == "INST":
+        return InstPredictor(num_cores, max_entries=max_entries)
+    if kind == "UNI":
+        return UniPredictor(num_cores)
+    if kind == "OWNER2":
+        return OwnerTwoLevelPredictor(num_cores, max_entries=max_entries)
+    if kind == "ORACLE":
+        if directory is None:
+            raise ValueError("oracle predictor needs the run's directory")
+        return OraclePredictor(directory)
+    raise ValueError(f"unknown predictor kind {kind!r}")
+
+
+class RunCache:
+    """Memoizes simulation runs across experiments.
+
+    Keyed by (workload, protocol, predictor kind, scale, collect_epochs,
+    table cap); each distinct configuration simulates exactly once per
+    harness invocation.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        scale: float = DEFAULT_SCALE,
+        verbose: bool = False,
+    ) -> None:
+        self.machine = machine or MachineConfig()
+        self.scale = scale
+        self.verbose = verbose
+        self._runs: dict = {}
+        self._workloads: dict = {}
+
+    def workload(self, name: str):
+        if name not in self._workloads:
+            self._workloads[name] = load_benchmark(name, scale=self.scale)
+        return self._workloads[name]
+
+    def get(
+        self,
+        name: str,
+        protocol: str = "directory",
+        predictor: str = "none",
+        collect_epochs: bool = False,
+        max_entries: int | None = None,
+    ) -> SimulationResult:
+        key = (name, protocol, predictor, collect_epochs, max_entries)
+        if key in self._runs:
+            return self._runs[key]
+        # A collecting run serves non-collecting requests too.
+        alt = (name, protocol, predictor, True, max_entries)
+        if not collect_epochs and alt in self._runs:
+            return self._runs[alt]
+
+        workload = self.workload(name)
+        engine = SimulationEngine(
+            workload,
+            machine=self.machine,
+            protocol=protocol,
+            predictor=None,
+            collect_epochs=collect_epochs,
+        )
+        engine.predictor = make_predictor(
+            predictor, self.machine.num_cores,
+            directory=engine.directory, max_entries=max_entries,
+        )
+        if engine.predictor is not None:
+            engine.result.predictor = engine.predictor.name
+        if self.verbose:
+            print(f"  simulating {name} / {protocol} / {predictor} ...")
+        result = engine.run()
+        self._runs[key] = result
+        return result
+
+    def suite(self) -> list:
+        return benchmark_names()
+
+
+@dataclass
+class ExperimentTable:
+    """A rendered experiment: title, column names, and row dicts."""
+
+    experiment: str
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(table: ExperimentTable) -> str:
+    """Plain-text rendering of an experiment table."""
+    header = [str(c) for c in table.columns]
+    body = [
+        [_format_cell(row.get(col, "")) for col in table.columns]
+        for row in table.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [f"== {table.experiment}: {table.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))

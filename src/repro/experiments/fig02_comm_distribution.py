@@ -1,0 +1,55 @@
+"""Figure 2: communication distribution of core 0 in bodytrack.
+
+Three granularities: (a) the whole execution, (b) four consecutive
+sync-epochs, (c) five dynamic instances of one static epoch.  Paper
+shape: per-epoch distributions are far more concentrated than the
+whole-run distribution, and instances of one epoch resemble each other.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.common import ExperimentTable, RunCache
+
+_CORE = 0
+_BENCH = "bodytrack"
+
+
+def run(cache: RunCache) -> ExperimentTable:
+    result = cache.get(_BENCH, predictor="none", collect_epochs=True)
+    table = ExperimentTable(
+        experiment="Fig. 2",
+        title=f"Communication distribution of core {_CORE} in {_BENCH}",
+        columns=["view"] + [f"c{i}" for i in range(result.num_cores)],
+    )
+
+    whole = result.whole_run_volume[_CORE]
+    table.rows.append({"view": "(a) whole run", **_row(whole)})
+
+    core_records = [r for r in result.epoch_records if r.core == _CORE]
+    with_volume = [r for r in core_records if r.volume > 0]
+    for i, rec in enumerate(with_volume[4:8]):
+        table.rows.append(
+            {"view": f"(b) epoch {i + 1}", **_row(rec.volume_by_target)}
+        )
+
+    by_key = defaultdict(list)
+    for rec in with_volume:
+        by_key[rec.key].append(rec)
+    repeated = max(by_key.values(), key=len, default=[])
+    for rec in repeated[:5]:
+        table.rows.append(
+            {
+                "view": f"(c) instance {rec.instance}",
+                **_row(rec.volume_by_target),
+            }
+        )
+    table.notes.append(
+        "per-epoch rows should be much more concentrated than the whole-run row"
+    )
+    return table
+
+
+def _row(volumes) -> dict:
+    return {f"c{i}": v for i, v in enumerate(volumes)}

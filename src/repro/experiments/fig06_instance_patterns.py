@@ -1,0 +1,70 @@
+"""Figure 6: hot-set patterns across dynamic instances of sync-epochs.
+
+The paper illustrates five example behaviours (stable, stable-to-stable
+change, stride repetition, random, combined).  This experiment classifies
+every (core, static epoch) instance sequence in the suite and reports how
+often each behaviour occurs, plus one concrete example bit-vector
+sequence per detected class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.analysis.patterns import InstancePattern, classify_instances
+from repro.core.signatures import extract_hot_set, signature_bits
+from repro.experiments.common import ExperimentTable, RunCache
+
+
+def run(cache: RunCache) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment="Fig. 6",
+        title="Instance-pattern classification of sync-epochs (suite-wide)",
+        columns=["benchmark"] + [p.value for p in InstancePattern],
+    )
+    suite_counts: Counter = Counter()
+    examples: dict = {}
+    for name in cache.suite():
+        result = cache.get(name, predictor="none", collect_epochs=True)
+        reports = classify_instances(result.epoch_records)
+        counts = Counter(rep.pattern for rep in reports)
+        total = sum(counts.values()) or 1
+        row = {"benchmark": name}
+        for pattern in InstancePattern:
+            row[pattern.value] = counts.get(pattern, 0) / total
+        table.rows.append(row)
+        suite_counts.update(counts)
+        _collect_examples(result, reports, examples)
+
+    total = sum(suite_counts.values()) or 1
+    avg_row = {"benchmark": "suite"}
+    for pattern in InstancePattern:
+        avg_row[pattern.value] = suite_counts.get(pattern, 0) / total
+    table.rows.append(avg_row)
+
+    for pattern, bits in examples.items():
+        table.notes.append(f"example {pattern}: " + " -> ".join(bits))
+    return table
+
+
+def _collect_examples(result, reports, examples) -> None:
+    """Keep one bit-vector sequence per pattern class (paper Fig. 6 style)."""
+    by_group = defaultdict(list)
+    for rec in result.epoch_records:
+        if rec.volume > 0:
+            by_group[(rec.core, rec.key)].append(rec)
+    for rep in reports:
+        name = rep.pattern.value
+        if name in examples or rep.pattern is InstancePattern.TOO_FEW:
+            continue
+        recs = sorted(by_group.get((rep.core, rep.key), []),
+                      key=lambda r: r.instance)[:5]
+        if len(recs) < 3:
+            continue
+        examples[name] = [
+            signature_bits(
+                extract_hot_set(r.volume_by_target, self_core=r.core),
+                result.num_cores,
+            )
+            for r in recs
+        ]

@@ -1,0 +1,50 @@
+"""Figure 12: latency/bandwidth trade-off of the four predictors.
+
+For fmm, ocean, fluidanimate, and dedup: each predictor (SP, ADDR, INST,
+UNI, unlimited tables) is a point in (added bandwidth per miss %, misses
+incurring indirection %); the base directory sits at (0, 100).  Paper
+shape: SP comparable to ADDR/INST; fmm favours SP, dedup favours
+ADDR/INST; UNI least accurate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentTable, RunCache
+
+BENCHES = ("fmm", "ocean", "fluidanimate", "dedup")
+PREDICTORS = ("SP", "ADDR", "INST", "UNI")
+
+
+def run(cache: RunCache) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment="Fig. 12",
+        title="Latency/bandwidth trade-off (unlimited predictor tables)",
+        columns=["benchmark", "predictor", "added_bw_pct", "indirection_pct"],
+    )
+    for name in BENCHES:
+        base = cache.get(name, protocol="directory", predictor="none")
+        table.rows.append(
+            {
+                "benchmark": name,
+                "predictor": "Directory",
+                "added_bw_pct": 0.0,
+                "indirection_pct": 100.0,
+            }
+        )
+        for kind in PREDICTORS:
+            run_ = cache.get(name, protocol="directory", predictor=kind)
+            table.rows.append(
+                {
+                    "benchmark": name,
+                    "predictor": kind,
+                    "added_bw_pct": _added_bw(run_, base),
+                    "indirection_pct": 100.0 * run_.indirection_ratio,
+                }
+            )
+    table.notes.append("lower-left is better; directory anchors (0, 100)")
+    return table
+
+
+def _added_bw(run_, base) -> float:
+    base_per_miss = base.bytes_per_miss() or 1.0
+    return 100.0 * (run_.bytes_per_miss() - base_per_miss) / base_per_miss

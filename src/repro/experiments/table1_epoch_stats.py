@@ -1,0 +1,42 @@
+"""Table 1: sync-epoch statistics of the benchmarks.
+
+Static counts come from the benchmark specs (they define the program's
+call sites); dynamic counts are measured from simulation.  Relative
+ordering should follow the paper (radiosity/streamcluster iterate most;
+fft/ferret barely repeat).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.epoch_stats import epoch_statistics
+from repro.experiments.common import ExperimentTable, RunCache
+from repro.workloads.suite import SUITE
+
+
+def run(cache: RunCache) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment="Table 1",
+        title="Sync-epoch statistics (per-core averages)",
+        columns=[
+            "benchmark",
+            "static_crit_sect",
+            "static_sync_epochs",
+            "dyn_epochs_per_core",
+            "spec_crit_sites",
+            "spec_static_epochs",
+        ],
+    )
+    for name in cache.suite():
+        result = cache.get(name, predictor="none", collect_epochs=True)
+        stats = epoch_statistics(result)
+        spec = SUITE[name]
+        row = stats.row()
+        row["spec_crit_sites"] = spec.static_lock_sites()
+        row["spec_static_epochs"] = spec.static_epoch_count()
+        table.rows.append(row)
+    table.notes.append(
+        "spec_* columns are the program's call sites (Table 1's static "
+        "columns); measured static counts may differ slightly when a path "
+        "never executes"
+    )
+    return table

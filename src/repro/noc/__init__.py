@@ -1,0 +1,24 @@
+"""Network-on-chip substrate.
+
+Models the paper's 4x4 2D mesh (Table 4): deterministic X-Y wormhole
+routing, a 2-stage router pipeline, and per-message byte accounting used
+for the bandwidth (Fig. 9) and energy (Fig. 11) results.
+"""
+
+from repro.noc.topology import Mesh2D
+from repro.noc.network import (
+    MESSAGE_BYTES,
+    MessageClass,
+    Network,
+    NetworkStats,
+    SentMessage,
+)
+
+__all__ = [
+    "Mesh2D",
+    "Network",
+    "NetworkStats",
+    "MessageClass",
+    "MESSAGE_BYTES",
+    "SentMessage",
+]

@@ -1,0 +1,63 @@
+"""Offered-load estimation: validating the low-congestion assumption.
+
+The paper's latency results assume the NoC "does not get severely
+congested" (Section 5.3) and reports that congestion levels stayed low
+for both the prediction-augmented directory protocol and broadcast.
+This module computes the average offered link load of a finished run so
+that assumption can be *checked* rather than assumed: load is the
+fraction of aggregate link bandwidth the run actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.topology import Mesh2D
+from repro.sim.results import SimulationResult
+
+#: Link width: bytes a link moves per cycle (64-bit links + DDR phits is
+#: generous; the estimate is deliberately conservative).
+DEFAULT_LINK_BYTES_PER_CYCLE = 8
+
+
+def directed_link_count(mesh: Mesh2D) -> int:
+    """Number of directed links in the mesh (2 per neighbouring pair)."""
+    w, h = mesh.width, mesh.height
+    undirected = (w - 1) * h + (h - 1) * w
+    return 2 * undirected
+
+
+@dataclass(frozen=True)
+class LoadEstimate:
+    """Average offered load of one run."""
+
+    byte_links: int
+    cycles: int
+    links: int
+    link_bytes_per_cycle: int
+
+    @property
+    def offered_load(self) -> float:
+        """Mean utilization across all links over the whole run (0..1+)."""
+        capacity = self.cycles * self.links * self.link_bytes_per_cycle
+        return self.byte_links / capacity if capacity else 0.0
+
+    @property
+    def congested(self) -> bool:
+        """Rough congestion threshold: mean load beyond ~35% of capacity
+        puts wormhole meshes into rapidly growing queueing delay."""
+        return self.offered_load > 0.35
+
+
+def estimate_load(
+    result: SimulationResult,
+    mesh: Mesh2D,
+    link_bytes_per_cycle: int = DEFAULT_LINK_BYTES_PER_CYCLE,
+) -> LoadEstimate:
+    """Offered-load estimate for a finished simulation run."""
+    return LoadEstimate(
+        byte_links=result.network.byte_links,
+        cycles=max(result.cycles, 1),
+        links=directed_link_count(mesh),
+        link_bytes_per_cycle=link_bytes_per_cycle,
+    )

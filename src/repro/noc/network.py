@@ -1,0 +1,162 @@
+"""Analytic NoC model: latency and traffic accounting over a 2D mesh.
+
+Latency of a message is ``hops x (router pipeline + link)`` cycles.  Traffic
+is accounted per message in bytes, and in byte-link / byte-router traversals
+for the energy model (the paper assumes NoC energy proportional to data
+moved, with a router costing four times a link — Section 5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.noc.topology import Mesh2D
+
+
+class MessageClass(enum.Enum):
+    """Coherence message classes with distinct sizes on the wire."""
+
+    CONTROL = "control"  # requests, invalidations, acks, nacks, dir updates
+    DATA = "data"        # a control header plus one cache line
+
+
+#: Bytes on the wire per message class (8-byte header; 64-byte line payload).
+MESSAGE_BYTES = {
+    MessageClass.CONTROL: 8,
+    MessageClass.DATA: 8 + 64,
+}
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """One message observed on the NoC while a transcript is recording."""
+
+    src: int
+    dst: int
+    msg: MessageClass
+    category: str
+    n_bytes: int
+    hops: int
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, split by caller-supplied category.
+
+    Categories let the protocol attribute traffic to e.g. communicating vs
+    non-communicating misses (needed for Fig. 9's stacked breakdown).
+    """
+
+    messages: int = 0
+    bytes_total: int = 0
+    byte_links: int = 0    # sum over messages of bytes * link traversals
+    byte_routers: int = 0  # sum over messages of bytes * router traversals
+    bytes_by_category: dict = field(default_factory=dict)
+
+    def add(self, n_bytes: int, hops: int, category: str) -> None:
+        self.messages += 1
+        self.bytes_total += n_bytes
+        self.byte_links += n_bytes * hops
+        self.byte_routers += n_bytes * (hops + 1)
+        self.bytes_by_category[category] = (
+            self.bytes_by_category.get(category, 0) + n_bytes
+        )
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.messages += other.messages
+        self.bytes_total += other.bytes_total
+        self.byte_links += other.byte_links
+        self.byte_routers += other.byte_routers
+        for key, val in other.bytes_by_category.items():
+            self.bytes_by_category[key] = self.bytes_by_category.get(key, 0) + val
+
+
+class Network:
+    """Latency and traffic model of the on-chip mesh.
+
+    ``router_latency`` is the per-router pipeline depth in cycles and
+    ``link_latency`` the per-link traversal cost (Table 4: 2-stage routers).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        router_latency: int = 2,
+        link_latency: int = 1,
+    ) -> None:
+        self.mesh = mesh
+        self.router_latency = router_latency
+        self.link_latency = link_latency
+        self.stats = NetworkStats()
+        self._transcript = None
+
+    # -- transcript (protocol-audit) support ---------------------------
+
+    def start_transcript(self) -> None:
+        """Begin recording every message (for protocol audits/tests)."""
+        self._transcript = []
+
+    def stop_transcript(self) -> list:
+        """Stop recording and return the captured messages."""
+        captured = self._transcript or []
+        self._transcript = None
+        return captured
+
+    def drain_transcript(self) -> list:
+        """Return captured messages so far and keep recording."""
+        captured = self._transcript or []
+        if self._transcript is not None:
+            self._transcript = []
+        return captured
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh.num_nodes
+
+    def hop_latency(self) -> int:
+        return self.router_latency + self.link_latency
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way latency in cycles; zero for a node talking to itself."""
+        return self.mesh.hops(src, dst) * self.hop_latency()
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        msg: MessageClass,
+        category: str = "other",
+    ) -> int:
+        """Account one message and return its delivery latency in cycles."""
+        hops = self.mesh.hops(src, dst)
+        n_bytes = MESSAGE_BYTES[msg]
+        self.stats.add(n_bytes, hops, category)
+        if self._transcript is not None:
+            self._transcript.append(
+                SentMessage(src=src, dst=dst, msg=msg, category=category,
+                            n_bytes=n_bytes, hops=hops)
+            )
+        return hops * self.hop_latency()
+
+    def multicast(
+        self,
+        src: int,
+        dsts,
+        msg: MessageClass,
+        category: str = "other",
+    ) -> int:
+        """Send to each destination; return the slowest delivery latency.
+
+        Destinations equal to ``src`` are skipped (no self-messages).
+        """
+        worst = 0
+        for dst in dsts:
+            if dst == src:
+                continue
+            worst = max(worst, self.send(src, dst, msg, category))
+        return worst
+
+    def broadcast(self, src: int, msg: MessageClass, category: str = "other") -> int:
+        """Send to every other node (snooping broadcast)."""
+        return self.multicast(src, range(self.num_nodes), msg, category)

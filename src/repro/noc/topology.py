@@ -1,0 +1,109 @@
+"""2D mesh topology with deterministic X-Y routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``width`` x ``height`` mesh of tiles, one node per tile.
+
+    Node ``n`` sits at ``(x, y) = (n % width, n // width)``.  Routing is
+    deterministic X-Y (fully traverse the X dimension, then Y), matching the
+    paper's NoC (Table 4).
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> tuple:
+        self._check(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes (0 for src == dst)."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> list:
+        """The X-Y route as a node list, inclusive of both endpoints."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [self.node_at(sx, sy)]
+        x, y = sx, sy
+        while x != dx:
+            x += 1 if dx > x else -1
+            path.append(self.node_at(x, y))
+        while y != dy:
+            y += 1 if dy > y else -1
+            path.append(self.node_at(x, y))
+        return path
+
+    @lru_cache(maxsize=None)
+    def average_hops(self) -> float:
+        """Mean hop count over all ordered distinct node pairs."""
+        n = self.num_nodes
+        total = sum(
+            self.hops(s, d) for s in range(n) for d in range(n) if s != d
+        )
+        return total / (n * (n - 1))
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} outside mesh of {self.num_nodes}")
+
+
+@dataclass(frozen=True)
+class Torus2D(Mesh2D):
+    """A 2D torus: the mesh with wrap-around links in both dimensions.
+
+    Shorter average hop distance than the mesh at the same radix — a
+    common topology-sensitivity comparison point.  Routing remains
+    dimension-ordered, taking the shorter direction around each ring.
+    """
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        hx = min(abs(sx - dx), self.width - abs(sx - dx))
+        hy = min(abs(sy - dy), self.height - abs(sy - dy))
+        return hx + hy
+
+    def route(self, src: int, dst: int) -> list:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step_x = self._ring_step(sx, dx, self.width)
+        while x != dx:
+            x = (x + step_x) % self.width
+            path.append(self.node_at(x, y))
+        step_y = self._ring_step(sy, dy, self.height)
+        while y != dy:
+            y = (y + step_y) % self.height
+            path.append(self.node_at(x, y))
+        return path
+
+    @staticmethod
+    def _ring_step(src: int, dst: int, size: int) -> int:
+        """+1 or -1: the shorter way around a ring of ``size`` nodes."""
+        if src == dst:
+            return 1
+        forward = (dst - src) % size
+        return 1 if forward <= size - forward else -1

@@ -1,0 +1,35 @@
+"""Coherence target predictors the paper compares against.
+
+All predictors implement the :class:`TargetPredictor` interface:
+
+* ``ADDR`` — macroblock-indexed destination-set predictor ("group" policy
+  of Martin et al., as configured in Section 5.4).
+* ``INST`` — the same machinery indexed by the missing instruction's PC.
+* ``UNI``  — a single-entry locality predictor trained only on the
+  observing core's own miss responses.
+* ``Oracle`` — an upper bound that reads the directory's sharing state.
+
+``repro.core.SPPredictor`` (the paper's contribution) implements the same
+interface and plugs into the same simulator slot.
+"""
+
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+from repro.predictors.group import GroupEntry, GroupPredictorConfig
+from repro.predictors.addr import AddrPredictor
+from repro.predictors.inst import InstPredictor
+from repro.predictors.uni import UniPredictor
+from repro.predictors.oracle import OraclePredictor
+from repro.predictors.owner2 import OwnerTwoLevelPredictor
+
+__all__ = [
+    "OwnerTwoLevelPredictor",
+    "Prediction",
+    "PredictionSource",
+    "TargetPredictor",
+    "GroupEntry",
+    "GroupPredictorConfig",
+    "AddrPredictor",
+    "InstPredictor",
+    "UniPredictor",
+    "OraclePredictor",
+]

@@ -1,0 +1,82 @@
+"""Address-based (macroblock-indexed) destination-set predictor.
+
+Per Section 5.4: per-core tables indexed by 256-byte macroblock, trained
+on both coherence responses to the core's own misses and on external
+coherence requests that reach the core, using the group policy.
+Macroblock indexing captures the spatial locality of coherence requests
+(adjacent blocks usually share communication behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+from repro.predictors.group import GroupPredictorConfig, GroupTable
+
+
+class AddrPredictor(TargetPredictor):
+    """Macroblock-indexed group predictor, one table slice per core."""
+
+    name = "ADDR"
+
+    def __init__(
+        self,
+        num_cores: int,
+        blocks_per_macroblock: int = 4,
+        config: GroupPredictorConfig | None = None,
+        max_entries: int | None = None,
+        policy: str = "group",
+    ) -> None:
+        if blocks_per_macroblock < 1:
+            raise ValueError("blocks_per_macroblock must be >= 1")
+        if policy not in ("group", "owner"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.num_cores = num_cores
+        self.blocks_per_macroblock = blocks_per_macroblock
+        self.config = config or GroupPredictorConfig()
+        self.policy = policy
+        self._tables = [
+            GroupTable(num_cores, self.config, max_entries)
+            for _ in range(num_cores)
+        ]
+
+    def _key(self, block: int) -> int:
+        return block // self.blocks_per_macroblock
+
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        entry = self._tables[core].probe(self._key(block))
+        if entry is None:
+            return None
+        group = entry.predict(self.policy, exclude=core)
+        if not group:
+            return None
+        return Prediction(targets=group, source=PredictionSource.TABLE)
+
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        entry = self._tables[core].entry(self._key(block))
+        if result.responder is not None and result.responder != core:
+            entry.train_up(result.responder)
+        for node in result.invalidated:
+            if node != core:
+                entry.train_up(node)
+
+    def observe_external(self, core: int, block: int, requester: int) -> None:
+        """An external coherence request from ``requester`` touched us.
+
+        The next time this core misses on the same macroblock, the
+        requester is a likely destination (it now holds the data).
+        """
+        if requester == core:
+            return
+        self._tables[core].entry(self._key(block)).train_up(requester)
+
+    def storage_bits(self, num_cores: int) -> int:
+        return sum(table.storage_bits() for table in self._tables)
+
+    def table_entries(self) -> int:
+        return sum(len(table) for table in self._tables)

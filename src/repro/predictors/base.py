@@ -1,0 +1,69 @@
+"""Common interface for coherence target predictors."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.sync.points import StaticSyncId
+
+
+class PredictionSource(enum.Enum):
+    """Which predictor state produced a prediction.
+
+    The SP-specific sources drive Figure 7's stacked accuracy breakdown;
+    table-based predictors always report ``TABLE``.
+    """
+
+    D0 = "d0"              # within-interval warm-up hot set (no history)
+    HISTORY = "history"    # stored sync-epoch signature(s) (d >= 1)
+    LOCK = "lock"          # lock sync-point (last holders)
+    RECOVERY = "recovery"  # confidence-triggered re-extraction
+    TABLE = "table"        # ADDR / INST / UNI table entry
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A predicted destination set plus its provenance."""
+
+    targets: frozenset
+    source: PredictionSource = PredictionSource.TABLE
+
+
+class TargetPredictor(abc.ABC):
+    """A machine-wide coherence target predictor.
+
+    One instance serves all cores (letting implementations share state
+    such as the SP-table's lock entries); every method takes the acting
+    core.  The simulation engine calls :meth:`predict` on each L2 miss,
+    :meth:`train` with the completed transaction, and :meth:`on_sync` at
+    every sync-point.
+    """
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        """Predicted destination set for a miss, or None to take the
+        baseline directory path."""
+
+    @abc.abstractmethod
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        """Learn from a completed transaction."""
+
+    def on_sync(self, core: int, static_id: StaticSyncId) -> None:
+        """Notification of a sync-point (only SP-prediction reacts)."""
+
+    def on_finish(self, core: int) -> None:
+        """Notification that a core's execution ended."""
+
+    def storage_bits(self, num_cores: int) -> int:
+        """Approximate state footprint in bits (space comparisons)."""
+        return 0

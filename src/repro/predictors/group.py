@@ -1,0 +1,136 @@
+"""Group destination-set predictor machinery (Martin et al. style).
+
+The ADDR and INST predictors the paper compares against implement the
+"group" policy: each table entry keeps one 2-bit saturating train-up
+counter per core plus a 5-bit roll-over counter that periodically trains
+all counters down so inactive destinations eventually drop out
+(Section 5.4).  A core joins the predicted group once its counter reaches
+the activation threshold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GroupPredictorConfig:
+    """Counter geometry of a group predictor entry (Section 5.4)."""
+
+    counter_bits: int = 2
+    rollover_bits: int = 5
+    #: Counter value at which a core joins the predicted group.
+    activation: int = 2
+
+    @property
+    def counter_max(self) -> int:
+        return (1 << self.counter_bits) - 1
+
+    @property
+    def rollover_period(self) -> int:
+        return 1 << self.rollover_bits
+
+    def entry_bits(self, num_cores: int) -> int:
+        """Per-entry storage: train-up counters plus the roll-over counter."""
+        return num_cores * self.counter_bits + self.rollover_bits
+
+
+@dataclass
+class GroupEntry:
+    """One predictor entry: per-core activity counters."""
+
+    num_cores: int
+    config: GroupPredictorConfig
+    counts: list = field(init=False)
+    rollover: int = 0
+
+    def __post_init__(self) -> None:
+        self.counts = [0] * self.num_cores
+
+    def train_up(self, target: int) -> None:
+        """Accumulate recent activity towards ``target``."""
+        self.counts[target] = min(self.config.counter_max, self.counts[target] + 1)
+        self.rollover += 1
+        if self.rollover >= self.config.rollover_period:
+            self.rollover = 0
+            self._train_down()
+
+    def _train_down(self) -> None:
+        """Decay every counter so inactive destinations eventually leave."""
+        for i in range(self.num_cores):
+            if self.counts[i] > 0:
+                self.counts[i] -= 1
+
+    def group(self, exclude: int | None = None) -> frozenset:
+        """The predicted destination set ("group" policy)."""
+        thr = self.config.activation
+        return frozenset(
+            core
+            for core, count in enumerate(self.counts)
+            if count >= thr and core != exclude
+        )
+
+    def owner(self, exclude: int | None = None) -> frozenset:
+        """The single most active destination ("owner" policy).
+
+        The paper's footnote 4 notes other destination-set policies such
+        as "owner" can be compared as long as every predictor uses the
+        same base policy; this gives the bandwidth-lean alternative.
+        Ties break toward the lowest core ID (deterministic hardware).
+        """
+        best, best_count = None, self.config.activation - 1
+        for core, count in enumerate(self.counts):
+            if core != exclude and count > best_count:
+                best, best_count = core, count
+        return frozenset() if best is None else frozenset((best,))
+
+    def predict(self, policy: str, exclude: int | None = None) -> frozenset:
+        if policy == "group":
+            return self.group(exclude)
+        if policy == "owner":
+            return self.owner(exclude)
+        raise ValueError(f"unknown policy {policy!r}")
+
+
+class GroupTable:
+    """An (optionally capacity-bounded, LRU-replaced) table of group entries."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: GroupPredictorConfig,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive when given")
+        self.num_cores = num_cores
+        self.config = config
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.evictions = 0
+
+    def probe(self, key) -> GroupEntry | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def entry(self, key) -> GroupEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = GroupEntry(num_cores=self.num_cores, config=self.config)
+            self._entries[key] = entry
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def storage_bits(self, tag_bits: int = 32) -> int:
+        capacity = self.max_entries if self.max_entries is not None else len(self)
+        return capacity * (tag_bits + self.config.entry_bits(self.num_cores))

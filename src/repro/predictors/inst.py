@@ -1,0 +1,65 @@
+"""Instruction-based (PC-indexed) destination-set predictor.
+
+Same group machinery as ADDR but indexed by the static load/store
+instruction that missed (Kaxiras-and-Goodman-style indexing under the
+Martin et al. group policy, Section 5.4).  Because external coherence
+requests carry no information about the observing core's instructions,
+INST trains only on responses to the core's own misses.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+from repro.predictors.group import GroupPredictorConfig, GroupTable
+
+
+class InstPredictor(TargetPredictor):
+    """PC-indexed group predictor, one table slice per core."""
+
+    name = "INST"
+
+    def __init__(
+        self,
+        num_cores: int,
+        config: GroupPredictorConfig | None = None,
+        max_entries: int | None = None,
+        policy: str = "group",
+    ) -> None:
+        if policy not in ("group", "owner"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.num_cores = num_cores
+        self.config = config or GroupPredictorConfig()
+        self.policy = policy
+        self._tables = [
+            GroupTable(num_cores, self.config, max_entries)
+            for _ in range(num_cores)
+        ]
+
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        entry = self._tables[core].probe(pc)
+        if entry is None:
+            return None
+        group = entry.predict(self.policy, exclude=core)
+        if not group:
+            return None
+        return Prediction(targets=group, source=PredictionSource.TABLE)
+
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        entry = self._tables[core].entry(pc)
+        if result.responder is not None and result.responder != core:
+            entry.train_up(result.responder)
+        for node in result.invalidated:
+            if node != core:
+                entry.train_up(node)
+
+    def storage_bits(self, num_cores: int) -> int:
+        return sum(table.storage_bits() for table in self._tables)
+
+    def table_entries(self) -> int:
+        return sum(len(table) for table in self._tables)

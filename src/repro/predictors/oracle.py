@@ -1,0 +1,42 @@
+"""Oracle predictor: reads the directory's exact sharing state.
+
+An upper bound used for sanity checks and latency-bound studies: it
+predicts precisely the minimal sufficient target set of every miss and
+never predicts for non-communicating misses (so it adds no wasted
+bandwidth).  Not implementable in hardware — knowing the answer is the
+directory's job — but useful to bound what any target predictor could
+achieve.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+
+
+class OraclePredictor(TargetPredictor):
+    """Predicts the directory's own answer."""
+
+    name = "ORACLE"
+
+    def __init__(self, directory: Directory) -> None:
+        self.directory = directory
+
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        entry = self.directory.peek(block)
+        if kind is MissKind.READ:
+            minimal = entry.minimal_read_targets()
+        else:
+            minimal = entry.minimal_write_targets(core)
+        if not minimal:
+            return None
+        return Prediction(targets=minimal, source=PredictionSource.TABLE)
+
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        """The oracle has nothing to learn."""

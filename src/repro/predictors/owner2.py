@@ -1,0 +1,114 @@
+"""Two-level owner predictor (Acacio et al., related work).
+
+The paper's related-work section describes "a two-level owner predictor
+where the first level decides whether to predict an owner and the
+second level decides which node might be the owner" — the classic
+cache-to-cache transfer accelerator for CC-NUMA.  Implemented here as
+another comparison point:
+
+* level 2 remembers the last observed owner per macroblock;
+* level 1 is a 2-bit confidence counter, trained up when the remembered
+  owner proves right again and down otherwise; prediction is attempted
+  only above a confidence threshold.
+
+Because it predicts a single owner, it targets read misses and
+ownership-transfer writes; upgrade misses with multiple sharers are out
+of its reach by construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+
+
+@dataclass
+class _OwnerEntry:
+    owner: int
+    confidence: int = 1  # start mildly confident in the first sighting
+
+    CONF_MAX = 3
+    CONF_PREDICT = 2
+
+    def observe(self, owner: int) -> None:
+        if owner == self.owner:
+            self.confidence = min(self.CONF_MAX, self.confidence + 1)
+        else:
+            if self.confidence > 0:
+                self.confidence -= 1
+            else:
+                self.owner = owner
+                self.confidence = 1
+
+    @property
+    def confident(self) -> bool:
+        return self.confidence >= self.CONF_PREDICT
+
+
+class OwnerTwoLevelPredictor(TargetPredictor):
+    """Per-core two-level (confidence, last-owner) predictor."""
+
+    name = "OWNER2"
+
+    def __init__(
+        self,
+        num_cores: int,
+        blocks_per_macroblock: int = 4,
+        max_entries: int | None = None,
+    ) -> None:
+        if blocks_per_macroblock < 1:
+            raise ValueError("blocks_per_macroblock must be >= 1")
+        self.num_cores = num_cores
+        self.blocks_per_macroblock = blocks_per_macroblock
+        self.max_entries = max_entries
+        self._tables = [OrderedDict() for _ in range(num_cores)]
+
+    def _key(self, block: int) -> int:
+        return block // self.blocks_per_macroblock
+
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        if kind is MissKind.UPGRADE:
+            # Upgrades need the full sharer set; a single owner guess
+            # would almost always be insufficient.
+            return None
+        table = self._tables[core]
+        entry = table.get(self._key(block))
+        if entry is None:
+            return None
+        table.move_to_end(self._key(block))
+        if not entry.confident or entry.owner == core:
+            return None
+        return Prediction(
+            targets=frozenset((entry.owner,)),
+            source=PredictionSource.TABLE,
+        )
+
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        if result.responder is None or result.responder == core:
+            return
+        key = self._key(block)
+        table = self._tables[core]
+        entry = table.get(key)
+        if entry is None:
+            table[key] = _OwnerEntry(owner=result.responder)
+            if self.max_entries is not None:
+                while len(table) > self.max_entries:
+                    table.popitem(last=False)
+        else:
+            entry.observe(result.responder)
+            table.move_to_end(key)
+
+    def storage_bits(self, num_cores: int) -> int:
+        bits_per_entry = 32 + 4 + 2  # tag + owner id + confidence
+        return sum(len(t) for t in self._tables) * bits_per_entry
+
+    def table_entries(self) -> int:
+        return sum(len(t) for t in self._tables)

@@ -1,0 +1,51 @@
+"""Unified (index-less) locality predictor.
+
+The cheapest comparison point of Section 5.4: a single group entry per
+core, trained only on the coherence responses of the core's own misses,
+so every miss is predicted from the targets of recent misses regardless
+of address or instruction.
+"""
+
+from __future__ import annotations
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
+from repro.predictors.group import GroupEntry, GroupPredictorConfig
+
+
+class UniPredictor(TargetPredictor):
+    """One group entry per core; no index at all."""
+
+    name = "UNI"
+
+    def __init__(
+        self, num_cores: int, config: GroupPredictorConfig | None = None
+    ) -> None:
+        self.num_cores = num_cores
+        self.config = config or GroupPredictorConfig()
+        self._entries = [
+            GroupEntry(num_cores=num_cores, config=self.config)
+            for _ in range(num_cores)
+        ]
+
+    def predict(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> Prediction | None:
+        group = self._entries[core].group(exclude=core)
+        if not group:
+            return None
+        return Prediction(targets=group, source=PredictionSource.TABLE)
+
+    def train(
+        self, core: int, block: int, pc: int, kind: MissKind,
+        result: TransactionResult,
+    ) -> None:
+        entry = self._entries[core]
+        if result.responder is not None and result.responder != core:
+            entry.train_up(result.responder)
+        for node in result.invalidated:
+            if node != core:
+                entry.train_up(node)
+
+    def storage_bits(self, num_cores: int) -> int:
+        return self.num_cores * self.config.entry_bits(num_cores)

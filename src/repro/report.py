@@ -1,0 +1,154 @@
+"""EXPERIMENTS.md generator: paper-expected vs measured, per experiment.
+
+Runs every experiment in the registry against one shared
+:class:`~repro.experiments.common.RunCache` and renders a markdown
+report with the paper's headline numbers next to the reproduction's.
+
+Usage::
+
+    python -m repro.report -o EXPERIMENTS.md --scale 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import DEFAULT_SCALE, RunCache
+
+#: The paper's headline claims per experiment, used as the "expected"
+#: column of the report.
+PAPER_CLAIMS = {
+    "fig1": "communicating misses average 62% of L2 misses, with wide "
+            "per-application variation (lu/radix low; many PARSEC apps high)",
+    "fig2": "per-epoch communication concentrates on a few cores; the "
+            "whole-run view blurs this; instances of one epoch look alike",
+    "table1": "static sync-epoch/lock-site counts per application; dynamic "
+              "instance counts span 22 (fft) to ~17.6k (radiosity) per core",
+    "fig4": "sync-epoch locality dominates whole-run locality and rivals "
+            "static-instruction locality",
+    "fig5": ">= 78% of intervals have a hot communication set of <= 4 cores",
+    "fig6": "hot sets follow stable / shifted-stable / stride-repetitive / "
+            "random / combined patterns across instances",
+    "fig7": "77% of communicating misses predicted correctly on average "
+            "(98% best, 59% worst); ideal hot-set knowledge would reach "
+            "higher still",
+    "table5": "minimal sufficient set ~1.0-1.6 targets; predicted sets "
+              "1.1x-3.7x larger",
+    "fig8": "SP cuts average miss latency 13% vs the directory protocol, "
+            "attaining ~75% of broadcast's (near-ideal) gain",
+    "fig9": "SP adds ~18% bytes vs the directory — below 10% of what "
+            "broadcast adds — with ~70% of the overhead from predicting "
+            "non-communicating misses",
+    "fig10": "execution time improves 7% on average (best 14%, x264)",
+    "fig11": "NoC+snoop energy: SP ~1.25x the directory; broadcast ~2.4x",
+    "fig12": "SP lands in the same latency/bandwidth region as ADDR and "
+             "INST; UNI is cheaper but less accurate",
+    "fig13": "capping tables at 512 entries (~4KB) degrades ADDR/INST but "
+             "leaves SP and UNI untouched",
+}
+
+
+#: Honest accounting of where the reproduction's numbers knowingly part
+#: from the paper's, and why.
+KNOWN_DEVIATIONS = [
+    ("Fig. 8 — SP attains ~40% of broadcast's latency gain here vs ~75% "
+     "in the paper: in this model broadcast also skips the directory "
+     "*lookup* on off-chip misses, an advantage SP-prediction cannot "
+     "share; the paper's testbed evidently charged snooping more for "
+     "reaching memory."),
+    ("Fig. 9 — a smaller share of SP's bandwidth overhead comes from "
+     "non-communicating misses (~35% vs the paper's ~70%): the synthetic "
+     "workloads' private data is more cleanly separated from shared "
+     "regions than real heaps are, so fewer predictions land on "
+     "non-communicating misses in the first place."),
+    ("Fig. 13 — the capacity cap is 64 entries per predictor slice "
+     "rather than the paper's 512: these traces touch roughly two "
+     "orders of magnitude fewer blocks and static instructions, so the "
+     "proportional cap keeps the experiment meaningful."),
+    ("Table 1 — dynamic epoch counts are scaled down ~10x (simulation "
+     "budget) but preserve the paper's cross-application ordering; "
+     "measured static epoch counts exceed the spec's barrier-site "
+     "counts because iteration-closing and serial-section barriers add "
+     "identities."),
+]
+
+
+def generate_report(
+    cache: RunCache, out=sys.stdout, verbose=True, experiments=None
+) -> None:
+    selected = list(experiments) if experiments else list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        raise ValueError(f"unknown experiments: {unknown}")
+    out.write("# EXPERIMENTS — paper vs reproduction\n\n")
+    out.write(
+        "Regenerated with `python -m repro.report` "
+        f"(workload scale {cache.scale}).  Absolute numbers are not "
+        "expected to match the paper — the substrate is a synthetic "
+        "trace-driven model (see DESIGN.md) — but every *shape* claim "
+        "is checked, and `pytest benchmarks/ --benchmark-only` asserts "
+        "the same shapes mechanically.\n\n"
+    )
+    out.write("## Known deviations\n\n")
+    for deviation in KNOWN_DEVIATIONS:
+        out.write(f"- {deviation}\n")
+    out.write("\n")
+    for exp_id in selected:
+        module_name = EXPERIMENTS[exp_id]
+        module = importlib.import_module(module_name)
+        start = time.time()
+        if verbose:
+            print(f"running {exp_id} ...", file=sys.stderr)
+        table = module.run(cache)
+        elapsed = time.time() - start
+
+        out.write(f"## {table.experiment}: {table.title}\n\n")
+        out.write(f"**Paper:** {PAPER_CLAIMS.get(exp_id, '(see paper)')}\n\n")
+        out.write("**Measured:**\n\n")
+        out.write(_markdown_table(table))
+        for note in table.notes:
+            out.write(f"\n*{note}*\n")
+        out.write(f"\n`{exp_id}` regenerated in {elapsed:.1f}s by "
+                  f"`{module_name}` "
+                  f"(bench: `benchmarks/test_{module_name.split('.')[-1]}.py`)\n\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _markdown_table(table) -> str:
+    cols = [str(c) for c in table.columns]
+    lines = ["| " + " | ".join(cols) + " |"]
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for row in table.rows:
+        lines.append(
+            "| " + " | ".join(_fmt(row.get(c, "")) for c in table.columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Generate EXPERIMENTS.md (paper vs measured).",
+    )
+    parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    args = parser.parse_args(argv)
+
+    cache = RunCache(scale=args.scale, verbose=True)
+    with open(args.output, "w") as fh:
+        generate_report(cache, out=fh)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,490 @@
+"""Trace-driven execution engine.
+
+Interleaves the per-core event streams of a workload over the modelled
+machine: accesses flow through the private hierarchies, misses invoke the
+coherence protocol (optionally guided by a target predictor), barriers
+and locks impose inter-core ordering, and per-core clocks accumulate the
+latency of everything on each core's critical path.
+
+Scheduling picks the runnable core with the smallest clock (with a small
+quantum to amortize scheduling cost), so cross-core orderings — which
+core produced data last, who acquires a lock next — emerge from the
+modelled timing, as they would on real hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import DirectoryProtocol, MissKind
+from repro.coherence.snooping import BroadcastProtocol
+from repro.core.signatures import DEFAULT_HOT_THRESHOLD, extract_hot_set
+from repro.noc.network import Network
+from repro.predictors.base import TargetPredictor
+from repro.sim.machine import MachineConfig
+from repro.sim.results import EpochRecord, SimulationResult
+from repro.sync.epochs import EpochTracker
+from repro.sync.points import StaticSyncId, SyncKind
+from repro.workloads.base import OP_READ, OP_THINK, OP_WRITE, Workload
+
+#: How far (in cycles) a core may run past the next-smallest clock before
+#: being rescheduled.  Purely a performance knob; orderings at sync points
+#: are exact regardless.
+_QUANTUM = 400
+
+
+class SimulationEngine:
+    """One simulation run: a workload on a machine under one protocol."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        machine: MachineConfig | None = None,
+        protocol: str = "directory",
+        predictor: TargetPredictor | None = None,
+        collect_epochs: bool = False,
+        hot_threshold: float = DEFAULT_HOT_THRESHOLD,
+        migrations: dict | None = None,
+        verify_coherence: bool = False,
+        directory_pointers: int | None = None,
+    ) -> None:
+        self.machine = machine or MachineConfig()
+        if workload.num_cores != self.machine.num_cores:
+            raise ValueError(
+                f"workload has {workload.num_cores} cores; machine has "
+                f"{self.machine.num_cores}"
+            )
+        self.workload = workload
+        self.network = Network(
+            self.machine.mesh(),
+            router_latency=self.machine.router_latency,
+            link_latency=self.machine.link_latency,
+        )
+        if directory_pointers is None:
+            self.directory = Directory(self.machine.num_cores)
+        else:
+            from repro.coherence.limited import LimitedPointerDirectory
+
+            self.directory = LimitedPointerDirectory(
+                self.machine.num_cores, pointers=directory_pointers
+            )
+        self.hierarchies = [
+            PrivateHierarchy(core, self.machine.l1, self.machine.l2)
+            for core in range(self.machine.num_cores)
+        ]
+        if protocol == "directory":
+            self.protocol = DirectoryProtocol(
+                self.hierarchies, self.directory, self.network,
+                self.machine.latencies,
+            )
+        elif protocol == "broadcast":
+            self.protocol = BroadcastProtocol(
+                self.hierarchies, self.directory, self.network,
+                self.machine.latencies,
+            )
+        elif protocol == "multicast":
+            from repro.coherence.multicast import MulticastProtocol
+
+            self.protocol = MulticastProtocol(
+                self.hierarchies, self.directory, self.network,
+                self.machine.latencies,
+            )
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.predictor = predictor
+        self.collect_epochs = collect_epochs
+        self.hot_threshold = hot_threshold
+        #: Barrier index -> physical-of-logical permutation, applied at
+        #: that barrier's release (pairs with workloads.migration).
+        self.migrations = migrations or {}
+        self.verifier = None
+        if verify_coherence:
+            from repro.coherence.verify import CoherenceVerifier
+
+            self.verifier = CoherenceVerifier(self.protocol)
+
+        n = self.machine.num_cores
+        self.result = SimulationResult(
+            workload=workload.name,
+            protocol=protocol,
+            predictor=predictor.name if predictor else "none",
+            num_cores=n,
+        )
+        self.result.whole_run_volume = [[0] * n for _ in range(n)]
+
+        # engine-side epoch bookkeeping (ideal accuracy + characterization)
+        self._trackers = [EpochTracker(core) for core in range(n)]
+        self._comm_counts = [[0] * n for _ in range(n)]
+        self._pending_minimal = [[] for _ in range(n)]
+        self._epoch_misses = [0] * n
+        self._epoch_comm = [0] * n
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        n = self.machine.num_cores
+        streams = [self.workload.stream(core) for core in range(n)]
+        pos = [0] * n
+        clock = [0] * n
+        done = [False] * n
+        # Per-sync-point predictor overhead (SP-table access + hot-set
+        # extraction; hundreds of cycles for a software table).
+        sync_latency_fn = getattr(self.predictor, "sync_latency", None)
+        self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
+
+        heap = [(0, core) for core in range(n)]
+        heapq.heapify(heap)
+
+        # Barrier state: the i-th barrier arrival of each core must match.
+        barrier_index = [0] * n
+        barrier_waiters: dict = {}  # index -> list[(core, clock)]
+        barrier_pc: dict = {}
+
+        # Lock state per lock address.
+        lock_holder: dict = {}
+        lock_waiters: dict = {}
+        # Cores whose pending lock acquire was granted at unlock time; they
+        # complete the LOCK event on their next scheduling turn.
+        lock_granted: set = set()
+
+        active = n
+
+        while heap:
+            t, core = heapq.heappop(heap)
+            t = max(t, clock[core])
+            clock[core] = t
+            limit = (heap[0][0] if heap else None)
+            budget = (limit + _QUANTUM) if limit is not None else None
+
+            stream = streams[core]
+            length = len(stream)
+            blocked = False
+
+            while pos[core] < length:
+                ev = stream[pos[core]]
+                op = ev[0]
+                if op == OP_READ or op == OP_WRITE:
+                    pos[core] += 1
+                    clock[core] += self._access(core, ev[1], ev[2], op == OP_WRITE)
+                elif op == OP_THINK:
+                    pos[core] += 1
+                    clock[core] += ev[1]
+                else:  # OP_SYNC
+                    kind, pc, lock_addr = ev[1], ev[2], ev[3]
+                    if kind is SyncKind.BARRIER:
+                        pos[core] += 1
+                        idx = barrier_index[core]
+                        barrier_index[core] += 1
+                        if idx in barrier_pc and barrier_pc[idx] != pc:
+                            raise RuntimeError(
+                                f"barrier mismatch at index {idx}: "
+                                f"{barrier_pc[idx]} vs {pc}"
+                            )
+                        barrier_pc[idx] = pc
+                        self._on_sync(core, StaticSyncId(kind=kind, pc=pc))
+                        clock[core] += self._sync_cost
+                        waiters = barrier_waiters.setdefault(idx, [])
+                        waiters.append((core, clock[core]))
+                        if len(waiters) == active:
+                            if idx in self.migrations:
+                                self._apply_migration(self.migrations[idx])
+                            release = (
+                                max(c for _, c in waiters)
+                                + self.machine.sync_op_latency
+                            )
+                            for w_core, _ in waiters:
+                                if w_core == core:
+                                    clock[core] = release
+                                else:
+                                    clock[w_core] = release
+                                    heapq.heappush(heap, (release, w_core))
+                            del barrier_waiters[idx]
+                            # fall through: this core keeps running
+                        else:
+                            blocked = True
+                            break
+                    elif kind is SyncKind.LOCK:
+                        holder = lock_holder.get(lock_addr)
+                        if holder is None or core in lock_granted:
+                            lock_granted.discard(core)
+                            pos[core] += 1
+                            lock_holder[lock_addr] = core
+                            clock[core] += (
+                                self.machine.sync_op_latency + self._sync_cost
+                            )
+                            self._on_sync(
+                                core,
+                                StaticSyncId(kind=kind, pc=pc, lock_addr=lock_addr),
+                            )
+                        else:
+                            # Re-examined when the holder unlocks.
+                            heapq.heappush(
+                                lock_waiters.setdefault(lock_addr, []),
+                                (clock[core], core),
+                            )
+                            blocked = True
+                            break
+                    elif kind is SyncKind.UNLOCK:
+                        pos[core] += 1
+                        if lock_holder.get(lock_addr) != core:
+                            raise RuntimeError(
+                                f"core {core} unlocked {lock_addr:#x} it does "
+                                "not hold"
+                            )
+                        clock[core] += (
+                            self.machine.sync_op_latency + self._sync_cost
+                        )
+                        self._on_sync(
+                            core,
+                            StaticSyncId(kind=kind, pc=pc, lock_addr=lock_addr),
+                        )
+                        waiters = lock_waiters.get(lock_addr)
+                        if waiters:
+                            _, nxt = heapq.heappop(waiters)
+                            lock_holder[lock_addr] = nxt
+                            lock_granted.add(nxt)
+                            clock[nxt] = max(clock[nxt], clock[core])
+                            heapq.heappush(heap, (clock[nxt], nxt))
+                        else:
+                            lock_holder[lock_addr] = None
+                    else:
+                        # join / wakeup / broadcast are epoch boundaries
+                        # without blocking semantics in these traces.
+                        pos[core] += 1
+                        self._on_sync(core, StaticSyncId(kind=kind, pc=pc))
+                        clock[core] += self._sync_cost
+                if budget is not None and clock[core] > budget:
+                    break
+
+            if blocked:
+                continue
+            if pos[core] >= length:
+                if not done[core]:
+                    done[core] = True
+                    active -= 1
+                    self._on_finish(core)
+                    # A core leaving can make a pending barrier releasable
+                    # (uneven streams: the finisher was never going to
+                    # arrive).  Re-check parked barriers.
+                    for idx in list(barrier_waiters):
+                        waiters = barrier_waiters[idx]
+                        if waiters and len(waiters) == active:
+                            if idx in self.migrations:
+                                self._apply_migration(self.migrations[idx])
+                            release = (
+                                max(c for _, c in waiters)
+                                + self.machine.sync_op_latency
+                            )
+                            for w_core, _ in waiters:
+                                clock[w_core] = release
+                                heapq.heappush(heap, (release, w_core))
+                            del barrier_waiters[idx]
+                continue
+            heapq.heappush(heap, (clock[core], core))
+
+        if active != 0:
+            raise RuntimeError(f"{active} cores never finished (deadlock?)")
+
+        self.result.core_cycles = clock
+        self.result.cycles = max(clock) if clock else 0
+        self.result.snoop_lookups = self.protocol.snoop_lookups
+        self.result.network = self.network.stats
+        self.result.dynamic_epochs = sum(
+            len(tr.ended_epochs) for tr in self._trackers
+        )
+        return self.result
+
+    # ------------------------------------------------------------------
+    # memory accesses
+    # ------------------------------------------------------------------
+
+    def _access(self, core: int, addr: int, pc: int, is_write: bool) -> int:
+        res = self.result
+        hier = self.hierarchies[core]
+        outcome = hier.classify(
+            addr, AccessKind.WRITE if is_write else AccessKind.READ
+        )
+        res.accesses += 1
+        if outcome is HierarchyOutcome.L1_HIT:
+            res.l1_hits += 1
+            return self.machine.l1_latency
+        if outcome is HierarchyOutcome.L2_HIT:
+            res.l2_hits += 1
+            return self.machine.latencies.l2_access
+
+        block = hier.block_of(addr)
+        if outcome is HierarchyOutcome.UPGRADE_MISS:
+            kind = MissKind.UPGRADE
+        elif is_write:
+            kind = MissKind.WRITE
+        else:
+            kind = MissKind.READ
+
+        prediction = (
+            self.predictor.predict(core, block, pc, kind)
+            if self.predictor is not None
+            else None
+        )
+        targets = prediction.targets if prediction is not None else None
+
+        if kind is MissKind.READ:
+            tx = self.protocol.read_miss(core, block, targets)
+            res.read_misses += 1
+        elif kind is MissKind.WRITE:
+            tx = self.protocol.write_miss(core, block, targets)
+            res.write_misses += 1
+        else:
+            tx = self.protocol.upgrade_miss(core, block, targets)
+            res.upgrade_misses += 1
+
+        self._record_tx(core, pc, kind, prediction, tx)
+        if self.verifier is not None:
+            self.verifier.check_block(block)
+
+        if self.predictor is not None:
+            self.predictor.train(core, block, pc, kind, tx)
+            observe = getattr(self.predictor, "observe_external", None)
+            if observe is not None:
+                if tx.responder is not None:
+                    observe(tx.responder, block, core)
+                for node in tx.invalidated:
+                    observe(node, block, core)
+
+        return self.machine.latencies.l2_tag + tx.latency
+
+    #: Latency histogram bucket upper bounds (cycles).
+    _LATENCY_BUCKETS = (16, 32, 64, 128, 256, 512, 1 << 30)
+
+    def _record_tx(self, core, pc, kind, prediction, tx) -> None:
+        res = self.result
+        latency = self.machine.latencies.l2_tag + tx.latency
+        res.miss_latency_sum += latency
+        for bound in self._LATENCY_BUCKETS:
+            if latency <= bound:
+                res.latency_histogram[bound] = (
+                    res.latency_histogram.get(bound, 0) + 1
+                )
+                break
+        if tx.indirection:
+            res.indirections += 1
+        if tx.off_chip:
+            res.offchip_misses += 1
+
+        if tx.communicating:
+            res.comm_misses += 1
+            res.actual_target_sum += len(tx.minimal_targets)
+            self._epoch_comm[core] += 1
+            self._pending_minimal[core].append(tx.minimal_targets)
+        self._epoch_misses[core] += 1
+
+        # Communication volume bookkeeping (engine mirror of the paper's
+        # communication counters; drives the ideal metric and Figs. 2-6).
+        counts = self._comm_counts[core]
+        volume = self.result.whole_run_volume[core]
+        if tx.responder is not None and tx.responder != core:
+            counts[tx.responder] += 1
+            volume[tx.responder] += 1
+        for node in tx.invalidated:
+            if node != core:
+                counts[node] += 1
+                volume[node] += 1
+        if self.collect_epochs and tx.communicating:
+            slot = res.pc_volume.setdefault((core, pc), [0] * res.num_cores)
+            if tx.responder is not None and tx.responder != core:
+                slot[tx.responder] += 1
+            for node in tx.invalidated:
+                if node != core:
+                    slot[node] += 1
+
+        if prediction is not None:
+            res.pred_attempted += 1
+            res.predicted_target_sum += len(prediction.targets)
+            if tx.prediction_correct is None:
+                res.pred_on_noncomm += 1
+            else:
+                res.pred_on_comm += 1
+                if tx.prediction_correct:
+                    res.pred_correct += 1
+                    res.correct_by_source[prediction.source] = (
+                        res.correct_by_source.get(prediction.source, 0) + 1
+                    )
+                else:
+                    res.pred_incorrect += 1
+
+    # ------------------------------------------------------------------
+    # sync-point handling
+    # ------------------------------------------------------------------
+
+    def _on_sync(self, core: int, static_id: StaticSyncId) -> None:
+        self._close_epoch(core)
+        self._trackers[core].observe(static_id)
+        self.result.sync_points += 1
+        if self.predictor is not None:
+            self.predictor.on_sync(core, static_id)
+
+    def sync_overhead(self) -> int:
+        """Cycles the configured predictor costs at each sync-point."""
+        return getattr(self, "_sync_cost", 0)
+
+    def _apply_migration(self, permutation) -> None:
+        """Notify a mapping-aware predictor that threads moved cores."""
+        if self.predictor is None:
+            return
+        on_migrate = getattr(self.predictor, "on_migrate", None)
+        if on_migrate is not None:
+            on_migrate(permutation)
+
+    def _on_finish(self, core: int) -> None:
+        self._close_epoch(core)
+        self._trackers[core].finish()
+        if self.predictor is not None:
+            self.predictor.on_finish(core)
+
+    def _close_epoch(self, core: int) -> None:
+        """Score the ideal metric and optionally record the ended epoch."""
+        counts = self._comm_counts[core]
+        pending = self._pending_minimal[core]
+        if pending:
+            hot = extract_hot_set(
+                counts, self_core=core, threshold=self.hot_threshold
+            )
+            self.result.ideal_correct += sum(
+                1 for minimal in pending if minimal <= hot
+            )
+        ended = self._trackers[core].current_epoch
+        if self.collect_epochs and ended is not None:
+            self.result.epoch_records.append(
+                EpochRecord(
+                    core=core,
+                    key=ended.table_key,
+                    kind=ended.kind,
+                    instance=ended.instance,
+                    volume_by_target=tuple(counts),
+                    misses=self._epoch_misses[core],
+                    comm_misses=self._epoch_comm[core],
+                )
+            )
+        for i in range(len(counts)):
+            counts[i] = 0
+        pending.clear()
+        self._epoch_misses[core] = 0
+        self._epoch_comm[core] = 0
+
+
+def simulate(
+    workload: Workload,
+    machine: MachineConfig | None = None,
+    protocol: str = "directory",
+    predictor: TargetPredictor | None = None,
+    collect_epochs: bool = False,
+) -> SimulationResult:
+    """Convenience one-shot simulation."""
+    return SimulationEngine(
+        workload,
+        machine=machine,
+        protocol=protocol,
+        predictor=predictor,
+        collect_epochs=collect_epochs,
+    ).run()

@@ -1,0 +1,58 @@
+"""Machine configuration (Table 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import CacheConfig
+from repro.coherence.protocol import ProtocolLatencies
+from repro.noc.topology import Mesh2D, Torus2D
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A tiled CMP: per-tile core + private L1/L2 + router on a 2D mesh.
+
+    Defaults reproduce Table 4: 16 two-issue in-order cores, 16 KB
+    direct-mapped L1 (2-cycle load-to-use), 1 MB 8-way private L2
+    (2-cycle tag + 6-cycle data), 4x4 mesh with 2-stage routers, and a
+    150-cycle main memory.
+    """
+
+    mesh_width: int = 4
+    mesh_height: int = 4
+    #: "mesh" (Table 4) or "torus" (topology-sensitivity extension).
+    topology: str = "mesh"
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=16 * 1024, assoc=1, line_size=64)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=1024 * 1024, assoc=8, line_size=64)
+    )
+    l1_latency: int = 2
+    router_latency: int = 2
+    link_latency: int = 1
+    latencies: ProtocolLatencies = field(default_factory=ProtocolLatencies)
+    #: Cycles to execute a synchronization primitive's atomic operation.
+    sync_op_latency: int = 20
+    #: Extracting a hot communication set from the counters (Section 5.1).
+    hot_set_extract_latency: int = 4
+
+    @property
+    def num_cores(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    def mesh(self) -> Mesh2D:
+        if self.topology == "mesh":
+            return Mesh2D(width=self.mesh_width, height=self.mesh_height)
+        if self.topology == "torus":
+            return Torus2D(width=self.mesh_width, height=self.mesh_height)
+        raise ValueError(f"unknown topology {self.topology!r}")
+
+    @staticmethod
+    def small() -> "MachineConfig":
+        """A scaled-down machine for fast unit tests (same topology)."""
+        return MachineConfig(
+            l1=CacheConfig(size=2 * 1024, assoc=1, line_size=64),
+            l2=CacheConfig(size=32 * 1024, assoc=4, line_size=64),
+        )

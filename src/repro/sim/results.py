@@ -1,0 +1,177 @@
+"""Simulation results: every counter the paper's figures need."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.network import NetworkStats
+from repro.predictors.base import PredictionSource
+from repro.sync.points import SyncKind
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Characterization record of one dynamic sync-epoch instance.
+
+    ``volume_by_target`` is the communication volume the observing core
+    drew from each other core during the instance (the paper's
+    communication distribution, Figures 2/4/5/6).
+    """
+
+    core: int
+    key: tuple
+    kind: SyncKind
+    instance: int
+    volume_by_target: tuple
+    misses: int
+    comm_misses: int
+
+    @property
+    def volume(self) -> int:
+        return sum(self.volume_by_target)
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    workload: str
+    protocol: str
+    predictor: str
+    num_cores: int
+
+    # timing
+    cycles: int = 0
+    core_cycles: list = field(default_factory=list)
+
+    # access mix
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    upgrade_misses: int = 0
+    comm_misses: int = 0
+    offchip_misses: int = 0
+    miss_latency_sum: int = 0
+    indirections: int = 0
+
+    # prediction
+    pred_attempted: int = 0
+    pred_on_comm: int = 0
+    pred_on_noncomm: int = 0
+    pred_correct: int = 0
+    pred_incorrect: int = 0
+    correct_by_source: dict = field(default_factory=dict)
+    ideal_correct: int = 0
+
+    # target-set sizing (Table 5)
+    actual_target_sum: int = 0
+    predicted_target_sum: int = 0
+
+    # substrate counters
+    network: NetworkStats = field(default_factory=NetworkStats)
+    snoop_lookups: int = 0
+    sync_points: int = 0
+    dynamic_epochs: int = 0
+
+    # per-miss latency histogram: bucket upper bound (cycles) -> count
+    latency_histogram: dict = field(default_factory=dict)
+
+    # optional characterization traces
+    epoch_records: list = field(default_factory=list)
+    whole_run_volume: list = field(default_factory=list)  # per (core, target)
+    pc_volume: dict = field(default_factory=dict)         # (core, pc) -> {t: v}
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses + self.upgrade_misses
+
+    @property
+    def comm_ratio(self) -> float:
+        """Fraction of L2 misses that are communicating (Fig. 1)."""
+        return self.comm_misses / self.misses if self.misses else 0.0
+
+    @property
+    def avg_miss_latency(self) -> float:
+        """Average per-miss latency, each miss weighted equally (Fig. 8)."""
+        return self.miss_latency_sum / self.misses if self.misses else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Correctly predicted fraction of communicating misses (Fig. 7)."""
+        return self.pred_correct / self.comm_misses if self.comm_misses else 0.0
+
+    @property
+    def ideal_accuracy(self) -> float:
+        """Accuracy if each epoch's hot set were known a priori (Fig. 7)."""
+        return self.ideal_correct / self.comm_misses if self.comm_misses else 0.0
+
+    @property
+    def indirection_ratio(self) -> float:
+        """Fraction of misses paying directory indirection (Figs. 12/13)."""
+        return self.indirections / self.misses if self.misses else 0.0
+
+    @property
+    def avg_actual_targets(self) -> float:
+        """Average minimal sufficient set size per communicating miss."""
+        return (
+            self.actual_target_sum / self.comm_misses if self.comm_misses else 0.0
+        )
+
+    @property
+    def avg_predicted_targets(self) -> float:
+        """Average predicted set size per predicted miss (Table 5)."""
+        return (
+            self.predicted_target_sum / self.pred_attempted
+            if self.pred_attempted
+            else 0.0
+        )
+
+    def accuracy_from(self, source: PredictionSource) -> float:
+        """Fraction of communicating misses correctly predicted via a
+        given predictor state (the stacks of Fig. 7)."""
+        if not self.comm_misses:
+            return 0.0
+        return self.correct_by_source.get(source, 0) / self.comm_misses
+
+    def bytes_per_miss(self) -> float:
+        return self.network.bytes_total / self.misses if self.misses else 0.0
+
+    def latency_percentile(self, fraction: float) -> int:
+        """Approximate latency percentile from the histogram (upper
+        bucket bound containing the requested fraction of misses)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        total = sum(self.latency_histogram.values())
+        if total == 0:
+            return 0
+        running = 0
+        for bound in sorted(self.latency_histogram):
+            running += self.latency_histogram[bound]
+            if running / total >= fraction:
+                return bound
+        return max(self.latency_histogram)
+
+    def prediction_bytes(self) -> int:
+        by_cat = self.network.bytes_by_category
+        return by_cat.get("pred_comm", 0) + by_cat.get("pred_noncomm", 0)
+
+    def summary(self) -> dict:
+        """A compact dict for tables and logs."""
+        return {
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "predictor": self.predictor,
+            "cycles": self.cycles,
+            "misses": self.misses,
+            "comm_ratio": round(self.comm_ratio, 3),
+            "avg_miss_latency": round(self.avg_miss_latency, 1),
+            "accuracy": round(self.accuracy, 3),
+            "bytes_total": self.network.bytes_total,
+            "snoop_lookups": self.snoop_lookups,
+        }

@@ -1,0 +1,21 @@
+"""Synchronization layer: sync-points and sync-epochs.
+
+The paper's Section 3.1 defines a *sync-point* as an execution point at
+which a software synchronization routine is invoked (barrier, lock, unlock,
+join, wakeup, broadcast), and a *sync-epoch* as the execution interval
+enclosed by two consecutive sync-points.  This package models both, plus the
+per-thread bookkeeping that turns a stream of sync-point invocations into a
+stream of epochs with static and dynamic identifiers.
+"""
+
+from repro.sync.points import SyncKind, SyncPoint, StaticSyncId, DynamicSyncId
+from repro.sync.epochs import SyncEpoch, EpochTracker
+
+__all__ = [
+    "SyncKind",
+    "SyncPoint",
+    "StaticSyncId",
+    "DynamicSyncId",
+    "SyncEpoch",
+    "EpochTracker",
+]

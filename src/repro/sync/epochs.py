@@ -1,0 +1,104 @@
+"""Sync-epoch segmentation.
+
+A sync-epoch is the execution interval enclosed by two consecutive
+sync-points on one thread.  On each sync-point a new epoch begins and the
+previous one ends; the epoch is described by the type, static ID, and
+dynamic ID of its *beginning* sync-point (Section 3.1, Figure 3).  A
+critical section is simply an epoch that begins with a lock acquire.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sync.points import DynamicSyncId, StaticSyncId, SyncKind, SyncPoint
+
+
+@dataclass(frozen=True)
+class SyncEpoch:
+    """An execution interval delimited by two consecutive sync-points.
+
+    The epoch carries the identity of the sync-point that *began* it; the
+    ending sync-point (which also begins the next epoch) is not part of the
+    identity.  ``thread`` is the thread the epoch executed on.
+    """
+
+    thread: int
+    begin: DynamicSyncId
+
+    @property
+    def static_id(self) -> StaticSyncId:
+        return self.begin.static
+
+    @property
+    def kind(self) -> SyncKind:
+        return self.begin.static.kind
+
+    @property
+    def is_critical_section(self) -> bool:
+        """True when the epoch began with a lock acquire (Section 3.1)."""
+        return self.kind is SyncKind.LOCK
+
+    @property
+    def instance(self) -> int:
+        """Which dynamic instance of the static epoch this is (1-based)."""
+        return self.begin.occurrence
+
+    @property
+    def table_key(self) -> tuple:
+        """SP-table key of this epoch (see :class:`StaticSyncId`)."""
+        return self.static_id.table_key
+
+
+@dataclass
+class EpochTracker:
+    """Turns a per-thread stream of sync-point invocations into epochs.
+
+    The tracker assigns dynamic occurrence counts to static sync-points and
+    reports, on each sync-point, the epoch that just ended and the epoch
+    that just began.  One tracker instance serves one thread.
+    """
+
+    thread: int
+    _occurrences: Counter = field(default_factory=Counter)
+    _current: SyncEpoch | None = None
+    _ended: list = field(default_factory=list)
+
+    @property
+    def current_epoch(self) -> SyncEpoch | None:
+        """The epoch currently executing, or None before the first sync-point."""
+        return self._current
+
+    @property
+    def ended_epochs(self) -> list:
+        """All epochs that have ended so far, in order."""
+        return list(self._ended)
+
+    def observe(self, static_id: StaticSyncId) -> tuple:
+        """Record a sync-point invocation.
+
+        Returns ``(ended_epoch, new_epoch, sync_point)`` where
+        ``ended_epoch`` is None on the very first sync-point of the thread.
+        """
+        self._occurrences[static_id] += 1
+        dyn = DynamicSyncId(static=static_id, occurrence=self._occurrences[static_id])
+        point = SyncPoint(thread=self.thread, dynamic_id=dyn)
+
+        ended = self._current
+        if ended is not None:
+            self._ended.append(ended)
+        self._current = SyncEpoch(thread=self.thread, begin=dyn)
+        return ended, self._current, point
+
+    def occurrence_count(self, static_id: StaticSyncId) -> int:
+        """How many times a static sync-point has executed on this thread."""
+        return self._occurrences[static_id]
+
+    def finish(self) -> SyncEpoch | None:
+        """End the trailing epoch at thread exit and return it (if any)."""
+        ended = self._current
+        if ended is not None:
+            self._ended.append(ended)
+        self._current = None
+        return ended

@@ -1,0 +1,96 @@
+"""Sync-point model: kinds, static IDs, and dynamic IDs.
+
+A sync-point is identified *statically* by its calling location (program
+counter) — or by the lock address for lock/unlock points — and *dynamically*
+by how many times that static point has executed so far on a given thread
+(Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SyncKind(enum.Enum):
+    """The synchronization routine invoked at a sync-point.
+
+    These mirror the types the paper enumerates: ``barrier``, ``join``,
+    ``wakeup``, ``broadcast``, ``lock`` and ``unlock`` (Section 3.1).
+    """
+
+    BARRIER = "barrier"
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    JOIN = "join"
+    WAKEUP = "wakeup"
+    BROADCAST = "broadcast"
+
+    @property
+    def is_lock_acquire(self) -> bool:
+        """True for lock-acquire points, which get special SP-table handling."""
+        return self is SyncKind.LOCK
+
+
+@dataclass(frozen=True)
+class StaticSyncId:
+    """Static identity of a sync-point.
+
+    ``pc`` is the calling location in the program code.  For lock and unlock
+    points ``lock_addr`` carries the lock variable's address; the SP-table
+    keys lock entries by that address so that all critical sections protected
+    by the same lock share one entry (Section 4.3).
+    """
+
+    kind: SyncKind
+    pc: int
+    lock_addr: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (SyncKind.LOCK, SyncKind.UNLOCK) and self.lock_addr is None:
+            raise ValueError(f"{self.kind.value} sync-point requires a lock_addr")
+
+    @property
+    def table_key(self) -> tuple:
+        """Key used to index the SP-table.
+
+        Lock-acquire points are keyed by lock address (shared across
+        cores, so critical sections protected by the same lock share one
+        history).  All other points — including unlock, which *begins* an
+        ordinary epoch — are keyed by their program counter.
+        """
+        if self.kind is SyncKind.LOCK:
+            return ("lock", self.lock_addr)
+        return ("pc", self.pc)
+
+
+@dataclass(frozen=True)
+class DynamicSyncId:
+    """Dynamic identity: a static sync-point plus its occurrence count."""
+
+    static: StaticSyncId
+    occurrence: int
+
+    def __post_init__(self) -> None:
+        if self.occurrence < 1:
+            raise ValueError("occurrence counts start at 1")
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """A single dynamic invocation of a synchronization routine on a thread.
+
+    ``thread`` is the invoking thread (== core, when threads are bound to
+    cores).  ``static_id``/``dynamic_id`` follow the paper's terminology.
+    """
+
+    thread: int
+    dynamic_id: DynamicSyncId
+
+    @property
+    def static_id(self) -> StaticSyncId:
+        return self.dynamic_id.static
+
+    @property
+    def kind(self) -> SyncKind:
+        return self.static_id.kind

@@ -1,0 +1,53 @@
+"""Synthetic multithreaded workload substrate.
+
+The paper evaluates on SPLASH-2 and PARSEC binaries under Simics.  Neither
+is available here, so this package generates synthetic per-core event
+traces that reproduce the *properties SP-prediction keys on*: sync-epoch
+structure (Table 1), communicating-miss ratios (Fig. 1), epoch-aligned
+communication locality (Figs. 2 and 4), and instance-to-instance hot-set
+patterns — stable, stride-repetitive, random/migratory, critical-section
+sequenced, and noisy (Fig. 6).
+
+Every named benchmark in :data:`repro.workloads.suite.SUITE` mirrors one
+paper workload: its static epoch/lock counts follow Table 1 and its
+sharing-pattern mix follows the behaviour the paper reports for that
+application.
+"""
+
+from repro.workloads.base import (
+    OP_READ,
+    OP_WRITE,
+    OP_SYNC,
+    OP_THINK,
+    AddressSpace,
+    Workload,
+)
+from repro.workloads.patterns import PatternKind, partner_for
+from repro.workloads.generator import BenchmarkSpec, EpochSpec, LockSpec, build_workload
+from repro.workloads.suite import SUITE, benchmark_names, load_benchmark
+from repro.workloads.kernels import KERNELS
+from repro.workloads.trace import dump_trace, load_trace
+from repro.workloads.migration import apply_migration_schedule, migrate_threads
+
+__all__ = [
+    "OP_READ",
+    "OP_WRITE",
+    "OP_SYNC",
+    "OP_THINK",
+    "AddressSpace",
+    "Workload",
+    "PatternKind",
+    "partner_for",
+    "BenchmarkSpec",
+    "EpochSpec",
+    "LockSpec",
+    "build_workload",
+    "SUITE",
+    "benchmark_names",
+    "load_benchmark",
+    "KERNELS",
+    "dump_trace",
+    "load_trace",
+    "apply_migration_schedule",
+    "migrate_threads",
+]

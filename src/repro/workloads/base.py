@@ -1,0 +1,88 @@
+"""Trace event model and address-space conventions.
+
+Events are plain tuples for speed (the simulator consumes millions):
+
+* ``(OP_READ, addr, pc)`` — a load from byte address ``addr``.
+* ``(OP_WRITE, addr, pc)`` — a store.
+* ``(OP_SYNC, kind, pc, lock_addr)`` — a sync-point invocation.
+* ``(OP_THINK, cycles)`` — computation between memory operations.
+
+Addresses are block-aligned byte addresses.  The shared heap starts at 0;
+each core's private region lives high in the address space so private and
+shared data never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OP_READ = 0
+OP_WRITE = 1
+OP_SYNC = 2
+OP_THINK = 3
+
+#: Line size assumed when laying out block-aligned addresses.
+LINE_SIZE = 64
+
+_PRIVATE_BASE_BLOCK = 1 << 30
+_PRIVATE_SPAN_BLOCKS = 1 << 24
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Block-address arithmetic shared by the generators.
+
+    Shared regions are handed out sequentially from block 0; each core's
+    private region is an independent high-address span.
+    """
+
+    line_size: int = LINE_SIZE
+
+    def block_addr(self, block: int) -> int:
+        return block * self.line_size
+
+    def private_block(self, core: int, index: int) -> int:
+        if index >= _PRIVATE_SPAN_BLOCKS:
+            raise ValueError("private region exhausted")
+        return _PRIVATE_BASE_BLOCK + core * _PRIVATE_SPAN_BLOCKS + index
+
+    def private_addr(self, core: int, index: int) -> int:
+        return self.block_addr(self.private_block(core, index))
+
+
+@dataclass
+class Workload:
+    """A named multithreaded trace: one event list per core.
+
+    Event lists are materialized so the same workload replays identically
+    across protocol configurations.
+    """
+
+    name: str
+    num_cores: int
+    events: list = field(default_factory=list)  # list[list[tuple]]
+
+    def __post_init__(self) -> None:
+        if self.events and len(self.events) != self.num_cores:
+            raise ValueError("need exactly one event stream per core")
+        if not self.events:
+            self.events = [[] for _ in range(self.num_cores)]
+
+    def stream(self, core: int) -> list:
+        return self.events[core]
+
+    def total_events(self) -> int:
+        return sum(len(stream) for stream in self.events)
+
+    def memory_accesses(self) -> int:
+        return sum(
+            1
+            for stream in self.events
+            for ev in stream
+            if ev[0] in (OP_READ, OP_WRITE)
+        )
+
+    def sync_points(self) -> int:
+        return sum(
+            1 for stream in self.events for ev in stream if ev[0] == OP_SYNC
+        )

@@ -1,0 +1,285 @@
+"""Synthetic benchmark trace generator.
+
+A :class:`BenchmarkSpec` describes a bulk-synchronous program: each outer
+*iteration* executes every static barrier epoch in order (consume data
+produced by partner cores in the previous instance, produce data for the
+next one, stream over private data) followed by optional critical
+sections over migratory lock-protected data.  The generator lowers the
+spec to per-core event lists with deterministic pseudo-random choices, so
+the same spec always yields the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import (
+    OP_READ,
+    OP_SYNC,
+    OP_THINK,
+    OP_WRITE,
+    AddressSpace,
+    Workload,
+)
+from repro.workloads.patterns import PatternKind, partner_for
+
+#: PC namespaces (keeps epoch bodies, locks, and barriers distinct).
+_PC_BARRIER_BASE = 1_000_000
+_PC_LOCK_BASE = 2_000_000
+_PC_UNLOCK_BASE = 3_000_000
+_PC_EPOCH_STRIDE = 10_000
+
+#: Private-block index where per-epoch working-set windows begin (clear
+#: of the streaming region, which advances from 0).
+_PRIVATE_WS_BASE = 1 << 22
+
+
+@dataclass(frozen=True)
+class EpochSpec:
+    """One static barrier-delimited epoch of the program."""
+
+    pattern: PatternKind
+    consume_blocks: int = 24   # blocks read from each partner's region
+    produce_blocks: int = 24   # blocks written in the core's own region
+    private_blocks: int = 12   # cold private misses per instance
+    rereads: int = 1           # extra passes over consumed data (cache hits)
+    think: int = 300           # compute cycles per instance
+    stride: int = 3            # STRIDE pattern period
+    offset: int = 1            # partner offset for STABLE/SHIFTING/STRIDE
+    shift_every: int = 6       # SHIFTING pattern phase length
+    noisy_every: int = 0       # every n-th instance is near-empty (0 = never)
+    pcs_per_role: int = 4      # distinct static instructions per access role
+    #: Private working set cycled through on every instance (blocks).
+    #: When it exceeds the private cache capacity these become capacity
+    #: misses; when it fits they become hits — the lever behind the
+    #: paper's cache-size sensitivity remark (Section 5.3).
+    private_working_set: int = 0
+    private_ws_accesses: int = 0
+
+
+@dataclass(frozen=True)
+class LockSpec:
+    """A static lock call site protecting migratory data."""
+
+    n_sites: int = 1
+    protected_blocks: int = 4
+    rmw_per_block: int = 1     # read-modify-write rounds per block
+    every: int = 1             # execute the critical section every n iterations
+    think: int = 60
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A full synthetic benchmark."""
+
+    name: str
+    epochs: tuple
+    locks: tuple = ()
+    iterations: int = 24
+    num_cores: int = 16
+    region_blocks: int = 32
+    seed: int = 1
+    #: A serial section per iteration: core 0 computes (and streams over
+    #: private data) while the other cores wait at the following barrier.
+    #: The paper's results "consider both serial and parallel sections".
+    serial_think: int = 0
+    serial_accesses: int = 0
+    #: Fraction (roughly) of paper Fig. 1's communicating-miss ratio this
+    #: spec was tuned towards; recorded for documentation/tests.
+    target_comm_ratio: float | None = None
+
+    def static_epoch_count(self) -> int:
+        return len(self.epochs)
+
+    def static_lock_sites(self) -> int:
+        return sum(lock.n_sites for lock in self.locks)
+
+
+def build_workload(spec: BenchmarkSpec, scale: float = 1.0) -> Workload:
+    """Lower a spec to per-core event traces.
+
+    ``scale`` multiplies the outer iteration count (minimum 2 so every
+    epoch gets at least one producer/consumer handoff).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    iterations = max(2, round(spec.iterations * scale))
+    space = AddressSpace()
+    streams = [[] for _ in range(spec.num_cores)]
+    private_next = [0] * spec.num_cores
+
+    region_base = _region_layout(spec)
+    lock_layout = _lock_layout(spec, region_base)
+
+    for k in range(iterations):
+        if spec.serial_think or spec.serial_accesses:
+            _emit_serial_section(streams, spec, space, private_next)
+        for e_idx, epoch in enumerate(spec.epochs):
+            for core in range(spec.num_cores):
+                _emit_epoch_body(
+                    streams[core], spec, space, epoch, e_idx, core, k,
+                    region_base, private_next,
+                )
+                _emit_barrier(streams[core], e_idx)
+        for l_idx, lock in enumerate(spec.locks):
+            if lock.every > 1 and k % lock.every:
+                continue
+            for site in range(lock.n_sites):
+                for core in range(spec.num_cores):
+                    _emit_critical_section(
+                        streams[core], space, lock, lock_layout[(l_idx, site)],
+                        l_idx, site,
+                    )
+        # Close the iteration so lock epochs do not run into the next
+        # iteration's first epoch.
+        if spec.locks:
+            for core in range(spec.num_cores):
+                _emit_barrier(streams[core], len(spec.epochs))
+
+    return Workload(name=spec.name, num_cores=spec.num_cores, events=streams)
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+
+def _region_layout(spec: BenchmarkSpec) -> dict:
+    """Shared-region start block per (epoch index, core).
+
+    Each region is double-buffered (two halves of ``region_blocks``): a
+    core writes half ``k % 2`` on instance ``k`` while consumers read the
+    half written on instance ``k - 1``, so producers never race with
+    same-instance consumers — the standard ping-pong idiom of
+    bulk-synchronous codes.
+    """
+    base = {}
+    next_block = 0
+    for e_idx in range(len(spec.epochs)):
+        for core in range(spec.num_cores):
+            base[(e_idx, core)] = next_block
+            next_block += 2 * spec.region_blocks
+    return base
+
+
+def _lock_layout(spec: BenchmarkSpec, region_base: dict) -> dict:
+    """(lock index, site) -> (lock address block, protected-region start)."""
+    next_block = (
+        max(region_base.values()) + spec.region_blocks if region_base else 0
+    )
+    layout = {}
+    for l_idx, lock in enumerate(spec.locks):
+        for site in range(lock.n_sites):
+            lock_block = next_block
+            next_block += 1
+            layout[(l_idx, site)] = (lock_block, next_block)
+            next_block += lock.protected_blocks
+    return layout
+
+
+# ----------------------------------------------------------------------
+# emission
+# ----------------------------------------------------------------------
+
+def _emit_epoch_body(
+    out, spec, space, epoch, e_idx, core, instance, region_base, private_next
+) -> None:
+    pc_base = (e_idx + 1) * _PC_EPOCH_STRIDE
+    noisy = epoch.noisy_every and instance % epoch.noisy_every == epoch.noisy_every - 1
+
+    if epoch.think:
+        out.append((OP_THINK, epoch.think if not noisy else epoch.think // 4))
+    if noisy:
+        # A control-flow path that touches almost nothing (Section 3.4).
+        addr = space.private_addr(core, private_next[core])
+        private_next[core] += 1
+        out.append((OP_READ, addr, pc_base + 300))
+        return
+
+    partners = partner_for(
+        epoch.pattern, core, instance, spec.num_cores,
+        seed=spec.seed + e_idx, stride=epoch.stride, offset=epoch.offset,
+        shift_every=epoch.shift_every,
+    )
+
+    # Double-buffer halves: write half (k % 2), read the partner's half
+    # written on the previous instance.
+    produce_half = (instance % 2) * spec.region_blocks
+    consume_half = ((instance - 1) % 2) * spec.region_blocks
+
+    # Consume/produce interleaved per element (read input, write output),
+    # the way stencil/pipeline loop bodies are actually written.  The
+    # interleaving also means communication counters observe both read
+    # sources and invalidation targets early in the epoch.
+    n_consume = min(epoch.consume_blocks, spec.region_blocks)
+    n_produce = min(epoch.produce_blocks, spec.region_blocks)
+    own_start = region_base[(e_idx, core)] + produce_half
+    consumed = []
+    for j in range(max(n_consume, n_produce)):
+        if j < n_consume:
+            for p_pos, partner in enumerate(partners):
+                start = region_base[(e_idx, partner)] + consume_half
+                addr = space.block_addr(start + j)
+                pc = pc_base + 100 + (j + p_pos) % epoch.pcs_per_role
+                out.append((OP_READ, addr, pc))
+                consumed.append((addr, pc))
+        if j < n_produce:
+            addr = space.block_addr(own_start + j)
+            pc = pc_base + 200 + j % epoch.pcs_per_role
+            out.append((OP_WRITE, addr, pc))
+
+    # Re-read consumed data (locality that hits in the private caches).
+    for _ in range(epoch.rereads):
+        for addr, pc in consumed:
+            out.append((OP_READ, addr, pc))
+
+    # Private streaming: cold misses that never communicate.
+    for j in range(epoch.private_blocks):
+        addr = space.private_addr(core, private_next[core])
+        private_next[core] += 1
+        out.append((OP_READ, addr, pc_base + 300 + j % epoch.pcs_per_role))
+
+    # Private working-set reuse: hits when the set fits the cache,
+    # capacity misses when it does not.
+    if epoch.private_working_set and epoch.private_ws_accesses:
+        ws_base = _PRIVATE_WS_BASE + e_idx * epoch.private_working_set
+        start = (instance * epoch.private_ws_accesses) % epoch.private_working_set
+        for j in range(epoch.private_ws_accesses):
+            index = (start + j) % epoch.private_working_set
+            addr = space.private_addr(core, ws_base + index)
+            out.append((OP_READ, addr, pc_base + 400 + j % epoch.pcs_per_role))
+
+
+def _emit_barrier(out, e_idx: int) -> None:
+    out.append((OP_SYNC, SyncKind.BARRIER, _PC_BARRIER_BASE + e_idx, None))
+
+
+def _emit_serial_section(streams, spec, space, private_next) -> None:
+    """Core 0 runs a serial section; everyone then meets at a barrier."""
+    master = streams[0]
+    if spec.serial_think:
+        master.append((OP_THINK, spec.serial_think))
+    for _ in range(spec.serial_accesses):
+        addr = space.private_addr(0, private_next[0])
+        private_next[0] += 1
+        master.append((OP_READ, addr, _PC_BARRIER_BASE - 1))
+    serial_barrier_idx = len(spec.epochs) + 1
+    for core in range(spec.num_cores):
+        _emit_barrier(streams[core], serial_barrier_idx)
+
+
+def _emit_critical_section(out, space, lock, layout, l_idx, site) -> None:
+    lock_block, data_start = layout
+    lock_addr = space.block_addr(lock_block)
+    lock_pc = _PC_LOCK_BASE + l_idx * 100 + site
+    unlock_pc = _PC_UNLOCK_BASE + l_idx * 100 + site
+
+    out.append((OP_SYNC, SyncKind.LOCK, lock_pc, lock_addr))
+    if lock.think:
+        out.append((OP_THINK, lock.think))
+    for j in range(lock.protected_blocks):
+        addr = space.block_addr(data_start + j)
+        for r in range(lock.rmw_per_block):
+            out.append((OP_READ, addr, lock_pc + 10 + j % 2))
+            out.append((OP_WRITE, addr, lock_pc + 20 + j % 2))
+    out.append((OP_SYNC, SyncKind.UNLOCK, unlock_pc, lock_addr))

@@ -1,0 +1,157 @@
+"""Reusable parallel-kernel workloads.
+
+Building blocks for users composing their own studies: each kernel is a
+canonical sharing idiom with a single knob-set, smaller and more legible
+than the full benchmark suite.  All return a ready
+:class:`~repro.workloads.base.Workload`.
+
+    from repro.workloads.kernels import producer_consumer, stencil
+
+    w = stencil(iterations=20)
+    result = simulate(w, predictor=SPPredictor(16))
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    EpochSpec,
+    LockSpec,
+    build_workload,
+)
+from repro.workloads.patterns import PatternKind
+
+
+def producer_consumer(
+    *,
+    iterations: int = 16,
+    blocks: int = 16,
+    partner_offset: int = 1,
+    num_cores: int = 16,
+):
+    """Stable pairwise producer-consumer exchange (Fig. 6(a) behaviour)."""
+    spec = BenchmarkSpec(
+        name="kernel-producer-consumer",
+        epochs=(
+            EpochSpec(pattern=PatternKind.STABLE, consume_blocks=blocks,
+                      produce_blocks=blocks, private_blocks=2,
+                      offset=partner_offset),
+        ),
+        iterations=iterations,
+        num_cores=num_cores,
+    )
+    return build_workload(spec)
+
+
+def stencil(
+    *,
+    iterations: int = 16,
+    halo_blocks: int = 12,
+    num_cores: int = 16,
+):
+    """Nearest-neighbour halo exchange (ocean/fluidanimate-like)."""
+    spec = BenchmarkSpec(
+        name="kernel-stencil",
+        epochs=(
+            EpochSpec(pattern=PatternKind.NEIGHBOR, consume_blocks=halo_blocks,
+                      produce_blocks=halo_blocks, private_blocks=4),
+        ),
+        iterations=iterations,
+        num_cores=num_cores,
+    )
+    return build_workload(spec)
+
+
+def ping_pong(
+    *,
+    iterations: int = 20,
+    blocks: int = 12,
+    stride: int = 2,
+    num_cores: int = 16,
+):
+    """Stride-repetitive exchange (Fig. 6(c) behaviour; stride 2 is the
+    pattern the evaluated SP design detects)."""
+    spec = BenchmarkSpec(
+        name="kernel-ping-pong",
+        epochs=(
+            EpochSpec(pattern=PatternKind.STRIDE, stride=stride,
+                      consume_blocks=blocks, produce_blocks=blocks,
+                      private_blocks=2),
+        ),
+        iterations=iterations,
+        num_cores=num_cores,
+    )
+    return build_workload(spec)
+
+
+def all_reduce(
+    *,
+    iterations: int = 12,
+    blocks: int = 10,
+    num_cores: int = 16,
+):
+    """Leaves exchange with a root core (reduction tree's top level)."""
+    spec = BenchmarkSpec(
+        name="kernel-all-reduce",
+        epochs=(
+            EpochSpec(pattern=PatternKind.REDUCTION, consume_blocks=blocks,
+                      produce_blocks=blocks, private_blocks=2),
+        ),
+        iterations=iterations,
+        num_cores=num_cores,
+    )
+    return build_workload(spec)
+
+
+def task_queue(
+    *,
+    iterations: int = 16,
+    queue_blocks: int = 4,
+    work_blocks: int = 8,
+    num_cores: int = 16,
+):
+    """A contended central work queue: a critical section pulls tasks
+    (migratory sharing), then private work (radiosity-like)."""
+    spec = BenchmarkSpec(
+        name="kernel-task-queue",
+        epochs=(
+            EpochSpec(pattern=PatternKind.PRIVATE, consume_blocks=0,
+                      produce_blocks=2, private_blocks=work_blocks),
+        ),
+        locks=(LockSpec(n_sites=1, protected_blocks=queue_blocks),),
+        iterations=iterations,
+        num_cores=num_cores,
+    )
+    return build_workload(spec)
+
+
+def pipeline(
+    *,
+    iterations: int = 16,
+    stage_blocks: int = 12,
+    num_cores: int = 16,
+):
+    """A software pipeline: each core consumes its upstream neighbour's
+    output (ferret/dedup-like but deterministic)."""
+    spec = BenchmarkSpec(
+        name="kernel-pipeline",
+        epochs=(
+            EpochSpec(pattern=PatternKind.NEIGHBOR,
+                      consume_blocks=stage_blocks,
+                      produce_blocks=stage_blocks, private_blocks=6),
+        ),
+        iterations=iterations,
+        num_cores=num_cores,
+    )
+    return build_workload(spec)
+
+
+#: Kernel registry for programmatic access.
+KERNELS = {
+    "producer-consumer": producer_consumer,
+    "stencil": stencil,
+    "ping-pong": ping_pong,
+    "all-reduce": all_reduce,
+    "task-queue": task_queue,
+    "pipeline": pipeline,
+}

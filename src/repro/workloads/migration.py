@@ -1,0 +1,93 @@
+"""Thread migration: move threads between cores mid-run (Section 5.5).
+
+``migrate_threads`` rewrites a workload so that, after a chosen barrier,
+each logical thread continues executing on a different physical core.
+Thread-private data moves with the thread (its later private accesses
+simply come from the new core), exactly as an OS migration behaves.
+
+The simulation engine pairs this with a ``migrations`` schedule that
+notifies the predictor at the same barrier, so a mapping-aware
+SP-predictor (one constructed with a
+:class:`~repro.core.mapping.CoreMapping`) can translate its stored
+logical-thread signatures to the new physical placement.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import OP_SYNC, Workload
+from repro.sync.points import SyncKind
+
+
+def split_at_barrier(stream, after_barrier: int) -> int:
+    """Index just past the ``after_barrier``-th barrier event (0-based)."""
+    seen = 0
+    for i, ev in enumerate(stream):
+        if ev[0] == OP_SYNC and ev[1] is SyncKind.BARRIER:
+            if seen == after_barrier:
+                return i + 1
+            seen += 1
+    raise ValueError(
+        f"stream has only {seen} barriers; cannot split after barrier "
+        f"{after_barrier}"
+    )
+
+
+def migrate_threads(
+    workload: Workload,
+    physical_of_logical,
+    after_barrier: int,
+) -> Workload:
+    """Produce a workload where threads migrate once, at a barrier.
+
+    ``physical_of_logical[t]`` is the core thread ``t`` runs on *after*
+    the ``after_barrier``-th (0-based) barrier; before it, thread ``t``
+    runs on core ``t``.  The permutation must be a bijection.
+    """
+    return apply_migration_schedule(
+        workload, [(after_barrier, physical_of_logical)]
+    )
+
+
+def apply_migration_schedule(workload: Workload, schedule) -> Workload:
+    """Apply a sequence of placements: threads move at several barriers.
+
+    ``schedule`` is ``[(after_barrier, physical_of_logical), ...]`` with
+    strictly increasing barrier indices.  Before the first entry every
+    thread ``t`` runs on core ``t``; after entry ``k`` thread ``t`` runs
+    on ``schedule[k][1][t]``.
+    """
+    n = workload.num_cores
+    entries = sorted(schedule, key=lambda item: item[0])
+    barriers = [b for b, _ in entries]
+    if len(set(barriers)) != len(barriers):
+        raise ValueError("schedule has duplicate barrier indices")
+    placements = [list(range(n))]
+    for _, placement in entries:
+        perm = list(placement)
+        if sorted(perm) != list(range(n)):
+            raise ValueError("physical_of_logical must be a permutation")
+        placements.append(perm)
+
+    # Cut every thread's stream at each scheduled barrier.
+    segments = []  # segments[t][k] = thread t's events during placement k
+    for thread in range(n):
+        stream = workload.stream(thread)
+        cuts = [0]
+        for after_barrier in barriers:
+            cuts.append(split_at_barrier(stream, after_barrier))
+        cuts.append(len(stream))
+        segments.append(
+            [stream[cuts[k]:cuts[k + 1]] for k in range(len(cuts) - 1)]
+        )
+
+    assembled = [[] for _ in range(n)]
+    for k, placement in enumerate(placements):
+        for thread in range(n):
+            assembled[placement[thread]].extend(segments[thread][k])
+
+    tag = ",".join(str(b) for b in barriers)
+    return Workload(
+        name=f"{workload.name}+migrated@{tag}",
+        num_cores=n,
+        events=assembled,
+    )

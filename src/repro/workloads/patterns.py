@@ -1,0 +1,108 @@
+"""Epoch-level sharing patterns.
+
+Each pattern decides, for core ``c`` on dynamic instance ``k`` of a static
+epoch, which producer core(s) the core consumes data from.  These are the
+generators of the hot-set behaviours the paper characterizes in Figure 6:
+
+* ``STABLE``      — a fixed partner every instance (stable producer-consumer).
+* ``SHIFTING``    — stable for a while, then the partner changes (Fig. 6(b)).
+* ``STRIDE``      — the partner cycles with a fixed period (Fig. 6(c)).
+* ``NEIGHBOR``    — the mesh neighbour (pipeline / stencil codes).
+* ``RANDOM``      — a fresh pseudo-random partner each instance (Fig. 6(d)).
+* ``REDUCTION``   — everyone consumes from one root core.
+* ``COMBINED``    — a stable partner plus a random extra (Fig. 6(e)).
+* ``PRIVATE``     — no sharing at all (compute-local epochs).
+
+Partner choice is a pure function of (core, instance, seed) so traces are
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+
+
+class PatternKind(enum.Enum):
+    STABLE = "stable"
+    SHIFTING = "shifting"
+    STRIDE = "stride"
+    NEIGHBOR = "neighbor"
+    RANDOM = "random"
+    REDUCTION = "reduction"
+    COMBINED = "combined"
+    PRIVATE = "private"
+
+
+def _hash_pick(seed: int, *parts: int) -> int:
+    """A small deterministic hash for pseudo-random partner choices."""
+    data = (seed,) + parts
+    digest = hashlib.blake2b(
+        b",".join(str(p).encode() for p in data), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def partner_for(
+    pattern: PatternKind,
+    core: int,
+    instance: int,
+    num_cores: int,
+    *,
+    seed: int = 0,
+    stride: int = 3,
+    offset: int = 1,
+    shift_every: int = 6,
+    mesh_width: int = 4,
+) -> list:
+    """Producer cores that ``core`` consumes from on dynamic ``instance``.
+
+    Returns a (possibly empty) list of distinct cores != ``core``.
+    """
+    if num_cores < 2:
+        return []
+    if pattern is PatternKind.PRIVATE:
+        return []
+
+    if pattern is PatternKind.STABLE:
+        return [_other(core, (core + offset) % num_cores, num_cores)]
+
+    if pattern is PatternKind.SHIFTING:
+        # The stable partner advances by one every `shift_every` instances.
+        phase = instance // max(1, shift_every)
+        return [_other(core, (core + offset + phase) % num_cores, num_cores)]
+
+    if pattern is PatternKind.STRIDE:
+        step = instance % max(1, stride)
+        return [_other(core, (core + offset + step) % num_cores, num_cores)]
+
+    if pattern is PatternKind.NEIGHBOR:
+        x, y = core % mesh_width, core // mesh_width
+        nx = (x + 1) % mesh_width
+        return [_other(core, y * mesh_width + nx, num_cores)]
+
+    if pattern is PatternKind.RANDOM:
+        pick = _hash_pick(seed, core, instance) % (num_cores - 1)
+        partner = pick if pick < core else pick + 1
+        return [partner]
+
+    if pattern is PatternKind.REDUCTION:
+        root = 0
+        if core == root:
+            # The root gathers from a rotating subset of leaves.
+            leaf = 1 + (_hash_pick(seed, instance) % (num_cores - 1))
+            return [_other(core, leaf, num_cores)]
+        return [root]
+
+    if pattern is PatternKind.COMBINED:
+        stable = _other(core, (core + offset) % num_cores, num_cores)
+        pick = _hash_pick(seed, core, instance, 7) % (num_cores - 1)
+        extra = pick if pick < core else pick + 1
+        return [stable] if extra == stable else [stable, extra]
+
+    raise ValueError(f"unhandled pattern {pattern}")
+
+
+def _other(core: int, candidate: int, num_cores: int) -> int:
+    """Ensure the partner differs from the consuming core."""
+    return candidate if candidate != core else (candidate + 1) % num_cores

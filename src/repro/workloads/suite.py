@@ -1,0 +1,279 @@
+"""The 17-workload suite mirroring the paper's SPLASH-2 + PARSEC set.
+
+Each spec is tuned so that, on the simulated 16-core machine:
+
+* static epoch and lock-site counts follow Table 1 of the paper;
+* the relative number of *dynamic* epoch instances follows Table 1's
+  ordering (heavily iterated apps like radiosity/streamcluster iterate
+  many times here too; fft/radix/ferret barely repeat, which is why the
+  paper sees them rely on d = 0 prediction);
+* the communicating-miss ratio lands near the application's bar in
+  Fig. 1 (``target_comm_ratio``);
+* the epoch sharing patterns match the behaviour the paper reports
+  (e.g. stride-repetitive epochs in ocean/streamcluster, random
+  migratory sharing in radiosity, stable neighbour exchange in x264).
+
+Absolute trace sizes are scaled far below the real benchmarks so the
+pure-Python simulation stays tractable; all reported metrics are ratios,
+which is what the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import BenchmarkSpec, EpochSpec, LockSpec
+from repro.workloads.patterns import PatternKind as P
+
+
+def _epochs(*specs) -> tuple:
+    return tuple(specs)
+
+
+def _repeat(spec: EpochSpec, count: int) -> list:
+    return [spec] * count
+
+
+def _stable(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.STABLE, **kw)
+
+
+def _stride(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.STRIDE, **kw)
+
+
+def _neighbor(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.NEIGHBOR, **kw)
+
+
+def _random(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.RANDOM, **kw)
+
+
+def _combined(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.COMBINED, **kw)
+
+
+def _shifting(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.SHIFTING, **kw)
+
+
+def _reduction(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.REDUCTION, **kw)
+
+
+def _private(**kw) -> EpochSpec:
+    return EpochSpec(pattern=P.PRIVATE, consume_blocks=0, produce_blocks=4, **kw)
+
+
+SUITE = {
+    # ------------------------------------------------------------- SPLASH-2
+    "fmm": BenchmarkSpec(
+        name="fmm",
+        epochs=tuple(
+            _repeat(_stable(consume_blocks=12, produce_blocks=12, private_blocks=10), 8)
+            + _repeat(_combined(consume_blocks=10, produce_blocks=10, private_blocks=10), 6)
+            + _repeat(_random(consume_blocks=8, produce_blocks=8, private_blocks=10,
+                              noisy_every=7), 6)
+        ),
+        locks=(LockSpec(n_sites=30, protected_blocks=2, every=2),),
+        iterations=10,
+        target_comm_ratio=0.55,
+    ),
+    "lu": BenchmarkSpec(
+        name="lu",
+        epochs=tuple(
+            _repeat(_neighbor(consume_blocks=6, produce_blocks=6, private_blocks=40), 5)
+        ),
+        locks=(LockSpec(n_sites=7, protected_blocks=2, every=3),),
+        iterations=8,
+        serial_think=4000,
+        serial_accesses=24,
+        target_comm_ratio=0.20,
+    ),
+    "ocean": BenchmarkSpec(
+        name="ocean",
+        epochs=tuple(
+            _repeat(_neighbor(consume_blocks=16, produce_blocks=16, private_blocks=12), 10)
+            + _repeat(_stride(consume_blocks=14, produce_blocks=14, private_blocks=12,
+                              stride=2), 10)
+        ),
+        locks=(LockSpec(n_sites=28, protected_blocks=2, every=4),),
+        iterations=12,
+        target_comm_ratio=0.55,
+    ),
+    "radiosity": BenchmarkSpec(
+        name="radiosity",
+        epochs=tuple(
+            _repeat(_random(consume_blocks=10, produce_blocks=10, private_blocks=4), 8)
+            + _repeat(_combined(consume_blocks=8, produce_blocks=8, private_blocks=4), 4)
+        ),
+        locks=(LockSpec(n_sites=34, protected_blocks=2, every=1),),
+        iterations=20,
+        target_comm_ratio=0.75,
+    ),
+    "water-ns": BenchmarkSpec(
+        name="water-ns",
+        epochs=tuple(
+            _repeat(_stable(consume_blocks=16, produce_blocks=16, private_blocks=5), 8)
+        ),
+        locks=(LockSpec(n_sites=20, protected_blocks=2, every=1),),
+        iterations=16,
+        target_comm_ratio=0.80,
+    ),
+    "cholesky": BenchmarkSpec(
+        name="cholesky",
+        epochs=tuple(
+            _repeat(_combined(consume_blocks=16, produce_blocks=16,
+                              private_blocks=16), 14)
+            + _repeat(_shifting(consume_blocks=16, produce_blocks=16,
+                                private_blocks=16, noisy_every=5), 13)
+        ),
+        locks=(LockSpec(n_sites=28, protected_blocks=2, every=3),),
+        iterations=8,
+        target_comm_ratio=0.50,
+    ),
+    "fft": BenchmarkSpec(
+        name="fft",
+        epochs=tuple(
+            _repeat(_stride(consume_blocks=20, produce_blocks=20, private_blocks=24,
+                            stride=2), 4)
+            + _repeat(_reduction(consume_blocks=16, produce_blocks=16,
+                                 private_blocks=24), 4)
+        ),
+        locks=(LockSpec(n_sites=8, protected_blocks=2, every=2),),
+        iterations=3,
+        target_comm_ratio=0.45,
+    ),
+    "radix": BenchmarkSpec(
+        name="radix",
+        epochs=tuple(
+            _repeat(_stride(consume_blocks=6, produce_blocks=6, private_blocks=48,
+                            stride=2), 4)
+        ),
+        locks=(LockSpec(n_sites=8, protected_blocks=2, every=4),),
+        iterations=8,
+        serial_think=4000,
+        serial_accesses=24,
+        target_comm_ratio=0.20,
+    ),
+    "water-sp": BenchmarkSpec(
+        name="water-sp",
+        epochs=_epochs(
+            _stable(consume_blocks=18, produce_blocks=18, private_blocks=12),
+        ),
+        locks=(LockSpec(n_sites=17, protected_blocks=2, every=1),),
+        iterations=40,
+        target_comm_ratio=0.75,
+    ),
+    # --------------------------------------------------------------- PARSEC
+    "bodytrack": BenchmarkSpec(
+        name="bodytrack",
+        epochs=tuple(
+            _repeat(_stable(consume_blocks=14, produce_blocks=14, private_blocks=6), 8)
+            + _repeat(_stride(consume_blocks=12, produce_blocks=12, private_blocks=6,
+                              stride=3), 6)
+            + _repeat(_shifting(consume_blocks=12, produce_blocks=12, private_blocks=6,
+                                shift_every=5), 6)
+        ),
+        locks=(LockSpec(n_sites=16, protected_blocks=2, every=2),),
+        iterations=12,
+        target_comm_ratio=0.70,
+    ),
+    "fluidanimate": BenchmarkSpec(
+        name="fluidanimate",
+        epochs=tuple(
+            _repeat(_neighbor(consume_blocks=12, produce_blocks=12, private_blocks=6), 20)
+        ),
+        locks=(LockSpec(n_sites=11, protected_blocks=2, every=1),),
+        iterations=20,
+        target_comm_ratio=0.65,
+    ),
+    "streamcluster": BenchmarkSpec(
+        name="streamcluster",
+        epochs=tuple(
+            _repeat(_stride(consume_blocks=14, produce_blocks=14, private_blocks=3,
+                            stride=2), 20)
+            + _repeat(_reduction(consume_blocks=12, produce_blocks=12,
+                                 private_blocks=3), 4)
+        ),
+        locks=(LockSpec(n_sites=1, protected_blocks=2, every=1),),
+        iterations=22,
+        # The paper's bar looks higher (~0.85); the stride epochs' cold
+        # first laps and the reduction phases dilute it here.
+        target_comm_ratio=0.60,
+    ),
+    "vips": BenchmarkSpec(
+        name="vips",
+        epochs=tuple(
+            _repeat(_neighbor(consume_blocks=10, produce_blocks=10, private_blocks=12,
+                              noisy_every=6), 8)
+        ),
+        locks=(LockSpec(n_sites=14, protected_blocks=2, every=3),),
+        iterations=12,
+        target_comm_ratio=0.50,
+    ),
+    "facesim": BenchmarkSpec(
+        name="facesim",
+        epochs=tuple(
+            _repeat(_stable(consume_blocks=16, produce_blocks=16, private_blocks=10), 3)
+        ),
+        locks=(LockSpec(n_sites=2, protected_blocks=2, every=2),),
+        iterations=28,
+        target_comm_ratio=0.60,
+    ),
+    "ferret": BenchmarkSpec(
+        name="ferret",
+        epochs=tuple(
+            _repeat(_combined(consume_blocks=24, produce_blocks=24,
+                              private_blocks=10), 6)
+        ),
+        locks=(LockSpec(n_sites=4, protected_blocks=2, every=2),),
+        iterations=3,
+        target_comm_ratio=0.70,
+    ),
+    "dedup": BenchmarkSpec(
+        name="dedup",
+        epochs=tuple(
+            _repeat(_random(consume_blocks=12, produce_blocks=12, private_blocks=8), 1)
+            + _repeat(_shifting(consume_blocks=12, produce_blocks=12,
+                                private_blocks=8), 1)
+            + _repeat(_combined(consume_blocks=12, produce_blocks=12,
+                                private_blocks=8), 2)
+        ),
+        locks=(LockSpec(n_sites=3, protected_blocks=2, every=1),),
+        iterations=18,
+        target_comm_ratio=0.60,
+    ),
+    "x264": BenchmarkSpec(
+        name="x264",
+        epochs=tuple(
+            _repeat(_neighbor(consume_blocks=18, produce_blocks=18, private_blocks=2), 3)
+        ),
+        locks=(LockSpec(n_sites=2, protected_blocks=2, every=4),),
+        iterations=14,
+        target_comm_ratio=0.90,
+    ),
+}
+
+
+def benchmark_names() -> list:
+    """Suite order used throughout the paper's figures."""
+    return list(SUITE.keys())
+
+
+def load_benchmark(name: str, scale: float = 1.0, seed: int | None = None):
+    """Build the named benchmark's workload trace.
+
+    ``seed`` overrides the spec's pseudo-random seed (different seeds
+    re-roll the RANDOM/COMBINED pattern choices — useful for checking
+    that headline metrics are seed-robust).
+    """
+    import dataclasses
+
+    from repro.workloads.generator import build_workload
+
+    if name not in SUITE:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {benchmark_names()}")
+    spec = SUITE[name]
+    if seed is not None:
+        spec = dataclasses.replace(spec, seed=seed)
+    return build_workload(spec, scale=scale)

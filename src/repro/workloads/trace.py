@@ -1,0 +1,113 @@
+"""Trace persistence: save and load workload traces as text files.
+
+A saved trace replays identically across machines and library versions,
+which matters for the paper-reproduction use case (the authors' Simics
+traces played the same role).  The format is a line-oriented text file,
+one file per workload:
+
+    # repro-trace v1
+    workload <name> cores <n>
+    core <id>
+    r <addr> <pc>
+    w <addr> <pc>
+    t <cycles>
+    s <kind> <pc> [<lock_addr>]
+
+Addresses and PCs are hexadecimal; sync kinds are the
+:class:`~repro.sync.points.SyncKind` values.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+
+_MAGIC = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """The trace file is malformed or from an unknown format version."""
+
+
+def dump_trace(workload: Workload, path: str | os.PathLike) -> None:
+    """Write a workload's event streams to a trace file."""
+    with open(path, "w", encoding="ascii") as fh:
+        write_trace(workload, fh)
+
+
+def write_trace(workload: Workload, fh: io.TextIOBase) -> None:
+    fh.write(_MAGIC + "\n")
+    fh.write(f"workload {workload.name} cores {workload.num_cores}\n")
+    for core in range(workload.num_cores):
+        fh.write(f"core {core}\n")
+        for ev in workload.stream(core):
+            op = ev[0]
+            if op == OP_READ:
+                fh.write(f"r {ev[1]:x} {ev[2]:x}\n")
+            elif op == OP_WRITE:
+                fh.write(f"w {ev[1]:x} {ev[2]:x}\n")
+            elif op == OP_THINK:
+                fh.write(f"t {ev[1]}\n")
+            elif op == OP_SYNC:
+                kind, pc, lock_addr = ev[1], ev[2], ev[3]
+                if lock_addr is None:
+                    fh.write(f"s {kind.value} {pc:x}\n")
+                else:
+                    fh.write(f"s {kind.value} {pc:x} {lock_addr:x}\n")
+            else:
+                raise TraceFormatError(f"unknown event opcode {op!r}")
+
+
+def load_trace(path: str | os.PathLike) -> Workload:
+    """Read a workload back from a trace file."""
+    with open(path, "r", encoding="ascii") as fh:
+        return read_trace(fh)
+
+
+def read_trace(fh: io.TextIOBase) -> Workload:
+    header = fh.readline().rstrip("\n")
+    if header != _MAGIC:
+        raise TraceFormatError(f"bad magic line: {header!r}")
+    meta = fh.readline().split()
+    if len(meta) != 4 or meta[0] != "workload" or meta[2] != "cores":
+        raise TraceFormatError(f"bad workload line: {' '.join(meta)!r}")
+    name, num_cores = meta[1], int(meta[3])
+    if num_cores < 1:
+        raise TraceFormatError("core count must be positive")
+
+    streams = [[] for _ in range(num_cores)]
+    current = None
+    for lineno, line in enumerate(fh, start=3):
+        parts = line.split()
+        if not parts:
+            continue
+        tag = parts[0]
+        try:
+            if tag == "core":
+                current = int(parts[1])
+                if not 0 <= current < num_cores:
+                    raise TraceFormatError(f"core {current} out of range")
+            elif tag == "r":
+                streams[current].append((OP_READ, int(parts[1], 16),
+                                         int(parts[2], 16)))
+            elif tag == "w":
+                streams[current].append((OP_WRITE, int(parts[1], 16),
+                                         int(parts[2], 16)))
+            elif tag == "t":
+                streams[current].append((OP_THINK, int(parts[1])))
+            elif tag == "s":
+                kind = SyncKind(parts[1])
+                pc = int(parts[2], 16)
+                lock = int(parts[3], 16) if len(parts) > 3 else None
+                streams[current].append((OP_SYNC, kind, pc, lock))
+            else:
+                raise TraceFormatError(f"unknown record {tag!r}")
+        except TraceFormatError:
+            raise
+        except (TypeError, ValueError, IndexError) as exc:
+            raise TraceFormatError(f"line {lineno}: {line!r}") from exc
+
+    return Workload(name=name, num_cores=num_cores, events=streams)

@@ -1,0 +1,104 @@
+"""Tests for communication-matrix analysis."""
+
+import pytest
+
+from repro.analysis.comm_matrix import (
+    gini_coefficient,
+    hotspot,
+    matrix_of,
+    render,
+    summarize,
+    symmetry_index,
+    total_volume,
+)
+from repro.sim.engine import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_monotone_in_concentration(self):
+        spread = gini_coefficient([3, 3, 2, 2])
+        tight = gini_coefficient([9, 1, 0, 0])
+        assert tight > spread
+
+
+class TestSymmetry:
+    def test_perfectly_symmetric(self):
+        m = [[0, 5, 2], [5, 0, 1], [2, 1, 0]]
+        assert symmetry_index(m) == pytest.approx(1.0)
+
+    def test_one_directional(self):
+        m = [[0, 5, 5], [0, 0, 5], [0, 0, 0]]
+        assert symmetry_index(m) == pytest.approx(0.0)
+
+    def test_empty_matrix(self):
+        assert symmetry_index([[0, 0], [0, 0]]) == 1.0
+
+
+class TestHotspot:
+    def test_finds_heaviest_source(self):
+        m = [[0, 1, 9], [0, 0, 9], [1, 1, 0]]
+        core, share = hotspot(m)
+        assert core == 2
+        assert share == pytest.approx(18 / 21)
+
+    def test_empty(self):
+        assert hotspot([[0, 0], [0, 0]]) == (None, 0.0)
+
+
+class TestSummarize:
+    def test_mesif_forward_state_spreads_reduction_sourcing(self, small_machine):
+        """Everyone consumes core 0's data, yet core 0 does NOT hotspot:
+        the first leaf to read a block becomes its Forward holder and
+        sources the next leaf, chaining responses across consumers.
+        (One reason wide-sharing epochs grow larger hot sets.)"""
+        spec = make_spec(PatternKind.REDUCTION, epochs=1, iterations=5)
+        result = simulate(build_workload(spec), machine=small_machine)
+        summary = summarize(result)
+        assert summary.hotspot_share < 0.2
+        assert summary.total_volume == total_volume(matrix_of(result))
+        assert summary.pair_density > 0.25  # chaining touches many pairs
+
+    def test_neighbor_pattern_is_sparse(self, small_machine):
+        spec = make_spec(PatternKind.NEIGHBOR, epochs=1, iterations=5)
+        result = simulate(build_workload(spec), machine=small_machine)
+        summary = summarize(result)
+        # Each core talks to ~2 others out of 15 possible.
+        assert summary.pair_density < 0.35
+        assert summary.gini > 0.5
+
+    def test_random_pattern_is_denser_than_stable(self, small_machine):
+        stable = simulate(
+            build_workload(make_spec(PatternKind.STABLE, epochs=1,
+                                     iterations=6)),
+            machine=small_machine,
+        )
+        random_ = simulate(
+            build_workload(make_spec(PatternKind.RANDOM, epochs=1,
+                                     iterations=6)),
+            machine=small_machine,
+        )
+        assert (
+            summarize(random_).pair_density
+            > summarize(stable).pair_density
+        )
+
+
+class TestRender:
+    def test_shape(self):
+        text = render([[0, 1], [2, 0]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "c0" in lines[0] and "c1" in lines[0]

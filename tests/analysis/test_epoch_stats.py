@@ -1,0 +1,60 @@
+"""Tests for Table 1 epoch statistics."""
+
+import pytest
+
+from repro.analysis.epoch_stats import epoch_statistics
+from repro.sim.engine import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+class TestEpochStatistics:
+    def test_requires_collection(self, small_machine, stable_workload):
+        result = simulate(stable_workload, machine=small_machine)
+        with pytest.raises(ValueError):
+            epoch_statistics(result)
+
+    def test_static_epoch_count(self, small_machine):
+        spec = make_spec(PatternKind.STABLE, epochs=3, iterations=4)
+        result = simulate(
+            build_workload(spec), machine=small_machine, collect_epochs=True
+        )
+        stats = epoch_statistics(result)
+        # 3 barrier PCs; the epoch before the first barrier has no identity.
+        assert stats.static_sync_epochs == 3
+        assert stats.static_critical_sections == 0
+
+    def test_lock_epochs_counted_as_critical_sections(self, small_machine):
+        spec = make_spec(PatternKind.PRIVATE, epochs=1, iterations=4, locks=2)
+        result = simulate(
+            build_workload(spec), machine=small_machine, collect_epochs=True
+        )
+        stats = epoch_statistics(result)
+        assert stats.static_critical_sections == 2
+        assert stats.dynamic_critical_sections_per_core > 0
+
+    def test_dynamic_scales_with_iterations(self, small_machine):
+        few = simulate(
+            build_workload(make_spec(epochs=2, iterations=3)),
+            machine=small_machine, collect_epochs=True,
+        )
+        many = simulate(
+            build_workload(make_spec(epochs=2, iterations=9)),
+            machine=small_machine, collect_epochs=True,
+        )
+        assert (
+            epoch_statistics(many).dynamic_epochs_per_core
+            > epoch_statistics(few).dynamic_epochs_per_core
+        )
+
+    def test_row_shape(self, small_machine):
+        result = simulate(
+            build_workload(make_spec()), machine=small_machine,
+            collect_epochs=True,
+        )
+        row = epoch_statistics(result).row()
+        assert set(row) == {
+            "benchmark", "static_crit_sect", "static_sync_epochs",
+            "dyn_epochs_per_core",
+        }

@@ -1,0 +1,102 @@
+"""Tests for locality analysis."""
+
+import pytest
+
+from repro.analysis.locality import (
+    average_cumulative_coverage,
+    coverage_by_granularity,
+    cumulative_coverage,
+    hot_set_size_distribution,
+)
+from repro.sim.engine import simulate
+from repro.sim.results import EpochRecord
+from repro.sync.points import SyncKind
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+def record(volumes, core=0, instance=1):
+    return EpochRecord(
+        core=core, key=("pc", 1), kind=SyncKind.BARRIER, instance=instance,
+        volume_by_target=tuple(volumes), misses=sum(volumes),
+        comm_misses=sum(volumes),
+    )
+
+
+class TestCumulativeCoverage:
+    def test_perfectly_local(self):
+        assert cumulative_coverage([10, 0, 0]) == [1.0, 1.0, 1.0]
+
+    def test_uniform(self):
+        curve = cumulative_coverage([5, 5, 5, 5])
+        assert curve == [0.25, 0.5, 0.75, 1.0]
+
+    def test_sorted_descending(self):
+        curve = cumulative_coverage([1, 9, 0])
+        assert curve[0] == pytest.approx(0.9)
+
+    def test_zero_volume(self):
+        assert cumulative_coverage([0, 0]) == [0.0, 0.0]
+
+    def test_average_skips_empty(self):
+        avg = average_cumulative_coverage([[10, 0], [0, 0]])
+        assert avg == [1.0, 1.0]
+
+    def test_average_empty_input(self):
+        assert average_cumulative_coverage([]) == []
+
+    def test_average_requires_equal_widths(self):
+        with pytest.raises(ValueError):
+            average_cumulative_coverage([[1, 2], [1, 2, 3]])
+
+
+class TestHotSetDistribution:
+    def test_sizes_histogrammed(self):
+        records = [
+            record([0, 100, 0, 0]),
+            record([0, 50, 50, 0]),
+            record([0, 50, 50, 0]),
+        ]
+        dist = hot_set_size_distribution(records)
+        assert dist[1] == pytest.approx(1 / 3)
+        assert dist[2] == pytest.approx(2 / 3)
+
+    def test_zero_volume_records_skipped(self):
+        assert hot_set_size_distribution([record([0, 0])]) == {}
+
+    def test_self_core_excluded(self):
+        dist = hot_set_size_distribution([record([100, 10], core=0)])
+        assert dist == {1: 1.0}
+
+
+class TestCoverageByGranularity:
+    def test_requires_collection(self, small_machine, stable_workload):
+        result = simulate(stable_workload, machine=small_machine)
+        with pytest.raises(ValueError):
+            coverage_by_granularity(result)
+
+    def test_three_curves_produced(self, small_machine):
+        spec = make_spec(PatternKind.STABLE, epochs=2, iterations=5)
+        result = simulate(
+            build_workload(spec), machine=small_machine, collect_epochs=True
+        )
+        curves = coverage_by_granularity(result)
+        assert set(curves) == {
+            "sync-epoch", "single-interval", "static instruction",
+        }
+        for curve in curves.values():
+            assert len(curve) == 16
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_epoch_locality_dominates_whole_run(self, small_machine):
+        """The paper's central characterization claim (Fig. 4)."""
+        spec = make_spec(PatternKind.STRIDE, stride=3, epochs=2, iterations=9)
+        result = simulate(
+            build_workload(spec), machine=small_machine, collect_epochs=True
+        )
+        curves = coverage_by_granularity(result)
+        epoch = curves["sync-epoch"]
+        whole = curves["single-interval"]
+        assert epoch[0] >= whole[0]
+        assert epoch[1] >= whole[1]

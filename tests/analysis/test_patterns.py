@@ -1,0 +1,83 @@
+"""Tests for instance-pattern classification."""
+
+from repro.analysis.patterns import (
+    InstancePattern,
+    classify_instances,
+    classify_sequence,
+)
+from repro.core.signatures import Signature
+from repro.sim.results import EpochRecord
+from repro.sync.points import SyncKind
+
+A = Signature({1})
+B = Signature({2})
+C = Signature({3})
+
+
+def record(volumes, core=0, key=("pc", 1), instance=1):
+    return EpochRecord(
+        core=core, key=key, kind=SyncKind.BARRIER, instance=instance,
+        volume_by_target=tuple(volumes), misses=sum(volumes),
+        comm_misses=sum(volumes),
+    )
+
+
+class TestClassifySequence:
+    def test_stable(self):
+        assert classify_sequence([A, A, A, A]) == (InstancePattern.STABLE, None)
+
+    def test_repetitive_stride2(self):
+        pattern, period = classify_sequence([A, B, A, B, A, B])
+        assert pattern is InstancePattern.REPETITIVE
+        assert period == 2
+
+    def test_repetitive_stride3(self):
+        pattern, period = classify_sequence([A, B, C, A, B, C, A, B, C])
+        assert pattern is InstancePattern.REPETITIVE
+        assert period == 3
+
+    def test_shifted_stable(self):
+        pattern, _ = classify_sequence([A, A, A, B, B, B])
+        assert pattern is InstancePattern.SHIFTED_STABLE
+
+    def test_combined(self):
+        seq = [Signature({1, 2}), Signature({1, 5}), Signature({1, 9}),
+               Signature({1, 3})]
+        pattern, _ = classify_sequence(seq)
+        assert pattern is InstancePattern.COMBINED
+
+    def test_random(self):
+        seq = [A, B, C, Signature({9}), B, A, C]
+        pattern, _ = classify_sequence(seq)
+        assert pattern is InstancePattern.RANDOM
+
+    def test_too_few(self):
+        assert classify_sequence([A, B])[0] is InstancePattern.TOO_FEW
+
+
+class TestClassifyInstances:
+    def test_groups_by_core_and_key(self):
+        records = []
+        for instance in range(1, 6):
+            records.append(record([0, 10, 0, 0], core=0, instance=instance))
+            records.append(record([0, 0, 10, 0], core=1, instance=instance))
+        reports = classify_instances(records)
+        assert len(reports) == 2
+        assert all(r.pattern is InstancePattern.STABLE for r in reports)
+
+    def test_noisy_instances_excluded(self):
+        records = [record([0, 100, 0, 0], instance=i) for i in range(1, 5)]
+        # One near-empty instance that would break the stable pattern.
+        records.append(record([0, 0, 0, 1], instance=5))
+        reports = classify_instances(records, noise_fraction=0.25)
+        assert reports[0].pattern is InstancePattern.STABLE
+        assert reports[0].noisy_instances == 1
+
+    def test_alternating_volumes_detected_as_repetitive(self):
+        records = []
+        for i in range(1, 9):
+            vol = [0, 10, 0, 0] if i % 2 else [0, 0, 10, 0]
+            records.append(record(vol, instance=i))
+        reports = classify_instances(records)
+        assert reports[0].pattern is InstancePattern.REPETITIVE
+        assert reports[0].period == 2

@@ -1,0 +1,92 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.textplots import bar_chart, grouped_bars, scatter, sparkline
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart(["a", "b"], [1.0, 0.5], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart(["x", "longer"], [1, 1])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title_first(self):
+        out = bar_chart(["a"], [1], title="My Plot")
+        assert out.splitlines()[0] == "My Plot"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_explicit_max(self):
+        out = bar_chart(["a"], [0.5], width=10, max_value=1.0)
+        assert out.count("#") == 5
+
+    def test_values_rendered(self):
+        assert "0.250" in bar_chart(["a"], [0.25])
+
+
+class TestGroupedBars:
+    def test_one_subrow_per_series(self):
+        out = grouped_bars(["w1", "w2"], {"dir": [1, 1], "sp": [0.5, 0.9]})
+        assert len(out.splitlines()) == 4
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["a"], {"s": [1, 2]})
+
+
+class TestScatter:
+    def test_markers_placed_at_extremes(self):
+        out = scatter(
+            [(0, 0, "A"), (10, 10, "B")], width=20, height=10,
+        )
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert "A" in lines[-1]   # bottom-left
+        assert "B" in lines[0]    # top-right
+
+    def test_degenerate_single_point(self):
+        out = scatter([(5, 5, "X")], width=10, height=5)
+        assert "X" in out
+
+    def test_empty(self):
+        assert scatter([], title="t") == "t"
+
+    def test_axis_annotations(self):
+        out = scatter([(0, 0, "A"), (1, 2, "B")], x_label="bw", y_label="ind")
+        assert "bw" in out and "ind" in out
+
+
+class TestSparkline:
+    def test_monotone_values(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_flat_values(self):
+        assert sparkline([5, 5, 5]) == "   "
+
+    def test_downsampling(self):
+        assert len(sparkline(range(100), width=10)) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestCliPlots:
+    def test_plot_flag_renders_bars(self, capsys):
+        from repro.experiments.__main__ import main
+
+        main(["fig1", "--scale", "0.05", "--quiet", "--plot"])
+        out = capsys.readouterr().out
+        assert "comm_ratio" in out
+        assert "#" in out

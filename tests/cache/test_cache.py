@@ -1,0 +1,110 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+
+from repro.cache.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, assoc=2, line=64) -> Cache:
+    return Cache(CacheConfig(size=size, assoc=assoc, line_size=line))
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(size=1024, assoc=2, line_size=64)
+        assert cfg.num_sets == 8
+        assert cfg.num_lines == 16
+
+    def test_block_and_set_mapping(self):
+        cfg = CacheConfig(size=1024, assoc=2, line_size=64)
+        assert cfg.block_of(0) == 0
+        assert cfg.block_of(63) == 0
+        assert cfg.block_of(64) == 1
+        assert cfg.set_of_block(8) == 0
+        assert cfg.set_of_block(9) == 1
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, assoc=2, line_size=48)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, assoc=2, line_size=64)
+
+
+class TestCacheOperations:
+    def test_miss_then_fill_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(5) is None
+        assert cache.fill(5, "S") is None
+        assert cache.lookup(5).state == "S"
+
+    def test_fill_existing_updates_state_without_eviction(self):
+        cache = make_cache()
+        cache.fill(5, "S")
+        victim = cache.fill(5, "M")
+        assert victim is None
+        assert cache.lookup(5).state == "M"
+        assert cache.occupancy() == 1
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+        # Blocks 0, 2, 4 all map to set 0.
+        cache.fill(0, "a")
+        cache.fill(2, "b")
+        victim = cache.fill(4, "c")
+        assert victim.block == 0  # least recently used
+
+    def test_touch_promotes_to_mru(self):
+        cache = make_cache(size=256, assoc=2, line=64)
+        cache.fill(0, "a")
+        cache.fill(2, "b")
+        cache.touch(0)  # 0 becomes MRU; 2 is now LRU
+        victim = cache.fill(4, "c")
+        assert victim.block == 2
+
+    def test_lookup_does_not_change_recency(self):
+        cache = make_cache(size=256, assoc=2, line=64)
+        cache.fill(0, "a")
+        cache.fill(2, "b")
+        cache.lookup(0)  # no promotion
+        victim = cache.fill(4, "c")
+        assert victim.block == 0
+
+    def test_invalidate_removes_line(self):
+        cache = make_cache()
+        cache.fill(7, "E")
+        removed = cache.invalidate(7)
+        assert removed.block == 7
+        assert cache.lookup(7) is None
+
+    def test_invalidate_absent_returns_none(self):
+        cache = make_cache()
+        assert cache.invalidate(99) is None
+
+    def test_set_state(self):
+        cache = make_cache()
+        cache.fill(3, "S")
+        assert cache.set_state(3, "M")
+        assert cache.lookup(3).state == "M"
+        assert not cache.set_state(4, "M")
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = make_cache(size=256, assoc=2, line=64)  # 4 lines total
+        for block in range(32):
+            cache.fill(block, "S")
+        assert cache.occupancy() <= 4
+
+    def test_resident_blocks_reflects_contents(self):
+        cache = make_cache()
+        for block in (1, 2, 3):
+            cache.fill(block, "S")
+        assert set(cache.resident_blocks()) == {1, 2, 3}
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache(size=256, assoc=2, line=64)
+        cache.fill(0, "a")  # set 0
+        cache.fill(1, "b")  # set 1
+        cache.fill(2, "c")  # set 0
+        cache.fill(3, "d")  # set 1
+        assert cache.occupancy() == 4

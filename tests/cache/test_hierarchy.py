@@ -1,0 +1,108 @@
+"""Tests for the private L1/L2 hierarchy."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
+from repro.coherence.states import Mesif
+
+
+def make_hier(core=0) -> PrivateHierarchy:
+    return PrivateHierarchy(
+        core,
+        l1=CacheConfig(size=256, assoc=1, line_size=64),
+        l2=CacheConfig(size=1024, assoc=2, line_size=64),
+    )
+
+
+class TestClassification:
+    def test_cold_read_is_miss(self):
+        hier = make_hier()
+        assert hier.classify(0, AccessKind.READ) is HierarchyOutcome.MISS
+
+    def test_fill_then_read_hits_l1(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.EXCLUSIVE)
+        assert hier.classify(0, AccessKind.READ) is HierarchyOutcome.L1_HIT
+
+    def test_l2_hit_after_l1_eviction(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.EXCLUSIVE)
+        # Blocks 0 and 4 conflict in the 4-line direct-mapped L1 but not
+        # in the larger L2 (classify takes byte addresses).
+        hier.fill(4, Mesif.EXCLUSIVE)
+        assert hier.classify(4 * 64, AccessKind.READ) is HierarchyOutcome.L1_HIT
+        assert hier.classify(0, AccessKind.READ) is HierarchyOutcome.L2_HIT
+
+    def test_write_to_shared_is_upgrade_miss(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.SHARED)
+        assert hier.classify(0, AccessKind.WRITE) is HierarchyOutcome.UPGRADE_MISS
+
+    def test_write_to_forward_is_upgrade_miss(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.FORWARD)
+        assert hier.classify(0, AccessKind.WRITE) is HierarchyOutcome.UPGRADE_MISS
+
+    def test_write_to_exclusive_hits_and_dirties(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.EXCLUSIVE)
+        outcome = hier.classify(0, AccessKind.WRITE)
+        assert not outcome.is_miss
+        assert hier.peek_state(0) is Mesif.MODIFIED
+
+    def test_write_to_modified_hits(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.MODIFIED)
+        assert not hier.classify(0, AccessKind.WRITE).is_miss
+
+    def test_byte_addresses_map_to_blocks(self):
+        hier = make_hier()
+        hier.fill(hier.block_of(130), Mesif.EXCLUSIVE)
+        assert not hier.classify(130, AccessKind.READ).is_miss
+        assert not hier.classify(190, AccessKind.READ).is_miss  # same block
+
+
+class TestStateManagement:
+    def test_invalidate_clears_both_levels(self):
+        hier = make_hier()
+        hier.fill(0, Mesif.MODIFIED)
+        prior = hier.invalidate(0)
+        assert prior is Mesif.MODIFIED
+        assert hier.peek_state(0) is Mesif.INVALID
+        assert hier.classify(0, AccessKind.READ) is HierarchyOutcome.MISS
+
+    def test_invalidate_absent_returns_invalid(self):
+        hier = make_hier()
+        assert hier.invalidate(42) is Mesif.INVALID
+
+    def test_set_state_requires_residency(self):
+        hier = make_hier()
+        with pytest.raises(KeyError):
+            hier.set_state(9, Mesif.SHARED)
+
+    def test_l2_eviction_invalidates_l1_copy(self):
+        hier = make_hier()
+        # 1 KB 2-way L2 = 8 sets; blocks 0, 16, 32 map to L2 set 0.
+        hier.fill(0, Mesif.EXCLUSIVE)
+        hier.fill(16, Mesif.EXCLUSIVE)
+        victim = hier.fill(32, Mesif.EXCLUSIVE)
+        assert victim is not None and victim.block == 0
+        assert hier.classify(0, AccessKind.READ) is HierarchyOutcome.MISS
+
+    def test_stats_accumulate(self):
+        hier = make_hier()
+        hier.classify(0, AccessKind.READ)
+        hier.fill(0, Mesif.EXCLUSIVE)
+        hier.classify(0, AccessKind.READ)
+        assert hier.stats.accesses == 2
+        assert hier.stats.misses == 1
+        assert hier.stats.l1_hits == 1
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateHierarchy(
+                0,
+                l1=CacheConfig(size=256, assoc=1, line_size=32),
+                l2=CacheConfig(size=1024, assoc=2, line_size=64),
+            )

@@ -1,0 +1,89 @@
+"""Tests for the full-map directory."""
+
+from repro.coherence.directory import Directory, DirectoryEntry
+
+
+class TestDirectoryEntry:
+    def test_empty_entry(self):
+        ent = DirectoryEntry()
+        assert not ent.cached_anywhere
+        assert ent.responder is None
+        assert ent.minimal_read_targets() == frozenset()
+        assert ent.minimal_write_targets(0) == frozenset()
+
+    def test_owner_is_responder(self):
+        ent = DirectoryEntry(sharers={3}, owner=3, dirty=True)
+        assert ent.responder == 3
+        assert ent.minimal_read_targets() == {3}
+
+    def test_forwarder_responds_when_no_owner(self):
+        ent = DirectoryEntry(sharers={1, 2}, forwarder=2)
+        assert ent.responder == 2
+        assert ent.minimal_read_targets() == {2}
+
+    def test_write_targets_exclude_requester(self):
+        ent = DirectoryEntry(sharers={0, 1, 2})
+        assert ent.minimal_write_targets(1) == {0, 2}
+
+
+class TestDirectory:
+    def test_home_interleaving(self):
+        d = Directory(num_nodes=16)
+        assert d.home_of(0) == 0
+        assert d.home_of(17) == 1
+        assert d.home_of(31) == 15
+
+    def test_peek_does_not_allocate(self):
+        d = Directory(num_nodes=4)
+        d.peek(10)
+        assert d.num_entries() == 0
+
+    def test_read_fill_sets_forwarder(self):
+        d = Directory(num_nodes=4)
+        d.record_exclusive_fill(5, requester=1, dirty=True)
+        d.record_read_fill(5, requester=2)
+        ent = d.peek(5)
+        assert ent.sharers == {1, 2}
+        assert ent.owner is None
+        assert ent.forwarder == 2
+        assert not ent.dirty
+
+    def test_exclusive_fill_clears_other_sharers(self):
+        d = Directory(num_nodes=4)
+        d.record_exclusive_fill(5, requester=1, dirty=False)
+        d.record_read_fill(5, requester=2)
+        d.record_exclusive_fill(5, requester=3, dirty=True)
+        ent = d.peek(5)
+        assert ent.sharers == {3}
+        assert ent.owner == 3
+        assert ent.dirty
+
+    def test_eviction_removes_core(self):
+        d = Directory(num_nodes=4)
+        d.record_exclusive_fill(5, requester=1, dirty=False)
+        d.record_read_fill(5, requester=2)
+        d.record_eviction(5, 2, was_dirty=False)
+        ent = d.peek(5)
+        assert ent.sharers == {1}
+        assert ent.forwarder is None  # core 2 held F
+
+    def test_last_eviction_frees_entry(self):
+        d = Directory(num_nodes=4)
+        d.record_exclusive_fill(5, requester=1, dirty=True)
+        d.record_eviction(5, 1, was_dirty=True)
+        assert d.num_entries() == 0
+
+    def test_eviction_of_unknown_block_is_noop(self):
+        d = Directory(num_nodes=4)
+        d.record_eviction(99, 0, was_dirty=False)
+        assert d.num_entries() == 0
+
+    def test_store_upgrade(self):
+        d = Directory(num_nodes=4)
+        d.record_exclusive_fill(5, requester=0, dirty=False)
+        d.record_read_fill(5, requester=1)
+        d.record_store_upgrade(5, 1)
+        ent = d.peek(5)
+        assert ent.owner == 1
+        assert ent.sharers == {1}
+        assert ent.dirty

@@ -1,0 +1,161 @@
+"""Tests for the limited-pointer directory."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.limited import LimitedPointerDirectory
+from repro.coherence.protocol import DirectoryProtocol
+from repro.coherence.states import Mesif
+from repro.noc.network import Network
+from repro.noc.topology import Mesh2D
+
+N = 16
+
+
+def make_proto(pointers=2):
+    hiers = [
+        PrivateHierarchy(
+            c,
+            l1=CacheConfig(size=256, assoc=1, line_size=64),
+            l2=CacheConfig(size=4096, assoc=2, line_size=64),
+        )
+        for c in range(N)
+    ]
+    directory = LimitedPointerDirectory(N, pointers=pointers)
+    return DirectoryProtocol(hiers, directory, Network(Mesh2D(4, 4)))
+
+
+class TestPointerTracking:
+    def test_within_pointer_budget_stays_precise(self):
+        proto = make_proto(pointers=3)
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)
+        proto.read_miss(3, 32)
+        d = proto.directory
+        assert d.can_verify(32)
+        assert d.tracked_sharers(32) == {1, 2, 3}
+        assert d.overflows == 0
+
+    def test_overflow_goes_coarse(self):
+        proto = make_proto(pointers=2)
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)
+        proto.read_miss(3, 32)  # third sharer: overflow
+        d = proto.directory
+        assert d.is_coarse(32)
+        assert not d.can_verify(32)
+        assert d.overflows == 1
+        assert d.coarse_entries() == 1
+
+    def test_exclusive_fill_resets_to_precise(self):
+        proto = make_proto(pointers=2)
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)
+        proto.read_miss(3, 32)
+        proto.write_miss(5, 32)  # exclusive ownership resets pointers
+        d = proto.directory
+        assert d.can_verify(32)
+        assert d.tracked_sharers(32) == {5}
+
+    def test_eviction_frees_tracking(self):
+        proto = make_proto(pointers=2)
+        proto.write_miss(1, 32)
+        proto.directory.record_eviction(32, 1, was_dirty=True)
+        assert proto.directory.tracked_sharers(32) == set()
+        assert not proto.directory.is_coarse(32)
+
+    def test_ground_truth_still_exact(self):
+        """Sharer ground truth must not be limited — only HW knowledge."""
+        proto = make_proto(pointers=1)
+        proto.write_miss(1, 32)
+        for reader in (2, 3, 4):
+            proto.read_miss(reader, 32)
+        assert proto.directory.peek(32).sharers == {1, 2, 3, 4}
+
+    def test_invalid_pointer_count(self):
+        with pytest.raises(ValueError):
+            LimitedPointerDirectory(N, pointers=0)
+
+
+class TestCoarseCosts:
+    def _shared_widely(self, proto, block=32, readers=5):
+        proto.write_miss(1, block)
+        for reader in range(2, 2 + readers):
+            proto.read_miss(reader, block)
+
+    def test_coarse_write_broadcasts_invalidations(self):
+        limited = make_proto(pointers=2)
+        full = make_proto(pointers=16)
+        self._shared_widely(limited)
+        self._shared_widely(full)
+        b0_lim = limited.network.stats.messages
+        b0_full = full.network.stats.messages
+        limited.write_miss(9, 32)
+        full.write_miss(9, 32)
+        # The coarse entry fans invalidations to every core.
+        assert (
+            limited.network.stats.messages - b0_lim
+            > full.network.stats.messages - b0_full
+        )
+
+    def test_coarse_write_still_invalidates_exactly_the_holders(self):
+        proto = make_proto(pointers=2)
+        self._shared_widely(proto)
+        tx = proto.write_miss(9, 32)
+        assert tx.invalidated == {1, 2, 3, 4, 5, 6}
+        for node in tx.invalidated:
+            assert proto.hierarchies[node].peek_state(32) is Mesif.INVALID
+
+    def test_coarse_entry_blocks_prediction_fast_path(self):
+        proto = make_proto(pointers=2)
+        self._shared_widely(proto)
+        # Core 9 predicts the *exact* sufficient set...
+        minimal = proto.directory.peek(32).minimal_write_targets(9)
+        tx = proto.write_miss(9, 32, predicted=minimal)
+        # ...the prediction is semantically correct but cannot be
+        # verified against a coarse entry: indirection stays.
+        assert tx.prediction_correct is True
+        assert tx.indirection is True
+
+    def test_precise_entry_keeps_fast_path(self):
+        proto = make_proto(pointers=8)
+        self._shared_widely(proto, readers=3)
+        minimal = proto.directory.peek(32).minimal_write_targets(9)
+        tx = proto.write_miss(9, 32, predicted=minimal)
+        assert tx.prediction_correct is True
+        assert tx.indirection is False
+
+
+class TestEngineIntegration:
+    def test_limited_directory_run(self, small_machine, stable_workload):
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine(
+            stable_workload, machine=small_machine, directory_pointers=2,
+            verify_coherence=True,
+        )
+        result = engine.run()
+        assert result.misses > 0  # completes with invariants intact
+
+    def test_fewer_pointers_cost_more_bandwidth(self, small_machine):
+        from repro.sim.engine import SimulationEngine
+        from repro.workloads.generator import build_workload
+        from repro.workloads.patterns import PatternKind
+        from tests.conftest import make_spec
+
+        # Pairwise sharing holds 2 copies per block: a 1-pointer
+        # directory overflows and must broadcast invalidations to all 15
+        # remote cores instead of 1.  (When *everyone* holds a copy —
+        # e.g. wide reduction fan-out — coarse and precise fan-outs
+        # coincide and the penalty vanishes.)
+        w = build_workload(
+            make_spec(PatternKind.STABLE, epochs=1, iterations=6)
+        )
+        full = SimulationEngine(w, machine=small_machine).run()
+        limited = SimulationEngine(
+            w, machine=small_machine, directory_pointers=1
+        ).run()
+        assert (
+            limited.network.bytes_total > 1.5 * full.network.bytes_total
+        )

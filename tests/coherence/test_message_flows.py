@@ -1,0 +1,206 @@
+"""Message-sequence specifications for every protocol flow.
+
+Uses the NoC transcript to pin down exactly which messages each
+transaction type emits — the executable version of the flow diagrams in
+``docs/protocol.md``.  Any protocol change that alters a flow's message
+sequence fails here, loudly.
+"""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.directory import Directory
+from repro.coherence.multicast import MulticastProtocol
+from repro.coherence.protocol import DirectoryProtocol
+from repro.coherence.snooping import BroadcastProtocol
+from repro.noc.network import MessageClass, Network
+from repro.noc.topology import Mesh2D
+
+N = 16
+CONTROL = MessageClass.CONTROL
+DATA = MessageClass.DATA
+
+
+def make(cls):
+    hiers = [
+        PrivateHierarchy(
+            c,
+            l1=CacheConfig(size=256, assoc=1, line_size=64),
+            l2=CacheConfig(size=4096, assoc=2, line_size=64),
+        )
+        for c in range(N)
+    ]
+    net = Network(Mesh2D(4, 4))
+    return cls(hiers, Directory(N), net), net
+
+
+def record(net, fn):
+    net.start_transcript()
+    fn()
+    return net.stop_transcript()
+
+
+def msgs(transcript):
+    """Compact view: list of (src, dst, class)."""
+    return [(m.src, m.dst, m.msg) for m in transcript]
+
+
+class TestDirectoryBaselineFlows:
+    def test_cold_read_flow(self):
+        proto, net = make(DirectoryProtocol)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.read_miss(5, 32))
+        assert msgs(t) == [(5, home, CONTROL), (home, 5, DATA)]
+
+    def test_owner_read_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.read_miss(5, 32))
+        # Request -> forward -> data, plus the dirty owner's writeback.
+        assert msgs(t) == [
+            (5, home, CONTROL),   # GetS to the home
+            (home, 1, CONTROL),   # forward to the owner
+            (1, 5, DATA),         # cache-to-cache data
+            (1, home, DATA),      # writeback (dirty owner degrades to S)
+        ]
+
+    def test_clean_forwarder_read_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        proto.read_miss(5, 32)   # 5 becomes F, 1 degrades to S
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.read_miss(9, 32))
+        # Clean forwarder: control notification, not a writeback.
+        assert msgs(t) == [
+            (9, home, CONTROL),
+            (home, 5, CONTROL),
+            (5, 9, DATA),
+            (5, home, CONTROL),
+        ]
+
+    def test_write_with_sharers_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)   # 2=F, 1=S
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.write_miss(5, 32))
+        flow = msgs(t)
+        # GetM, then per-sharer (inv + ack), data from the forwarder.
+        assert flow[0] == (5, home, CONTROL)
+        assert (home, 1, CONTROL) in flow and (1, 5, CONTROL) in flow
+        assert (home, 2, CONTROL) in flow and (2, 5, CONTROL) in flow
+        assert (home, 2, CONTROL) in flow  # forwarder also receives fetch
+        assert (2, 5, DATA) in flow
+        assert len(flow) == 7
+
+    def test_upgrade_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        proto.read_miss(5, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.upgrade_miss(5, 32))
+        assert msgs(t) == [
+            (5, home, CONTROL),   # upgrade request
+            (home, 1, CONTROL),   # invalidate the other sharer
+            (1, 5, CONTROL),      # ack to the requester
+            (home, 5, CONTROL),   # grant
+        ]
+
+    def test_sole_sharer_upgrade_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.read_miss(5, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.upgrade_miss(5, 32))
+        assert msgs(t) == [(5, home, CONTROL), (home, 5, CONTROL)]
+
+    def test_dirty_eviction_writes_back(self):
+        proto, net = make(DirectoryProtocol)
+        sets = proto.hierarchies[0].l2.config.num_sets
+        blocks = [1 + k * sets for k in range(3)]
+        proto.write_miss(0, blocks[0])
+        proto.write_miss(0, blocks[1])
+        t = record(net, lambda: proto.write_miss(0, blocks[2]))
+        victim_home = proto.directory.home_of(blocks[0])
+        assert (0, victim_home, DATA) in msgs(t)
+
+
+class TestDirectoryPredictedFlows:
+    def test_correct_read_prediction_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.read_miss(5, 32, predicted={1}))
+        assert msgs(t) == [
+            (5, 1, CONTROL),      # predicted request
+            (5, home, CONTROL),   # tagged request to the directory
+            (1, 5, DATA),         # direct data
+            (1, home, DATA),      # dirty writeback / dir update
+        ]
+
+    def test_mispredicted_read_adds_nack_and_repair(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.read_miss(5, 32, predicted={9}))
+        flow = msgs(t)
+        assert (5, 9, CONTROL) in flow    # wasted predicted request
+        assert (9, 5, CONTROL) in flow    # nack
+        assert (home, 1, CONTROL) in flow  # directory repair: forward
+        assert (1, 5, DATA) in flow
+
+    def test_correct_write_prediction_flow(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.write_miss(5, 32, predicted={1, 2}))
+        flow = msgs(t)
+        # Direct invalidation acks from both predicted sharers.
+        assert (1, 5, CONTROL) in flow
+        assert (2, 5, CONTROL) in flow
+        # Directory response still required for writes.
+        assert (home, 5, CONTROL) in flow
+        # Data from the responder (forwarder core 2).
+        assert (2, 5, DATA) in flow
+
+    def test_prediction_categories_tagged(self):
+        proto, net = make(DirectoryProtocol)
+        proto.write_miss(1, 32)
+        net.start_transcript()
+        proto.read_miss(5, 32, predicted={1, 9})
+        t = net.stop_transcript()
+        pred_messages = [m for m in t if m.category.startswith("pred_")]
+        # Predicted requests (2) + nack (1) carry prediction categories.
+        assert len(pred_messages) == 3
+
+
+class TestSnoopingFlows:
+    def test_broadcast_read_flow(self):
+        proto, net = make(BroadcastProtocol)
+        proto.write_miss(1, 32)
+        t = record(net, lambda: proto.read_miss(5, 32))
+        flow = msgs(t)
+        requests = [m for m in flow if m[0] == 5 and m[2] is CONTROL]
+        assert len(requests) == 15  # everyone but self
+        assert (1, 5, DATA) in flow
+
+    def test_multicast_correct_read_flow(self):
+        proto, net = make(MulticastProtocol)
+        proto.write_miss(1, 32)
+        home = proto.directory.home_of(32)
+        t = record(net, lambda: proto.read_miss(5, 32, predicted={1}))
+        flow = msgs(t)
+        requests = [m for m in flow if m[0] == 5 and m[2] is CONTROL]
+        # Multicast to predicted node + home only.
+        assert {(5, 1, CONTROL), (5, home, CONTROL)} == set(requests)
+        assert (1, 5, DATA) in flow
+
+    def test_multicast_retry_floods_on_misprediction(self):
+        proto, net = make(MulticastProtocol)
+        proto.write_miss(1, 32)
+        t = record(net, lambda: proto.read_miss(5, 32, predicted={9}))
+        requests = [m for m in msgs(t) if m[0] == 5 and m[2] is CONTROL]
+        # First round (2 targets) + broadcast retry (15 targets).
+        assert len(requests) == 2 + 15

@@ -1,0 +1,119 @@
+"""Tests for the broadcast snooping protocol."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import DirectoryProtocol
+from repro.coherence.snooping import BroadcastProtocol
+from repro.coherence.states import Mesif
+from repro.noc.network import Network
+from repro.noc.topology import Mesh2D
+
+N = 16
+
+
+def make(protocol_cls):
+    hiers = [
+        PrivateHierarchy(
+            c,
+            l1=CacheConfig(size=256, assoc=1, line_size=64),
+            l2=CacheConfig(size=2048, assoc=2, line_size=64),
+        )
+        for c in range(N)
+    ]
+    return protocol_cls(hiers, Directory(N), Network(Mesh2D(4, 4)))
+
+
+@pytest.fixture
+def proto() -> BroadcastProtocol:
+    return make(BroadcastProtocol)
+
+
+class TestBroadcastBehaviour:
+    def test_every_miss_broadcasts(self, proto):
+        proto.read_miss(0, 32)
+        # 15 requests + 1 data response.
+        assert proto.network.stats.messages == 16
+        assert proto.snoop_lookups == 15
+
+    def test_no_indirection_ever(self, proto):
+        proto.write_miss(1, 32)
+        tx = proto.read_miss(0, 32)
+        assert not tx.indirection
+
+    def test_cache_to_cache_transfer(self, proto):
+        proto.write_miss(1, 32)
+        tx = proto.read_miss(0, 32)
+        assert tx.communicating
+        assert tx.responder == 1
+        assert proto.hierarchies[0].peek_state(32) is Mesif.FORWARD
+
+    def test_write_invalidates_sharers(self, proto):
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)
+        tx = proto.write_miss(0, 32)
+        assert tx.invalidated == {1, 2}
+        assert proto.hierarchies[1].peek_state(32) is Mesif.INVALID
+
+    def test_upgrade_latency_is_broadcast_bound(self, proto):
+        proto.write_miss(1, 32)
+        proto.read_miss(0, 32)
+        tx = proto.upgrade_miss(0, 32)
+        worst = max(proto.network.latency(0, d) for d in range(N) if d != 0)
+        assert tx.latency == worst
+
+    def test_predictions_ignored(self, proto):
+        proto.write_miss(1, 32)
+        tx = proto.read_miss(0, 32, predicted={9})
+        assert tx.predicted is None
+        assert tx.prediction_correct is None
+
+
+class TestProtocolEquivalence:
+    """Broadcast and directory must agree on *sharing state*, differing
+    only in latency/traffic."""
+
+    def _drive(self, proto):
+        results = []
+        results.append(proto.write_miss(1, 32))
+        results.append(proto.read_miss(0, 32))
+        results.append(proto.read_miss(2, 32))
+        results.append(proto.upgrade_miss(2, 32))
+        results.append(proto.read_miss(3, 32))
+        return results
+
+    def test_same_final_directory_state(self):
+        d_proto = make(DirectoryProtocol)
+        b_proto = make(BroadcastProtocol)
+        self._drive(d_proto)
+        self._drive(b_proto)
+        d_ent = d_proto.directory.peek(32)
+        b_ent = b_proto.directory.peek(32)
+        assert d_ent.sharers == b_ent.sharers
+        assert d_ent.owner == b_ent.owner
+
+    def test_same_communication_classification(self):
+        d_results = self._drive(make(DirectoryProtocol))
+        b_results = self._drive(make(BroadcastProtocol))
+        for d_tx, b_tx in zip(d_results, b_results):
+            assert d_tx.communicating == b_tx.communicating
+            assert d_tx.minimal_targets == b_tx.minimal_targets
+
+    def test_broadcast_uses_more_bandwidth(self):
+        d_proto = make(DirectoryProtocol)
+        b_proto = make(BroadcastProtocol)
+        self._drive(d_proto)
+        self._drive(b_proto)
+        assert (
+            b_proto.network.stats.bytes_total
+            > d_proto.network.stats.bytes_total
+        )
+
+    def test_broadcast_latency_not_worse_for_comm_misses(self):
+        d_results = self._drive(make(DirectoryProtocol))
+        b_results = self._drive(make(BroadcastProtocol))
+        for d_tx, b_tx in zip(d_results, b_results):
+            if d_tx.communicating and d_tx.kind.value == "read":
+                assert b_tx.latency <= d_tx.latency

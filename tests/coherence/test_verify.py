@@ -1,0 +1,94 @@
+"""Tests for the coherence invariant verifier."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import DirectoryProtocol
+from repro.coherence.states import Mesif
+from repro.coherence.verify import CoherenceVerifier, CoherenceViolation
+from repro.noc.network import Network
+from repro.noc.topology import Mesh2D
+
+N = 16
+
+
+@pytest.fixture
+def proto():
+    hiers = [
+        PrivateHierarchy(
+            c,
+            l1=CacheConfig(size=256, assoc=1, line_size=64),
+            l2=CacheConfig(size=2048, assoc=2, line_size=64),
+        )
+        for c in range(N)
+    ]
+    return DirectoryProtocol(hiers, Directory(N), Network(Mesh2D(4, 4)))
+
+
+class TestVerifier:
+    def test_clean_states_pass(self, proto):
+        verifier = CoherenceVerifier(proto)
+        proto.write_miss(1, 32)
+        proto.read_miss(0, 32)
+        proto.read_miss(2, 32)
+        verifier.check_block(32)
+        assert verifier.checks == 1
+
+    def test_untouched_block_passes(self, proto):
+        CoherenceVerifier(proto).check_block(999)
+
+    def test_detects_directory_cache_mismatch(self, proto):
+        proto.write_miss(1, 32)
+        proto.hierarchies[1].invalidate(32)  # silent drop: dir is stale
+        with pytest.raises(CoherenceViolation, match="sharers"):
+            CoherenceVerifier(proto).check_block(32)
+
+    def test_detects_double_writer(self, proto):
+        proto.write_miss(1, 32)
+        proto.read_miss(2, 32)
+        # Corrupt: promote the shared copy to Modified behind the
+        # directory's back.
+        proto.hierarchies[2].set_state(32, Mesif.MODIFIED)
+        with pytest.raises(CoherenceViolation):
+            CoherenceVerifier(proto).check_block(32)
+
+    def test_detects_double_forwarder(self, proto):
+        proto.write_miss(1, 32)
+        proto.read_miss(0, 32)
+        proto.read_miss(2, 32)
+        # Corrupt: a second Forward copy.
+        proto.hierarchies[0].set_state(32, Mesif.FORWARD)
+        proto.hierarchies[2].set_state(32, Mesif.FORWARD)
+        with pytest.raises(CoherenceViolation, match="Forward"):
+            CoherenceVerifier(proto).check_block(32)
+
+    def test_check_all(self, proto):
+        proto.write_miss(1, 32)
+        proto.write_miss(2, 48)
+        verifier = CoherenceVerifier(proto)
+        verifier.check_all([32, 48])
+        assert verifier.checks == 2
+
+
+class TestEngineIntegration:
+    def test_verified_run_passes(self, small_machine, stable_workload):
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine(
+            stable_workload, machine=small_machine, verify_coherence=True
+        )
+        result = engine.run()
+        assert engine.verifier.checks == result.misses
+
+    def test_verified_run_with_prediction(self, small_machine, stride_workload):
+        from repro.core.predictor import SPPredictor
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine(
+            stride_workload, machine=small_machine,
+            predictor=SPPredictor(16), verify_coherence=True,
+        )
+        engine.run()
+        assert engine.verifier.checks > 0

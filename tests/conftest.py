@@ -1,0 +1,71 @@
+"""Shared fixtures: a small machine and tiny deterministic workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.machine import MachineConfig
+from repro.workloads.generator import BenchmarkSpec, EpochSpec, LockSpec, build_workload
+from repro.workloads.patterns import PatternKind
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A 16-core machine with small caches (fast to simulate)."""
+    return MachineConfig.small()
+
+
+def make_spec(
+    pattern: PatternKind = PatternKind.STABLE,
+    *,
+    epochs: int = 2,
+    iterations: int = 6,
+    locks: int = 0,
+    consume: int = 6,
+    produce: int = 6,
+    private: int = 2,
+    **epoch_kw,
+) -> BenchmarkSpec:
+    """Build a small benchmark spec for tests."""
+    lock_specs = (
+        (LockSpec(n_sites=locks, protected_blocks=2),) if locks else ()
+    )
+    return BenchmarkSpec(
+        name=f"test-{pattern.value}",
+        epochs=tuple(
+            EpochSpec(
+                pattern=pattern,
+                consume_blocks=consume,
+                produce_blocks=produce,
+                private_blocks=private,
+                think=10,
+                **epoch_kw,
+            )
+            for _ in range(epochs)
+        ),
+        locks=lock_specs,
+        iterations=iterations,
+        region_blocks=8,
+    )
+
+
+@pytest.fixture
+def stable_workload():
+    """A tiny stable producer-consumer workload."""
+    return build_workload(make_spec(PatternKind.STABLE))
+
+
+@pytest.fixture
+def stride_workload():
+    """A tiny stride-2 repetitive workload."""
+    return build_workload(
+        make_spec(PatternKind.STRIDE, stride=2, iterations=10)
+    )
+
+
+@pytest.fixture
+def lock_workload():
+    """A tiny critical-section-heavy workload."""
+    return build_workload(
+        make_spec(PatternKind.PRIVATE, epochs=1, iterations=6, locks=2)
+    )

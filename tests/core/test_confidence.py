@@ -1,0 +1,61 @@
+"""Tests for the saturating confidence counter."""
+
+import pytest
+
+from repro.core.confidence import ConfidenceCounter
+
+
+class TestConfidenceCounter:
+    def test_starts_fully_set(self):
+        c = ConfidenceCounter(bits=4)
+        assert c.value == 15
+        assert not c.exhausted
+
+    def test_saturates_high(self):
+        c = ConfidenceCounter(bits=4)
+        c.record(True)
+        assert c.value == 15
+
+    def test_decrements_on_incorrect(self):
+        c = ConfidenceCounter(bits=4)
+        c.record(False)
+        assert c.value == 14
+
+    def test_exhaustion_after_max_value_failures(self):
+        c = ConfidenceCounter(bits=4)
+        for _ in range(15):
+            c.record(False)
+        assert c.exhausted
+
+    def test_saturates_low(self):
+        c = ConfidenceCounter(bits=2)
+        for _ in range(10):
+            c.record(False)
+        assert c.value == 0
+
+    def test_recovers_with_correct_predictions(self):
+        c = ConfidenceCounter(bits=4)
+        for _ in range(15):
+            c.record(False)
+        c.record(True)
+        assert not c.exhausted
+        assert c.value == 1
+
+    def test_reset_high(self):
+        c = ConfidenceCounter(bits=4)
+        for _ in range(15):
+            c.record(False)
+        c.reset_high()
+        assert c.value == 15
+
+    def test_explicit_initial_value(self):
+        c = ConfidenceCounter(bits=4, value=3)
+        assert c.value == 3
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ConfidenceCounter(bits=0)
+
+    def test_invalid_initial_value(self):
+        with pytest.raises(ValueError):
+            ConfidenceCounter(bits=2, value=4)

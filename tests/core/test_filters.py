@@ -1,0 +1,101 @@
+"""Tests for the region filter and filtered predictor."""
+
+from repro.coherence.protocol import MissKind
+from repro.core.filters import FilteredPredictor, RegionFilter
+from repro.core.predictor import SPPredictor
+from repro.predictors.uni import UniPredictor
+from repro.sync.points import StaticSyncId, SyncKind
+from tests.core.test_predictor import read_result
+
+N = 16
+
+
+class TestRegionFilter:
+    def test_first_toucher_owns_region(self):
+        f = RegionFilter(blocks_per_region=4)
+        f.note_access(3, 0)
+        assert f.is_private(3, 0)
+        assert not f.is_private(5, 0)
+
+    def test_second_core_makes_region_shared(self):
+        f = RegionFilter(blocks_per_region=4)
+        f.note_access(3, 0)
+        f.note_access(5, 1)  # same region
+        assert not f.is_private(3, 0)
+        assert not f.is_private(5, 0)
+        assert f.shared_regions() == 1
+
+    def test_region_granularity(self):
+        f = RegionFilter(blocks_per_region=4)
+        f.note_access(3, 0)
+        f.note_access(5, 4)  # next region
+        assert f.is_private(3, 0)
+        assert f.is_private(5, 4)
+        assert f.regions_tracked() == 2
+
+    def test_sharing_is_permanent(self):
+        f = RegionFilter(blocks_per_region=4)
+        f.note_access(3, 0)
+        f.note_access(5, 0)
+        f.note_access(3, 0)
+        assert not f.is_private(3, 0)
+
+    def test_untouched_region_not_private(self):
+        f = RegionFilter()
+        assert not f.is_private(0, 99)
+
+
+class TestFilteredPredictor:
+    def test_private_region_suppresses_prediction(self):
+        inner = UniPredictor(N)
+        for _ in range(2):
+            inner.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        wrapped = FilteredPredictor(inner)
+        # Block 100 has only ever been touched by core 0 -> no prediction.
+        assert wrapped.predict(0, 100, 0, MissKind.READ) is None
+        assert wrapped.filter.filtered == 1
+
+    def test_shared_region_passes_through(self):
+        inner = UniPredictor(N)
+        for _ in range(2):
+            inner.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        wrapped = FilteredPredictor(inner)
+        wrapped.filter.note_access(9, 100)  # another core touched it
+        p = wrapped.predict(0, 100, 0, MissKind.READ)
+        assert p is not None and p.targets == {7}
+
+    def test_training_marks_remote_targets(self):
+        wrapped = FilteredPredictor(UniPredictor(N))
+        wrapped.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        # The responder (core 7) held the block: the region is shared.
+        assert not wrapped.filter.is_private(0, 100)
+
+    def test_sync_and_finish_forwarded(self):
+        inner = SPPredictor(N)
+        wrapped = FilteredPredictor(inner)
+        wrapped.on_sync(0, StaticSyncId(kind=SyncKind.BARRIER, pc=1))
+        assert inner._cores[0].epoch_key == ("pc", 1)
+        wrapped.on_finish(0)
+        assert inner._cores[0].epoch_key is None
+
+    def test_name_reflects_composition(self):
+        assert FilteredPredictor(UniPredictor(N)).name == "UNI+RF"
+
+    def test_end_to_end_reduces_wasted_predictions(self, small_machine):
+        from repro.sim.engine import simulate
+        from repro.workloads.generator import build_workload
+        from repro.workloads.patterns import PatternKind
+        from tests.conftest import make_spec
+
+        spec = make_spec(PatternKind.STABLE, epochs=2, iterations=6,
+                         private=20)
+        w = build_workload(spec)
+        plain = simulate(w, machine=small_machine, predictor=SPPredictor(N))
+        filtered = simulate(
+            w, machine=small_machine,
+            predictor=FilteredPredictor(SPPredictor(N)),
+        )
+        assert filtered.pred_on_noncomm < plain.pred_on_noncomm
+        assert filtered.network.bytes_total < plain.network.bytes_total
+        # Accuracy on communicating misses is essentially preserved.
+        assert filtered.pred_correct >= 0.9 * plain.pred_correct

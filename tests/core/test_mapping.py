@@ -1,0 +1,108 @@
+"""Tests for the logical/physical core mapping (thread migration)."""
+
+import pytest
+
+from repro.core.mapping import CoreMapping
+
+
+class TestCoreMapping:
+    def test_identity_initially(self):
+        m = CoreMapping(4)
+        assert m.is_identity()
+        for i in range(4):
+            assert m.physical_of(i) == i
+            assert m.logical_of(i) == i
+
+    def test_migrate_swaps_tenants(self):
+        m = CoreMapping(4)
+        m.migrate(0, 2)
+        assert m.physical_of(0) == 2
+        assert m.physical_of(2) == 0  # displaced thread took the old core
+        assert m.logical_of(2) == 0
+        assert m.logical_of(0) == 2
+        assert m.migrations == 1
+
+    def test_migrate_to_same_core_is_noop(self):
+        m = CoreMapping(4)
+        m.migrate(1, 1)
+        assert m.is_identity()
+        assert m.migrations == 0
+
+    def test_mapping_stays_bijective(self):
+        m = CoreMapping(8)
+        for logical, physical in [(0, 5), (3, 2), (5, 0), (7, 7), (2, 5)]:
+            m.migrate(logical, physical)
+            assert sorted(m.physical_of(l) for l in range(8)) == list(range(8))
+            for l in range(8):
+                assert m.logical_of(m.physical_of(l)) == l
+
+    def test_set_translation(self):
+        m = CoreMapping(4)
+        m.migrate(0, 3)
+        assert m.to_physical({0, 1}) == {3, 1}
+        assert m.to_logical({3, 1}) == {0, 1}
+
+    def test_apply_permutation(self):
+        m = CoreMapping(4)
+        m.apply_permutation([1, 0, 3, 2])
+        assert m.physical_of(0) == 1
+        assert m.logical_of(1) == 0
+        assert m.physical_of(2) == 3
+
+    def test_apply_permutation_validates(self):
+        m = CoreMapping(4)
+        with pytest.raises(ValueError):
+            m.apply_permutation([0, 0, 1, 2])
+
+    def test_needs_positive_cores(self):
+        with pytest.raises(ValueError):
+            CoreMapping(0)
+
+
+class TestSPPredictorWithMapping:
+    def test_predictions_translate_after_migration(self):
+        from repro.coherence.protocol import MissKind
+        from repro.core.predictor import SPPredictor
+        from tests.core.test_predictor import barrier, read_result, run_epoch
+
+        mapping = CoreMapping(16)
+        pred = SPPredictor(16, mapping=mapping)
+        # Thread 0 learns that its epoch communicates with thread 7.
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(0, barrier(1))
+        assert pred.predict(0, 0, 0, MissKind.READ).targets == {7}
+
+        # Thread 7 migrates to physical core 12.
+        mapping.migrate(7, 12)
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p.targets == {12}  # same logical signature, new placement
+
+    def test_training_translates_physical_responders(self):
+        from repro.coherence.protocol import MissKind
+        from repro.core.predictor import SPPredictor
+        from tests.core.test_predictor import barrier, read_result
+
+        mapping = CoreMapping(16)
+        mapping.migrate(7, 12)
+        pred = SPPredictor(16, mapping=mapping)
+        pred.on_sync(0, barrier(1))
+        # Physical responder 12 is logical thread 7.
+        for _ in range(8):
+            pred.train(0, 0, 0, MissKind.READ, read_result(0, 12))
+        pred.on_sync(0, barrier(1))
+        entry = pred.table.probe(0, ("pc", 1))
+        assert entry.history() == [frozenset({7})]
+
+    def test_on_migrate_updates_mapping(self):
+        from repro.core.predictor import SPPredictor
+
+        mapping = CoreMapping(4)
+        pred = SPPredictor(4, mapping=mapping)
+        pred.on_migrate([1, 0, 2, 3])
+        assert mapping.physical_of(0) == 1
+
+    def test_on_migrate_without_mapping_is_noop(self):
+        from repro.core.predictor import SPPredictor
+
+        pred = SPPredictor(4)
+        pred.on_migrate([1, 0, 2, 3])  # must not raise

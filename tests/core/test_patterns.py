@@ -1,0 +1,59 @@
+"""Tests for history pattern policies (Table 3)."""
+
+from repro.core.patterns import detect_alternation, predict_from_history, union_of
+from repro.core.signatures import Signature
+
+A = Signature({1, 2})
+B = Signature({5})
+C = Signature({7, 8})
+
+
+class TestDetectAlternation:
+    def test_aba_is_alternating(self):
+        assert detect_alternation([A, B], A)
+
+    def test_aaa_is_not(self):
+        assert not detect_alternation([A, A], A)
+
+    def test_abc_is_not(self):
+        assert not detect_alternation([A, B], C)
+
+    def test_abb_is_not(self):
+        assert not detect_alternation([A, B], B)
+
+    def test_too_short_history(self):
+        assert not detect_alternation([A], A)
+        assert not detect_alternation([], A)
+
+
+class TestPredictFromHistory:
+    def test_no_history_returns_none(self):
+        assert predict_from_history([]) is None
+
+    def test_single_signature_predicted_directly(self):
+        assert predict_from_history([A]) == A
+
+    def test_stable_pair_predicted(self):
+        assert predict_from_history([A, A]) == A
+
+    def test_differing_pair_intersected(self):
+        x = Signature({1, 2, 3})
+        y = Signature({2, 3, 4})
+        assert predict_from_history([x, y]) == {2, 3}
+
+    def test_disjoint_pair_falls_back_to_latest(self):
+        assert predict_from_history([A, B]) == B
+
+    def test_alternating_predicts_depth_two(self):
+        assert predict_from_history([A, B], alternating=True) == A
+
+    def test_alternating_flag_ignored_when_stable(self):
+        assert predict_from_history([A, A], alternating=True) == A
+
+
+class TestUnionOf:
+    def test_union(self):
+        assert union_of([A, B]) == {1, 2, 5}
+
+    def test_empty(self):
+        assert union_of([]) == Signature()

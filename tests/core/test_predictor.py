@@ -1,0 +1,252 @@
+"""Unit tests for the SP-predictor, driven without the simulator.
+
+These exercise the event/action semantics of Tables 2 and 3 directly:
+sync-points arrive via ``on_sync``, misses via ``predict``/``train`` with
+fabricated transaction results.
+"""
+
+import pytest
+
+from repro.coherence.protocol import MissKind, TransactionResult
+from repro.core.predictor import SPPredictor, SPPredictorConfig
+from repro.core.signatures import Signature
+from repro.predictors.base import PredictionSource
+from repro.sync.points import StaticSyncId, SyncKind
+
+N = 16
+
+
+def barrier(pc: int) -> StaticSyncId:
+    return StaticSyncId(kind=SyncKind.BARRIER, pc=pc)
+
+
+def lock(addr: int, pc: int = 0x900) -> StaticSyncId:
+    return StaticSyncId(kind=SyncKind.LOCK, pc=pc, lock_addr=addr)
+
+
+def unlock(addr: int, pc: int = 0x901) -> StaticSyncId:
+    return StaticSyncId(kind=SyncKind.UNLOCK, pc=pc, lock_addr=addr)
+
+
+def read_result(core: int, responder: int, *, predicted=None, correct=None):
+    return TransactionResult(
+        kind=MissKind.READ, core=core, block=0, communicating=True,
+        off_chip=False, minimal_targets=frozenset({responder}),
+        predicted=predicted, prediction_correct=correct,
+        latency=10, indirection=predicted is None, responder=responder,
+        invalidated=frozenset(),
+    )
+
+
+def write_result(core: int, invalidated, *, predicted=None, correct=None):
+    return TransactionResult(
+        kind=MissKind.WRITE, core=core, block=0, communicating=True,
+        off_chip=False, minimal_targets=frozenset(invalidated),
+        predicted=predicted, prediction_correct=correct,
+        latency=10, indirection=predicted is None, responder=None,
+        invalidated=frozenset(invalidated),
+    )
+
+
+def run_epoch(pred: SPPredictor, core: int, pc: int, responders) -> None:
+    """One epoch: a sync-point followed by misses answered by ``responders``."""
+    pred.on_sync(core, barrier(pc))
+    for responder in responders:
+        pred.predict(core, 0, 0, MissKind.READ)
+        pred.train(core, 0, 0, MissKind.READ, read_result(core, responder))
+
+
+class TestWarmupD0:
+    def test_no_prediction_before_warmup(self):
+        pred = SPPredictor(N, SPPredictorConfig(warmup_misses=5))
+        pred.on_sync(0, barrier(1))
+        assert pred.predict(0, 0, 0, MissKind.READ) is None
+
+    def test_warmup_extracts_running_hot_set(self):
+        pred = SPPredictor(N, SPPredictorConfig(warmup_misses=5))
+        pred.on_sync(0, barrier(1))
+        for _ in range(4):
+            pred.predict(0, 0, 0, MissKind.READ)
+            pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        p = pred.predict(0, 0, 0, MissKind.READ)  # 5th miss: warmup ends
+        assert p is not None
+        assert p.targets == {7}
+        assert p.source is PredictionSource.D0
+
+    def test_warmup_with_no_communication_stays_silent(self):
+        pred = SPPredictor(N, SPPredictorConfig(warmup_misses=2))
+        pred.on_sync(0, barrier(1))
+        pred.predict(0, 0, 0, MissKind.READ)
+        assert pred.predict(0, 0, 0, MissKind.READ) is None
+
+
+class TestHistoryPrediction:
+    def test_second_instance_predicts_last_signature(self):
+        pred = SPPredictor(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(0, barrier(1))  # ends instance, begins instance 2
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p.targets == {7}
+        assert p.source is PredictionSource.HISTORY
+
+    def test_stable_pair_intersection(self):
+        pred = SPPredictor(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 6 + [3] * 6)
+        run_epoch(pred, 0, pc=1, responders=[7] * 6 + [4] * 6)
+        pred.on_sync(0, barrier(1))
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p.targets == {7}  # stable across both instances
+
+    def test_alternating_pattern_predicts_two_back(self):
+        pred = SPPredictor(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)   # A
+        run_epoch(pred, 0, pc=1, responders=[3] * 8)   # B
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)   # A -> alternation
+        run_epoch(pred, 0, pc=1, responders=[3] * 8)   # B
+        pred.on_sync(0, barrier(1))
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p.targets == {7}  # next in the A/B alternation
+
+    def test_own_core_never_predicted(self):
+        pred = SPPredictor(N)
+        # Invalidation acks from core 0 itself must not appear.
+        pred.on_sync(0, barrier(1))
+        pred.train(0, 0, 0, MissKind.WRITE, write_result(0, {0, 5}))
+        pred.train(0, 0, 0, MissKind.WRITE, write_result(0, {0, 5}))
+        pred.on_sync(0, barrier(1))
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p is not None
+        assert 0 not in p.targets
+
+    def test_histories_are_per_core(self):
+        pred = SPPredictor(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(1, barrier(1))
+        assert pred.predict(1, 0, 0, MissKind.READ) is None
+
+
+class TestNoisyInstances:
+    def test_noisy_instance_not_stored(self):
+        cfg = SPPredictorConfig(noise_fraction=0.5, min_volume=2)
+        pred = SPPredictor(N, cfg)
+        run_epoch(pred, 0, pc=1, responders=[7] * 20)
+        # Second instance: one lone miss (noise vs mean volume 20).
+        run_epoch(pred, 0, pc=1, responders=[3])
+        pred.on_sync(0, barrier(1))
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p.targets == {7}  # the noisy {3} instance was skipped
+
+    def test_zero_volume_instance_not_stored(self):
+        pred = SPPredictor(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 10)
+        run_epoch(pred, 0, pc=1, responders=[])
+        pred.on_sync(0, barrier(1))
+        entry = pred.table.probe(0, ("pc", 1))
+        assert entry.history() == [Signature({7})]
+
+
+class TestLockPrediction:
+    def test_lock_predicts_previous_holders(self):
+        pred = SPPredictor(N)
+        pred.on_sync(3, lock(0x80))
+        pred.on_sync(3, unlock(0x80))
+        pred.on_sync(5, lock(0x80))
+        p = pred.predict(5, 0, 0, MissKind.READ)
+        assert p is not None
+        assert p.targets == {3}
+        assert p.source is PredictionSource.LOCK
+
+    def test_lock_union_of_last_two_holders(self):
+        pred = SPPredictor(N)
+        for holder in (3, 9):
+            pred.on_sync(holder, lock(0x80))
+            pred.on_sync(holder, unlock(0x80))
+        pred.on_sync(5, lock(0x80))
+        p = pred.predict(5, 0, 0, MissKind.READ)
+        assert p.targets == {3, 9}
+
+    def test_first_lock_acquire_has_no_prediction(self):
+        pred = SPPredictor(N)
+        pred.on_sync(3, lock(0x80))
+        assert pred.predict(3, 0, 0, MissKind.READ) is None
+
+    def test_reacquiring_own_lock_excludes_self(self):
+        pred = SPPredictor(N)
+        pred.on_sync(3, lock(0x80))
+        pred.on_sync(3, unlock(0x80))
+        pred.on_sync(3, lock(0x80))
+        p = pred.predict(3, 0, 0, MissKind.READ)
+        assert p is None or 3 not in p.targets
+
+    def test_locks_with_different_addresses_are_separate(self):
+        pred = SPPredictor(N)
+        pred.on_sync(3, lock(0x80))
+        pred.on_sync(3, unlock(0x80))
+        pred.on_sync(5, lock(0x81))
+        assert pred.predict(5, 0, 0, MissKind.READ) is None
+
+
+class TestRecovery:
+    def test_recovery_after_confidence_exhaustion(self):
+        cfg = SPPredictorConfig(confidence_bits=2)  # exhausts after 3 misses
+        pred = SPPredictor(N, cfg)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(0, barrier(1))
+        # The stored signature {7} is now wrong: all traffic goes to 11.
+        for _ in range(3):
+            p = pred.predict(0, 0, 0, MissKind.READ)
+            pred.train(
+                0, 0, 0, MissKind.READ,
+                read_result(0, 11, predicted=p.targets, correct=False),
+            )
+        assert pred.recoveries == 1
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert p.targets == {11}
+        assert p.source is PredictionSource.RECOVERY
+
+    def test_correct_predictions_prevent_recovery(self):
+        cfg = SPPredictorConfig(confidence_bits=2)
+        pred = SPPredictor(N, cfg)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(0, barrier(1))
+        for _ in range(20):
+            p = pred.predict(0, 0, 0, MissKind.READ)
+            pred.train(
+                0, 0, 0, MissKind.READ,
+                read_result(0, 7, predicted=p.targets, correct=True),
+            )
+        assert pred.recoveries == 0
+
+    def test_confidence_resets_each_epoch(self):
+        cfg = SPPredictorConfig(confidence_bits=2)
+        pred = SPPredictor(N, cfg)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(0, barrier(1))
+        for _ in range(2):  # not enough to exhaust
+            p = pred.predict(0, 0, 0, MissKind.READ)
+            pred.train(
+                0, 0, 0, MissKind.READ,
+                read_result(0, 11, predicted=p.targets, correct=False),
+            )
+        pred.on_sync(0, barrier(1))
+        assert pred._cores[0].confidence.value == 3
+
+
+class TestLifecycle:
+    def test_on_finish_stores_trailing_epoch(self):
+        pred = SPPredictor(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_finish(0)
+        entry = pred.table.probe(0, ("pc", 1))
+        assert entry.history() == [Signature({7})]
+
+    def test_storage_bits_scales_with_entries(self):
+        pred = SPPredictor(N)
+        empty = pred.storage_bits(N)
+        run_epoch(pred, 0, pc=1, responders=[7] * 8)
+        pred.on_sync(0, barrier(2))
+        assert pred.storage_bits(N) > empty
+
+    def test_requires_two_cores(self):
+        with pytest.raises(ValueError):
+            SPPredictor(1)

@@ -1,0 +1,96 @@
+"""Tests for communication counters and hot-set extraction."""
+
+import pytest
+
+from repro.core.signatures import (
+    CommunicationCounters,
+    Signature,
+    extract_hot_set,
+    signature_bits,
+)
+
+
+class TestExtractHotSet:
+    def test_threshold_includes_heavy_targets(self):
+        counts = [0, 90, 10, 0]
+        assert extract_hot_set(counts) == {1, 2}
+
+    def test_threshold_excludes_light_targets(self):
+        counts = [0, 95, 5, 0]
+        assert extract_hot_set(counts) == {1}
+
+    def test_exact_threshold_is_hot(self):
+        counts = [0, 90, 10]
+        assert 2 in extract_hot_set(counts, threshold=0.10)
+
+    def test_empty_on_zero_volume(self):
+        assert extract_hot_set([0, 0, 0]) == Signature()
+
+    def test_self_core_excluded(self):
+        counts = [50, 50]
+        assert extract_hot_set(counts, self_core=0) == {1}
+
+    def test_self_volume_not_in_denominator(self):
+        # Without self-exclusion target 2 would fall under 10%.
+        counts = [900, 0, 95, 5]
+        assert extract_hot_set(counts, self_core=0) == {2}
+
+    def test_dict_input(self):
+        assert extract_hot_set({3: 10, 7: 90}) == {3, 7}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            extract_hot_set([1], threshold=0.0)
+        with pytest.raises(ValueError):
+            extract_hot_set([1], threshold=1.5)
+
+    def test_threshold_one_requires_total_domination(self):
+        assert extract_hot_set([0, 100, 0], threshold=1.0) == {1}
+        assert extract_hot_set([0, 99, 1], threshold=1.0) == Signature()
+
+
+class TestSignatureBits:
+    def test_bit_vector_rendering(self):
+        assert signature_bits(Signature({0, 2}), 4) == "1010"
+        assert signature_bits(Signature(), 3) == "000"
+
+
+class TestCommunicationCounters:
+    def test_record_response(self):
+        cc = CommunicationCounters(num_cores=4, self_core=0)
+        cc.record_response(2)
+        cc.record_response(2)
+        cc.record_response(3)
+        assert cc.counts() == [0, 0, 2, 1]
+        assert cc.volume == 3
+
+    def test_self_responses_ignored(self):
+        cc = CommunicationCounters(num_cores=4, self_core=1)
+        cc.record_response(1)
+        assert cc.volume == 0
+
+    def test_invalidation_acks(self):
+        cc = CommunicationCounters(num_cores=4, self_core=0)
+        cc.record_invalidation_acks({1, 3})
+        cc.record_invalidation_acks({1})
+        assert cc.counts() == [0, 2, 0, 1]
+
+    def test_reset(self):
+        cc = CommunicationCounters(num_cores=4, self_core=0)
+        cc.record_response(1)
+        cc.reset()
+        assert cc.volume == 0
+        assert cc.counts() == [0, 0, 0, 0]
+
+    def test_hot_set_uses_threshold(self):
+        cc = CommunicationCounters(num_cores=4, self_core=0)
+        for _ in range(95):
+            cc.record_response(1)
+        for _ in range(5):
+            cc.record_response(2)
+        assert cc.hot_set() == {1}
+        assert cc.hot_set(threshold=0.05) == {1, 2}
+
+    def test_self_core_validation(self):
+        with pytest.raises(ValueError):
+            CommunicationCounters(num_cores=4, self_core=4)

@@ -1,0 +1,96 @@
+"""Tests for the SP-table."""
+
+import pytest
+
+from repro.core.signatures import Signature
+from repro.core.sp_table import SPTable, SPTableEntry
+
+A = Signature({1})
+B = Signature({2})
+C = Signature({3})
+
+
+class TestSPTableEntry:
+    def test_history_bounded_by_depth(self):
+        ent = SPTableEntry(depth=2)
+        ent.push(A)
+        ent.push(B)
+        ent.push(C)
+        assert ent.history() == [B, C]
+
+    def test_alternating_flag_tracks_pattern(self):
+        ent = SPTableEntry(depth=2)
+        ent.push(A)
+        ent.push(B)
+        assert not ent.alternating
+        ent.push(A)
+        assert ent.alternating
+        ent.push(B)
+        assert ent.alternating
+        ent.push(B)  # pattern broken
+        assert not ent.alternating
+
+    def test_mean_volume_running_average(self):
+        ent = SPTableEntry(depth=2)
+        ent.push(A, volume=10)
+        ent.push(B, volume=30)
+        assert ent.mean_volume == pytest.approx(20.0)
+        assert ent.instances_recorded == 2
+
+
+class TestSPTable:
+    def test_private_entries_keyed_by_core(self):
+        table = SPTable(depth=2)
+        table.record(0, ("pc", 100), A)
+        table.record(1, ("pc", 100), B)
+        assert table.probe(0, ("pc", 100)).history() == [A]
+        assert table.probe(1, ("pc", 100)).history() == [B]
+
+    def test_lock_entries_shared_across_cores(self):
+        table = SPTable(depth=2)
+        table.record(0, ("lock", 0x80), A)
+        entry = table.probe(7, ("lock", 0x80))
+        assert entry is not None
+        assert entry.history() == [A]
+
+    def test_probe_without_allocation(self):
+        table = SPTable(depth=2)
+        assert table.probe(0, ("pc", 1)) is None
+        assert len(table) == 0
+
+    def test_lookup_and_update_counters(self):
+        table = SPTable(depth=2)
+        table.probe(0, ("pc", 1))
+        table.record(0, ("pc", 1), A)
+        assert table.lookups == 1
+        assert table.updates == 1
+
+    def test_capacity_cap_evicts_lru(self):
+        table = SPTable(depth=2, max_entries=2)
+        table.record(0, ("pc", 1), A)
+        table.record(0, ("pc", 2), B)
+        table.probe(0, ("pc", 1))       # refresh entry 1
+        table.record(0, ("pc", 3), C)   # evicts entry 2
+        assert table.probe(0, ("pc", 2)) is None
+        assert table.probe(0, ("pc", 1)) is not None
+        assert table.evictions == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            SPTable(depth=0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SPTable(depth=2, max_entries=0)
+
+    def test_storage_bits_sizing(self):
+        """Section 4.6: ~33 bits of signatures + tag per entry at 16 cores."""
+        table = SPTable(depth=2)
+        for pc in range(10):
+            table.record(0, ("pc", pc), A)
+        bits = table.storage_bits(num_cores=16, tag_bits=32)
+        assert bits == 10 * (32 + 1 + 2 * 16)
+
+    def test_capped_table_reports_capacity_storage(self):
+        table = SPTable(depth=2, max_entries=512)
+        assert table.storage_bits(num_cores=16) == 512 * (32 + 1 + 32)

@@ -1,0 +1,50 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.noc.network import NetworkStats
+from repro.sim.results import SimulationResult
+
+
+def make_result(byte_links=0, byte_routers=0, snoops=0) -> SimulationResult:
+    stats = NetworkStats(byte_links=byte_links, byte_routers=byte_routers)
+    return SimulationResult(
+        workload="w", protocol="directory", predictor="none", num_cores=16,
+        network=stats, snoop_lookups=snoops,
+    )
+
+
+class TestEnergyModel:
+    def test_router_costs_four_times_link(self):
+        """The paper's assumption (Section 5.3)."""
+        model = EnergyModel()
+        assert model.router_per_byte == 4 * model.link_per_byte
+
+    def test_breakdown_components(self):
+        model = EnergyModel(link_per_byte=1, router_per_byte=4, snoop_lookup=40)
+        e = model.of_run(make_result(byte_links=10, byte_routers=5, snoops=2))
+        assert e.link == 10
+        assert e.router == 20
+        assert e.snoop == 80
+        assert e.total == 110
+
+    def test_energy_proportional_to_traffic(self):
+        model = EnergyModel()
+        small = model.of_run(make_result(byte_links=10, byte_routers=10)).total
+        big = model.of_run(make_result(byte_links=20, byte_routers=20)).total
+        assert big == pytest.approx(2 * small)
+
+    def test_normalized_against_baseline(self):
+        model = EnergyModel()
+        base = make_result(byte_links=10, byte_routers=10, snoops=1)
+        double = make_result(byte_links=20, byte_routers=20, snoops=2)
+        assert model.normalized(double, base) == pytest.approx(2.0)
+        assert model.normalized(base, base) == pytest.approx(1.0)
+
+    def test_zero_baseline(self):
+        model = EnergyModel()
+        assert model.normalized(make_result(), make_result()) == 0.0
+
+    def test_breakdown_is_value_object(self):
+        assert EnergyBreakdown(1, 2, 3).total == 6

@@ -1,0 +1,102 @@
+"""Smoke/shape tests for every experiment module at tiny scale.
+
+These verify the experiments run end-to-end and produce rows with the
+right schema; the *paper-shape* assertions live in the benchmarks (where
+workloads run at representative scale).
+"""
+
+import importlib
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import RunCache
+from repro.sim.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def cache():
+    # One shared cache across all experiment smoke tests: tiny scale.
+    return RunCache(machine=MachineConfig(), scale=0.1)
+
+
+def run_experiment(exp_id, cache):
+    module = importlib.import_module(EXPERIMENTS[exp_id])
+    return module.run(cache)
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_renders(exp_id, cache):
+    table = run_experiment(exp_id, cache)
+    assert table.rows, exp_id
+    text = table.render()
+    assert table.experiment in text
+    for col in table.columns:
+        assert str(col) in text
+
+
+class TestExperimentShapes:
+    def test_fig1_has_all_benchmarks_plus_average(self, cache):
+        table = run_experiment("fig1", cache)
+        names = [r["benchmark"] for r in table.rows]
+        assert len(names) == 18
+        assert names[-1] == "average"
+        for row in table.rows[:-1]:
+            assert 0.0 <= row["comm_ratio"] <= 1.0
+
+    def test_fig7_sources_sum_to_total(self, cache):
+        table = run_experiment("fig7", cache)
+        for row in table.rows[:-1]:
+            parts = (
+                row["when_d0"] + row["when_hist"] + row["when_lock"]
+                + row["w_recovery"]
+            )
+            assert parts == pytest.approx(row["total"], abs=1e-9)
+            assert row["total"] <= row["ideal"] + 1e-9
+
+    def test_fig8_directory_is_unity(self, cache):
+        table = run_experiment("fig8", cache)
+        for row in table.rows:
+            assert row["directory"] == 1.0
+            assert row["broadcast"] <= 1.05
+
+    def test_table5_predicted_at_least_actual(self, cache):
+        table = run_experiment("table5", cache)
+        for row in table.rows:
+            if row["avg_predicted"] > 0:
+                assert row["ratio"] > 0
+
+    def test_fig11_broadcast_most_expensive(self, cache):
+        table = run_experiment("fig11", cache)
+        avg = table.rows[-1]
+        assert avg["broadcast"] > avg["sp_predictor"] > avg["directory"] * 0.99
+
+    def test_fig12_directory_anchor(self, cache):
+        table = run_experiment("fig12", cache)
+        anchors = [r for r in table.rows if r["predictor"] == "Directory"]
+        for row in anchors:
+            assert row["added_bw_pct"] == 0.0
+            assert row["indirection_pct"] == 100.0
+
+    def test_fig13_sp_insensitive_to_cap(self, cache):
+        table = run_experiment("fig13", cache)
+        sp_rows = [r for r in table.rows if r["predictor"] == "SP"]
+        assert len(sp_rows) == 2
+        a, b = sp_rows
+        assert a["indirection_pct"] == pytest.approx(
+            b["indirection_pct"], abs=2.0
+        )
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["fig1", "--scale", "0.05", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,102 @@
+"""Tests for the experiment harness (run cache, tables, CLI wiring)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import (
+    ExperimentTable,
+    RunCache,
+    geometric_mean,
+    make_predictor,
+    render_table,
+)
+from repro.sim.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache(machine=MachineConfig(), scale=0.1)
+
+
+class TestMakePredictor:
+    def test_all_kinds(self):
+        from repro.coherence.directory import Directory
+
+        assert make_predictor("none", 16) is None
+        for kind in ("SP", "ADDR", "INST", "UNI"):
+            pred = make_predictor(kind, 16)
+            assert pred.name == kind
+        oracle = make_predictor("ORACLE", 16, directory=Directory(16))
+        assert oracle.name == "ORACLE"
+
+    def test_oracle_requires_directory(self):
+        with pytest.raises(ValueError):
+            make_predictor("ORACLE", 16)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_predictor("MAGIC", 16)
+
+    def test_capacity_cap_forwarded(self):
+        pred = make_predictor("ADDR", 16, max_entries=8)
+        assert pred._tables[0].max_entries == 8
+
+
+class TestRunCache:
+    def test_same_key_returns_same_object(self, cache):
+        a = cache.get("x264", predictor="none")
+        b = cache.get("x264", predictor="none")
+        assert a is b
+
+    def test_collecting_run_serves_plain_requests(self, cache):
+        collected = cache.get("lu", predictor="none", collect_epochs=True)
+        plain = cache.get("lu", predictor="none", collect_epochs=False)
+        assert plain is collected
+
+    def test_predictor_name_recorded(self, cache):
+        r = cache.get("x264", predictor="SP")
+        assert r.predictor == "SP"
+
+    def test_distinct_configs_distinct_runs(self, cache):
+        a = cache.get("x264", predictor="none")
+        b = cache.get("x264", protocol="broadcast", predictor="none")
+        assert a is not b
+
+    def test_suite_lists_all(self, cache):
+        assert len(cache.suite()) == 17
+
+
+class TestRendering:
+    def test_render_table(self):
+        table = ExperimentTable(
+            experiment="Fig. X",
+            title="demo",
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 0.5}, {"a": "xx", "b": 2.0}],
+            notes=["hello"],
+        )
+        text = render_table(table)
+        assert "Fig. X" in text
+        assert "0.500" in text
+        assert "note: hello" in text
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, 2]) == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_all_fourteen_experiments_registered(self):
+        expected = {
+            "fig1", "fig2", "table1", "fig4", "fig5", "fig6", "fig7",
+            "table5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_modules_importable(self):
+        import importlib
+
+        for module_name in EXPERIMENTS.values():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run")

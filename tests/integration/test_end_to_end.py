@@ -1,0 +1,124 @@
+"""End-to-end integration: suite workloads through the full stack."""
+
+import pytest
+
+from repro import (
+    AddrPredictor,
+    InstPredictor,
+    SPPredictor,
+    UniPredictor,
+    load_benchmark,
+    simulate,
+)
+from repro.sim.machine import MachineConfig
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def x264():
+    return load_benchmark("x264", scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig()
+
+
+class TestFullStack:
+    def test_baseline_directory_run(self, x264, machine):
+        r = simulate(x264, machine=machine)
+        assert r.misses > 0
+        assert 0.0 < r.comm_ratio < 1.0
+        assert r.indirections == r.misses  # every miss pays indirection
+
+    def test_sp_beats_baseline_on_repetitive_workload(self, x264, machine):
+        base = simulate(x264, machine=machine)
+        sp = simulate(x264, machine=machine, predictor=SPPredictor(16))
+        assert sp.accuracy > 0.5
+        assert sp.avg_miss_latency < base.avg_miss_latency
+        assert sp.cycles < base.cycles
+        assert sp.network.bytes_total > base.network.bytes_total
+
+    def test_broadcast_bounds_latency_but_floods_network(self, x264, machine):
+        base = simulate(x264, machine=machine)
+        sp = simulate(x264, machine=machine, predictor=SPPredictor(16))
+        bcast = simulate(x264, machine=machine, protocol="broadcast")
+        assert bcast.avg_miss_latency < sp.avg_miss_latency
+        assert bcast.network.bytes_total > 1.5 * base.network.bytes_total
+        assert bcast.snoop_lookups > 10 * base.snoop_lookups
+
+    def test_all_predictors_run_on_one_workload(self, machine):
+        w = load_benchmark("facesim", scale=0.2)
+        base = simulate(w, machine=machine)
+        for predictor in (
+            SPPredictor(16),
+            AddrPredictor(16),
+            InstPredictor(16),
+            UniPredictor(16),
+        ):
+            r = simulate(w, machine=machine, predictor=predictor)
+            assert r.pred_attempted > 0, predictor.name
+            assert r.pred_correct > 0, predictor.name
+            # Prediction must not materially change the miss stream (lock
+            # acquisition order may shift a handful of hits/misses).
+            assert r.misses == pytest.approx(base.misses, rel=0.01), predictor.name
+
+    @pytest.mark.parametrize(
+        "name", ["fmm", "lu", "radiosity", "fft", "streamcluster", "dedup"]
+    )
+    def test_suite_members_simulate_cleanly(self, name, machine):
+        w = load_benchmark(name, scale=SCALE)
+        r = simulate(w, machine=machine, predictor=SPPredictor(16))
+        assert r.misses > 0
+        assert r.cycles > 0
+        assert max(r.core_cycles) == r.cycles
+
+    def test_epoch_collection_at_scale(self, machine):
+        w = load_benchmark("bodytrack", scale=0.4)
+        r = simulate(w, machine=machine, collect_epochs=True)
+        assert len(r.epoch_records) > 100
+        # Dynamic instances of the same epoch should exist.
+        keys = {}
+        for rec in r.epoch_records:
+            keys.setdefault((rec.core, rec.key), []).append(rec.instance)
+        assert any(len(v) > 2 for v in keys.values())
+
+
+class TestPaperShapeInvariants:
+    """Coarse shape checks the reproduction must preserve."""
+
+    def test_latency_ordering_broadcast_sp_directory(self, machine):
+        w = load_benchmark("water-ns", scale=0.25)
+        base = simulate(w, machine=machine)
+        sp = simulate(w, machine=machine, predictor=SPPredictor(16))
+        bcast = simulate(w, machine=machine, protocol="broadcast")
+        assert (
+            bcast.avg_miss_latency
+            <= sp.avg_miss_latency
+            <= base.avg_miss_latency
+        )
+
+    def test_bandwidth_ordering_directory_sp_broadcast(self, machine):
+        w = load_benchmark("water-ns", scale=0.25)
+        base = simulate(w, machine=machine)
+        sp = simulate(w, machine=machine, predictor=SPPredictor(16))
+        bcast = simulate(w, machine=machine, protocol="broadcast")
+        assert (
+            base.network.bytes_total
+            <= sp.network.bytes_total
+            <= bcast.network.bytes_total
+        )
+
+    def test_ideal_dominates_actual_accuracy(self, machine):
+        w = load_benchmark("ocean", scale=0.2)
+        sp = simulate(w, machine=machine, predictor=SPPredictor(16))
+        assert sp.ideal_accuracy >= sp.accuracy
+
+    def test_sp_table_stays_tiny(self, machine):
+        """Section 4.6: a ~2KB table suffices for the worst application."""
+        w = load_benchmark("fmm", scale=0.2)
+        predictor = SPPredictor(16)
+        simulate(w, machine=machine, predictor=predictor)
+        table_bits = predictor.table.storage_bits(16)
+        assert table_bits < 8 * 4096  # well under 4 KB

@@ -1,0 +1,80 @@
+"""Regression snapshots of per-benchmark headline metrics.
+
+Guards against silent drift: a change to the workload generator, the
+protocol, or the predictor that moves any benchmark's communicating
+ratio, SP accuracy, or SP latency gain beyond tolerance fails here with
+the exact benchmark named.
+
+Regenerate after an *intentional* behaviour change with::
+
+    python - <<'PY'
+    ...see tests/data/snapshots_scale04.json header in git history, or
+    simply re-run the generation snippet in CONTRIBUTING.md...
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.predictor import SPPredictor
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import load_benchmark
+
+_SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "data" / "snapshots_scale04.json"
+
+#: Absolute tolerances: generous enough for cross-platform dict-order
+#: effects (there are none — runs are deterministic — but scheduling
+#: heuristics may change deliberately), tight enough to catch real drift.
+TOLERANCES = {
+    "comm_ratio": 0.06,
+    "sp_accuracy": 0.08,
+    "sp_latency_ratio": 0.05,
+}
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    with open(_SNAPSHOT_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig()
+
+
+SPOT_CHECK = ("x264", "radiosity", "lu", "streamcluster", "water-ns")
+
+
+class TestSnapshots:
+    def test_snapshot_file_covers_suite(self, snapshots):
+        assert len(snapshots["benchmarks"]) == 17
+        assert snapshots["scale"] == 0.4
+
+    @pytest.mark.parametrize("name", SPOT_CHECK)
+    def test_benchmark_matches_snapshot(self, name, snapshots, machine):
+        expected = snapshots["benchmarks"][name]
+        scale = snapshots["scale"]
+        w = load_benchmark(name, scale=scale)
+        base = simulate(w, machine=machine)
+        sp = simulate(w, machine=machine, predictor=SPPredictor(16))
+        measured = {
+            "comm_ratio": base.comm_ratio,
+            "sp_accuracy": sp.accuracy,
+            "sp_latency_ratio": sp.avg_miss_latency / base.avg_miss_latency,
+        }
+        for metric, tolerance in TOLERANCES.items():
+            assert measured[metric] == pytest.approx(
+                expected[metric], abs=tolerance
+            ), f"{name}.{metric}: snapshot {expected[metric]}, got {measured[metric]:.4f}"
+
+    @pytest.mark.parametrize("name", SPOT_CHECK)
+    def test_miss_counts_exact(self, name, snapshots, machine):
+        """Baseline miss counts are fully deterministic: exact match."""
+        expected = snapshots["benchmarks"][name]["misses"]
+        w = load_benchmark(name, scale=snapshots["scale"])
+        base = simulate(w, machine=machine)
+        assert base.misses == expected

@@ -1,0 +1,65 @@
+"""Suite calibration: every benchmark behaves like its paper namesake.
+
+Slowish (simulates the whole suite once), but it is the test that keeps
+workload tuning honest: if a spec change drifts a benchmark away from
+its Fig. 1 communicating-miss target or breaks its epoch structure,
+this fails before any figure silently changes shape.
+"""
+
+import pytest
+
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import SUITE, load_benchmark
+
+SCALE = 0.4
+
+
+@pytest.fixture(scope="module")
+def baseline_runs():
+    machine = MachineConfig()
+    runs = {}
+    for name in SUITE:
+        runs[name] = simulate(
+            load_benchmark(name, scale=SCALE), machine=machine
+        )
+    return runs
+
+
+class TestCommRatioCalibration:
+    def test_each_benchmark_near_its_target(self, baseline_runs):
+        failures = []
+        for name, spec in SUITE.items():
+            measured = baseline_runs[name].comm_ratio
+            target = spec.target_comm_ratio
+            if abs(measured - target) > 0.20:
+                failures.append(f"{name}: target {target}, got {measured:.2f}")
+        assert not failures, "; ".join(failures)
+
+    def test_suite_average_near_paper(self, baseline_runs):
+        ratios = [r.comm_ratio for r in baseline_runs.values()]
+        avg = sum(ratios) / len(ratios)
+        # Paper Fig. 1: 62% average.
+        assert 0.45 <= avg <= 0.75
+
+    def test_low_and_high_extremes_preserved(self, baseline_runs):
+        assert baseline_runs["lu"].comm_ratio < 0.40
+        assert baseline_runs["radix"].comm_ratio < 0.40
+        assert baseline_runs["x264"].comm_ratio > 0.60
+        assert baseline_runs["water-sp"].comm_ratio > 0.60
+
+
+class TestStructuralSanity:
+    def test_every_run_exercises_locks(self, baseline_runs):
+        for name, run in baseline_runs.items():
+            assert run.sync_points > 0, name
+
+    def test_all_cores_participate(self, baseline_runs):
+        for name, run in baseline_runs.items():
+            active = sum(1 for c in run.core_cycles if c > 0)
+            assert active == 16, name
+
+    def test_miss_rates_sane(self, baseline_runs):
+        for name, run in baseline_runs.items():
+            assert 0 < run.misses <= run.accesses, name
+            assert run.offchip_misses <= run.misses, name

@@ -1,0 +1,125 @@
+"""Tests for the offered-load estimator and the transcript facility."""
+
+import pytest
+
+from repro.noc.congestion import (
+    DEFAULT_LINK_BYTES_PER_CYCLE,
+    LoadEstimate,
+    directed_link_count,
+    estimate_load,
+)
+from repro.noc.network import MessageClass, Network
+from repro.noc.topology import Mesh2D
+
+
+class TestLinkCount:
+    def test_4x4_mesh(self):
+        assert directed_link_count(Mesh2D(4, 4)) == 48
+
+    def test_line_topology(self):
+        assert directed_link_count(Mesh2D(4, 1)) == 6
+
+    def test_single_node(self):
+        assert directed_link_count(Mesh2D(1, 1)) == 0
+
+
+class TestLoadEstimate:
+    def test_offered_load_math(self):
+        est = LoadEstimate(
+            byte_links=4800, cycles=100, links=48, link_bytes_per_cycle=8
+        )
+        assert est.offered_load == pytest.approx(4800 / (100 * 48 * 8))
+        assert not est.congested
+
+    def test_congestion_threshold(self):
+        est = LoadEstimate(
+            byte_links=20_000, cycles=100, links=48, link_bytes_per_cycle=8
+        )
+        assert est.offered_load > 0.35
+        assert est.congested
+
+    def test_estimate_from_run(self, small_machine, stable_workload):
+        from repro.sim.engine import simulate
+
+        result = simulate(stable_workload, machine=small_machine)
+        est = estimate_load(result, small_machine.mesh())
+        assert 0.0 < est.offered_load < 1.0
+
+    def test_paper_assumption_holds_even_for_broadcast(
+        self, small_machine, stable_workload
+    ):
+        """Section 5.3's assumption: congestion stays low for both the
+        prediction-augmented directory protocol and broadcast."""
+        from repro.sim.engine import simulate
+
+        for protocol in ("directory", "broadcast"):
+            result = simulate(
+                stable_workload, machine=small_machine, protocol=protocol
+            )
+            est = estimate_load(result, small_machine.mesh())
+            assert not est.congested, protocol
+
+
+class TestTranscript:
+    def test_recording_captures_messages(self):
+        net = Network(Mesh2D(4, 4))
+        net.start_transcript()
+        net.send(0, 5, MessageClass.CONTROL, "a")
+        net.send(5, 0, MessageClass.DATA, "b")
+        messages = net.stop_transcript()
+        assert len(messages) == 2
+        assert messages[0].src == 0 and messages[0].dst == 5
+        assert messages[1].n_bytes == 72
+
+    def test_not_recording_by_default(self):
+        net = Network(Mesh2D(4, 4))
+        net.send(0, 5, MessageClass.CONTROL, "a")
+        assert net.stop_transcript() == []
+
+    def test_drain_keeps_recording(self):
+        net = Network(Mesh2D(4, 4))
+        net.start_transcript()
+        net.send(0, 1, MessageClass.CONTROL, "a")
+        first = net.drain_transcript()
+        net.send(0, 2, MessageClass.CONTROL, "a")
+        second = net.stop_transcript()
+        assert len(first) == 1 and len(second) == 1
+
+    def test_predicted_read_message_sequence(self):
+        """Audit the Section 4.5 flow: predicted requests + directory
+        notification + nacks + data + off-path directory update."""
+        from repro.cache.cache import CacheConfig
+        from repro.cache.hierarchy import PrivateHierarchy
+        from repro.coherence.directory import Directory
+        from repro.coherence.protocol import DirectoryProtocol
+
+        hiers = [
+            PrivateHierarchy(
+                c,
+                l1=CacheConfig(size=256, assoc=1, line_size=64),
+                l2=CacheConfig(size=2048, assoc=2, line_size=64),
+            )
+            for c in range(16)
+        ]
+        net = Network(Mesh2D(4, 4))
+        proto = DirectoryProtocol(hiers, Directory(16), net)
+        proto.write_miss(1, 32)
+
+        net.start_transcript()
+        proto.read_miss(0, 32, predicted={1, 5})
+        messages = net.stop_transcript()
+        home = proto.directory.home_of(32)
+
+        # Predicted requests to nodes 1 and 5.
+        pred_reqs = [m for m in messages if m.src == 0 and m.dst in (1, 5)
+                     and m.msg is MessageClass.CONTROL]
+        assert len(pred_reqs) == 2
+        # Tagged request to the home directory.
+        assert any(m.src == 0 and m.dst == home for m in messages)
+        # Nack from the non-responder predicted node.
+        assert any(m.src == 5 and m.dst == 0 for m in messages)
+        # Data from the owner.
+        assert any(m.src == 1 and m.dst == 0 and m.msg is MessageClass.DATA
+                   for m in messages)
+        # Off-critical-path sharing-state update to the directory.
+        assert any(m.src == 1 and m.dst == home for m in messages)

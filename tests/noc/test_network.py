@@ -1,0 +1,69 @@
+"""Tests for the NoC latency/traffic model."""
+
+from repro.noc.network import MESSAGE_BYTES, MessageClass, Network, NetworkStats
+from repro.noc.topology import Mesh2D
+
+
+def make_net() -> Network:
+    return Network(Mesh2D(4, 4), router_latency=2, link_latency=1)
+
+
+class TestLatency:
+    def test_latency_proportional_to_hops(self):
+        net = make_net()
+        assert net.latency(0, 1) == 3
+        assert net.latency(0, 15) == 18
+
+    def test_local_latency_zero(self):
+        net = make_net()
+        assert net.latency(5, 5) == 0
+
+    def test_hop_latency(self):
+        assert make_net().hop_latency() == 3
+
+
+class TestTrafficAccounting:
+    def test_send_accounts_bytes(self):
+        net = make_net()
+        net.send(0, 1, MessageClass.CONTROL, "x")
+        assert net.stats.bytes_total == MESSAGE_BYTES[MessageClass.CONTROL]
+        assert net.stats.messages == 1
+
+    def test_data_messages_carry_line(self):
+        assert MESSAGE_BYTES[MessageClass.DATA] == 72
+        assert MESSAGE_BYTES[MessageClass.CONTROL] == 8
+
+    def test_byte_links_and_routers(self):
+        net = make_net()
+        net.send(0, 3, MessageClass.CONTROL, "x")  # 3 hops
+        assert net.stats.byte_links == 8 * 3
+        assert net.stats.byte_routers == 8 * 4
+
+    def test_categories_tracked_separately(self):
+        net = make_net()
+        net.send(0, 1, MessageClass.CONTROL, "a")
+        net.send(0, 1, MessageClass.DATA, "b")
+        assert net.stats.bytes_by_category == {"a": 8, "b": 72}
+
+    def test_multicast_skips_self_and_returns_worst(self):
+        net = make_net()
+        worst = net.multicast(0, [0, 1, 15], MessageClass.CONTROL, "x")
+        assert worst == net.latency(0, 15)
+        assert net.stats.messages == 2  # self skipped
+
+    def test_broadcast_reaches_all_others(self):
+        net = make_net()
+        worst = net.broadcast(5, MessageClass.CONTROL, "x")
+        assert net.stats.messages == 15
+        assert worst == max(net.latency(5, d) for d in range(16) if d != 5)
+
+    def test_stats_merge(self):
+        a = NetworkStats()
+        b = NetworkStats()
+        a.add(10, 2, "x")
+        b.add(5, 1, "x")
+        b.add(7, 0, "y")
+        a.merge(b)
+        assert a.bytes_total == 22
+        assert a.bytes_by_category == {"x": 15, "y": 7}
+        assert a.messages == 3

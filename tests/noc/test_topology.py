@@ -1,0 +1,60 @@
+"""Tests for the 2D mesh topology."""
+
+import pytest
+
+from repro.noc.topology import Mesh2D
+
+
+class TestMesh2D:
+    def test_coords_round_trip(self):
+        mesh = Mesh2D(width=4, height=4)
+        for node in range(mesh.num_nodes):
+            x, y = mesh.coords(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_hops_manhattan(self):
+        mesh = Mesh2D(width=4, height=4)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3
+        assert mesh.hops(0, 15) == 6  # corner to corner
+        assert mesh.hops(5, 10) == 2
+
+    def test_hops_symmetric(self):
+        mesh = Mesh2D(width=4, height=4)
+        for a in range(16):
+            for b in range(16):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_route_is_xy(self):
+        mesh = Mesh2D(width=4, height=4)
+        # 0 (0,0) -> 10 (2,2): X first to (2,0)=2, then Y to (2,2)=10.
+        assert mesh.route(0, 10) == [0, 1, 2, 6, 10]
+
+    def test_route_length_matches_hops(self):
+        mesh = Mesh2D(width=4, height=4)
+        for a in range(16):
+            for b in range(16):
+                assert len(mesh.route(a, b)) == mesh.hops(a, b) + 1
+
+    def test_route_self(self):
+        mesh = Mesh2D(width=4, height=4)
+        assert mesh.route(7, 7) == [7]
+
+    def test_average_hops_4x4(self):
+        mesh = Mesh2D(width=4, height=4)
+        # Known closed form for a 4x4 mesh: 8/3.
+        assert mesh.average_hops() == pytest.approx(8 / 3)
+
+    def test_out_of_range_node(self):
+        mesh = Mesh2D(width=2, height=2)
+        with pytest.raises(ValueError):
+            mesh.hops(0, 4)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh2D(width=0, height=4)
+
+    def test_non_square_mesh(self):
+        mesh = Mesh2D(width=8, height=2)
+        assert mesh.num_nodes == 16
+        assert mesh.hops(0, 15) == 8

@@ -1,0 +1,78 @@
+"""Tests for the macroblock-indexed ADDR predictor."""
+
+from repro.coherence.protocol import MissKind
+from repro.predictors.addr import AddrPredictor
+from repro.predictors.base import PredictionSource
+from tests.core.test_predictor import read_result, write_result
+
+N = 16
+
+
+class TestAddrPredictor:
+    def test_unknown_block_predicts_nothing(self):
+        pred = AddrPredictor(N)
+        assert pred.predict(0, 100, 0, MissKind.READ) is None
+
+    def test_learns_from_responses(self):
+        pred = AddrPredictor(N)
+        for _ in range(2):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        p = pred.predict(0, 100, 0, MissKind.READ)
+        assert p.targets == {7}
+        assert p.source is PredictionSource.TABLE
+
+    def test_macroblock_spatial_locality(self):
+        """Adjacent blocks in the same macroblock share an entry."""
+        pred = AddrPredictor(N, blocks_per_macroblock=4)
+        for _ in range(2):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        assert pred.predict(0, 101, 0, MissKind.READ).targets == {7}
+        assert pred.predict(0, 104, 0, MissKind.READ) is None
+
+    def test_learns_from_invalidations(self):
+        pred = AddrPredictor(N)
+        for _ in range(2):
+            pred.train(0, 100, 0, MissKind.WRITE, write_result(0, {3, 5}))
+        assert pred.predict(0, 100, 0, MissKind.WRITE).targets == {3, 5}
+
+    def test_external_requests_train_the_observer(self):
+        """A remote requester becomes a likely future destination."""
+        pred = AddrPredictor(N)
+        pred.observe_external(2, 100, requester=9)
+        pred.observe_external(2, 100, requester=9)
+        assert pred.predict(2, 100, 0, MissKind.READ).targets == {9}
+
+    def test_external_self_request_ignored(self):
+        pred = AddrPredictor(N)
+        pred.observe_external(2, 100, requester=2)
+        assert pred.predict(2, 100, 0, MissKind.READ) is None
+
+    def test_tables_are_per_core(self):
+        pred = AddrPredictor(N)
+        for _ in range(2):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        assert pred.predict(1, 100, 0, MissKind.READ) is None
+
+    def test_own_core_excluded_from_group(self):
+        pred = AddrPredictor(N)
+        pred.observe_external(2, 100, requester=9)
+        pred.observe_external(2, 100, requester=9)
+        # Core 2's own entry must not predict core 2.
+        p = pred.predict(2, 100, 0, MissKind.READ)
+        assert 2 not in p.targets
+
+    def test_capacity_cap(self):
+        pred = AddrPredictor(N, max_entries=1)
+        for _ in range(2):
+            pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        for _ in range(2):
+            pred.train(0, 400, 0, MissKind.READ, read_result(0, 8))
+        assert pred.predict(0, 0, 0, MissKind.READ) is None
+        assert pred.predict(0, 400, 0, MissKind.READ).targets == {8}
+
+    def test_storage_and_entry_counts(self):
+        pred = AddrPredictor(N)
+        pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        pred.train(1, 512, 0, MissKind.READ, read_result(1, 7))
+        assert pred.table_entries() == 2
+        assert pred.storage_bits(N) == 2 * (32 + 37)

@@ -1,0 +1,88 @@
+"""Tests for the group predictor machinery."""
+
+import pytest
+
+from repro.predictors.group import GroupEntry, GroupPredictorConfig, GroupTable
+
+N = 16
+
+
+def make_entry(**kw) -> GroupEntry:
+    return GroupEntry(num_cores=N, config=GroupPredictorConfig(**kw))
+
+
+class TestGroupEntry:
+    def test_activation_threshold(self):
+        ent = make_entry()
+        ent.train_up(3)
+        assert ent.group() == frozenset()  # count 1 < activation 2
+        ent.train_up(3)
+        assert ent.group() == {3}
+
+    def test_counter_saturates(self):
+        ent = make_entry()
+        for _ in range(10):
+            ent.train_up(3)
+        assert ent.counts[3] == 3  # 2-bit max
+
+    def test_exclude_self(self):
+        ent = make_entry()
+        ent.train_up(3)
+        ent.train_up(3)
+        assert ent.group(exclude=3) == frozenset()
+
+    def test_train_down_on_rollover(self):
+        ent = make_entry(rollover_bits=2)  # decay every 4 events
+        ent.train_up(1)
+        ent.train_up(1)
+        ent.train_up(2)
+        assert ent.group() == {1}  # core 2 not yet at activation
+        ent.train_up(2)  # 4th event triggers decay
+        # counts were 1:2->1, 2:2->1 after decay
+        assert ent.group() == frozenset()
+
+    def test_inactive_destination_eventually_leaves(self):
+        ent = make_entry(rollover_bits=2)
+        ent.train_up(5)
+        ent.train_up(5)
+        ent.train_up(5)  # saturated at 3
+        for _ in range(16):
+            ent.train_up(9)
+        assert 5 not in ent.group()
+        assert 9 in ent.group()
+
+    def test_entry_bits(self):
+        cfg = GroupPredictorConfig()
+        assert cfg.entry_bits(16) == 37  # 16 x 2-bit + 5-bit rollover
+
+
+class TestGroupTable:
+    def test_probe_does_not_allocate(self):
+        table = GroupTable(N, GroupPredictorConfig())
+        assert table.probe("k") is None
+        assert len(table) == 0
+
+    def test_entry_allocates(self):
+        table = GroupTable(N, GroupPredictorConfig())
+        ent = table.entry("k")
+        assert table.probe("k") is ent
+
+    def test_capacity_lru(self):
+        table = GroupTable(N, GroupPredictorConfig(), max_entries=2)
+        table.entry("a")
+        table.entry("b")
+        table.probe("a")
+        table.entry("c")
+        assert table.probe("b") is None
+        assert table.probe("a") is not None
+        assert table.evictions == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GroupTable(N, GroupPredictorConfig(), max_entries=0)
+
+    def test_storage_bits(self):
+        table = GroupTable(N, GroupPredictorConfig())
+        table.entry("a")
+        table.entry("b")
+        assert table.storage_bits(tag_bits=32) == 2 * (32 + 37)

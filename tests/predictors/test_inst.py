@@ -1,0 +1,49 @@
+"""Tests for the PC-indexed INST predictor."""
+
+from repro.coherence.protocol import MissKind
+from repro.predictors.inst import InstPredictor
+from tests.core.test_predictor import read_result
+
+N = 16
+
+
+class TestInstPredictor:
+    def test_unknown_pc_predicts_nothing(self):
+        pred = InstPredictor(N)
+        assert pred.predict(0, 0, 0x400, MissKind.READ) is None
+
+    def test_indexes_by_pc_not_address(self):
+        pred = InstPredictor(N)
+        for _ in range(2):
+            pred.train(0, 100, 0x400, MissKind.READ, read_result(0, 7))
+        # Different block, same instruction -> predicted.
+        assert pred.predict(0, 999, 0x400, MissKind.READ).targets == {7}
+        # Same block, different instruction -> no entry.
+        assert pred.predict(0, 100, 0x404, MissKind.READ) is None
+
+    def test_tables_are_per_core(self):
+        pred = InstPredictor(N)
+        for _ in range(2):
+            pred.train(0, 100, 0x400, MissKind.READ, read_result(0, 7))
+        assert pred.predict(1, 100, 0x400, MissKind.READ) is None
+
+    def test_capacity_cap(self):
+        pred = InstPredictor(N, max_entries=1)
+        for _ in range(2):
+            pred.train(0, 0, 0x400, MissKind.READ, read_result(0, 7))
+        for _ in range(2):
+            pred.train(0, 0, 0x500, MissKind.READ, read_result(0, 8))
+        assert pred.predict(0, 0, 0x400, MissKind.READ) is None
+        assert pred.predict(0, 0, 0x500, MissKind.READ).targets == {8}
+
+    def test_fewer_entries_than_addr_for_spread_addresses(self):
+        """The motivation for INST: static PCs are few, addresses many."""
+        from repro.predictors.addr import AddrPredictor
+
+        inst = InstPredictor(N)
+        addr = AddrPredictor(N)
+        for block in range(0, 400, 8):
+            inst.train(0, block, 0x400, MissKind.READ, read_result(0, 7))
+            addr.train(0, block, 0x400, MissKind.READ, read_result(0, 7))
+        assert inst.table_entries() == 1
+        assert addr.table_entries() > 1

@@ -1,0 +1,37 @@
+"""Tests for the oracle predictor."""
+
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import MissKind
+from repro.predictors.oracle import OraclePredictor
+
+N = 16
+
+
+class TestOraclePredictor:
+    def test_predicts_exact_read_responder(self):
+        d = Directory(N)
+        d.record_exclusive_fill(32, requester=3, dirty=True)
+        oracle = OraclePredictor(d)
+        assert oracle.predict(0, 32, 0, MissKind.READ).targets == {3}
+
+    def test_predicts_all_sharers_for_writes(self):
+        d = Directory(N)
+        d.record_exclusive_fill(32, requester=3, dirty=False)
+        d.record_read_fill(32, requester=4)
+        oracle = OraclePredictor(d)
+        assert oracle.predict(0, 32, 0, MissKind.WRITE).targets == {3, 4}
+
+    def test_excludes_requester_from_write_set(self):
+        d = Directory(N)
+        d.record_exclusive_fill(32, requester=3, dirty=False)
+        d.record_read_fill(32, requester=0)
+        oracle = OraclePredictor(d)
+        assert oracle.predict(0, 32, 0, MissKind.UPGRADE).targets == {3}
+
+    def test_silent_on_noncommunicating_miss(self):
+        oracle = OraclePredictor(Directory(N))
+        assert oracle.predict(0, 32, 0, MissKind.READ) is None
+
+    def test_train_is_noop(self):
+        oracle = OraclePredictor(Directory(N))
+        oracle.train(0, 32, 0, MissKind.READ, None)  # must not raise

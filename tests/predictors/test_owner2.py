@@ -1,0 +1,101 @@
+"""Tests for the two-level owner predictor."""
+
+import pytest
+
+from repro.coherence.protocol import MissKind
+from repro.predictors.owner2 import OwnerTwoLevelPredictor, _OwnerEntry
+from tests.core.test_predictor import read_result
+
+N = 16
+
+
+class TestOwnerEntry:
+    def test_confidence_grows_on_confirmation(self):
+        ent = _OwnerEntry(owner=3)
+        ent.observe(3)
+        assert ent.confident
+
+    def test_confidence_shrinks_on_mismatch(self):
+        ent = _OwnerEntry(owner=3, confidence=2)
+        ent.observe(5)
+        assert ent.owner == 3  # not replaced yet
+        assert not ent.confident
+
+    def test_owner_replaced_at_zero_confidence(self):
+        ent = _OwnerEntry(owner=3, confidence=0)
+        ent.observe(5)
+        assert ent.owner == 5
+        assert ent.confidence == 1
+
+    def test_confidence_saturates(self):
+        ent = _OwnerEntry(owner=3)
+        for _ in range(10):
+            ent.observe(3)
+        assert ent.confidence == _OwnerEntry.CONF_MAX
+
+
+class TestOwnerTwoLevelPredictor:
+    def test_needs_confidence_to_predict(self):
+        pred = OwnerTwoLevelPredictor(N)
+        pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        # First sighting: confidence 1 < threshold 2.
+        assert pred.predict(0, 100, 0, MissKind.READ) is None
+        pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        p = pred.predict(0, 100, 0, MissKind.READ)
+        assert p.targets == {7}
+
+    def test_never_predicts_upgrades(self):
+        pred = OwnerTwoLevelPredictor(N)
+        for _ in range(3):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        assert pred.predict(0, 100, 0, MissKind.UPGRADE) is None
+
+    def test_macroblock_sharing(self):
+        pred = OwnerTwoLevelPredictor(N, blocks_per_macroblock=4)
+        for _ in range(2):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        assert pred.predict(0, 103, 0, MissKind.READ).targets == {7}
+        assert pred.predict(0, 104, 0, MissKind.READ) is None
+
+    def test_owner_change_requires_persistence(self):
+        pred = OwnerTwoLevelPredictor(N)
+        for _ in range(4):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 7))
+        # One observation of a new owner is not enough.
+        pred.train(0, 100, 0, MissKind.READ, read_result(0, 9))
+        p = pred.predict(0, 100, 0, MissKind.READ)
+        assert p is not None and p.targets == {7}
+        # Repeated new-owner observations eventually flip the entry.
+        for _ in range(6):
+            pred.train(0, 100, 0, MissKind.READ, read_result(0, 9))
+        assert pred.predict(0, 100, 0, MissKind.READ).targets == {9}
+
+    def test_capacity_cap(self):
+        pred = OwnerTwoLevelPredictor(N, max_entries=1)
+        pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        pred.train(0, 400, 0, MissKind.READ, read_result(0, 8))
+        assert pred.table_entries() == 1
+
+    def test_storage_accounting(self):
+        pred = OwnerTwoLevelPredictor(N)
+        pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        pred.train(1, 0, 0, MissKind.READ, read_result(1, 7))
+        assert pred.storage_bits(N) == 2 * 38
+
+    def test_end_to_end_accelerates_reads(self, small_machine):
+        from repro.sim.engine import simulate
+        from repro.workloads.generator import build_workload
+        from repro.workloads.patterns import PatternKind
+        from tests.conftest import make_spec
+
+        w = build_workload(
+            make_spec(PatternKind.STABLE, epochs=2, iterations=8)
+        )
+        base = simulate(w, machine=small_machine)
+        owner = simulate(
+            w, machine=small_machine, predictor=OwnerTwoLevelPredictor(N)
+        )
+        assert owner.pred_correct > 0
+        assert owner.avg_miss_latency < base.avg_miss_latency
+        # Single-target predictions: minimal bandwidth overhead.
+        assert owner.avg_predicted_targets == 1.0

@@ -1,0 +1,93 @@
+"""Tests for the owner vs group destination-set policies."""
+
+import pytest
+
+from repro.coherence.protocol import MissKind
+from repro.predictors.addr import AddrPredictor
+from repro.predictors.group import GroupEntry, GroupPredictorConfig
+from repro.predictors.inst import InstPredictor
+from tests.core.test_predictor import read_result
+
+N = 16
+
+
+class TestOwnerPolicy:
+    def test_owner_picks_most_active(self):
+        ent = GroupEntry(num_cores=N, config=GroupPredictorConfig())
+        ent.train_up(3)
+        ent.train_up(3)
+        ent.train_up(3)
+        ent.train_up(5)
+        ent.train_up(5)
+        assert ent.owner() == {3}
+
+    def test_owner_respects_activation(self):
+        ent = GroupEntry(num_cores=N, config=GroupPredictorConfig())
+        ent.train_up(3)  # count 1 < activation 2
+        assert ent.owner() == frozenset()
+
+    def test_owner_excludes_self(self):
+        ent = GroupEntry(num_cores=N, config=GroupPredictorConfig())
+        for _ in range(3):
+            ent.train_up(3)
+        ent.train_up(5)
+        ent.train_up(5)
+        assert ent.owner(exclude=3) == {5}
+
+    def test_tie_breaks_to_lowest_id(self):
+        ent = GroupEntry(num_cores=N, config=GroupPredictorConfig())
+        ent.train_up(9)
+        ent.train_up(9)
+        ent.train_up(4)
+        ent.train_up(4)
+        assert ent.owner() == {4}
+
+    def test_predict_dispatch(self):
+        ent = GroupEntry(num_cores=N, config=GroupPredictorConfig())
+        ent.train_up(3)
+        ent.train_up(3)
+        assert ent.predict("group") == ent.group()
+        assert ent.predict("owner") == ent.owner()
+        with pytest.raises(ValueError):
+            ent.predict("magic")
+
+
+class TestPolicyOnPredictors:
+    @pytest.mark.parametrize("cls", [AddrPredictor, InstPredictor])
+    def test_owner_policy_predicts_singletons(self, cls):
+        pred = cls(N, policy="owner")
+        for responder in (7, 7, 7, 3, 3):
+            pred.train(0, 100, 0x40, MissKind.READ, read_result(0, responder))
+        p = pred.predict(0, 100, 0x40, MissKind.READ)
+        assert p.targets == {7}
+
+    @pytest.mark.parametrize("cls", [AddrPredictor, InstPredictor])
+    def test_group_policy_predicts_sets(self, cls):
+        pred = cls(N, policy="group")
+        for responder in (7, 7, 3, 3):
+            pred.train(0, 100, 0x40, MissKind.READ, read_result(0, responder))
+        p = pred.predict(0, 100, 0x40, MissKind.READ)
+        assert p.targets == {3, 7}
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AddrPredictor(N, policy="nope")
+        with pytest.raises(ValueError):
+            InstPredictor(N, policy="nope")
+
+    def test_owner_uses_less_bandwidth_end_to_end(self, small_machine):
+        from repro.sim.engine import simulate
+        from repro.workloads.generator import build_workload
+        from repro.workloads.patterns import PatternKind
+        from tests.conftest import make_spec
+
+        w = build_workload(
+            make_spec(PatternKind.COMBINED, epochs=2, iterations=6)
+        )
+        group = simulate(
+            w, machine=small_machine, predictor=AddrPredictor(N, policy="group")
+        )
+        owner = simulate(
+            w, machine=small_machine, predictor=AddrPredictor(N, policy="owner")
+        )
+        assert owner.predicted_target_sum < group.predicted_target_sum

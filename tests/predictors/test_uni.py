@@ -1,0 +1,42 @@
+"""Tests for the index-less UNI predictor."""
+
+from repro.coherence.protocol import MissKind
+from repro.predictors.uni import UniPredictor
+from tests.core.test_predictor import read_result
+
+N = 16
+
+
+class TestUniPredictor:
+    def test_predicts_recent_targets_for_any_miss(self):
+        pred = UniPredictor(N)
+        for _ in range(2):
+            pred.train(0, 100, 0x400, MissKind.READ, read_result(0, 7))
+        # Completely unrelated block and PC still get the same prediction.
+        assert pred.predict(0, 9999, 0x999, MissKind.READ).targets == {7}
+
+    def test_initially_silent(self):
+        pred = UniPredictor(N)
+        assert pred.predict(0, 0, 0, MissKind.READ) is None
+
+    def test_per_core_entries(self):
+        pred = UniPredictor(N)
+        for _ in range(2):
+            pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        assert pred.predict(1, 0, 0, MissKind.READ) is None
+
+    def test_adapts_to_new_targets(self):
+        pred = UniPredictor(N)
+        for _ in range(3):
+            pred.train(0, 0, 0, MissKind.READ, read_result(0, 7))
+        # Enough events for two roll-over decays (2 x 32) to push the old
+        # saturated target below the activation threshold.
+        for _ in range(70):
+            pred.train(0, 0, 0, MissKind.READ, read_result(0, 9))
+        p = pred.predict(0, 0, 0, MissKind.READ)
+        assert 9 in p.targets
+        assert 7 not in p.targets  # trained down by the roll-over decay
+
+    def test_storage_is_tiny(self):
+        pred = UniPredictor(N)
+        assert pred.storage_bits(N) == N * 37  # one entry per core, no tags

@@ -1,0 +1,11 @@
+"""Hypothesis settings for the property suite.
+
+Derandomized so a green run is reproducible: examples are derived from
+the test body, not a per-run seed.  Delete the profile locally when
+hunting for new counterexamples.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.core.confidence import ConfidenceCounter
+from repro.core.patterns import predict_from_history, union_of
+from repro.core.signatures import Signature, extract_hot_set
+from repro.core.sp_table import SPTableEntry
+from repro.noc.topology import Mesh2D
+
+volumes = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                   max_size=32)
+signatures = st.frozensets(st.integers(min_value=0, max_value=15), max_size=8)
+
+
+class TestHotSetProperties:
+    @given(volumes, st.floats(min_value=0.01, max_value=1.0))
+    def test_hot_set_members_have_volume(self, counts, threshold):
+        hot = extract_hot_set(counts, threshold=threshold)
+        for core in hot:
+            assert counts[core] > 0
+
+    @given(volumes)
+    def test_lower_threshold_is_superset(self, counts):
+        strict = extract_hot_set(counts, threshold=0.5)
+        loose = extract_hot_set(counts, threshold=0.05)
+        assert strict <= loose
+
+    @given(volumes, st.integers(min_value=0, max_value=31))
+    def test_self_never_hot(self, counts, self_core):
+        if self_core >= len(counts):
+            self_core = self_core % len(counts)
+        hot = extract_hot_set(counts, self_core=self_core)
+        assert self_core not in hot
+
+    @given(volumes)
+    def test_hot_set_covers_at_least_threshold_each(self, counts):
+        total = sum(counts)
+        hot = extract_hot_set(counts, threshold=0.10)
+        for core in hot:
+            assert counts[core] >= 0.10 * total
+
+
+class TestPatternPolicyProperties:
+    @given(st.lists(signatures, max_size=2), st.booleans())
+    def test_prediction_drawn_from_history(self, history, alternating):
+        pred = predict_from_history(history, alternating=alternating)
+        if pred is None:
+            assert not history
+        else:
+            assert pred <= union_of(history)
+
+    @given(signatures)
+    def test_stable_history_predicts_itself(self, sig):
+        if sig:
+            assert predict_from_history([sig, sig]) == sig
+
+    @given(st.lists(signatures, min_size=1, max_size=5))
+    def test_union_contains_every_signature(self, history):
+        u = union_of(history)
+        for sig in history:
+            assert sig <= u
+
+
+class TestSPTableEntryProperties:
+    @given(st.lists(st.tuples(signatures, st.integers(0, 1000)), min_size=1,
+                    max_size=20),
+           st.integers(min_value=1, max_value=4))
+    def test_history_never_exceeds_depth(self, pushes, depth):
+        entry = SPTableEntry(depth=depth)
+        for sig, vol in pushes:
+            entry.push(sig, vol)
+            assert len(entry.signatures) <= depth
+        assert entry.history() == [s for s, _ in pushes][-depth:]
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+    def test_mean_volume_matches_arithmetic_mean(self, vols):
+        entry = SPTableEntry(depth=2)
+        for v in vols:
+            entry.push(Signature(), v)
+        assert abs(entry.mean_volume - sum(vols) / len(vols)) < 1e-6
+
+
+class TestConfidenceProperties:
+    @given(st.lists(st.booleans(), max_size=100),
+           st.integers(min_value=1, max_value=6))
+    def test_counter_stays_in_range(self, outcomes, bits):
+        c = ConfidenceCounter(bits=bits)
+        for ok in outcomes:
+            c.record(ok)
+            assert 0 <= c.value <= c.max_value
+
+
+class TestCacheProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = Cache(CacheConfig(size=512, assoc=2, line_size=64))
+        for block in blocks:
+            cache.fill(block, "S")
+            assert cache.occupancy() <= cache.config.num_lines
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=200))
+    def test_filled_block_is_resident_until_evicted(self, blocks):
+        cache = Cache(CacheConfig(size=512, assoc=2, line_size=64))
+        for block in blocks:
+            cache.fill(block, "S")
+            assert cache.lookup(block) is not None
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                    max_size=100))
+    def test_no_duplicate_blocks(self, blocks):
+        cache = Cache(CacheConfig(size=512, assoc=2, line_size=64))
+        for block in blocks:
+            cache.fill(block, "S")
+        resident = cache.resident_blocks()
+        assert len(resident) == len(set(resident))
+
+
+class TestMeshProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.data())
+    def test_triangle_inequality(self, w, h, data):
+        mesh = Mesh2D(width=w, height=h)
+        n = mesh.num_nodes
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        c = data.draw(st.integers(0, n - 1))
+        assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8),
+           st.data())
+    def test_route_endpoints(self, w, h, data):
+        mesh = Mesh2D(width=w, height=h)
+        n = mesh.num_nodes
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        route = mesh.route(a, b)
+        assert route[0] == a and route[-1] == b
+        # Consecutive nodes are mesh neighbours.
+        for u, v in zip(route, route[1:]):
+            assert mesh.hops(u, v) == 1

@@ -1,0 +1,168 @@
+"""Property-based coherence invariants under random transaction streams.
+
+The single-writer/multiple-reader invariant and directory/cache agreement
+must hold after ANY sequence of read/write/upgrade transactions with ANY
+predicted sets (including garbage predictions) — prediction may only
+accelerate, never corrupt.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import DirectoryProtocol
+from repro.coherence.snooping import BroadcastProtocol
+from repro.coherence.states import Mesif
+from repro.noc.network import Network
+from repro.noc.topology import Mesh2D
+
+N = 16
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=0, max_value=N - 1),   # core
+        st.integers(min_value=0, max_value=7),       # block
+        st.frozensets(st.integers(0, N - 1), max_size=4),  # predicted
+        st.booleans(),                               # use prediction?
+    ),
+    max_size=60,
+)
+
+
+def make_protocol(cls):
+    hiers = [
+        PrivateHierarchy(
+            c,
+            l1=CacheConfig(size=256, assoc=1, line_size=64),
+            l2=CacheConfig(size=2048, assoc=2, line_size=64),
+        )
+        for c in range(N)
+    ]
+    return cls(hiers, Directory(N), Network(Mesh2D(4, 4)))
+
+
+def drive(proto, script):
+    """Execute a transaction script, routing writes through upgrade when
+    the core already holds a copy (as the hierarchy would)."""
+    for op, core, block, predicted, use_pred in script:
+        pred = predicted if use_pred else None
+        state = proto.hierarchies[core].peek_state(block)
+        if op == "read":
+            if state is Mesif.INVALID:
+                proto.read_miss(core, block, pred)
+        else:
+            if state is Mesif.INVALID:
+                proto.write_miss(core, block, pred)
+            elif not state.can_write:
+                proto.upgrade_miss(core, block, pred)
+            else:
+                proto.hierarchies[core].set_state(block, Mesif.MODIFIED)
+
+
+def check_invariants(proto):
+    for block in range(8):
+        ent = proto.directory.peek(block)
+        # Directory sharers == caches that actually hold the block.
+        holders = {
+            c
+            for c in range(N)
+            if proto.hierarchies[c].peek_state(block) is not Mesif.INVALID
+        }
+        assert holders == ent.sharers
+        # Single writer: at most one M/E copy, and no other copies with it.
+        writers = [
+            c
+            for c in holders
+            if proto.hierarchies[c].peek_state(block).can_write
+        ]
+        assert len(writers) <= 1
+        if writers:
+            assert holders == {writers[0]}
+            assert ent.owner == writers[0]
+        # At most one Forward copy.
+        forwarders = [
+            c
+            for c in holders
+            if proto.hierarchies[c].peek_state(block) is Mesif.FORWARD
+        ]
+        assert len(forwarders) <= 1
+
+
+class TestCoherenceInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_directory_protocol_invariants(self, script):
+        proto = make_protocol(DirectoryProtocol)
+        drive(proto, script)
+        check_invariants(proto)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_broadcast_protocol_invariants(self, script):
+        proto = make_protocol(BroadcastProtocol)
+        drive(proto, script)
+        check_invariants(proto)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops)
+    def test_prediction_never_changes_final_state(self, script):
+        """Same script with and without predictions -> same sharing state."""
+        with_pred = make_protocol(DirectoryProtocol)
+        without = make_protocol(DirectoryProtocol)
+        drive(with_pred, script)
+        drive(without, [(op, c, b, p, False) for op, c, b, p, _ in script])
+        for block in range(8):
+            a = with_pred.directory.peek(block)
+            b = without.directory.peek(block)
+            assert a.sharers == b.sharers
+            assert a.owner == b.owner
+            assert a.dirty == b.dirty
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops)
+    def test_prediction_never_increases_latency(self, script):
+        """Oracle predictions keep total latency at or below baseline up
+        to a small tolerance (predicted writes wait for direct
+        requester<->sharer acks, whose legs can occasionally exceed the
+        home-routed legs)."""
+        from repro.predictors.oracle import OraclePredictor
+
+        base = make_protocol(DirectoryProtocol)
+        fast = make_protocol(DirectoryProtocol)
+        oracle = OraclePredictor(fast.directory)
+
+        base_latency = 0
+        for op, core, block, _, _ in script:
+            state = base.hierarchies[core].peek_state(block)
+            if op == "read" and state is Mesif.INVALID:
+                base_latency += base.read_miss(core, block).latency
+            elif op == "write" and state is Mesif.INVALID:
+                base_latency += base.write_miss(core, block).latency
+            elif op == "write" and not state.can_write:
+                base_latency += base.upgrade_miss(core, block).latency
+
+        fast_latency = 0
+        from repro.coherence.protocol import MissKind
+
+        for op, core, block, _, _ in script:
+            state = fast.hierarchies[core].peek_state(block)
+            if op == "read" and state is Mesif.INVALID:
+                p = oracle.predict(core, block, 0, MissKind.READ)
+                fast_latency += fast.read_miss(
+                    core, block, p.targets if p else None
+                ).latency
+            elif op == "write" and state is Mesif.INVALID:
+                p = oracle.predict(core, block, 0, MissKind.WRITE)
+                fast_latency += fast.write_miss(
+                    core, block, p.targets if p else None
+                ).latency
+            elif op == "write" and not state.can_write:
+                p = oracle.predict(core, block, 0, MissKind.UPGRADE)
+                fast_latency += fast.upgrade_miss(
+                    core, block, p.targets if p else None
+                ).latency
+
+        assert fast_latency <= base_latency * 1.03 + 10

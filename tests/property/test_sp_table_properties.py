@@ -1,0 +1,67 @@
+"""Hypothesis properties of the SP-table and profile round-trips."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sp_table import SPTable
+
+signatures = st.frozensets(st.integers(min_value=0, max_value=15), max_size=6)
+keys = st.one_of(
+    st.tuples(st.just("pc"), st.integers(0, 50)),
+    st.tuples(st.just("lock"), st.integers(0, 10)),
+)
+records = st.lists(
+    st.tuples(st.integers(0, 15), keys, signatures, st.integers(0, 100)),
+    max_size=40,
+)
+
+
+class TestSPTableProperties:
+    @settings(max_examples=50)
+    @given(records, st.integers(min_value=1, max_value=4))
+    def test_history_depth_invariant(self, recs, depth):
+        table = SPTable(depth=depth)
+        for core, key, sig, vol in recs:
+            entry = table.record(core, key, sig, vol)
+            assert len(entry.history()) <= depth
+            assert entry.history()[-1] == sig
+
+    @settings(max_examples=50)
+    @given(records)
+    def test_lock_entries_shared_pc_entries_private(self, recs):
+        table = SPTable(depth=2)
+        for core, key, sig, vol in recs:
+            table.record(core, key, sig, vol)
+        for core, key, sig, vol in recs:
+            if key[0] == "lock":
+                # Any core sees the shared lock entry.
+                assert table.probe((core + 1) % 16, key) is not None
+            else:
+                entry_mine = table.probe(core, key)
+                assert entry_mine is not None
+
+    @settings(max_examples=50)
+    @given(records, st.integers(min_value=1, max_value=8))
+    def test_capacity_never_exceeded(self, recs, cap):
+        table = SPTable(depth=2, max_entries=cap)
+        for core, key, sig, vol in recs:
+            table.record(core, key, sig, vol)
+            assert len(table) <= cap
+
+    @settings(max_examples=30)
+    @given(records)
+    def test_profile_round_trip_preserves_history(self, recs):
+        table = SPTable(depth=2)
+        for core, key, sig, vol in recs:
+            table.record(core, key, sig, vol)
+        profile = json.loads(json.dumps(table.export_profile()))
+
+        fresh = SPTable(depth=2)
+        fresh.preload_profile(profile)
+        for core, key, sig, vol in recs:
+            original = table.probe(core, key)
+            restored = fresh.probe(core, key)
+            assert restored is not None
+            assert restored.history() == original.history()

@@ -1,0 +1,45 @@
+"""Barrier release when participation shrinks mid-run."""
+
+from repro.sim.engine import simulate
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, Workload
+
+N = 16
+
+
+class TestLateFinisherUnblocksBarrier:
+    def test_slow_nonparticipant_finishing_releases_waiters(self, small_machine):
+        """15 cores park at a barrier while core 0 (which has no barrier
+        in its stream) is still working; when core 0 finally finishes,
+        the barrier must release — not deadlock."""
+        streams = [[] for _ in range(N)]
+        # Core 0: lots of slow work, no barrier.
+        streams[0] = [(OP_THINK, 10_000)] + [
+            (OP_READ, 0x100000 + i * 64, 0x40) for i in range(20)
+        ]
+        # Everyone else: one quick access then the barrier.
+        for core in range(1, N):
+            streams[core] = [
+                (OP_READ, 0x200000 + core * 64, 0x41),
+                (OP_SYNC, SyncKind.BARRIER, 0x99, None),
+                (OP_READ, 0x300000 + core * 64, 0x42),
+            ]
+        w = Workload(name="late-finisher", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        assert result.sync_points == 15
+        assert result.accesses == w.memory_accesses()
+
+    def test_two_barriers_with_shrinking_population(self, small_machine):
+        """Core 0 participates in the first barrier only; the second
+        barrier synchronizes the remaining 15."""
+        streams = [[] for _ in range(N)]
+        streams[0] = [(OP_SYNC, SyncKind.BARRIER, 0x90, None)]
+        for core in range(1, N):
+            streams[core] = [
+                (OP_SYNC, SyncKind.BARRIER, 0x90, None),
+                (OP_READ, 0x100000 + core * 64, 0x41),
+                (OP_SYNC, SyncKind.BARRIER, 0x91, None),
+            ]
+        w = Workload(name="shrinking", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        assert result.sync_points == 16 + 15

@@ -1,0 +1,161 @@
+"""Tests for the trace-driven simulation engine."""
+
+import pytest
+
+from repro.core.predictor import SPPredictor
+from repro.predictors.oracle import OraclePredictor
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.machine import MachineConfig
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_SYNC, Workload
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+class TestBasicExecution:
+    def test_empty_workload_completes(self, small_machine):
+        w = Workload(name="empty", num_cores=16)
+        result = simulate(w, machine=small_machine)
+        assert result.cycles == 0
+        assert result.misses == 0
+
+    def test_core_count_mismatch_rejected(self, small_machine):
+        w = Workload(name="w", num_cores=4)
+        with pytest.raises(ValueError):
+            simulate(w, machine=small_machine)
+
+    def test_unknown_protocol_rejected(self, stable_workload, small_machine):
+        with pytest.raises(ValueError):
+            SimulationEngine(stable_workload, small_machine, protocol="bus")
+
+    def test_deterministic_runs(self, stable_workload, small_machine):
+        a = simulate(stable_workload, machine=small_machine)
+        b = simulate(stable_workload, machine=small_machine)
+        assert a.cycles == b.cycles
+        assert a.miss_latency_sum == b.miss_latency_sum
+        assert a.network.bytes_total == b.network.bytes_total
+
+    def test_all_accesses_processed(self, stable_workload, small_machine):
+        result = simulate(stable_workload, machine=small_machine)
+        assert result.accesses == stable_workload.memory_accesses()
+        assert result.sync_points == stable_workload.sync_points()
+
+    def test_miss_plus_hit_accounting(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine)
+        assert r.l1_hits + r.l2_hits + r.misses == r.accesses
+
+    def test_execution_time_positive(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine)
+        assert r.cycles > 0
+        assert len(r.core_cycles) == 16
+        assert max(r.core_cycles) == r.cycles
+
+
+class TestBarriers:
+    def test_barrier_aligns_clocks(self, small_machine):
+        """After each barrier release, waiting cores resume together."""
+        spec = make_spec(PatternKind.STABLE, epochs=1, iterations=2)
+        w = build_workload(spec)
+        r = simulate(w, machine=small_machine)
+        # All cores executed identical structures: clocks end close.
+        spread = max(r.core_cycles) - min(r.core_cycles)
+        assert spread < max(r.core_cycles) * 0.5
+
+    def test_barrier_mismatch_detected(self, small_machine):
+        streams = [[] for _ in range(16)]
+        for core in range(16):
+            pc = 100 if core < 15 else 200  # core 15 diverges
+            streams[core].append((OP_SYNC, SyncKind.BARRIER, pc, None))
+        w = Workload(name="bad", num_cores=16, events=streams)
+        with pytest.raises(RuntimeError, match="barrier mismatch"):
+            simulate(w, machine=small_machine)
+
+
+class TestLocks:
+    def test_lock_serialization(self, lock_workload, small_machine):
+        result = simulate(lock_workload, machine=small_machine)
+        assert result.cycles > 0  # completed without deadlock
+
+    def test_unlock_without_hold_detected(self, small_machine):
+        streams = [[] for _ in range(16)]
+        streams[0].append((OP_SYNC, SyncKind.UNLOCK, 1, 0x80))
+        w = Workload(name="bad", num_cores=16, events=streams)
+        with pytest.raises(RuntimeError, match="unlocked"):
+            simulate(w, machine=small_machine)
+
+    def test_critical_sections_are_migratory(self, lock_workload, small_machine):
+        """Lock-protected data moves core to core: communicating misses."""
+        result = simulate(lock_workload, machine=small_machine)
+        assert result.comm_misses > 0
+
+
+class TestPredictionPlumbing:
+    def test_sp_predictor_improves_latency(self, small_machine):
+        spec = make_spec(PatternKind.STABLE, epochs=2, iterations=8)
+        w = build_workload(spec)
+        base = simulate(w, machine=small_machine)
+        sp = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+        assert sp.pred_correct > 0
+        assert sp.avg_miss_latency < base.avg_miss_latency
+
+    def test_oracle_avoids_all_indirection_on_comm(self, small_machine):
+        spec = make_spec(PatternKind.RANDOM, epochs=2, iterations=6)
+        w = build_workload(spec)
+        engine = SimulationEngine(w, machine=small_machine)
+        engine.predictor = OraclePredictor(engine.directory)
+        r = engine.run()
+        assert r.pred_correct == r.comm_misses
+        assert r.pred_incorrect == 0
+
+    def test_prediction_does_not_change_sharing_outcomes(self, small_machine):
+        """Prediction accelerates; it must not alter the miss stream."""
+        spec = make_spec(PatternKind.STRIDE, epochs=2, iterations=8)
+        w = build_workload(spec)
+        base = simulate(w, machine=small_machine)
+        sp = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+        assert sp.comm_misses == base.comm_misses
+        assert sp.misses == base.misses
+
+    def test_ideal_accuracy_bounds_history_prediction(self, small_machine):
+        from repro.predictors.base import PredictionSource
+
+        spec = make_spec(PatternKind.STABLE, epochs=2, iterations=8)
+        w = build_workload(spec)
+        sp = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+        history_correct = sp.correct_by_source.get(PredictionSource.HISTORY, 0)
+        assert history_correct > 0
+        assert sp.ideal_correct >= history_correct
+        assert sp.ideal_accuracy <= 1.0
+
+
+class TestEpochCollection:
+    def test_epoch_records_collected_on_demand(self, stable_workload, small_machine):
+        off = simulate(stable_workload, machine=small_machine)
+        on = simulate(
+            stable_workload, machine=small_machine, collect_epochs=True
+        )
+        assert off.epoch_records == []
+        assert len(on.epoch_records) > 0
+
+    def test_dynamic_epoch_count_matches_records(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine, collect_epochs=True)
+        assert r.dynamic_epochs == len(r.epoch_records)
+
+    def test_pc_volume_only_when_collecting(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine)
+        assert r.pc_volume == {}
+
+    def test_whole_run_volume_always_available(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine)
+        total = sum(sum(row) for row in r.whole_run_volume)
+        assert total > 0
+
+
+class TestBroadcastEngine:
+    def test_broadcast_runs_and_uses_more_bytes(self, stable_workload, small_machine):
+        d = simulate(stable_workload, machine=small_machine)
+        b = simulate(stable_workload, machine=small_machine, protocol="broadcast")
+        assert b.network.bytes_total > d.network.bytes_total
+        assert b.snoop_lookups > d.snoop_lookups
+        assert b.indirections == 0

@@ -1,0 +1,114 @@
+"""Engine edge cases: uneven streams, think-only cores, tiny machines."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+
+N = 16
+
+
+class TestUnevenStreams:
+    def test_core_with_empty_stream_finishes_immediately(self, small_machine):
+        streams = [[] for _ in range(N)]
+        for core in range(1, N):
+            streams[core] = [
+                (OP_READ, 0x1000 * core, 0x40),
+                (OP_SYNC, SyncKind.BARRIER, 0x99, None),
+            ]
+        w = Workload(name="uneven", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        # The 15 participating cores synchronize among themselves.
+        assert result.sync_points == 15
+        assert result.core_cycles[0] == 0
+
+    def test_think_only_workload(self, small_machine):
+        streams = [[(OP_THINK, 100 * (core + 1))] for core in range(N)]
+        w = Workload(name="think", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        assert result.misses == 0
+        assert result.cycles == 100 * N
+        assert result.core_cycles[0] == 100
+
+    def test_single_active_core(self, small_machine):
+        streams = [[] for _ in range(N)]
+        streams[3] = [(OP_WRITE, 0x2000, 0x44), (OP_READ, 0x2000, 0x48)]
+        w = Workload(name="solo", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        assert result.misses == 1   # the read hits after the write fill
+        assert result.l1_hits == 1
+
+    def test_wakeup_sync_is_nonblocking_epoch_boundary(self, small_machine):
+        streams = [[] for _ in range(N)]
+        streams[0] = [
+            (OP_READ, 0x1000, 0x40),
+            (OP_SYNC, SyncKind.WAKEUP, 0x50, None),
+            (OP_READ, 0x2000, 0x41),
+        ]
+        w = Workload(name="wakeup", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine, collect_epochs=True)
+        assert result.sync_points == 1
+        # The wakeup closed the first epoch without waiting for anyone.
+        assert result.cycles > 0
+
+
+class TestQuantumScheduling:
+    def test_quantum_does_not_change_totals(self, small_machine, stable_workload):
+        """The scheduling quantum is a performance knob: totals must not
+        depend on it."""
+        import repro.sim.engine as engine_mod
+
+        baseline = simulate(stable_workload, machine=small_machine)
+        original = engine_mod._QUANTUM
+        try:
+            engine_mod._QUANTUM = 1
+            fine = simulate(stable_workload, machine=small_machine)
+        finally:
+            engine_mod._QUANTUM = original
+        assert fine.misses == baseline.misses
+        assert fine.accesses == baseline.accesses
+        assert fine.sync_points == baseline.sync_points
+
+    def test_interleaved_sharing_identical_blocks(self, small_machine):
+        """Two cores ping-ponging one block: each write invalidates the
+        other's copy, alternating ownership."""
+        streams = [[] for _ in range(N)]
+        for core in (0, 1):
+            for r in range(6):
+                streams[core].append((OP_WRITE, 0x3000, 0x40 + core))
+                streams[core].append(
+                    (OP_SYNC, SyncKind.BARRIER, 0x90 + r, None)
+                )
+        for core in range(2, N):
+            for r in range(6):
+                streams[core].append(
+                    (OP_SYNC, SyncKind.BARRIER, 0x90 + r, None)
+                )
+        w = Workload(name="pingpong-block", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        # Rounds after the first are communicating ownership transfers.
+        assert result.comm_misses >= 8
+
+
+class TestResultIntegrity:
+    def test_dirty_data_survives_eviction_roundtrip(self, small_machine):
+        """Write, force eviction by conflict, read back: the directory
+        must route the refill from memory (writeback happened)."""
+        sets = None
+        engine = SimulationEngine(
+            Workload(name="tmp", num_cores=N), machine=small_machine
+        )
+        sets = engine.hierarchies[0].l2.config.num_sets
+        assoc = engine.hierarchies[0].l2.config.assoc
+        line = 64
+        conflicting = [(1 + k * sets) * line for k in range(assoc + 1)]
+
+        streams = [[] for _ in range(N)]
+        streams[0] = [(OP_WRITE, addr, 0x40) for addr in conflicting]
+        streams[0].append((OP_READ, conflicting[0], 0x41))
+        w = Workload(name="evict", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine, collect_epochs=False)
+        # The read-back is a fresh off-chip miss, not a protocol error.
+        assert result.misses == len(conflicting) + 1
+        assert result.offchip_misses == result.misses

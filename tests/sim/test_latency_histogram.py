@@ -1,0 +1,63 @@
+"""Tests for the per-miss latency histogram."""
+
+import pytest
+
+from repro.core.predictor import SPPredictor
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+
+
+class TestHistogramCollection:
+    def test_histogram_counts_every_miss(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine)
+        assert sum(r.latency_histogram.values()) == r.misses
+
+    def test_offchip_misses_land_in_high_buckets(self, stable_workload, small_machine):
+        r = simulate(stable_workload, machine=small_machine)
+        # Memory latency is 150 cycles: off-chip misses exceed 128.
+        high = sum(
+            count for bound, count in r.latency_histogram.items()
+            if bound > 128
+        )
+        assert high >= r.offchip_misses
+
+    def test_prediction_shifts_mass_downwards(self, small_machine):
+        from repro.workloads.generator import build_workload
+        from repro.workloads.patterns import PatternKind
+        from tests.conftest import make_spec
+
+        w = build_workload(
+            make_spec(PatternKind.STABLE, epochs=2, iterations=8)
+        )
+        base = simulate(w, machine=small_machine)
+        sp = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+
+        def low_mass(result):
+            total = sum(result.latency_histogram.values())
+            low = sum(c for b, c in result.latency_histogram.items() if b <= 32)
+            return low / total
+
+        assert low_mass(sp) > low_mass(base)
+
+
+class TestPercentile:
+    def _result(self, histogram):
+        r = SimulationResult(
+            workload="w", protocol="directory", predictor="none",
+            num_cores=16,
+        )
+        r.latency_histogram = histogram
+        return r
+
+    def test_median_bucket(self):
+        r = self._result({32: 50, 64: 30, 256: 20})
+        assert r.latency_percentile(0.5) == 32
+        assert r.latency_percentile(0.8) == 64
+        assert r.latency_percentile(1.0) == 256
+
+    def test_empty_histogram(self):
+        assert self._result({}).latency_percentile(0.5) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            self._result({32: 1}).latency_percentile(0.0)

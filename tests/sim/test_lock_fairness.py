@@ -1,0 +1,71 @@
+"""Lock scheduling semantics: fairness and serialization."""
+
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_SYNC, OP_THINK, OP_WRITE, Workload
+
+N = 16
+LOCK = 0x8000
+
+
+def cs_workload(rounds: int, think: int = 50) -> Workload:
+    """Every core loops: acquire, write a shared block, release."""
+    streams = [[] for _ in range(N)]
+    for core in range(N):
+        for r in range(rounds):
+            streams[core].append((OP_SYNC, SyncKind.LOCK, 0x10, LOCK))
+            streams[core].append((OP_THINK, think))
+            streams[core].append((OP_WRITE, 0x4000, 0x20))
+            streams[core].append((OP_SYNC, SyncKind.UNLOCK, 0x14, LOCK))
+    return Workload(name="cs", num_cores=N, events=streams)
+
+
+class TestLockSemantics:
+    def test_every_core_completes_all_rounds(self, small_machine):
+        result = simulate(cs_workload(rounds=4), machine=small_machine)
+        # 4 rounds x (lock + unlock) per core.
+        assert result.sync_points == N * 4 * 2
+
+    def test_critical_sections_serialize(self, small_machine):
+        """Total time must cover all critical sections back-to-back."""
+        rounds, think = 3, 50
+        result = simulate(
+            cs_workload(rounds=rounds, think=think), machine=small_machine
+        )
+        # N cores x rounds sections, each at least `think` cycles long.
+        assert result.cycles >= N * rounds * think
+
+    def test_migratory_data_communicates(self, small_machine):
+        result = simulate(cs_workload(rounds=3), machine=small_machine)
+        # After the first holder, writes to the shared block must
+        # invalidate/fetch from the previous holder (a consecutive
+        # re-acquire by the same core write-hits instead).
+        assert result.comm_misses >= N * 3 - 4
+
+    def test_no_livelock_and_bounded_makespan(self, small_machine):
+        """Every core completes its rounds and the makespan stays within
+        a small constant of the serial lower bound."""
+        rounds, think = 4, 50
+        engine = SimulationEngine(
+            cs_workload(rounds=rounds, think=think), machine=small_machine
+        )
+        result = engine.run()
+        finish = sorted(result.core_cycles)
+        serial_floor = N * rounds * think
+        assert finish[-1] >= serial_floor          # sections serialized
+        assert finish[-1] <= serial_floor * 4      # no livelock/blowup
+        # Arrival-ordered handoff: even the first finisher sat through
+        # a meaningful share of other cores' critical sections.
+        assert finish[0] >= rounds * think * 4
+
+    def test_uncontended_lock_is_cheap(self, small_machine):
+        streams = [[] for _ in range(N)]
+        streams[0] = [
+            (OP_SYNC, SyncKind.LOCK, 0x10, LOCK),
+            (OP_WRITE, 0x4000, 0x20),
+            (OP_SYNC, SyncKind.UNLOCK, 0x14, LOCK),
+        ]
+        w = Workload(name="solo", num_cores=N, events=streams)
+        result = simulate(w, machine=small_machine)
+        # Two sync ops + one cold write miss; well under a microsecond.
+        assert result.cycles < 500

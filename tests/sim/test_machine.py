@@ -1,0 +1,30 @@
+"""Tests for the machine configuration."""
+
+from repro.sim.machine import MachineConfig
+
+
+class TestMachineConfig:
+    def test_table4_defaults(self):
+        """The default machine is the paper's Table 4 configuration."""
+        cfg = MachineConfig()
+        assert cfg.num_cores == 16
+        assert cfg.mesh_width == 4 and cfg.mesh_height == 4
+        assert cfg.l1.size == 16 * 1024
+        assert cfg.l1.assoc == 1
+        assert cfg.l2.size == 1024 * 1024
+        assert cfg.l2.assoc == 8
+        assert cfg.l2.line_size == 64
+        assert cfg.l1_latency == 2
+        assert cfg.latencies.l2_tag == 2
+        assert cfg.latencies.l2_data == 6
+        assert cfg.latencies.memory == 150
+        assert cfg.router_latency == 2
+
+    def test_mesh_construction(self):
+        mesh = MachineConfig().mesh()
+        assert mesh.num_nodes == 16
+
+    def test_small_machine_same_topology(self):
+        cfg = MachineConfig.small()
+        assert cfg.num_cores == 16
+        assert cfg.l2.size < MachineConfig().l2.size

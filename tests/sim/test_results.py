@@ -1,0 +1,67 @@
+"""Tests for result metrics."""
+
+from repro.predictors.base import PredictionSource
+from repro.sim.results import EpochRecord, SimulationResult
+from repro.sync.points import SyncKind
+
+
+def make_result(**kw) -> SimulationResult:
+    base = dict(workload="w", protocol="directory", predictor="SP", num_cores=4)
+    base.update(kw)
+    return SimulationResult(**base)
+
+
+class TestDerivedMetrics:
+    def test_misses_sums_kinds(self):
+        r = make_result(read_misses=3, write_misses=2, upgrade_misses=1)
+        assert r.misses == 6
+
+    def test_comm_ratio(self):
+        r = make_result(read_misses=10, comm_misses=4)
+        assert r.comm_ratio == 0.4
+
+    def test_zero_division_guards(self):
+        r = make_result()
+        assert r.comm_ratio == 0.0
+        assert r.avg_miss_latency == 0.0
+        assert r.accuracy == 0.0
+        assert r.avg_actual_targets == 0.0
+        assert r.avg_predicted_targets == 0.0
+        assert r.bytes_per_miss() == 0.0
+
+    def test_accuracy_over_comm_misses(self):
+        r = make_result(read_misses=20, comm_misses=10, pred_correct=7)
+        assert r.accuracy == 0.7
+
+    def test_accuracy_from_source(self):
+        r = make_result(
+            comm_misses=10,
+            correct_by_source={PredictionSource.HISTORY: 5},
+        )
+        assert r.accuracy_from(PredictionSource.HISTORY) == 0.5
+        assert r.accuracy_from(PredictionSource.LOCK) == 0.0
+
+    def test_indirection_ratio(self):
+        r = make_result(read_misses=10, indirections=3)
+        assert r.indirection_ratio == 0.3
+
+    def test_set_size_averages(self):
+        r = make_result(
+            comm_misses=4, actual_target_sum=6,
+            pred_attempted=2, predicted_target_sum=5,
+        )
+        assert r.avg_actual_targets == 1.5
+        assert r.avg_predicted_targets == 2.5
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        assert {"workload", "protocol", "predictor", "cycles"} <= set(summary)
+
+
+class TestEpochRecord:
+    def test_volume_sums_targets(self):
+        rec = EpochRecord(
+            core=0, key=("pc", 1), kind=SyncKind.BARRIER, instance=1,
+            volume_by_target=(0, 3, 2, 0), misses=7, comm_misses=5,
+        )
+        assert rec.volume == 5

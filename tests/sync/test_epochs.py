@@ -1,0 +1,74 @@
+"""Tests for sync-epoch segmentation."""
+
+from repro.sync.epochs import EpochTracker
+from repro.sync.points import StaticSyncId, SyncKind
+
+
+def _barrier(pc: int) -> StaticSyncId:
+    return StaticSyncId(kind=SyncKind.BARRIER, pc=pc)
+
+
+def _lock(addr: int) -> StaticSyncId:
+    return StaticSyncId(kind=SyncKind.LOCK, pc=0x10, lock_addr=addr)
+
+
+class TestEpochTracker:
+    def test_first_sync_point_has_no_ended_epoch(self):
+        tracker = EpochTracker(thread=0)
+        ended, new, point = tracker.observe(_barrier(1))
+        assert ended is None
+        assert new.begin.static == _barrier(1)
+        assert point.dynamic_id.occurrence == 1
+
+    def test_epoch_is_described_by_beginning_point(self):
+        tracker = EpochTracker(thread=0)
+        tracker.observe(_barrier(1))
+        ended, new, _ = tracker.observe(_barrier(2))
+        assert ended.static_id == _barrier(1)
+        assert new.static_id == _barrier(2)
+
+    def test_dynamic_ids_count_per_static_point(self):
+        tracker = EpochTracker(thread=0)
+        for expected in (1, 2, 3):
+            _, new, _ = tracker.observe(_barrier(1))
+            assert new.instance == expected
+        assert tracker.occurrence_count(_barrier(1)) == 3
+
+    def test_interleaved_static_points_count_separately(self):
+        tracker = EpochTracker(thread=0)
+        tracker.observe(_barrier(1))
+        tracker.observe(_barrier(2))
+        _, new, _ = tracker.observe(_barrier(1))
+        assert new.instance == 2
+        assert tracker.occurrence_count(_barrier(2)) == 1
+
+    def test_critical_section_detection(self):
+        tracker = EpochTracker(thread=0)
+        _, cs, _ = tracker.observe(_lock(0x80))
+        assert cs.is_critical_section
+        assert cs.table_key == ("lock", 0x80)
+
+    def test_barrier_epoch_is_not_critical_section(self):
+        tracker = EpochTracker(thread=0)
+        _, epoch, _ = tracker.observe(_barrier(5))
+        assert not epoch.is_critical_section
+
+    def test_finish_ends_trailing_epoch(self):
+        tracker = EpochTracker(thread=0)
+        tracker.observe(_barrier(1))
+        trailing = tracker.finish()
+        assert trailing is not None
+        assert tracker.current_epoch is None
+        assert tracker.ended_epochs[-1] is trailing
+
+    def test_finish_with_no_epoch_returns_none(self):
+        tracker = EpochTracker(thread=0)
+        assert tracker.finish() is None
+
+    def test_ended_epochs_in_order(self):
+        tracker = EpochTracker(thread=0)
+        tracker.observe(_barrier(1))
+        tracker.observe(_barrier(2))
+        tracker.observe(_barrier(3))
+        pcs = [e.static_id.pc for e in tracker.ended_epochs]
+        assert pcs == [1, 2]

@@ -1,0 +1,64 @@
+"""Tests for sync-point identities."""
+
+import pytest
+
+from repro.sync.points import DynamicSyncId, StaticSyncId, SyncKind, SyncPoint
+
+
+class TestSyncKind:
+    def test_lock_is_acquire(self):
+        assert SyncKind.LOCK.is_lock_acquire
+
+    def test_others_are_not_acquire(self):
+        for kind in SyncKind:
+            if kind is not SyncKind.LOCK:
+                assert not kind.is_lock_acquire
+
+
+class TestStaticSyncId:
+    def test_barrier_keyed_by_pc(self):
+        sid = StaticSyncId(kind=SyncKind.BARRIER, pc=0x400)
+        assert sid.table_key == ("pc", 0x400)
+
+    def test_lock_keyed_by_lock_address(self):
+        sid = StaticSyncId(kind=SyncKind.LOCK, pc=0x400, lock_addr=0x1000)
+        assert sid.table_key == ("lock", 0x1000)
+
+    def test_unlock_keyed_by_pc_not_lock(self):
+        """An epoch beginning at unlock is an ordinary PC-keyed epoch."""
+        sid = StaticSyncId(kind=SyncKind.UNLOCK, pc=0x500, lock_addr=0x1000)
+        assert sid.table_key == ("pc", 0x500)
+
+    def test_lock_requires_lock_addr(self):
+        with pytest.raises(ValueError):
+            StaticSyncId(kind=SyncKind.LOCK, pc=0x400)
+
+    def test_unlock_requires_lock_addr(self):
+        with pytest.raises(ValueError):
+            StaticSyncId(kind=SyncKind.UNLOCK, pc=0x400)
+
+    def test_same_lock_same_key_across_pcs(self):
+        """Critical sections protected by the same lock share a key."""
+        a = StaticSyncId(kind=SyncKind.LOCK, pc=1, lock_addr=0x99)
+        b = StaticSyncId(kind=SyncKind.LOCK, pc=2, lock_addr=0x99)
+        assert a.table_key == b.table_key
+
+    def test_hashable_and_equal(self):
+        a = StaticSyncId(kind=SyncKind.BARRIER, pc=7)
+        b = StaticSyncId(kind=SyncKind.BARRIER, pc=7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDynamicSyncId:
+    def test_occurrence_starts_at_one(self):
+        sid = StaticSyncId(kind=SyncKind.BARRIER, pc=1)
+        with pytest.raises(ValueError):
+            DynamicSyncId(static=sid, occurrence=0)
+
+    def test_sync_point_accessors(self):
+        sid = StaticSyncId(kind=SyncKind.BARRIER, pc=1)
+        point = SyncPoint(thread=3, dynamic_id=DynamicSyncId(sid, 2))
+        assert point.static_id is sid
+        assert point.kind is SyncKind.BARRIER
+        assert point.dynamic_id.occurrence == 2

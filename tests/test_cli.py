@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommand:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fmm", "x264", "streamcluster"):
+            assert name in out
+
+
+class TestSimulateCommand:
+    def test_baseline_run(self, capsys):
+        assert main(["simulate", "x264", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "L2 misses" in out
+        assert "predictor=none" in out
+
+    def test_sp_run_reports_accuracy(self, capsys):
+        assert main(
+            ["simulate", "x264", "--scale", "0.1", "--predictor", "SP"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "prediction accuracy" in out
+
+    def test_region_filter_flag(self, capsys):
+        assert main(
+            ["simulate", "x264", "--scale", "0.1", "--predictor", "SP",
+             "--region-filter"]
+        ) == 0
+        assert "SP+RF" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(
+            ["simulate", "x264", "--scale", "0.1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "x264"
+        assert payload["misses"] > 0
+
+    def test_broadcast_protocol(self, capsys):
+        assert main(
+            ["simulate", "x264", "--scale", "0.1", "--protocol", "broadcast"]
+        ) == 0
+        assert "protocol=broadcast" in capsys.readouterr().out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "not-a-benchmark"])
+
+
+class TestCompareCommand:
+    def test_compares_predictors(self, capsys):
+        assert main(
+            ["compare", "x264", "--scale", "0.1",
+             "--predictors", "SP", "UNI"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SP" in out and "UNI" in out
+        assert "indirection" in out
+
+    def test_owner2_available(self, capsys):
+        assert main(
+            ["compare", "x264", "--scale", "0.1",
+             "--predictors", "OWNER2"]
+        ) == 0
+        assert "OWNER2" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_dump_then_simulate_trace(self, tmp_path, capsys):
+        trace = tmp_path / "x264.trace"
+        assert main(
+            ["dump-trace", "x264", "-o", str(trace), "--scale", "0.1"]
+        ) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["simulate", str(trace), "--trace"]) == 0
+        assert "workload x264" in capsys.readouterr().out

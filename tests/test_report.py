@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import io
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import RunCache
+from repro.report import PAPER_CLAIMS, generate_report, _markdown_table
+from repro.experiments.common import ExperimentTable
+
+
+class TestPaperClaims:
+    def test_every_experiment_has_a_claim(self):
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+
+class TestMarkdownTable:
+    def test_renders_rows(self):
+        table = ExperimentTable(
+            experiment="Fig. X", title="demo", columns=["a", "b"],
+            rows=[{"a": 1, "b": 0.25}],
+        )
+        text = _markdown_table(table)
+        assert "| a | b |" in text
+        assert "| 1 | 0.250 |" in text
+
+    def test_missing_cells_blank(self):
+        table = ExperimentTable(
+            experiment="Fig. X", title="demo", columns=["a", "b"],
+            rows=[{"a": 1}],
+        )
+        assert "| 1 |  |" in _markdown_table(table)
+
+
+class TestGenerateReport:
+    def test_selected_experiments_tiny_scale(self):
+        cache = RunCache(scale=0.05)
+        buf = io.StringIO()
+        selected = ["fig1", "fig7", "table5"]
+        generate_report(cache, out=buf, verbose=False, experiments=selected)
+        text = buf.getvalue()
+        assert text.startswith("# EXPERIMENTS")
+        for exp_id in selected:
+            assert f"`{exp_id}` regenerated" in text
+        assert text.count("**Paper:**") == len(selected)
+        assert text.count("**Measured:**") == len(selected)
+
+    def test_unknown_experiment_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(
+                RunCache(scale=0.05), out=io.StringIO(),
+                experiments=["nope"],
+            )

@@ -1,0 +1,121 @@
+"""Tests for the trace generator."""
+
+import pytest
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    EpochSpec,
+    LockSpec,
+    build_workload,
+)
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+class TestBuildWorkload:
+    def test_deterministic(self):
+        spec = make_spec(PatternKind.RANDOM)
+        a = build_workload(spec)
+        b = build_workload(spec)
+        assert a.events == b.events
+
+    def test_scale_adjusts_iterations(self):
+        spec = make_spec(iterations=10)
+        small = build_workload(spec, scale=0.5)
+        full = build_workload(spec, scale=1.0)
+        assert small.total_events() < full.total_events()
+
+    def test_scale_floor_of_two_iterations(self):
+        spec = make_spec(iterations=10)
+        tiny = build_workload(spec, scale=0.01)
+        barriers = sum(
+            1 for ev in tiny.stream(0)
+            if ev[0] == OP_SYNC and ev[1] is SyncKind.BARRIER
+        )
+        assert barriers == 2 * len(spec.epochs)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_workload(make_spec(), scale=0)
+
+    def test_all_cores_have_identical_barrier_sequences(self):
+        w = build_workload(make_spec(epochs=3, iterations=4))
+        seqs = [
+            [ev[2] for ev in w.stream(c) if ev[0] == OP_SYNC
+             and ev[1] is SyncKind.BARRIER]
+            for c in range(w.num_cores)
+        ]
+        assert all(s == seqs[0] for s in seqs)
+
+    def test_locks_are_balanced(self):
+        w = build_workload(make_spec(PatternKind.PRIVATE, locks=2))
+        for core in range(w.num_cores):
+            locks = sum(
+                1 for ev in w.stream(core)
+                if ev[0] == OP_SYNC and ev[1] is SyncKind.LOCK
+            )
+            unlocks = sum(
+                1 for ev in w.stream(core)
+                if ev[0] == OP_SYNC and ev[1] is SyncKind.UNLOCK
+            )
+            assert locks == unlocks > 0
+
+    def test_think_events_emitted(self):
+        w = build_workload(make_spec())
+        assert any(ev[0] == OP_THINK for ev in w.stream(0))
+
+    def test_private_addresses_disjoint_across_cores(self):
+        w = build_workload(make_spec(private=4))
+        private = [set() for _ in range(w.num_cores)]
+        for core in range(w.num_cores):
+            for ev in w.stream(core):
+                if ev[0] in (OP_READ, OP_WRITE) and ev[1] >= (1 << 30) * 64:
+                    private[core].add(ev[1])
+        for a in range(w.num_cores):
+            for b in range(a + 1, w.num_cores):
+                assert not (private[a] & private[b])
+
+    def test_consumed_addresses_written_by_partner(self):
+        """Stable pattern: everything core 0 reads from shared space was
+        written by its partner in an earlier instance."""
+        spec = make_spec(PatternKind.STABLE, epochs=1, iterations=4)
+        w = build_workload(spec)
+        partner_writes = set()
+        for core in range(w.num_cores):
+            for ev in w.stream(core):
+                if ev[0] == OP_WRITE:
+                    partner_writes.add(ev[1])
+        # Skip the first (cold) iteration's reads.
+        reads = [
+            ev[1]
+            for ev in w.stream(0)
+            if ev[0] == OP_READ and ev[1] < (1 << 30) * 64
+        ]
+        later_reads = reads[len(reads) // 4:]
+        assert all(addr in partner_writes for addr in later_reads)
+
+    def test_noisy_instances_are_small(self):
+        spec = make_spec(PatternKind.STABLE, epochs=1, iterations=6,
+                         noisy_every=3)
+        w = build_workload(spec)
+        # Count accesses per epoch body for core 0.
+        bodies = []
+        count = 0
+        for ev in w.stream(0):
+            if ev[0] == OP_SYNC:
+                bodies.append(count)
+                count = 0
+            elif ev[0] in (OP_READ, OP_WRITE):
+                count += 1
+        assert min(bodies) < max(bodies) / 4
+
+    def test_static_counts_exposed(self):
+        spec = BenchmarkSpec(
+            name="x",
+            epochs=(EpochSpec(pattern=PatternKind.STABLE),) * 3,
+            locks=(LockSpec(n_sites=4), LockSpec(n_sites=2)),
+        )
+        assert spec.static_epoch_count() == 3
+        assert spec.static_lock_sites() == 6

@@ -1,0 +1,80 @@
+"""Tests for the parallel-kernel building blocks."""
+
+import pytest
+
+from repro.core.predictor import SPPredictor
+from repro.sim.engine import simulate
+from repro.workloads.kernels import (
+    KERNELS,
+    all_reduce,
+    ping_pong,
+    pipeline,
+    producer_consumer,
+    stencil,
+    task_queue,
+)
+
+
+class TestKernelRegistry:
+    def test_all_kernels_registered(self):
+        assert set(KERNELS) == {
+            "producer-consumer", "stencil", "ping-pong", "all-reduce",
+            "task-queue", "pipeline",
+        }
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_every_kernel_builds_and_simulates(self, name, small_machine):
+        w = KERNELS[name](iterations=4)
+        result = simulate(w, machine=small_machine)
+        assert result.accesses > 0
+        assert result.cycles > 0
+
+
+class TestKernelBehaviours:
+    def test_producer_consumer_is_highly_predictable(self, small_machine):
+        w = producer_consumer(iterations=10)
+        r = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+        assert r.accuracy > 0.8
+
+    def test_ping_pong_needs_alternation_detection(self, small_machine):
+        from repro.core.predictor import SPPredictorConfig
+
+        w = ping_pong(iterations=16, stride=2)
+        with_alt = simulate(
+            w, machine=small_machine,
+            predictor=SPPredictor(16, SPPredictorConfig(history_depth=2)),
+        )
+        no_alt = simulate(
+            w, machine=small_machine,
+            predictor=SPPredictor(16, SPPredictorConfig(history_depth=1)),
+        )
+        assert with_alt.accuracy > no_alt.accuracy
+
+    def test_stencil_communicates_with_neighbours(self, small_machine):
+        w = stencil(iterations=6)
+        r = simulate(w, machine=small_machine)
+        assert r.comm_ratio > 0.5
+
+    def test_task_queue_is_migratory(self, small_machine):
+        w = task_queue(iterations=6)
+        r = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+        # Lock-holder prediction carries the kernel.
+        from repro.predictors.base import PredictionSource
+
+        assert r.correct_by_source.get(PredictionSource.LOCK, 0) > 0
+
+    def test_all_reduce_widens_hot_sets(self, small_machine):
+        wide = simulate(all_reduce(iterations=6), machine=small_machine,
+                        predictor=SPPredictor(16))
+        narrow = simulate(producer_consumer(iterations=6),
+                          machine=small_machine, predictor=SPPredictor(16))
+        assert wide.avg_predicted_targets >= narrow.avg_predicted_targets - 0.5
+
+    def test_pipeline_kernel_structured(self, small_machine):
+        w = pipeline(iterations=6)
+        r = simulate(w, machine=small_machine, predictor=SPPredictor(16))
+        assert r.accuracy > 0.6
+
+    def test_custom_core_counts(self):
+        w = producer_consumer(iterations=3, num_cores=4)
+        assert w.num_cores == 4

@@ -1,0 +1,76 @@
+"""Tests for multi-step migration schedules."""
+
+import pytest
+
+from repro.sim.engine import simulate
+from repro.workloads.base import OP_SYNC
+from repro.workloads.generator import build_workload
+from repro.workloads.migration import apply_migration_schedule
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+N = 16
+REVERSAL = [N - 1 - i for i in range(N)]
+ROTATION = [(i + 1) % N for i in range(N)]
+
+
+class TestApplyMigrationSchedule:
+    def test_empty_schedule_is_identity(self):
+        w = build_workload(make_spec(epochs=1, iterations=4))
+        out = apply_migration_schedule(w, [])
+        assert out.events == w.events
+
+    def test_two_reversals_cancel(self):
+        """Reversal twice returns each thread to its original core, so
+        the final segments land back where they started."""
+        w = build_workload(make_spec(epochs=1, iterations=6))
+        out = apply_migration_schedule(
+            w, [(1, REVERSAL), (3, list(range(N)))]
+        )
+        # After the second entry the placement is identity again: the
+        # last segment of core c's stream is thread c's.
+        from repro.workloads.migration import split_at_barrier
+
+        for core in range(N):
+            cut = split_at_barrier(w.stream(core), 3)
+            assert out.stream(core)[-5:] == w.stream(core)[-5:]
+
+    def test_event_conservation_multi(self):
+        w = build_workload(make_spec(epochs=2, iterations=6))
+        out = apply_migration_schedule(
+            w, [(2, REVERSAL), (5, ROTATION), (8, REVERSAL)]
+        )
+        assert out.total_events() == w.total_events()
+
+    def test_duplicate_barriers_rejected(self):
+        w = build_workload(make_spec(epochs=1, iterations=4))
+        with pytest.raises(ValueError, match="duplicate"):
+            apply_migration_schedule(w, [(1, REVERSAL), (1, ROTATION)])
+
+    def test_invalid_placement_rejected(self):
+        w = build_workload(make_spec(epochs=1, iterations=4))
+        with pytest.raises(ValueError, match="permutation"):
+            apply_migration_schedule(w, [(1, [0] * N)])
+
+    def test_unsorted_schedule_accepted(self):
+        w = build_workload(make_spec(epochs=1, iterations=6))
+        a = apply_migration_schedule(w, [(3, ROTATION), (1, REVERSAL)])
+        b = apply_migration_schedule(w, [(1, REVERSAL), (3, ROTATION)])
+        assert a.events == b.events
+
+    def test_multi_migration_simulates(self, small_machine):
+        w = build_workload(
+            make_spec(PatternKind.STABLE, epochs=2, iterations=8)
+        )
+        out = apply_migration_schedule(w, [(3, REVERSAL), (9, ROTATION)])
+        r = simulate(out, machine=small_machine)
+        assert r.cycles > 0
+        assert r.accesses == w.memory_accesses()
+
+    def test_barrier_counts_preserved(self):
+        w = build_workload(make_spec(epochs=2, iterations=5))
+        out = apply_migration_schedule(w, [(2, REVERSAL)])
+        for core in range(N):
+            orig = sum(1 for ev in w.stream(core) if ev[0] == OP_SYNC)
+            new = sum(1 for ev in out.stream(core) if ev[0] == OP_SYNC)
+            assert new == orig

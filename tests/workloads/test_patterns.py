@@ -1,0 +1,85 @@
+"""Tests for sharing-pattern partner functions."""
+
+from repro.workloads.patterns import PatternKind, partner_for
+
+N = 16
+
+
+def partners(pattern, core, instance, **kw):
+    return partner_for(pattern, core, instance, N, **kw)
+
+
+class TestPatternInvariants:
+    def test_never_includes_self(self):
+        for pattern in PatternKind:
+            for core in range(N):
+                for instance in range(10):
+                    for p in partners(pattern, core, instance):
+                        assert p != core
+
+    def test_partners_in_range(self):
+        for pattern in PatternKind:
+            for core in range(N):
+                for p in partners(pattern, core, 3):
+                    assert 0 <= p < N
+
+    def test_deterministic(self):
+        for pattern in PatternKind:
+            a = partners(pattern, 5, 7, seed=42)
+            b = partners(pattern, 5, 7, seed=42)
+            assert a == b
+
+
+class TestSpecificPatterns:
+    def test_private_has_no_partners(self):
+        assert partners(PatternKind.PRIVATE, 0, 0) == []
+
+    def test_stable_is_instance_invariant(self):
+        sets = {tuple(partners(PatternKind.STABLE, 3, k)) for k in range(10)}
+        assert len(sets) == 1
+
+    def test_stride_cycles_with_period(self):
+        seq = [tuple(partners(PatternKind.STRIDE, 3, k, stride=3)) for k in range(9)]
+        assert seq[0] == seq[3] == seq[6]
+        assert seq[1] == seq[4] == seq[7]
+        assert len({seq[0], seq[1], seq[2]}) == 3
+
+    def test_shifting_changes_phase(self):
+        early = partners(PatternKind.SHIFTING, 3, 0, shift_every=4)
+        late = partners(PatternKind.SHIFTING, 3, 4, shift_every=4)
+        assert early != late
+
+    def test_shifting_stable_within_phase(self):
+        phase = [
+            tuple(partners(PatternKind.SHIFTING, 3, k, shift_every=4))
+            for k in range(4)
+        ]
+        assert len(set(phase)) == 1
+
+    def test_neighbor_is_mesh_neighbor(self):
+        # Core 5 at (1, 1): neighbour (2, 1) = 6.
+        assert partners(PatternKind.NEIGHBOR, 5, 0) == [6]
+
+    def test_random_varies_across_instances(self):
+        seq = {tuple(partners(PatternKind.RANDOM, 3, k)) for k in range(20)}
+        assert len(seq) > 3
+
+    def test_reduction_leaves_point_at_root(self):
+        for core in range(1, N):
+            assert partners(PatternKind.REDUCTION, core, 5) == [0]
+
+    def test_reduction_root_gathers(self):
+        ps = partners(PatternKind.REDUCTION, 0, 5)
+        assert len(ps) == 1 and ps[0] != 0
+
+    def test_combined_contains_stable_core(self):
+        stable = partners(PatternKind.COMBINED, 3, 0)[0]
+        for k in range(10):
+            assert stable in partners(PatternKind.COMBINED, 3, k)
+
+    def test_two_core_machine(self):
+        for pattern in PatternKind:
+            if pattern is PatternKind.PRIVATE:
+                continue
+            for p in partner_for(pattern, 0, 1, 2):
+                assert p == 1

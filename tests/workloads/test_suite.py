@@ -1,0 +1,70 @@
+"""Tests for the 17-benchmark suite definitions."""
+
+import pytest
+
+from repro.workloads.suite import SUITE, benchmark_names, load_benchmark
+
+#: Table 1 of the paper: (static critical sections, static sync-epochs).
+TABLE1_STATIC = {
+    "fmm": (30, 20),
+    "lu": (7, 5),
+    "ocean": (28, 20),
+    "radiosity": (34, 12),
+    "water-ns": (20, 8),
+    "cholesky": (28, 27),
+    "fft": (8, 8),
+    "radix": (8, 4),
+    "water-sp": (17, 1),
+    "bodytrack": (16, 20),
+    "fluidanimate": (11, 20),
+    "streamcluster": (1, 24),
+    "vips": (14, 8),
+    "facesim": (2, 3),
+    "ferret": (4, 6),
+    "dedup": (3, 4),
+    "x264": (2, 3),
+}
+
+
+class TestSuiteDefinitions:
+    def test_all_seventeen_present(self):
+        assert len(SUITE) == 17
+        assert set(benchmark_names()) == set(TABLE1_STATIC)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_STATIC))
+    def test_static_counts_match_table1(self, name):
+        spec = SUITE[name]
+        crit, epochs = TABLE1_STATIC[name]
+        assert spec.static_lock_sites() == crit
+        assert spec.static_epoch_count() == epochs
+
+    def test_all_are_sixteen_core(self):
+        for spec in SUITE.values():
+            assert spec.num_cores == 16
+
+    def test_names_are_keys(self):
+        for name, spec in SUITE.items():
+            assert spec.name == name
+
+    def test_comm_ratio_targets_recorded(self):
+        for spec in SUITE.values():
+            assert spec.target_comm_ratio is not None
+            assert 0.0 < spec.target_comm_ratio < 1.0
+
+
+class TestLoadBenchmark:
+    def test_load_builds_trace(self):
+        w = load_benchmark("x264", scale=0.1)
+        assert w.name == "x264"
+        assert w.num_cores == 16
+        assert w.memory_accesses() > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_benchmark("nonexistent")
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_STATIC))
+    def test_every_benchmark_builds(self, name):
+        w = load_benchmark(name, scale=0.05)
+        assert w.total_events() > 0
+        assert w.sync_points() > 0

@@ -1,0 +1,90 @@
+"""Tests for trace persistence."""
+
+import io
+
+import pytest
+
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from repro.workloads.trace import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    read_trace,
+    write_trace,
+)
+from repro.sync.points import SyncKind
+from tests.conftest import make_spec
+
+
+class TestRoundTrip:
+    def test_generated_workload_round_trips(self, tmp_path):
+        original = build_workload(
+            make_spec(PatternKind.STRIDE, locks=1, iterations=3)
+        )
+        path = tmp_path / "w.trace"
+        dump_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == original.name
+        assert loaded.num_cores == original.num_cores
+        assert loaded.events == original.events
+
+    def test_all_event_kinds_round_trip(self):
+        streams = [[] for _ in range(2)]
+        streams[0] = [
+            (OP_READ, 0x1000, 0x400),
+            (OP_WRITE, 0x2040, 0x404),
+            (OP_THINK, 123),
+            (OP_SYNC, SyncKind.BARRIER, 0x500, None),
+            (OP_SYNC, SyncKind.LOCK, 0x510, 0x8000),
+            (OP_SYNC, SyncKind.UNLOCK, 0x514, 0x8000),
+        ]
+        w = Workload(name="mini", num_cores=2, events=streams)
+        buf = io.StringIO()
+        write_trace(w, buf)
+        buf.seek(0)
+        loaded = read_trace(buf)
+        assert loaded.events == w.events
+
+    def test_simulation_of_loaded_trace_matches(self, tmp_path, small_machine):
+        from repro.sim.engine import simulate
+
+        original = build_workload(make_spec(iterations=3))
+        path = tmp_path / "w.trace"
+        dump_trace(original, path)
+        loaded = load_trace(path)
+        a = simulate(original, machine=small_machine)
+        b = simulate(loaded, machine=small_machine)
+        assert a.cycles == b.cycles
+        assert a.miss_latency_sum == b.miss_latency_sum
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_trace(io.StringIO("garbage\n"))
+
+    def test_bad_workload_line(self):
+        with pytest.raises(TraceFormatError, match="workload"):
+            read_trace(io.StringIO("# repro-trace v1\nnope\n"))
+
+    def test_unknown_record(self):
+        text = "# repro-trace v1\nworkload x cores 1\ncore 0\nz 1 2\n"
+        with pytest.raises(TraceFormatError, match="unknown record"):
+            read_trace(io.StringIO(text))
+
+    def test_core_out_of_range(self):
+        text = "# repro-trace v1\nworkload x cores 1\ncore 5\n"
+        with pytest.raises(TraceFormatError, match="out of range"):
+            read_trace(io.StringIO(text))
+
+    def test_malformed_event(self):
+        text = "# repro-trace v1\nworkload x cores 1\ncore 0\nr zz\n"
+        with pytest.raises(TraceFormatError):
+            read_trace(io.StringIO(text))
+
+    def test_event_before_core_header(self):
+        text = "# repro-trace v1\nworkload x cores 1\nr 0 0\n"
+        with pytest.raises(TraceFormatError):
+            read_trace(io.StringIO(text))

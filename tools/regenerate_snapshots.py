@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate the regression snapshots in tests/data/.
+
+Run after an *intentional* behaviour change (generator, protocol, or
+predictor) so `tests/integration/test_snapshots.py` pins the new
+behaviour:
+
+    python tools/regenerate_snapshots.py
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.core.predictor import SPPredictor
+from repro.sim.engine import simulate
+from repro.sim.machine import MachineConfig
+from repro.workloads.suite import SUITE, load_benchmark
+
+SCALE = 0.4
+OUT = pathlib.Path(__file__).parent.parent / "tests" / "data" / "snapshots_scale04.json"
+
+
+def main() -> int:
+    machine = MachineConfig()
+    snapshots = {}
+    for name in SUITE:
+        print(f"simulating {name} ...", file=sys.stderr)
+        workload = load_benchmark(name, scale=SCALE)
+        base = simulate(workload, machine=machine)
+        sp = simulate(
+            workload, machine=machine,
+            predictor=SPPredictor(machine.num_cores),
+        )
+        snapshots[name] = {
+            "comm_ratio": round(base.comm_ratio, 4),
+            "sp_accuracy": round(sp.accuracy, 4),
+            "sp_latency_ratio": round(
+                sp.avg_miss_latency / base.avg_miss_latency, 4
+            ),
+            "misses": base.misses,
+        }
+    payload = {"scale": SCALE, "benchmarks": snapshots}
+    OUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
