@@ -2,8 +2,14 @@
 
 Every per-figure benchmark file pulls its simulation runs from this
 cache, so the full ``pytest benchmarks/ --benchmark-only`` sweep costs
-each (workload, protocol, predictor) combination exactly once.  Scale
+each (workload, protocol, predictor) combination at most once.  Scale
 defaults to 0.5 and can be overridden with REPRO_SCALE.
+
+The cache delegates to :mod:`repro.runner`: results persist on disk
+between sessions (disable with ``REPRO_CACHE=0``), and when more than
+one worker is available (``REPRO_JOBS``, default: all CPUs) the whole
+figure grid is dispatched over a multiprocessing pool up front, so the
+per-figure benchmarks mostly measure table assembly over warm runs.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import os
 
 import pytest
 
+from repro.experiments import EXPERIMENTS, required_configs
 from repro.experiments.common import RunCache
 from repro.sim.machine import MachineConfig
 
@@ -20,7 +27,14 @@ BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
 @pytest.fixture(scope="session")
 def cache() -> RunCache:
-    return RunCache(machine=MachineConfig(), scale=BENCH_SCALE, verbose=False)
+    run_cache = RunCache(
+        machine=MachineConfig(), scale=BENCH_SCALE, verbose=False
+    )
+    if run_cache.runner.jobs > 1:
+        run_cache.prefetch(
+            required_configs(list(EXPERIMENTS), run_cache.suite())
+        )
+    return run_cache
 
 
 def run_once(benchmark, fn):

@@ -77,20 +77,25 @@ class Cache:
 
     config: CacheConfig
     _sets: list = field(init=False)
+    # Geometry resolved once; lookup/touch/fill/invalidate run per access.
+    _num_sets: int = field(init=False)
+    _assoc: int = field(init=False)
 
     def __post_init__(self) -> None:
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._num_sets = self.config.num_sets
+        self._assoc = self.config.assoc
+        self._sets = [[] for _ in range(self._num_sets)]
 
     def lookup(self, block: int) -> CacheLine | None:
         """Return the resident line for ``block``, or None. No LRU update."""
-        for line in self._sets[self.config.set_of_block(block)]:
+        for line in self._sets[block % self._num_sets]:
             if line.block == block:
                 return line
         return None
 
     def touch(self, block: int) -> CacheLine | None:
         """Look up ``block`` and move it to MRU position if present."""
-        bucket = self._sets[self.config.set_of_block(block)]
+        bucket = self._sets[block % self._num_sets]
         for i, line in enumerate(bucket):
             if line.block == block:
                 if i:
@@ -104,7 +109,7 @@ class Cache:
         If the block is already resident its state is overwritten and it is
         promoted to MRU (no eviction happens).
         """
-        bucket = self._sets[self.config.set_of_block(block)]
+        bucket = self._sets[block % self._num_sets]
         for i, line in enumerate(bucket):
             if line.block == block:
                 line.state = state
@@ -112,7 +117,7 @@ class Cache:
                     bucket.insert(0, bucket.pop(i))
                 return None
         victim = None
-        if len(bucket) >= self.config.assoc:
+        if len(bucket) >= self._assoc:
             lru = bucket.pop()
             victim = EvictedLine(block=lru.block, state=lru.state)
         bucket.insert(0, CacheLine(block=block, state=state))
@@ -120,7 +125,7 @@ class Cache:
 
     def invalidate(self, block: int) -> CacheLine | None:
         """Remove ``block`` if resident and return the removed line."""
-        bucket = self._sets[self.config.set_of_block(block)]
+        bucket = self._sets[block % self._num_sets]
         for i, line in enumerate(bucket):
             if line.block == block:
                 return bucket.pop(i)

@@ -17,7 +17,7 @@ import json
 import sys
 
 from repro.core.filters import FilteredPredictor
-from repro.experiments.common import PREDICTOR_KINDS, make_predictor
+from repro.predictors.factory import PREDICTOR_KINDS
 from repro.sim.engine import SimulationEngine
 from repro.sim.machine import MachineConfig
 from repro.workloads.suite import SUITE, benchmark_names, load_benchmark
@@ -47,7 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="wrap the predictor in a RegionScout-style filter")
     sim.add_argument("--scale", type=float, default=0.5,
                      help="workload scale factor (default %(default)s)")
-    sim.add_argument("--json", action="store_true", help="JSON output")
+    sim.add_argument("--json", action="store_true", help="JSON summary output")
+    sim.add_argument(
+        "--json-full", action="store_true",
+        help="dump the complete result (every counter, histogram, and "
+             "volume matrix) as JSON",
+    )
+    sim.add_argument(
+        "--fast", action="store_true",
+        help="skip engine-side epoch/volume bookkeeping (ideal-accuracy "
+             "metric and dynamic-epoch stats read zero)",
+    )
     sim.set_defaults(func=cmd_simulate)
 
     dump = sub.add_parser("dump-trace", help="generate and save a trace file")
@@ -93,18 +103,20 @@ def cmd_simulate(args) -> int:
         workload = load_benchmark(args.workload, scale=args.scale)
 
     engine = SimulationEngine(
-        workload, machine=machine, protocol=args.protocol
+        workload,
+        machine=machine,
+        protocol=args.protocol,
+        predictor=args.predictor,
+        ideal_metric=not args.fast,
     )
-    predictor = make_predictor(
-        args.predictor, machine.num_cores, directory=engine.directory
-    )
-    if predictor is not None and args.region_filter:
-        predictor = FilteredPredictor(predictor)
-    engine.predictor = predictor
-    if predictor is not None:
-        engine.result.predictor = predictor.name
+    if engine.predictor is not None and args.region_filter:
+        engine.predictor = FilteredPredictor(engine.predictor)
+        engine.result.predictor = engine.predictor.name
     result = engine.run()
 
+    if args.json_full:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
     if args.json:
         print(json.dumps(result.summary(), indent=2))
         return 0
@@ -139,12 +151,9 @@ def cmd_compare(args) -> int:
     print(header)
     print("-" * len(header))
     for kind in args.predictors:
-        engine = SimulationEngine(workload, machine=machine)
-        engine.predictor = make_predictor(
-            kind, machine.num_cores, directory=engine.directory
-        )
-        engine.result.predictor = kind
-        result = engine.run()
+        result = SimulationEngine(
+            workload, machine=machine, predictor=kind
+        ).run()
         print(
             f"{kind:10s}"
             f"{result.accuracy:>10.1%}"

@@ -9,7 +9,7 @@ between experiments so regenerating every figure costs each
 
 from repro.experiments.common import ExperimentTable, RunCache, render_table
 
-__all__ = ["ExperimentTable", "RunCache", "render_table"]
+__all__ = ["ExperimentTable", "RunCache", "render_table", "required_configs"]
 
 #: Experiment registry: id -> module name (import lazily in the runner).
 EXPERIMENTS = {
@@ -28,3 +28,29 @@ EXPERIMENTS = {
     "fig12": "repro.experiments.fig12_tradeoff",
     "fig13": "repro.experiments.fig13_finite_tables",
 }
+
+
+def required_configs(exp_ids, suite) -> list:
+    """Union of the run configurations the given experiments will need.
+
+    Every experiment module declares its grid via ``required_runs()``;
+    collecting them up front lets the harness dispatch the whole sweep
+    to the parallel runner before any table is rendered.  Duplicates are
+    removed (the runner deduplicates again by content hash, but a tidy
+    list keeps progress output readable).
+    """
+    import importlib
+
+    seen = set()
+    configs = []
+    for exp_id in exp_ids:
+        module = importlib.import_module(EXPERIMENTS[exp_id])
+        declared = getattr(module, "required_runs", None)
+        if declared is None:
+            continue
+        for config in declared(suite):
+            key = tuple(sorted(config.items()))
+            if key not in seen:
+                seen.add(key)
+                configs.append(config)
+    return configs

@@ -5,6 +5,14 @@ Usage::
     python -m repro.experiments                # everything
     python -m repro.experiments fig7 fig8      # selected experiments
     python -m repro.experiments --scale 0.3    # smaller/faster runs
+    python -m repro.experiments --jobs 8       # sweep on 8 workers
+
+The full grid the selected experiments need is dispatched up front over
+a multiprocessing pool (``--jobs`` / ``REPRO_JOBS``, default: all CPUs;
+1 = serial in-process fallback).  Completed runs persist in an on-disk
+cache (``REPRO_CACHE_DIR``, default ``~/.cache/repro-runs``) keyed by
+configuration + simulator-source hash, so repeat invocations simulate
+nothing; ``--no-cache`` skips it and ``--clear-cache`` empties it.
 """
 
 from __future__ import annotations
@@ -14,8 +22,9 @@ import importlib
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments import EXPERIMENTS, required_configs
 from repro.experiments.common import DEFAULT_SCALE, RunCache
+from repro.runner import DiskCache
 
 
 def main(argv=None) -> int:
@@ -36,6 +45,26 @@ def main(argv=None) -> int:
         help="workload scale factor (default %(default)s)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the simulation sweep (default: "
+            "REPRO_JOBS or all CPUs; 1 = serial in-process fallback)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete all cached results (REPRO_CACHE_DIR) and exit",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     parser.add_argument(
@@ -43,6 +72,12 @@ def main(argv=None) -> int:
         help="render figure shapes as terminal plots below each table",
     )
     args = parser.parse_args(argv)
+
+    if args.clear_cache:
+        disk = DiskCache()
+        removed = disk.clear()
+        print(f"removed {removed} cached result(s) from {disk.root}")
+        return 0
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [e for e in selected if e not in EXPERIMENTS]
@@ -52,7 +87,22 @@ def main(argv=None) -> int:
             f"choose from {', '.join(EXPERIMENTS)}"
         )
 
-    cache = RunCache(scale=args.scale, verbose=not args.quiet)
+    cache = RunCache(
+        scale=args.scale,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+        disk_cache=False if args.no_cache else None,
+    )
+    configs = required_configs(selected, cache.suite())
+    if configs:
+        start = time.time()
+        simulated = cache.prefetch(configs)
+        if not args.quiet:
+            print(
+                f"[sweep: {len(configs)} configurations, {simulated} "
+                f"simulated ({cache.runner.jobs} jobs), "
+                f"{time.time() - start:.1f}s]"
+            )
     for exp_id in selected:
         module = importlib.import_module(EXPERIMENTS[exp_id])
         start = time.time()

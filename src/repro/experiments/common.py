@@ -5,13 +5,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.core.predictor import SPPredictor, SPPredictorConfig
-from repro.predictors.addr import AddrPredictor
-from repro.predictors.inst import InstPredictor
-from repro.predictors.oracle import OraclePredictor
-from repro.predictors.owner2 import OwnerTwoLevelPredictor
-from repro.predictors.uni import UniPredictor
-from repro.sim.engine import SimulationEngine
+# Re-exported for callers that historically imported these from here.
+from repro.predictors.factory import PREDICTOR_KINDS, make_predictor  # noqa: F401
+from repro.runner import DiskCache, RunSpec, SweepRunner
 from repro.sim.machine import MachineConfig
 from repro.sim.results import SimulationResult
 from repro.workloads.suite import benchmark_names, load_benchmark
@@ -19,46 +15,18 @@ from repro.workloads.suite import benchmark_names, load_benchmark
 #: Default simulation scale for experiments; override with REPRO_SCALE.
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
-#: Predictor names the harness can instantiate.
-PREDICTOR_KINDS = ("none", "SP", "ADDR", "INST", "UNI", "OWNER2", "ORACLE")
-
-
-def make_predictor(
-    kind: str,
-    num_cores: int,
-    directory=None,
-    max_entries: int | None = None,
-):
-    """Instantiate a fresh predictor by name (None for ``"none"``)."""
-    if kind == "none":
-        return None
-    if kind == "SP":
-        # ADDR/INST caps are per-core table slices; the SP-table is one
-        # shared structure, so scale the cap to keep the comparison a
-        # per-slice one (Section 4.6's "each slice" sizing).
-        cap = max_entries * num_cores if max_entries is not None else None
-        return SPPredictor(num_cores, SPPredictorConfig(max_entries=cap))
-    if kind == "ADDR":
-        return AddrPredictor(num_cores, max_entries=max_entries)
-    if kind == "INST":
-        return InstPredictor(num_cores, max_entries=max_entries)
-    if kind == "UNI":
-        return UniPredictor(num_cores)
-    if kind == "OWNER2":
-        return OwnerTwoLevelPredictor(num_cores, max_entries=max_entries)
-    if kind == "ORACLE":
-        if directory is None:
-            raise ValueError("oracle predictor needs the run's directory")
-        return OraclePredictor(directory)
-    raise ValueError(f"unknown predictor kind {kind!r}")
-
 
 class RunCache:
     """Memoizes simulation runs across experiments.
 
     Keyed by (workload, protocol, predictor kind, scale, collect_epochs,
-    table cap); each distinct configuration simulates exactly once per
-    harness invocation.
+    table cap).  Execution and persistence are delegated to
+    :class:`repro.runner.SweepRunner`: each distinct configuration
+    simulates at most once per harness invocation, completed runs are
+    stored in a persistent on-disk cache (disable with ``REPRO_CACHE=0``
+    or ``disk_cache=False``), and :meth:`prefetch` dispatches a whole
+    grid over a worker pool (``jobs`` / ``REPRO_JOBS``; 1 = the serial
+    in-process fallback).
     """
 
     def __init__(
@@ -66,17 +34,57 @@ class RunCache:
         machine: MachineConfig | None = None,
         scale: float = DEFAULT_SCALE,
         verbose: bool = False,
+        jobs: int | None = None,
+        disk_cache: DiskCache | bool | None = None,
+        seed: int | None = None,
     ) -> None:
         self.machine = machine or MachineConfig()
         self.scale = scale
         self.verbose = verbose
+        self.seed = seed
+        if disk_cache is None:
+            disk = DiskCache.from_env()
+        elif disk_cache is False:
+            disk = None
+        elif disk_cache is True:
+            disk = DiskCache()
+        else:
+            disk = disk_cache
+        self.runner = SweepRunner(jobs=jobs, disk=disk, verbose=verbose)
         self._runs: dict = {}
         self._workloads: dict = {}
 
+    @property
+    def simulations(self) -> int:
+        """Engine runs actually executed (cache hits excluded)."""
+        return self.runner.simulations
+
     def workload(self, name: str):
         if name not in self._workloads:
-            self._workloads[name] = load_benchmark(name, scale=self.scale)
+            self._workloads[name] = load_benchmark(
+                name, scale=self.scale, seed=self.seed
+            )
         return self._workloads[name]
+
+    def spec(
+        self,
+        name: str,
+        protocol: str = "directory",
+        predictor: str = "none",
+        collect_epochs: bool = False,
+        max_entries: int | None = None,
+    ) -> RunSpec:
+        """The :class:`RunSpec` for one configuration under this cache."""
+        return RunSpec(
+            workload=name,
+            scale=self.scale,
+            protocol=protocol,
+            predictor=predictor,
+            collect_epochs=collect_epochs,
+            max_entries=max_entries,
+            seed=self.seed,
+            machine=self.machine,
+        )
 
     def get(
         self,
@@ -94,25 +102,38 @@ class RunCache:
         if not collect_epochs and alt in self._runs:
             return self._runs[alt]
 
-        workload = self.workload(name)
-        engine = SimulationEngine(
-            workload,
-            machine=self.machine,
-            protocol=protocol,
-            predictor=None,
-            collect_epochs=collect_epochs,
-        )
-        engine.predictor = make_predictor(
-            predictor, self.machine.num_cores,
-            directory=engine.directory, max_entries=max_entries,
-        )
-        if engine.predictor is not None:
-            engine.result.predictor = engine.predictor.name
-        if self.verbose:
-            print(f"  simulating {name} / {protocol} / {predictor} ...")
-        result = engine.run()
+        spec = self.spec(name, protocol, predictor, collect_epochs, max_entries)
+        result = self.runner.fetch(spec)
+        if result is None and not collect_epochs:
+            collecting = self.runner.fetch(spec.collecting())
+            if collecting is not None:
+                self._runs[alt] = collecting
+                return collecting
+        if result is None:
+            result = self.runner.run(spec)
         self._runs[key] = result
         return result
+
+    def prefetch(self, configs) -> int:
+        """Dispatch a batch of configurations up front (possibly parallel).
+
+        ``configs`` is an iterable of keyword dicts matching :meth:`get`'s
+        signature (``name`` plus optional ``protocol`` / ``predictor`` /
+        ``collect_epochs`` / ``max_entries``).  Everything not already
+        memoized or on disk is simulated — fanned out over the worker
+        pool when ``jobs > 1`` — so subsequent :meth:`get` calls are pure
+        cache hits.  Returns the number of simulations executed.
+        """
+        specs = [self.spec(**config) for config in configs]
+        before = self.runner.simulations
+        results = self.runner.run_many(specs)
+        for spec, result in zip(specs, results):
+            key = (
+                spec.workload, spec.protocol, spec.predictor,
+                spec.collect_epochs, spec.max_entries,
+            )
+            self._runs.setdefault(key, result)
+        return self.runner.simulations - before
 
     def suite(self) -> list:
         return benchmark_names()

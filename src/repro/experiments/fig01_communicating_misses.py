@@ -38,3 +38,8 @@ def run(cache: RunCache) -> ExperimentTable:
     )
     table.notes.append(f"paper reports a 62% average communicating-miss ratio")
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name} for name in suite]

@@ -53,3 +53,8 @@ def run(cache: RunCache) -> ExperimentTable:
 
 def _row(volumes) -> dict:
     return {f"c{i}": v for i, v in enumerate(volumes)}
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": _BENCH, "collect_epochs": True}]

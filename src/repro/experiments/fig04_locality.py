@@ -36,3 +36,8 @@ def run(cache: RunCache) -> ExperimentTable:
         "every point (communication locality aligns with epochs)"
     )
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name, "collect_epochs": True} for name in suite]

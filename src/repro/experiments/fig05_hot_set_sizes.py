@@ -47,3 +47,8 @@ def run(cache: RunCache) -> ExperimentTable:
         table.rows.append(avg_row)
     table.notes.append("paper: >=78% of intervals have hot-set size <= 4")
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name, "collect_epochs": True} for name in suite]

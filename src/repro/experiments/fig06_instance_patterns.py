@@ -68,3 +68,8 @@ def _collect_examples(result, reports, examples) -> None:
             )
             for r in recs
         ]
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name, "collect_epochs": True} for name in suite]

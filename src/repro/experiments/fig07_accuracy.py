@@ -47,3 +47,8 @@ def run(cache: RunCache) -> ExperimentTable:
     )
     table.notes.append("paper: 77% average, best 98% (x264), worst 59% (radiosity)")
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name, "predictor": "SP"} for name in suite]

@@ -59,3 +59,16 @@ def run(cache: RunCache) -> ExperimentTable:
         "non-communicating misses; broadcast adds far more"
     )
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [
+        config
+        for name in suite
+        for config in (
+            {"name": name},
+            {"name": name, "protocol": "broadcast"},
+            {"name": name, "predictor": "SP"},
+        )
+    ]

@@ -41,3 +41,16 @@ def run(cache: RunCache) -> ExperimentTable:
     )
     table.notes.append("paper: SP ~1.25x directory energy; broadcast ~2.4x")
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [
+        config
+        for name in suite
+        for config in (
+            {"name": name},
+            {"name": name, "protocol": "broadcast"},
+            {"name": name, "predictor": "SP"},
+        )
+    ]

@@ -48,3 +48,12 @@ def run(cache: RunCache) -> ExperimentTable:
 def _added_bw(run_, base) -> float:
     base_per_miss = base.bytes_per_miss() or 1.0
     return 100.0 * (run_.bytes_per_miss() - base_per_miss) / base_per_miss
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [
+        {"name": name, "predictor": kind}
+        for name in BENCHES
+        for kind in ("none",) + PREDICTORS
+    ]

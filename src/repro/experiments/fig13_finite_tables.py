@@ -69,3 +69,15 @@ def run(cache: RunCache) -> ExperimentTable:
         "unaffected (state far below the cap)"
     )
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    configs = [{"name": name} for name in suite]
+    configs += [
+        {"name": name, "predictor": kind, "max_entries": cap}
+        for name in suite
+        for kind in PREDICTORS
+        for cap in (None, CAP)
+    ]
+    return configs

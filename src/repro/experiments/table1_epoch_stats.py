@@ -40,3 +40,8 @@ def run(cache: RunCache) -> ExperimentTable:
         "never executes"
     )
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name, "collect_epochs": True} for name in suite]

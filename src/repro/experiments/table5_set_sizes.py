@@ -32,3 +32,8 @@ def run(cache: RunCache) -> ExperimentTable:
         "paper: actual close to 1; predicted/actual mostly 1.1x-3.7x"
     )
     return table
+
+
+def required_runs(suite) -> list:
+    """Configurations this experiment pulls from the run cache."""
+    return [{"name": name, "predictor": "SP"} for name in suite]

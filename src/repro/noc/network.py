@@ -90,6 +90,21 @@ class Network:
         self.link_latency = link_latency
         self.stats = NetworkStats()
         self._transcript = None
+        # Hop counts and one-way latencies, precomputed for every ordered
+        # node pair: send() and latency() sit on the coherence hot path
+        # (several calls per L2 miss), so both become flat table lookups.
+        n = mesh.num_nodes
+        per_hop = router_latency + link_latency
+        self._hops = [
+            [mesh.hops(src, dst) for dst in range(n)] for src in range(n)
+        ]
+        self._latency = [
+            [hops * per_hop for hops in row] for row in self._hops
+        ]
+        # Message sizes resolved once: enum-keyed dict lookups cost a
+        # Python-level Enum.__hash__ call per message.
+        self._control_bytes = MESSAGE_BYTES[MessageClass.CONTROL]
+        self._data_bytes = MESSAGE_BYTES[MessageClass.DATA]
 
     # -- transcript (protocol-audit) support ---------------------------
 
@@ -119,7 +134,7 @@ class Network:
 
     def latency(self, src: int, dst: int) -> int:
         """One-way latency in cycles; zero for a node talking to itself."""
-        return self.mesh.hops(src, dst) * self.hop_latency()
+        return self._latency[src][dst]
 
     def send(
         self,
@@ -129,15 +144,25 @@ class Network:
         category: str = "other",
     ) -> int:
         """Account one message and return its delivery latency in cycles."""
-        hops = self.mesh.hops(src, dst)
-        n_bytes = MESSAGE_BYTES[msg]
-        self.stats.add(n_bytes, hops, category)
+        hops = self._hops[src][dst]
+        n_bytes = (
+            self._data_bytes if msg is MessageClass.DATA
+            else self._control_bytes
+        )
+        # stats.add(), inlined: one call per message adds up.
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes_total += n_bytes
+        stats.byte_links += n_bytes * hops
+        stats.byte_routers += n_bytes * (hops + 1)
+        by_category = stats.bytes_by_category
+        by_category[category] = by_category.get(category, 0) + n_bytes
         if self._transcript is not None:
             self._transcript.append(
                 SentMessage(src=src, dst=dst, msg=msg, category=category,
                             n_bytes=n_bytes, hops=hops)
             )
-        return hops * self.hop_latency()
+        return self._latency[src][dst]
 
     def multicast(
         self,

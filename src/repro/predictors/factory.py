@@ -1,0 +1,49 @@
+"""Predictor factory: build any of the paper's predictors by name.
+
+Lives in the predictors package (rather than the experiment harness) so
+the simulation engine can accept a predictor *kind* directly and own the
+whole wiring — name recording, sync-cost hookup, oracle/directory
+plumbing — without the caller patching attributes after construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictor import SPPredictor, SPPredictorConfig
+from repro.predictors.addr import AddrPredictor
+from repro.predictors.inst import InstPredictor
+from repro.predictors.oracle import OraclePredictor
+from repro.predictors.owner2 import OwnerTwoLevelPredictor
+from repro.predictors.uni import UniPredictor
+
+#: Predictor names the harness can instantiate.
+PREDICTOR_KINDS = ("none", "SP", "ADDR", "INST", "UNI", "OWNER2", "ORACLE")
+
+
+def make_predictor(
+    kind: str,
+    num_cores: int,
+    directory=None,
+    max_entries: int | None = None,
+):
+    """Instantiate a fresh predictor by name (None for ``"none"``)."""
+    if kind == "none":
+        return None
+    if kind == "SP":
+        # ADDR/INST caps are per-core table slices; the SP-table is one
+        # shared structure, so scale the cap to keep the comparison a
+        # per-slice one (Section 4.6's "each slice" sizing).
+        cap = max_entries * num_cores if max_entries is not None else None
+        return SPPredictor(num_cores, SPPredictorConfig(max_entries=cap))
+    if kind == "ADDR":
+        return AddrPredictor(num_cores, max_entries=max_entries)
+    if kind == "INST":
+        return InstPredictor(num_cores, max_entries=max_entries)
+    if kind == "UNI":
+        return UniPredictor(num_cores)
+    if kind == "OWNER2":
+        return OwnerTwoLevelPredictor(num_cores, max_entries=max_entries)
+    if kind == "ORACLE":
+        if directory is None:
+            raise ValueError("oracle predictor needs the run's directory")
+        return OraclePredictor(directory)
+    raise ValueError(f"unknown predictor kind {kind!r}")

@@ -1,0 +1,33 @@
+"""Parallel sweep runner with a persistent on-disk result cache.
+
+The experiment harness sweeps 17 workloads x 3 protocols x 7 predictor
+kinds; each configuration is an independent simulation, so the grid fans
+out over a :mod:`multiprocessing` worker pool and completed runs are
+memoized on disk (keyed by a content hash of the full configuration and
+a fingerprint of the simulator source, so entries self-invalidate when
+the simulator changes).
+
+Entry points:
+
+* :class:`~repro.runner.pool.SweepRunner` — run a list of
+  :class:`~repro.runner.specs.RunSpec` configurations, returning
+  :class:`~repro.sim.results.SimulationResult` objects.
+* :func:`~repro.runner.pool.resolve_jobs` — worker-count policy
+  (``--jobs`` / ``REPRO_JOBS`` / ``os.cpu_count()``).
+* :class:`~repro.runner.diskcache.DiskCache` — the persistent store
+  (``REPRO_CACHE_DIR``, default ``~/.cache/repro-runs``).
+"""
+
+from repro.runner.diskcache import DiskCache
+from repro.runner.pool import SweepRunner, execute_spec, resolve_jobs
+from repro.runner.specs import CACHE_VERSION, RunSpec, code_fingerprint
+
+__all__ = [
+    "CACHE_VERSION",
+    "DiskCache",
+    "RunSpec",
+    "SweepRunner",
+    "code_fingerprint",
+    "execute_spec",
+    "resolve_jobs",
+]

@@ -1,0 +1,197 @@
+"""Worker-pool execution of simulation sweeps.
+
+``SweepRunner`` fans a list of :class:`RunSpec` configurations out over
+a :mod:`multiprocessing` pool, short-circuiting anything already in its
+in-process memo or the persistent :class:`DiskCache`.  Workers return
+``SimulationResult.to_dict()`` payloads (plain JSON-safe dicts), so
+nothing engine-internal crosses the process boundary; the parent
+rehydrates them with :meth:`SimulationResult.from_dict` — an exact
+round-trip, which is what makes parallel and serial sweeps bit-identical.
+
+``--jobs 1`` (or ``REPRO_JOBS=1``) selects the serial in-process path:
+no pool, no serialization, live result objects — today's debugging
+behavior, preserved.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.runner.diskcache import DiskCache
+from repro.runner.specs import RunSpec
+from repro.sim.results import SimulationResult
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker-count policy: explicit arg, else REPRO_JOBS, else cpu_count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _start_method() -> str:
+    """Pool start method: fork where available (cheap), else spawn.
+
+    ``REPRO_MP_START`` overrides (e.g. ``spawn`` to debug fork-related
+    state leakage).
+    """
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+#: Per-process workload memo: building a trace is itself expensive, and
+#: one worker typically simulates several configurations of one workload.
+_workloads: dict = {}
+
+
+def _load_workload(spec: RunSpec):
+    from repro.workloads.suite import load_benchmark
+
+    key = (spec.workload, spec.scale, spec.seed)
+    workload = _workloads.get(key)
+    if workload is None:
+        workload = load_benchmark(
+            spec.workload, scale=spec.scale, seed=spec.seed
+        )
+        _workloads[key] = workload
+    return workload
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Simulate one configuration (in whatever process this runs in)."""
+    from repro.sim.engine import SimulationEngine
+
+    engine = SimulationEngine(
+        _load_workload(spec),
+        machine=spec.machine,
+        protocol=spec.protocol,
+        predictor=spec.predictor,
+        predictor_entries=spec.max_entries,
+        collect_epochs=spec.collect_epochs,
+    )
+    return engine.run()
+
+
+def _worker(spec: RunSpec) -> tuple:
+    """Pool task: simulate and ship the serialized result home."""
+    return spec.digest(), execute_spec(spec).to_dict()
+
+
+class SweepRunner:
+    """Executes run specs with memoization, disk persistence, and fan-out.
+
+    ``simulations`` counts actual engine runs this runner triggered
+    (in-process or in workers); cache hits do not increment it — the
+    zero-re-simulation guarantees in the tests key off this counter.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        disk: DiskCache | None = None,
+        verbose: bool = False,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.disk = disk
+        self.verbose = verbose
+        self.simulations = 0
+        self._results: dict = {}  # digest -> SimulationResult
+
+    # -- cache-only lookups --------------------------------------------
+
+    def fetch(self, spec: RunSpec) -> SimulationResult | None:
+        """Memo/disk lookup; never simulates."""
+        digest = spec.digest()
+        result = self._results.get(digest)
+        if result is not None:
+            return result
+        if self.disk is not None:
+            payload = self.disk.load(digest)
+            if payload is not None:
+                result = SimulationResult.from_dict(payload)
+                self._results[digest] = result
+                return result
+        return None
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """One spec: cached if possible, simulated in-process otherwise."""
+        result = self.fetch(spec)
+        if result is not None:
+            return result
+        if self.verbose:
+            print(
+                f"  simulating {spec.workload} / {spec.protocol} / "
+                f"{spec.predictor} ..."
+            )
+        result = execute_spec(spec)
+        self.simulations += 1
+        self._store(spec.digest(), result)
+        return result
+
+    def run_many(self, specs) -> list:
+        """Run every spec (deduplicated); returns results in spec order.
+
+        Cached configurations are served from memo/disk; the rest fan
+        out over the pool when ``jobs > 1``, else run serially in
+        process.
+        """
+        unique: dict = {}
+        for spec in specs:
+            unique.setdefault(spec.digest(), spec)
+        pending = [
+            (digest, spec)
+            for digest, spec in unique.items()
+            if self.fetch(spec) is None
+        ]
+        if pending:
+            if self.verbose:
+                print(
+                    f"  sweep: {len(pending)} of {len(unique)} "
+                    f"configurations to simulate ({self.jobs} jobs)"
+                )
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_pool(pending)
+            else:
+                for digest, spec in pending:
+                    result = execute_spec(spec)
+                    self.simulations += 1
+                    self._store(digest, result)
+        return [self._results[spec.digest()] for spec in specs]
+
+    def _run_pool(self, pending) -> None:
+        ctx = multiprocessing.get_context(_start_method())
+        workers = min(self.jobs, len(pending))
+        with ctx.Pool(processes=workers) as pool:
+            for digest, payload in pool.imap_unordered(
+                _worker, [spec for _, spec in pending]
+            ):
+                self.simulations += 1
+                result = SimulationResult.from_dict(payload)
+                self._results[digest] = result
+                if self.disk is not None:
+                    self.disk.store(digest, payload)
+                if self.verbose:
+                    print(
+                        f"  done {result.workload} / {result.protocol} / "
+                        f"{result.predictor}"
+                    )
+
+    def _store(self, digest: str, result: SimulationResult) -> None:
+        self._results[digest] = result
+        if self.disk is not None:
+            self.disk.store(digest, result.to_dict())

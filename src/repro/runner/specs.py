@@ -1,0 +1,96 @@
+"""Run specifications and their content-hash cache keys.
+
+A :class:`RunSpec` captures everything that determines a simulation's
+outcome: workload name + scale + seed, machine configuration, protocol,
+predictor kind, table cap, and whether epochs are collected.  Its
+``digest()`` is the persistent cache key; it folds in a format version
+and a fingerprint of the simulator source tree so cached entries
+self-invalidate whenever the simulator's behavior could have changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.sim.machine import MachineConfig
+
+#: Bump when the serialized result payload changes shape.
+CACHE_VERSION = 1
+
+#: Package subtrees that only *consume* results; editing them cannot
+#: change what a simulation produces, so they are excluded from the
+#: source fingerprint (everything else under ``repro`` is included).
+_NON_SIMULATION_PARTS = ("experiments", "analysis", "runner")
+_NON_SIMULATION_FILES = ("cli.py", "report.py", "__main__.py")
+
+_fingerprint_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the simulator's source files (hex, truncated).
+
+    Any edit to simulation-relevant code yields a new fingerprint, which
+    re-keys every disk-cache entry; over-invalidation is harmless, stale
+    results are not.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is not None:
+        return _fingerprint_cache
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts[0] in _NON_SIMULATION_PARTS:
+            continue
+        if len(rel.parts) == 1 and rel.name in _NON_SIMULATION_FILES:
+            continue
+        digest.update(str(rel).encode())
+        digest.update(path.read_bytes())
+    _fingerprint_cache = digest.hexdigest()[:16]
+    return _fingerprint_cache
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation configuration, self-contained and picklable."""
+
+    workload: str
+    scale: float
+    protocol: str = "directory"
+    predictor: str = "none"
+    collect_epochs: bool = False
+    max_entries: int | None = None
+    seed: int | None = None
+    machine: MachineConfig = field(default_factory=MachineConfig)
+
+    def digest(self) -> str:
+        """Content-hash cache key (stable across processes and sessions).
+
+        ``MachineConfig`` is a frozen dataclass tree of scalars, so its
+        ``repr`` is a deterministic serialization of the whole machine.
+        """
+        material = "\x1f".join(
+            (
+                f"v{CACHE_VERSION}",
+                code_fingerprint(),
+                self.workload,
+                repr(self.scale),
+                self.protocol,
+                self.predictor,
+                repr(self.collect_epochs),
+                repr(self.max_entries),
+                repr(self.seed),
+                repr(self.machine),
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def collecting(self) -> "RunSpec":
+        """The epoch-collecting variant of this spec."""
+        if self.collect_epochs:
+            return self
+        return replace(self, collect_epochs=True)

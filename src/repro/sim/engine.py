@@ -10,11 +10,18 @@ Scheduling picks the runnable core with the smallest clock (with a small
 quantum to amortize scheduling cost), so cross-core orderings — which
 core produced data last, who acquires a lock next — emerge from the
 modelled timing, as they would on real hardware.
+
+The ``run()`` inner loop executes one Python iteration per trace event
+(millions per run), so it is written for the CPython interpreter: stream
+lists are materialized up front, the L1/L2 hit paths are inlined, and
+every attribute and global reached on the per-event path is hoisted into
+a local before the loop.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left
 
 from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
 from repro.coherence.directory import Directory
@@ -36,19 +43,37 @@ _QUANTUM = 400
 
 
 class SimulationEngine:
-    """One simulation run: a workload on a machine under one protocol."""
+    """One simulation run: a workload on a machine under one protocol.
+
+    ``predictor`` accepts either a ready :class:`TargetPredictor` instance
+    or a kind name (``"SP"``, ``"ADDR"``, ... — see
+    :data:`repro.predictors.factory.PREDICTOR_KINDS`); with a name the
+    engine builds the predictor itself, so the result's predictor label
+    and the oracle's directory wiring cannot drift from the instance.
+    ``predictor_entries`` caps the table capacity of a predictor given by
+    name.
+
+    ``ideal_metric=False`` skips the engine-side epoch/volume bookkeeping
+    (communication counters, epoch trackers, the ideal-accuracy score)
+    when a caller only needs timing/traffic/prediction counters; the
+    ``ideal_correct``, ``dynamic_epochs`` and ``whole_run_volume`` fields
+    of the result then stay zero.  ``collect_epochs=True`` implies the
+    bookkeeping regardless.
+    """
 
     def __init__(
         self,
         workload: Workload,
         machine: MachineConfig | None = None,
         protocol: str = "directory",
-        predictor: TargetPredictor | None = None,
+        predictor: TargetPredictor | str | None = None,
         collect_epochs: bool = False,
         hot_threshold: float = DEFAULT_HOT_THRESHOLD,
         migrations: dict | None = None,
         verify_coherence: bool = False,
         directory_pointers: int | None = None,
+        predictor_entries: int | None = None,
+        ideal_metric: bool = True,
     ) -> None:
         self.machine = machine or MachineConfig()
         if workload.num_cores != self.machine.num_cores:
@@ -93,8 +118,23 @@ class SimulationEngine:
             )
         else:
             raise ValueError(f"unknown protocol {protocol!r}")
+        if isinstance(predictor, str):
+            from repro.predictors.factory import make_predictor
+
+            predictor = make_predictor(
+                predictor, self.machine.num_cores,
+                directory=self.directory, max_entries=predictor_entries,
+            )
+        elif predictor_entries is not None:
+            raise ValueError(
+                "predictor_entries applies only when the predictor is "
+                "given by kind name"
+            )
         self.predictor = predictor
         self.collect_epochs = collect_epochs
+        self.ideal_metric = ideal_metric
+        #: Whether the engine-side epoch/volume bookkeeping runs at all.
+        self._track = bool(ideal_metric or collect_epochs)
         self.hot_threshold = hot_threshold
         #: Barrier index -> physical-of-logical permutation, applied at
         #: that barrier's release (pairs with workloads.migration).
@@ -105,11 +145,16 @@ class SimulationEngine:
 
             self.verifier = CoherenceVerifier(self.protocol)
 
+        # Fixed per-access latencies, resolved once.
+        self._l1_latency = self.machine.l1_latency
+        self._l2_access = self.machine.latencies.l2_access
+        self._l2_tag = self.machine.latencies.l2_tag
+
         n = self.machine.num_cores
         self.result = SimulationResult(
             workload=workload.name,
             protocol=protocol,
-            predictor=predictor.name if predictor else "none",
+            predictor=self.predictor.name if self.predictor else "none",
             num_cores=n,
         )
         self.result.whole_run_volume = [[0] * n for _ in range(n)]
@@ -125,7 +170,9 @@ class SimulationEngine:
 
     def run(self) -> SimulationResult:
         n = self.machine.num_cores
-        streams = [self.workload.stream(core) for core in range(n)]
+        # Flat local copies: one list per core, indexed by a local cursor.
+        streams = [list(self.workload.stream(core)) for core in range(n)]
+        lengths = [len(s) for s in streams]
         pos = [0] * n
         clock = [0] * n
         done = [False] * n
@@ -151,30 +198,65 @@ class SimulationEngine:
 
         active = n
 
+        # Hot-loop aliases: everything the per-event path touches.
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        kind_read = AccessKind.READ
+        kind_write = AccessKind.WRITE
+        l1_hit = HierarchyOutcome.L1_HIT
+        l2_hit = HierarchyOutcome.L2_HIT
+        barrier_kind = SyncKind.BARRIER
+        lock_kind = SyncKind.LOCK
+        unlock_kind = SyncKind.UNLOCK
+        static_sync_id = StaticSyncId
+        classifiers = [hier.classify for hier in self.hierarchies]
+        miss = self._miss
+        on_sync = self._on_sync
+        sync_op_latency = self.machine.sync_op_latency
+        sync_cost = self._sync_cost
+        l1_latency = self._l1_latency
+        l2_access = self._l2_access
+        migrations = self.migrations
+        accesses = l1_hits = l2_hits = 0
+
         while heap:
-            t, core = heapq.heappop(heap)
-            t = max(t, clock[core])
-            clock[core] = t
-            limit = (heap[0][0] if heap else None)
-            budget = (limit + _QUANTUM) if limit is not None else None
+            t, core = heappop(heap)
+            c = clock[core]
+            if t > c:
+                c = t
+            budget = (heap[0][0] + _QUANTUM) if heap else None
 
             stream = streams[core]
-            length = len(stream)
+            length = lengths[core]
+            p = pos[core]
+            classify = classifiers[core]
             blocked = False
 
-            while pos[core] < length:
-                ev = stream[pos[core]]
+            while p < length:
+                ev = stream[p]
                 op = ev[0]
                 if op == OP_READ or op == OP_WRITE:
-                    pos[core] += 1
-                    clock[core] += self._access(core, ev[1], ev[2], op == OP_WRITE)
+                    p += 1
+                    accesses += 1
+                    is_write = op == OP_WRITE
+                    outcome = classify(
+                        ev[1], kind_write if is_write else kind_read
+                    )
+                    if outcome is l1_hit:
+                        l1_hits += 1
+                        c += l1_latency
+                    elif outcome is l2_hit:
+                        l2_hits += 1
+                        c += l2_access
+                    else:
+                        c += miss(core, ev[1], ev[2], is_write, outcome)
                 elif op == OP_THINK:
-                    pos[core] += 1
-                    clock[core] += ev[1]
+                    p += 1
+                    c += ev[1]
                 else:  # OP_SYNC
                     kind, pc, lock_addr = ev[1], ev[2], ev[3]
-                    if kind is SyncKind.BARRIER:
-                        pos[core] += 1
+                    if kind is barrier_kind:
+                        p += 1
                         idx = barrier_index[core]
                         barrier_index[core] += 1
                         if idx in barrier_pc and barrier_pc[idx] != pc:
@@ -183,84 +265,87 @@ class SimulationEngine:
                                 f"{barrier_pc[idx]} vs {pc}"
                             )
                         barrier_pc[idx] = pc
-                        self._on_sync(core, StaticSyncId(kind=kind, pc=pc))
-                        clock[core] += self._sync_cost
+                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        c += sync_cost
                         waiters = barrier_waiters.setdefault(idx, [])
-                        waiters.append((core, clock[core]))
+                        waiters.append((core, c))
                         if len(waiters) == active:
-                            if idx in self.migrations:
-                                self._apply_migration(self.migrations[idx])
+                            if idx in migrations:
+                                self._apply_migration(migrations[idx])
                             release = (
-                                max(c for _, c in waiters)
-                                + self.machine.sync_op_latency
+                                max(wc for _, wc in waiters)
+                                + sync_op_latency
                             )
                             for w_core, _ in waiters:
                                 if w_core == core:
-                                    clock[core] = release
+                                    c = release
                                 else:
                                     clock[w_core] = release
-                                    heapq.heappush(heap, (release, w_core))
+                                    heappush(heap, (release, w_core))
                             del barrier_waiters[idx]
                             # fall through: this core keeps running
                         else:
                             blocked = True
                             break
-                    elif kind is SyncKind.LOCK:
+                    elif kind is lock_kind:
                         holder = lock_holder.get(lock_addr)
                         if holder is None or core in lock_granted:
                             lock_granted.discard(core)
-                            pos[core] += 1
+                            p += 1
                             lock_holder[lock_addr] = core
-                            clock[core] += (
-                                self.machine.sync_op_latency + self._sync_cost
-                            )
-                            self._on_sync(
+                            c += sync_op_latency + sync_cost
+                            on_sync(
                                 core,
-                                StaticSyncId(kind=kind, pc=pc, lock_addr=lock_addr),
+                                static_sync_id(
+                                    kind=kind, pc=pc, lock_addr=lock_addr
+                                ),
                             )
                         else:
                             # Re-examined when the holder unlocks.
-                            heapq.heappush(
+                            heappush(
                                 lock_waiters.setdefault(lock_addr, []),
-                                (clock[core], core),
+                                (c, core),
                             )
                             blocked = True
                             break
-                    elif kind is SyncKind.UNLOCK:
-                        pos[core] += 1
+                    elif kind is unlock_kind:
+                        p += 1
                         if lock_holder.get(lock_addr) != core:
                             raise RuntimeError(
                                 f"core {core} unlocked {lock_addr:#x} it does "
                                 "not hold"
                             )
-                        clock[core] += (
-                            self.machine.sync_op_latency + self._sync_cost
-                        )
-                        self._on_sync(
+                        c += sync_op_latency + sync_cost
+                        on_sync(
                             core,
-                            StaticSyncId(kind=kind, pc=pc, lock_addr=lock_addr),
+                            static_sync_id(
+                                kind=kind, pc=pc, lock_addr=lock_addr
+                            ),
                         )
                         waiters = lock_waiters.get(lock_addr)
                         if waiters:
-                            _, nxt = heapq.heappop(waiters)
+                            _, nxt = heappop(waiters)
                             lock_holder[lock_addr] = nxt
                             lock_granted.add(nxt)
-                            clock[nxt] = max(clock[nxt], clock[core])
-                            heapq.heappush(heap, (clock[nxt], nxt))
+                            if c > clock[nxt]:
+                                clock[nxt] = c
+                            heappush(heap, (clock[nxt], nxt))
                         else:
                             lock_holder[lock_addr] = None
                     else:
                         # join / wakeup / broadcast are epoch boundaries
                         # without blocking semantics in these traces.
-                        pos[core] += 1
-                        self._on_sync(core, StaticSyncId(kind=kind, pc=pc))
-                        clock[core] += self._sync_cost
-                if budget is not None and clock[core] > budget:
+                        p += 1
+                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        c += sync_cost
+                if budget is not None and c > budget:
                     break
 
+            pos[core] = p
+            clock[core] = c
             if blocked:
                 continue
-            if pos[core] >= length:
+            if p >= length:
                 if not done[core]:
                     done[core] = True
                     active -= 1
@@ -271,50 +356,49 @@ class SimulationEngine:
                     for idx in list(barrier_waiters):
                         waiters = barrier_waiters[idx]
                         if waiters and len(waiters) == active:
-                            if idx in self.migrations:
-                                self._apply_migration(self.migrations[idx])
+                            if idx in migrations:
+                                self._apply_migration(migrations[idx])
                             release = (
-                                max(c for _, c in waiters)
-                                + self.machine.sync_op_latency
+                                max(wc for _, wc in waiters)
+                                + sync_op_latency
                             )
                             for w_core, _ in waiters:
                                 clock[w_core] = release
-                                heapq.heappush(heap, (release, w_core))
+                                heappush(heap, (release, w_core))
                             del barrier_waiters[idx]
                 continue
-            heapq.heappush(heap, (clock[core], core))
+            heappush(heap, (c, core))
 
         if active != 0:
             raise RuntimeError(f"{active} cores never finished (deadlock?)")
 
-        self.result.core_cycles = clock
-        self.result.cycles = max(clock) if clock else 0
-        self.result.snoop_lookups = self.protocol.snoop_lookups
-        self.result.network = self.network.stats
-        self.result.dynamic_epochs = sum(
+        res = self.result
+        res.accesses += accesses
+        res.l1_hits += l1_hits
+        res.l2_hits += l2_hits
+        res.core_cycles = clock
+        res.cycles = max(clock) if clock else 0
+        res.snoop_lookups = self.protocol.snoop_lookups
+        res.network = self.network.stats
+        res.dynamic_epochs = sum(
             len(tr.ended_epochs) for tr in self._trackers
         )
-        return self.result
+        return res
 
     # ------------------------------------------------------------------
-    # memory accesses
+    # L2 misses (the run() loop handles L1/L2 hits inline)
     # ------------------------------------------------------------------
 
-    def _access(self, core: int, addr: int, pc: int, is_write: bool) -> int:
+    #: Latency histogram bucket upper bounds (cycles).
+    _LATENCY_BUCKETS = (16, 32, 64, 128, 256, 512, 1 << 30)
+
+    def _miss(
+        self, core: int, addr: int, pc: int, is_write: bool,
+        outcome: HierarchyOutcome,
+    ) -> int:
+        """Handle one L2 miss end to end; returns its latency in cycles."""
         res = self.result
-        hier = self.hierarchies[core]
-        outcome = hier.classify(
-            addr, AccessKind.WRITE if is_write else AccessKind.READ
-        )
-        res.accesses += 1
-        if outcome is HierarchyOutcome.L1_HIT:
-            res.l1_hits += 1
-            return self.machine.l1_latency
-        if outcome is HierarchyOutcome.L2_HIT:
-            res.l2_hits += 1
-            return self.machine.latencies.l2_access
-
-        block = hier.block_of(addr)
+        block = self.hierarchies[core].block_of(addr)
         if outcome is HierarchyOutcome.UPGRADE_MISS:
             kind = MissKind.UPGRADE
         elif is_write:
@@ -322,9 +406,10 @@ class SimulationEngine:
         else:
             kind = MissKind.READ
 
+        predictor = self.predictor
         prediction = (
-            self.predictor.predict(core, block, pc, kind)
-            if self.predictor is not None
+            predictor.predict(core, block, pc, kind)
+            if predictor is not None
             else None
         )
         targets = prediction.targets if prediction is not None else None
@@ -339,64 +424,49 @@ class SimulationEngine:
             tx = self.protocol.upgrade_miss(core, block, targets)
             res.upgrade_misses += 1
 
-        self._record_tx(core, pc, kind, prediction, tx)
-        if self.verifier is not None:
-            self.verifier.check_block(block)
-
-        if self.predictor is not None:
-            self.predictor.train(core, block, pc, kind, tx)
-            observe = getattr(self.predictor, "observe_external", None)
-            if observe is not None:
-                if tx.responder is not None:
-                    observe(tx.responder, block, core)
-                for node in tx.invalidated:
-                    observe(node, block, core)
-
-        return self.machine.latencies.l2_tag + tx.latency
-
-    #: Latency histogram bucket upper bounds (cycles).
-    _LATENCY_BUCKETS = (16, 32, 64, 128, 256, 512, 1 << 30)
-
-    def _record_tx(self, core, pc, kind, prediction, tx) -> None:
-        res = self.result
-        latency = self.machine.latencies.l2_tag + tx.latency
+        latency = self._l2_tag + tx.latency
+        buckets = self._LATENCY_BUCKETS
         res.miss_latency_sum += latency
-        for bound in self._LATENCY_BUCKETS:
-            if latency <= bound:
-                res.latency_histogram[bound] = (
-                    res.latency_histogram.get(bound, 0) + 1
-                )
-                break
+        bound = buckets[bisect_left(buckets, latency)]
+        hist = res.latency_histogram
+        hist[bound] = hist.get(bound, 0) + 1
         if tx.indirection:
             res.indirections += 1
         if tx.off_chip:
             res.offchip_misses += 1
 
-        if tx.communicating:
+        communicating = tx.communicating
+        if communicating:
             res.comm_misses += 1
             res.actual_target_sum += len(tx.minimal_targets)
-            self._epoch_comm[core] += 1
-            self._pending_minimal[core].append(tx.minimal_targets)
-        self._epoch_misses[core] += 1
 
-        # Communication volume bookkeeping (engine mirror of the paper's
-        # communication counters; drives the ideal metric and Figs. 2-6).
-        counts = self._comm_counts[core]
-        volume = self.result.whole_run_volume[core]
-        if tx.responder is not None and tx.responder != core:
-            counts[tx.responder] += 1
-            volume[tx.responder] += 1
-        for node in tx.invalidated:
-            if node != core:
-                counts[node] += 1
-                volume[node] += 1
-        if self.collect_epochs and tx.communicating:
-            slot = res.pc_volume.setdefault((core, pc), [0] * res.num_cores)
-            if tx.responder is not None and tx.responder != core:
-                slot[tx.responder] += 1
+        if self._track:
+            # Communication volume bookkeeping (engine mirror of the
+            # paper's communication counters; drives the ideal metric and
+            # Figs. 2-6).
+            if communicating:
+                self._epoch_comm[core] += 1
+                self._pending_minimal[core].append(tx.minimal_targets)
+            self._epoch_misses[core] += 1
+            counts = self._comm_counts[core]
+            volume = res.whole_run_volume[core]
+            responder = tx.responder
+            if responder is not None and responder != core:
+                counts[responder] += 1
+                volume[responder] += 1
             for node in tx.invalidated:
                 if node != core:
-                    slot[node] += 1
+                    counts[node] += 1
+                    volume[node] += 1
+            if self.collect_epochs and communicating:
+                slot = res.pc_volume.setdefault(
+                    (core, pc), [0] * res.num_cores
+                )
+                if responder is not None and responder != core:
+                    slot[responder] += 1
+                for node in tx.invalidated:
+                    if node != core:
+                        slot[node] += 1
 
         if prediction is not None:
             res.pred_attempted += 1
@@ -413,13 +483,28 @@ class SimulationEngine:
                 else:
                     res.pred_incorrect += 1
 
+        if self.verifier is not None:
+            self.verifier.check_block(block)
+
+        if predictor is not None:
+            predictor.train(core, block, pc, kind, tx)
+            observe = getattr(predictor, "observe_external", None)
+            if observe is not None:
+                if tx.responder is not None:
+                    observe(tx.responder, block, core)
+                for node in tx.invalidated:
+                    observe(node, block, core)
+
+        return latency
+
     # ------------------------------------------------------------------
     # sync-point handling
     # ------------------------------------------------------------------
 
     def _on_sync(self, core: int, static_id: StaticSyncId) -> None:
-        self._close_epoch(core)
-        self._trackers[core].observe(static_id)
+        if self._track:
+            self._close_epoch(core)
+            self._trackers[core].observe(static_id)
         self.result.sync_points += 1
         if self.predictor is not None:
             self.predictor.on_sync(core, static_id)
@@ -437,8 +522,9 @@ class SimulationEngine:
             on_migrate(permutation)
 
     def _on_finish(self, core: int) -> None:
-        self._close_epoch(core)
-        self._trackers[core].finish()
+        if self._track:
+            self._close_epoch(core)
+            self._trackers[core].finish()
         if self.predictor is not None:
             self.predictor.on_finish(core)
 
@@ -477,8 +563,9 @@ def simulate(
     workload: Workload,
     machine: MachineConfig | None = None,
     protocol: str = "directory",
-    predictor: TargetPredictor | None = None,
+    predictor: TargetPredictor | str | None = None,
     collect_epochs: bool = False,
+    ideal_metric: bool = True,
 ) -> SimulationResult:
     """Convenience one-shot simulation."""
     return SimulationEngine(
@@ -487,4 +574,5 @@ def simulate(
         protocol=protocol,
         predictor=predictor,
         collect_epochs=collect_epochs,
+        ideal_metric=ideal_metric,
     ).run()

@@ -30,6 +30,30 @@ class EpochRecord:
     def volume(self) -> int:
         return sum(self.volume_by_target)
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload (enums by value, tuples as lists)."""
+        return {
+            "core": self.core,
+            "key": list(self.key),
+            "kind": self.kind.value,
+            "instance": self.instance,
+            "volume_by_target": list(self.volume_by_target),
+            "misses": self.misses,
+            "comm_misses": self.comm_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpochRecord":
+        return cls(
+            core=data["core"],
+            key=tuple(data["key"]),
+            kind=SyncKind(data["kind"]),
+            instance=data["instance"],
+            volume_by_target=tuple(data["volume_by_target"]),
+            misses=data["misses"],
+            comm_misses=data["comm_misses"],
+        )
+
 
 @dataclass
 class SimulationResult:
@@ -160,6 +184,92 @@ class SimulationResult:
     def prediction_bytes(self) -> int:
         by_cat = self.network.bytes_by_category
         return by_cat.get("pred_comm", 0) + by_cat.get("pred_noncomm", 0)
+
+    # ------------------------------------------------------------------
+    # serialization (cross-process transfer, disk caching, CLI dumps)
+    # ------------------------------------------------------------------
+
+    #: Plain-scalar fields that serialize verbatim.
+    _SCALAR_FIELDS = (
+        "workload", "protocol", "predictor", "num_cores", "cycles",
+        "accesses", "l1_hits", "l2_hits", "read_misses", "write_misses",
+        "upgrade_misses", "comm_misses", "offchip_misses",
+        "miss_latency_sum", "indirections", "pred_attempted",
+        "pred_on_comm", "pred_on_noncomm", "pred_correct",
+        "pred_incorrect", "ideal_correct", "actual_target_sum",
+        "predicted_target_sum", "snoop_lookups", "sync_points",
+        "dynamic_epochs",
+    )
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe payload (see :meth:`from_dict`).
+
+        Enum keys serialize by value, tuple keys as lists, and the
+        tuple-keyed ``pc_volume`` mapping as ``[core, pc, counts]``
+        triples so the payload survives ``json.dumps`` untouched.
+        """
+        data = {f: getattr(self, f) for f in self._SCALAR_FIELDS}
+        data["core_cycles"] = list(self.core_cycles)
+        data["correct_by_source"] = {
+            source.value: count
+            for source, count in self.correct_by_source.items()
+        }
+        data["network"] = {
+            "messages": self.network.messages,
+            "bytes_total": self.network.bytes_total,
+            "byte_links": self.network.byte_links,
+            "byte_routers": self.network.byte_routers,
+            "bytes_by_category": dict(self.network.bytes_by_category),
+        }
+        data["latency_histogram"] = {
+            str(bound): count
+            for bound, count in self.latency_histogram.items()
+        }
+        data["epoch_records"] = [r.to_dict() for r in self.epoch_records]
+        data["whole_run_volume"] = [list(row) for row in self.whole_run_volume]
+        data["pc_volume"] = [
+            [core, pc, list(counts)]
+            for (core, pc), counts in self.pc_volume.items()
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (exact round-trip)."""
+        result = cls(
+            workload=data["workload"],
+            protocol=data["protocol"],
+            predictor=data["predictor"],
+            num_cores=data["num_cores"],
+        )
+        for name in cls._SCALAR_FIELDS:
+            setattr(result, name, data[name])
+        result.core_cycles = list(data["core_cycles"])
+        result.correct_by_source = {
+            PredictionSource(value): count
+            for value, count in data["correct_by_source"].items()
+        }
+        net = data["network"]
+        result.network = NetworkStats(
+            messages=net["messages"],
+            bytes_total=net["bytes_total"],
+            byte_links=net["byte_links"],
+            byte_routers=net["byte_routers"],
+            bytes_by_category=dict(net["bytes_by_category"]),
+        )
+        result.latency_histogram = {
+            int(bound): count
+            for bound, count in data["latency_histogram"].items()
+        }
+        result.epoch_records = [
+            EpochRecord.from_dict(r) for r in data["epoch_records"]
+        ]
+        result.whole_run_volume = [list(row) for row in data["whole_run_volume"]]
+        result.pc_volume = {
+            (core, pc): list(counts)
+            for core, pc, counts in data["pc_volume"]
+        }
+        return result
 
     def summary(self) -> dict:
         """A compact dict for tables and logs."""

@@ -1,5 +1,8 @@
 """Tests for result metrics."""
 
+import json
+
+from repro.noc.network import NetworkStats
 from repro.predictors.base import PredictionSource
 from repro.sim.results import EpochRecord, SimulationResult
 from repro.sync.points import SyncKind
@@ -65,3 +68,97 @@ class TestEpochRecord:
             volume_by_target=(0, 3, 2, 0), misses=7, comm_misses=5,
         )
         assert rec.volume == 5
+
+    def test_round_trip(self):
+        rec = EpochRecord(
+            core=2, key=(17, 3), kind=SyncKind.LOCK, instance=4,
+            volume_by_target=(1, 0, 0, 6), misses=9, comm_misses=7,
+        )
+        payload = json.loads(json.dumps(rec.to_dict()))
+        restored = EpochRecord.from_dict(payload)
+        assert restored == rec
+        assert restored.kind is SyncKind.LOCK
+        assert isinstance(restored.key, tuple)
+        assert isinstance(restored.volume_by_target, tuple)
+
+
+def make_full_result() -> SimulationResult:
+    """A synthetic result exercising every non-scalar field."""
+    r = make_result(
+        cycles=1234,
+        core_cycles=[1234, 1200, 1100, 900],
+        accesses=500, l1_hits=300, l2_hits=100,
+        read_misses=60, write_misses=30, upgrade_misses=10,
+        comm_misses=40, offchip_misses=20,
+        miss_latency_sum=9000, indirections=12,
+        pred_attempted=35, pred_on_comm=30, pred_on_noncomm=5,
+        pred_correct=25, pred_incorrect=10,
+        correct_by_source={
+            PredictionSource.HISTORY: 20,
+            PredictionSource.LOCK: 5,
+        },
+        ideal_correct=33,
+        actual_target_sum=55, predicted_target_sum=70,
+        snoop_lookups=17, sync_points=8, dynamic_epochs=6,
+        latency_histogram={16: 5, 64: 30, 256: 40, 1 << 30: 25},
+        epoch_records=[
+            EpochRecord(
+                core=0, key=("pc", 1), kind=SyncKind.BARRIER, instance=0,
+                volume_by_target=(0, 3, 2, 0), misses=7, comm_misses=5,
+            ),
+            EpochRecord(
+                core=1, key=(42, 0), kind=SyncKind.UNLOCK, instance=2,
+                volume_by_target=(4, 0, 1, 0), misses=6, comm_misses=5,
+            ),
+        ],
+        whole_run_volume=[[0, 1, 2, 3], [4, 0, 5, 6], [0] * 4, [7, 8, 9, 0]],
+        pc_volume={(0, 101): [0, 2, 1, 0], (3, 202): [5, 0, 0, 1]},
+    )
+    r.network = NetworkStats(
+        messages=400, bytes_total=8000, byte_links=16000, byte_routers=24000,
+        bytes_by_category={"req": 3000, "data": 4000, "pred_comm": 1000},
+    )
+    return r
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        original = make_full_result()
+        restored = SimulationResult.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_survives_json_encoding(self):
+        # The disk cache and the pool workers both push the payload
+        # through json; tuple/enum keys must come back intact.
+        original = make_full_result()
+        payload = json.loads(json.dumps(original.to_dict()))
+        restored = SimulationResult.from_dict(payload)
+        assert restored == original
+        assert set(restored.pc_volume) == {(0, 101), (3, 202)}
+        assert restored.latency_histogram[1 << 30] == 25
+        assert restored.correct_by_source[PredictionSource.HISTORY] == 20
+        assert restored.epoch_records[1].kind is SyncKind.UNLOCK
+
+    def test_derived_metrics_survive(self):
+        restored = SimulationResult.from_dict(make_full_result().to_dict())
+        original = make_full_result()
+        assert restored.misses == original.misses
+        assert restored.comm_ratio == original.comm_ratio
+        assert restored.accuracy == original.accuracy
+        assert restored.latency_percentile(0.5) == original.latency_percentile(0.5)
+        assert restored.bytes_per_miss() == original.bytes_per_miss()
+        assert restored.prediction_bytes() == original.prediction_bytes()
+
+    def test_empty_result_round_trips(self):
+        original = make_result()
+        assert SimulationResult.from_dict(original.to_dict()) == original
+
+    def test_real_run_round_trips(self, stable_workload, small_machine):
+        from repro.sim.engine import simulate
+
+        original = simulate(
+            stable_workload, machine=small_machine, predictor="SP",
+            collect_epochs=True,
+        )
+        payload = json.loads(json.dumps(original.to_dict()))
+        assert SimulationResult.from_dict(payload) == original

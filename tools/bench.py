@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Benchmark the sweep runner and the simulation hot path.
+
+Times three things and writes them to ``BENCH_sweep.json`` so the
+repository's performance trajectory is tracked from run to run:
+
+* a canonical multi-workload sweep, serially in one process (the seed
+  baseline's execution model: no pool, no persistent cache);
+* the same sweep through the parallel runner, cold (fresh disk cache)
+  and warm (second invocation over the populated cache — this is what a
+  repeat ``python -m repro.experiments`` costs);
+* one hot single run (bodytrack / directory / SP), with the full
+  engine-side epoch bookkeeping and with the fast path
+  (``ideal_metric=False``).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                  # full bench
+    PYTHONPATH=src python tools/bench.py --scale 0.2      # quicker
+    PYTHONPATH=src python tools/bench.py --smoke          # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.common import RunCache  # noqa: E402
+from repro.runner import DiskCache, resolve_jobs  # noqa: E402
+from repro.sim.engine import SimulationEngine  # noqa: E402
+from repro.sim.machine import MachineConfig  # noqa: E402
+from repro.workloads.suite import load_benchmark  # noqa: E402
+
+#: The canonical sweep: enough configurations that pool dispatch and
+#: cache round-trips dominate scheduling noise, small enough to finish
+#: in minutes at the default scale.
+SWEEP_WORKLOADS = ("bodytrack", "x264", "lu", "streamcluster")
+SWEEP_CONFIGS = (
+    {"protocol": "directory", "predictor": "none"},
+    {"protocol": "directory", "predictor": "SP"},
+    {"protocol": "broadcast", "predictor": "none"},
+)
+
+SMOKE_WORKLOADS = ("x264", "lu")
+
+#: Wall-clock of the identical single run (bodytrack, scale 0.5,
+#: directory protocol, SP predictor, full bookkeeping) measured at the
+#: seed revision (913f5ac) on this host, before the engine hot-path
+#: rework.  Kept as the fixed reference the speedup is reported
+#: against; only meaningful at the default scale.
+SEED_SINGLE_RUN_S = 2.122
+
+
+def sweep_grid(workloads) -> list:
+    return [
+        {"name": name, **config}
+        for name in workloads
+        for config in SWEEP_CONFIGS
+    ]
+
+
+def time_sweep(grid, scale, jobs, disk) -> float:
+    cache = RunCache(scale=scale, jobs=jobs, disk_cache=disk)
+    start = time.perf_counter()
+    cache.prefetch(grid)
+    return time.perf_counter() - start
+
+
+def time_single_run(scale, ideal_metric) -> float:
+    workload = load_benchmark("bodytrack", scale=scale)
+    machine = MachineConfig()
+    engine = SimulationEngine(
+        workload, machine=machine, protocol="directory", predictor="SP",
+        ideal_metric=ideal_metric,
+    )
+    start = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel sweep worker count (default: REPRO_JOBS or CPUs)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sweep.json", help="result file path"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI configuration: scale 0.05, 2 workloads, 2 jobs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = float(os.environ.get("REPRO_SCALE", "0.05"))
+        workloads = SMOKE_WORKLOADS
+        jobs = args.jobs or 2
+    else:
+        scale = args.scale
+        workloads = SWEEP_WORKLOADS
+        jobs = resolve_jobs(args.jobs)
+    grid = sweep_grid(workloads)
+
+    print(f"# sweep: {len(grid)} configurations at scale {scale}, "
+          f"{jobs} jobs")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        disk = DiskCache(Path(tmp) / "runs")
+
+        print("serial baseline (1 process, no persistent cache) ...")
+        serial_s = time_sweep(grid, scale, jobs=1, disk=False)
+        print(f"  {serial_s:.2f}s")
+
+        print(f"parallel cold ({jobs} jobs, fresh cache) ...")
+        parallel_cold_s = time_sweep(grid, scale, jobs=jobs, disk=disk)
+        print(f"  {parallel_cold_s:.2f}s")
+
+        print("parallel warm (new process-equivalent, populated cache) ...")
+        warm_s = time_sweep(grid, scale, jobs=jobs, disk=DiskCache(disk.root))
+        print(f"  {warm_s:.2f}s")
+
+    reps = 1 if args.smoke else 3
+    print("single hot run (bodytrack / SP, full bookkeeping) ...")
+    single_s = min(time_single_run(scale, True) for _ in range(reps))
+    print(f"  {single_s:.2f}s")
+    print("single hot run (fast path, ideal_metric off) ...")
+    single_fast_s = min(time_single_run(scale, False) for _ in range(reps))
+    print(f"  {single_fast_s:.2f}s")
+
+    payload = {
+        "scale": scale,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+        "sweep": {
+            "serial_cold_s": round(serial_s, 3),
+            "parallel_cold_s": round(parallel_cold_s, 3),
+            "parallel_warm_s": round(warm_s, 3),
+            "speedup_parallel_cold": round(serial_s / parallel_cold_s, 2)
+            if parallel_cold_s else None,
+            "speedup_parallel_warm": round(serial_s / warm_s, 2)
+            if warm_s else None,
+        },
+        "single_run": {
+            "workload": "bodytrack",
+            "predictor": "SP",
+            "full_s": round(single_s, 3),
+            "fast_path_s": round(single_fast_s, 3),
+            "fast_path_speedup": round(single_s / single_fast_s, 2)
+            if single_fast_s else None,
+        },
+    }
+    if scale == 0.5 and not args.smoke:
+        payload["single_run"]["seed_full_s"] = SEED_SINGLE_RUN_S
+        payload["single_run"]["speedup_vs_seed"] = round(
+            SEED_SINGLE_RUN_S / single_s, 2
+        )
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
