@@ -143,5 +143,13 @@ class Cache:
         """All resident block addresses (test/diagnostic helper)."""
         return [line.block for bucket in self._sets for line in bucket]
 
+    def resident_lines(self) -> list:
+        """All resident ``(block, state)`` pairs (state-snapshot helper)."""
+        return [
+            (line.block, line.state)
+            for bucket in self._sets
+            for line in bucket
+        ]
+
     def occupancy(self) -> int:
         return sum(len(bucket) for bucket in self._sets)

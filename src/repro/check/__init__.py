@@ -1,0 +1,59 @@
+"""Differential correctness harness.
+
+Three entry points, also exposed as ``python -m repro check ...``:
+
+* :func:`repro.check.differential.run_differential` — replay workloads
+  through every protocol backend x predictor kind under a deterministic
+  lockstep schedule and assert exact functional agreement;
+* :func:`repro.check.fuzz.run_fuzz` — seeded randomized trace fuzzing
+  biased toward nasty interleavings, with automatic shrinking of
+  failures to minimal replayable ``.json`` cases;
+* :func:`repro.check.case.replay_case` — re-run a saved case file.
+"""
+
+from repro.check.case import load_case, replay_case, save_case
+from repro.check.differential import (
+    DiffReport,
+    Divergence,
+    check_workload,
+    compare_summaries,
+    run_differential,
+)
+from repro.check.fuzz import (
+    CaseFailure,
+    FuzzReport,
+    run_case,
+    run_fuzz,
+)
+from repro.check.lockstep import (
+    FunctionalSummary,
+    LockstepRunner,
+    TraceError,
+    TxRecord,
+    machine_for_cores,
+    run_lockstep,
+)
+
+from repro.check.shrink import shrink_case
+
+__all__ = [
+    "CaseFailure",
+    "DiffReport",
+    "Divergence",
+    "FunctionalSummary",
+    "FuzzReport",
+    "LockstepRunner",
+    "TraceError",
+    "TxRecord",
+    "check_workload",
+    "compare_summaries",
+    "load_case",
+    "machine_for_cores",
+    "replay_case",
+    "run_case",
+    "run_differential",
+    "run_fuzz",
+    "run_lockstep",
+    "save_case",
+    "shrink_case",
+]

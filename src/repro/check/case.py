@@ -1,0 +1,166 @@
+"""Replayable fuzz-case files.
+
+A case file is a self-contained JSON document: the (shrunk) trace, the
+migration schedule, the protocol/predictor grid that failed, and the
+observed failure — everything needed to re-run the exact check on any
+machine with ``python -m repro check replay CASE.json``.
+
+Events serialize as compact arrays mirroring the text trace format:
+``["r", addr, pc]``, ``["w", addr, pc]``, ``["t", cycles]``, and
+``["s", kind, pc, lock_addr_or_null]`` with ``kind`` a
+:class:`~repro.sync.points.SyncKind` value string.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import (
+    OP_READ,
+    OP_SYNC,
+    OP_THINK,
+    OP_WRITE,
+    Workload,
+)
+
+CASE_FORMAT = "repro-check-case"
+CASE_VERSION = 1
+
+
+def _encode_event(ev) -> list:
+    op = ev[0]
+    if op == OP_READ:
+        return ["r", ev[1], ev[2]]
+    if op == OP_WRITE:
+        return ["w", ev[1], ev[2]]
+    if op == OP_THINK:
+        return ["t", ev[1]]
+    if op == OP_SYNC:
+        return ["s", ev[1].value, ev[2], ev[3]]
+    raise ValueError(f"unknown event op {op!r}")
+
+
+def _decode_event(item) -> tuple:
+    tag = item[0]
+    if tag == "r":
+        return (OP_READ, item[1], item[2])
+    if tag == "w":
+        return (OP_WRITE, item[1], item[2])
+    if tag == "t":
+        return (OP_THINK, item[1])
+    if tag == "s":
+        return (OP_SYNC, SyncKind(item[1]), item[2], item[3])
+    raise ValueError(f"unknown event tag {tag!r}")
+
+
+def case_to_dict(
+    workload: Workload,
+    migrations: dict | None = None,
+    seed: int | None = None,
+    failure=None,
+    protocols=None,
+    predictors=None,
+) -> dict:
+    doc = {
+        "format": CASE_FORMAT,
+        "version": CASE_VERSION,
+        "name": workload.name,
+        "num_cores": workload.num_cores,
+        "seed": seed,
+        "events": [
+            [_encode_event(ev) for ev in workload.stream(core)]
+            for core in range(workload.num_cores)
+        ],
+        # JSON keys are strings; decode restores int barrier indexes.
+        "migrations": {
+            str(idx): list(perm) for idx, perm in (migrations or {}).items()
+        },
+    }
+    if protocols is not None:
+        doc["protocols"] = list(protocols)
+    if predictors is not None:
+        doc["predictors"] = list(predictors)
+    if failure is not None:
+        doc["failure"] = failure.to_dict()
+    return doc
+
+
+def case_from_dict(doc: dict):
+    """Returns ``(workload, migrations, doc)``."""
+    if doc.get("format") != CASE_FORMAT:
+        raise ValueError("not a repro check case file")
+    if doc.get("version") != CASE_VERSION:
+        raise ValueError(
+            f"unsupported case version {doc.get('version')!r}"
+        )
+    workload = Workload(
+        name=doc.get("name", "case"),
+        num_cores=doc["num_cores"],
+        events=[
+            [_decode_event(item) for item in stream]
+            for stream in doc["events"]
+        ],
+    )
+    migrations = {
+        int(idx): tuple(perm)
+        for idx, perm in doc.get("migrations", {}).items()
+    }
+    return workload, migrations, doc
+
+
+def save_case(
+    out_dir,
+    workload: Workload,
+    migrations: dict | None = None,
+    seed: int | None = None,
+    failure=None,
+    protocols=None,
+    predictors=None,
+) -> Path:
+    """Write a case file; returns its path (``case-<seed>.json``)."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"case-{seed}" if seed is not None else f"case-{workload.name}"
+    path = out / f"{stem}.json"
+    doc = case_to_dict(
+        workload,
+        migrations=migrations,
+        seed=seed,
+        failure=failure,
+        protocols=protocols,
+        predictors=predictors,
+    )
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return path
+
+
+def load_case(path):
+    """Returns ``(workload, migrations, doc)`` from a case file."""
+    doc = json.loads(Path(path).read_text())
+    return case_from_dict(doc)
+
+
+def replay_case(path, protocols=None, predictors=None):
+    """Re-run a saved case; returns the :class:`CaseFailure` or None.
+
+    The grid defaults to the one recorded in the file, so a replay
+    reproduces the exact failing check.
+    """
+    from repro.check.fuzz import (
+        CASE_PREDICTORS,
+        CASE_PROTOCOLS,
+        run_case,
+    )
+
+    workload, migrations, doc = load_case(path)
+    protocols = tuple(
+        protocols or doc.get("protocols") or CASE_PROTOCOLS
+    )
+    predictors = tuple(
+        predictors or doc.get("predictors") or CASE_PREDICTORS
+    )
+    return run_case(
+        workload, migrations, protocols=protocols, predictors=predictors
+    )

@@ -1,0 +1,272 @@
+"""Differential equivalence checking across protocol backends.
+
+The evaluation's core assumption is that the directory, broadcast,
+multicast, and limited-pointer backends (and every predictor riding on
+them) compute the *same coherence semantics* and differ only in timing
+and traffic.  This module asserts that property directly: it replays one
+workload through every (protocol, predictor) grid cell under the
+deterministic lockstep schedule and demands exact agreement on
+
+* per-core miss/communication classification counters,
+* the full functional transaction sequence (kind, block, communicating,
+  off-chip, minimal target set, invalidation set, responder per miss),
+* final cache contents and directory stable state,
+
+reporting the first diverging transaction with surrounding context when
+a cell disagrees with the reference cell (directory protocol, no
+predictor).  Sanitizer violations recorded in any cell are failures too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.check.lockstep import FunctionalSummary, LockstepRunner
+from repro.coherence import PROTOCOL_NAMES
+from repro.predictors.factory import PREDICTOR_KINDS
+from repro.sim.machine import MachineConfig
+from repro.workloads.base import Workload
+
+#: Context transactions shown on each side of the first divergence.
+_CONTEXT = 3
+
+#: Default grid of the full check (the acceptance configuration).
+FULL_PROTOCOLS = PROTOCOL_NAMES
+FULL_PREDICTORS = PREDICTOR_KINDS
+
+#: Reduced grid for ``--quick`` / CI: all four backends, three predictor
+#: kinds that exercise distinct paths (no prediction, the SP predictor,
+#: and the oracle, which always predicts sufficient sets).
+QUICK_PREDICTORS = ("none", "SP", "ORACLE")
+QUICK_WORKLOADS = ("x264", "lu", "radiosity", "streamcluster")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One grid cell whose functional behavior broke from the reference."""
+
+    workload: str
+    protocol: str
+    predictor: str
+    ref_protocol: str
+    ref_predictor: str
+    field_name: str
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload}: {self.protocol}/{self.predictor} diverged "
+            f"from {self.ref_protocol}/{self.ref_predictor} in "
+            f"{self.field_name}:\n{self.detail}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Outcome of a differential sweep over workloads x protocols x
+    predictors."""
+
+    workloads: tuple
+    protocols: tuple
+    predictors: tuple
+    scale: float
+    cells: int = 0
+    transactions: int = 0
+    divergences: list = field(default_factory=list)
+    violations: list = field(default_factory=list)  # (cell desc, record)
+    elapsed: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences and not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "workloads": list(self.workloads),
+            "protocols": list(self.protocols),
+            "predictors": list(self.predictors),
+            "scale": self.scale,
+            "cells": self.cells,
+            "transactions": self.transactions,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "divergences": [d.describe() for d in self.divergences],
+            "violations": [
+                {"cell": cell, **record.to_dict()}
+                for cell, record in self.violations
+            ],
+        }
+
+
+def compare_summaries(
+    ref: FunctionalSummary, other: FunctionalSummary
+) -> tuple | None:
+    """First functional disagreement between two runs, or None.
+
+    Returns ``(field_name, detail)``; the transaction log is compared
+    first because its first diverging record is the most actionable
+    context (counters and final state only narrow *that* something
+    differs, not *where*).
+    """
+    tx_diff = _first_tx_divergence(ref, other)
+    if tx_diff is not None:
+        return tx_diff
+
+    for core in range(ref.num_cores):
+        if ref.per_core[core] != other.per_core[core]:
+            return (
+                "per_core_counters",
+                f"core {core}: reference {ref.per_core[core]} != "
+                f"candidate {other.per_core[core]}",
+            )
+
+    for core in range(ref.num_cores):
+        if ref.caches[core] != other.caches[core]:
+            detail = _dict_diff(ref.caches[core], other.caches[core])
+            return ("final_cache_state", f"core {core}: {detail}")
+
+    if ref.directory != other.directory:
+        return ("final_directory_state",
+                _dict_diff(ref.directory, other.directory))
+
+    return None
+
+
+def _first_tx_divergence(ref, other) -> tuple | None:
+    ref_log, other_log = ref.tx_log, other.tx_log
+    limit = min(len(ref_log), len(other_log))
+    for i in range(limit):
+        if ref_log[i].functional_key() != other_log[i].functional_key():
+            return ("transaction", _tx_context(ref_log, other_log, i))
+    if len(ref_log) != len(other_log):
+        i = limit
+        return (
+            "transaction_count",
+            f"reference ran {len(ref_log)} transactions, candidate "
+            f"{len(other_log)}; first unmatched:\n"
+            + _tx_context(ref_log, other_log, i)
+        )
+    return None
+
+
+def _tx_context(ref_log, other_log, i: int) -> str:
+    lines = []
+    start = max(0, i - _CONTEXT)
+    for j in range(start, i):
+        lines.append(f"  ...    {ref_log[j].describe()}")
+    ref_desc = ref_log[i].describe() if i < len(ref_log) else "(log ended)"
+    other_desc = (
+        other_log[i].describe() if i < len(other_log) else "(log ended)"
+    )
+    lines.append(f"  ref    {ref_desc}")
+    lines.append(f"  cand   {other_desc}")
+    for j in range(i + 1, min(len(ref_log), i + 1 + _CONTEXT)):
+        lines.append(f"  ref+   {ref_log[j].describe()}")
+    return "\n".join(lines)
+
+
+def _dict_diff(ref: dict, other: dict, limit: int = 5) -> str:
+    """Human-readable first differences between two dict snapshots."""
+    diffs = []
+    for key in sorted(set(ref) | set(other), key=repr):
+        rv, ov = ref.get(key), other.get(key)
+        if rv != ov:
+            diffs.append(f"{key!r}: reference {rv!r} != candidate {ov!r}")
+            if len(diffs) >= limit:
+                diffs.append("...")
+                break
+    return "; ".join(diffs) or "(no field-level diff found)"
+
+
+def check_workload(
+    workload: Workload,
+    protocols=FULL_PROTOCOLS,
+    predictors=("none",),
+    machine: MachineConfig | None = None,
+    sanitize: bool = True,
+    report: DiffReport | None = None,
+) -> list:
+    """Differential-check one workload over a protocol x predictor grid.
+
+    Every cell is compared against the first cell
+    (``protocols[0]``/``predictors[0]``).  Returns the divergences found
+    (also appended to ``report`` when given, together with sanitizer
+    violations and cell counts).
+    """
+    divergences = []
+    ref = None
+    for protocol in protocols:
+        for predictor in predictors:
+            summary = LockstepRunner(
+                workload,
+                protocol=protocol,
+                predictor=predictor,
+                machine=machine,
+                sanitize=sanitize,
+            ).run()
+            if report is not None:
+                report.cells += 1
+                report.transactions += summary.transactions
+                for record in summary.violations:
+                    report.violations.append((
+                        f"{workload.name}: {protocol}/{predictor}", record
+                    ))
+            if ref is None:
+                ref = summary
+                continue
+            mismatch = compare_summaries(ref, summary)
+            if mismatch is not None:
+                field_name, detail = mismatch
+                divergences.append(Divergence(
+                    workload=workload.name,
+                    protocol=protocol,
+                    predictor=predictor,
+                    ref_protocol=ref.protocol,
+                    ref_predictor=ref.predictor,
+                    field_name=field_name,
+                    detail=detail,
+                ))
+    if report is not None:
+        report.divergences.extend(divergences)
+    return divergences
+
+
+def run_differential(
+    workloads=None,
+    protocols=FULL_PROTOCOLS,
+    predictors=FULL_PREDICTORS,
+    scale: float = 0.05,
+    seed: int | None = None,
+    machine: MachineConfig | None = None,
+    verbose: bool = False,
+) -> DiffReport:
+    """The full differential sweep: suite workloads x protocols x
+    predictors, each cell checked against the reference cell."""
+    from repro.workloads.suite import benchmark_names, load_benchmark
+
+    names = tuple(workloads) if workloads else tuple(benchmark_names())
+    report = DiffReport(
+        workloads=names,
+        protocols=tuple(protocols),
+        predictors=tuple(predictors),
+        scale=scale,
+    )
+    start = time.perf_counter()
+    for name in names:
+        workload = load_benchmark(name, scale=scale, seed=seed)
+        before = len(report.divergences) + len(report.violations)
+        check_workload(
+            workload,
+            protocols=protocols,
+            predictors=predictors,
+            machine=machine,
+            report=report,
+        )
+        if verbose:
+            issues = len(report.divergences) + len(report.violations) - before
+            status = "ok" if issues == 0 else f"{issues} ISSUE(S)"
+            print(f"  diff {name:15s} "
+                  f"{len(protocols) * len(predictors)} cells: {status}")
+    report.elapsed = time.perf_counter() - start
+    return report

@@ -1,0 +1,244 @@
+"""Trace fuzzing: seeded adversarial workloads through the full check.
+
+``run_fuzz`` generates randomized traces (:mod:`repro.workloads.fuzz`),
+runs each through the differential grid with the sanitizer armed
+(:func:`run_case`), and — when a case fails — shrinks it to a minimal
+reproducer (:mod:`repro.check.shrink`) written to disk as a replayable
+``.json`` file (:mod:`repro.check.case`).
+
+Everything is keyed off one integer seed: case ``i`` of a batch uses
+seed ``base_seed + i``, generation is ``random.Random``-driven, the
+lockstep schedule is deterministic, and the shrinker is greedy-first —
+so a failing CI batch reproduces exactly with the printed seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.cache.cache import CacheConfig
+from repro.check.differential import compare_summaries
+from repro.check.lockstep import (
+    LockstepRunner,
+    TraceError,
+    machine_for_cores,
+)
+from repro.sim.machine import MachineConfig
+from repro.workloads.base import Workload
+from repro.workloads.fuzz import FuzzConfig, generate_fuzz_case, well_formed
+
+#: Grid a fuzz case runs against.  Narrower than the full differential
+#: sweep (fuzz wins by trying many traces, not many predictors): all
+#: four backends, unpredicted and SP-predicted.
+CASE_PROTOCOLS = ("directory", "broadcast", "multicast", "limited")
+CASE_PREDICTORS = ("none", "SP")
+
+
+def fuzz_machine(num_cores: int) -> MachineConfig:
+    """Deliberately tiny caches so capacity evictions are routine."""
+    base = machine_for_cores(num_cores)
+    return replace(
+        base,
+        l1=CacheConfig(size=256, assoc=1, line_size=64),
+        l2=CacheConfig(size=2048, assoc=2, line_size=64),
+    )
+
+
+@dataclass(frozen=True)
+class CaseFailure:
+    """Why one fuzz case failed.
+
+    ``kind`` is ``"sanitizer"`` (a coherence invariant broke),
+    ``"divergence"`` (two backends disagreed functionally), or
+    ``"crash"`` (a backend raised mid-transaction).
+    """
+
+    kind: str
+    cell: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.kind}] {self.cell}: {self.detail}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "cell": self.cell, "detail": self.detail}
+
+
+def run_case(
+    workload: Workload,
+    migrations: dict | None = None,
+    protocols=CASE_PROTOCOLS,
+    predictors=CASE_PREDICTORS,
+    machine: MachineConfig | None = None,
+) -> CaseFailure | None:
+    """Run one trace through the grid; first failure or None.
+
+    :class:`TraceError` (an unrunnable trace) propagates — that is a
+    workload problem, not a protocol bug, and the shrinker uses the
+    distinction to reject invalid candidates.
+    """
+    machine = machine or fuzz_machine(workload.num_cores)
+    ref = None
+    for protocol in protocols:
+        for predictor in predictors:
+            cell = f"{protocol}/{predictor}"
+            runner = LockstepRunner(
+                workload,
+                protocol=protocol,
+                predictor=predictor,
+                machine=machine,
+                migrations=migrations,
+                sanitize=True,
+            )
+            try:
+                summary = runner.run()
+            except TraceError:
+                raise
+            except Exception as exc:  # a protocol bug may surface anywhere
+                return CaseFailure(
+                    kind="crash",
+                    cell=cell,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            if summary.violations:
+                first = summary.violations[0]
+                return CaseFailure(
+                    kind="sanitizer", cell=cell, detail=first.message
+                )
+            if ref is None:
+                ref = summary
+            else:
+                mismatch = compare_summaries(ref, summary)
+                if mismatch is not None:
+                    field_name, detail = mismatch
+                    return CaseFailure(
+                        kind="divergence",
+                        cell=f"{cell} vs {ref.protocol}/{ref.predictor}",
+                        detail=f"{field_name}:\n{detail}",
+                    )
+    return None
+
+
+@dataclass
+class FuzzFailure:
+    """One failing fuzz case, before and after shrinking."""
+
+    seed: int
+    failure: CaseFailure
+    original_events: int
+    shrunk_events: int
+    case_path: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz batch."""
+
+    base_seed: int
+    cases: int
+    failures: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "base_seed": self.base_seed,
+            "cases": self.cases,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "failures": [
+                {
+                    "seed": f.seed,
+                    "failure": f.failure.to_dict(),
+                    "original_events": f.original_events,
+                    "shrunk_events": f.shrunk_events,
+                    "case_path": f.case_path,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+def run_fuzz(
+    seed: int = 0,
+    cases: int = 20,
+    config: FuzzConfig | None = None,
+    protocols=CASE_PROTOCOLS,
+    predictors=CASE_PREDICTORS,
+    out_dir: str | None = None,
+    shrink: bool = True,
+    verbose: bool = False,
+) -> FuzzReport:
+    """Fuzz ``cases`` seeded traces; shrink and save any failures."""
+    from repro.check.case import save_case
+    from repro.check.shrink import shrink_case
+
+    cfg = config or FuzzConfig()
+    machine = fuzz_machine(cfg.num_cores)
+    report = FuzzReport(base_seed=seed, cases=cases)
+    start = time.perf_counter()
+
+    for i in range(cases):
+        case_seed = seed + i
+        fc = generate_fuzz_case(case_seed, cfg)
+        if not well_formed(fc.workload):
+            raise AssertionError(
+                f"fuzz generator produced an ill-formed trace (seed "
+                f"{case_seed}) — generator bug"
+            )
+        failure = run_case(
+            fc.workload, fc.migrations,
+            protocols=protocols, predictors=predictors, machine=machine,
+        )
+        if failure is None:
+            if verbose:
+                print(f"  fuzz seed {case_seed}: "
+                      f"{fc.workload.total_events()} events ok")
+            continue
+
+        original_events = fc.workload.total_events()
+        shrunk = fc.workload
+        if shrink:
+            def still_fails(candidate: Workload) -> bool:
+                if not well_formed(candidate):
+                    return False
+                try:
+                    return run_case(
+                        candidate, fc.migrations,
+                        protocols=protocols, predictors=predictors,
+                        machine=machine,
+                    ) is not None
+                except TraceError:
+                    return False
+
+            shrunk = shrink_case(fc.workload, still_fails)
+
+        record = FuzzFailure(
+            seed=case_seed,
+            failure=failure,
+            original_events=original_events,
+            shrunk_events=shrunk.total_events(),
+        )
+        if out_dir is not None:
+            record.case_path = str(save_case(
+                out_dir,
+                workload=shrunk,
+                migrations=fc.migrations,
+                seed=case_seed,
+                failure=failure,
+                protocols=protocols,
+                predictors=predictors,
+            ))
+        report.failures.append(record)
+        if verbose:
+            print(f"  fuzz seed {case_seed}: FAILED "
+                  f"({failure.kind} in {failure.cell}); shrunk "
+                  f"{original_events} -> {shrunk.total_events()} events"
+                  + (f" -> {record.case_path}" if record.case_path else ""))
+
+    report.elapsed = time.perf_counter() - start
+    return report

@@ -1,0 +1,455 @@
+"""Deterministic lockstep functional execution of a workload trace.
+
+The differential checker needs to run *the same interleaving* through
+every protocol backend: the timing engine's interleaving depends on the
+protocol's latencies (lock grant order follows the modelled clocks), so
+timing-driven runs of two protocols are not comparable
+transaction-by-transaction.  The :class:`LockstepRunner` removes timing
+from the picture: cores advance round-robin in core order, locks grant
+FIFO in arrival order, and barriers release when every unfinished core
+has arrived — all fully deterministic and identical for every backend.
+
+Under a fixed interleaving, everything *functional* — hit/miss
+classification, communication classification, minimal target sets,
+invalidation sets, fill/eviction sequences, final cache and directory
+state — is determined by the coherence semantics alone.  Two backends
+that implement the same semantics must therefore agree exactly, which is
+the property :mod:`repro.check.differential` asserts.
+
+The runner mirrors the engine's sync semantics (barrier-pc consistency,
+FIFO lock queues, early-finisher barrier release, migration callbacks)
+but spends no effort on clocks, quanta, or the NoC critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
+from repro.coherence import make_directory, make_protocol
+from repro.coherence.limited import LimitedPointerDirectory
+from repro.coherence.protocol import MissKind
+from repro.coherence.states import Mesif
+from repro.coherence.verify import CoherenceVerifier
+from repro.noc.network import Network
+from repro.predictors.factory import make_predictor
+from repro.sim.machine import MachineConfig
+from repro.sync.points import StaticSyncId, SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+
+#: Events one core executes per scheduling turn.  1 maximizes cross-core
+#: interleaving (every event is a potential race window); the value is
+#: part of the deterministic schedule, so all backends must use the same.
+_TURN_EVENTS = 1
+
+
+class TraceError(RuntimeError):
+    """The trace itself is unrunnable (mismatched barriers, bad unlock,
+    deadlock) — a workload problem, not a protocol bug."""
+
+
+@dataclass(frozen=True)
+class TxRecord:
+    """Functional outcome of one coherence transaction.
+
+    Deliberately excludes latency, traffic, prediction verdicts and
+    anything else a backend may legitimately differ on; two backends
+    implementing the same coherence semantics must produce identical
+    sequences of these records under the lockstep schedule.
+    """
+
+    index: int
+    core: int
+    kind: str            # "read" | "write" | "upgrade"
+    block: int
+    communicating: bool
+    off_chip: bool
+    minimal: tuple       # sorted minimal sufficient target set
+    invalidated: tuple   # sorted cores whose copies were dropped
+    responder: int | None
+
+    def functional_key(self) -> tuple:
+        return (
+            self.core, self.kind, self.block, self.communicating,
+            self.off_chip, self.minimal, self.invalidated, self.responder,
+        )
+
+    def describe(self) -> str:
+        pred = ", ".join(str(c) for c in self.minimal) or "-"
+        inv = ", ".join(str(c) for c in self.invalidated) or "-"
+        resp = self.responder if self.responder is not None else "-"
+        return (
+            f"#{self.index}: core {self.core} {self.kind} block "
+            f"{self.block:#x} comm={self.communicating} "
+            f"off_chip={self.off_chip} minimal=[{pred}] "
+            f"invalidated=[{inv}] responder={resp}"
+        )
+
+
+@dataclass
+class FunctionalSummary:
+    """Everything a lockstep run produces that semantics determine.
+
+    ``per_core`` rows carry the classification counters the paper's
+    figures are built from (reads/writes/upgrades, communicating and
+    off-chip misses, L1/L2 hits); ``caches`` and ``directory`` are the
+    final stable-state snapshots; ``tx_log`` is the full functional
+    transaction sequence used to pinpoint the first divergence.
+    """
+
+    workload: str
+    protocol: str
+    predictor: str
+    num_cores: int
+    per_core: list = field(default_factory=list)
+    caches: list = field(default_factory=list)       # core -> {block: state}
+    directory: dict = field(default_factory=dict)    # block -> summary
+    tx_log: list = field(default_factory=list)
+    violations: list = field(default_factory=list)   # ViolationRecords
+    sync_points: int = 0
+    directory_precision: dict | None = None
+
+    @property
+    def transactions(self) -> int:
+        return len(self.tx_log)
+
+    def counters(self) -> dict:
+        """Aggregate classification counters (order-independent view)."""
+        total = {
+            k: sum(row[k] for row in self.per_core)
+            for k in (
+                "reads", "writes", "upgrades", "comm", "offchip",
+                "l1_hits", "l2_hits",
+            )
+        }
+        total["transactions"] = self.transactions
+        return total
+
+
+_PER_CORE_KEYS = (
+    "reads", "writes", "upgrades", "comm", "offchip", "l1_hits", "l2_hits"
+)
+
+
+def machine_for_cores(num_cores: int, small: bool = True) -> MachineConfig:
+    """A machine whose mesh holds ``num_cores`` tiles (check-sized caches).
+
+    Small caches are the default here: capacity evictions are where
+    directory bookkeeping bugs hide, so the checker wants them frequent.
+    """
+    dims = {1: (1, 1), 2: (2, 1), 4: (2, 2), 8: (4, 2), 16: (4, 4)}
+    if num_cores not in dims:
+        raise ValueError(f"no mesh shape for {num_cores} cores")
+    width, height = dims[num_cores]
+    base = MachineConfig.small() if small else MachineConfig()
+    from dataclasses import replace
+
+    return replace(base, mesh_width=width, mesh_height=height)
+
+
+class LockstepRunner:
+    """One functional run: a workload through one backend, lockstep order.
+
+    ``protocol`` is any of :data:`repro.coherence.PROTOCOL_NAMES`
+    (``"limited"`` selects the directory protocol over a limited-pointer
+    directory).  ``predictor`` is a predictor kind name; predictions ride
+    along exactly as in the timing engine, which is how the checker
+    asserts they never alter functional semantics.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        protocol: str = "directory",
+        predictor: str = "none",
+        machine: MachineConfig | None = None,
+        pointers: int | None = None,
+        sanitize: bool = True,
+        migrations: dict | None = None,
+        log_limit: int | None = None,
+    ) -> None:
+        self.workload = workload
+        self.machine = machine or machine_for_cores(workload.num_cores)
+        if workload.num_cores != self.machine.num_cores:
+            raise ValueError(
+                f"workload has {workload.num_cores} cores; machine has "
+                f"{self.machine.num_cores}"
+            )
+        n = self.machine.num_cores
+        self.network = Network(
+            self.machine.mesh(),
+            router_latency=self.machine.router_latency,
+            link_latency=self.machine.link_latency,
+        )
+        self.directory = make_directory(protocol, n, pointers)
+        self.hierarchies = [
+            PrivateHierarchy(core, self.machine.l1, self.machine.l2)
+            for core in range(n)
+        ]
+        self.protocol = make_protocol(
+            protocol, self.hierarchies, self.directory, self.network,
+            self.machine.latencies,
+        )
+        self.predictor = make_predictor(predictor, n, directory=self.directory)
+        self.verifier = (
+            CoherenceVerifier(self.protocol, record=True) if sanitize else None
+        )
+        self.migrations = migrations or {}
+        self.log_limit = log_limit
+        self.summary = FunctionalSummary(
+            workload=workload.name,
+            protocol=protocol,
+            predictor=predictor,
+            num_cores=n,
+            per_core=[{k: 0 for k in _PER_CORE_KEYS} for _ in range(n)],
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> FunctionalSummary:
+        n = self.machine.num_cores
+        streams = [list(self.workload.stream(core)) for core in range(n)]
+        lengths = [len(s) for s in streams]
+        pos = [0] * n
+        finished = [False] * n
+        blocked = [False] * n
+        active = n
+
+        barrier_index = [0] * n
+        barrier_waiters: dict = {}   # idx -> list of cores (arrival order)
+        barrier_pc: dict = {}
+        lock_holder: dict = {}
+        lock_queue: dict = {}        # addr -> waiting cores (FIFO)
+        lock_granted: set = set()
+
+        def release_barrier(idx: int) -> None:
+            if idx in self.migrations:
+                self._apply_migration(self.migrations[idx])
+            for w_core in barrier_waiters[idx]:
+                blocked[w_core] = False
+            del barrier_waiters[idx]
+
+        def finish(core: int) -> None:
+            nonlocal active
+            finished[core] = True
+            active -= 1
+            if self.predictor is not None:
+                self.predictor.on_finish(core)
+            # An early finisher can make a parked barrier releasable.
+            for idx in list(barrier_waiters):
+                if len(barrier_waiters[idx]) == active > 0:
+                    release_barrier(idx)
+
+        # Immediately retire empty streams so barriers account for them.
+        for core in range(n):
+            if lengths[core] == 0:
+                finish(core)
+
+        while active > 0:
+            progressed = False
+            for core in range(n):
+                if finished[core] or blocked[core]:
+                    continue
+                if pos[core] >= lengths[core]:
+                    # Last event was a barrier the core parked on; it only
+                    # retires once released.
+                    finish(core)
+                    progressed = True
+                    continue
+                for _ in range(_TURN_EVENTS):
+                    ev = streams[core][pos[core]]
+                    op = ev[0]
+                    if op == OP_READ or op == OP_WRITE:
+                        pos[core] += 1
+                        self._access(core, ev[1], ev[2], op == OP_WRITE)
+                    elif op == OP_THINK:
+                        pos[core] += 1
+                    else:  # OP_SYNC
+                        kind, pc, lock_addr = ev[1], ev[2], ev[3]
+                        if kind is SyncKind.BARRIER:
+                            pos[core] += 1
+                            idx = barrier_index[core]
+                            barrier_index[core] += 1
+                            if idx in barrier_pc and barrier_pc[idx] != pc:
+                                raise TraceError(
+                                    f"barrier mismatch at index {idx}: "
+                                    f"{barrier_pc[idx]:#x} vs {pc:#x}"
+                                )
+                            barrier_pc[idx] = pc
+                            self._on_sync(
+                                core, StaticSyncId(kind=kind, pc=pc)
+                            )
+                            waiters = barrier_waiters.setdefault(idx, [])
+                            waiters.append(core)
+                            if len(waiters) == active:
+                                release_barrier(idx)
+                            else:
+                                blocked[core] = True
+                        elif kind is SyncKind.LOCK:
+                            holder = lock_holder.get(lock_addr)
+                            if holder is None or core in lock_granted:
+                                lock_granted.discard(core)
+                                pos[core] += 1
+                                lock_holder[lock_addr] = core
+                                self._on_sync(core, StaticSyncId(
+                                    kind=kind, pc=pc, lock_addr=lock_addr
+                                ))
+                            else:
+                                lock_queue.setdefault(
+                                    lock_addr, []
+                                ).append(core)
+                                blocked[core] = True
+                        elif kind is SyncKind.UNLOCK:
+                            pos[core] += 1
+                            if lock_holder.get(lock_addr) != core:
+                                raise TraceError(
+                                    f"core {core} unlocked {lock_addr:#x} "
+                                    "it does not hold"
+                                )
+                            self._on_sync(core, StaticSyncId(
+                                kind=kind, pc=pc, lock_addr=lock_addr
+                            ))
+                            queue = lock_queue.get(lock_addr)
+                            if queue:
+                                nxt = queue.pop(0)
+                                lock_holder[lock_addr] = nxt
+                                lock_granted.add(nxt)
+                                blocked[nxt] = False
+                            else:
+                                lock_holder[lock_addr] = None
+                        else:
+                            pos[core] += 1
+                            self._on_sync(
+                                core, StaticSyncId(kind=kind, pc=pc)
+                            )
+                    progressed = True
+                    if blocked[core]:
+                        break
+                    if pos[core] >= lengths[core]:
+                        finish(core)
+                        break
+            if not progressed:
+                stuck = [
+                    c for c in range(n) if not finished[c]
+                ]
+                raise TraceError(
+                    f"deadlock: cores {stuck} blocked with no runnable core "
+                    "(lock held across a barrier, or waiters that can "
+                    "never be released)"
+                )
+
+        return self._finalize()
+
+    # ------------------------------------------------------------------
+
+    def _access(self, core: int, addr: int, pc: int, is_write: bool) -> None:
+        row = self.summary.per_core[core]
+        outcome = self.hierarchies[core].classify(
+            addr, AccessKind.WRITE if is_write else AccessKind.READ
+        )
+        if outcome is HierarchyOutcome.L1_HIT:
+            row["l1_hits"] += 1
+            return
+        if outcome is HierarchyOutcome.L2_HIT:
+            row["l2_hits"] += 1
+            return
+
+        block = self.hierarchies[core].block_of(addr)
+        if outcome is HierarchyOutcome.UPGRADE_MISS:
+            kind = MissKind.UPGRADE
+        elif is_write:
+            kind = MissKind.WRITE
+        else:
+            kind = MissKind.READ
+
+        prediction = (
+            self.predictor.predict(core, block, pc, kind)
+            if self.predictor is not None
+            else None
+        )
+        targets = prediction.targets if prediction is not None else None
+
+        if kind is MissKind.READ:
+            tx = self.protocol.read_miss(core, block, targets)
+            row["reads"] += 1
+        elif kind is MissKind.WRITE:
+            tx = self.protocol.write_miss(core, block, targets)
+            row["writes"] += 1
+        else:
+            tx = self.protocol.upgrade_miss(core, block, targets)
+            row["upgrades"] += 1
+        if tx.communicating:
+            row["comm"] += 1
+        if tx.off_chip:
+            row["offchip"] += 1
+
+        index = self.summary.transactions
+        if self.log_limit is None or index < self.log_limit:
+            self.summary.tx_log.append(TxRecord(
+                index=index,
+                core=core,
+                kind=tx.kind.value,
+                block=block,
+                communicating=tx.communicating,
+                off_chip=tx.off_chip,
+                minimal=tuple(sorted(tx.minimal_targets)),
+                invalidated=tuple(sorted(tx.invalidated)),
+                responder=tx.responder,
+            ))
+
+        if self.verifier is not None:
+            self.verifier.check_block(block, transaction=index)
+
+        if self.predictor is not None:
+            self.predictor.train(core, block, pc, kind, tx)
+            observe = getattr(self.predictor, "observe_external", None)
+            if observe is not None:
+                if tx.responder is not None:
+                    observe(tx.responder, block, core)
+                for node in tx.invalidated:
+                    observe(node, block, core)
+
+    def _on_sync(self, core: int, static_id: StaticSyncId) -> None:
+        self.summary.sync_points += 1
+        if self.predictor is not None:
+            self.predictor.on_sync(core, static_id)
+
+    def _apply_migration(self, permutation) -> None:
+        if self.predictor is None:
+            return
+        on_migrate = getattr(self.predictor, "on_migrate", None)
+        if on_migrate is not None:
+            on_migrate(permutation)
+
+    def _finalize(self) -> FunctionalSummary:
+        s = self.summary
+        s.caches = [
+            self._cache_snapshot(core)
+            for core in range(self.machine.num_cores)
+        ]
+        s.directory = self.directory.state_summary()
+        if isinstance(self.directory, LimitedPointerDirectory):
+            s.directory_precision = self.directory.precision_summary()
+        if self.verifier is not None:
+            s.violations = list(self.verifier.violations)
+        return s
+
+    def _cache_snapshot(self, core: int) -> dict:
+        """Final L2 contents as ``{block: state name}``."""
+        return {
+            block: state.name
+            for block, state in self.hierarchies[core].l2.resident_lines()
+            if state is not Mesif.INVALID
+        }
+
+
+def run_lockstep(
+    workload: Workload,
+    protocol: str = "directory",
+    predictor: str = "none",
+    **kwargs,
+) -> FunctionalSummary:
+    """Convenience one-shot lockstep run."""
+    return LockstepRunner(
+        workload, protocol=protocol, predictor=predictor, **kwargs
+    ).run()

@@ -1,0 +1,193 @@
+"""Greedy delta-debugging of failing fuzz traces.
+
+Given a failing workload and a ``still_fails`` predicate, repeatedly try
+structure-aware reductions and keep any candidate that still fails:
+
+1. empty a whole core's stream;
+2. remove a barrier round (the k-th barrier of *every* core at once, so
+   the barrier-index -> pc invariant survives);
+3. remove contiguous chunks of one core's stream, halving chunk size
+   down to single events (ddmin-style);
+4. remove matched lock/unlock pairs, keeping the protected body.
+
+Candidates that would be ill-formed are the predicate's job to reject
+(:func:`repro.workloads.fuzz.well_formed` makes that cheap); the passes
+here only propose. The loop runs to a fixpoint, and every pass iterates
+in a fixed order, so shrinking is deterministic for a deterministic
+predicate.
+"""
+
+from __future__ import annotations
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_SYNC, Workload
+
+#: Hard cap on predicate evaluations, so a pathological case cannot hang
+#: a fuzz batch.  Typical shrinks use a few hundred.
+MAX_PROBES = 4000
+
+
+def _rebuild(workload: Workload, streams) -> Workload:
+    return Workload(
+        name=workload.name,
+        num_cores=workload.num_cores,
+        events=[list(s) for s in streams],
+    )
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.left = limit
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _try(streams, candidate_streams, workload, still_fails, budget):
+    """Return the candidate streams if they still fail, else None."""
+    if not budget.spend():
+        return None
+    if sum(len(s) for s in candidate_streams) >= sum(len(s) for s in streams):
+        return None
+    if still_fails(_rebuild(workload, candidate_streams)):
+        return candidate_streams
+    return None
+
+
+def _pass_drop_cores(streams, workload, still_fails, budget):
+    changed = False
+    for core in range(len(streams)):
+        if not streams[core]:
+            continue
+        candidate = list(streams)
+        candidate[core] = []
+        kept = _try(streams, candidate, workload, still_fails, budget)
+        if kept is not None:
+            streams = kept
+            changed = True
+    return streams, changed
+
+
+def _barrier_positions(stream) -> list:
+    return [
+        i
+        for i, ev in enumerate(stream)
+        if ev[0] == OP_SYNC and ev[1] is SyncKind.BARRIER
+    ]
+
+
+def _pass_drop_barrier_rounds(streams, workload, still_fails, budget):
+    """Remove the k-th barrier from every core simultaneously."""
+    changed = False
+    while True:
+        rounds = max(
+            (len(_barrier_positions(s)) for s in streams), default=0
+        )
+        removed = False
+        for k in range(rounds):
+            candidate = []
+            for s in streams:
+                positions = _barrier_positions(s)
+                if k < len(positions):
+                    idx = positions[k]
+                    candidate.append(s[:idx] + s[idx + 1:])
+                else:
+                    candidate.append(s)
+            kept = _try(streams, candidate, workload, still_fails, budget)
+            if kept is not None:
+                streams = kept
+                changed = True
+                removed = True
+                break  # indices shifted; rescan
+        if not removed:
+            return streams, changed
+
+
+def _pass_chunks(streams, workload, still_fails, budget):
+    """ddmin over each core's stream: halving chunk sizes, then singles."""
+    changed = False
+    for core in range(len(streams)):
+        chunk = max(1, len(streams[core]) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(streams[core]):
+                stream = streams[core]
+                candidate = list(streams)
+                candidate[core] = stream[:i] + stream[i + chunk:]
+                kept = _try(streams, candidate, workload, still_fails, budget)
+                if kept is not None:
+                    streams = kept
+                    changed = True
+                else:
+                    i += chunk
+            chunk //= 2
+    return streams, changed
+
+
+def _lock_pairs(stream) -> list:
+    """(lock_index, unlock_index) for each matched pair, innermost first."""
+    pairs = []
+    open_stack = []
+    for i, ev in enumerate(stream):
+        if ev[0] != OP_SYNC:
+            continue
+        if ev[1] is SyncKind.LOCK:
+            open_stack.append(i)
+        elif ev[1] is SyncKind.UNLOCK and open_stack:
+            pairs.append((open_stack.pop(), i))
+    return pairs
+
+
+def _pass_lock_pairs(streams, workload, still_fails, budget):
+    """Drop matched lock/unlock events, keeping the protected body."""
+    changed = False
+    for core in range(len(streams)):
+        while True:
+            removed = False
+            for lo, hi in _lock_pairs(streams[core]):
+                stream = streams[core]
+                candidate = list(streams)
+                candidate[core] = (
+                    stream[:lo] + stream[lo + 1:hi] + stream[hi + 1:]
+                )
+                kept = _try(streams, candidate, workload, still_fails, budget)
+                if kept is not None:
+                    streams = kept
+                    changed = True
+                    removed = True
+                    break  # indices shifted; rescan
+            if not removed:
+                break
+    return streams, changed
+
+
+_PASSES = (
+    _pass_drop_cores,
+    _pass_drop_barrier_rounds,
+    _pass_chunks,
+    _pass_lock_pairs,
+)
+
+
+def shrink_case(
+    workload: Workload, still_fails, max_probes: int = MAX_PROBES
+) -> Workload:
+    """Shrink ``workload`` while ``still_fails(candidate)`` holds.
+
+    ``still_fails`` must return True for the input workload's failure
+    mode on any candidate worth keeping (and False for ill-formed
+    candidates).  Returns the smallest workload found — identical in
+    structure, replayable with the same migrations/machine.
+    """
+    budget = _Budget(max_probes)
+    streams = [list(s) for s in workload.events]
+    while True:
+        any_change = False
+        for pass_fn in _PASSES:
+            streams, changed = pass_fn(streams, workload, still_fails, budget)
+            any_change = any_change or changed
+        if not any_change or budget.left <= 0:
+            return _rebuild(workload, streams)

@@ -4,8 +4,11 @@
 
     python -m repro list
     python -m repro simulate bodytrack --predictor SP --scale 0.5
-    python -m repro simulate my.trace --trace --protocol broadcast
+    python -m repro simulate my.trace --trace --protocol broadcast --sanitize
     python -m repro dump-trace x264 -o x264.trace --scale 0.2
+    python -m repro check diff --quick
+    python -m repro check fuzz --cases 20 --seed 1234 --out-dir fuzz-cases
+    python -m repro check replay fuzz-cases/case-1234.json
 
 (The experiment harness has its own CLI: ``python -m repro.experiments``.)
 """
@@ -16,6 +19,7 @@ import argparse
 import json
 import sys
 
+from repro.coherence import PROTOCOL_NAMES
 from repro.core.filters import FilteredPredictor
 from repro.predictors.factory import PREDICTOR_KINDS
 from repro.sim.engine import SimulationEngine
@@ -39,8 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace", action="store_true",
                      help="treat WORKLOAD as a trace file path")
     sim.add_argument(
-        "--protocol", choices=("directory", "broadcast", "multicast"),
-        default="directory",
+        "--protocol", choices=PROTOCOL_NAMES, default="directory",
     )
     sim.add_argument("--predictor", choices=PREDICTOR_KINDS, default="none")
     sim.add_argument("--region-filter", action="store_true",
@@ -57,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="skip engine-side epoch/volume bookkeeping (ideal-accuracy "
              "metric and dynamic-epoch stats read zero)",
+    )
+    sim.add_argument(
+        "--sanitize", action="store_true",
+        help="run the coherence sanitizer alongside the simulation and "
+             "report any invariant violations (nonzero exit if found)",
     )
     sim.set_defaults(func=cmd_simulate)
 
@@ -76,6 +84,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument("--scale", type=float, default=0.5)
     comp.set_defaults(func=cmd_compare)
+
+    check = sub.add_parser(
+        "check", help="differential correctness harness"
+    )
+    checksub = check.add_subparsers(dest="check_command", required=True)
+
+    diff = checksub.add_parser(
+        "diff",
+        help="replay workloads through every protocol x predictor cell "
+             "and assert exact functional agreement",
+    )
+    diff.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid for CI (4 workloads x 4 protocols x 3 "
+             "predictor kinds)",
+    )
+    diff.add_argument(
+        "--workloads", nargs="+", choices=benchmark_names(), default=None
+    )
+    diff.add_argument("--protocols", nargs="+", choices=PROTOCOL_NAMES,
+                      default=None)
+    diff.add_argument("--predictors", nargs="+", choices=PREDICTOR_KINDS,
+                      default=None)
+    diff.add_argument("--scale", type=float, default=0.05,
+                      help="workload scale factor (default %(default)s)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the full report as JSON")
+    diff.add_argument("--bench", metavar="PATH", default=None,
+                      help="merge the report into a JSON benchmark file")
+    diff.set_defaults(func=cmd_check_diff)
+
+    fuzz = checksub.add_parser(
+        "fuzz",
+        help="seeded randomized trace fuzzing with shrinking of failures",
+    )
+    fuzz.add_argument("--cases", type=int, default=20)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--cores", type=int, default=4)
+    fuzz.add_argument("--events", type=int, default=40,
+                      help="approximate events per core per barrier round")
+    fuzz.add_argument("--out-dir", default="fuzz-cases",
+                      help="where shrunk reproducer .json cases are "
+                           "written (default %(default)s)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="save failing cases unshrunk")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the full report as JSON")
+    fuzz.add_argument("--bench", metavar="PATH", default=None,
+                      help="merge the report into a JSON benchmark file")
+    fuzz.set_defaults(func=cmd_check_fuzz)
+
+    replay = checksub.add_parser(
+        "replay", help="re-run a saved fuzz case file"
+    )
+    replay.add_argument("case", help="path to a case-*.json reproducer")
+    replay.set_defaults(func=cmd_check_replay)
 
     return parser
 
@@ -108,18 +172,26 @@ def cmd_simulate(args) -> int:
         protocol=args.protocol,
         predictor=args.predictor,
         ideal_metric=not args.fast,
+        sanitize=args.sanitize,
     )
     if engine.predictor is not None and args.region_filter:
         engine.predictor = FilteredPredictor(engine.predictor)
         engine.result.predictor = engine.predictor.name
     result = engine.run()
+    violations = result.sanitizer_violations
 
     if args.json_full:
         print(json.dumps(result.to_dict(), indent=2))
-        return 0
+        return 1 if violations else 0
     if args.json:
-        print(json.dumps(result.summary(), indent=2))
-        return 0
+        summary = result.summary()
+        if args.sanitize:
+            summary["sanitizer_checks"] = result.sanitizer_checks
+            summary["sanitizer_violations"] = [
+                r.to_dict() for r in violations
+            ]
+        print(json.dumps(summary, indent=2))
+        return 1 if violations else 0
     print(f"workload {result.workload}: protocol={result.protocol} "
           f"predictor={result.predictor}")
     print(f"  accesses            {result.accesses:>12,}")
@@ -135,6 +207,14 @@ def cmd_simulate(args) -> int:
               f"(ideal {result.ideal_accuracy:.1%})")
         print(f"  predictions         {result.pred_attempted:>12,} "
               f"({result.pred_on_noncomm:,} on non-communicating misses)")
+    if args.sanitize:
+        print(f"  sanitizer checks    {result.sanitizer_checks:>12,}")
+        if violations:
+            print(f"  SANITIZER: {len(violations)} violation(s)")
+            for record in violations[:10]:
+                print(f"    {record.message}")
+            return 1
+        print("  sanitizer: clean")
     return 0
 
 
@@ -162,6 +242,102 @@ def cmd_compare(args) -> int:
             f"{result.cycles / base.cycles:>8.3f}"
         )
     return 0
+
+
+def _merge_bench(path: str, key: str, payload: dict) -> None:
+    """Merge one section into a JSON benchmark file."""
+    import os
+
+    doc = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            doc = json.load(fh)
+    doc[key] = payload
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def cmd_check_diff(args) -> int:
+    from repro.check.differential import (
+        QUICK_PREDICTORS,
+        QUICK_WORKLOADS,
+        run_differential,
+    )
+    from repro.coherence import PROTOCOL_NAMES as ALL_PROTOCOLS
+
+    workloads = args.workloads
+    predictors = args.predictors
+    if args.quick:
+        workloads = workloads or list(QUICK_WORKLOADS)
+        predictors = predictors or list(QUICK_PREDICTORS)
+    report = run_differential(
+        workloads=workloads,
+        protocols=tuple(args.protocols or ALL_PROTOCOLS),
+        predictors=tuple(predictors or PREDICTOR_KINDS),
+        scale=args.scale,
+        verbose=not args.json,
+    )
+    if args.bench:
+        _merge_bench(args.bench, "diff", report.to_dict())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"diff: {report.cells} cells, {report.transactions:,} "
+            f"transactions in {report.elapsed:.1f}s -> "
+            + ("PASS" if report.passed else "FAIL")
+        )
+        for cell, record in report.violations[:10]:
+            print(f"  sanitizer {cell}: {record.message}")
+        for d in report.divergences[:10]:
+            print(d.describe())
+    return 0 if report.passed else 1
+
+
+def cmd_check_fuzz(args) -> int:
+    from repro.check.fuzz import run_fuzz
+    from repro.workloads.fuzz import FuzzConfig
+
+    config = FuzzConfig(
+        num_cores=args.cores, segment_events=args.events
+    )
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        config=config,
+        out_dir=args.out_dir,
+        shrink=not args.no_shrink,
+        verbose=not args.json,
+    )
+    if args.bench:
+        _merge_bench(args.bench, "fuzz", report.to_dict())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"fuzz: {report.cases} cases (base seed {report.base_seed}) "
+            f"in {report.elapsed:.1f}s -> "
+            + ("PASS" if report.passed else
+               f"{len(report.failures)} FAILURE(S)")
+        )
+        for f in report.failures:
+            print(f"  seed {f.seed}: {f.failure.describe()}")
+            if f.case_path:
+                print(f"    reproducer: {f.case_path} "
+                      f"({f.original_events} -> {f.shrunk_events} events)")
+    return 0 if report.passed else 1
+
+
+def cmd_check_replay(args) -> int:
+    from repro.check.case import replay_case
+
+    failure = replay_case(args.case)
+    if failure is None:
+        print(f"{args.case}: PASS (failure no longer reproduces)")
+        return 0
+    print(f"{args.case}: reproduced -> {failure.describe()}")
+    return 1
 
 
 def cmd_dump_trace(args) -> int:

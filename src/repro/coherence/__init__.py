@@ -20,9 +20,67 @@ from repro.coherence.protocol import (
 from repro.coherence.snooping import BroadcastProtocol
 from repro.coherence.multicast import MulticastProtocol
 from repro.coherence.limited import LimitedPointerDirectory
-from repro.coherence.verify import CoherenceVerifier, CoherenceViolation
+from repro.coherence.verify import (
+    CoherenceVerifier,
+    CoherenceViolation,
+    ViolationRecord,
+)
+
+#: Default sharer-pointer budget of the ``"limited"`` backend (Dir-4).
+DEFAULT_POINTERS = 4
+
+#: Protocol backend names the factory can instantiate.  ``"limited"`` is
+#: the directory protocol over a limited-pointer directory; the other
+#: three map 1:1 onto protocol classes.
+PROTOCOL_NAMES = ("directory", "broadcast", "multicast", "limited")
+
+_PROTOCOL_CLASSES = {
+    "directory": DirectoryProtocol,
+    "broadcast": BroadcastProtocol,
+    "multicast": MulticastProtocol,
+    "limited": DirectoryProtocol,
+}
+
+
+def make_directory(
+    protocol: str, num_nodes: int, pointers: int | None = None
+) -> Directory:
+    """The directory organization a protocol backend runs over.
+
+    ``pointers`` forces a limited-pointer organization regardless of
+    backend name (the engine's ``directory_pointers`` knob); the
+    ``"limited"`` backend defaults to :data:`DEFAULT_POINTERS`.
+    """
+    if pointers is None and protocol == "limited":
+        pointers = DEFAULT_POINTERS
+    if pointers is None:
+        return Directory(num_nodes)
+    return LimitedPointerDirectory(num_nodes, pointers=pointers)
+
+
+def make_protocol(
+    protocol: str,
+    hierarchies,
+    directory: Directory,
+    network,
+    latencies: ProtocolLatencies | None = None,
+):
+    """Instantiate a protocol backend by name over prepared substrate."""
+    try:
+        cls = _PROTOCOL_CLASSES[protocol]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; choose from {PROTOCOL_NAMES}"
+        ) from None
+    return cls(hierarchies, directory, network, latencies)
+
 
 __all__ = [
+    "DEFAULT_POINTERS",
+    "PROTOCOL_NAMES",
+    "make_directory",
+    "make_protocol",
+    "ViolationRecord",
     "MulticastProtocol",
     "LimitedPointerDirectory",
     "CoherenceVerifier",

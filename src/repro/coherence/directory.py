@@ -120,6 +120,24 @@ class Directory:
     def num_entries(self) -> int:
         return len(self._entries)
 
+    def state_summary(self) -> dict:
+        """Canonical, JSON-friendly snapshot of every live entry.
+
+        Used by the differential checker to compare final stable state
+        across protocol backends; the representation deliberately
+        contains nothing timing- or organization-specific.
+        """
+        return {
+            block: {
+                "sharers": sorted(ent.sharers),
+                "owner": ent.owner,
+                "forwarder": ent.forwarder,
+                "dirty": ent.dirty,
+            }
+            for block, ent in self._entries.items()
+            if ent.sharers
+        }
+
     # -- hardware-precision hooks (overridden by limited-pointer orgs) --
 
     def can_verify(self, block: int) -> bool:

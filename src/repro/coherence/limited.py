@@ -99,3 +99,12 @@ class LimitedPointerDirectory(Directory):
 
     def coarse_entries(self) -> int:
         return sum(1 for v in self._tracked.values() if v is None)
+
+    def precision_summary(self) -> dict:
+        """Hardware-precision counters for check/sanitizer reports."""
+        return {
+            "pointers": self.pointers,
+            "overflows": self.overflows,
+            "coarse_entries": self.coarse_entries(),
+            "tracked_entries": len(self._tracked),
+        }

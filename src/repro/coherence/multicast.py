@@ -31,6 +31,9 @@ class MulticastProtocol(BroadcastProtocol):
     accounting.
     """
 
+    #: Backend name used by the engine/CLI and in check reports.
+    name = "multicast"
+
     def read_miss(self, core: int, block: int, predicted=None) -> TransactionResult:
         predicted = self._clean(core, predicted)
         if predicted is None:

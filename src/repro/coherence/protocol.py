@@ -75,6 +75,9 @@ class DirectoryProtocol:
     optionally passing the predictor's target set.
     """
 
+    #: Backend name used by the engine/CLI and in check reports.
+    name = "directory"
+
     #: Traffic categories used for the Fig. 9 bandwidth breakdown.
     CAT_COMM = "base_comm"
     CAT_NONCOMM = "base_noncomm"
@@ -161,8 +164,10 @@ class DirectoryProtocol:
         comm = bool(minimal)
         cat = self.CAT_COMM if comm else self.CAT_NONCOMM
         # The entry mutates when the requester's fill is recorded; capture
-        # the data source now.
-        prior_owner = entry.owner if entry.owner != core else None
+        # the data source now.  A dirty/exclusive owner responds; otherwise
+        # the F holder does (matching the snooping backends, which report
+        # ``entry.responder`` for the same state).
+        data_source = entry.responder if entry.responder != core else None
         latency = self.network.send(core, home, MessageClass.CONTROL, cat)
         latency += self.lat.dir_lookup
         off_chip = not entry.cached_anywhere
@@ -186,7 +191,7 @@ class DirectoryProtocol:
             kind=MissKind.WRITE, core=core, block=block, communicating=comm,
             off_chip=off_chip, minimal_targets=minimal, predicted=None,
             prediction_correct=None, latency=latency, indirection=True,
-            responder=prior_owner, invalidated=invalidated,
+            responder=data_source, invalidated=invalidated,
         )
 
     def _baseline_upgrade(self, core, block, entry, minimal) -> TransactionResult:
@@ -274,7 +279,7 @@ class DirectoryProtocol:
         base_cat = self.CAT_COMM if comm else self.CAT_NONCOMM
         pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
         correct = comm and minimal <= predicted
-        prior_owner = entry.owner if entry.owner != core else None
+        data_source = entry.responder if entry.responder != core else None
 
         self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
         dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
@@ -327,7 +332,7 @@ class DirectoryProtocol:
             kind=MissKind.WRITE, core=core, block=block, communicating=comm,
             off_chip=off_chip, minimal_targets=minimal, predicted=predicted,
             prediction_correct=correct if comm else None, latency=latency,
-            indirection=indirection, responder=prior_owner,
+            indirection=indirection, responder=data_source,
             invalidated=invalidated,
         )
 

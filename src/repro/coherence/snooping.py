@@ -33,6 +33,9 @@ class BroadcastProtocol:
     target).
     """
 
+    #: Backend name used by the engine/CLI and in check reports.
+    name = "broadcast"
+
     CAT_COMM = "base_comm"
     CAT_NONCOMM = "base_noncomm"
     CAT_WRITEBACK = "writeback"

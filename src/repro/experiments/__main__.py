@@ -65,6 +65,15 @@ def main(argv=None) -> int:
         help="delete all cached results (REPRO_CACHE_DIR) and exit",
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run the coherence sanitizer in every simulation; any "
+            "violation aborts the harness with a report (sanitized runs "
+            "cache under separate keys)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     parser.add_argument(
@@ -92,6 +101,7 @@ def main(argv=None) -> int:
         verbose=not args.quiet,
         jobs=args.jobs,
         disk_cache=False if args.no_cache else None,
+        sanitize=args.sanitize,
     )
     configs = required_configs(selected, cache.suite())
     if configs:
@@ -103,6 +113,23 @@ def main(argv=None) -> int:
                 f"simulated ({cache.runner.jobs} jobs), "
                 f"{time.time() - start:.1f}s]"
             )
+        if args.sanitize:
+            dirty = [
+                result
+                for result in cache.runner.results()
+                if result.sanitizer_violations
+            ]
+            if dirty:
+                for result in dirty:
+                    head = result.sanitizer_violations[0]
+                    print(
+                        f"SANITIZER: {result.workload}/{result.protocol}/"
+                        f"{result.predictor}: "
+                        f"{len(result.sanitizer_violations)} violation(s); "
+                        f"first: {head.message}",
+                        file=sys.stderr,
+                    )
+                return 1
     for exp_id in selected:
         module = importlib.import_module(EXPERIMENTS[exp_id])
         start = time.time()

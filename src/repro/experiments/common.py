@@ -37,11 +37,13 @@ class RunCache:
         jobs: int | None = None,
         disk_cache: DiskCache | bool | None = None,
         seed: int | None = None,
+        sanitize: bool = False,
     ) -> None:
         self.machine = machine or MachineConfig()
         self.scale = scale
         self.verbose = verbose
         self.seed = seed
+        self.sanitize = sanitize
         if disk_cache is None:
             disk = DiskCache.from_env()
         elif disk_cache is False:
@@ -84,6 +86,7 @@ class RunCache:
             max_entries=max_entries,
             seed=self.seed,
             machine=self.machine,
+            sanitize=self.sanitize,
         )
 
     def get(

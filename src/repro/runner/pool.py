@@ -81,6 +81,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         predictor=spec.predictor,
         predictor_entries=spec.max_entries,
         collect_epochs=spec.collect_epochs,
+        sanitize=spec.sanitize,
     )
     return engine.run()
 
@@ -109,6 +110,10 @@ class SweepRunner:
         self.verbose = verbose
         self.simulations = 0
         self._results: dict = {}  # digest -> SimulationResult
+
+    def results(self) -> list:
+        """Every result this runner holds (cached or freshly simulated)."""
+        return list(self._results.values())
 
     # -- cache-only lookups --------------------------------------------
 

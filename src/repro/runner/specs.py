@@ -17,7 +17,7 @@ from pathlib import Path
 from repro.sim.machine import MachineConfig
 
 #: Bump when the serialized result payload changes shape.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Package subtrees that only *consume* results; editing them cannot
 #: change what a simulation produces, so they are excluded from the
@@ -66,6 +66,9 @@ class RunSpec:
     max_entries: int | None = None
     seed: int | None = None
     machine: MachineConfig = field(default_factory=MachineConfig)
+    #: Run the coherence sanitizer alongside the simulation (violations
+    #: land in ``SimulationResult.sanitizer_violations``).
+    sanitize: bool = False
 
     def digest(self) -> str:
         """Content-hash cache key (stable across processes and sessions).
@@ -85,6 +88,7 @@ class RunSpec:
                 repr(self.max_entries),
                 repr(self.seed),
                 repr(self.machine),
+                repr(self.sanitize),
             )
         )
         return hashlib.sha256(material.encode()).hexdigest()

@@ -24,9 +24,8 @@ import heapq
 from bisect import bisect_left
 
 from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
-from repro.coherence.directory import Directory
-from repro.coherence.protocol import DirectoryProtocol, MissKind
-from repro.coherence.snooping import BroadcastProtocol
+from repro.coherence import make_directory, make_protocol
+from repro.coherence.protocol import MissKind
 from repro.core.signatures import DEFAULT_HOT_THRESHOLD, extract_hot_set
 from repro.noc.network import Network
 from repro.predictors.base import TargetPredictor
@@ -71,6 +70,7 @@ class SimulationEngine:
         hot_threshold: float = DEFAULT_HOT_THRESHOLD,
         migrations: dict | None = None,
         verify_coherence: bool = False,
+        sanitize: bool = False,
         directory_pointers: int | None = None,
         predictor_entries: int | None = None,
         ideal_metric: bool = True,
@@ -87,37 +87,17 @@ class SimulationEngine:
             router_latency=self.machine.router_latency,
             link_latency=self.machine.link_latency,
         )
-        if directory_pointers is None:
-            self.directory = Directory(self.machine.num_cores)
-        else:
-            from repro.coherence.limited import LimitedPointerDirectory
-
-            self.directory = LimitedPointerDirectory(
-                self.machine.num_cores, pointers=directory_pointers
-            )
+        self.directory = make_directory(
+            protocol, self.machine.num_cores, pointers=directory_pointers
+        )
         self.hierarchies = [
             PrivateHierarchy(core, self.machine.l1, self.machine.l2)
             for core in range(self.machine.num_cores)
         ]
-        if protocol == "directory":
-            self.protocol = DirectoryProtocol(
-                self.hierarchies, self.directory, self.network,
-                self.machine.latencies,
-            )
-        elif protocol == "broadcast":
-            self.protocol = BroadcastProtocol(
-                self.hierarchies, self.directory, self.network,
-                self.machine.latencies,
-            )
-        elif protocol == "multicast":
-            from repro.coherence.multicast import MulticastProtocol
-
-            self.protocol = MulticastProtocol(
-                self.hierarchies, self.directory, self.network,
-                self.machine.latencies,
-            )
-        else:
-            raise ValueError(f"unknown protocol {protocol!r}")
+        self.protocol = make_protocol(
+            protocol, self.hierarchies, self.directory, self.network,
+            self.machine.latencies,
+        )
         if isinstance(predictor, str):
             from repro.predictors.factory import make_predictor
 
@@ -140,10 +120,13 @@ class SimulationEngine:
         #: that barrier's release (pairs with workloads.migration).
         self.migrations = migrations or {}
         self.verifier = None
-        if verify_coherence:
+        if verify_coherence or sanitize:
             from repro.coherence.verify import CoherenceVerifier
 
-            self.verifier = CoherenceVerifier(self.protocol)
+            # ``sanitize`` records structured violations into the result;
+            # plain ``verify_coherence`` keeps the historical fail-fast
+            # raise behavior.
+            self.verifier = CoherenceVerifier(self.protocol, record=sanitize)
 
         # Fixed per-access latencies, resolved once.
         self._l1_latency = self.machine.l1_latency
@@ -383,6 +366,9 @@ class SimulationEngine:
         res.dynamic_epochs = sum(
             len(tr.ended_epochs) for tr in self._trackers
         )
+        if self.verifier is not None:
+            res.sanitizer_checks = self.verifier.checks
+            res.sanitizer_violations = list(self.verifier.violations)
         return res
 
     # ------------------------------------------------------------------
@@ -484,7 +470,8 @@ class SimulationEngine:
                     res.pred_incorrect += 1
 
         if self.verifier is not None:
-            self.verifier.check_block(block)
+            # Transaction numbers are 1-based miss ordinals across cores.
+            self.verifier.check_block(block, transaction=res.misses)
 
         if predictor is not None:
             predictor.train(core, block, pc, kind, tx)
@@ -566,6 +553,7 @@ def simulate(
     predictor: TargetPredictor | str | None = None,
     collect_epochs: bool = False,
     ideal_metric: bool = True,
+    sanitize: bool = False,
 ) -> SimulationResult:
     """Convenience one-shot simulation."""
     return SimulationEngine(
@@ -575,4 +563,5 @@ def simulate(
         predictor=predictor,
         collect_epochs=collect_epochs,
         ideal_metric=ideal_metric,
+        sanitize=sanitize,
     ).run()

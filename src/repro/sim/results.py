@@ -107,6 +107,10 @@ class SimulationResult:
     whole_run_volume: list = field(default_factory=list)  # per (core, target)
     pc_volume: dict = field(default_factory=dict)         # (core, pc) -> {t: v}
 
+    # sanitizer outcome (populated when the engine runs with sanitize=True)
+    sanitizer_checks: int = 0
+    sanitizer_violations: list = field(default_factory=list)  # ViolationRecord
+
     # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------
@@ -198,7 +202,7 @@ class SimulationResult:
         "pred_on_comm", "pred_on_noncomm", "pred_correct",
         "pred_incorrect", "ideal_correct", "actual_target_sum",
         "predicted_target_sum", "snoop_lookups", "sync_points",
-        "dynamic_epochs",
+        "dynamic_epochs", "sanitizer_checks",
     )
 
     def to_dict(self) -> dict:
@@ -231,6 +235,9 @@ class SimulationResult:
             [core, pc, list(counts)]
             for (core, pc), counts in self.pc_volume.items()
         ]
+        data["sanitizer_violations"] = [
+            r.to_dict() for r in self.sanitizer_violations
+        ]
         return data
 
     @classmethod
@@ -243,7 +250,8 @@ class SimulationResult:
             num_cores=data["num_cores"],
         )
         for name in cls._SCALAR_FIELDS:
-            setattr(result, name, data[name])
+            # .get: payloads written before the sanitizer fields existed.
+            setattr(result, name, data.get(name, getattr(result, name)))
         result.core_cycles = list(data["core_cycles"])
         result.correct_by_source = {
             PredictionSource(value): count
@@ -269,6 +277,13 @@ class SimulationResult:
             (core, pc): list(counts)
             for core, pc, counts in data["pc_volume"]
         }
+        if data.get("sanitizer_violations"):
+            from repro.coherence.verify import ViolationRecord
+
+            result.sanitizer_violations = [
+                ViolationRecord.from_dict(r)
+                for r in data["sanitizer_violations"]
+            ]
         return result
 
     def summary(self) -> dict:

@@ -1,0 +1,229 @@
+"""Randomized trace generation for the correctness fuzzer.
+
+Unlike the benchmark suite generators (which aim for realistic,
+paper-calibrated sharing patterns), these traces are *adversarial*: they
+are biased toward the interleavings where coherence bookkeeping bugs
+hide —
+
+* **lock convoys**: every core hammering the same lock, so ownership of
+  the protected blocks migrates on every critical section;
+* **barrier stragglers**: one core arriving late (and occasionally a
+  core that never arrives because its stream ended), exercising the
+  early-finisher release path;
+* **migration mid-epoch**: a thread-to-core permutation applied at a
+  barrier, in the middle of trained predictor state;
+* **capacity-eviction storms**: sweeps over more blocks than the
+  (deliberately tiny) caches hold, so directory entries churn through
+  the eviction-notification path;
+* **false-sharing ping-pong**: reads and writes racing over a handful of
+  hot shared blocks.
+
+Generation is pure ``random.Random(seed)``: the same seed always yields
+the same workload, which is what makes fuzz failures replayable and CI
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import (
+    OP_READ,
+    OP_SYNC,
+    OP_THINK,
+    OP_WRITE,
+    Workload,
+)
+
+#: Barrier PCs are keyed by barrier index so any shrink that removes a
+#: barrier round from every core keeps the index -> pc map consistent.
+_BARRIER_PC_BASE = 0xB000
+_LOCK_PC_BASE = 0xAC00
+_LOCK_ADDR_BASE = 0x10_0000
+_ACCESS_PC_BASE = 0x4000
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Shape of one fuzzed trace."""
+
+    num_cores: int = 4
+    #: Approximate events per core per barrier round.
+    segment_events: int = 40
+    #: Barrier rounds (0 = free-for-all with no global ordering).
+    barrier_rounds: int = 3
+    shared_blocks: int = 16
+    #: Hot subset fought over by the ping-pong scenario.
+    hot_blocks: int = 4
+    locks: int = 2
+    #: Blocks touched by an eviction storm (should exceed L2 capacity of
+    #: the check machine to force churn).
+    storm_blocks: int = 96
+    #: Probability that a core sits out the tail of the run (stream ends
+    #: before the remaining barrier rounds).
+    early_finish_prob: float = 0.15
+    #: Probability a barrier applies a migration permutation.
+    migration_prob: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 2:
+            raise ValueError("fuzzing needs at least two cores")
+        if self.hot_blocks > self.shared_blocks:
+            raise ValueError("hot_blocks cannot exceed shared_blocks")
+
+
+@dataclass
+class FuzzCase:
+    """A generated workload plus the migration schedule it was built with."""
+
+    workload: Workload
+    migrations: dict = field(default_factory=dict)
+    seed: int = 0
+
+
+def _addr(block: int) -> int:
+    return block * 64
+
+
+def _burst_pingpong(rng, cfg, out) -> None:
+    """Racing reads/writes over the hot shared blocks."""
+    for _ in range(rng.randint(3, 10)):
+        block = rng.randrange(cfg.hot_blocks)
+        pc = _ACCESS_PC_BASE + block
+        if rng.random() < 0.5:
+            out.append((OP_WRITE, _addr(block), pc))
+        else:
+            out.append((OP_READ, _addr(block), pc))
+
+
+def _burst_storm(rng, cfg, out) -> None:
+    """Sweep enough distinct blocks to force capacity evictions."""
+    start = rng.randrange(cfg.storm_blocks)
+    length = rng.randint(8, 24)
+    write = rng.random() < 0.4
+    for i in range(length):
+        block = cfg.shared_blocks + (start + i) % cfg.storm_blocks
+        pc = _ACCESS_PC_BASE + 0x100
+        out.append((OP_WRITE if write else OP_READ, _addr(block), pc))
+
+
+def _burst_convoy(rng, cfg, out, lock_id: int) -> None:
+    """One critical section of the lock convoy."""
+    lock_addr = _LOCK_ADDR_BASE + lock_id * 64
+    pc = _LOCK_PC_BASE + lock_id
+    out.append((OP_SYNC, SyncKind.LOCK, pc, lock_addr))
+    # Protected blocks: the last two shared blocks of each lock's region.
+    for _ in range(rng.randint(1, 4)):
+        block = cfg.shared_blocks - 1 - (lock_id % 2)
+        out.append((OP_WRITE, _addr(block), _ACCESS_PC_BASE + 0x200))
+    out.append((OP_SYNC, SyncKind.UNLOCK, pc, lock_addr))
+
+
+def _burst_shared(rng, cfg, out) -> None:
+    """Scattered traffic over the whole shared region."""
+    for _ in range(rng.randint(2, 8)):
+        block = rng.randrange(cfg.shared_blocks)
+        pc = _ACCESS_PC_BASE + 0x300 + block
+        op = OP_WRITE if rng.random() < 0.35 else OP_READ
+        out.append((op, _addr(block), pc))
+
+
+def _segment(rng, cfg, straggler: bool) -> list:
+    """One core's events between two barriers."""
+    out: list = []
+    if straggler:
+        out.append((OP_THINK, rng.randint(2000, 8000)))
+    budget = cfg.segment_events
+    while len(out) < budget:
+        roll = rng.random()
+        if roll < 0.35:
+            _burst_pingpong(rng, cfg, out)
+        elif roll < 0.55 and cfg.locks:
+            _burst_convoy(rng, cfg, out, rng.randrange(cfg.locks))
+        elif roll < 0.75:
+            _burst_storm(rng, cfg, out)
+        else:
+            _burst_shared(rng, cfg, out)
+    return out
+
+
+def generate_fuzz_case(seed: int, config: FuzzConfig | None = None) -> FuzzCase:
+    """Build one seeded adversarial workload (deterministic in ``seed``)."""
+    cfg = config or FuzzConfig()
+    rng = random.Random(seed)
+    n = cfg.num_cores
+    streams: list = [[] for _ in range(n)]
+    migrations: dict = {}
+
+    # Which core drops out early, if any (never core 0, so at least one
+    # full-length stream anchors every barrier round's pc check).
+    dropout = None
+    dropout_round = None
+    if cfg.barrier_rounds and rng.random() < cfg.early_finish_prob:
+        dropout = rng.randrange(1, n)
+        dropout_round = rng.randrange(cfg.barrier_rounds)
+
+    for rnd in range(cfg.barrier_rounds + 1):
+        straggler = rng.randrange(n)
+        for core in range(n):
+            if dropout == core and rnd > dropout_round:
+                continue
+            streams[core].extend(
+                _segment(rng, cfg, straggler=core == straggler)
+            )
+            if rnd < cfg.barrier_rounds and not (
+                dropout == core and rnd == dropout_round
+            ):
+                streams[core].append(
+                    (OP_SYNC, SyncKind.BARRIER, _BARRIER_PC_BASE + rnd, None)
+                )
+        if rnd < cfg.barrier_rounds and rng.random() < cfg.migration_prob:
+            perm = list(range(n))
+            rng.shuffle(perm)
+            migrations[rnd] = tuple(perm)
+
+    workload = Workload(
+        name=f"fuzz-{seed}", num_cores=n, events=streams
+    )
+    return FuzzCase(workload=workload, migrations=migrations, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# well-formedness (used to reject invalid shrink candidates)
+# ----------------------------------------------------------------------
+
+
+def well_formed(workload: Workload) -> bool:
+    """Whether a trace can run to completion on its own terms.
+
+    Checks the static properties the runner enforces dynamically:
+    balanced, properly nested lock/unlock per core; no lock held across
+    a barrier; consistent pc per barrier index across cores.
+    """
+    barrier_pc: dict = {}
+    for core in range(workload.num_cores):
+        held: list = []
+        barrier_index = 0
+        for ev in workload.stream(core):
+            if ev[0] != OP_SYNC:
+                continue
+            kind, pc, lock_addr = ev[1], ev[2], ev[3]
+            if kind is SyncKind.LOCK:
+                if lock_addr in held:
+                    return False  # self-deadlock
+                held.append(lock_addr)
+            elif kind is SyncKind.UNLOCK:
+                if not held or held[-1] != lock_addr:
+                    return False  # unbalanced or badly nested
+                held.pop()
+            elif kind is SyncKind.BARRIER:
+                if held:
+                    return False  # lock held across a barrier: deadlock
+                if barrier_pc.setdefault(barrier_index, pc) != pc:
+                    return False
+                barrier_index += 1
+        if held:
+            return False
+    return True

@@ -1,0 +1,165 @@
+"""Tests for the cross-protocol differential equivalence checker."""
+
+import pytest
+
+from repro.check.differential import (
+    DiffReport,
+    check_workload,
+    compare_summaries,
+    run_differential,
+)
+from repro.check.lockstep import (
+    LockstepRunner,
+    machine_for_cores,
+    run_lockstep,
+)
+from repro.coherence.protocol import DirectoryProtocol
+from repro.workloads.suite import load_benchmark
+
+SCALE = 0.02
+
+
+class TestLockstep:
+    def test_deterministic_across_runs(self):
+        wl = load_benchmark("x264", scale=SCALE)
+        a = run_lockstep(wl, protocol="directory")
+        b = run_lockstep(wl, protocol="directory")
+        assert compare_summaries(a, b) is None
+        assert [t.functional_key() for t in a.tx_log] == [
+            t.functional_key() for t in b.tx_log
+        ]
+
+    def test_summary_counters_add_up(self):
+        wl = load_benchmark("lu", scale=SCALE)
+        summary = run_lockstep(wl)
+        totals = summary.counters()
+        assert totals["reads"] + totals["writes"] + totals["upgrades"] == (
+            summary.transactions
+        )
+        assert totals["comm"] <= summary.transactions
+
+    def test_protocols_agree_on_one_workload(self):
+        wl = load_benchmark("x264", scale=SCALE)
+        divergences = check_workload(
+            wl,
+            protocols=("directory", "broadcast", "multicast", "limited"),
+            predictors=("none",),
+        )
+        assert divergences == []
+
+    def test_predictors_do_not_change_functional_behavior(self):
+        wl = load_benchmark("radiosity", scale=SCALE)
+        divergences = check_workload(
+            wl,
+            protocols=("directory",),
+            predictors=("none", "SP", "ORACLE"),
+        )
+        assert divergences == []
+
+
+class TestRunDifferential:
+    def test_quick_grid_passes(self):
+        report = run_differential(
+            workloads=["x264", "lu"],
+            protocols=("directory", "broadcast", "limited"),
+            predictors=("none", "SP"),
+            scale=SCALE,
+        )
+        assert isinstance(report, DiffReport)
+        assert report.passed
+        assert report.cells == 2 * 3 * 2
+        assert report.transactions > 0
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert payload["cells"] == report.cells
+
+    def test_injected_bug_is_caught(self, monkeypatch):
+        """A protocol mutation must surface as divergence AND sanitizer
+        violations — the acceptance-criteria scenario."""
+        orig = DirectoryProtocol._apply_write_invalidations
+
+        def buggy(self, core, block, minimal):
+            if len(minimal) > 1:  # skip invalidating the highest target
+                minimal = frozenset(minimal) - {max(minimal)}
+            return orig(self, core, block, minimal)
+
+        monkeypatch.setattr(
+            DirectoryProtocol, "_apply_write_invalidations", buggy
+        )
+        # radiosity's sharing pattern produces multi-target invalidation
+        # sets, which the mutation needs in order to misbehave.
+        report = run_differential(
+            workloads=["radiosity"],
+            protocols=("broadcast", "directory"),
+            predictors=("none",),
+            scale=SCALE,
+        )
+        assert not report.passed
+        # The sanitizer sees the stale copy the skipped invalidation left.
+        assert report.violations
+        cell, record = report.violations[0]
+        assert "radiosity" in cell
+        assert record.rule
+        # And the differential comparison sees the two backends disagree.
+        assert report.divergences
+        divergence = report.divergences[0]
+        assert divergence.field_name
+        assert divergence.detail
+
+    def test_divergence_report_names_first_transaction(self, monkeypatch):
+        orig = DirectoryProtocol._apply_write_invalidations
+
+        def buggy(self, core, block, minimal):
+            if len(minimal) > 1:
+                minimal = frozenset(minimal) - {max(minimal)}
+            return orig(self, core, block, minimal)
+
+        monkeypatch.setattr(
+            DirectoryProtocol, "_apply_write_invalidations", buggy
+        )
+        wl = load_benchmark("radiosity", scale=SCALE)
+        divergences = check_workload(
+            wl,
+            protocols=("broadcast", "directory"),
+            predictors=("none",),
+            sanitize=False,
+        )
+        assert divergences
+        detail = divergences[0].detail
+        # The report shows the diverging transaction with context lines.
+        assert "ref " in detail
+        assert "cand" in detail
+
+
+class TestCompareSummaries:
+    def test_detects_final_state_difference(self):
+        wl = load_benchmark("x264", scale=SCALE)
+        machine = machine_for_cores(wl.num_cores)
+        a = LockstepRunner(wl, machine=machine).run()
+        b = LockstepRunner(wl, machine=machine).run()
+        # Corrupt one cache snapshot: must be reported as a divergence.
+        for block in list(b.caches[0]):
+            b.caches[0][block] = "INVALID"
+            break
+        mismatch = compare_summaries(a, b)
+        assert mismatch is not None
+        field_name, _detail = mismatch
+        assert field_name == "final_cache_state"
+
+    def test_detects_truncated_tx_log(self):
+        wl = load_benchmark("x264", scale=SCALE)
+        a = run_lockstep(wl)
+        b = run_lockstep(wl)
+        b.tx_log.pop()
+        mismatch = compare_summaries(a, b)
+        assert mismatch is not None
+        assert mismatch[0] == "transaction_count"
+
+
+@pytest.mark.parametrize("protocol", ["broadcast", "multicast", "limited"])
+def test_each_backend_matches_directory_reference(protocol):
+    wl = load_benchmark("streamcluster", scale=SCALE)
+    divergences = check_workload(
+        wl, protocols=("directory", protocol), predictors=("none",)
+    )
+    assert divergences == []

@@ -1,0 +1,214 @@
+"""Tests for the trace fuzzer, the shrinker, and case replay."""
+
+import json
+
+import pytest
+
+from repro.check.case import load_case, replay_case, save_case
+from repro.check.fuzz import run_case, run_fuzz
+from repro.check.shrink import shrink_case
+from repro.coherence.protocol import DirectoryProtocol
+from repro.workloads.base import OP_SYNC, Workload
+from repro.workloads.fuzz import (
+    FuzzConfig,
+    generate_fuzz_case,
+    well_formed,
+)
+
+#: Small shape so a test fuzz batch runs in seconds.
+SMALL = FuzzConfig(
+    num_cores=4, segment_events=20, barrier_rounds=2, storm_blocks=48
+)
+
+
+@pytest.fixture
+def inject_bug(monkeypatch):
+    """Directory write invalidations skip the highest-numbered target."""
+    orig = DirectoryProtocol._apply_write_invalidations
+
+    def buggy(self, core, block, minimal):
+        if len(minimal) > 1:
+            minimal = frozenset(minimal) - {max(minimal)}
+        return orig(self, core, block, minimal)
+
+    monkeypatch.setattr(
+        DirectoryProtocol, "_apply_write_invalidations", buggy
+    )
+
+
+class TestGenerator:
+    def test_same_seed_same_trace(self):
+        a = generate_fuzz_case(42, SMALL)
+        b = generate_fuzz_case(42, SMALL)
+        assert a.workload.events == b.workload.events
+        assert a.migrations == b.migrations
+
+    def test_different_seeds_differ(self):
+        a = generate_fuzz_case(1, SMALL)
+        b = generate_fuzz_case(2, SMALL)
+        assert a.workload.events != b.workload.events
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generated_traces_are_well_formed(self, seed):
+        fc = generate_fuzz_case(seed, SMALL)
+        assert well_formed(fc.workload)
+
+    def test_generated_traces_run_cleanly(self):
+        for seed in range(6):
+            fc = generate_fuzz_case(seed, SMALL)
+            assert run_case(fc.workload, fc.migrations) is None
+
+    def test_well_formed_rejects_unbalanced_locks(self):
+        from repro.sync.points import SyncKind
+
+        wl = Workload(name="bad", num_cores=2, events=[
+            [(OP_SYNC, SyncKind.LOCK, 0xAC00, 0x100000)],
+            [],
+        ])
+        assert not well_formed(wl)
+
+    def test_well_formed_rejects_lock_across_barrier(self):
+        from repro.sync.points import SyncKind
+
+        wl = Workload(name="bad", num_cores=2, events=[
+            [
+                (OP_SYNC, SyncKind.LOCK, 0xAC00, 0x100000),
+                (OP_SYNC, SyncKind.BARRIER, 0xB000, None),
+                (OP_SYNC, SyncKind.UNLOCK, 0xAC00, 0x100000),
+            ],
+            [(OP_SYNC, SyncKind.BARRIER, 0xB000, None)],
+        ])
+        assert not well_formed(wl)
+
+    def test_well_formed_rejects_mismatched_barrier_pcs(self):
+        from repro.sync.points import SyncKind
+
+        wl = Workload(name="bad", num_cores=2, events=[
+            [(OP_SYNC, SyncKind.BARRIER, 0xB000, None)],
+            [(OP_SYNC, SyncKind.BARRIER, 0xB001, None)],
+        ])
+        assert not well_formed(wl)
+
+
+class TestFuzzBatch:
+    def test_clean_protocols_pass_a_batch(self):
+        report = run_fuzz(seed=100, cases=4, config=SMALL, shrink=False)
+        assert report.passed
+        assert report.cases == 4
+        assert report.failures == []
+
+    def test_injected_bug_is_found_and_shrunk(self, inject_bug, tmp_path):
+        report = run_fuzz(
+            seed=0, cases=2, config=SMALL, out_dir=str(tmp_path)
+        )
+        assert not report.passed
+        failure = report.failures[0]
+        assert failure.failure.kind in ("sanitizer", "divergence")
+        # Shrinking must make real progress on a ~500-event trace.
+        assert failure.shrunk_events < failure.original_events
+        assert failure.shrunk_events <= 10
+        assert failure.case_path is not None
+        # The saved case is valid JSON with the failure embedded.
+        doc = json.loads(open(failure.case_path).read())
+        assert doc["format"] == "repro-check-case"
+        assert doc["failure"]["kind"] == failure.failure.kind
+
+    def test_shrunk_case_replays_deterministically(
+        self, inject_bug, tmp_path
+    ):
+        report = run_fuzz(
+            seed=0, cases=1, config=SMALL, out_dir=str(tmp_path)
+        )
+        assert report.failures
+        path = report.failures[0].case_path
+        first = replay_case(path)
+        second = replay_case(path)
+        assert first is not None
+        assert first.to_dict() == second.to_dict()
+
+    def test_replay_passes_once_bug_is_fixed(self, tmp_path):
+        # Generate the reproducer under the bug...
+        orig = DirectoryProtocol._apply_write_invalidations
+
+        def buggy(self, core, block, minimal):
+            if len(minimal) > 1:
+                minimal = frozenset(minimal) - {max(minimal)}
+            return orig(self, core, block, minimal)
+
+        DirectoryProtocol._apply_write_invalidations = buggy
+        try:
+            report = run_fuzz(
+                seed=0, cases=1, config=SMALL, out_dir=str(tmp_path)
+            )
+        finally:
+            DirectoryProtocol._apply_write_invalidations = orig
+        assert report.failures
+        # ...then replay against the fixed protocol: clean.
+        assert replay_case(report.failures[0].case_path) is None
+
+    def test_fuzz_report_serializes(self, inject_bug, tmp_path):
+        report = run_fuzz(
+            seed=0, cases=1, config=SMALL, out_dir=str(tmp_path)
+        )
+        payload = report.to_dict()
+        assert payload["passed"] is False
+        assert payload["failures"][0]["seed"] == 0
+        json.dumps(payload)  # JSON-safe
+
+
+class TestShrinker:
+    def test_shrink_is_deterministic(self, inject_bug):
+        fc = generate_fuzz_case(0, SMALL)
+
+        def still_fails(candidate):
+            return well_formed(candidate) and (
+                run_case(candidate, fc.migrations) is not None
+            )
+
+        assert run_case(fc.workload, fc.migrations) is not None
+        a = shrink_case(fc.workload, still_fails)
+        b = shrink_case(fc.workload, still_fails)
+        assert a.events == b.events
+
+    def test_shrink_preserves_failure(self, inject_bug):
+        fc = generate_fuzz_case(0, SMALL)
+
+        def still_fails(candidate):
+            return well_formed(candidate) and (
+                run_case(candidate, fc.migrations) is not None
+            )
+
+        shrunk = shrink_case(fc.workload, still_fails)
+        assert well_formed(shrunk)
+        assert run_case(shrunk, fc.migrations) is not None
+
+    def test_shrink_keeps_workload_untouched_when_nothing_helps(self):
+        wl = Workload(name="w", num_cores=2, events=[
+            [(0, 0, 1)], [(1, 0, 2)],
+        ])
+        shrunk = shrink_case(wl, lambda w: False)
+        assert shrunk.events == wl.events
+
+
+class TestCaseFiles:
+    def test_case_round_trip(self, tmp_path):
+        fc = generate_fuzz_case(7, SMALL)
+        path = save_case(
+            str(tmp_path),
+            workload=fc.workload,
+            migrations=fc.migrations,
+            seed=7,
+            protocols=("directory", "broadcast"),
+            predictors=("none",),
+        )
+        workload, migrations, doc = load_case(path)
+        assert workload.events == fc.workload.events
+        assert workload.num_cores == fc.workload.num_cores
+        assert migrations == fc.migrations
+        assert doc["protocols"] == ["directory", "broadcast"]
+
+    def test_load_rejects_non_case_files(self, tmp_path):
+        path = tmp_path / "not-a-case.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_case(path)

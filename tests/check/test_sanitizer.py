@@ -1,0 +1,200 @@
+"""Unit tests for the structured coherence sanitizer."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import PrivateHierarchy
+from repro.coherence.directory import Directory
+from repro.coherence.protocol import DirectoryProtocol, ProtocolLatencies
+from repro.coherence.states import Mesif
+from repro.coherence.verify import (
+    RULE_DIR_CACHE_MISMATCH,
+    RULE_DIRTY_MISMATCH,
+    RULE_DOUBLE_FORWARD,
+    RULE_MULTIPLE_WRITERS,
+    RULE_OWNER_MISMATCH,
+    CoherenceVerifier,
+    CoherenceViolation,
+    ViolationRecord,
+)
+from repro.noc.network import Network
+from repro.noc.topology import Mesh2D
+
+N = 4
+BLOCK = 32
+
+
+@pytest.fixture
+def proto() -> DirectoryProtocol:
+    hiers = [
+        PrivateHierarchy(
+            c,
+            l1=CacheConfig(size=256, assoc=1, line_size=64),
+            l2=CacheConfig(size=2048, assoc=2, line_size=64),
+        )
+        for c in range(N)
+    ]
+    return DirectoryProtocol(
+        hiers, Directory(N), Network(Mesh2D(2, 2)), ProtocolLatencies()
+    )
+
+
+def rules_of(found):
+    return {v.rule for v in found}
+
+
+class TestViolationClasses:
+    def test_clean_state_has_no_violations(self, proto):
+        proto.write_miss(0, BLOCK)
+        proto.read_miss(1, BLOCK)
+        verifier = CoherenceVerifier(proto, record=True)
+        assert verifier.check_block(BLOCK) == []
+        assert verifier.violations == []
+        assert verifier.checks == 1
+
+    def test_two_writers(self, proto):
+        proto.write_miss(0, BLOCK)
+        # Corrupt: a second cache acquires a writable copy behind the
+        # directory's back.
+        proto.hierarchies[1].fill(BLOCK, Mesif.MODIFIED)
+        verifier = CoherenceVerifier(proto, record=True)
+        found = verifier.check_block(BLOCK)
+        assert RULE_MULTIPLE_WRITERS in rules_of(found)
+        record = next(
+            v for v in found if v.rule == RULE_MULTIPLE_WRITERS
+        )
+        # Protocol-agnostic message: core IDs and MESIF state names.
+        assert "core 0 in MODIFIED" in record.message
+        assert "core 1 in MODIFIED" in record.message
+
+    def test_stale_directory_sharer(self, proto):
+        proto.read_miss(0, BLOCK)
+        # Corrupt: a cache holds a copy the directory does not know about.
+        proto.hierarchies[2].fill(BLOCK, Mesif.SHARED)
+        verifier = CoherenceVerifier(proto, record=True)
+        found = verifier.check_block(BLOCK)
+        assert RULE_DIR_CACHE_MISMATCH in rules_of(found)
+        record = next(
+            v for v in found if v.rule == RULE_DIR_CACHE_MISMATCH
+        )
+        assert "core 2 in SHARED" in record.message
+        assert "sharers" in record.message
+
+    def test_double_forward(self, proto):
+        proto.write_miss(1, BLOCK)
+        proto.read_miss(0, BLOCK)  # core 0 takes F
+        # Corrupt: a second Forward copy appears.
+        proto.hierarchies[2].fill(BLOCK, Mesif.FORWARD)
+        verifier = CoherenceVerifier(proto, record=True)
+        found = verifier.check_block(BLOCK)
+        assert RULE_DOUBLE_FORWARD in rules_of(found)
+        record = next(v for v in found if v.rule == RULE_DOUBLE_FORWARD)
+        assert "Forward copies at core 0, core 2" in record.message
+
+    def test_owner_mismatch(self, proto):
+        proto.write_miss(0, BLOCK)
+        # Corrupt: directory forgets the owner but the cache still writes.
+        proto.directory.entry(BLOCK).owner = None
+        verifier = CoherenceVerifier(proto, record=True)
+        found = verifier.check_block(BLOCK)
+        assert RULE_OWNER_MISMATCH in rules_of(found)
+        record = next(v for v in found if v.rule == RULE_OWNER_MISMATCH)
+        assert "core 0" in record.message
+        assert "nobody" in record.message
+
+    def test_dirty_mismatch(self, proto):
+        proto.write_miss(0, BLOCK)
+        proto.directory.entry(BLOCK).dirty = False
+        verifier = CoherenceVerifier(proto, record=True)
+        found = verifier.check_block(BLOCK)
+        assert RULE_DIRTY_MISMATCH in rules_of(found)
+
+
+class TestModes:
+    def test_raise_mode_raises_first_violation(self, proto):
+        proto.write_miss(0, BLOCK)
+        proto.hierarchies[1].fill(BLOCK, Mesif.MODIFIED)
+        verifier = CoherenceVerifier(proto)  # positional, raise mode
+        with pytest.raises(CoherenceViolation):
+            verifier.check_block(BLOCK)
+
+    def test_record_mode_keeps_running(self, proto):
+        proto.write_miss(0, BLOCK)
+        proto.hierarchies[1].fill(BLOCK, Mesif.MODIFIED)
+        verifier = CoherenceVerifier(proto, record=True)
+        first = verifier.check_block(BLOCK, transaction=7)
+        again = verifier.check_block(BLOCK, transaction=8)
+        assert first and again
+        assert verifier.checks == 2
+        assert len(verifier.violations) == len(first) + len(again)
+        assert first[0].transaction == 7
+        assert again[0].transaction == 8
+
+    def test_record_mode_caps_records(self, proto):
+        proto.write_miss(0, BLOCK)
+        proto.hierarchies[1].fill(BLOCK, Mesif.MODIFIED)
+        verifier = CoherenceVerifier(proto, record=True, max_records=3)
+        for tx in range(10):
+            verifier.check_block(BLOCK, transaction=tx)
+        assert len(verifier.violations) == 3
+        assert verifier.checks == 10
+
+    def test_report_counts_by_rule(self, proto):
+        proto.write_miss(0, BLOCK)
+        proto.hierarchies[1].fill(BLOCK, Mesif.MODIFIED)
+        verifier = CoherenceVerifier(proto, record=True)
+        verifier.check_block(BLOCK)
+        report = verifier.report()
+        assert report["checks"] == 1
+        assert report["violations"] == len(verifier.violations)
+        assert report["by_rule"][RULE_MULTIPLE_WRITERS] == 1
+        assert report["records"][0]["rule"]
+
+
+class TestViolationRecord:
+    def test_dict_round_trip(self):
+        record = ViolationRecord(
+            rule=RULE_MULTIPLE_WRITERS,
+            block=0x40,
+            transaction=12,
+            expected="at most one writable copy",
+            actual="writable copies at core 0 in MODIFIED, core 3 in MODIFIED",
+        )
+        assert ViolationRecord.from_dict(record.to_dict()) == record
+
+    def test_message_includes_block_and_transaction(self):
+        record = ViolationRecord(
+            rule=RULE_DIRTY_MISMATCH, block=0x80, transaction=5,
+            expected="e", actual="a",
+        )
+        assert "block 0x80" in record.message
+        assert "#5" in record.message
+        assert RULE_DIRTY_MISMATCH in record.message
+
+
+class TestEngineSanitize:
+    def test_clean_run_records_checks_and_no_violations(self):
+        from repro.sim.engine import simulate
+        from repro.workloads.suite import load_benchmark
+
+        wl = load_benchmark("x264", scale=0.01)
+        result = simulate(wl, protocol="directory", sanitize=True)
+        assert result.sanitizer_checks == result.misses > 0
+        assert result.sanitizer_violations == []
+
+    def test_sanitize_survives_result_round_trip(self, proto):
+        from repro.sim.results import SimulationResult
+
+        result = SimulationResult(
+            workload="w", protocol="directory", predictor="none", num_cores=4
+        )
+        result.sanitizer_checks = 9
+        result.sanitizer_violations = [
+            ViolationRecord(
+                rule=RULE_DIR_CACHE_MISMATCH, block=1, transaction=2,
+                expected="e", actual="a",
+            )
+        ]
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.sanitizer_checks == 9
+        assert rebuilt.sanitizer_violations == result.sanitizer_violations

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Correctness gate: tier-1 tests, a differential equivalence pass over
+# the quick grid, and a seeded fuzz batch.  Everything here is
+# deterministic — a red run reproduces locally with the same commands.
+#
+# Usage: tools/check.sh [bench-out.json]
+#
+# Runtimes for each stage are merged into the JSON file given as $1
+# (default BENCH_check.json) so CI history tracks harness cost.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_OUT="${1:-BENCH_check.json}"
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== differential equivalence (quick grid) =="
+python -m repro check diff --quick --bench "$BENCH_OUT"
+
+echo "== seeded fuzz batch =="
+FUZZ_DIR="$(mktemp -d)"
+trap 'rm -rf "$FUZZ_DIR"' EXIT
+python -m repro check fuzz --cases 8 --seed 1234 \
+    --out-dir "$FUZZ_DIR" --bench "$BENCH_OUT"
+
+echo "== check.sh: all gates green =="
