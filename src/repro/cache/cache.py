@@ -46,7 +46,7 @@ class CacheConfig:
         return block % self.num_sets
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """A resident line: block address plus a coherence state token.
 
@@ -58,7 +58,7 @@ class CacheLine:
     state: object
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictedLine:
     """A line pushed out by a fill, reported back to the caller."""
 
@@ -70,9 +70,11 @@ class EvictedLine:
 class Cache:
     """A set-associative, true-LRU cache of coherence-stated lines.
 
-    Each set is an ordered list of :class:`CacheLine`, most-recently-used
-    first.  ``lookup`` does not touch recency; ``touch`` promotes; ``fill``
-    inserts (evicting LRU if needed); ``invalidate`` removes.
+    Each set is an insertion-ordered dict of block -> :class:`CacheLine`,
+    least-recently-used first (so the victim is the first key).  ``lookup``
+    does not touch recency; ``touch`` promotes; ``fill`` inserts (evicting
+    LRU if needed); ``invalidate`` removes.  The dict representation makes
+    every operation O(1) per access instead of an O(assoc) list scan.
     """
 
     config: CacheConfig
@@ -84,52 +86,64 @@ class Cache:
     def __post_init__(self) -> None:
         self._num_sets = self.config.num_sets
         self._assoc = self.config.assoc
-        self._sets = [[] for _ in range(self._num_sets)]
+        self._sets = [{} for _ in range(self._num_sets)]
 
     def lookup(self, block: int) -> CacheLine | None:
         """Return the resident line for ``block``, or None. No LRU update."""
-        for line in self._sets[block % self._num_sets]:
-            if line.block == block:
-                return line
-        return None
+        return self._sets[block % self._num_sets].get(block)
 
     def touch(self, block: int) -> CacheLine | None:
         """Look up ``block`` and move it to MRU position if present."""
         bucket = self._sets[block % self._num_sets]
-        for i, line in enumerate(bucket):
-            if line.block == block:
-                if i:
-                    bucket.insert(0, bucket.pop(i))
-                return line
-        return None
+        line = bucket.get(block)
+        if line is not None:
+            del bucket[block]
+            bucket[block] = line
+        return line
 
-    def fill(self, block: int, state: object) -> EvictedLine | None:
+    def fill(self, block: int, state: object) -> CacheLine | None:
         """Insert ``block`` in the given state; return the victim, if any.
 
         If the block is already resident its state is overwritten and it is
-        promoted to MRU (no eviction happens).
+        promoted to MRU (no eviction happens).  The victim is the detached
+        LRU :class:`CacheLine` itself (same ``block``/``state`` attributes
+        :class:`EvictedLine` carried, without a per-eviction allocation).
         """
         bucket = self._sets[block % self._num_sets]
-        for i, line in enumerate(bucket):
-            if line.block == block:
-                line.state = state
-                if i:
-                    bucket.insert(0, bucket.pop(i))
-                return None
+        line = bucket.get(block)
+        if line is not None:
+            line.state = state
+            del bucket[block]
+            bucket[block] = line
+            return None
         victim = None
         if len(bucket) >= self._assoc:
-            lru = bucket.pop()
-            victim = EvictedLine(block=lru.block, state=lru.state)
-        bucket.insert(0, CacheLine(block=block, state=state))
+            victim = bucket.pop(next(iter(bucket)))
+        bucket[block] = CacheLine(block=block, state=state)
         return victim
+
+    def insert(self, block: int, state: object = True) -> None:
+        """``fill`` for callers that discard the victim (e.g. an L1 kept
+        inclusive under the L2): the evicted line object is recycled for
+        the incoming block, so a steady-state fill allocates nothing."""
+        bucket = self._sets[block % self._num_sets]
+        line = bucket.get(block)
+        if line is not None:
+            line.state = state
+            del bucket[block]
+            bucket[block] = line
+            return
+        if len(bucket) >= self._assoc:
+            line = bucket.pop(next(iter(bucket)))
+            line.block = block
+            line.state = state
+            bucket[block] = line
+            return
+        bucket[block] = CacheLine(block=block, state=state)
 
     def invalidate(self, block: int) -> CacheLine | None:
         """Remove ``block`` if resident and return the removed line."""
-        bucket = self._sets[block % self._num_sets]
-        for i, line in enumerate(bucket):
-            if line.block == block:
-                return bucket.pop(i)
-        return None
+        return self._sets[block % self._num_sets].pop(block, None)
 
     def set_state(self, block: int, state: object) -> bool:
         """Overwrite the coherence state of a resident block."""
@@ -141,14 +155,18 @@ class Cache:
 
     def resident_blocks(self) -> list:
         """All resident block addresses (test/diagnostic helper)."""
-        return [line.block for bucket in self._sets for line in bucket]
+        return [
+            line.block
+            for bucket in self._sets
+            for line in reversed(bucket.values())
+        ]
 
     def resident_lines(self) -> list:
         """All resident ``(block, state)`` pairs (state-snapshot helper)."""
         return [
             (line.block, line.state)
             for bucket in self._sets
-            for line in bucket
+            for line in reversed(bucket.values())
         ]
 
     def occupancy(self) -> int:

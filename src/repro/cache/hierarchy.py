@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.cache.cache import Cache, CacheConfig
+from repro.cache.cache import Cache, CacheConfig, CacheLine
 from repro.coherence.states import Mesif
 
 
@@ -33,7 +33,7 @@ class HierarchyOutcome(enum.Enum):
         return self in (HierarchyOutcome.UPGRADE_MISS, HierarchyOutcome.MISS)
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Per-core hit/miss counters."""
 
@@ -60,6 +60,15 @@ class PrivateHierarchy:
         self.l1 = Cache(l1)
         self.l2 = Cache(l2)
         self.stats = HierarchyStats()
+        # classify() runs once per memory access; the shift and the raw
+        # set arrays are resolved here so the hot path stays call-free.
+        self._shift = l2.line_size.bit_length() - 1
+        self._l1_sets = self.l1._sets
+        self._l1_nsets = self.l1._num_sets
+        self._l1_assoc = self.l1._assoc
+        self._l2_sets = self.l2._sets
+        self._l2_nsets = self.l2._num_sets
+        self._l2_assoc = self.l2._assoc
 
     @property
     def line_size(self) -> int:
@@ -72,29 +81,39 @@ class PrivateHierarchy:
         """Classify an access and update LRU/recency state on hits.
 
         Misses do not modify the caches; the coherence protocol performs the
-        fill (via :meth:`fill`) once the transaction completes.
+        fill (via :meth:`fill`) once the transaction completes.  The L1/L2
+        touch paths are inlined (see :meth:`Cache.touch`): this method runs
+        per trace event, and the per-level method calls were measurable.
         """
-        block = self.block_of(addr)
-        self.stats.accesses += 1
-        l2_line = self.l2.touch(block)
+        block = addr >> self._shift
+        stats = self.stats
+        stats.accesses += 1
+        bucket = self._l2_sets[block % self._l2_nsets]
+        l2_line = bucket.get(block)
+        if l2_line is not None:
+            del bucket[block]
+            bucket[block] = l2_line
 
         if l2_line is None or l2_line.state is Mesif.INVALID:
-            self.stats.misses += 1
+            stats.misses += 1
             return HierarchyOutcome.MISS
 
-        if kind is AccessKind.WRITE and not l2_line.state.can_write:
-            self.stats.upgrade_misses += 1
-            return HierarchyOutcome.UPGRADE_MISS
-
         if kind is AccessKind.WRITE:
+            if not l2_line.state.can_write:
+                stats.upgrade_misses += 1
+                return HierarchyOutcome.UPGRADE_MISS
             # Silent E->M transition on a write hit.
             l2_line.state = Mesif.MODIFIED
 
-        if self.l1.touch(block) is not None:
-            self.stats.l1_hits += 1
+        bucket = self._l1_sets[block % self._l1_nsets]
+        l1_line = bucket.get(block)
+        if l1_line is not None:
+            del bucket[block]
+            bucket[block] = l1_line
+            stats.l1_hits += 1
             return HierarchyOutcome.L1_HIT
-        self.l1.fill(block, state=True)
-        self.stats.l2_hits += 1
+        self.l1.insert(block)
+        stats.l2_hits += 1
         return HierarchyOutcome.L2_HIT
 
     def peek_state(self, block: int) -> Mesif:
@@ -106,12 +125,41 @@ class PrivateHierarchy:
         """Install a block after a coherence transaction completes.
 
         Returns the evicted L2 line (if any) so the protocol can update the
-        directory for the victim.
+        directory for the victim.  Like :meth:`classify`, the L1/L2 paths
+        are inlined (see :meth:`Cache.fill` / :meth:`Cache.insert`): this
+        runs once per miss, and the per-level calls were measurable.
         """
-        victim = self.l2.fill(block, state)
-        if victim is not None:
-            self.l1.invalidate(victim.block)
-        self.l1.fill(block, state=True)
+        bucket = self._l2_sets[block % self._l2_nsets]
+        line = bucket.get(block)
+        victim = None
+        if line is not None:
+            # Already resident: overwrite the state, promote to MRU.
+            line.state = state
+            del bucket[block]
+            bucket[block] = line
+        else:
+            if len(bucket) >= self._l2_assoc:
+                victim = bucket.pop(next(iter(bucket)))
+                # Inclusive L1 drops the L2 victim.
+                self._l1_sets[victim.block % self._l1_nsets].pop(
+                    victim.block, None
+                )
+            bucket[block] = CacheLine(block=block, state=state)
+
+        bucket = self._l1_sets[block % self._l1_nsets]
+        line = bucket.get(block)
+        if line is not None:
+            line.state = True
+            del bucket[block]
+            bucket[block] = line
+        elif len(bucket) >= self._l1_assoc:
+            # Recycle the evicted line object for the incoming block.
+            line = bucket.pop(next(iter(bucket)))
+            line.block = block
+            line.state = True
+            bucket[block] = line
+        else:
+            bucket[block] = CacheLine(block=block, state=True)
         return victim
 
     def set_state(self, block: int, state: Mesif) -> None:

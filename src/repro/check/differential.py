@@ -41,6 +41,15 @@ FULL_PREDICTORS = PREDICTOR_KINDS
 QUICK_PREDICTORS = ("none", "SP", "ORACLE")
 QUICK_WORKLOADS = ("x264", "lu", "radiosity", "streamcluster")
 
+#: Cells the compiled-vs-interpreted engine stage runs per workload: the
+#: reference protocol with the paper's predictor, one multicast cell
+#: (prediction fan-out), and one unpredicted broadcast cell.
+ENGINE_CELLS = (
+    ("directory", "SP"),
+    ("multicast", "ADDR"),
+    ("broadcast", "none"),
+)
+
 
 @dataclass(frozen=True)
 class Divergence:
@@ -73,6 +82,7 @@ class DiffReport:
     scale: float
     cells: int = 0
     transactions: int = 0
+    engine_cells: int = 0
     divergences: list = field(default_factory=list)
     violations: list = field(default_factory=list)  # (cell desc, record)
     elapsed: float = 0.0
@@ -90,6 +100,7 @@ class DiffReport:
             "scale": self.scale,
             "cells": self.cells,
             "transactions": self.transactions,
+            "engine_cells": self.engine_cells,
             "elapsed_seconds": round(self.elapsed, 3),
             "divergences": [d.describe() for d in self.divergences],
             "violations": [
@@ -232,6 +243,62 @@ def check_workload(
     return divergences
 
 
+def check_engine_paths(
+    workload: Workload,
+    cells=ENGINE_CELLS,
+    machine: MachineConfig | None = None,
+    report: DiffReport | None = None,
+) -> list:
+    """The timing engine's two loops must agree on every counter.
+
+    :meth:`SimulationEngine.run` has an interpreted event-by-event loop
+    and a compiled fast path driven by the trace's segment index
+    (:mod:`repro.traces.compile`); the fast path's contract is
+    bit-identity, so this stage runs each cell through both and compares
+    the *complete* ``SimulationResult.to_dict()`` payloads — every
+    counter, histogram, network total, and epoch statistic.
+    """
+    from repro.check.lockstep import machine_for_cores
+    from repro.sim.engine import SimulationEngine
+
+    if machine is None:
+        machine = machine_for_cores(workload.num_cores)
+    divergences = []
+    for protocol, predictor in cells:
+        payloads = []
+        for use_compiled in (False, True):
+            engine = SimulationEngine(
+                workload,
+                machine=machine,
+                protocol=protocol,
+                predictor=predictor,
+                collect_epochs=True,
+                use_compiled=use_compiled,
+            )
+            payloads.append(engine.run().to_dict())
+        interpreted, compiled = payloads
+        if report is not None:
+            report.engine_cells += 1
+            report.transactions += (
+                interpreted["read_misses"] + interpreted["write_misses"]
+                + interpreted["upgrade_misses"]
+            )
+        if interpreted != compiled:
+            divergences.append(Divergence(
+                workload=workload.name,
+                protocol=protocol,
+                predictor=predictor,
+                ref_protocol=protocol,
+                ref_predictor=predictor,
+                field_name="compiled_engine",
+                detail="interpreted (reference) vs compiled (candidate): "
+                       + _dict_diff(interpreted, compiled),
+            ))
+    if report is not None:
+        report.divergences.extend(divergences)
+    return divergences
+
+
 def run_differential(
     workloads=None,
     protocols=FULL_PROTOCOLS,
@@ -239,10 +306,12 @@ def run_differential(
     scale: float = 0.05,
     seed: int | None = None,
     machine: MachineConfig | None = None,
+    engine_cells=ENGINE_CELLS,
     verbose: bool = False,
 ) -> DiffReport:
     """The full differential sweep: suite workloads x protocols x
-    predictors, each cell checked against the reference cell."""
+    predictors, each cell checked against the reference cell, plus the
+    compiled-vs-interpreted engine stage per workload."""
     from repro.workloads.suite import benchmark_names, load_benchmark
 
     names = tuple(workloads) if workloads else tuple(benchmark_names())
@@ -263,10 +332,15 @@ def run_differential(
             machine=machine,
             report=report,
         )
+        if engine_cells:
+            check_engine_paths(
+                workload, cells=engine_cells, machine=machine, report=report
+            )
         if verbose:
             issues = len(report.divergences) + len(report.violations) - before
             status = "ok" if issues == 0 else f"{issues} ISSUE(S)"
             print(f"  diff {name:15s} "
-                  f"{len(protocols) * len(predictors)} cells: {status}")
+                  f"{len(protocols) * len(predictors)} lockstep + "
+                  f"{len(engine_cells)} engine cells: {status}")
     report.elapsed = time.perf_counter() - start
     return report

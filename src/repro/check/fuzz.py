@@ -34,6 +34,14 @@ from repro.workloads.fuzz import FuzzConfig, generate_fuzz_case, well_formed
 CASE_PROTOCOLS = ("directory", "broadcast", "multicast", "limited")
 CASE_PREDICTORS = ("none", "SP")
 
+#: Timing-engine cells each fuzz case additionally runs through both of
+#: :meth:`SimulationEngine.run`'s loops (interpreted and compiled).
+#: Fuzz traces cross the trace compiler's segment classifier in ways the
+#: suite generators never do — interleaved private/shared spans, think
+#: runs abutting budget boundaries — and the tiny fuzz caches plus the
+#: 64-byte line size keep the compiled private fast path armed.
+CASE_ENGINE_CELLS = (("directory", "SP"), ("broadcast", "none"))
+
 
 def fuzz_machine(num_cores: int) -> MachineConfig:
     """Deliberately tiny caches so capacity evictions are routine."""
@@ -71,6 +79,7 @@ def run_case(
     protocols=CASE_PROTOCOLS,
     predictors=CASE_PREDICTORS,
     machine: MachineConfig | None = None,
+    engine_cells=CASE_ENGINE_CELLS,
 ) -> CaseFailure | None:
     """Run one trace through the grid; first failure or None.
 
@@ -117,6 +126,53 @@ def run_case(
                         cell=f"{cell} vs {ref.protocol}/{ref.predictor}",
                         detail=f"{field_name}:\n{detail}",
                     )
+    return _run_engine_cells(workload, migrations, machine, engine_cells)
+
+
+def _run_engine_cells(
+    workload: Workload,
+    migrations: dict | None,
+    machine: MachineConfig,
+    cells,
+) -> CaseFailure | None:
+    """Compiled-vs-interpreted engine equivalence on one fuzz trace.
+
+    Both loops of :meth:`SimulationEngine.run` replay the case and the
+    complete ``to_dict()`` payloads must match; the trace recompiles
+    from scratch each time, so the compiler's segment classification is
+    fuzzed along with the engine.
+    """
+    from repro.check.differential import _dict_diff
+    from repro.sim.engine import SimulationEngine
+
+    for protocol, predictor in cells:
+        cell = f"engine:{protocol}/{predictor}"
+        payloads = []
+        for use_compiled in (False, True):
+            try:
+                engine = SimulationEngine(
+                    workload,
+                    machine=machine,
+                    protocol=protocol,
+                    predictor=predictor,
+                    migrations=migrations,
+                    collect_epochs=True,
+                    use_compiled=use_compiled,
+                )
+                payloads.append(engine.run().to_dict())
+            except Exception as exc:
+                loop = "compiled" if use_compiled else "interpreted"
+                return CaseFailure(
+                    kind="crash",
+                    cell=f"{cell} ({loop})",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+        if payloads[0] != payloads[1]:
+            return CaseFailure(
+                kind="divergence",
+                cell=f"{cell} compiled vs interpreted",
+                detail=_dict_diff(payloads[0], payloads[1]),
+            )
     return None
 
 

@@ -6,6 +6,8 @@
     python -m repro simulate bodytrack --predictor SP --scale 0.5
     python -m repro simulate my.trace --trace --protocol broadcast --sanitize
     python -m repro dump-trace x264 -o x264.trace --scale 0.2
+    python -m repro trace compile bodytrack -o bodytrack.rtrace
+    python -m repro trace info bodytrack.rtrace
     python -m repro check diff --quick
     python -m repro check fuzz --cases 20 --seed 1234 --out-dir fuzz-cases
     python -m repro check replay fuzz-cases/case-1234.json
@@ -74,6 +76,41 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--scale", type=float, default=0.5)
     dump.set_defaults(func=cmd_dump_trace)
 
+    trace = sub.add_parser(
+        "trace", help="compiled (v2) trace utilities"
+    )
+    tracesub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tcomp = tracesub.add_parser(
+        "compile",
+        help="compile a benchmark or v1 trace file into a binary v2 trace",
+    )
+    tcomp.add_argument(
+        "workload", help="benchmark name, or a v1 trace file with --trace"
+    )
+    tcomp.add_argument("--trace", action="store_true",
+                       help="treat WORKLOAD as a v1 trace file path")
+    tcomp.add_argument("-o", "--output", required=True)
+    tcomp.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor (default %(default)s)")
+    tcomp.add_argument("--seed", type=int, default=None)
+    tcomp.set_defaults(func=cmd_trace_compile)
+
+    texp = tracesub.add_parser(
+        "export", help="convert a binary v2 trace back to v1 text"
+    )
+    texp.add_argument("input", help="path to a v2 .rtrace file")
+    texp.add_argument("-o", "--output", required=True)
+    texp.set_defaults(func=cmd_trace_export)
+
+    tinfo = tracesub.add_parser(
+        "info", help="inspect a trace file (v1 text or v2 binary)"
+    )
+    tinfo.add_argument("input", help="path to a trace file")
+    tinfo.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    tinfo.set_defaults(func=cmd_trace_info)
+
     comp = sub.add_parser(
         "compare", help="run several predictors on one workload"
     )
@@ -113,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the full report as JSON")
     diff.add_argument("--bench", metavar="PATH", default=None,
                       help="merge the report into a JSON benchmark file")
+    diff.add_argument("--bench-key", default="diff",
+                      help="section name used with --bench "
+                           "(default %(default)s)")
     diff.set_defaults(func=cmd_check_diff)
 
     fuzz = checksub.add_parser(
@@ -279,13 +319,14 @@ def cmd_check_diff(args) -> int:
         verbose=not args.json,
     )
     if args.bench:
-        _merge_bench(args.bench, "diff", report.to_dict())
+        _merge_bench(args.bench, args.bench_key, report.to_dict())
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(
-            f"diff: {report.cells} cells, {report.transactions:,} "
-            f"transactions in {report.elapsed:.1f}s -> "
+            f"diff: {report.cells} lockstep + {report.engine_cells} "
+            f"engine cells, {report.transactions:,} transactions in "
+            f"{report.elapsed:.1f}s -> "
             + ("PASS" if report.passed else "FAIL")
         )
         for cell, record in report.violations[:10]:
@@ -345,6 +386,90 @@ def cmd_dump_trace(args) -> int:
     dump_trace(workload, args.output)
     print(f"wrote {workload.total_events():,} events "
           f"({workload.num_cores} cores) to {args.output}")
+    return 0
+
+
+def cmd_trace_compile(args) -> int:
+    import os
+
+    from repro.traces import compile_workload, save_compiled
+
+    if args.trace:
+        workload = load_trace(args.workload)
+    else:
+        if args.workload not in benchmark_names():
+            print(f"error: unknown benchmark {args.workload!r} "
+                  f"(use --trace for a v1 trace file)", file=sys.stderr)
+            return 2
+        workload = load_benchmark(
+            args.workload, scale=args.scale, seed=args.seed
+        )
+    compiled = compile_workload(workload)
+    save_compiled(compiled, args.output)
+    counts = compiled.segment_counts()
+    print(
+        f"compiled {workload.name}: {compiled.total_events():,} events "
+        f"({compiled.num_cores} cores), {counts['think_runs']:,} think "
+        f"runs, {counts['private_runs']:,} private runs -> "
+        f"{args.output} ({os.path.getsize(args.output):,} bytes)"
+    )
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    from repro.traces import load_compiled
+
+    compiled = load_compiled(args.input)
+    workload = compiled.to_workload()
+    dump_trace(workload, args.output)
+    print(f"exported {workload.total_events():,} events "
+          f"({workload.num_cores} cores) to {args.output} (v1 text)")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    import os
+
+    from repro.traces import load_compiled
+
+    with open(args.input, "rb") as fh:
+        magic = fh.read(8)
+    if magic == b"RTRACEv2":
+        compiled = load_compiled(args.input)
+        counts = compiled.segment_counts()
+        info = {
+            "format": "repro-trace v2 (binary)",
+            "name": compiled.name,
+            "num_cores": compiled.num_cores,
+            "events": compiled.total_events(),
+            "events_per_core": [
+                compiled.num_events(core)
+                for core in range(compiled.num_cores)
+            ],
+            "segments_per_core": [
+                len(segs) for segs in compiled.segments
+            ],
+            **counts,
+            "file_bytes": os.path.getsize(args.input),
+        }
+    else:
+        workload = load_trace(args.input)
+        info = {
+            "format": "repro-trace v1 (text)",
+            "name": workload.name,
+            "num_cores": workload.num_cores,
+            "events": workload.total_events(),
+            "events_per_core": [
+                len(workload.stream(core))
+                for core in range(workload.num_cores)
+            ],
+            "file_bytes": os.path.getsize(args.input),
+        }
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    for key, value in info.items():
+        print(f"{key:18s}{value}")
     return 0
 
 

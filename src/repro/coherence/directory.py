@@ -13,7 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+_EMPTY_SET: frozenset = frozenset()
+
+#: Singleton frozensets for every plausible responder id, so
+#: ``minimal_read_targets`` — called once per read/write miss — does not
+#: allocate a fresh one-element set each time.
+_SINGLETONS = tuple(frozenset((node,)) for node in range(256))
+
+
+@dataclass(slots=True)
 class DirectoryEntry:
     """Sharing state of a single block."""
 
@@ -36,8 +44,14 @@ class DirectoryEntry:
 
         Empty when memory must respond (no owner and no forwarder).
         """
-        resp = self.responder
-        return frozenset() if resp is None else frozenset((resp,))
+        resp = self.owner
+        if resp is None:
+            resp = self.forwarder
+            if resp is None:
+                return _EMPTY_SET
+        if resp < 256:
+            return _SINGLETONS[resp]
+        return frozenset((resp,))
 
     def minimal_write_targets(self, requester: int) -> frozenset:
         """Caches that must be contacted to grant exclusive ownership.
@@ -46,7 +60,18 @@ class DirectoryEntry:
         forward its data), so the minimal set is every sharer but the
         requester itself.
         """
-        return frozenset(self.sharers - {requester})
+        sharers = self.sharers
+        if not sharers:
+            return _EMPTY_SET
+        if requester in sharers:
+            if len(sharers) == 1:
+                return _EMPTY_SET
+            return frozenset(sharers - {requester})
+        return frozenset(sharers)
+
+
+#: The entry ``peek`` hands out for uncached blocks; never mutated.
+_EMPTY_ENTRY = DirectoryEntry()
 
 
 class Directory:
@@ -73,8 +98,16 @@ class Directory:
         return ent
 
     def peek(self, block: int) -> DirectoryEntry:
-        """Entry without creating one (empty entry for uncached blocks)."""
-        return self._entries.get(block, DirectoryEntry())
+        """Entry without creating one (empty entry for uncached blocks).
+
+        Uncached blocks share one immutable-by-convention empty entry:
+        every caller treats peeked entries as read-only (mutations go
+        through the ``record_*`` methods, which materialize real entries),
+        and a cold miss happens once per block touched, so the per-call
+        allocation showed up in profiles.
+        """
+        ent = self._entries.get(block)
+        return ent if ent is not None else _EMPTY_ENTRY
 
     # -- state transitions driven by the protocol -------------------------
 
@@ -94,7 +127,12 @@ class Directory:
         """Requester became the sole owner (read miss with no sharers, or
         any write miss / upgrade)."""
         ent = self.entry(block)
-        ent.sharers = {requester}
+        # Reuse the entry's set (every consumer copies before exposing it);
+        # this fill runs once per write/cold-read miss.
+        sharers = ent.sharers
+        if sharers:
+            sharers.clear()
+        sharers.add(requester)
         ent.owner = requester
         ent.forwarder = None
         ent.dirty = dirty

@@ -40,7 +40,6 @@ class ProtocolLatencies:
         return self.l2_tag + self.l2_data
 
 
-@dataclass(frozen=True)
 class TransactionResult:
     """Outcome of one coherence transaction.
 
@@ -50,20 +49,52 @@ class TransactionResult:
     ``prediction_correct`` is None when no prediction was attempted or the
     miss was non-communicating (accuracy is defined over communicating
     misses only, Section 5.2).
+
+    A plain ``__slots__`` class rather than a dataclass: one instance is
+    built per L2 miss, and the generated frozen-dataclass ``__init__``
+    (twelve ``object.__setattr__`` calls) is measurable there.
     """
 
-    kind: MissKind
-    core: int
-    block: int
-    communicating: bool
-    off_chip: bool
-    minimal_targets: frozenset
-    predicted: frozenset | None
-    prediction_correct: bool | None
-    latency: int
-    indirection: bool
-    responder: int | None
-    invalidated: frozenset
+    __slots__ = (
+        "kind", "core", "block", "communicating", "off_chip",
+        "minimal_targets", "predicted", "prediction_correct", "latency",
+        "indirection", "responder", "invalidated",
+    )
+
+    def __init__(
+        self,
+        *,
+        kind: MissKind,
+        core: int,
+        block: int,
+        communicating: bool,
+        off_chip: bool,
+        minimal_targets: frozenset,
+        predicted: frozenset | None,
+        prediction_correct: bool | None,
+        latency: int,
+        indirection: bool,
+        responder: int | None,
+        invalidated: frozenset,
+    ) -> None:
+        self.kind = kind
+        self.core = core
+        self.block = block
+        self.communicating = communicating
+        self.off_chip = off_chip
+        self.minimal_targets = minimal_targets
+        self.predicted = predicted
+        self.prediction_correct = prediction_correct
+        self.latency = latency
+        self.indirection = indirection
+        self.responder = responder
+        self.invalidated = invalidated
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"TransactionResult({fields})"
 
 
 class DirectoryProtocol:
@@ -97,6 +128,23 @@ class DirectoryProtocol:
         self.network = network
         self.lat = latencies or ProtocolLatencies()
         self.snoop_lookups = 0
+        # Memoized traffic aggregates for the predicted-request fan-out
+        # (multicast + tagged directory request + nacks).  Predicted sets
+        # repeat for epochs at a time, so the per-miss loop of send()
+        # calls collapses to one table lookup plus a handful of adds; the
+        # accounted bytes/messages/latency are identical by construction.
+        self._fan_memo: dict = {}
+        # Cold-miss round trips (request to home + memory data reply) are
+        # the single most common flow on streaming workloads; their two
+        # sends depend only on (core, home), so the pair memoizes the same
+        # way.  Falls back to live sends while a transcript records.
+        self._cold_memo: dict = {}
+        # The write/upgrade ack collection mirrors the fan-out: every
+        # predicted node returns one control message, and only the nodes
+        # that really held a copy contribute an ack latency.  Both facts
+        # depend only on (core, predicted, minimal), which repeat for
+        # epochs at a time.
+        self._ack_memo: dict = {}
         if directory.num_nodes != network.num_nodes:
             raise ValueError("directory and network disagree on node count")
         if len(self.hierarchies) != network.num_nodes:
@@ -138,18 +186,22 @@ class DirectoryProtocol:
         home = self.directory.home_of(block)
         comm = bool(minimal)
         cat = self.CAT_COMM if comm else self.CAT_NONCOMM
-        latency = self.network.send(core, home, MessageClass.CONTROL, cat)
-        latency += self.lat.dir_lookup
         responder = entry.responder
 
-        if responder is not None:
-            latency += self._forward_read_from_owner(
-                core, block, entry, responder, cat
-            )
-            off_chip = False
-        else:
-            latency += self._memory_read(core, home, entry, cat)
+        if responder is None and self.network._transcript is None:
+            latency = self._cold_fill(core, home, cat)
             off_chip = True
+        else:
+            latency = self.network.send(core, home, MessageClass.CONTROL, cat)
+            latency += self.lat.dir_lookup
+            if responder is not None:
+                latency += self._forward_read_from_owner(
+                    core, block, entry, responder, cat
+                )
+                off_chip = False
+            else:
+                latency += self._memory_read(core, home, entry, cat)
+                off_chip = True
 
         self._finish_read_fill(core, block, entry)
         return TransactionResult(
@@ -168,22 +220,29 @@ class DirectoryProtocol:
         # the F holder does (matching the snooping backends, which report
         # ``entry.responder`` for the same state).
         data_source = entry.responder if entry.responder != core else None
-        latency = self.network.send(core, home, MessageClass.CONTROL, cat)
-        latency += self.lat.dir_lookup
         off_chip = not entry.cached_anywhere
+        owner = entry.owner
+        has_remote_owner = owner is not None and owner != core
 
-        if entry.owner is not None and entry.owner != core:
-            owner = entry.owner
-            path = self.network.send(home, owner, MessageClass.CONTROL, cat)
-            path += self._probe(owner) + self.lat.l2_data
-            path += self.network.send(owner, core, MessageClass.DATA, cat)
-            latency += path
-        elif minimal:
-            latency += self._invalidate_via_directory(
-                core, home, entry, minimal, cat, need_data=True, block=block
-            )
+        if (
+            not has_remote_owner and not minimal
+            and self.network._transcript is None
+        ):
+            latency = self._cold_fill(core, home, cat)
         else:
-            latency += self._memory_read(core, home, entry, cat)
+            latency = self.network.send(core, home, MessageClass.CONTROL, cat)
+            latency += self.lat.dir_lookup
+            if has_remote_owner:
+                path = self.network.send(home, owner, MessageClass.CONTROL, cat)
+                path += self._probe(owner) + self.lat.l2_data
+                path += self.network.send(owner, core, MessageClass.DATA, cat)
+                latency += path
+            elif minimal:
+                latency += self._invalidate_via_directory(
+                    core, home, entry, minimal, cat, need_data=True, block=block
+                )
+            else:
+                latency += self._memory_read(core, home, entry, cat)
 
         invalidated = self._apply_write_invalidations(core, block, minimal)
         self._finish_write_fill(core, block)
@@ -230,14 +289,13 @@ class DirectoryProtocol:
         responder = entry.responder
 
         # Requester: predicted requests to each predicted node, plus the
-        # (tagged) request to the directory that the baseline also sends.
-        self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
-        dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
+        # (tagged) request to the directory that the baseline also sends;
+        # every predicted node that is not the responder nacks.
+        dir_leg = self._predicted_fanout(
+            core, home, predicted, base_cat, pred_cat,
+            nacks=True, responder=responder,
+        )
         self.snoop_lookups += len(predicted)
-
-        # Every predicted node that is not the responder nacks.
-        for node in predicted - ({responder} if responder is not None else set()):
-            self.network.send(node, core, MessageClass.CONTROL, pred_cat)
 
         # A coarse (limited-pointer) directory entry cannot verify the
         # predicted set, so the requester must wait for the directory
@@ -281,20 +339,14 @@ class DirectoryProtocol:
         correct = comm and minimal <= predicted
         data_source = entry.responder if entry.responder != core else None
 
-        self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
-        dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
+        dir_leg = self._predicted_fanout(
+            core, home, predicted, base_cat, pred_cat
+        )
         self.snoop_lookups += len(predicted)
 
         # Predicted nodes holding a copy invalidate and ack directly to the
         # requester; predicted nodes without a copy nack.
-        useful = predicted & minimal
-        ack_lat = 0
-        for node in useful:
-            leg = self.network.latency(core, node) + self.lat.l2_tag
-            leg += self.network.send(node, core, MessageClass.CONTROL, pred_cat)
-            ack_lat = max(ack_lat, leg)
-        for node in predicted - minimal:
-            self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+        ack_lat = self._predicted_acks(core, predicted, minimal, pred_cat)
 
         dir_resp = dir_leg + self.lat.dir_lookup
         dir_resp += self.network.send(home, core, MessageClass.CONTROL, base_cat)
@@ -343,18 +395,12 @@ class DirectoryProtocol:
         pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
         correct = comm and minimal <= predicted
 
-        self.network.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
-        dir_leg = self.network.send(core, home, MessageClass.CONTROL, base_cat)
+        dir_leg = self._predicted_fanout(
+            core, home, predicted, base_cat, pred_cat
+        )
         self.snoop_lookups += len(predicted)
 
-        useful = predicted & minimal
-        ack_lat = 0
-        for node in useful:
-            leg = self.network.latency(core, node) + self.lat.l2_tag
-            leg += self.network.send(node, core, MessageClass.CONTROL, pred_cat)
-            ack_lat = max(ack_lat, leg)
-        for node in predicted - minimal:
-            self.network.send(node, core, MessageClass.CONTROL, pred_cat)
+        ack_lat = self._predicted_acks(core, predicted, minimal, pred_cat)
 
         dir_resp = dir_leg + self.lat.dir_lookup
         dir_resp += self.network.send(home, core, MessageClass.CONTROL, base_cat)
@@ -386,6 +432,164 @@ class DirectoryProtocol:
     # ------------------------------------------------------------------
     # shared flow fragments
     # ------------------------------------------------------------------
+
+    def _predicted_fanout(
+        self, core, home, predicted, base_cat, pred_cat,
+        nacks=False, responder=None,
+    ) -> int:
+        """Account the predicted-request fan-out; return the directory leg.
+
+        Covers the requester's multicast to the predicted nodes, the
+        tagged request to the home directory, and — when ``nacks`` is set
+        — the control nack each predicted node other than ``responder``
+        returns (the read-flow shape; write/upgrade flows ack through
+        their own loop).  Message-by-message this is exactly the
+        unmemoized loop; with a transcript recording it falls back to
+        per-message sends so the audit trail stays complete.
+        """
+        net = self.network
+        if net._transcript is not None:
+            net.multicast(core, predicted, MessageClass.CONTROL, pred_cat)
+            leg = net.send(core, home, MessageClass.CONTROL, base_cat)
+            if nacks:
+                for node in predicted:
+                    if node != responder:
+                        net.send(node, core, MessageClass.CONTROL, pred_cat)
+            return leg
+        key = (core, home, predicted, nacks, responder, base_cat, pred_cat)
+        memo = self._fan_memo.get(key)
+        if memo is None:
+            ctrl = net._control_bytes
+            hops_table = net._hops
+            hops_row = hops_table[core]
+            msgs = 0
+            hop_sum = 0
+            for node in predicted:
+                if node == core:
+                    continue
+                msgs += 1
+                hop_sum += hops_row[node]
+                if nacks and node != responder:
+                    msgs += 1
+                    hop_sum += hops_table[node][core]
+            pred_bytes = msgs * ctrl
+            msgs += 1
+            hop_sum += hops_row[home]
+            links = hop_sum * ctrl
+            memo = (
+                msgs,
+                msgs * ctrl,
+                links,
+                links + msgs * ctrl,
+                pred_bytes,
+                ctrl,
+                net._latency[core][home],
+            )
+            self._fan_memo[key] = memo
+        msgs, n_bytes, links, routers, pred_bytes, base_bytes, leg = memo
+        stats = net.stats
+        stats.messages += msgs
+        stats.bytes_total += n_bytes
+        stats.byte_links += links
+        stats.byte_routers += routers
+        by_category = stats.bytes_by_category
+        try:
+            by_category[pred_cat] += pred_bytes
+        except KeyError:
+            by_category[pred_cat] = pred_bytes
+        try:
+            by_category[base_cat] += base_bytes
+        except KeyError:
+            by_category[base_cat] = base_bytes
+        return leg
+
+    def _predicted_acks(self, core, predicted, minimal, pred_cat) -> int:
+        """Account the acks/nacks the predicted nodes return on a write
+        or upgrade; return the slowest ack leg.
+
+        Every predicted node sends one control message back to the
+        requester; only the nodes that actually held a copy (``minimal``)
+        pay the request leg plus a tag probe and so contribute to the
+        ack latency.  Message-by-message identical to the unmemoized
+        loop; with a transcript recording it falls back to per-message
+        sends so the audit trail stays complete.
+        """
+        net = self.network
+        if not predicted:
+            return 0
+        if net._transcript is not None:
+            ack_lat = 0
+            for node in predicted:
+                if node in minimal:
+                    leg = net.latency(core, node) + self.lat.l2_tag
+                    leg += net.send(node, core, MessageClass.CONTROL, pred_cat)
+                    if leg > ack_lat:
+                        ack_lat = leg
+                else:
+                    net.send(node, core, MessageClass.CONTROL, pred_cat)
+            return ack_lat
+        key = (core, predicted, minimal, pred_cat)
+        memo = self._ack_memo.get(key)
+        if memo is None:
+            hops_table = net._hops
+            lat_table = net._latency
+            lat_row = lat_table[core]
+            l2_tag = self.lat.l2_tag
+            hop_sum = 0
+            ack_lat = 0
+            for node in predicted:
+                hop_sum += hops_table[node][core]
+                if node in minimal:
+                    leg = lat_row[node] + l2_tag + lat_table[node][core]
+                    if leg > ack_lat:
+                        ack_lat = leg
+            msgs = len(predicted)
+            ctrl = net._control_bytes
+            links = hop_sum * ctrl
+            memo = (msgs, msgs * ctrl, links, links + msgs * ctrl, ack_lat)
+            self._ack_memo[key] = memo
+        msgs, n_bytes, links, routers, ack_lat = memo
+        stats = net.stats
+        stats.messages += msgs
+        stats.bytes_total += n_bytes
+        stats.byte_links += links
+        stats.byte_routers += routers
+        by_category = stats.bytes_by_category
+        try:
+            by_category[pred_cat] += n_bytes
+        except KeyError:
+            by_category[pred_cat] = n_bytes
+        return ack_lat
+
+    def _cold_fill(self, core, home, cat) -> int:
+        """Account a cold miss's round trip (control request to the home,
+        memory fetch, data reply) as one memoized pair of sends; returns
+        the full latency including the directory lookup and memory access.
+        Message-for-message identical to the unmemoized flow."""
+        net = self.network
+        memo = self._cold_memo.get((core, home))
+        if memo is None:
+            hops = net._hops[core][home]
+            n_bytes = net._control_bytes + net._data_bytes
+            memo = (
+                n_bytes,
+                n_bytes * hops,
+                n_bytes * (hops + 1),
+                2 * net._latency[core][home]
+                + self.lat.dir_lookup + self.lat.memory,
+            )
+            self._cold_memo[(core, home)] = memo
+        n_bytes, links, routers, latency = memo
+        stats = net.stats
+        stats.messages += 2
+        stats.bytes_total += n_bytes
+        stats.byte_links += links
+        stats.byte_routers += routers
+        try:
+            stats.bytes_by_category[cat] += n_bytes
+        except KeyError:
+            stats.bytes_by_category[cat] = n_bytes
+        return latency
 
     def _probe(self, node: int) -> int:
         """A remote L2 tag probe (counted for the snoop-energy model)."""
@@ -472,11 +676,16 @@ class DirectoryProtocol:
         """Drop every remote copy of the block."""
         for node in minimal:
             self.hierarchies[node].invalidate(block)
+        if type(minimal) is frozenset:
+            return minimal
         return frozenset(minimal)
 
     def _finish_read_fill(self, core, block, entry) -> None:
         """Install the line at the requester after a read miss."""
-        had_other_copies = bool(entry.sharers - {core})
+        sharers = entry.sharers
+        had_other_copies = bool(sharers) and (
+            len(sharers) > 1 or core not in sharers
+        )
         if entry.responder is not None and entry.responder != core:
             # The previous responder's copy degrades to plain Shared.
             resp = entry.responder
@@ -484,7 +693,8 @@ class DirectoryProtocol:
                 self.hierarchies[resp].set_state(block, Mesif.SHARED)
         state = Mesif.FORWARD if had_other_copies else Mesif.EXCLUSIVE
         victim = self.hierarchies[core].fill(block, state)
-        self._handle_victim(core, victim)
+        if victim is not None:
+            self._handle_victim(core, victim)
         if state is Mesif.EXCLUSIVE:
             self.directory.record_exclusive_fill(block, core, dirty=False)
         else:
@@ -492,7 +702,8 @@ class DirectoryProtocol:
 
     def _finish_write_fill(self, core, block) -> None:
         victim = self.hierarchies[core].fill(block, Mesif.MODIFIED)
-        self._handle_victim(core, victim)
+        if victim is not None:
+            self._handle_victim(core, victim)
         self.directory.record_exclusive_fill(block, core, dirty=True)
 
     def _handle_victim(self, core, victim) -> None:
@@ -511,5 +722,9 @@ class DirectoryProtocol:
         """Normalize a predicted set: drop self, treat empty as no prediction."""
         if predicted is None:
             return None
+        if type(predicted) is frozenset and core not in predicted:
+            # Predictors hand over frozensets that already exclude the
+            # requester; skip the per-miss copy in that common case.
+            return predicted or None
         cleaned = frozenset(predicted) - {core}
         return cleaned or None

@@ -77,6 +77,13 @@ class _CoreState:
     source: PredictionSource = PredictionSource.D0
     miss_count: int = 0
     prev_epoch_signature: Signature = field(default_factory=Signature)
+    # ``predict()`` memo: the register changes rarely (sync points,
+    # warm-up, recovery) while misses probe it constantly, so the built
+    # Prediction is reused until the register, source, or core mapping
+    # changes.  The register is a frozenset, so identity implies value.
+    cached_prediction: Prediction | None = None
+    cached_reg: Signature | None = None
+    cached_mapping: int = -1
 
 
 class SPPredictor(TargetPredictor):
@@ -217,7 +224,10 @@ class SPPredictor(TargetPredictor):
     def predict(
         self, core: int, block: int, pc: int, kind: MissKind
     ) -> Prediction | None:
-        state = self._cores[self._logical(core)]
+        mapping = self.mapping
+        state = self._cores[
+            core if mapping is None else mapping.logical_of(core)
+        ]
         state.miss_count += 1
         if (
             state.predictor_reg is None
@@ -227,21 +237,44 @@ class SPPredictor(TargetPredictor):
             hot = state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
             if hot:
                 state.predictor_reg = hot
-        if not state.predictor_reg:
+        reg = state.predictor_reg
+        if not reg:
             return None
-        return Prediction(
-            targets=frozenset(self._to_physical(state.predictor_reg)),
+        mapping = self.mapping
+        # ``migrations`` counts every mapping mutation, so it versions the
+        # cached physical translation.
+        mver = 0 if mapping is None else mapping.migrations
+        cached = state.cached_prediction
+        if (
+            cached is not None
+            and state.cached_reg is reg
+            and cached.source is state.source
+            and state.cached_mapping == mver
+        ):
+            return cached
+        cached = Prediction(
+            targets=frozenset(self._to_physical(reg)),
             source=state.source,
         )
+        state.cached_prediction = cached
+        state.cached_reg = reg
+        state.cached_mapping = mver
+        return cached
 
     def train(
         self, core: int, block: int, pc: int, kind: MissKind,
         result: TransactionResult,
     ) -> None:
-        state = self._cores[self._logical(core)]
+        mapping = self.mapping
+        state = self._cores[
+            core if mapping is None else mapping.logical_of(core)
+        ]
         if kind is MissKind.READ:
             if result.communicating and result.responder is not None:
-                state.counters.record_response(self._logical(result.responder))
+                state.counters.record_response(
+                    result.responder if mapping is None
+                    else mapping.logical_of(result.responder)
+                )
         else:
             state.counters.record_invalidation_acks(
                 self._to_logical_set(result.invalidated)
@@ -251,7 +284,10 @@ class SPPredictor(TargetPredictor):
                 and result.communicating
                 and result.responder is not None
             ):
-                state.counters.record_response(self._logical(result.responder))
+                state.counters.record_response(
+                    result.responder if mapping is None
+                    else mapping.logical_of(result.responder)
+                )
 
         if result.predicted is not None and result.prediction_correct is not None:
             state.confidence.record(result.prediction_correct)

@@ -155,8 +155,10 @@ class Network:
         stats.bytes_total += n_bytes
         stats.byte_links += n_bytes * hops
         stats.byte_routers += n_bytes * (hops + 1)
-        by_category = stats.bytes_by_category
-        by_category[category] = by_category.get(category, 0) + n_bytes
+        try:
+            stats.bytes_by_category[category] += n_bytes
+        except KeyError:
+            stats.bytes_by_category[category] = n_bytes
         if self._transcript is not None:
             self._transcript.append(
                 SentMessage(src=src, dst=dst, msg=msg, category=category,

@@ -58,12 +58,21 @@ _workloads: dict = {}
 
 
 def _load_workload(spec: RunSpec):
-    from repro.workloads.suite import load_benchmark
+    """The spec's workload, compiled, via the persistent trace store.
+
+    Workloads come back with their :class:`CompiledTrace` attached:
+    a trace-store hit maps the columns straight from disk (workers of
+    one sweep share the same page-cache pages; with the default ``fork``
+    start, traces the parent already compiled are inherited
+    copy-on-write through this memo).  ``REPRO_TRACE=0`` falls back to
+    generate-and-compile in process.
+    """
+    from repro.traces.store import load_benchmark_compiled
 
     key = (spec.workload, spec.scale, spec.seed)
     workload = _workloads.get(key)
     if workload is None:
-        workload = load_benchmark(
+        workload = load_benchmark_compiled(
             spec.workload, scale=spec.scale, seed=spec.seed
         )
         _workloads[key] = workload

@@ -16,8 +16,10 @@ from pathlib import Path
 
 from repro.sim.machine import MachineConfig
 
-#: Bump when the serialized result payload changes shape.
-CACHE_VERSION = 2
+#: Bump when the serialized result payload changes shape, or when the
+#: spec's identity widens (v3: ``MachineConfig.quantum`` entered
+#: ``repr(machine)`` and thus every digest).
+CACHE_VERSION = 3
 
 #: Package subtrees that only *consume* results; editing them cannot
 #: change what a simulation produces, so they are excluded from the

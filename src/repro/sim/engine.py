@@ -15,29 +15,40 @@ The ``run()`` inner loop executes one Python iteration per trace event
 (millions per run), so it is written for the CPython interpreter: stream
 lists are materialized up front, the L1/L2 hit paths are inlined, and
 every attribute and global reached on the per-event path is hoisted into
-a local before the loop.
+a local before the loop.  Two loops exist: the reference event-by-event
+interpreter and a compiled fast path driven by the workload's
+:class:`~repro.traces.compile.CompiledTrace` segment index (THINK runs
+advanced by bisecting prefix sums, guaranteed-private first touches
+skipping the hierarchy probe).  Both share one miss-handler closure, and
+``repro check diff`` certifies their results bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left
+import os
+from bisect import bisect_left, bisect_right
 
 from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
 from repro.coherence import make_directory, make_protocol
 from repro.coherence.protocol import MissKind
-from repro.core.signatures import DEFAULT_HOT_THRESHOLD, extract_hot_set
+from repro.core.signatures import DEFAULT_HOT_THRESHOLD
 from repro.noc.network import Network
 from repro.predictors.base import TargetPredictor
 from repro.sim.machine import MachineConfig
 from repro.sim.results import EpochRecord, SimulationResult
 from repro.sync.epochs import EpochTracker
 from repro.sync.points import StaticSyncId, SyncKind
+from repro.traces.compile import SEG_THINK, ensure_compiled
 from repro.workloads.base import OP_READ, OP_THINK, OP_WRITE, Workload
 
-#: How far (in cycles) a core may run past the next-smallest clock before
-#: being rescheduled.  Purely a performance knob; orderings at sync points
-#: are exact regardless.
+#: Default scheduler quantum: how far (in cycles) a core may run past the
+#: next-smallest clock before being rescheduled.  Overridable per machine
+#: (``MachineConfig.quantum``) or per process (``REPRO_QUANTUM``).  The
+#: quantum picks one of many valid fine-grain interleavings — orderings at
+#: sync points are exact regardless, but cross-core races between them may
+#: resolve differently under a different quantum, so it is part of a run's
+#: cached configuration.
 _QUANTUM = 400
 
 
@@ -74,6 +85,7 @@ class SimulationEngine:
         directory_pointers: int | None = None,
         predictor_entries: int | None = None,
         ideal_metric: bool = True,
+        use_compiled: bool | None = None,
     ) -> None:
         self.machine = machine or MachineConfig()
         if workload.num_cores != self.machine.num_cores:
@@ -111,6 +123,10 @@ class SimulationEngine:
                 "given by kind name"
             )
         self.predictor = predictor
+        #: Tri-state: None consults ``REPRO_COMPILED`` (default on);
+        #: True/False force the compiled fast path / the reference
+        #: event-by-event interpreter.
+        self.use_compiled = use_compiled
         self.collect_epochs = collect_epochs
         self.ideal_metric = ideal_metric
         #: Whether the engine-side epoch/volume bookkeeping runs at all.
@@ -132,6 +148,9 @@ class SimulationEngine:
         self._l1_latency = self.machine.l1_latency
         self._l2_access = self.machine.latencies.l2_access
         self._l2_tag = self.machine.latencies.l2_tag
+        # Block shift for the per-miss address-to-block conversion (line
+        # sizes are validated powers of two).
+        self._block_shift = self.machine.l2.line_size.bit_length() - 1
 
         n = self.machine.num_cores
         self.result = SimulationResult(
@@ -152,6 +171,48 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        """Execute the workload; dispatches to the compiled fast path.
+
+        The compiled path (the default) consumes the workload's
+        :class:`~repro.traces.compile.CompiledTrace` segment index —
+        THINK runs advance the core clock with one bisect per scheduling
+        turn, guaranteed-private first touches skip the provably no-op
+        hierarchy probe — and is bit-identical to the event-by-event
+        interpreter; ``repro check diff`` certifies exactly that.
+        ``use_compiled=False`` (or ``REPRO_COMPILED=0``) forces the
+        reference interpreter.
+        """
+        quantum = self._effective_quantum()
+        if self._compiled_enabled():
+            return self._run_compiled(quantum)
+        return self._run_interpreted(quantum)
+
+    def _compiled_enabled(self) -> bool:
+        if self.use_compiled is not None:
+            return self.use_compiled
+        return os.environ.get("REPRO_COMPILED", "1") != "0"
+
+    def _effective_quantum(self) -> int:
+        """Scheduler quantum: machine config, then environment, then
+        the module default (resolved at run start, so tests may patch
+        ``_QUANTUM`` directly)."""
+        quantum = self.machine.quantum
+        if quantum is None:
+            env = os.environ.get("REPRO_QUANTUM")
+            if env:
+                try:
+                    quantum = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_QUANTUM must be an integer, got {env!r}"
+                    ) from None
+            else:
+                quantum = _QUANTUM
+        if quantum < 0:
+            raise ValueError(f"quantum must be non-negative, got {quantum}")
+        return quantum
+
+    def _run_interpreted(self, quantum: int) -> SimulationResult:
         n = self.machine.num_cores
         # Flat local copies: one list per core, indexed by a local cursor.
         streams = [list(self.workload.stream(core)) for core in range(n)]
@@ -163,6 +224,11 @@ class SimulationEngine:
         # extraction; hundreds of cycles for a software table).
         sync_latency_fn = getattr(self.predictor, "sync_latency", None)
         self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
+        # One miss-handler closure per run (callers may install a
+        # predictor after construction, so bind here, not in __init__).
+        # The compiled path builds its handler from the same factory, so
+        # miss accounting cannot drift between the two paths.
+        miss, flush = self._make_miss_handler()
 
         heap = [(0, core) for core in range(n)]
         heapq.heapify(heap)
@@ -193,7 +259,6 @@ class SimulationEngine:
         unlock_kind = SyncKind.UNLOCK
         static_sync_id = StaticSyncId
         classifiers = [hier.classify for hier in self.hierarchies]
-        miss = self._miss
         on_sync = self._on_sync
         sync_op_latency = self.machine.sync_op_latency
         sync_cost = self._sync_cost
@@ -207,7 +272,7 @@ class SimulationEngine:
             c = clock[core]
             if t > c:
                 c = t
-            budget = (heap[0][0] + _QUANTUM) if heap else None
+            budget = (heap[0][0] + quantum) if heap else None
 
             stream = streams[core]
             length = lengths[core]
@@ -354,7 +419,299 @@ class SimulationEngine:
 
         if active != 0:
             raise RuntimeError(f"{active} cores never finished (deadlock?)")
+        return self._finalize(clock, accesses, l1_hits, l2_hits, flush)
 
+    # ------------------------------------------------------------------
+    # compiled fast path
+    # ------------------------------------------------------------------
+
+    def _run_compiled(self, quantum: int) -> SimulationResult:
+        """The interpreter loop driven by the compiled segment index.
+
+        Identical scheduling, sync handling, and miss handling to
+        :meth:`_run_interpreted` — the only differences are segment-level:
+        a THINK run advances the clock to the interpreter's exact
+        budget-break position with one ``bisect_right`` over the run's
+        cycle prefix sums (the event that pushes the clock past the
+        budget is consumed, as the interpreter consumes it before its
+        budget check), and a PRIVATE run of guaranteed cold first
+        touches skips the hierarchy probe that provably classifies MISS
+        without mutating any cache state.
+        """
+        n = self.machine.num_cores
+        compiled = ensure_compiled(self.workload)
+        streams = [compiled.events(core) for core in range(n)]
+        lengths = [len(s) for s in streams]
+        # Private-run classification is keyed to 64-byte blocks; under
+        # any other line size those segments are ignored (their events
+        # take the normal classify path — THINK handling is
+        # line-size independent).
+        use_private = self._block_shift == 6
+        seg_tables = []
+        for core in range(n):
+            segs = compiled.segments[core]
+            if not use_private:
+                segs = [seg for seg in segs if seg[0] == SEG_THINK]
+            seg_tables.append(segs)
+        seg_pos = [0] * n
+
+        pos = [0] * n
+        clock = [0] * n
+        done = [False] * n
+        sync_latency_fn = getattr(self.predictor, "sync_latency", None)
+        self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
+        miss, flush = self._make_miss_handler()
+
+        heap = [(0, core) for core in range(n)]
+        heapq.heapify(heap)
+
+        barrier_index = [0] * n
+        barrier_waiters: dict = {}
+        barrier_pc: dict = {}
+        lock_holder: dict = {}
+        lock_waiters: dict = {}
+        lock_granted: set = set()
+        active = n
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        kind_read = AccessKind.READ
+        kind_write = AccessKind.WRITE
+        l1_hit = HierarchyOutcome.L1_HIT
+        l2_hit = HierarchyOutcome.L2_HIT
+        outcome_miss = HierarchyOutcome.MISS
+        barrier_kind = SyncKind.BARRIER
+        lock_kind = SyncKind.LOCK
+        unlock_kind = SyncKind.UNLOCK
+        static_sync_id = StaticSyncId
+        seg_think = SEG_THINK
+        op_write = OP_WRITE
+        bisect = bisect_right
+        classifiers = [hier.classify for hier in self.hierarchies]
+        probe_stats = [hier.stats for hier in self.hierarchies]
+        on_sync = self._on_sync
+        sync_op_latency = self.machine.sync_op_latency
+        sync_cost = self._sync_cost
+        l1_latency = self._l1_latency
+        l2_access = self._l2_access
+        migrations = self.migrations
+        accesses = l1_hits = l2_hits = 0
+
+        while heap:
+            t, core = heappop(heap)
+            c = clock[core]
+            if t > c:
+                c = t
+            budget = (heap[0][0] + quantum) if heap else None
+
+            stream = streams[core]
+            length = lengths[core]
+            p = pos[core]
+            classify = classifiers[core]
+            segs = seg_tables[core]
+            nsegs = len(segs)
+            si = seg_pos[core]
+            while si < nsegs and segs[si][2] <= p:
+                si += 1
+            s_start = segs[si][1] if si < nsegs else length + 1
+            blocked = False
+
+            while p < length:
+                if p >= s_start:
+                    seg = segs[si]
+                    end = seg[2]
+                    if seg[0] == seg_think:
+                        start = seg[1]
+                        prefix = seg[3]
+                        base = prefix[p - start - 1] if p > start else 0
+                        if budget is None:
+                            c += prefix[-1] - base
+                            p = end
+                        else:
+                            i = bisect(prefix, budget - c + base, p - start)
+                            if i >= end - start:
+                                c += prefix[-1] - base
+                                p = end
+                            else:
+                                # Event start+i pushes c past the budget;
+                                # the interpreter consumes it and then
+                                # breaks — so do we.
+                                c += prefix[i] - base
+                                p = start + i + 1
+                                break
+                        si += 1
+                        s_start = segs[si][1] if si < nsegs else length + 1
+                        continue
+                    # PRIVATE run: each event is a guaranteed cold L2
+                    # miss (sole-toucher first touch), so classify()
+                    # would count it and mutate nothing.  Update the
+                    # probe statistics directly and run the coherence
+                    # transaction exactly as the interpreter would.
+                    stats = probe_stats[core]
+                    over = False
+                    while p < end:
+                        ev = stream[p]
+                        p += 1
+                        accesses += 1
+                        stats.accesses += 1
+                        stats.misses += 1
+                        c += miss(
+                            core, ev[1], ev[2], ev[0] == op_write,
+                            outcome_miss,
+                        )
+                        if budget is not None and c > budget:
+                            over = True
+                            break
+                    if over:
+                        break
+                    si += 1
+                    s_start = segs[si][1] if si < nsegs else length + 1
+                    continue
+                ev = stream[p]
+                op = ev[0]
+                if op == OP_READ or op == OP_WRITE:
+                    p += 1
+                    accesses += 1
+                    is_write = op == OP_WRITE
+                    outcome = classify(
+                        ev[1], kind_write if is_write else kind_read
+                    )
+                    if outcome is l1_hit:
+                        l1_hits += 1
+                        c += l1_latency
+                    elif outcome is l2_hit:
+                        l2_hits += 1
+                        c += l2_access
+                    else:
+                        c += miss(core, ev[1], ev[2], is_write, outcome)
+                elif op == OP_THINK:
+                    p += 1
+                    c += ev[1]
+                else:  # OP_SYNC
+                    kind, pc, lock_addr = ev[1], ev[2], ev[3]
+                    if kind is barrier_kind:
+                        p += 1
+                        idx = barrier_index[core]
+                        barrier_index[core] += 1
+                        if idx in barrier_pc and barrier_pc[idx] != pc:
+                            raise RuntimeError(
+                                f"barrier mismatch at index {idx}: "
+                                f"{barrier_pc[idx]} vs {pc}"
+                            )
+                        barrier_pc[idx] = pc
+                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        c += sync_cost
+                        waiters = barrier_waiters.setdefault(idx, [])
+                        waiters.append((core, c))
+                        if len(waiters) == active:
+                            if idx in migrations:
+                                self._apply_migration(migrations[idx])
+                            release = (
+                                max(wc for _, wc in waiters)
+                                + sync_op_latency
+                            )
+                            for w_core, _ in waiters:
+                                if w_core == core:
+                                    c = release
+                                else:
+                                    clock[w_core] = release
+                                    heappush(heap, (release, w_core))
+                            del barrier_waiters[idx]
+                            # fall through: this core keeps running
+                        else:
+                            blocked = True
+                            break
+                    elif kind is lock_kind:
+                        holder = lock_holder.get(lock_addr)
+                        if holder is None or core in lock_granted:
+                            lock_granted.discard(core)
+                            p += 1
+                            lock_holder[lock_addr] = core
+                            c += sync_op_latency + sync_cost
+                            on_sync(
+                                core,
+                                static_sync_id(
+                                    kind=kind, pc=pc, lock_addr=lock_addr
+                                ),
+                            )
+                        else:
+                            # Re-examined when the holder unlocks.
+                            heappush(
+                                lock_waiters.setdefault(lock_addr, []),
+                                (c, core),
+                            )
+                            blocked = True
+                            break
+                    elif kind is unlock_kind:
+                        p += 1
+                        if lock_holder.get(lock_addr) != core:
+                            raise RuntimeError(
+                                f"core {core} unlocked {lock_addr:#x} it does "
+                                "not hold"
+                            )
+                        c += sync_op_latency + sync_cost
+                        on_sync(
+                            core,
+                            static_sync_id(
+                                kind=kind, pc=pc, lock_addr=lock_addr
+                            ),
+                        )
+                        waiters = lock_waiters.get(lock_addr)
+                        if waiters:
+                            _, nxt = heappop(waiters)
+                            lock_holder[lock_addr] = nxt
+                            lock_granted.add(nxt)
+                            if c > clock[nxt]:
+                                clock[nxt] = c
+                            heappush(heap, (clock[nxt], nxt))
+                        else:
+                            lock_holder[lock_addr] = None
+                    else:
+                        # join / wakeup / broadcast are epoch boundaries
+                        # without blocking semantics in these traces.
+                        p += 1
+                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        c += sync_cost
+                if budget is not None and c > budget:
+                    break
+
+            pos[core] = p
+            clock[core] = c
+            seg_pos[core] = si
+            if blocked:
+                continue
+            if p >= length:
+                if not done[core]:
+                    done[core] = True
+                    active -= 1
+                    self._on_finish(core)
+                    # A core leaving can make a pending barrier releasable
+                    # (uneven streams: the finisher was never going to
+                    # arrive).  Re-check parked barriers.
+                    for idx in list(barrier_waiters):
+                        waiters = barrier_waiters[idx]
+                        if waiters and len(waiters) == active:
+                            if idx in migrations:
+                                self._apply_migration(migrations[idx])
+                            release = (
+                                max(wc for _, wc in waiters)
+                                + sync_op_latency
+                            )
+                            for w_core, _ in waiters:
+                                clock[w_core] = release
+                                heappush(heap, (release, w_core))
+                            del barrier_waiters[idx]
+                continue
+            heappush(heap, (c, core))
+
+        if active != 0:
+            raise RuntimeError(f"{active} cores never finished (deadlock?)")
+        return self._finalize(clock, accesses, l1_hits, l2_hits, flush)
+
+    def _finalize(
+        self, clock, accesses, l1_hits, l2_hits, flush
+    ) -> SimulationResult:
+        flush()
         res = self.result
         res.accesses += accesses
         res.l1_hits += l1_hits
@@ -372,117 +729,190 @@ class SimulationEngine:
         return res
 
     # ------------------------------------------------------------------
-    # L2 misses (the run() loop handles L1/L2 hits inline)
+    # L2 misses (the run loops handle L1/L2 hits inline)
     # ------------------------------------------------------------------
 
     #: Latency histogram bucket upper bounds (cycles).
     _LATENCY_BUCKETS = (16, 32, 64, 128, 256, 512, 1 << 30)
 
-    def _miss(
-        self, core: int, addr: int, pc: int, is_write: bool,
-        outcome: HierarchyOutcome,
-    ) -> int:
-        """Handle one L2 miss end to end; returns its latency in cycles."""
+    def _make_miss_handler(self):
+        """Build this run's miss handler; returns ``(miss, flush)``.
+
+        ``miss(core, addr, pc, is_write, outcome)`` handles one L2 miss
+        end to end and returns its latency in cycles; ``flush()`` folds
+        the closure's accumulated counters into the result at run end.
+        Scalar counters live in closure cells (a nonlocal int beats an
+        attribute store ~63k times per run); dict- and list-shaped state
+        (histogram, per-PC volume, epoch bookkeeping) is mutated
+        immediately because ``_close_epoch`` reads it mid-run.  Both
+        execution paths call a handler from this factory, so their miss
+        accounting is one code path by construction.
+        """
         res = self.result
-        block = self.hierarchies[core].block_of(addr)
-        if outcome is HierarchyOutcome.UPGRADE_MISS:
-            kind = MissKind.UPGRADE
-        elif is_write:
-            kind = MissKind.WRITE
-        else:
-            kind = MissKind.READ
-
-        predictor = self.predictor
-        prediction = (
-            predictor.predict(core, block, pc, kind)
-            if predictor is not None
-            else None
-        )
-        targets = prediction.targets if prediction is not None else None
-
-        if kind is MissKind.READ:
-            tx = self.protocol.read_miss(core, block, targets)
-            res.read_misses += 1
-        elif kind is MissKind.WRITE:
-            tx = self.protocol.write_miss(core, block, targets)
-            res.write_misses += 1
-        else:
-            tx = self.protocol.upgrade_miss(core, block, targets)
-            res.upgrade_misses += 1
-
-        latency = self._l2_tag + tx.latency
+        block_shift = self._block_shift
+        l2_tag = self._l2_tag
         buckets = self._LATENCY_BUCKETS
-        res.miss_latency_sum += latency
-        bound = buckets[bisect_left(buckets, latency)]
         hist = res.latency_histogram
-        hist[bound] = hist.get(bound, 0) + 1
-        if tx.indirection:
-            res.indirections += 1
-        if tx.off_chip:
-            res.offchip_misses += 1
+        correct_by_source = res.correct_by_source
+        pc_volume = res.pc_volume
+        whole_run_volume = res.whole_run_volume
+        num_cores = res.num_cores
+        tx_read = self.protocol.read_miss
+        tx_write = self.protocol.write_miss
+        tx_upgrade = self.protocol.upgrade_miss
+        predictor = self.predictor
+        predict = predictor.predict if predictor is not None else None
+        train = predictor.train if predictor is not None else None
+        observe_external = getattr(predictor, "observe_external", None)
+        kind_read = MissKind.READ
+        kind_write = MissKind.WRITE
+        kind_upgrade = MissKind.UPGRADE
+        outcome_miss = HierarchyOutcome.MISS
+        track = self._track
+        collect_epochs = self.collect_epochs
+        epoch_comm = self._epoch_comm
+        epoch_misses = self._epoch_misses
+        pending_minimal = self._pending_minimal
+        comm_counts = self._comm_counts
+        verifier = self.verifier
+        check_block = verifier.check_block if verifier is not None else None
 
-        communicating = tx.communicating
-        if communicating:
-            res.comm_misses += 1
-            res.actual_target_sum += len(tx.minimal_targets)
+        # Transaction numbers are 1-based miss ordinals across cores;
+        # the result fields lag until flush, so count from their base.
+        base_misses = (
+            res.read_misses + res.write_misses + res.upgrade_misses
+        )
+        read_misses = write_misses = upgrade_misses = 0
+        miss_latency_sum = indirections = offchip = 0
+        comm_misses = actual_target_sum = 0
+        pred_attempted = predicted_target_sum = 0
+        pred_on_noncomm = pred_on_comm = 0
+        pred_correct = pred_incorrect = 0
 
-        if self._track:
-            # Communication volume bookkeeping (engine mirror of the
-            # paper's communication counters; drives the ideal metric and
-            # Figs. 2-6).
-            if communicating:
-                self._epoch_comm[core] += 1
-                self._pending_minimal[core].append(tx.minimal_targets)
-            self._epoch_misses[core] += 1
-            counts = self._comm_counts[core]
-            volume = res.whole_run_volume[core]
-            responder = tx.responder
-            if responder is not None and responder != core:
-                counts[responder] += 1
-                volume[responder] += 1
-            for node in tx.invalidated:
-                if node != core:
-                    counts[node] += 1
-                    volume[node] += 1
-            if self.collect_epochs and communicating:
-                slot = res.pc_volume.setdefault(
-                    (core, pc), [0] * res.num_cores
-                )
-                if responder is not None and responder != core:
-                    slot[responder] += 1
-                for node in tx.invalidated:
-                    if node != core:
-                        slot[node] += 1
+        def miss(core, addr, pc, is_write, outcome):
+            nonlocal read_misses, write_misses, upgrade_misses
+            nonlocal miss_latency_sum, indirections, offchip
+            nonlocal comm_misses, actual_target_sum
+            nonlocal pred_attempted, predicted_target_sum
+            nonlocal pred_on_noncomm, pred_on_comm
+            nonlocal pred_correct, pred_incorrect
 
-        if prediction is not None:
-            res.pred_attempted += 1
-            res.predicted_target_sum += len(prediction.targets)
-            if tx.prediction_correct is None:
-                res.pred_on_noncomm += 1
+            block = addr >> block_shift
+            if outcome is outcome_miss:
+                kind = kind_write if is_write else kind_read
             else:
-                res.pred_on_comm += 1
-                if tx.prediction_correct:
-                    res.pred_correct += 1
-                    res.correct_by_source[prediction.source] = (
-                        res.correct_by_source.get(prediction.source, 0) + 1
+                kind = kind_upgrade
+
+            if predict is not None:
+                prediction = predict(core, block, pc, kind)
+                targets = (
+                    prediction.targets if prediction is not None else None
+                )
+            else:
+                prediction = targets = None
+
+            if kind is kind_read:
+                tx = tx_read(core, block, targets)
+                read_misses += 1
+            elif kind is kind_write:
+                tx = tx_write(core, block, targets)
+                write_misses += 1
+            else:
+                tx = tx_upgrade(core, block, targets)
+                upgrade_misses += 1
+
+            latency = l2_tag + tx.latency
+            miss_latency_sum += latency
+            bound = buckets[bisect_left(buckets, latency)]
+            hist[bound] = hist.get(bound, 0) + 1
+            if tx.indirection:
+                indirections += 1
+            if tx.off_chip:
+                offchip += 1
+
+            communicating = tx.communicating
+            if communicating:
+                comm_misses += 1
+                actual_target_sum += len(tx.minimal_targets)
+
+            if track:
+                # Communication volume bookkeeping (engine mirror of the
+                # paper's communication counters; drives the ideal
+                # metric and Figs. 2-6).
+                if communicating:
+                    epoch_comm[core] += 1
+                    pending_minimal[core].append(tx.minimal_targets)
+                epoch_misses[core] += 1
+                counts = comm_counts[core]
+                volume = whole_run_volume[core]
+                responder = tx.responder
+                invalidated = tx.invalidated
+                if responder is not None and responder != core:
+                    counts[responder] += 1
+                    volume[responder] += 1
+                if invalidated:
+                    for node in invalidated:
+                        if node != core:
+                            counts[node] += 1
+                            volume[node] += 1
+                if collect_epochs and communicating:
+                    slot = pc_volume.setdefault(
+                        (core, pc), [0] * num_cores
                     )
+                    if responder is not None and responder != core:
+                        slot[responder] += 1
+                    for node in invalidated:
+                        if node != core:
+                            slot[node] += 1
+
+            if prediction is not None:
+                pred_attempted += 1
+                predicted_target_sum += len(prediction.targets)
+                if tx.prediction_correct is None:
+                    pred_on_noncomm += 1
                 else:
-                    res.pred_incorrect += 1
+                    pred_on_comm += 1
+                    if tx.prediction_correct:
+                        pred_correct += 1
+                        correct_by_source[prediction.source] = (
+                            correct_by_source.get(prediction.source, 0) + 1
+                        )
+                    else:
+                        pred_incorrect += 1
 
-        if self.verifier is not None:
-            # Transaction numbers are 1-based miss ordinals across cores.
-            self.verifier.check_block(block, transaction=res.misses)
+            if check_block is not None:
+                check_block(
+                    block,
+                    transaction=base_misses + read_misses
+                    + write_misses + upgrade_misses,
+                )
 
-        if predictor is not None:
-            predictor.train(core, block, pc, kind, tx)
-            observe = getattr(predictor, "observe_external", None)
-            if observe is not None:
-                if tx.responder is not None:
-                    observe(tx.responder, block, core)
-                for node in tx.invalidated:
-                    observe(node, block, core)
+            if predict is not None:
+                train(core, block, pc, kind, tx)
+                if observe_external is not None:
+                    if tx.responder is not None:
+                        observe_external(tx.responder, block, core)
+                    for node in tx.invalidated:
+                        observe_external(node, block, core)
+            return latency
 
-        return latency
+        def flush():
+            res.read_misses += read_misses
+            res.write_misses += write_misses
+            res.upgrade_misses += upgrade_misses
+            res.miss_latency_sum += miss_latency_sum
+            res.indirections += indirections
+            res.offchip_misses += offchip
+            res.comm_misses += comm_misses
+            res.actual_target_sum += actual_target_sum
+            res.pred_attempted += pred_attempted
+            res.predicted_target_sum += predicted_target_sum
+            res.pred_on_noncomm += pred_on_noncomm
+            res.pred_on_comm += pred_on_comm
+            res.pred_correct += pred_correct
+            res.pred_incorrect += pred_incorrect
+
+        return miss, flush
 
     # ------------------------------------------------------------------
     # sync-point handling
@@ -520,9 +950,24 @@ class SimulationEngine:
         counts = self._comm_counts[core]
         pending = self._pending_minimal[core]
         if pending:
-            hot = extract_hot_set(
-                counts, self_core=core, threshold=self.hot_threshold
-            )
+            # extract_hot_set(), inlined: this runs at every sync point
+            # of every core, and the general helper's dispatch overhead
+            # was measurable.  counts[core] is always zero (the miss
+            # handler never counts the requester), so the self-core
+            # exclusion reduces to the v > 0 filter.
+            threshold = self.hot_threshold
+            if not 0.0 < threshold <= 1.0:
+                raise ValueError("threshold must be in (0, 1]")
+            total = 0
+            for v in counts:
+                total += v
+            if total:
+                floor = threshold * total
+                hot = frozenset(
+                    i for i, v in enumerate(counts) if v > 0 and v >= floor
+                )
+            else:
+                hot = frozenset()
             self.result.ideal_correct += sum(
                 1 for minimal in pending if minimal <= hot
             )

@@ -35,6 +35,13 @@ class MachineConfig:
     latencies: ProtocolLatencies = field(default_factory=ProtocolLatencies)
     #: Cycles to execute a synchronization primitive's atomic operation.
     sync_op_latency: int = 20
+    #: Scheduler quantum in cycles: how far a core may run past the
+    #: globally smallest clock before being rescheduled.  ``None`` uses
+    #: the engine default (or the ``REPRO_QUANTUM`` environment
+    #: variable).  The quantum selects one of many valid fine-grain
+    #: interleavings, so runs with different quanta are cached (and
+    #: compared) as distinct configurations.
+    quantum: int | None = None
     #: Extracting a hot communication set from the counters (Section 5.1).
     hot_set_extract_latency: int = 4
 

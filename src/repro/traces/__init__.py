@@ -1,0 +1,51 @@
+"""Compiled trace store: build once, mmap everywhere.
+
+``compile.py`` lowers a workload's per-core tuple streams into flat
+``array('q')`` columns plus a segment index (THINK runs with prefix
+sums, guaranteed-private first-touch runs); ``store.py`` persists them
+in the binary "repro-trace v2" format under a content-addressed
+directory and maps them back with ``mmap``.  The simulation engine's
+fast path (``sim.engine``) consumes the segment index directly; results
+are bit-identical to the event-by-event interpreter by construction,
+and the differential harness (``repro check diff``) certifies it.
+"""
+
+from repro.traces.compile import (
+    FORMAT_VERSION,
+    SEG_PRIVATE,
+    SEG_THINK,
+    SYNC_KINDS,
+    CompiledTrace,
+    attach_compiled,
+    compile_workload,
+    ensure_compiled,
+)
+from repro.traces.store import (
+    TraceStore,
+    TraceStoreError,
+    default_trace_dir,
+    load_benchmark_compiled,
+    load_compiled,
+    save_compiled,
+    trace_store_enabled,
+    workload_key,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SEG_PRIVATE",
+    "SEG_THINK",
+    "SYNC_KINDS",
+    "CompiledTrace",
+    "TraceStore",
+    "TraceStoreError",
+    "attach_compiled",
+    "compile_workload",
+    "default_trace_dir",
+    "ensure_compiled",
+    "load_benchmark_compiled",
+    "load_compiled",
+    "save_compiled",
+    "trace_store_enabled",
+    "workload_key",
+]

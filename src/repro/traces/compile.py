@@ -1,0 +1,328 @@
+"""Trace compiler: lower a workload into flat typed columns + segments.
+
+A :class:`CompiledTrace` holds, per core, four ``array('q')`` columns —
+one entry per event — plus a *segment index* that pre-classifies maximal
+runs the engine can treat specially without changing a single counter:
+
+* **THINK runs** — consecutive ``OP_THINK`` events.  The index stores the
+  run's cumulative-cycle prefix sums, so the engine advances a core's
+  clock to the exact same budget-break positions the event-by-event
+  interpreter reaches, in one bisect instead of one iteration per event.
+* **PRIVATE runs** — consecutive memory accesses to blocks that (a) are
+  touched by exactly one core across the whole trace and (b) appear here
+  for the first time in that core's stream.  Such an access can only be
+  a cold L2 miss (nobody ever filled the block anywhere), and a miss
+  does not mutate the hierarchy during classification, so the engine may
+  skip the L1/L2 classify step and invoke the coherence transaction
+  directly.  Every protocol/network/directory/predictor side effect
+  still runs per event, in order — only the provably no-op hierarchy
+  probe is elided.  (The original plan of fast-forwarding whole private
+  runs at aggregate hit latency is unsound here: suite private accesses
+  are streaming first touches, i.e. *misses*, and their fills/evictions
+  feed the directory; bit-identity forbids skipping them.)
+
+Column encoding (all signed 64-bit, see ``workloads.base`` for events):
+
+======== ========== ======= =======================
+op       arg1       arg2    arg3
+======== ========== ======= =======================
+OP_READ  addr       pc      0
+OP_WRITE addr       pc      0
+OP_SYNC  kind index pc      lock_addr (-1 for None)
+OP_THINK cycles     0       0
+======== ========== ======= =======================
+
+``kind index`` indexes :data:`SYNC_KINDS` (definition order of
+:class:`~repro.sync.points.SyncKind`, stable under the source
+fingerprint that keys the on-disk store).
+
+Columns and tuple streams are dual representations and each is built
+lazily from the other: compiling in-process keeps the workload's live
+tuple lists (the engine consumes those) and only materializes columns
+when the trace is serialized; loading from disk maps the columns and
+only rehydrates tuples when the engine asks for a core's stream.  A
+cold simulated run therefore pays one classification pass, not a full
+re-encoding.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+
+#: Segment kinds in the index.
+SEG_THINK = 0
+SEG_PRIVATE = 1
+
+#: Stable sync-kind numbering for the columns.
+SYNC_KINDS = tuple(SyncKind)
+_KIND_INDEX = {kind: i for i, kind in enumerate(SYNC_KINDS)}
+
+#: Compiled-format version; bump when columns or segments change meaning.
+FORMAT_VERSION = 2
+
+#: Block shift the private classification is keyed to (64-byte lines —
+#: the suite's line size; the engine ignores PRIVATE segments under any
+#: other configured line size).
+BLOCK_SHIFT = 6
+
+
+class CompiledTrace:
+    """A workload lowered to typed columns plus the segment index.
+
+    Exactly one of the two event representations exists up front —
+    tuple streams (compiled in-process) or ``array('q')`` columns
+    (loaded from disk) — and the other materializes on first use:
+    ``events(core)`` rehydrates tuples from columns, ``ensure_columns()``
+    encodes columns from tuples.
+    """
+
+    __slots__ = ("name", "num_cores", "ops", "arg1", "arg2", "arg3",
+                 "segments", "_events")
+
+    def __init__(self, name, num_cores, ops, arg1, arg2, arg3, segments,
+                 events=None):
+        self.name = name
+        self.num_cores = num_cores
+        self.ops = ops            # list[array('q')] per core, or None
+        self.arg1 = arg1
+        self.arg2 = arg2
+        self.arg3 = arg3
+        #: list per core of (kind, start, end, payload) tuples; payload is
+        #: the cumulative-cycle prefix array for THINK runs, None for
+        #: PRIVATE runs.
+        self.segments = segments
+        self._events = events if events is not None else [None] * num_cores
+
+    def events(self, core: int) -> list:
+        """The core's event stream as interpreter tuples (memoized)."""
+        stream = self._events[core]
+        if stream is None:
+            stream = _rehydrate(
+                self.ops[core], self.arg1[core], self.arg2[core],
+                self.arg3[core],
+            )
+            self._events[core] = stream
+        return stream
+
+    def ensure_columns(self) -> None:
+        """Materialize the typed columns from the tuple streams."""
+        if self.ops is not None:
+            return
+        ops_cols, a1_cols, a2_cols, a3_cols = [], [], [], []
+        for core in range(self.num_cores):
+            cols = _encode_columns(self._events[core])
+            ops_cols.append(cols[0])
+            a1_cols.append(cols[1])
+            a2_cols.append(cols[2])
+            a3_cols.append(cols[3])
+        self.ops = ops_cols
+        self.arg1 = a1_cols
+        self.arg2 = a2_cols
+        self.arg3 = a3_cols
+
+    def num_events(self, core: int) -> int:
+        if self.ops is not None:
+            return len(self.ops[core])
+        return len(self._events[core])
+
+    def total_events(self) -> int:
+        return sum(self.num_events(core) for core in range(self.num_cores))
+
+    def segment_counts(self) -> dict:
+        """Segment totals by kind (diagnostics / ``trace info``)."""
+        think = private = 0
+        for segs in self.segments:
+            for seg in segs:
+                if seg[0] == SEG_THINK:
+                    think += 1
+                else:
+                    private += 1
+        return {"think_runs": think, "private_runs": private}
+
+    def to_workload(self) -> Workload:
+        """Rebuild a plain :class:`Workload` (tuple streams)."""
+        return Workload(
+            name=self.name,
+            num_cores=self.num_cores,
+            events=[self.events(core) for core in range(self.num_cores)],
+        )
+
+
+def compile_workload(workload: Workload) -> CompiledTrace:
+    """Lower a workload's tuple streams into a :class:`CompiledTrace`.
+
+    One cross-core pass finds blocks touched by more than one core (an
+    address-range heuristic would misfire on fuzzed or hand-written
+    traces that cross the private spans); one per-core pass builds the
+    segment index.  Columns stay lazy — see :class:`CompiledTrace`.
+    """
+    n = workload.num_cores
+    streams = [workload.stream(core) for core in range(n)]
+    # Blocks touched from more than one core can never be private.  Set
+    # algebra keeps the per-event work inside comprehensions.
+    shared: set = set()
+    seen_any: set = set()
+    for stream in streams:
+        blocks = {
+            ev[1] >> BLOCK_SHIFT for ev in stream if ev[0] == OP_READ
+        } | {
+            ev[1] >> BLOCK_SHIFT for ev in stream if ev[0] == OP_WRITE
+        }
+        shared |= seen_any & blocks
+        seen_any |= blocks
+
+    seg_tables = []
+    events = []
+    for core in range(n):
+        stream = streams[core]
+        segs = []
+        seen: set = set()
+        add_seen = seen.add
+        run_kind = -1
+        run_start = 0
+        think_cycles: list = []
+
+        def close_run(pos):
+            nonlocal run_kind
+            if run_kind == SEG_THINK:
+                prefix = array("q", think_cycles)
+                total = 0
+                for i, cyc in enumerate(prefix):
+                    total += cyc
+                    prefix[i] = total
+                segs.append((SEG_THINK, run_start, pos, prefix))
+                think_cycles.clear()
+            elif run_kind == SEG_PRIVATE:
+                segs.append((SEG_PRIVATE, run_start, pos, None))
+            run_kind = -1
+
+        for p, ev in enumerate(stream):
+            op = ev[0]
+            if op == OP_READ or op == OP_WRITE:
+                block = ev[1] >> BLOCK_SHIFT
+                if block not in shared and block not in seen:
+                    add_seen(block)
+                    if run_kind != SEG_PRIVATE:
+                        close_run(p)
+                        run_kind = SEG_PRIVATE
+                        run_start = p
+                elif run_kind != -1:
+                    close_run(p)
+            elif op == OP_THINK:
+                if run_kind != SEG_THINK:
+                    close_run(p)
+                    run_kind = SEG_THINK
+                    run_start = p
+                think_cycles.append(ev[1])
+            elif op == OP_SYNC:
+                if run_kind != -1:
+                    close_run(p)
+            else:
+                raise ValueError(f"unknown event opcode {op!r}")
+        close_run(len(stream))
+
+        seg_tables.append(segs)
+        events.append(stream if isinstance(stream, list) else list(stream))
+
+    return CompiledTrace(
+        name=workload.name, num_cores=n,
+        ops=None, arg1=None, arg2=None, arg3=None,
+        segments=seg_tables, events=events,
+    )
+
+
+def ensure_compiled(workload: Workload) -> CompiledTrace:
+    """The workload's compiled trace, compiling and attaching on demand.
+
+    The result is cached on the workload object, so repeat runs (sweep
+    cells sharing one workload, warm bench iterations) compile once.
+    """
+    compiled = getattr(workload, "_compiled", None)
+    if compiled is None:
+        compiled = compile_workload(workload)
+        workload._compiled = compiled
+    return compiled
+
+
+def attach_compiled(workload: Workload, compiled: CompiledTrace) -> None:
+    if (compiled.num_cores != workload.num_cores
+            or compiled.total_events() != workload.total_events()):
+        raise ValueError("compiled trace does not match workload shape")
+    workload._compiled = compiled
+
+
+def _encode_columns(stream) -> tuple:
+    """One core's tuple stream to the four typed columns."""
+    nbytes = 8 * len(stream)
+    ops = array("q", bytes(nbytes))
+    a1 = array("q", bytes(nbytes))
+    a2 = array("q", bytes(nbytes))
+    a3 = array("q", bytes(nbytes))
+    kind_index = _KIND_INDEX
+    for p, ev in enumerate(stream):
+        op = ev[0]
+        ops[p] = op
+        if op == OP_READ or op == OP_WRITE:
+            a1[p] = ev[1]
+            a2[p] = ev[2]
+        elif op == OP_THINK:
+            a1[p] = ev[1]
+        else:  # OP_SYNC
+            lock_addr = ev[3]
+            a1[p] = kind_index[ev[1]]
+            a2[p] = ev[2]
+            a3[p] = -1 if lock_addr is None else lock_addr
+    return ops, a1, a2, a3
+
+
+def _rehydrate(ops, a1, a2, a3) -> list:
+    """Columns back to interpreter tuples (one core)."""
+    stream = []
+    append = stream.append
+    sync_kinds = SYNC_KINDS
+    for p in range(len(ops)):
+        op = ops[p]
+        if op == OP_READ or op == OP_WRITE:
+            append((op, a1[p], a2[p]))
+        elif op == OP_THINK:
+            append((OP_THINK, a1[p]))
+        else:
+            lock = a3[p]
+            append((OP_SYNC, sync_kinds[a1[p]], a2[p],
+                    None if lock == -1 else lock))
+    return stream
+
+
+def inflate_segments(triples_per_core, a1_cols) -> list:
+    """Loaded ``(kind, start, end)`` triples to full segment tables.
+
+    The on-disk format stores only the triples; THINK prefix arrays are
+    derived data and are rebuilt here from the cycle column (think
+    events are a small fraction of any trace, so this is cheap), which
+    keeps the file format minimal.
+    """
+    tables = []
+    for core, triples in enumerate(triples_per_core):
+        a1 = a1_cols[core]
+        segs = []
+        for kind, start, end in triples:
+            payload = (
+                build_think_prefix(a1, start, end)
+                if kind == SEG_THINK else None
+            )
+            segs.append((kind, start, end, payload))
+        tables.append(segs)
+    return tables
+
+
+def build_think_prefix(a1, start: int, end: int) -> array:
+    """Cumulative think cycles for events ``start..end`` of a column."""
+    prefix = array("q", a1[start:end])
+    total = 0
+    for i in range(len(prefix)):
+        total += prefix[i]
+        prefix[i] = total
+    return prefix

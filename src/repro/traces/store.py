@@ -1,0 +1,328 @@
+"""The "repro-trace v2" binary format and the content-addressed store.
+
+Layout of a v2 file (all integers little-endian):
+
+* 8-byte magic ``b"RTRACEv2"``
+* ``u32`` header length, then that many bytes of UTF-8 JSON::
+
+      {"version": 2, "name": ..., "num_cores": N, "byteorder": ...,
+       "cores": [{"events": n, "segments": m}, ...]}
+
+* per core, in order: the four event columns (``n`` signed 64-bit words
+  each: op, arg1, arg2, arg3), then the segment table (``m`` triples of
+  signed 64-bit words: kind, start, end).
+
+The expected file size is fully determined by the header, so truncation
+is detected before any column is touched.  Columns are materialized with
+``array('q')`` in native byte order; files written on a different-endian
+host are refused rather than silently misread.
+
+:class:`TraceStore` mirrors :class:`~repro.runner.diskcache.DiskCache`:
+one file per key under ``$REPRO_TRACE_DIR`` (default
+``~/.cache/repro-traces``), atomic tmp-file + rename writes, corrupt
+files dropped and recompiled, ``REPRO_TRACE=0`` disables the store.
+Keys fold in the simulator source fingerprint, so a changed generator
+or compiler re-keys every entry instead of replaying a stale trace.
+Loads go through ``mmap``: workers of a sweep all map the same physical
+page-cache pages ("build once, mmap everywhere"); with the default
+``fork`` pool start the parent's already-compiled traces are inherited
+copy-on-write as well.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+import sys
+import tempfile
+from array import array
+from pathlib import Path
+
+from repro.traces.compile import (
+    FORMAT_VERSION,
+    CompiledTrace,
+    compile_workload,
+    ensure_compiled,
+    inflate_segments,
+)
+from repro.workloads.base import Workload
+
+_MAGIC = b"RTRACEv2"
+_ITEM = struct.calcsize("<q")  # 8
+
+
+class TraceStoreError(ValueError):
+    """A v2 trace file is malformed, truncated, or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+
+def write_compiled(compiled: CompiledTrace, fh) -> None:
+    compiled.ensure_columns()
+    header = {
+        "version": FORMAT_VERSION,
+        "name": compiled.name,
+        "num_cores": compiled.num_cores,
+        "byteorder": sys.byteorder,
+        "cores": [
+            {
+                "events": len(compiled.ops[core]),
+                "segments": len(compiled.segments[core]),
+            }
+            for core in range(compiled.num_cores)
+        ],
+    }
+    blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    fh.write(_MAGIC)
+    fh.write(struct.pack("<I", len(blob)))
+    fh.write(blob)
+    for core in range(compiled.num_cores):
+        for col in (compiled.ops[core], compiled.arg1[core],
+                    compiled.arg2[core], compiled.arg3[core]):
+            fh.write(col.tobytes())
+        seg = array("q")
+        for kind, start, end, _payload in compiled.segments[core]:
+            seg.append(kind)
+            seg.append(start)
+            seg.append(end)
+        fh.write(seg.tobytes())
+
+
+def save_compiled(compiled: CompiledTrace, path: str | os.PathLike) -> None:
+    """Write a compiled trace to ``path`` atomically."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=".rtrace"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write_compiled(compiled, fh)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_compiled(path: str | os.PathLike) -> CompiledTrace:
+    """Read a v2 trace file back into a :class:`CompiledTrace`.
+
+    The file is mapped, not read: column bytes land in this process via
+    shared page-cache pages, so N sweep workers loading the same trace
+    cost one physical copy.
+    """
+    with open(path, "rb") as fh:
+        try:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # zero-length file
+            raise TraceStoreError(f"{path}: empty trace file") from exc
+    try:
+        return _parse(mm, str(path))
+    finally:
+        mm.close()
+
+
+def _parse(mm, label: str) -> CompiledTrace:
+    if len(mm) < len(_MAGIC) + 4:
+        raise TraceStoreError(f"{label}: truncated before header")
+    if mm[: len(_MAGIC)] != _MAGIC:
+        raise TraceStoreError(
+            f"{label}: bad magic {bytes(mm[:len(_MAGIC)])!r}"
+        )
+    (hlen,) = struct.unpack_from("<I", mm, len(_MAGIC))
+    body = len(_MAGIC) + 4
+    if len(mm) < body + hlen:
+        raise TraceStoreError(f"{label}: truncated header")
+    try:
+        header = json.loads(mm[body: body + hlen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceStoreError(f"{label}: corrupt header") from exc
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceStoreError(
+            f"{label}: unsupported version {header.get('version')!r}"
+        )
+    if header.get("byteorder") != sys.byteorder:
+        raise TraceStoreError(
+            f"{label}: {header.get('byteorder')}-endian file on a "
+            f"{sys.byteorder}-endian host"
+        )
+    cores = header.get("cores")
+    num_cores = header.get("num_cores")
+    if not isinstance(cores, list) or len(cores) != num_cores:
+        raise TraceStoreError(f"{label}: malformed core table")
+
+    expected = body + hlen + sum(
+        (4 * entry["events"] + 3 * entry["segments"]) * _ITEM
+        for entry in cores
+    )
+    if len(mm) != expected:
+        raise TraceStoreError(
+            f"{label}: size {len(mm)} != expected {expected} "
+            "(truncated or trailing garbage)"
+        )
+
+    offset = body + hlen
+    ops_cols, a1_cols, a2_cols, a3_cols, seg_triples = [], [], [], [], []
+    for entry in cores:
+        n, m = entry["events"], entry["segments"]
+        cols = []
+        for _ in range(4):
+            col = array("q")
+            col.frombytes(mm[offset: offset + n * _ITEM])
+            cols.append(col)
+            offset += n * _ITEM
+        ops_cols.append(cols[0])
+        a1_cols.append(cols[1])
+        a2_cols.append(cols[2])
+        a3_cols.append(cols[3])
+        seg = array("q")
+        seg.frombytes(mm[offset: offset + 3 * m * _ITEM])
+        offset += 3 * m * _ITEM
+        triples = [
+            (seg[3 * i], seg[3 * i + 1], seg[3 * i + 2]) for i in range(m)
+        ]
+        seg_triples.append(triples)
+
+    return CompiledTrace(
+        name=header.get("name", "trace"),
+        num_cores=num_cores,
+        ops=ops_cols, arg1=a1_cols, arg2=a2_cols, arg3=a3_cols,
+        segments=inflate_segments(seg_triples, a1_cols),
+    )
+
+
+# ----------------------------------------------------------------------
+# the content-addressed store
+# ----------------------------------------------------------------------
+
+def default_trace_dir() -> Path:
+    env = os.environ.get("REPRO_TRACE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+def trace_store_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "1") != "0"
+
+
+def workload_key(name: str, scale, seed) -> str:
+    """Store key for a generated suite workload.
+
+    Folds in the simulator source fingerprint (same one the run cache
+    uses): any edit that could change what the generator emits or what
+    the compiler encodes re-keys the store, so a stale file can never be
+    replayed as current.
+    """
+    from repro.runner.specs import code_fingerprint
+
+    material = "\x1f".join((
+        f"trace-v{FORMAT_VERSION}",
+        code_fingerprint(),
+        name,
+        repr(scale),
+        repr(seed),
+    ))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class TraceStore:
+    """Digest-keyed directory of compiled v2 traces."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_trace_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> "TraceStore | None":
+        """The default store, or None when ``REPRO_TRACE=0``."""
+        return cls() if trace_store_enabled() else None
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.rtrace"
+
+    def load(self, key: str) -> CompiledTrace | None:
+        """The stored trace, or None (corrupt files are dropped)."""
+        path = self.path(key)
+        try:
+            compiled = load_compiled(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (TraceStoreError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return compiled
+
+    def store(self, key: str, compiled: CompiledTrace) -> None:
+        save_compiled(compiled, self.path(key))
+
+    def clear(self) -> int:
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.rtrace"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def size(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.rtrace"))
+
+
+def load_benchmark_compiled(
+    name: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    store: TraceStore | None = None,
+):
+    """A suite workload with its compiled trace attached, via the store.
+
+    Store hit: columns are mapped from disk and the workload's tuple
+    streams are rehydrated from them — the generator never runs.  Store
+    miss (or store disabled): generate, compile, and persist for the
+    next process.  Either way the returned workload carries a
+    ``_compiled`` attribute the engine's fast path picks up.
+    """
+    from repro.workloads.suite import load_benchmark
+
+    if store is None:
+        store = TraceStore.from_env()
+    if store is None:
+        workload = load_benchmark(name, scale=scale, seed=seed)
+        ensure_compiled(workload)
+        return workload
+
+    key = workload_key(name, scale, seed)
+    compiled = store.load(key)
+    if compiled is not None:
+        workload = compiled.to_workload()
+        workload._compiled = compiled
+        return workload
+    workload = load_benchmark(name, scale=scale, seed=seed)
+    compiled = compile_workload(workload)
+    workload._compiled = compiled
+    try:
+        store.store(key, compiled)
+    except OSError:
+        pass  # read-only cache dir: run uncached
+    return workload

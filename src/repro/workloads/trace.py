@@ -79,35 +79,43 @@ def read_trace(fh: io.TextIOBase) -> Workload:
         raise TraceFormatError("core count must be positive")
 
     streams = [[] for _ in range(num_cores)]
-    current = None
+    # The loop below runs once per trace line; the tag tests are ordered
+    # by frequency (r/w dominate any real trace) and the current
+    # stream's bound ``append`` is hoisted across ``core`` sections.
+    append = None
     for lineno, line in enumerate(fh, start=3):
         parts = line.split()
         if not parts:
             continue
         tag = parts[0]
         try:
-            if tag == "core":
-                current = int(parts[1])
-                if not 0 <= current < num_cores:
-                    raise TraceFormatError(f"core {current} out of range")
-            elif tag == "r":
-                streams[current].append((OP_READ, int(parts[1], 16),
-                                         int(parts[2], 16)))
+            if tag == "r":
+                append((OP_READ, int(parts[1], 16), int(parts[2], 16)))
             elif tag == "w":
-                streams[current].append((OP_WRITE, int(parts[1], 16),
-                                         int(parts[2], 16)))
+                append((OP_WRITE, int(parts[1], 16), int(parts[2], 16)))
             elif tag == "t":
-                streams[current].append((OP_THINK, int(parts[1])))
+                append((OP_THINK, int(parts[1])))
             elif tag == "s":
                 kind = SyncKind(parts[1])
                 pc = int(parts[2], 16)
                 lock = int(parts[3], 16) if len(parts) > 3 else None
-                streams[current].append((OP_SYNC, kind, pc, lock))
+                append((OP_SYNC, kind, pc, lock))
+            elif tag == "core":
+                current = int(parts[1])
+                if not 0 <= current < num_cores:
+                    raise TraceFormatError(f"core {current} out of range")
+                append = streams[current].append
             else:
                 raise TraceFormatError(f"unknown record {tag!r}")
         except TraceFormatError:
             raise
-        except (TypeError, ValueError, IndexError) as exc:
+        except TypeError as exc:
+            if append is None:
+                raise TraceFormatError(
+                    f"line {lineno}: event record before any 'core' line"
+                ) from exc
+            raise TraceFormatError(f"line {lineno}: {line!r}") from exc
+        except (ValueError, IndexError) as exc:
             raise TraceFormatError(f"line {lineno}: {line!r}") from exc
 
     return Workload(name=name, num_cores=num_cores, events=streams)

@@ -15,14 +15,15 @@ from repro.runner.pool import SweepRunner
 from repro.runner.specs import CACHE_VERSION, RunSpec
 from repro.sim.machine import MachineConfig
 
-#: sha256 digest of the fixture spec below under CACHE_VERSION 2 and a
+#: sha256 digest of the fixture spec below under CACHE_VERSION 3 and a
 #: code fingerprint of "ffffffffffffffff".  Recompute ONLY when the key
 #: material changes on purpose (and bump CACHE_VERSION when you do).
+#: (v3: ``MachineConfig.quantum`` widened the machine repr.)
 PINNED_DIGEST = (
-    "843cf2eaddbcf59623240dc04d2cb046dd2aae5c871b47d4f0c2b9c394037456"
+    "8f53363e2ee1fa6717a3f4a3accb650e095a1b1e852bfa86d64ac6547e558a9b"
 )
 PINNED_SANITIZE_DIGEST = (
-    "a576a6f07a21c9aabeb94af770a0638ba03ce70bcc60c99d627607ef9466dc85"
+    "68b742fed56b234cae9040b97f110f928c98e40695a85f13354680b8c824b9ac"
 )
 
 
@@ -48,7 +49,7 @@ def fixture_spec(**overrides) -> RunSpec:
 
 class TestDigestStability:
     def test_cache_version_is_pinned(self):
-        assert CACHE_VERSION == 2
+        assert CACHE_VERSION == 3
 
     def test_known_config_has_known_digest(self, fixed_fingerprint):
         assert fixture_spec().digest() == PINNED_DIGEST

@@ -1,0 +1,105 @@
+"""Scheduling-quantum configuration and invariance tests.
+
+The quantum bounds how far one core may run ahead of the slowest core
+between scheduling turns.  For workloads with *no* cross-core sharing
+and no synchronization, the interleaving cannot affect any counter, so
+every quantum must produce the bit-identical result — a scoped
+invariance that exercises the budget-break plumbing in both engine
+loops.  (With sharing, the quantum is *not* result-invariant: it decides
+interleaving at the coherence protocol, which is exactly why the
+compiled fast path must reproduce the default schedule event-for-event.)
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check.lockstep import machine_for_cores
+from repro.sim import engine as engine_mod
+from repro.sim.engine import SimulationEngine
+from repro.workloads.base import OP_READ, OP_THINK, OP_WRITE, Workload
+
+
+def private_workload(num_cores: int = 4) -> Workload:
+    """Disjoint per-core block streams, no sync events."""
+    streams = []
+    for core in range(num_cores):
+        base = (core + 1) * 0x10000
+        stream = []
+        for i in range(40):
+            stream.append((OP_READ, base + 64 * i, 0x400))
+            stream.append((OP_THINK, 3 + (i % 5)))
+            stream.append((OP_WRITE, base + 64 * (i % 7), 0x404))
+        streams.append(stream)
+    return Workload(name="private", num_cores=num_cores, events=streams)
+
+
+def run(workload, machine, use_compiled, **kw):
+    return SimulationEngine(
+        workload,
+        machine=machine,
+        predictor="SP",
+        collect_epochs=True,
+        use_compiled=use_compiled,
+        **kw,
+    ).run().to_dict()
+
+
+class TestQuantumInvariance:
+    @pytest.mark.parametrize("use_compiled", [False, True])
+    def test_no_sharing_means_no_quantum_effect(self, use_compiled):
+        workload = private_workload()
+        base_machine = machine_for_cores(workload.num_cores)
+        reference = run(workload, base_machine, use_compiled)
+        for quantum in (1, 17, 400, 10**9):
+            machine = replace(base_machine, quantum=quantum)
+            assert run(workload, machine, use_compiled) == reference, (
+                f"quantum={quantum} changed a counter on a "
+                f"sharing-free workload"
+            )
+
+    def test_compiled_matches_interpreted_at_odd_quanta(self):
+        workload = private_workload()
+        for quantum in (1, 13, 10**9):
+            machine = replace(
+                machine_for_cores(workload.num_cores), quantum=quantum
+            )
+            assert run(workload, machine, True) == \
+                run(workload, machine, False)
+
+
+class TestQuantumConfiguration:
+    def engine(self, machine=None):
+        workload = private_workload()
+        return SimulationEngine(
+            workload,
+            machine=machine or machine_for_cores(workload.num_cores),
+        )
+
+    def test_default_is_module_constant(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTUM", raising=False)
+        assert self.engine()._effective_quantum() == engine_mod._QUANTUM
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUANTUM", "123")
+        assert self.engine()._effective_quantum() == 123
+
+    def test_machine_config_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUANTUM", "123")
+        machine = replace(machine_for_cores(4), quantum=77)
+        assert self.engine(machine)._effective_quantum() == 77
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUANTUM", "fast")
+        with pytest.raises(ValueError, match="REPRO_QUANTUM"):
+            self.engine()._effective_quantum()
+
+    def test_negative_quantum_rejected(self):
+        machine = replace(machine_for_cores(4), quantum=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            self.engine(machine)._effective_quantum()
+
+    def test_legacy_module_constant_still_honored(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUANTUM", raising=False)
+        monkeypatch.setattr(engine_mod, "_QUANTUM", 55)
+        assert self.engine()._effective_quantum() == 55

@@ -1,0 +1,162 @@
+"""Tests for the trace compiler: columns, segments, lazy duality."""
+
+import pytest
+
+from repro.sync.points import SyncKind
+from repro.traces.compile import (
+    BLOCK_SHIFT,
+    SEG_PRIVATE,
+    SEG_THINK,
+    CompiledTrace,
+    attach_compiled,
+    compile_workload,
+    ensure_compiled,
+)
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+def addr(block: int) -> int:
+    return block << BLOCK_SHIFT
+
+
+def segments_of(compiled: CompiledTrace, core: int, kind: int) -> list:
+    return [s for s in compiled.segments[core] if s[0] == kind]
+
+
+class TestThinkSegments:
+    def test_prefix_sums_are_cumulative_cycles(self):
+        streams = [
+            [
+                (OP_THINK, 5),
+                (OP_THINK, 7),
+                (OP_THINK, 11),
+                (OP_READ, addr(1), 0x400),
+            ],
+            [],
+        ]
+        compiled = compile_workload(
+            Workload(name="t", num_cores=2, events=streams)
+        )
+        think = segments_of(compiled, 0, SEG_THINK)
+        assert len(think) == 1
+        kind, start, end, prefix = think[0]
+        assert (start, end) == (0, 3)
+        assert list(prefix) == [5, 12, 23]
+
+    def test_sync_splits_think_runs(self):
+        streams = [
+            [
+                (OP_THINK, 5),
+                (OP_SYNC, SyncKind.BARRIER, 0x500, None),
+                (OP_THINK, 7),
+            ],
+            [(OP_SYNC, SyncKind.BARRIER, 0x500, None)],
+        ]
+        compiled = compile_workload(
+            Workload(name="t", num_cores=2, events=streams)
+        )
+        think = segments_of(compiled, 0, SEG_THINK)
+        assert [(s[1], s[2]) for s in think] == [(0, 1), (2, 3)]
+
+
+class TestPrivateSegments:
+    def test_first_touches_of_sole_toucher_blocks(self):
+        streams = [
+            [
+                (OP_READ, addr(1), 0x400),
+                (OP_WRITE, addr(2), 0x404),
+                (OP_READ, addr(1), 0x408),  # repeat: not a first touch
+            ],
+            [(OP_READ, addr(9), 0x400)],
+        ]
+        compiled = compile_workload(
+            Workload(name="t", num_cores=2, events=streams)
+        )
+        private = segments_of(compiled, 0, SEG_PRIVATE)
+        assert [(s[1], s[2]) for s in private] == [(0, 2)]
+        assert [(s[1], s[2]) for s in segments_of(compiled, 1, SEG_PRIVATE)] \
+            == [(0, 1)]
+
+    def test_cross_core_blocks_are_never_private(self):
+        # Core 1 touches block 1 later in the trace, so core 0's touch
+        # (which comes first in stream order) must not be private either:
+        # privacy is a whole-trace property, not a prefix property.
+        streams = [
+            [(OP_READ, addr(1), 0x400), (OP_READ, addr(2), 0x404)],
+            [(OP_WRITE, addr(1), 0x400)],
+        ]
+        compiled = compile_workload(
+            Workload(name="t", num_cores=2, events=streams)
+        )
+        private = segments_of(compiled, 0, SEG_PRIVATE)
+        # Only the sole-touched block 2 may appear, as its own segment.
+        assert [(s[1], s[2]) for s in private] == [(1, 2)]
+        assert segments_of(compiled, 1, SEG_PRIVATE) == []
+
+    def test_same_block_different_offsets_share_privacy(self):
+        streams = [
+            [(OP_READ, addr(1), 0x400)],
+            [(OP_READ, addr(1) + 8, 0x404)],  # same 64-byte block
+        ]
+        compiled = compile_workload(
+            Workload(name="t", num_cores=2, events=streams)
+        )
+        assert segments_of(compiled, 0, SEG_PRIVATE) == []
+        assert segments_of(compiled, 1, SEG_PRIVATE) == []
+
+
+class TestLazyColumns:
+    def test_in_process_compile_defers_columns(self):
+        workload = build_workload(make_spec(iterations=2))
+        compiled = compile_workload(workload)
+        assert compiled.ops is None
+        total = compiled.total_events()
+        compiled.ensure_columns()
+        assert compiled.ops is not None
+        assert compiled.total_events() == total
+        assert sum(len(col) for col in compiled.ops) == total
+
+    def test_columns_rehydrate_to_original_tuples(self):
+        workload = build_workload(
+            make_spec(PatternKind.STRIDE, locks=1, iterations=2)
+        )
+        compiled = compile_workload(workload)
+        compiled.ensure_columns()
+        rebuilt = CompiledTrace(
+            name=compiled.name,
+            num_cores=compiled.num_cores,
+            ops=compiled.ops,
+            arg1=compiled.arg1,
+            arg2=compiled.arg2,
+            arg3=compiled.arg3,
+            segments=compiled.segments,
+        )
+        for core in range(workload.num_cores):
+            assert rebuilt.events(core) == workload.stream(core)
+
+    def test_events_memoized(self):
+        workload = build_workload(make_spec(iterations=2))
+        compiled = compile_workload(workload)
+        assert compiled.events(0) is compiled.events(0)
+
+
+class TestAttach:
+    def test_ensure_compiled_caches_on_workload(self):
+        workload = build_workload(make_spec(iterations=2))
+        compiled = ensure_compiled(workload)
+        assert ensure_compiled(workload) is compiled
+
+    def test_attach_rejects_shape_mismatch(self):
+        workload = build_workload(make_spec(iterations=2))
+        other = compile_workload(build_workload(make_spec(iterations=3)))
+        with pytest.raises(ValueError, match="shape"):
+            attach_compiled(workload, other)
+
+    def test_attach_accepts_matching_trace(self):
+        workload = build_workload(make_spec(iterations=2))
+        compiled = compile_workload(workload)
+        attach_compiled(workload, compiled)
+        assert workload._compiled is compiled

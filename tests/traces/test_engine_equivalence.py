@@ -1,0 +1,88 @@
+"""Compiled-vs-interpreted engine equivalence (quick CI subset).
+
+The acceptance property of the compiled fast path is bit-identity with
+the event-by-event interpreter on every counter.  The full 17-workload
+grid runs in ``tools/check.sh`` (``repro check diff``); this module
+pins the property in the test suite on a small but diverse subset:
+suite workloads (think runs, private spans, locks, barriers), a v2
+store round trip, and fuzz traces whose segment structure the suite
+generators never produce.
+"""
+
+import pytest
+
+from repro.check.differential import check_engine_paths
+from repro.check.fuzz import CASE_ENGINE_CELLS, fuzz_machine, run_case
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.traces.store import TraceStore, load_benchmark_compiled
+from repro.workloads.fuzz import FuzzConfig, generate_fuzz_case
+from repro.workloads.suite import load_benchmark
+
+
+@pytest.mark.parametrize("name", ["bodytrack", "streamcluster"])
+def test_suite_workload_bit_identical(name):
+    workload = load_benchmark(name, scale=0.05)
+    divergences = check_engine_paths(workload, machine=MachineConfig())
+    assert divergences == []
+
+
+def test_store_loaded_trace_bit_identical(tmp_path):
+    """The fast path must agree even when the trace came from disk."""
+    store = TraceStore(tmp_path)
+    load_benchmark_compiled("lu", scale=0.05, store=store)  # populate
+    workload = load_benchmark_compiled("lu", scale=0.05, store=store)
+    assert store.hits == 1
+    divergences = check_engine_paths(workload, machine=MachineConfig())
+    assert divergences == []
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_fuzz_traces_bit_identical(seed):
+    case = generate_fuzz_case(seed, FuzzConfig(num_cores=4))
+    failure = run_case(
+        case.workload,
+        case.migrations,
+        protocols=("directory",),
+        predictors=("none",),
+        engine_cells=CASE_ENGINE_CELLS,
+    )
+    assert failure is None
+
+
+def test_nondefault_line_size_still_identical():
+    """PRIVATE segments are keyed to 64-byte blocks; under any other
+    line size the engine must ignore them (think-only fast path) and
+    still match the interpreter exactly."""
+    from dataclasses import replace
+
+    from repro.cache.cache import CacheConfig
+
+    machine = MachineConfig()
+    machine = replace(
+        machine,
+        l1=CacheConfig(size=machine.l1.size, assoc=machine.l1.assoc,
+                       line_size=32),
+        l2=CacheConfig(size=machine.l2.size, assoc=machine.l2.assoc,
+                       line_size=32),
+    )
+    workload = load_benchmark("lu", scale=0.05)
+    divergences = check_engine_paths(
+        workload, cells=(("directory", "SP"),), machine=machine
+    )
+    assert divergences == []
+
+
+def test_use_compiled_flag_and_env(monkeypatch):
+    workload = load_benchmark("lu", scale=0.05)
+    engine = SimulationEngine(workload)
+    monkeypatch.delenv("REPRO_COMPILED", raising=False)
+    assert engine._compiled_enabled()
+    monkeypatch.setenv("REPRO_COMPILED", "0")
+    assert not engine._compiled_enabled()
+    # The explicit constructor argument beats the environment.
+    assert SimulationEngine(workload, use_compiled=True)._compiled_enabled()
+    monkeypatch.delenv("REPRO_COMPILED", raising=False)
+    assert not SimulationEngine(
+        workload, use_compiled=False
+    )._compiled_enabled()

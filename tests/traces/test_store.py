@@ -1,0 +1,192 @@
+"""Tests for the v2 binary format and the content-addressed store."""
+
+import struct
+
+import pytest
+
+from repro.traces.compile import compile_workload
+from repro.traces.store import (
+    TraceStore,
+    TraceStoreError,
+    load_benchmark_compiled,
+    load_compiled,
+    save_compiled,
+    workload_key,
+)
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def source():
+    return build_workload(
+        make_spec(PatternKind.STRIDE, locks=1, iterations=2)
+    )
+
+
+@pytest.fixture
+def compiled(source):
+    return compile_workload(source)
+
+
+def save(compiled, tmp_path):
+    path = tmp_path / "t.rtrace"
+    save_compiled(compiled, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_events_and_segments_survive(self, compiled, tmp_path):
+        loaded = load_compiled(save(compiled, tmp_path))
+        assert loaded.name == compiled.name
+        assert loaded.num_cores == compiled.num_cores
+        for core in range(compiled.num_cores):
+            assert loaded.events(core) == compiled.events(core)
+            assert [s[:3] for s in loaded.segments[core]] == [
+                s[:3] for s in compiled.segments[core]
+            ]
+            # THINK prefix payloads are derived data, rebuilt at load.
+            assert [
+                list(s[3]) for s in loaded.segments[core] if s[3] is not None
+            ] == [
+                list(s[3])
+                for s in compiled.segments[core]
+                if s[3] is not None
+            ]
+
+    def test_to_workload_matches_source(self, source, compiled, tmp_path):
+        loaded = load_compiled(save(compiled, tmp_path))
+        rebuilt = loaded.to_workload()
+        assert rebuilt.num_cores == source.num_cores
+        for core in range(source.num_cores):
+            assert rebuilt.stream(core) == source.stream(core)
+
+    def test_save_is_deterministic(self, compiled, tmp_path):
+        save_compiled(compiled, tmp_path / "a.rtrace")
+        save_compiled(compiled, tmp_path / "b.rtrace")
+        assert (tmp_path / "a.rtrace").read_bytes() == \
+            (tmp_path / "b.rtrace").read_bytes()
+
+
+class TestMalformedFiles:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        path.write_bytes(b"")
+        with pytest.raises(TraceStoreError, match="empty"):
+            load_compiled(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        path.write_bytes(b"NOTATRCE" + b"\0" * 64)
+        with pytest.raises(TraceStoreError, match="magic"):
+            load_compiled(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "t.rtrace"
+        path.write_bytes(b"RTRACEv2" + struct.pack("<I", 10_000) + b"{}")
+        with pytest.raises(TraceStoreError, match="truncated header"):
+            load_compiled(path)
+
+    def test_truncated_columns(self, compiled, tmp_path):
+        path = save(compiled, tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 16])
+        with pytest.raises(TraceStoreError, match="truncated"):
+            load_compiled(path)
+
+    def test_trailing_garbage(self, compiled, tmp_path):
+        path = save(compiled, tmp_path)
+        path.write_bytes(path.read_bytes() + b"\0" * 8)
+        with pytest.raises(TraceStoreError, match="trailing garbage"):
+            load_compiled(path)
+
+    def test_corrupt_header_json(self, tmp_path):
+        blob = b"not json at all"
+        path = tmp_path / "t.rtrace"
+        path.write_bytes(b"RTRACEv2" + struct.pack("<I", len(blob)) + blob)
+        with pytest.raises(TraceStoreError, match="corrupt header"):
+            load_compiled(path)
+
+    def test_wrong_version(self, compiled, tmp_path):
+        path = save(compiled, tmp_path)
+        blob = bytearray(path.read_bytes())
+        (hlen,) = struct.unpack_from("<I", blob, 8)
+        header = blob[12: 12 + hlen].replace(
+            b'"version":2', b'"version":9'
+        )
+        assert len(header) == hlen  # same-length patch keeps sizes valid
+        blob[12: 12 + hlen] = header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(TraceStoreError, match="version"):
+            load_compiled(path)
+
+
+class TestStore:
+    def test_miss_then_hit(self, compiled, tmp_path):
+        store = TraceStore(tmp_path)
+        key = "k" * 64
+        assert store.load(key) is None
+        store.store(key, compiled)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.events(0) == compiled.events(0)
+        assert (store.hits, store.misses) == (1, 1)
+        assert store.size() == 1
+
+    def test_corrupt_entry_dropped(self, compiled, tmp_path):
+        store = TraceStore(tmp_path)
+        key = "k" * 64
+        store.store(key, compiled)
+        store.path(key).write_bytes(b"garbage")
+        assert store.load(key) is None
+        assert not store.path(key).exists()
+
+    def test_clear(self, compiled, tmp_path):
+        store = TraceStore(tmp_path)
+        store.store("a" * 64, compiled)
+        store.store("b" * 64, compiled)
+        assert store.clear() == 2
+        assert store.size() == 0
+
+    def test_from_env_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert TraceStore.from_env() is None
+
+    def test_default_dir_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        store = TraceStore.from_env()
+        assert store is not None
+        assert store.root == tmp_path / "traces"
+
+
+class TestWorkloadKey:
+    def test_distinct_inputs_distinct_keys(self):
+        base = workload_key("bodytrack", 0.5, None)
+        assert workload_key("x264", 0.5, None) != base
+        assert workload_key("bodytrack", 0.25, None) != base
+        assert workload_key("bodytrack", 0.5, 7) != base
+        assert workload_key("bodytrack", 0.5, None) == base
+
+
+class TestLoadBenchmarkCompiled:
+    def test_store_hit_reproduces_generated_workload(self, tmp_path):
+        from repro.workloads.suite import load_benchmark
+
+        store = TraceStore(tmp_path)
+        cold = load_benchmark_compiled("lu", scale=0.05, store=store)
+        assert store.size() == 1
+        warm = load_benchmark_compiled("lu", scale=0.05, store=store)
+        assert store.hits == 1
+        reference = load_benchmark("lu", scale=0.05)
+        for workload in (cold, warm):
+            assert workload.num_cores == reference.num_cores
+            for core in range(reference.num_cores):
+                assert workload.stream(core) == reference.stream(core)
+            assert workload._compiled is not None
+
+    def test_disabled_store_compiles_in_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        workload = load_benchmark_compiled("lu", scale=0.05)
+        assert workload._compiled is not None

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Benchmark the sweep runner and the simulation hot path.
+"""Benchmark the sweep runner, the simulation hot path, and the trace store.
 
-Times three things and writes them to ``BENCH_sweep.json`` so the
+Times five things and writes them to ``BENCH_sweep.json`` so the
 repository's performance trajectory is tracked from run to run:
 
 * a canonical multi-workload sweep, serially in one process (the seed
@@ -9,9 +9,21 @@ repository's performance trajectory is tracked from run to run:
 * the same sweep through the parallel runner, cold (fresh disk cache)
   and warm (second invocation over the populated cache — this is what a
   repeat ``python -m repro.experiments`` costs);
-* one hot single run (bodytrack / directory / SP), with the full
-  engine-side epoch bookkeeping and with the fast path
-  (``ideal_metric=False``).
+* one hot single run (bodytrack / directory / SP), on the compiled
+  fast path (today's default), the event-by-event interpreter
+  (``REPRO_COMPILED=0``), and with epoch bookkeeping off
+  (``ideal_metric=False``) — workload built outside the timer, same
+  protocol the seed number was measured with;
+* one *cold* single run against a warm trace store — workload
+  acquisition (mmap load) plus the engine run, what a fresh process
+  pays for one simulation; the seed's equivalent regenerated the
+  workload from its Python generators and interpreted it;
+* the trace store itself: compile, column encode, save, mmap load, and
+  tuple rehydration for one workload.
+
+Each sweep gets its own fresh trace-store directory, so "cold" numbers
+include trace compilation and stay reproducible regardless of what
+``~/.cache/repro-traces`` happens to contain.
 
 Usage::
 
@@ -36,6 +48,13 @@ from repro.experiments.common import RunCache  # noqa: E402
 from repro.runner import DiskCache, resolve_jobs  # noqa: E402
 from repro.sim.engine import SimulationEngine  # noqa: E402
 from repro.sim.machine import MachineConfig  # noqa: E402
+from repro.traces import (  # noqa: E402
+    compile_workload,
+    ensure_compiled,
+    load_benchmark_compiled,
+    load_compiled,
+    save_compiled,
+)
 from repro.workloads.suite import load_benchmark  # noqa: E402
 
 #: The canonical sweep: enough configurations that pool dispatch and
@@ -51,11 +70,20 @@ SWEEP_CONFIGS = (
 SMOKE_WORKLOADS = ("x264", "lu")
 
 #: Wall-clock of the identical single run (bodytrack, scale 0.5,
-#: directory protocol, SP predictor, full bookkeeping) measured at the
-#: seed revision (913f5ac) on this host, before the engine hot-path
-#: rework.  Kept as the fixed reference the speedup is reported
-#: against; only meaningful at the default scale.
+#: directory protocol, SP predictor, full bookkeeping, workload built
+#: outside the timer) measured at the seed revision (913f5ac) on this
+#: host, before the engine hot-path rework and the compiled trace
+#: store.  Kept as the fixed reference the speedup is reported against;
+#: only meaningful at the default scale.
 SEED_SINGLE_RUN_S = 2.122
+
+#: Wall-clock of the *cold* single run — workload acquisition plus the
+#: engine run, i.e. what a fresh process pays for one simulation — at
+#: the seed revision (generate the workload from its Python generators,
+#: then interpret it; best of 5 on this host).  Today the same run
+#: mmap-loads the compiled trace from the warm store instead of
+#: generating.  Only meaningful at the default scale.
+SEED_COLD_RUN_S = 2.272
 
 
 def sweep_grid(workloads) -> list:
@@ -66,23 +94,84 @@ def sweep_grid(workloads) -> list:
     ]
 
 
-def time_sweep(grid, scale, jobs, disk) -> float:
-    cache = RunCache(scale=scale, jobs=jobs, disk_cache=disk)
-    start = time.perf_counter()
-    cache.prefetch(grid)
-    return time.perf_counter() - start
+def time_sweep(grid, scale, jobs, disk, trace_dir) -> float:
+    """One sweep with its own trace-store directory (see module doc)."""
+    os.environ["REPRO_TRACE_DIR"] = str(trace_dir)
+    try:
+        cache = RunCache(scale=scale, jobs=jobs, disk_cache=disk)
+        start = time.perf_counter()
+        cache.prefetch(grid)
+        return time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_TRACE_DIR", None)
 
 
-def time_single_run(scale, ideal_metric) -> float:
-    workload = load_benchmark("bodytrack", scale=scale)
-    machine = MachineConfig()
+def time_single_run(workload, ideal_metric, use_compiled) -> float:
+    """Engine run only — workload (and its compiled trace) pre-built."""
     engine = SimulationEngine(
-        workload, machine=machine, protocol="directory", predictor="SP",
-        ideal_metric=ideal_metric,
+        workload, machine=MachineConfig(), protocol="directory",
+        predictor="SP", ideal_metric=ideal_metric,
+        use_compiled=use_compiled,
     )
     start = time.perf_counter()
     engine.run()
     return time.perf_counter() - start
+
+
+def time_cold_run(scale, trace_dir) -> float:
+    """Workload acquisition + engine run against a warm trace store:
+    what a fresh process pays for one simulation once the workload's
+    compiled trace exists on disk."""
+    os.environ["REPRO_TRACE_DIR"] = str(trace_dir)
+    try:
+        start = time.perf_counter()
+        workload = load_benchmark_compiled("bodytrack", scale=scale)
+        engine = SimulationEngine(
+            workload, machine=MachineConfig(), protocol="directory",
+            predictor="SP", use_compiled=True,
+        )
+        engine.run()
+        return time.perf_counter() - start
+    finally:
+        os.environ.pop("REPRO_TRACE_DIR", None)
+
+
+def time_trace_store(scale, tmp) -> dict:
+    """Compile / encode / save / mmap-load / rehydrate one workload."""
+    workload = load_benchmark("bodytrack", scale=scale)
+
+    start = time.perf_counter()
+    compiled = compile_workload(workload)
+    compile_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled.ensure_columns()
+    encode_s = time.perf_counter() - start
+
+    path = Path(tmp) / "bench.rtrace"
+    start = time.perf_counter()
+    save_compiled(compiled, path)
+    save_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loaded = load_compiled(path)
+    load_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for core in range(loaded.num_cores):
+        loaded.events(core)
+    rehydrate_s = time.perf_counter() - start
+
+    return {
+        "workload": "bodytrack",
+        "events": compiled.total_events(),
+        "file_bytes": path.stat().st_size,
+        "compile_s": round(compile_s, 4),
+        "encode_columns_s": round(encode_s, 4),
+        "save_s": round(save_s, 4),
+        "mmap_load_s": round(load_s, 4),
+        "rehydrate_s": round(rehydrate_s, 4),
+    }
 
 
 def main(argv=None) -> int:
@@ -99,6 +188,10 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="tiny CI configuration: scale 0.05, 2 workloads, 2 jobs",
     )
+    parser.add_argument(
+        "--reps", type=int, default=5,
+        help="single-run repetitions; the minimum is reported (default 5)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -111,59 +204,120 @@ def main(argv=None) -> int:
         jobs = resolve_jobs(args.jobs)
     grid = sweep_grid(workloads)
 
+    reps = 1 if args.smoke else max(1, args.reps)
+
     print(f"# sweep: {len(grid)} configurations at scale {scale}, "
-          f"{jobs} jobs")
+          f"{jobs} jobs ({os.cpu_count()} CPUs)")
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         disk = DiskCache(Path(tmp) / "runs")
 
         print("serial baseline (1 process, no persistent cache) ...")
-        serial_s = time_sweep(grid, scale, jobs=1, disk=False)
+        serial_s = time_sweep(
+            grid, scale, jobs=1, disk=False,
+            trace_dir=Path(tmp) / "traces-serial",
+        )
         print(f"  {serial_s:.2f}s")
 
-        print(f"parallel cold ({jobs} jobs, fresh cache) ...")
-        parallel_cold_s = time_sweep(grid, scale, jobs=jobs, disk=disk)
+        print(f"parallel cold ({jobs} jobs, fresh caches) ...")
+        parallel_cold_s = time_sweep(
+            grid, scale, jobs=jobs, disk=disk,
+            trace_dir=Path(tmp) / "traces-pool",
+        )
         print(f"  {parallel_cold_s:.2f}s")
 
         print("parallel warm (new process-equivalent, populated cache) ...")
-        warm_s = time_sweep(grid, scale, jobs=jobs, disk=DiskCache(disk.root))
+        warm_s = time_sweep(
+            grid, scale, jobs=jobs, disk=DiskCache(disk.root),
+            trace_dir=Path(tmp) / "traces-pool",
+        )
         print(f"  {warm_s:.2f}s")
 
-    reps = 1 if args.smoke else 3
-    print("single hot run (bodytrack / SP, full bookkeeping) ...")
-    single_s = min(time_single_run(scale, True) for _ in range(reps))
+        print("trace store (compile / save / mmap load) ...")
+        trace_store = time_trace_store(scale, tmp)
+        print(f"  compile {trace_store['compile_s']:.3f}s, "
+              f"save {trace_store['save_s']:.3f}s, "
+              f"load {trace_store['mmap_load_s']:.3f}s")
+
+        print("cold single run (load from warm trace store + simulate) ...")
+        cold_dir = Path(tmp) / "traces-single"
+        os.environ["REPRO_TRACE_DIR"] = str(cold_dir)
+        try:
+            load_benchmark_compiled("bodytrack", scale=scale)  # populate
+        finally:
+            os.environ.pop("REPRO_TRACE_DIR", None)
+        cold_s = min(time_cold_run(scale, cold_dir) for _ in range(reps))
+        print(f"  {cold_s:.2f}s")
+
+    workload = load_benchmark("bodytrack", scale=scale)
+    ensure_compiled(workload)  # steady state: the store supplies this
+
+    print("single hot run (compiled fast path, full bookkeeping) ...")
+    single_s = min(
+        time_single_run(workload, True, use_compiled=True)
+        for _ in range(reps)
+    )
     print(f"  {single_s:.2f}s")
-    print("single hot run (fast path, ideal_metric off) ...")
-    single_fast_s = min(time_single_run(scale, False) for _ in range(reps))
+    print("single hot run (interpreted loop, full bookkeeping) ...")
+    interpreted_s = min(
+        time_single_run(workload, True, use_compiled=False)
+        for _ in range(reps)
+    )
+    print(f"  {interpreted_s:.2f}s")
+    print("single hot run (compiled, ideal_metric off) ...")
+    single_fast_s = min(
+        time_single_run(workload, False, use_compiled=True)
+        for _ in range(reps)
+    )
     print(f"  {single_fast_s:.2f}s")
+
+    sweep = {
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_cold_s, 3),
+        "parallel_warm_s": round(warm_s, 3),
+        "speedup_parallel_warm": round(serial_s / warm_s, 2)
+        if warm_s else None,
+    }
+    if jobs > 1:
+        sweep["speedup_parallel_cold"] = (
+            round(serial_s / parallel_cold_s, 2) if parallel_cold_s else None
+        )
+    else:
+        # One worker is the serial path plus pool overhead; claiming a
+        # parallel speedup from it would be noise dressed as a result.
+        sweep["speedup_parallel_cold"] = None
+        sweep["note"] = (
+            "jobs_effective == 1 (single-CPU host): no parallel cold "
+            "speedup is claimed"
+        )
 
     payload = {
         "scale": scale,
-        "jobs": jobs,
+        "jobs_requested": args.jobs,
+        "jobs_effective": jobs,
         "cpu_count": os.cpu_count(),
         "grid": grid,
-        "sweep": {
-            "serial_cold_s": round(serial_s, 3),
-            "parallel_cold_s": round(parallel_cold_s, 3),
-            "parallel_warm_s": round(warm_s, 3),
-            "speedup_parallel_cold": round(serial_s / parallel_cold_s, 2)
-            if parallel_cold_s else None,
-            "speedup_parallel_warm": round(serial_s / warm_s, 2)
-            if warm_s else None,
-        },
+        "sweep": sweep,
         "single_run": {
             "workload": "bodytrack",
             "predictor": "SP",
+            "cold_s": round(cold_s, 3),
             "full_s": round(single_s, 3),
+            "interpreted_s": round(interpreted_s, 3),
             "fast_path_s": round(single_fast_s, 3),
             "fast_path_speedup": round(single_s / single_fast_s, 2)
             if single_fast_s else None,
         },
+        "trace_store": trace_store,
     }
     if scale == 0.5 and not args.smoke:
         payload["single_run"]["seed_full_s"] = SEED_SINGLE_RUN_S
         payload["single_run"]["speedup_vs_seed"] = round(
             SEED_SINGLE_RUN_S / single_s, 2
+        )
+        payload["single_run"]["seed_cold_s"] = SEED_COLD_RUN_S
+        payload["single_run"]["cold_speedup_vs_seed"] = round(
+            SEED_COLD_RUN_S / cold_s, 2
         )
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)

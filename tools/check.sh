@@ -20,6 +20,13 @@ python -m pytest -x -q
 echo "== differential equivalence (quick grid) =="
 python -m repro check diff --quick --bench "$BENCH_OUT"
 
+echo "== compiled-vs-interpreted engine (full suite) =="
+# Every suite workload through both engine loops (the quick grid above
+# already runs the engine cells for its four workloads; this covers the
+# other thirteen with a single lockstep reference cell each).
+python -m repro check diff --protocols directory --predictors none \
+    --bench "$BENCH_OUT" --bench-key diff_engine_full
+
 echo "== seeded fuzz batch =="
 FUZZ_DIR="$(mktemp -d)"
 trap 'rm -rf "$FUZZ_DIR"' EXIT
