@@ -58,8 +58,9 @@ class CaseFailure:
     """Why one fuzz case failed.
 
     ``kind`` is ``"sanitizer"`` (a coherence invariant broke),
-    ``"divergence"`` (two backends disagreed functionally), or
-    ``"crash"`` (a backend raised mid-transaction).
+    ``"divergence"`` (two backends disagreed functionally),
+    ``"crash"`` (a backend raised mid-transaction), or ``"events"``
+    (the observability tracer emitted a schema-invalid event stream).
     """
 
     kind: str
@@ -141,13 +142,21 @@ def _run_engine_cells(
     complete ``to_dict()`` payloads must match; the trace recompiles
     from scratch each time, so the compiler's segment classification is
     fuzzed along with the engine.
+
+    The compiled run additionally carries an :class:`EventTracer`:
+    its stream must validate (epoch pairing, live-epoch references,
+    monotone timestamps), and because the interpreted run is untraced,
+    payload equality doubles as a continuous proof that the tracer
+    never perturbs a simulation counter.
     """
     from repro.check.differential import _dict_diff
+    from repro.obs import EventTracer, validate_events
     from repro.sim.engine import SimulationEngine
 
     for protocol, predictor in cells:
         cell = f"engine:{protocol}/{predictor}"
         payloads = []
+        tracer = None
         for use_compiled in (False, True):
             try:
                 engine = SimulationEngine(
@@ -159,6 +168,9 @@ def _run_engine_cells(
                     collect_epochs=True,
                     use_compiled=use_compiled,
                 )
+                if use_compiled:
+                    tracer = EventTracer()
+                    engine.tracer = tracer
                 payloads.append(engine.run().to_dict())
             except Exception as exc:
                 loop = "compiled" if use_compiled else "interpreted"
@@ -172,6 +184,13 @@ def _run_engine_cells(
                 kind="divergence",
                 cell=f"{cell} compiled vs interpreted",
                 detail=_dict_diff(payloads[0], payloads[1]),
+            )
+        errors = validate_events(tracer.to_doc())
+        if errors:
+            return CaseFailure(
+                kind="events",
+                cell=f"{cell} (compiled, traced)",
+                detail="; ".join(errors[:3]),
             )
     return None
 

@@ -8,6 +8,11 @@
     python -m repro dump-trace x264 -o x264.trace --scale 0.2
     python -m repro trace compile bodytrack -o bodytrack.rtrace
     python -m repro trace info bodytrack.rtrace
+    python -m repro simulate lu --predictor SP --events lu-events.json --profile
+    python -m repro obs trace bodytrack -o bt-events.json --scale 0.2
+    python -m repro obs report bt-events.json --core 0
+    python -m repro obs export bt-events.json --perfetto -o bt-perfetto.json
+    python -m repro obs overhead --workload lu --scale 0.1
     python -m repro check diff --quick
     python -m repro check fuzz --cases 20 --seed 1234 --out-dir fuzz-cases
     python -m repro check replay fuzz-cases/case-1234.json
@@ -68,6 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the coherence sanitizer alongside the simulation and "
              "report any invariant violations (nonzero exit if found)",
     )
+    sim.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="run with the structured event tracer on and save the "
+             "stream (epochs, predictions, SP-table activity) as JSON",
+    )
+    sim.add_argument(
+        "--capacity", type=int, default=65536,
+        help="event ring capacity used with --events "
+             "(default %(default)s; oldest events drop beyond it)",
+    )
+    sim.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write this run's metrics registry (counters, histograms, "
+             "comm matrix) as JSON",
+    )
+    sim.add_argument(
+        "--profile", action="store_true",
+        help="run the engine under cProfile and print the hottest "
+             "functions to stderr",
+    )
     sim.set_defaults(func=cmd_simulate)
 
     dump = sub.add_parser("dump-trace", help="generate and save a trace file")
@@ -121,6 +146,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     comp.add_argument("--scale", type=float, default=0.5)
     comp.set_defaults(func=cmd_compare)
+
+    obs = sub.add_parser(
+        "obs", help="observability: event traces, reports, exporters"
+    )
+    obssub = obs.add_subparsers(dest="obs_command", required=True)
+
+    otrace = obssub.add_parser(
+        "trace", help="simulate with the event tracer on; save the stream"
+    )
+    otrace.add_argument("workload", choices=benchmark_names())
+    otrace.add_argument("-o", "--output", required=True)
+    otrace.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default="directory"
+    )
+    otrace.add_argument("--predictor", choices=PREDICTOR_KINDS, default="SP")
+    otrace.add_argument("--scale", type=float, default=0.5)
+    otrace.add_argument(
+        "--capacity", type=int, default=65536,
+        help="event ring capacity (default %(default)s)",
+    )
+    otrace.set_defaults(func=cmd_obs_trace)
+
+    oreport = obssub.add_parser(
+        "report",
+        help="accuracy timeline + per-epoch drill-down from an event "
+             "stream (or simulate a benchmark on the fly)",
+    )
+    oreport.add_argument(
+        "source",
+        help="a saved events .json file, or a benchmark name to "
+             "simulate now with the tracer on",
+    )
+    oreport.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default="directory"
+    )
+    oreport.add_argument("--predictor", choices=PREDICTOR_KINDS, default="SP")
+    oreport.add_argument("--scale", type=float, default=0.5)
+    oreport.add_argument("--capacity", type=int, default=65536)
+    oreport.add_argument("--buckets", type=int, default=12,
+                         help="timeline buckets (default %(default)s)")
+    oreport.add_argument("--core", type=int, default=None,
+                         help="drill into one core's epochs")
+    oreport.add_argument("--limit", type=int, default=10,
+                         help="epochs shown in the drill-down")
+    oreport.set_defaults(func=cmd_obs_report)
+
+    oexp = obssub.add_parser(
+        "export", help="export an event stream for external viewers"
+    )
+    oexp.add_argument("input", help="a saved events .json file")
+    oexp.add_argument("-o", "--output", required=True)
+    oexp.add_argument(
+        "--perfetto", action="store_true",
+        help="Chrome/Perfetto trace_event JSON for ui.perfetto.dev "
+             "(the default and only format today)",
+    )
+    oexp.set_defaults(func=cmd_obs_export)
+
+    oover = obssub.add_parser(
+        "overhead",
+        help="certify tracing: counters bit-identical with events "
+             "on/off, and the disabled path no slower than the enabled",
+    )
+    oover.add_argument("--workload", choices=benchmark_names(), default="lu")
+    oover.add_argument("--scale", type=float, default=0.1)
+    oover.add_argument("--reps", type=int, default=3,
+                       help="timing repetitions; minimum wins "
+                            "(default %(default)s)")
+    oover.add_argument("--max-ratio", type=float, default=1.05,
+                       help="fail if t_off > t_on * RATIO "
+                            "(default %(default)s)")
+    oover.add_argument("--bench", metavar="PATH", default=None,
+                       help="merge the outcome into a JSON benchmark file")
+    oover.set_defaults(func=cmd_obs_overhead)
 
     check = sub.add_parser(
         "check", help="differential correctness harness"
@@ -206,6 +305,11 @@ def cmd_simulate(args) -> int:
     else:
         workload = load_benchmark(args.workload, scale=args.scale)
 
+    tracer = None
+    if args.events:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer(capacity=args.capacity)
     engine = SimulationEngine(
         workload,
         machine=machine,
@@ -213,11 +317,34 @@ def cmd_simulate(args) -> int:
         predictor=args.predictor,
         ideal_metric=not args.fast,
         sanitize=args.sanitize,
+        tracer=tracer,
     )
     if engine.predictor is not None and args.region_filter:
         engine.predictor = FilteredPredictor(engine.predictor)
         engine.result.predictor = engine.predictor.name
-    result = engine.run()
+    if args.profile:
+        from repro.obs import profile_call
+
+        result, stats_text, _top = profile_call(engine.run)
+        print(stats_text, file=sys.stderr)
+    else:
+        result = engine.run()
+    if tracer is not None:
+        from repro.obs import save_events
+
+        doc = save_events(tracer, args.events)
+        print(
+            f"events: {len(doc['events']):,} kept, "
+            f"{doc['dropped']:,} dropped -> {args.events}",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        from repro.obs import metrics_from_result, save_metrics
+
+        save_metrics(
+            metrics_from_result(result, machine=machine), args.metrics
+        )
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
     violations = result.sanitizer_violations
 
     if args.json_full:
@@ -288,14 +415,167 @@ def _merge_bench(path: str, key: str, payload: dict) -> None:
     """Merge one section into a JSON benchmark file."""
     import os
 
+    from repro.obs import host_metadata
+
     doc = {}
     if os.path.exists(path):
         with open(path) as fh:
             doc = json.load(fh)
     doc[key] = payload
+    # Provenance: numbers are only comparable when the producing host
+    # is known; refreshed on every merge.
+    doc["host"] = host_metadata()
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def cmd_obs_trace(args) -> int:
+    from repro.obs import EventTracer, save_events
+
+    tracer = EventTracer(capacity=args.capacity)
+    workload = load_benchmark(args.workload, scale=args.scale)
+    result = SimulationEngine(
+        workload, machine=MachineConfig(), protocol=args.protocol,
+        predictor=args.predictor, tracer=tracer,
+    ).run()
+    doc = save_events(tracer, args.output)
+    print(
+        f"wrote {len(doc['events']):,} events "
+        f"({doc['dropped']:,} dropped) to {args.output}"
+    )
+    if result.pred_attempted:
+        print(
+            f"  {result.workload}: accuracy {result.accuracy:.1%} over "
+            f"{result.comm_misses:,} communicating misses"
+        )
+    return 0
+
+
+def _load_event_doc(path):
+    """An event doc from disk, or a printed one-line error and None."""
+    from repro.obs import load_events
+
+    try:
+        return load_events(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_obs_report(args) -> int:
+    import os
+
+    from repro.obs import EventTracer, render_report
+
+    if os.path.exists(args.source):
+        doc = _load_event_doc(args.source)
+        if doc is None:
+            return 1
+    elif args.source in benchmark_names():
+        tracer = EventTracer(capacity=args.capacity)
+        workload = load_benchmark(args.source, scale=args.scale)
+        SimulationEngine(
+            workload, machine=MachineConfig(), protocol=args.protocol,
+            predictor=args.predictor, tracer=tracer,
+        ).run()
+        doc = tracer.to_doc()
+    else:
+        print(
+            f"error: {args.source!r} is neither an event file nor a "
+            f"benchmark name", file=sys.stderr,
+        )
+        return 1
+    print(render_report(
+        doc, buckets=args.buckets, core=args.core, limit=args.limit
+    ))
+    return 0
+
+
+def cmd_obs_export(args) -> int:
+    from repro.obs import save_perfetto
+
+    doc = _load_event_doc(args.input)
+    if doc is None:
+        return 1
+    trace = save_perfetto(doc, args.output)
+    print(
+        f"wrote {len(trace['traceEvents']):,} trace events to "
+        f"{args.output} (open in ui.perfetto.dev)"
+    )
+    return 0
+
+
+def cmd_obs_overhead(args) -> int:
+    """The runtime half of the obs-overhead gate: counters must be
+    bit-identical with tracing on/off, the event stream schema-valid,
+    and the disabled path no slower than the enabled one (the <5%
+    vs-baseline wall criterion is certified across revisions by the
+    bench trajectory)."""
+    import time
+
+    from repro.obs import EventTracer, validate_events
+
+    machine = MachineConfig()
+    workload = load_benchmark(args.workload, scale=args.scale)
+
+    def run_once(tracer):
+        engine = SimulationEngine(
+            workload, machine=machine, protocol="directory",
+            predictor="SP", tracer=tracer,
+        )
+        start = time.perf_counter()
+        result = engine.run()
+        return time.perf_counter() - start, result
+
+    run_once(None)  # warm the compiled trace and code paths
+
+    reps = max(1, args.reps)
+    off_times, on_times = [], []
+    off_payload = on_payload = None
+    event_errors: list = []
+    events_kept = 0
+    for _ in range(reps):
+        elapsed, result = run_once(None)
+        off_times.append(elapsed)
+        off_payload = result.to_dict()
+        tracer = EventTracer()
+        elapsed, result = run_once(tracer)
+        on_times.append(elapsed)
+        on_payload = result.to_dict()
+        doc = tracer.to_doc()
+        events_kept = len(doc["events"])
+        event_errors = validate_events(doc)
+
+    identical = off_payload == on_payload
+    t_off, t_on = min(off_times), min(on_times)
+    passed = (
+        identical and not event_errors and t_off <= t_on * args.max_ratio
+    )
+    payload = {
+        "workload": args.workload,
+        "scale": args.scale,
+        "reps": reps,
+        "off_s": round(t_off, 4),
+        "on_s": round(t_on, 4),
+        "overhead_ratio": round(t_on / t_off, 3) if t_off else None,
+        "counters_identical": identical,
+        "events": events_kept,
+        "event_errors": event_errors,
+        "passed": passed,
+    }
+    if args.bench:
+        _merge_bench(args.bench, "obs_overhead", payload)
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        print("obs-overhead: FAIL (tracing perturbed counters)",
+              file=sys.stderr)
+    elif event_errors:
+        print("obs-overhead: FAIL (event stream invalid)", file=sys.stderr)
+    elif not passed:
+        print("obs-overhead: FAIL (disabled path slower than enabled)",
+              file=sys.stderr)
+    return 0 if passed else 1
 
 
 def cmd_check_diff(args) -> int:
@@ -419,7 +699,13 @@ def cmd_trace_compile(args) -> int:
 def cmd_trace_export(args) -> int:
     from repro.traces import load_compiled
 
-    compiled = load_compiled(args.input)
+    try:
+        compiled = load_compiled(args.input)
+    except (OSError, ValueError) as exc:
+        # TraceStoreError subclasses ValueError: missing and corrupt
+        # inputs both exit 1 with a one-line message, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     workload = compiled.to_workload()
     dump_trace(workload, args.output)
     print(f"exported {workload.total_events():,} events "
@@ -432,39 +718,45 @@ def cmd_trace_info(args) -> int:
 
     from repro.traces import load_compiled
 
-    with open(args.input, "rb") as fh:
-        magic = fh.read(8)
-    if magic == b"RTRACEv2":
-        compiled = load_compiled(args.input)
-        counts = compiled.segment_counts()
-        info = {
-            "format": "repro-trace v2 (binary)",
-            "name": compiled.name,
-            "num_cores": compiled.num_cores,
-            "events": compiled.total_events(),
-            "events_per_core": [
-                compiled.num_events(core)
-                for core in range(compiled.num_cores)
-            ],
-            "segments_per_core": [
-                len(segs) for segs in compiled.segments
-            ],
-            **counts,
-            "file_bytes": os.path.getsize(args.input),
-        }
-    else:
-        workload = load_trace(args.input)
-        info = {
-            "format": "repro-trace v1 (text)",
-            "name": workload.name,
-            "num_cores": workload.num_cores,
-            "events": workload.total_events(),
-            "events_per_core": [
-                len(workload.stream(core))
-                for core in range(workload.num_cores)
-            ],
-            "file_bytes": os.path.getsize(args.input),
-        }
+    try:
+        with open(args.input, "rb") as fh:
+            magic = fh.read(8)
+        if magic == b"RTRACEv2":
+            compiled = load_compiled(args.input)
+            counts = compiled.segment_counts()
+            info = {
+                "format": "repro-trace v2 (binary)",
+                "name": compiled.name,
+                "num_cores": compiled.num_cores,
+                "events": compiled.total_events(),
+                "events_per_core": [
+                    compiled.num_events(core)
+                    for core in range(compiled.num_cores)
+                ],
+                "segments_per_core": [
+                    len(segs) for segs in compiled.segments
+                ],
+                **counts,
+                "file_bytes": os.path.getsize(args.input),
+            }
+        else:
+            workload = load_trace(args.input)
+            info = {
+                "format": "repro-trace v1 (text)",
+                "name": workload.name,
+                "num_cores": workload.num_cores,
+                "events": workload.total_events(),
+                "events_per_core": [
+                    len(workload.stream(core))
+                    for core in range(workload.num_cores)
+                ],
+                "file_bytes": os.path.getsize(args.input),
+            }
+    except (OSError, ValueError) as exc:
+        # TraceStoreError / TraceFormatError subclass ValueError: a
+        # missing or corrupt path exits 1 with one line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(info, indent=2))
         return 0

@@ -109,6 +109,11 @@ class DirectoryProtocol:
     #: Backend name used by the engine/CLI and in check reports.
     name = "directory"
 
+    #: Optional :class:`repro.obs.EventTracer` (installed by the engine).
+    #: Emits only into the predicted flows' repair path, so the disabled
+    #: cost is one falsy attribute check per predicted miss.
+    tracer = None
+
     #: Traffic categories used for the Fig. 9 bandwidth breakdown.
     CAT_COMM = "base_comm"
     CAT_NONCOMM = "base_noncomm"
@@ -287,6 +292,8 @@ class DirectoryProtocol:
         pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
         correct = comm and minimal <= predicted
         responder = entry.responder
+        if self.tracer is not None and comm and not correct:
+            self.tracer.pred_repair(core, "read", predicted, minimal)
 
         # Requester: predicted requests to each predicted node, plus the
         # (tagged) request to the directory that the baseline also sends;
@@ -338,6 +345,8 @@ class DirectoryProtocol:
         pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
         correct = comm and minimal <= predicted
         data_source = entry.responder if entry.responder != core else None
+        if self.tracer is not None and comm and not correct:
+            self.tracer.pred_repair(core, "write", predicted, minimal)
 
         dir_leg = self._predicted_fanout(
             core, home, predicted, base_cat, pred_cat
@@ -394,6 +403,8 @@ class DirectoryProtocol:
         base_cat = self.CAT_COMM if comm else self.CAT_NONCOMM
         pred_cat = self.CAT_PRED_COMM if comm else self.CAT_PRED_NONCOMM
         correct = comm and minimal <= predicted
+        if self.tracer is not None and comm and not correct:
+            self.tracer.pred_repair(core, "upgrade", predicted, minimal)
 
         dir_leg = self._predicted_fanout(
             core, home, predicted, base_cat, pred_cat

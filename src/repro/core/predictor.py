@@ -237,6 +237,8 @@ class SPPredictor(TargetPredictor):
             hot = state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
             if hot:
                 state.predictor_reg = hot
+                if self.tracer is not None:
+                    self.tracer.warmup(core, hot)
         reg = state.predictor_reg
         if not reg:
             return None
@@ -296,11 +298,16 @@ class SPPredictor(TargetPredictor):
 
     def _recover(self, core: int, state: _CoreState) -> None:
         """Confidence hit zero: adopt the running interval's hot set."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.confidence(core, 0)
         hot = state.counters.hot_set(self.config.hot_threshold, self.config.max_hot_set_size)
         if hot:
             state.predictor_reg = hot
             state.source = PredictionSource.RECOVERY
             self.recoveries += 1
+            if tracer is not None:
+                tracer.sp_recover(core, hot)
         state.confidence.reset_high()
 
     def on_finish(self, core: int) -> None:

@@ -67,6 +67,9 @@ class SPTable:
     critical section protected by the same lock sees the same history.
     """
 
+    #: Optional :class:`repro.obs.EventTracer` (installed by the engine).
+    tracer = None
+
     def __init__(self, depth: int = 2, max_entries: int | None = None) -> None:
         if depth < 1:
             raise ValueError("history depth must be >= 1")
@@ -112,14 +115,20 @@ class SPTable:
         self.updates += 1
         entry = self.entry(core, table_key)
         entry.push(signature, volume)
+        if self.tracer is not None:
+            self.tracer.sp_insert(
+                core, self._full_key(core, table_key), signature
+            )
         return entry
 
     def _enforce_capacity(self) -> None:
         if self.max_entries is None:
             return
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            key, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            if self.tracer is not None:
+                self.tracer.sp_evict(key)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -80,6 +80,16 @@ def main(argv=None) -> int:
         "--plot", action="store_true",
         help="render figure shapes as terminal plots below each table",
     )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write the sweep's aggregated metrics registry "
+             "(per-cell counters/histograms + rollup) as JSON",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a wall-phase breakdown (sweep vs. each experiment) "
+             "when done",
+    )
     args = parser.parse_args(argv)
 
     if args.clear_cache:
@@ -103,10 +113,14 @@ def main(argv=None) -> int:
         disk_cache=False if args.no_cache else None,
         sanitize=args.sanitize,
     )
+    from repro.obs import PhaseTimer
+
+    timer = PhaseTimer()
     configs = required_configs(selected, cache.suite())
     if configs:
         start = time.time()
-        simulated = cache.prefetch(configs)
+        with timer.phase("sweep"):
+            simulated = cache.prefetch(configs)
         if not args.quiet:
             print(
                 f"[sweep: {len(configs)} configurations, {simulated} "
@@ -133,7 +147,8 @@ def main(argv=None) -> int:
     for exp_id in selected:
         module = importlib.import_module(EXPERIMENTS[exp_id])
         start = time.time()
-        table = module.run(cache)
+        with timer.phase(exp_id):
+            table = module.run(cache)
         print(table.render())
         if args.plot:
             plot = render_plot(exp_id, table)
@@ -143,6 +158,13 @@ def main(argv=None) -> int:
         if not args.quiet:
             print(f"[{exp_id} took {time.time() - start:.1f}s]")
         print()
+    if args.metrics:
+        payload = cache.runner.write_metrics(args.metrics)
+        if not args.quiet:
+            print(f"[metrics: {len(payload['cells'])} cells -> "
+                  f"{args.metrics}]")
+    if args.profile:
+        print(timer.render())
     return 0
 
 

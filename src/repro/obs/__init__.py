@@ -1,0 +1,74 @@
+"""Observability: event tracing, metrics, exporters, and profiling.
+
+This package is strictly *outside* the simulation: the engine, the
+predictor, the SP-table, and the protocol each hold a ``tracer``
+attribute that defaults to ``None``, and every hook site is a single
+falsy check — with tracing off, no ``repro.obs`` code runs at all, and
+with it on, no simulation counter is ever touched.  ``repro check
+diff`` and the ``obs-overhead`` gate certify both properties.
+
+Entry points:
+
+* :class:`EventTracer` / :func:`validate_events` — the structured,
+  ring-buffered event stream and its schema validator;
+* :class:`MetricsRegistry` / :func:`metrics_from_result` — named
+  counters/histograms/gauges per simulation cell, aggregated by the
+  sweep runner into ``metrics.json``;
+* :func:`perfetto_trace` — Chrome/Perfetto ``trace_event`` export;
+* :func:`render_report` — terminal accuracy timeline + epoch drill-down;
+* :class:`PhaseTimer` / :func:`profile_call` — wall-phase and cProfile
+  instrumentation behind ``--profile``;
+* :func:`host_metadata` — bench provenance stamping.
+"""
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    EventTracer,
+    load_events,
+    save_events,
+    validate_events,
+)
+from repro.obs.hostinfo import git_sha, host_metadata
+from repro.obs.metrics import (
+    MetricsRegistry,
+    aggregate_metrics,
+    hop_distribution,
+    metrics_from_result,
+    save_metrics,
+)
+from repro.obs.perfetto import perfetto_trace, save_perfetto
+from repro.obs.profile import PhaseTimer, profile_call, top_functions
+from repro.obs.report import (
+    accuracy_timeline,
+    epoch_detail,
+    epoch_table,
+    render_report,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "EventTracer",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "accuracy_timeline",
+    "aggregate_metrics",
+    "epoch_detail",
+    "epoch_table",
+    "git_sha",
+    "hop_distribution",
+    "host_metadata",
+    "load_events",
+    "metrics_from_result",
+    "perfetto_trace",
+    "profile_call",
+    "render_report",
+    "save_events",
+    "save_metrics",
+    "save_perfetto",
+    "top_functions",
+    "validate_events",
+]

@@ -1,0 +1,349 @@
+"""Structured simulation event tracing.
+
+The :class:`EventTracer` is a ring-buffered, schema-versioned event
+stream fed by hooks in the simulation engine, the SP-predictor, the
+SP-table, and the directory protocol.  It records the paper's *temporal*
+story — when each sync-epoch began and ended, what every prediction
+guessed versus what the directory knew, when confidence collapsed and
+recovery re-extracted a hot set — none of which survives into the
+end-of-run aggregate counters.
+
+Design constraints, in order:
+
+* **Zero overhead when off.**  Every hook site guards with a single
+  falsy attribute check (``if tracer is not None`` / ``if self.tracer``)
+  on a value that defaults to ``None``; no event object is built, no
+  method is called.  Tracing never touches a simulation counter in
+  either mode, so results are bit-identical with tracing on, off, or
+  absent — ``repro obs overhead`` and the fuzzer's engine cells certify
+  exactly that.
+* **Bounded memory.**  Events land in a ``deque(maxlen=capacity)``;
+  when the ring wraps, the *oldest* events drop and ``dropped`` counts
+  them, so a long run degrades to a suffix trace instead of an OOM.
+* **Schema-versioned.**  Every serialized stream carries
+  :data:`SCHEMA_VERSION`; :func:`validate_events` checks structural
+  invariants (epoch begin/end pairing, predictions referencing the live
+  epoch, per-core timestamp monotonicity) and is run by
+  ``repro check fuzz`` on every engine cell.
+
+Event kinds (the ``t`` field; every event also has ``core`` and ``ts``):
+
+==============  ====================================================
+``sync``        a sync-point executed: ``kind``, ``pc``, [``lock``]
+``epoch_begin`` a sync-epoch opened: ``epoch`` (per-core seq),
+                ``key`` (SP-table key or None for the pre-sync
+                interval), ``kind``
+``epoch_end``   the epoch closed: ``epoch``, ``dur``, ``misses``,
+                ``comm``, ``preds``, ``correct``
+``pred``        one predicted L2 miss: ``epoch``, ``miss`` (ordinal
+                within the epoch), ``kind``, ``predicted``,
+                ``actual`` (the minimal sufficient set), ``correct``
+                (None on a non-communicating miss), ``source``
+``pred_repair`` the directory repaired an insufficient predicted
+                set: ``kind``, ``predicted``, ``minimal``,
+                ``missing``
+``sp_insert``   an SP-table entry stored a signature: ``key``,
+                ``signature``
+``sp_evict``    a capacity-capped SP-table evicted ``key``
+``sp_recover``  confidence-triggered recovery adopted ``hot``
+``conf``        a confidence counter transitioned to ``value``
+                (emitted at exhaustion; per-miss decrements are
+                derivable from the ``pred`` correctness stream)
+``warmup``      the d=0 warm-up adopted ``hot``
+``finish``      a core drained its stream
+==============  ====================================================
+
+Timestamps are core-local cycle counts.  Epoch boundaries carry exact
+engine clocks; per-miss events are placed by cumulative miss latency
+within their epoch (a lower bound on the true clock, monotonic and
+always inside the epoch), which is what timeline exporters need.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+#: Bump on any backwards-incompatible change to event fields.
+SCHEMA_VERSION = 1
+
+#: Default ring capacity (events kept); small workloads fit entirely.
+DEFAULT_CAPACITY = 1 << 16
+
+EVENT_KINDS = frozenset({
+    "sync", "epoch_begin", "epoch_end", "pred", "pred_repair",
+    "sp_insert", "sp_evict", "sp_recover", "conf", "warmup", "finish",
+})
+
+
+class EventTracer:
+    """Ring-buffered structured event stream for one simulation run."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.emitted = 0
+        self.meta: dict = {}
+        # Per-core epoch bookkeeping: the open epoch's running stats, the
+        # next epoch ordinal, and the last cycle stamp seen (used to
+        # timestamp sub-component events that have no clock of their own).
+        self._open: dict = {}
+        self._epoch_seq: dict = {}
+        self._last_ts: dict = {}
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wrap-around (oldest first)."""
+        return self.emitted - len(self.events)
+
+    # ------------------------------------------------------------------
+    # engine-facing hooks
+    # ------------------------------------------------------------------
+
+    def begin_run(self, workload: str, num_cores: int, protocol: str,
+                  predictor: str) -> None:
+        """Stamp run identity into the stream's metadata."""
+        self.meta = {
+            "workload": workload,
+            "num_cores": num_cores,
+            "protocol": protocol,
+            "predictor": predictor,
+        }
+
+    def on_sync(self, core: int, ts: int, static_id) -> None:
+        """A sync-point executed on ``core`` at engine clock ``ts``."""
+        self._ensure_epoch(core)
+        self._last_ts[core] = ts
+        self._close_epoch(core, ts)
+        fields = {"kind": static_id.kind.value, "pc": static_id.pc}
+        if static_id.lock_addr is not None:
+            fields["lock"] = static_id.lock_addr
+        self.emit("sync", core, ts, **fields)
+        self._open_epoch(
+            core, ts, list(static_id.table_key), static_id.kind.value
+        )
+
+    def on_miss(self, core, kind, predicted, actual, correct, source,
+                latency, communicating) -> None:
+        """One L2 miss completed; emits a ``pred`` event if predicted."""
+        epoch = self._ensure_epoch(core)
+        epoch["misses"] += 1
+        if communicating:
+            epoch["comm"] += 1
+        cursor = epoch["cursor"] + latency
+        epoch["cursor"] = cursor
+        self._last_ts[core] = cursor
+        if predicted is None:
+            return
+        epoch["preds"] += 1
+        if correct:
+            epoch["correct"] += 1
+        self.emit(
+            "pred", core, cursor,
+            epoch=epoch["epoch"], miss=epoch["misses"], kind=kind,
+            predicted=sorted(predicted), actual=sorted(actual),
+            correct=correct, source=source,
+        )
+
+    def on_finish(self, core: int, ts: int) -> None:
+        """``core`` drained its stream; closes the trailing epoch."""
+        self._last_ts[core] = ts
+        self._close_epoch(core, ts)
+        self.emit("finish", core, ts)
+
+    # ------------------------------------------------------------------
+    # predictor / SP-table / protocol hooks
+    # ------------------------------------------------------------------
+
+    def sp_insert(self, core, key, signature) -> None:
+        self.emit("sp_insert", core, self._last_ts.get(core),
+                  key=list(key), signature=sorted(signature))
+
+    def sp_evict(self, key) -> None:
+        self.emit("sp_evict", None, None, key=list(key))
+
+    def sp_recover(self, core, hot) -> None:
+        self.emit("sp_recover", core, self._last_ts.get(core),
+                  hot=sorted(hot))
+
+    def confidence(self, core, value) -> None:
+        self.emit("conf", core, self._last_ts.get(core), value=value)
+
+    def warmup(self, core, hot) -> None:
+        self.emit("warmup", core, self._last_ts.get(core), hot=sorted(hot))
+
+    def pred_repair(self, core, kind, predicted, minimal) -> None:
+        self.emit(
+            "pred_repair", core, self._last_ts.get(core), kind=kind,
+            predicted=sorted(predicted), minimal=sorted(minimal),
+            missing=sorted(minimal - predicted),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def emit(self, t, core=None, ts=None, **fields) -> dict:
+        event = {"t": t, "core": core, "ts": ts}
+        event.update(fields)
+        self.events.append(event)
+        self.emitted += 1
+        return event
+
+    def _open_epoch(self, core, ts, key, kind) -> dict:
+        seq = self._epoch_seq.get(core, 0)
+        self._epoch_seq[core] = seq + 1
+        epoch = {
+            "epoch": seq, "begin": ts, "cursor": ts,
+            "misses": 0, "comm": 0, "preds": 0, "correct": 0,
+        }
+        self._open[core] = epoch
+        self.emit("epoch_begin", core, ts, epoch=seq, key=key, kind=kind)
+        return epoch
+
+    def _ensure_epoch(self, core) -> dict:
+        """The open epoch for ``core``, opening the pre-sync interval
+        (epoch 0, key None) lazily on a core's first event."""
+        epoch = self._open.get(core)
+        if epoch is None:
+            epoch = self._open_epoch(core, 0, None, "start")
+        return epoch
+
+    def _close_epoch(self, core, ts) -> None:
+        epoch = self._open.pop(core, None)
+        if epoch is None:
+            return
+        self.emit(
+            "epoch_end", core, ts,
+            epoch=epoch["epoch"],
+            dur=None if ts is None else max(0, ts - epoch["begin"]),
+            misses=epoch["misses"], comm=epoch["comm"],
+            preds=epoch["preds"], correct=epoch["correct"],
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """The complete schema-versioned stream as a JSON-safe dict."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "capacity": self.capacity,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "events": list(self.events),
+        }
+
+
+def save_events(tracer_or_doc, path) -> dict:
+    """Write an event stream to ``path`` as JSON; returns the doc."""
+    doc = (
+        tracer_or_doc.to_doc()
+        if isinstance(tracer_or_doc, EventTracer)
+        else tracer_or_doc
+    )
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return doc
+
+
+def load_events(path) -> dict:
+    """Load an event stream written by :func:`save_events`.
+
+    Raises :class:`ValueError` on a non-event file or a schema the
+    current code does not understand.
+    """
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or "schema" not in doc or "events" not in doc:
+        raise ValueError(f"{path}: not a repro event stream")
+    if doc["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: event schema v{doc['schema']} "
+            f"(this build reads v{SCHEMA_VERSION})"
+        )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# structural validation (used by `repro check fuzz`)
+# ----------------------------------------------------------------------
+
+def validate_events(doc, max_errors: int = 10) -> list:
+    """Structural invariants of a complete event stream; returns errors.
+
+    Checks, per core: every ``epoch_begin`` is closed by a matching
+    ``epoch_end`` before the next begins; ``pred`` events reference the
+    core's currently-open (live) epoch; timestamps never run backwards.
+    With a wrapped ring (``dropped > 0``) a core is validated only from
+    its first surviving ``epoch_begin`` on, since its earlier pairing
+    context was discarded by design.
+    """
+    errors: list = []
+
+    def err(msg):
+        if len(errors) < max_errors:
+            errors.append(msg)
+
+    if not isinstance(doc, dict):
+        return ["event doc is not a dict"]
+    if doc.get("schema") != SCHEMA_VERSION:
+        err(f"schema {doc.get('schema')!r} != {SCHEMA_VERSION}")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        err("events is not a list")
+        return errors
+    truncated = doc.get("dropped", 0) > 0
+
+    open_epoch: dict = {}   # core -> open epoch seq
+    initialized: set = set()  # cores whose pairing context is established
+    last_ts: dict = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "t" not in ev:
+            err(f"event {i}: malformed")
+            continue
+        t = ev["t"]
+        if t not in EVENT_KINDS:
+            err(f"event {i}: unknown kind {t!r}")
+            continue
+        core = ev.get("core")
+        ts = ev.get("ts")
+        if ts is not None and core is not None:
+            prev = last_ts.get(core)
+            if prev is not None and ts < prev:
+                err(f"event {i}: core {core} ts {ts} < previous {prev}")
+            last_ts[core] = ts
+        if t == "epoch_begin":
+            if core in open_epoch:
+                err(f"event {i}: core {core} epoch_begin "
+                    f"{ev.get('epoch')} while epoch "
+                    f"{open_epoch[core]} still open")
+            open_epoch[core] = ev.get("epoch")
+            initialized.add(core)
+        elif t == "epoch_end":
+            if core not in open_epoch:
+                if core in initialized or not truncated:
+                    err(f"event {i}: core {core} epoch_end "
+                        f"{ev.get('epoch')} without an open epoch")
+            elif open_epoch[core] != ev.get("epoch"):
+                err(f"event {i}: core {core} epoch_end {ev.get('epoch')} "
+                    f"!= open epoch {open_epoch[core]}")
+            open_epoch.pop(core, None)
+        elif t == "pred":
+            if core not in open_epoch:
+                if core in initialized or not truncated:
+                    err(f"event {i}: core {core} pred outside any epoch")
+            elif ev.get("epoch") != open_epoch[core]:
+                err(f"event {i}: core {core} pred references epoch "
+                    f"{ev.get('epoch')}, live epoch is {open_epoch[core]}")
+    for core, seq in sorted(open_epoch.items()):
+        err(f"core {core}: epoch {seq} never ended")
+    return errors

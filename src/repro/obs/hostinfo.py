@@ -1,0 +1,44 @@
+"""Host metadata stamped into benchmark and metrics artifacts.
+
+Bench numbers are only comparable when you know what produced them:
+``BENCH_*.json`` files written on a 2-CPU CI runner must not be read
+against a 32-core workstation's trajectory.  :func:`host_metadata`
+collects the minimal identifying set — CPU count, Python version,
+platform, and the repository's git SHA — without shelling out to
+anything that might be absent (``git`` failures degrade to ``None``).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+
+def git_sha(root=None) -> str | None:
+    """The repository's current commit SHA, or ``None`` off a checkout."""
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root), capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def host_metadata() -> dict:
+    """JSON-safe host identity for benchmark provenance."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "git_sha": git_sha(),
+    }

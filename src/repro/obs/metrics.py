@@ -1,0 +1,186 @@
+"""Named metrics: counters, gauges, and histograms over simulation runs.
+
+The :class:`MetricsRegistry` is a deliberately small instrument set —
+three metric kinds, all JSON-safe — that turns a finished
+:class:`~repro.sim.results.SimulationResult` into the machine-readable
+summary the sweep runner aggregates into ``metrics.json``:
+
+* **counters** — monotone totals (misses, predictions, bytes);
+* **gauges** — point-in-time scalars (accuracy, comm ratio, cycles);
+* **histograms** — value → count distributions (epoch lengths in
+  misses, per-miss latency buckets, NoC hop counts weighted by
+  communication volume).
+
+Everything here is computed *after* a run from the result object (and
+optionally an event-trace doc), so it adds zero cost to the simulation
+itself — the engine's hot loop never sees this module.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with a JSON-safe dump."""
+
+    def __init__(self) -> None:
+        self.counters: dict = {}
+        self.gauges: dict = {}
+        self.histograms: dict = {}
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value, weight: int = 1) -> None:
+        """Add ``weight`` to histogram ``name``'s bucket for ``value``."""
+        hist = self.histograms.setdefault(name, {})
+        hist[value] = hist.get(value, 0) + weight
+
+    def observe_many(self, name: str, mapping: dict) -> None:
+        for value, weight in mapping.items():
+            self.observe(name, value, weight)
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload; histogram buckets keyed by string."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {str(k): hist[k] for k in sorted(hist)}
+                for name, hist in self.histograms.items()
+            },
+        }
+
+
+def hop_distribution(volume_matrix, mesh) -> dict:
+    """NoC hop count → communication volume carried over that distance.
+
+    Weights each ``volume_matrix[src][dst]`` cell by the mesh hop count
+    between the two cores, answering "how far does the coherence traffic
+    actually travel" — the locality story behind the paper's multicast
+    savings.
+    """
+    hist: dict = {}
+    for src, row in enumerate(volume_matrix):
+        for dst, volume in enumerate(row):
+            if volume and src != dst:
+                hops = mesh.hops(src, dst)
+                hist[hops] = hist.get(hops, 0) + volume
+    return hist
+
+
+def accuracy_over_time(result, buckets: int = 20) -> list:
+    """Prediction-accuracy trajectory across the run's dynamic epochs.
+
+    Splits the run's epoch records (in recording order — the engine's
+    epoch-retirement order) into ``buckets`` equal slices and reports
+    per-slice communicating-miss counts; accuracy *per epoch* needs the
+    event trace, but the communication trajectory alone already shows
+    when sharing stabilizes.  Returns ``[{"bucket", "epochs", "misses",
+    "comm_misses"}, ...]``; empty when the run did not collect epochs.
+    """
+    records = result.epoch_records
+    if not records:
+        return []
+    buckets = max(1, min(buckets, len(records)))
+    out = []
+    for b in range(buckets):
+        lo = b * len(records) // buckets
+        hi = (b + 1) * len(records) // buckets
+        chunk = records[lo:hi]
+        out.append({
+            "bucket": b,
+            "epochs": len(chunk),
+            "misses": sum(r.misses for r in chunk),
+            "comm_misses": sum(r.comm_misses for r in chunk),
+        })
+    return out
+
+
+def metrics_from_result(result, machine=None) -> dict:
+    """The canonical metrics payload for one simulation cell.
+
+    Folds the result's aggregate counters into a registry, plus the
+    distributions a flat counter dump loses: epoch lengths, per-miss
+    latency buckets, the per-core communication matrix, and (when a
+    machine is supplied) the volume-weighted NoC hop distribution.
+    """
+    reg = MetricsRegistry()
+
+    reg.count("accesses", result.accesses)
+    reg.count("l1_hits", result.l1_hits)
+    reg.count("l2_hits", result.l2_hits)
+    reg.count("misses", result.misses)
+    reg.count("comm_misses", result.comm_misses)
+    reg.count("offchip_misses", result.offchip_misses)
+    reg.count("pred_attempted", result.pred_attempted)
+    reg.count("pred_correct", result.pred_correct)
+    reg.count("pred_incorrect", result.pred_incorrect)
+    reg.count("indirections", result.indirections)
+    reg.count("sync_points", result.sync_points)
+    reg.count("dynamic_epochs", result.dynamic_epochs)
+    reg.count("noc_bytes", result.network.bytes_total)
+    reg.count("noc_messages", result.network.messages)
+    reg.count("snoop_lookups", result.snoop_lookups)
+
+    reg.gauge("cycles", result.cycles)
+    reg.gauge("accuracy", round(result.accuracy, 6))
+    reg.gauge("ideal_accuracy", round(result.ideal_accuracy, 6))
+    reg.gauge("comm_ratio", round(result.comm_ratio, 6))
+    reg.gauge("avg_miss_latency", round(result.avg_miss_latency, 3))
+    reg.gauge("indirection_ratio", round(result.indirection_ratio, 6))
+    reg.gauge("avg_actual_targets", round(result.avg_actual_targets, 3))
+    reg.gauge(
+        "avg_predicted_targets", round(result.avg_predicted_targets, 3)
+    )
+    reg.gauge("bytes_per_miss", round(result.bytes_per_miss(), 3))
+
+    reg.observe_many("miss_latency", dict(result.latency_histogram))
+    for record in result.epoch_records:
+        reg.observe("epoch_misses", record.misses)
+    if result.whole_run_volume and machine is not None:
+        reg.observe_many(
+            "noc_hops",
+            hop_distribution(result.whole_run_volume, machine.mesh()),
+        )
+
+    payload = {
+        "workload": result.workload,
+        "protocol": result.protocol,
+        "predictor": result.predictor,
+        "num_cores": result.num_cores,
+        **reg.to_dict(),
+    }
+    if result.whole_run_volume:
+        payload["comm_matrix"] = [
+            list(row) for row in result.whole_run_volume
+        ]
+    timeline = accuracy_over_time(result)
+    if timeline:
+        payload["comm_timeline"] = timeline
+    return payload
+
+
+def aggregate_metrics(cells) -> dict:
+    """Sweep-level rollup of per-cell metric payloads."""
+    total = MetricsRegistry()
+    for cell in cells:
+        for name, value in cell.get("counters", {}).items():
+            total.count(name, value)
+    misses = total.counters.get("misses", 0)
+    comm = total.counters.get("comm_misses", 0)
+    correct = total.counters.get("pred_correct", 0)
+    total.gauge("cells", len(cells))
+    total.gauge("comm_ratio", round(comm / misses, 6) if misses else 0.0)
+    total.gauge("accuracy", round(correct / comm, 6) if comm else 0.0)
+    return total.to_dict()
+
+
+def save_metrics(payload: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

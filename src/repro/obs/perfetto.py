@@ -1,0 +1,154 @@
+"""Chrome/Perfetto ``trace_event`` export of a simulation event stream.
+
+Converts an :class:`~repro.obs.events.EventTracer` document into the
+Trace Event JSON format that https://ui.perfetto.dev (and Chrome's
+``about:tracing``) load directly:
+
+* each **core** becomes a track (one ``tid`` under ``pid`` 0, named via
+  ``M`` metadata events);
+* each **sync-epoch** becomes a complete-duration ``X`` slice spanning
+  its begin/end clocks, labeled by its sync kind and SP-table key, with
+  the epoch's miss/prediction stats in ``args``;
+* **sync-points**, **mispredictions** (``pred`` with ``correct: false``
+  and ``pred_repair``), and **SP-table / confidence** activity become
+  instant ``i`` events on the owning core's track;
+* each epoch's **prediction accuracy** is emitted as a ``C`` counter
+  series per core, so the timeline view shows accuracy evolving as hot
+  sets lock in — the paper's Figure 7 story, but over time.
+
+Timestamps: the simulator's cycle counts are written verbatim into
+``ts``.  The viewer labels them as microseconds; read "1 µs" as
+"1 cycle".
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Events that become instants on the owning core's track, with display
+#: name and Perfetto category.
+_INSTANT_KINDS = {
+    "sync": ("sync", "sync"),
+    "pred_repair": ("mispredict-repair", "prediction"),
+    "sp_insert": ("sp-insert", "sp_table"),
+    "sp_recover": ("recovery", "confidence"),
+    "conf": ("confidence-exhausted", "confidence"),
+    "warmup": ("warmup-adopt", "confidence"),
+    "finish": ("finish", "sync"),
+}
+
+
+def _epoch_name(begin: dict) -> str:
+    key = begin.get("key")
+    kind = begin.get("kind", "epoch")
+    if key is None:
+        return f"{kind}"
+    return f"{kind} {key[0]}:{key[1]:#x}" if len(key) == 2 else f"{kind} {key}"
+
+
+def perfetto_trace(doc: dict) -> dict:
+    """Trace Event JSON (``{"traceEvents": [...]}``) for an event doc."""
+    meta = doc.get("meta", {})
+    events = doc.get("events", [])
+    out: list = []
+
+    cores = sorted({
+        ev["core"] for ev in events if ev.get("core") is not None
+    })
+    for core in cores:
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": core,
+            "args": {"name": f"core {core}"},
+        })
+
+    # Pair epoch_begin/epoch_end per core into X slices.  A wrapped ring
+    # can lose a begin; its orphaned end is then skipped (the validator
+    # already accounts for truncation).
+    open_begin: dict = {}
+    for ev in events:
+        t = ev["t"]
+        core = ev.get("core")
+        ts = ev.get("ts")
+        if t == "epoch_begin":
+            open_begin[core] = ev
+        elif t == "epoch_end":
+            begin = open_begin.pop(core, None)
+            if begin is None or ts is None:
+                continue
+            preds = ev.get("preds", 0)
+            correct = ev.get("correct", 0)
+            out.append({
+                "name": _epoch_name(begin),
+                "cat": "epoch",
+                "ph": "X",
+                "pid": 0,
+                "tid": core,
+                "ts": begin["ts"],
+                "dur": max(1, ts - begin["ts"]),
+                "args": {
+                    "epoch": ev.get("epoch"),
+                    "misses": ev.get("misses"),
+                    "comm_misses": ev.get("comm"),
+                    "predictions": preds,
+                    "correct": correct,
+                },
+            })
+            out.append({
+                "name": f"accuracy core {core}",
+                "cat": "prediction",
+                "ph": "C",
+                "pid": 0,
+                "tid": core,
+                "ts": ts,
+                "args": {
+                    "accuracy": round(correct / preds, 4) if preds else 0.0
+                },
+            })
+        elif t == "pred":
+            if ev.get("correct") is False and ts is not None:
+                out.append({
+                    "name": "mispredict",
+                    "cat": "prediction",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": core,
+                    "ts": ts,
+                    "args": {
+                        "predicted": ev.get("predicted"),
+                        "actual": ev.get("actual"),
+                        "source": ev.get("source"),
+                    },
+                })
+        elif t in _INSTANT_KINDS:
+            if ts is None or core is None:
+                continue
+            name, cat = _INSTANT_KINDS[t]
+            args = {
+                k: v for k, v in ev.items()
+                if k not in ("t", "core", "ts")
+            }
+            out.append({
+                "name": name, "cat": cat, "ph": "i", "s": "t",
+                "pid": 0, "tid": core, "ts": ts, "args": args,
+            })
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            **meta,
+            "schema": doc.get("schema"),
+            "dropped_events": doc.get("dropped", 0),
+            "note": "ts values are simulator cycles, not microseconds",
+        },
+    }
+
+
+def save_perfetto(doc: dict, path) -> dict:
+    """Write the Perfetto JSON for an event doc to ``path``."""
+    trace = perfetto_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+        fh.write("\n")
+    return trace

@@ -1,0 +1,87 @@
+"""Profiling hooks: wall-phase timers and cProfile wrapping.
+
+Two instruments, both dependency-free:
+
+* :class:`PhaseTimer` — named wall-clock phases (``with timer.phase
+  ("simulate"):``) accumulated into a breakdown dict.  This is what
+  ``--profile`` writes into ``BENCH_sweep.json`` so future perf PRs
+  inherit a trajectory of where time goes (trace load vs. engine loop
+  vs. cache round-trip), not just a single total.
+* :func:`profile_call` — run a callable under :mod:`cProfile` and
+  return ``(result, stats_text, top)`` where ``top`` is a JSON-safe
+  list of the hottest functions by cumulative time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Accumulates wall time into named phases."""
+
+    def __init__(self) -> None:
+        self.phases: dict = {}
+        self._order: list = []
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.phases:
+                self._order.append(name)
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def breakdown(self) -> dict:
+        """Phases in first-use order, rounded, with a total."""
+        out = {name: round(self.phases[name], 4) for name in self._order}
+        out["total_s"] = round(sum(self.phases.values()), 4)
+        return out
+
+    def render(self) -> str:
+        total = sum(self.phases.values()) or 1.0
+        lines = ["phase breakdown:"]
+        for name in self._order:
+            t = self.phases[name]
+            lines.append(
+                f"  {name:<24} {t:>8.3f}s  {t / total * 100:5.1f}%"
+            )
+        lines.append(f"  {'total':<24} {total:>8.3f}s")
+        return "\n".join(lines)
+
+
+def top_functions(stats: pstats.Stats, limit: int = 15) -> list:
+    """The hottest functions by cumulative time, JSON-safe."""
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+        filename, lineno, name = func
+        rows.append({
+            "function": f"{filename}:{lineno}({name})",
+            "calls": nc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+    rows.sort(key=lambda r: r["cumtime_s"], reverse=True)
+    return rows[:limit]
+
+
+def profile_call(fn, *args, limit: int = 15, **kwargs):
+    """Run ``fn`` under cProfile.
+
+    Returns ``(result, stats_text, top)``: the callable's return value,
+    the classic ``pstats`` cumulative-time listing, and a JSON-safe
+    top-N function list for machine-readable output.
+    """
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(limit)
+    return result, stream.getvalue(), top_functions(stats, limit=limit)

@@ -1,0 +1,172 @@
+"""Terminal rendering of an event stream: accuracy timeline + drill-down.
+
+``repro obs report`` feeds a saved event doc (or a live tracer's
+``to_doc()``) through :func:`render_report`, which shows:
+
+* the run's identity and stream health (events kept/dropped);
+* a **per-epoch prediction-accuracy timeline** — epochs in retirement
+  order, bucketed across the run, accuracy per bucket as a bar chart
+  with a one-line sparkline trend.  This is where the paper's
+  "signatures stabilize after a few epoch repetitions" claim becomes
+  visible: accuracy climbing over the first buckets and flattening;
+* a **per-epoch drill-down** (``--core N`` and/or ``--epochs K``) —
+  each epoch's sync kind, SP-table key, duration, miss mix, and
+  prediction hit rate, plus its mispredictions with predicted-vs-actual
+  target sets.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.textplots import bar_chart, sparkline
+
+
+def epoch_table(doc: dict) -> list:
+    """Closed epochs from an event doc, in stream (retirement) order.
+
+    Each row merges the ``epoch_end`` stats with its begin context:
+    ``{"core", "epoch", "kind", "key", "begin", "dur", "misses",
+    "comm", "preds", "correct"}``.
+    """
+    open_begin: dict = {}
+    rows: list = []
+    for ev in doc.get("events", []):
+        t = ev["t"]
+        core = ev.get("core")
+        if t == "epoch_begin":
+            open_begin[core] = ev
+        elif t == "epoch_end":
+            begin = open_begin.pop(core, None)
+            rows.append({
+                "core": core,
+                "epoch": ev.get("epoch"),
+                "kind": begin.get("kind") if begin else None,
+                "key": begin.get("key") if begin else None,
+                "begin": begin.get("ts") if begin else None,
+                "dur": ev.get("dur"),
+                "misses": ev.get("misses", 0),
+                "comm": ev.get("comm", 0),
+                "preds": ev.get("preds", 0),
+                "correct": ev.get("correct", 0),
+            })
+    return rows
+
+
+def accuracy_timeline(doc: dict, buckets: int = 12) -> list:
+    """Bucketed accuracy trajectory over the run's closed epochs.
+
+    Returns ``[{"bucket", "epochs", "preds", "correct", "accuracy"},
+    ...]`` — accuracy is correct/preds per bucket, ``None`` where a
+    bucket saw no predictions.
+    """
+    rows = epoch_table(doc)
+    if not rows:
+        return []
+    buckets = max(1, min(buckets, len(rows)))
+    out = []
+    for b in range(buckets):
+        lo = b * len(rows) // buckets
+        hi = (b + 1) * len(rows) // buckets
+        chunk = rows[lo:hi]
+        preds = sum(r["preds"] for r in chunk)
+        correct = sum(r["correct"] for r in chunk)
+        out.append({
+            "bucket": b,
+            "epochs": len(chunk),
+            "preds": preds,
+            "correct": correct,
+            "accuracy": (correct / preds) if preds else None,
+        })
+    return out
+
+
+def _fmt_key(row: dict) -> str:
+    key = row.get("key")
+    if key is None:
+        return "-"
+    if len(key) == 2 and isinstance(key[1], int):
+        return f"{key[0]}:{key[1]:#x}"
+    return str(key)
+
+
+def epoch_detail(doc: dict, core: int, limit: int = 10) -> str:
+    """Drill-down into one core's epochs: stats plus mispredictions."""
+    rows = [r for r in epoch_table(doc) if r["core"] == core]
+    if not rows:
+        return f"core {core}: no closed epochs in stream"
+    mispredicts: dict = {}
+    for ev in doc.get("events", []):
+        if (
+            ev["t"] == "pred"
+            and ev.get("core") == core
+            and ev.get("correct") is False
+        ):
+            mispredicts.setdefault(ev.get("epoch"), []).append(ev)
+    lines = [f"core {core}: {len(rows)} epochs "
+             f"(showing last {min(limit, len(rows))})"]
+    for row in rows[-limit:]:
+        preds = row["preds"]
+        acc = f"{row['correct']}/{preds}" if preds else "-"
+        lines.append(
+            f"  epoch {row['epoch']:>4}  {str(row['kind'] or '?'):<9} "
+            f"key={_fmt_key(row):<16} dur={row['dur'] or 0:>8} "
+            f"misses={row['misses']:>5} comm={row['comm']:>5} acc={acc}"
+        )
+        for ev in mispredicts.get(row["epoch"], [])[:3]:
+            lines.append(
+                f"      miss @{ev.get('ts')}: predicted "
+                f"{ev.get('predicted')} actual {ev.get('actual')} "
+                f"(source {ev.get('source')})"
+            )
+    return "\n".join(lines)
+
+
+def render_report(
+    doc: dict,
+    buckets: int = 12,
+    core: int | None = None,
+    limit: int = 10,
+) -> str:
+    """The full terminal report for one event stream."""
+    meta = doc.get("meta", {})
+    lines = []
+    title = " / ".join(
+        str(meta[k]) for k in ("workload", "protocol", "predictor")
+        if k in meta
+    )
+    lines.append(f"event stream: {title or '(unlabeled run)'}")
+    kept = len(doc.get("events", []))
+    dropped = doc.get("dropped", 0)
+    lines.append(
+        f"events: {kept} kept, {dropped} dropped "
+        f"(capacity {doc.get('capacity')})"
+    )
+
+    timeline = accuracy_timeline(doc, buckets=buckets)
+    if timeline:
+        values = [b["accuracy"] or 0.0 for b in timeline]
+        labels = [
+            f"epochs {b['bucket'] * 100 // len(timeline):>3}%"
+            for b in timeline
+        ]
+        lines.append("")
+        lines.append(bar_chart(
+            labels, values, width=40, max_value=1.0,
+            title="prediction accuracy over run (bucketed epochs)",
+        ))
+        lines.append(f"trend: [{sparkline(values)}]")
+        total_preds = sum(b["preds"] for b in timeline)
+        total_correct = sum(b["correct"] for b in timeline)
+        if total_preds:
+            lines.append(
+                f"overall: {total_correct}/{total_preds} "
+                f"({total_correct / total_preds:.3f}) across "
+                f"{sum(b['epochs'] for b in timeline)} closed epochs"
+            )
+    else:
+        lines.append("no closed epochs in stream (run too short, or "
+                     "ring capacity too small)")
+
+    if core is not None:
+        lines.append("")
+        lines.append(epoch_detail(doc, core, limit=limit))
+    return "\n".join(lines)

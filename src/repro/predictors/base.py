@@ -44,6 +44,12 @@ class TargetPredictor(abc.ABC):
 
     name: str = "base"
 
+    #: Optional :class:`repro.obs.EventTracer`, installed by the engine
+    #: when tracing is on.  Implementations guard every emit with a
+    #: single ``if self.tracer is not None`` so the disabled path costs
+    #: one falsy attribute check.
+    tracer = None
+
     @abc.abstractmethod
     def predict(
         self, core: int, block: int, pc: int, kind: MissKind

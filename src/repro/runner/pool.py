@@ -119,6 +119,7 @@ class SweepRunner:
         self.verbose = verbose
         self.simulations = 0
         self._results: dict = {}  # digest -> SimulationResult
+        self._specs: dict = {}    # digest -> RunSpec (for metrics context)
 
     def results(self) -> list:
         """Every result this runner holds (cached or freshly simulated)."""
@@ -129,6 +130,7 @@ class SweepRunner:
     def fetch(self, spec: RunSpec) -> SimulationResult | None:
         """Memo/disk lookup; never simulates."""
         digest = spec.digest()
+        self._specs[digest] = spec
         result = self._results.get(digest)
         if result is not None:
             return result
@@ -209,3 +211,26 @@ class SweepRunner:
         self._results[digest] = result
         if self.disk is not None:
             self.disk.store(digest, result.to_dict())
+
+    # -- metrics export -------------------------------------------------
+
+    def metrics_payload(self) -> dict:
+        """Per-cell metrics plus the sweep-level rollup for every result
+        this runner holds (cached or freshly simulated)."""
+        from repro.obs.metrics import aggregate_metrics, metrics_from_result
+
+        cells = []
+        for digest, result in self._results.items():
+            spec = self._specs.get(digest)
+            cells.append(metrics_from_result(
+                result, machine=spec.machine if spec is not None else None
+            ))
+        return {"cells": cells, "aggregate": aggregate_metrics(cells)}
+
+    def write_metrics(self, path) -> dict:
+        """Write :meth:`metrics_payload` to ``path`` as ``metrics.json``."""
+        from repro.obs.metrics import save_metrics
+
+        payload = self.metrics_payload()
+        save_metrics(payload, path)
+        return payload

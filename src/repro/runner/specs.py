@@ -24,7 +24,10 @@ CACHE_VERSION = 3
 #: Package subtrees that only *consume* results; editing them cannot
 #: change what a simulation produces, so they are excluded from the
 #: source fingerprint (everything else under ``repro`` is included).
-_NON_SIMULATION_PARTS = ("experiments", "analysis", "runner")
+#: ``obs`` qualifies because the tracer never touches a simulation
+#: counter — a property the ``obs-overhead`` gate and the fuzz
+#: harness's engine cells certify on every run.
+_NON_SIMULATION_PARTS = ("experiments", "analysis", "runner", "obs")
 _NON_SIMULATION_FILES = ("cli.py", "report.py", "__main__.py")
 
 _fingerprint_cache: str | None = None

@@ -86,6 +86,7 @@ class SimulationEngine:
         predictor_entries: int | None = None,
         ideal_metric: bool = True,
         use_compiled: bool | None = None,
+        tracer=None,
     ) -> None:
         self.machine = machine or MachineConfig()
         if workload.num_cores != self.machine.num_cores:
@@ -123,6 +124,11 @@ class SimulationEngine:
                 "given by kind name"
             )
         self.predictor = predictor
+        #: Optional :class:`repro.obs.EventTracer`.  ``None`` (the
+        #: default) keeps every hook site a single falsy check; the
+        #: tracer never touches a simulation counter either way, so
+        #: results are bit-identical with tracing on or off.
+        self.tracer = tracer
         #: Tri-state: None consults ``REPRO_COMPILED`` (default on);
         #: True/False force the compiled fast path / the reference
         #: event-by-event interpreter.
@@ -183,9 +189,27 @@ class SimulationEngine:
         reference interpreter.
         """
         quantum = self._effective_quantum()
+        self._attach_tracer()
         if self._compiled_enabled():
             return self._run_compiled(quantum)
         return self._run_interpreted(quantum)
+
+    def _attach_tracer(self) -> None:
+        """Fan the tracer out to the sub-components that emit into it
+        (predictor, SP-table, protocol).  A no-op with tracing off."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        tracer.begin_run(
+            self.workload.name, self.machine.num_cores,
+            self.result.protocol, self.result.predictor,
+        )
+        self.protocol.tracer = tracer
+        if self.predictor is not None:
+            self.predictor.tracer = tracer
+            table = getattr(self.predictor, "table", None)
+            if table is not None:
+                table.tracer = tracer
 
     def _compiled_enabled(self) -> bool:
         if self.use_compiled is not None:
@@ -313,7 +337,7 @@ class SimulationEngine:
                                 f"{barrier_pc[idx]} vs {pc}"
                             )
                         barrier_pc[idx] = pc
-                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        on_sync(core, static_sync_id(kind=kind, pc=pc), c)
                         c += sync_cost
                         waiters = barrier_waiters.setdefault(idx, [])
                         waiters.append((core, c))
@@ -347,6 +371,7 @@ class SimulationEngine:
                                 static_sync_id(
                                     kind=kind, pc=pc, lock_addr=lock_addr
                                 ),
+                                c,
                             )
                         else:
                             # Re-examined when the holder unlocks.
@@ -369,6 +394,7 @@ class SimulationEngine:
                             static_sync_id(
                                 kind=kind, pc=pc, lock_addr=lock_addr
                             ),
+                            c,
                         )
                         waiters = lock_waiters.get(lock_addr)
                         if waiters:
@@ -384,7 +410,7 @@ class SimulationEngine:
                         # join / wakeup / broadcast are epoch boundaries
                         # without blocking semantics in these traces.
                         p += 1
-                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        on_sync(core, static_sync_id(kind=kind, pc=pc), c)
                         c += sync_cost
                 if budget is not None and c > budget:
                     break
@@ -397,7 +423,7 @@ class SimulationEngine:
                 if not done[core]:
                     done[core] = True
                     active -= 1
-                    self._on_finish(core)
+                    self._on_finish(core, clock[core])
                     # A core leaving can make a pending barrier releasable
                     # (uneven streams: the finisher was never going to
                     # arrive).  Re-check parked barriers.
@@ -599,7 +625,7 @@ class SimulationEngine:
                                 f"{barrier_pc[idx]} vs {pc}"
                             )
                         barrier_pc[idx] = pc
-                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        on_sync(core, static_sync_id(kind=kind, pc=pc), c)
                         c += sync_cost
                         waiters = barrier_waiters.setdefault(idx, [])
                         waiters.append((core, c))
@@ -633,6 +659,7 @@ class SimulationEngine:
                                 static_sync_id(
                                     kind=kind, pc=pc, lock_addr=lock_addr
                                 ),
+                                c,
                             )
                         else:
                             # Re-examined when the holder unlocks.
@@ -655,6 +682,7 @@ class SimulationEngine:
                             static_sync_id(
                                 kind=kind, pc=pc, lock_addr=lock_addr
                             ),
+                            c,
                         )
                         waiters = lock_waiters.get(lock_addr)
                         if waiters:
@@ -670,7 +698,7 @@ class SimulationEngine:
                         # join / wakeup / broadcast are epoch boundaries
                         # without blocking semantics in these traces.
                         p += 1
-                        on_sync(core, static_sync_id(kind=kind, pc=pc))
+                        on_sync(core, static_sync_id(kind=kind, pc=pc), c)
                         c += sync_cost
                 if budget is not None and c > budget:
                     break
@@ -684,7 +712,7 @@ class SimulationEngine:
                 if not done[core]:
                     done[core] = True
                     active -= 1
-                    self._on_finish(core)
+                    self._on_finish(core, clock[core])
                     # A core leaving can make a pending barrier releasable
                     # (uneven streams: the finisher was never going to
                     # arrive).  Re-check parked barriers.
@@ -776,6 +804,7 @@ class SimulationEngine:
         comm_counts = self._comm_counts
         verifier = self.verifier
         check_block = verifier.check_block if verifier is not None else None
+        tracer = self.tracer
 
         # Transaction numbers are 1-based miss ordinals across cores;
         # the result fields lag until flush, so count from their base.
@@ -880,6 +909,15 @@ class SimulationEngine:
                     else:
                         pred_incorrect += 1
 
+            if tracer is not None:
+                tracer.on_miss(
+                    core, kind.value, targets, tx.minimal_targets,
+                    tx.prediction_correct,
+                    prediction.source.value if prediction is not None
+                    else None,
+                    latency, communicating,
+                )
+
             if check_block is not None:
                 check_block(
                     block,
@@ -918,7 +956,11 @@ class SimulationEngine:
     # sync-point handling
     # ------------------------------------------------------------------
 
-    def _on_sync(self, core: int, static_id: StaticSyncId) -> None:
+    def _on_sync(self, core: int, static_id: StaticSyncId, clock: int = 0) -> None:
+        if self.tracer is not None:
+            # Before the predictor reacts, so its recovery/warm-up events
+            # land inside the epoch the sync-point opens.
+            self.tracer.on_sync(core, clock, static_id)
         if self._track:
             self._close_epoch(core)
             self._trackers[core].observe(static_id)
@@ -938,7 +980,9 @@ class SimulationEngine:
         if on_migrate is not None:
             on_migrate(permutation)
 
-    def _on_finish(self, core: int) -> None:
+    def _on_finish(self, core: int, clock: int = 0) -> None:
+        if self.tracer is not None:
+            self.tracer.on_finish(core, clock)
         if self._track:
             self._close_epoch(core)
             self._trackers[core].finish()

@@ -1,0 +1,26 @@
+"""Shared fixtures: one traced simulation reused across the obs suite."""
+
+import pytest
+
+from repro.obs import EventTracer
+from repro.sim.engine import SimulationEngine
+from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def traced_run():
+    """(result, tracer) for one SP-predicted lu run with tracing on."""
+    workload = load_benchmark("lu", scale=0.05)
+    tracer = EventTracer()
+    engine = SimulationEngine(
+        workload, predictor="SP", collect_epochs=True, tracer=tracer
+    )
+    result = engine.run()
+    return result, tracer
+
+
+@pytest.fixture(scope="session")
+def traced_doc(traced_run):
+    """The serialized event stream of the shared traced run."""
+    _, tracer = traced_run
+    return tracer.to_doc()

@@ -1,0 +1,206 @@
+"""EventTracer: hooks, ring buffer, serialization, and validation."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_CAPACITY,
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    EventTracer,
+    load_events,
+    save_events,
+    validate_events,
+)
+from repro.sync.points import StaticSyncId, SyncKind
+
+BARRIER = StaticSyncId(kind=SyncKind.BARRIER, pc=400)
+LOCK = StaticSyncId(kind=SyncKind.LOCK, pc=500, lock_addr=0x1000)
+
+
+class TestTracerHooks:
+    def test_sync_opens_and_closes_epochs(self):
+        tr = EventTracer()
+        tr.on_sync(0, 100, BARRIER)
+        tr.on_sync(0, 250, BARRIER)
+        kinds = [e["t"] for e in tr.events]
+        # lazy epoch 0 (pre-sync interval) closes at the first sync
+        assert kinds == [
+            "epoch_begin", "epoch_end", "sync", "epoch_begin",
+            "epoch_end", "sync", "epoch_begin",
+        ]
+        begins = [e for e in tr.events if e["t"] == "epoch_begin"]
+        assert [b["epoch"] for b in begins] == [0, 1, 2]
+        assert begins[0]["key"] is None and begins[0]["kind"] == "start"
+        assert begins[1]["key"] == ["pc", 400]
+
+    def test_lock_sync_carries_lock_addr(self):
+        tr = EventTracer()
+        tr.on_sync(1, 10, LOCK)
+        sync = next(e for e in tr.events if e["t"] == "sync")
+        assert sync["lock"] == 0x1000
+        begin = [e for e in tr.events if e["t"] == "epoch_begin"][-1]
+        assert begin["key"] == ["lock", 0x1000]
+
+    def test_miss_advances_cursor_and_counts(self):
+        tr = EventTracer()
+        tr.on_sync(0, 100, BARRIER)
+        tr.on_miss(0, "read", {1}, {1}, True, "d0", 40, True)
+        tr.on_miss(0, "write", None, set(), None, None, 15, False)
+        preds = [e for e in tr.events if e["t"] == "pred"]
+        assert len(preds) == 1  # unpredicted misses emit nothing
+        assert preds[0]["ts"] == 140  # epoch begin 100 + latency 40
+        tr.on_finish(0, 300)
+        end = [e for e in tr.events if e["t"] == "epoch_end"][-1]
+        assert end["misses"] == 2
+        assert end["comm"] == 1
+        assert end["preds"] == 1
+        assert end["correct"] == 1
+
+    def test_sub_hooks_use_last_seen_ts(self):
+        tr = EventTracer()
+        tr.on_sync(2, 77, BARRIER)
+        tr.sp_recover(2, {0, 3})
+        ev = tr.events[-1]
+        assert ev["t"] == "sp_recover"
+        assert ev["ts"] == 77
+        assert ev["hot"] == [0, 3]
+
+    def test_pred_repair_reports_missing_targets(self):
+        tr = EventTracer()
+        tr.pred_repair(0, "read", {1}, {1, 2})
+        ev = tr.events[-1]
+        assert ev["missing"] == [2]
+        assert ev["predicted"] == [1]
+        assert ev["minimal"] == [1, 2]
+
+
+class TestRingBuffer:
+    def test_wraps_and_counts_dropped(self):
+        tr = EventTracer(capacity=8)
+        tr.on_sync(0, 0, BARRIER)
+        for i in range(20):
+            tr.on_miss(0, "read", {1}, {1}, True, "d0", 10, True)
+        assert len(tr.events) == 8
+        assert tr.dropped == tr.emitted - 8 > 0
+        doc = tr.to_doc()
+        assert doc["dropped"] == tr.dropped
+        assert len(doc["events"]) == 8
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_default_capacity(self):
+        assert EventTracer().capacity == DEFAULT_CAPACITY
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        tr = EventTracer()
+        tr.begin_run("lu", 4, "directory", "SP")
+        tr.on_sync(0, 5, BARRIER)
+        path = tmp_path / "ev.json"
+        doc = save_events(tr, path)
+        loaded = load_events(path)
+        assert loaded == doc
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert loaded["meta"]["workload"] == "lu"
+
+    def test_load_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_events(tmp_path / "nope.json")
+
+    def test_load_corrupt_json_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        with pytest.raises(ValueError, match="bad.json"):
+            load_events(path)
+
+    def test_load_non_event_json_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{\"misses\": 3}")
+        with pytest.raises(ValueError, match="not a repro event stream"):
+            load_events(path)
+
+    def test_load_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text("{\"schema\": 99, \"events\": []}")
+        with pytest.raises(ValueError, match="v99"):
+            load_events(path)
+
+
+class TestValidation:
+    def _doc(self, events, dropped=0):
+        return {
+            "schema": SCHEMA_VERSION, "meta": {}, "capacity": 100,
+            "emitted": len(events) + dropped, "dropped": dropped,
+            "events": events,
+        }
+
+    def test_real_run_validates_clean(self, traced_doc):
+        assert validate_events(traced_doc) == []
+
+    def test_unclosed_epoch_flagged(self):
+        doc = self._doc([
+            {"t": "epoch_begin", "core": 0, "ts": 0, "epoch": 0},
+        ])
+        assert any("never ended" in e for e in validate_events(doc))
+
+    def test_double_begin_flagged(self):
+        doc = self._doc([
+            {"t": "epoch_begin", "core": 0, "ts": 0, "epoch": 0},
+            {"t": "epoch_begin", "core": 0, "ts": 5, "epoch": 1},
+        ])
+        assert any("still open" in e for e in validate_events(doc))
+
+    def test_pred_outside_epoch_flagged(self):
+        doc = self._doc([
+            {"t": "pred", "core": 0, "ts": 5, "epoch": 0},
+        ])
+        assert any("outside any epoch" in e for e in validate_events(doc))
+
+    def test_pred_referencing_dead_epoch_flagged(self):
+        doc = self._doc([
+            {"t": "epoch_begin", "core": 0, "ts": 0, "epoch": 0},
+            {"t": "pred", "core": 0, "ts": 5, "epoch": 7},
+            {"t": "epoch_end", "core": 0, "ts": 9, "epoch": 0},
+        ])
+        assert any("live epoch" in e for e in validate_events(doc))
+
+    def test_backwards_timestamp_flagged(self):
+        doc = self._doc([
+            {"t": "epoch_begin", "core": 0, "ts": 50, "epoch": 0},
+            {"t": "pred", "core": 0, "ts": 10, "epoch": 0},
+            {"t": "epoch_end", "core": 0, "ts": 60, "epoch": 0},
+        ])
+        assert any("ts 10 < previous 50" in e for e in validate_events(doc))
+
+    def test_unknown_kind_flagged(self):
+        doc = self._doc([{"t": "mystery", "core": 0, "ts": 0}])
+        assert any("unknown kind" in e for e in validate_events(doc))
+
+    def test_truncated_stream_tolerates_orphan_prefix(self):
+        # ring wrapped: a surviving epoch_end whose begin was dropped is
+        # fine, but only until the core re-establishes pairing context
+        doc = self._doc([
+            {"t": "epoch_end", "core": 0, "ts": 10, "epoch": 3},
+            {"t": "epoch_begin", "core": 0, "ts": 10, "epoch": 4},
+            {"t": "epoch_end", "core": 0, "ts": 20, "epoch": 4},
+        ], dropped=5)
+        assert validate_events(doc) == []
+
+    def test_untruncated_stream_rejects_orphan_end(self):
+        doc = self._doc([
+            {"t": "epoch_end", "core": 0, "ts": 10, "epoch": 3},
+        ])
+        assert any("without an open epoch" in e for e in validate_events(doc))
+
+    def test_error_cap_respected(self):
+        events = [
+            {"t": "pred", "core": 0, "ts": 0, "epoch": 0}
+            for _ in range(50)
+        ]
+        assert len(validate_events(self._doc(events), max_errors=4)) == 4
+
+    def test_every_emitted_kind_is_declared(self, traced_doc):
+        assert {e["t"] for e in traced_doc["events"]} <= EVENT_KINDS

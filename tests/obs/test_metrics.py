@@ -1,0 +1,110 @@
+"""MetricsRegistry and the result -> metrics distillation."""
+
+import json
+
+from repro.obs import aggregate_metrics, hop_distribution, metrics_from_result
+from repro.obs.metrics import MetricsRegistry, accuracy_over_time
+from repro.sim.machine import MachineConfig
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("misses")
+        reg.count("misses", 4)
+        assert reg.counters["misses"] == 5
+
+    def test_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.gauge("accuracy", 0.5)
+        reg.gauge("accuracy", 0.7)
+        assert reg.gauges["accuracy"] == 0.7
+
+    def test_histogram_buckets_stringified_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 10)
+        reg.observe("lat", 2, weight=3)
+        reg.observe("lat", 10)
+        dump = reg.to_dict()["histograms"]["lat"]
+        assert dump == {"2": 3, "10": 2}
+        assert list(dump) == ["2", "10"]  # numeric sort, then str keys
+
+    def test_dump_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.gauge("b", 1.5)
+        reg.observe("c", 7)
+        json.dumps(reg.to_dict())
+
+
+class TestHopDistribution:
+    def test_weights_volume_by_mesh_distance(self):
+        mesh = MachineConfig().mesh()
+        # core 0 -> 1 is adjacent (1 hop) on the 4x4 mesh; 0 -> 15 is
+        # the far corner (6 hops); diagonal (self) volume is skipped
+        volume = [[0] * 16 for _ in range(16)]
+        volume[0][1] = 10
+        volume[0][15] = 2
+        volume[3][3] = 99
+        hist = hop_distribution(volume, mesh)
+        assert hist[mesh.hops(0, 1)] == 10
+        assert hist[mesh.hops(0, 15)] == 2
+        assert sum(hist.values()) == 12
+
+
+class TestResultMetrics:
+    def test_counters_match_result(self, traced_run):
+        result, _ = traced_run
+        payload = metrics_from_result(result, machine=MachineConfig())
+        assert payload["counters"]["misses"] == result.misses
+        assert payload["counters"]["comm_misses"] == result.comm_misses
+        assert payload["counters"]["pred_correct"] == result.pred_correct
+        assert payload["gauges"]["accuracy"] == round(result.accuracy, 6)
+
+    def test_histograms_cover_all_misses(self, traced_run):
+        result, _ = traced_run
+        payload = metrics_from_result(result, machine=MachineConfig())
+        lat = payload["histograms"]["miss_latency"]
+        assert sum(lat.values()) == result.misses
+        epoch_hist = payload["histograms"]["epoch_misses"]
+        assert sum(epoch_hist.values()) == len(result.epoch_records)
+        hops = payload["histograms"]["noc_hops"]
+        assert all(int(k) >= 1 for k in hops)
+
+    def test_timeline_partitions_epochs(self, traced_run):
+        result, _ = traced_run
+        timeline = accuracy_over_time(result, buckets=10)
+        assert sum(b["epochs"] for b in timeline) == len(result.epoch_records)
+        assert sum(b["misses"] for b in timeline) == sum(
+            r.misses for r in result.epoch_records
+        )
+
+    def test_timeline_empty_without_epochs(self, traced_run):
+        class Hollow:
+            epoch_records = []
+
+        assert accuracy_over_time(Hollow()) == []
+
+    def test_payload_json_safe(self, traced_run):
+        result, _ = traced_run
+        json.dumps(metrics_from_result(result, machine=MachineConfig()))
+
+
+class TestAggregate:
+    def test_sums_counters_and_derives_ratios(self):
+        cells = [
+            {"counters": {"misses": 10, "comm_misses": 4,
+                          "pred_correct": 2}},
+            {"counters": {"misses": 30, "comm_misses": 16,
+                          "pred_correct": 8}},
+        ]
+        agg = aggregate_metrics(cells)
+        assert agg["counters"]["misses"] == 40
+        assert agg["gauges"]["cells"] == 2
+        assert agg["gauges"]["comm_ratio"] == 0.5
+        assert agg["gauges"]["accuracy"] == 0.5
+
+    def test_empty_sweep_is_sane(self):
+        agg = aggregate_metrics([])
+        assert agg["gauges"]["cells"] == 0
+        assert agg["gauges"]["comm_ratio"] == 0.0

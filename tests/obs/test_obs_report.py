@@ -1,0 +1,77 @@
+"""Terminal report: epoch table, accuracy timeline, drill-down."""
+
+from repro.obs import accuracy_timeline, epoch_detail, epoch_table, render_report
+
+
+class TestEpochTable:
+    def test_rows_merge_begin_context(self, traced_doc):
+        rows = epoch_table(traced_doc)
+        ends = [e for e in traced_doc["events"] if e["t"] == "epoch_end"]
+        assert len(rows) == len(ends)
+        sp_rows = [r for r in rows if r["key"] is not None]
+        assert sp_rows, "a real run must have keyed epochs"
+        assert all(r["kind"] is not None for r in rows)
+
+    def test_stats_totals_match_result(self, traced_run, traced_doc):
+        result, tracer = traced_run
+        assert tracer.dropped == 0  # totals only meaningful untruncated
+        rows = epoch_table(traced_doc)
+        assert sum(r["misses"] for r in rows) == result.misses
+        assert sum(r["correct"] for r in rows) == result.pred_correct
+
+
+class TestAccuracyTimeline:
+    def test_buckets_partition_epochs(self, traced_doc):
+        timeline = accuracy_timeline(traced_doc, buckets=12)
+        assert len(timeline) == 12
+        assert sum(b["epochs"] for b in timeline) == len(
+            epoch_table(traced_doc)
+        )
+        for b in timeline:
+            if b["preds"]:
+                assert b["accuracy"] == b["correct"] / b["preds"]
+            else:
+                assert b["accuracy"] is None
+
+    def test_empty_doc(self):
+        assert accuracy_timeline({"events": []}) == []
+
+
+class TestRenderReport:
+    def test_full_report_sections(self, traced_doc):
+        text = render_report(traced_doc)
+        assert "event stream: lu / directory / SP" in text
+        assert "0 dropped" in text
+        assert "prediction accuracy over run" in text
+        assert "trend: [" in text
+        assert "overall: " in text
+
+    def test_drill_down_lists_epochs(self, traced_doc):
+        text = render_report(traced_doc, core=1, limit=5)
+        assert "core 1:" in text
+        assert "epoch " in text
+
+    def test_drill_down_shows_mispredictions(self):
+        doc = {
+            "meta": {}, "dropped": 0, "capacity": 16,
+            "events": [
+                {"t": "epoch_begin", "core": 0, "ts": 0, "epoch": 0,
+                 "key": ["pc", 400], "kind": "barrier"},
+                {"t": "pred", "core": 0, "ts": 40, "epoch": 0, "miss": 1,
+                 "kind": "read", "predicted": [2], "actual": [3],
+                 "correct": False, "source": "history"},
+                {"t": "epoch_end", "core": 0, "ts": 90, "epoch": 0,
+                 "dur": 90, "misses": 1, "comm": 1, "preds": 1,
+                 "correct": 0},
+            ],
+        }
+        text = epoch_detail(doc, 0)
+        assert "predicted [2] actual [3]" in text
+        assert "source history" in text
+
+    def test_empty_stream_degrades_gracefully(self):
+        text = render_report({"meta": {}, "events": [], "dropped": 0})
+        assert "no closed epochs" in text
+
+    def test_unknown_core_degrades_gracefully(self, traced_doc):
+        assert "no closed epochs" in epoch_detail(traced_doc, 999)

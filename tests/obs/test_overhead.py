@@ -1,0 +1,75 @@
+"""The observability layer's core guarantees: off by default, free when
+off, and bit-identical counters whether tracing is on or off."""
+
+import json
+
+from repro.obs import EventTracer, validate_events
+from repro.sim.engine import SimulationEngine
+from repro.workloads import load_benchmark
+
+
+class TestDisabledByDefault:
+    def test_tracer_defaults_to_none_class_attrs(self):
+        """The hooks guard on class attributes that default to None, so
+        an untraced run pays one attribute load per hook site."""
+        from repro.coherence.protocol import DirectoryProtocol
+        from repro.core.sp_table import SPTable
+        from repro.predictors.base import TargetPredictor
+
+        assert TargetPredictor.tracer is None
+        assert SPTable.tracer is None
+        assert DirectoryProtocol.tracer is None
+
+    def test_engine_defaults_untraced(self):
+        workload = load_benchmark("lu", scale=0.02)
+        engine = SimulationEngine(workload, predictor="SP")
+        assert engine.tracer is None
+        engine.run()  # never attaches anything
+
+
+class TestNonPerturbation:
+    def test_counters_bit_identical_off_vs_on(self, traced_run):
+        result_on, tracer = traced_run
+        assert tracer.emitted > 0
+        workload = load_benchmark("lu", scale=0.05)
+        result_off = SimulationEngine(
+            workload, predictor="SP", collect_epochs=True
+        ).run()
+        assert result_off.to_dict() == result_on.to_dict()
+
+    def test_interpreted_loop_also_unperturbed(self):
+        workload = load_benchmark("radix", scale=0.02)
+        payloads = []
+        for tracer in (None, EventTracer()):
+            engine = SimulationEngine(
+                workload, predictor="SP", collect_epochs=True,
+                use_compiled=False, tracer=tracer,
+            )
+            payloads.append(engine.run().to_dict())
+        assert payloads[0] == payloads[1]
+
+    def test_real_stream_is_schema_valid_and_json_safe(self, traced_run):
+        _, tracer = traced_run
+        doc = tracer.to_doc()
+        assert validate_events(doc) == []
+        json.dumps(doc)
+
+    def test_meta_stamped_by_engine(self, traced_run):
+        _, tracer = traced_run
+        assert tracer.meta == {
+            "workload": "lu", "num_cores": 16,
+            "protocol": "directory", "predictor": "SP",
+        }
+
+
+class TestTinyRing:
+    def test_wrapped_ring_still_validates(self):
+        """A capacity far below the event volume exercises truncation-
+        tolerant validation on a real stream, not a synthetic one."""
+        workload = load_benchmark("lu", scale=0.05)
+        tracer = EventTracer(capacity=256)
+        SimulationEngine(
+            workload, predictor="SP", collect_epochs=True, tracer=tracer
+        ).run()
+        assert tracer.dropped > 0
+        assert validate_events(tracer.to_doc()) == []

@@ -1,0 +1,82 @@
+"""Perfetto trace_event export."""
+
+import json
+
+from repro.obs import perfetto_trace, save_perfetto
+from repro.obs.perfetto import _epoch_name
+
+
+class TestPerfettoTrace:
+    def test_thread_names_cover_all_cores(self, traced_run, traced_doc):
+        result, _ = traced_run
+        trace = perfetto_trace(traced_doc)
+        names = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {m["tid"] for m in names} == set(range(result.num_cores))
+        assert names[0]["args"]["name"] == "core 0"
+
+    def test_epoch_slices_pair_begin_end(self, traced_doc):
+        trace = perfetto_trace(traced_doc)
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        ends = [
+            e for e in traced_doc["events"] if e["t"] == "epoch_end"
+        ]
+        assert len(slices) == len(ends)
+        for sl in slices:
+            assert sl["dur"] >= 1
+            assert sl["cat"] == "epoch"
+            assert "misses" in sl["args"]
+
+    def test_accuracy_counter_per_epoch_end(self, traced_doc):
+        trace = perfetto_trace(traced_doc)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(counters) == len(slices)
+        assert all(0.0 <= c["args"]["accuracy"] <= 1.0 for c in counters)
+
+    def test_mispredictions_become_instants(self, traced_doc):
+        trace = perfetto_trace(traced_doc)
+        instants = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "mispredict"
+        ]
+        wrong = [
+            e for e in traced_doc["events"]
+            if e["t"] == "pred" and e.get("correct") is False
+        ]
+        assert len(instants) == len(wrong)
+        if instants:
+            assert "predicted" in instants[0]["args"]
+
+    def test_other_data_carries_meta(self, traced_doc):
+        trace = perfetto_trace(traced_doc)
+        other = trace["otherData"]
+        assert other["workload"] == "lu"
+        assert other["predictor"] == "SP"
+        assert other["dropped_events"] == 0
+        assert trace["displayTimeUnit"] == "ns"
+
+    def test_orphaned_end_skipped(self):
+        doc = {
+            "schema": 1, "meta": {}, "dropped": 3,
+            "events": [
+                {"t": "epoch_end", "core": 0, "ts": 10, "epoch": 3,
+                 "misses": 1, "comm": 0, "preds": 0, "correct": 0},
+            ],
+        }
+        trace = perfetto_trace(doc)
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_save_round_trips_as_json(self, traced_doc, tmp_path):
+        path = tmp_path / "trace.json"
+        trace = save_perfetto(traced_doc, path)
+        assert json.loads(path.read_text()) == trace
+
+
+class TestEpochName:
+    def test_lock_key_hex(self):
+        assert _epoch_name(
+            {"kind": "lock", "key": ["lock", 0x1000]}
+        ) == "lock lock:0x1000"
+
+    def test_pre_sync_interval(self):
+        assert _epoch_name({"kind": "start", "key": None}) == "start"

@@ -1,0 +1,76 @@
+"""PhaseTimer, cProfile wrapping, and host metadata."""
+
+import json
+import time
+
+from repro.obs import PhaseTimer, host_metadata, profile_call
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_in_first_use_order(self):
+        timer = PhaseTimer()
+        with timer.phase("b"):
+            pass
+        with timer.phase("a"):
+            time.sleep(0.01)
+        with timer.phase("b"):
+            pass
+        breakdown = timer.breakdown()
+        assert list(breakdown) == ["b", "a", "total_s"]
+        assert breakdown["a"] >= 0.01
+        assert breakdown["total_s"] >= breakdown["a"]
+
+    def test_phase_recorded_even_on_exception(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in timer.phases
+
+    def test_render_lists_every_phase(self):
+        timer = PhaseTimer()
+        with timer.phase("simulate"):
+            pass
+        text = timer.render()
+        assert "simulate" in text
+        assert "total" in text
+        assert "%" in text
+
+    def test_breakdown_json_safe(self):
+        timer = PhaseTimer()
+        with timer.phase("x"):
+            pass
+        json.dumps(timer.breakdown())
+
+
+class TestProfileCall:
+    def test_returns_result_and_top_functions(self):
+        def work(n):
+            return sum(range(n))
+
+        result, stats_text, top = profile_call(work, 1000, limit=5)
+        assert result == sum(range(1000))
+        assert "cumulative" in stats_text
+        assert len(top) <= 5
+        assert all(
+            set(row) == {"function", "calls", "tottime_s", "cumtime_s"}
+            for row in top
+        )
+        json.dumps(top)
+
+    def test_kwargs_forwarded(self):
+        result, _, _ = profile_call(divmod, 7, 2)
+        assert result == (3, 1)
+
+
+class TestHostMetadata:
+    def test_fields_present_and_json_safe(self):
+        meta = host_metadata()
+        assert meta["cpu_count"] >= 1
+        assert meta["python"].count(".") == 2
+        assert meta["implementation"]
+        # inside the repo this resolves to the checked-out commit
+        assert meta["git_sha"] is None or len(meta["git_sha"]) == 40
+        json.dumps(meta)

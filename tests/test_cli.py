@@ -83,3 +83,97 @@ class TestTraceCommands:
         capsys.readouterr()
         assert main(["simulate", str(trace), "--trace"]) == 0
         assert "workload x264" in capsys.readouterr().out
+
+
+class TestTraceErrorPaths:
+    def test_info_missing_file_one_line_error(self, tmp_path, capsys):
+        assert main(["trace", "info", str(tmp_path / "nope.rtrace")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1  # no traceback
+
+    def test_info_corrupt_file_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rtrace"
+        bad.write_bytes(b"RTRC garbage that is not a v2 trace")
+        assert main(["trace", "info", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_export_missing_file_one_line_error(self, tmp_path, capsys):
+        out = tmp_path / "out.trace"
+        assert main(
+            ["trace", "export", str(tmp_path / "nope.rtrace"),
+             "-o", str(out)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert not out.exists()
+
+
+class TestObsCommands:
+    def test_trace_report_export_pipeline(self, tmp_path, capsys):
+        events = tmp_path / "x264.events.json"
+        assert main(
+            ["obs", "trace", "x264", "--scale", "0.1", "-o", str(events)]
+        ) == 0
+        assert events.exists()
+        capsys.readouterr()
+
+        assert main(["obs", "report", str(events), "--core", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction accuracy over run" in out
+        assert "core 0:" in out
+
+        perfetto = tmp_path / "x264.perfetto.json"
+        assert main(
+            ["obs", "export", str(events), "-o", str(perfetto)]
+        ) == 0
+        trace = json.loads(perfetto.read_text())
+        assert trace["traceEvents"]
+
+    def test_report_simulates_benchmark_on_the_fly(self, capsys):
+        assert main(["obs", "report", "x264", "--scale", "0.1"]) == 0
+        assert "x264 / directory / SP" in capsys.readouterr().out
+
+    def test_report_missing_events_file_one_line_error(self, capsys):
+        assert main(["obs", "report", "missing.events.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_export_corrupt_events_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(
+            ["obs", "export", str(bad), "-o", str(tmp_path / "o.json")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "bad.json" in err
+
+    def test_overhead_gate_passes(self, capsys):
+        # Loose --max-ratio: this asserts the gate's *mechanics*
+        # (identical counters, valid events, exit code plumbing);
+        # wall-clock on a loaded single-CPU test runner is jitter, and
+        # the strict 1.05 timing criterion runs in tools/check.sh.
+        assert main(
+            ["obs", "overhead", "--workload", "x264", "--scale", "0.1",
+             "--reps", "3", "--max-ratio", "2.0"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["counters_identical"] is True
+        assert payload["event_errors"] == []
+
+    def test_simulate_with_events_metrics_profile(self, tmp_path, capsys):
+        events = tmp_path / "ev.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["simulate", "x264", "--scale", "0.1", "--predictor", "SP",
+             "--json", "--events", str(events),
+             "--metrics", str(metrics), "--profile"]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # --json stdout stays machine-readable
+        assert events.exists() and metrics.exists()
+        assert "cumulative" in captured.err  # cProfile listing on stderr

@@ -45,6 +45,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.experiments.common import RunCache  # noqa: E402
+from repro.obs import PhaseTimer, host_metadata, profile_call  # noqa: E402
 from repro.runner import DiskCache, resolve_jobs  # noqa: E402
 from repro.sim.engine import SimulationEngine  # noqa: E402
 from repro.sim.machine import MachineConfig  # noqa: E402
@@ -192,6 +193,11 @@ def main(argv=None) -> int:
         "--reps", type=int, default=5,
         help="single-run repetitions; the minimum is reported (default 5)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile one hot single run and record the hottest "
+             "functions in the payload",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -209,32 +215,37 @@ def main(argv=None) -> int:
     print(f"# sweep: {len(grid)} configurations at scale {scale}, "
           f"{jobs} jobs ({os.cpu_count()} CPUs)")
 
+    timer = PhaseTimer()
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         disk = DiskCache(Path(tmp) / "runs")
 
         print("serial baseline (1 process, no persistent cache) ...")
-        serial_s = time_sweep(
-            grid, scale, jobs=1, disk=False,
-            trace_dir=Path(tmp) / "traces-serial",
-        )
+        with timer.phase("sweep_serial"):
+            serial_s = time_sweep(
+                grid, scale, jobs=1, disk=False,
+                trace_dir=Path(tmp) / "traces-serial",
+            )
         print(f"  {serial_s:.2f}s")
 
         print(f"parallel cold ({jobs} jobs, fresh caches) ...")
-        parallel_cold_s = time_sweep(
-            grid, scale, jobs=jobs, disk=disk,
-            trace_dir=Path(tmp) / "traces-pool",
-        )
+        with timer.phase("sweep_parallel_cold"):
+            parallel_cold_s = time_sweep(
+                grid, scale, jobs=jobs, disk=disk,
+                trace_dir=Path(tmp) / "traces-pool",
+            )
         print(f"  {parallel_cold_s:.2f}s")
 
         print("parallel warm (new process-equivalent, populated cache) ...")
-        warm_s = time_sweep(
-            grid, scale, jobs=jobs, disk=DiskCache(disk.root),
-            trace_dir=Path(tmp) / "traces-pool",
-        )
+        with timer.phase("sweep_parallel_warm"):
+            warm_s = time_sweep(
+                grid, scale, jobs=jobs, disk=DiskCache(disk.root),
+                trace_dir=Path(tmp) / "traces-pool",
+            )
         print(f"  {warm_s:.2f}s")
 
         print("trace store (compile / save / mmap load) ...")
-        trace_store = time_trace_store(scale, tmp)
+        with timer.phase("trace_store"):
+            trace_store = time_trace_store(scale, tmp)
         print(f"  compile {trace_store['compile_s']:.3f}s, "
               f"save {trace_store['save_s']:.3f}s, "
               f"load {trace_store['mmap_load_s']:.3f}s")
@@ -246,29 +257,33 @@ def main(argv=None) -> int:
             load_benchmark_compiled("bodytrack", scale=scale)  # populate
         finally:
             os.environ.pop("REPRO_TRACE_DIR", None)
-        cold_s = min(time_cold_run(scale, cold_dir) for _ in range(reps))
+        with timer.phase("single_cold"):
+            cold_s = min(time_cold_run(scale, cold_dir) for _ in range(reps))
         print(f"  {cold_s:.2f}s")
 
     workload = load_benchmark("bodytrack", scale=scale)
     ensure_compiled(workload)  # steady state: the store supplies this
 
     print("single hot run (compiled fast path, full bookkeeping) ...")
-    single_s = min(
-        time_single_run(workload, True, use_compiled=True)
-        for _ in range(reps)
-    )
+    with timer.phase("single_hot"):
+        single_s = min(
+            time_single_run(workload, True, use_compiled=True)
+            for _ in range(reps)
+        )
     print(f"  {single_s:.2f}s")
     print("single hot run (interpreted loop, full bookkeeping) ...")
-    interpreted_s = min(
-        time_single_run(workload, True, use_compiled=False)
-        for _ in range(reps)
-    )
+    with timer.phase("single_interpreted"):
+        interpreted_s = min(
+            time_single_run(workload, True, use_compiled=False)
+            for _ in range(reps)
+        )
     print(f"  {interpreted_s:.2f}s")
     print("single hot run (compiled, ideal_metric off) ...")
-    single_fast_s = min(
-        time_single_run(workload, False, use_compiled=True)
-        for _ in range(reps)
-    )
+    with timer.phase("single_fast_path"):
+        single_fast_s = min(
+            time_single_run(workload, False, use_compiled=True)
+            for _ in range(reps)
+        )
     print(f"  {single_fast_s:.2f}s")
 
     sweep = {
@@ -296,6 +311,8 @@ def main(argv=None) -> int:
         "jobs_requested": args.jobs,
         "jobs_effective": jobs,
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
+        "phases": timer.breakdown(),
         "grid": grid,
         "sweep": sweep,
         "single_run": {
@@ -319,6 +336,14 @@ def main(argv=None) -> int:
         payload["single_run"]["cold_speedup_vs_seed"] = round(
             SEED_COLD_RUN_S / cold_s, 2
         )
+    if args.profile:
+        print("profiling one hot single run (cProfile) ...")
+        _, stats_text, top = profile_call(
+            time_single_run, workload, True, use_compiled=True
+        )
+        payload["profile"] = {"top_functions": top}
+        print(stats_text)
+
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

@@ -33,4 +33,11 @@ trap 'rm -rf "$FUZZ_DIR"' EXIT
 python -m repro check fuzz --cases 8 --seed 1234 \
     --out-dir "$FUZZ_DIR" --bench "$BENCH_OUT"
 
+echo "== observability overhead gate =="
+# Tracing off vs. on: counters must be bit-identical, the event stream
+# must validate, and the disabled path must not run slower than the
+# enabled one (the single falsy check is the only cost when off).
+python -m repro obs overhead --workload lu --scale 0.1 --reps 5 \
+    --bench "$BENCH_OUT"
+
 echo "== check.sh: all gates green =="
