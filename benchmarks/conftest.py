@@ -25,6 +25,12 @@ from repro.sim.machine import MachineConfig
 BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Keep benchmark sweeps from appending to the user's run ledger."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture(scope="session")
 def cache() -> RunCache:
     run_cache = RunCache(

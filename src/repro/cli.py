@@ -13,6 +13,10 @@
     python -m repro obs report bt-events.json --core 0
     python -m repro obs export bt-events.json --perfetto -o bt-perfetto.json
     python -m repro obs overhead --workload lu --scale 0.1
+    python -m repro obs ledger list
+    python -m repro obs ledger show 1a2b3c
+    python -m repro obs diff 1a2b3c 4d5e6f
+    python -m repro obs dashboard --out dashboard.html
     python -m repro check diff --quick
     python -m repro check fuzz --cases 20 --seed 1234 --out-dir fuzz-cases
     python -m repro check replay fuzz-cases/case-1234.json
@@ -219,7 +223,71 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default %(default)s)")
     oover.add_argument("--bench", metavar="PATH", default=None,
                        help="merge the outcome into a JSON benchmark file")
+    oover.add_argument(
+        "--sweep-cells", type=int, default=3,
+        help="cells in the telemetry+ledger sweep stage "
+             "(default %(default)s; 0 skips the stage)",
+    )
     oover.set_defaults(func=cmd_obs_overhead)
+
+    oledger = obssub.add_parser(
+        "ledger", help="the persistent run ledger (history of all runs)"
+    )
+    ledgersub = oledger.add_subparsers(dest="ledger_command", required=True)
+
+    llist = ledgersub.add_parser("list", help="list recorded runs")
+    llist.add_argument("--kind", default=None,
+                       help="only entries of this kind (sweep, bench, ...)")
+    llist.add_argument("--last", type=int, default=20,
+                       help="show the newest N entries (default %(default)s)")
+    llist.add_argument("--json", action="store_true")
+    llist.set_defaults(func=cmd_obs_ledger_list)
+
+    lshow = ledgersub.add_parser("show", help="dump one entry by run id")
+    lshow.add_argument("run_id", help="run id (any unambiguous prefix)")
+    lshow.add_argument("--summary", action="store_true",
+                       help="metrics table instead of raw JSON")
+    lshow.set_defaults(func=cmd_obs_ledger_show)
+
+    lgc = ledgersub.add_parser("gc", help="trim the ledger to recent runs")
+    lgc.add_argument("--keep", type=int, default=100,
+                     help="entries to keep (default %(default)s)")
+    lgc.set_defaults(func=cmd_obs_ledger_gc)
+
+    lexp = ledgersub.add_parser("export", help="export all entries as JSON")
+    lexp.add_argument("-o", "--output", required=True)
+    lexp.set_defaults(func=cmd_obs_ledger_export)
+
+    odiff = obssub.add_parser(
+        "diff",
+        help="regression sentinel: per-metric comparison of two runs "
+             "(ledger ids or metrics.json paths); nonzero exit on drift",
+    )
+    odiff.add_argument("run_a", help="baseline: ledger run id prefix or "
+                                     "a metrics/ledger-entry JSON path")
+    odiff.add_argument("run_b", help="current: same forms as RUN_A")
+    odiff.add_argument("--wall-tolerance", type=float, default=None,
+                       metavar="FRAC",
+                       help="relative wall-time tolerance (default 0.25); "
+                            "use --no-wall to skip wall metrics")
+    odiff.add_argument("--no-wall", action="store_true",
+                       help="compare counters/gauges only")
+    odiff.add_argument("--json", action="store_true")
+    odiff.set_defaults(func=cmd_obs_diff)
+
+    odash = obssub.add_parser(
+        "dashboard",
+        help="render a self-contained HTML dashboard from ledger history",
+    )
+    odash.add_argument("--out", default="dashboard.html",
+                       help="output file (default %(default)s)")
+    odash.add_argument("--last", type=int, default=50,
+                       help="use the newest N entries (default %(default)s)")
+    odash.add_argument("--kind", default=None,
+                       help="only entries of this kind (default: any with "
+                            "metrics)")
+    odash.add_argument("--title", default="repro run dashboard")
+    odash.set_defaults(func=cmd_obs_dashboard)
 
     check = sub.add_parser(
         "check", help="differential correctness harness"
@@ -322,6 +390,9 @@ def cmd_simulate(args) -> int:
     if engine.predictor is not None and args.region_filter:
         engine.predictor = FilteredPredictor(engine.predictor)
         engine.result.predictor = engine.predictor.name
+    import time as _time
+
+    run_start = _time.perf_counter()
     if args.profile:
         from repro.obs import profile_call
 
@@ -329,6 +400,7 @@ def cmd_simulate(args) -> int:
         print(stats_text, file=sys.stderr)
     else:
         result = engine.run()
+    run_elapsed = _time.perf_counter() - run_start
     if tracer is not None:
         from repro.obs import save_events
 
@@ -345,6 +417,15 @@ def cmd_simulate(args) -> int:
             metrics_from_result(result, machine=machine), args.metrics
         )
         print(f"metrics -> {args.metrics}", file=sys.stderr)
+    from repro.obs import metrics_from_result as _mfr
+    from repro.obs.ledger import record_run
+
+    record_run(
+        "simulate",
+        metrics=_mfr(result, machine=machine),
+        phases={"run_s": round(run_elapsed, 4)},
+        label=f"{result.workload}/{result.protocol}/{result.predictor}",
+    )
     violations = result.sanitizer_violations
 
     if args.json_full:
@@ -463,12 +544,44 @@ def _load_event_doc(path):
         return None
 
 
+def _ledger_entry_or_none(token: str):
+    """A ledger entry matching ``token`` as a run-id prefix, or None."""
+    from repro.obs import LedgerError, RunLedger
+
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        return None
+    try:
+        return ledger.get(token)
+    except LedgerError:
+        return None
+
+
 def cmd_obs_report(args) -> int:
     import os
 
-    from repro.obs import EventTracer, render_report
+    from repro.obs import EventTracer, render_metrics_report, render_report
 
+    entry = None
+    if not os.path.exists(args.source):
+        entry = _ledger_entry_or_none(args.source)
+    if entry is not None:
+        print(render_metrics_report(entry))
+        return 0
     if os.path.exists(args.source):
+        try:
+            with open(args.source) as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if isinstance(raw, dict) and "events" not in raw and (
+            "cells" in raw or "counters" in raw or "metrics" in raw
+        ):
+            # A metrics payload (e.g. exported from the ledger) has no
+            # event stream; render the metrics view instead.
+            print(render_metrics_report(raw))
+            return 0
         doc = _load_event_doc(args.source)
         if doc is None:
             return 1
@@ -564,6 +677,22 @@ def cmd_obs_overhead(args) -> int:
         "event_errors": event_errors,
         "passed": passed,
     }
+    sweep_failure = None
+    if args.sweep_cells > 0:
+        sweep = _sweep_overhead_stage(
+            args.workload, args.scale, args.sweep_cells, reps
+        )
+        payload.update(sweep)
+        if not sweep["sweep_counters_identical"]:
+            sweep_failure = "telemetry/ledger perturbed sweep counters"
+        elif sweep["sweep_on_s"] > sweep["sweep_off_s"] * args.max_ratio:
+            sweep_failure = (
+                f"telemetry+ledger sweep overhead "
+                f"{sweep['sweep_overhead_ratio']:.3f}x exceeds "
+                f"{args.max_ratio}x"
+            )
+        passed = passed and sweep_failure is None
+        payload["passed"] = passed
     if args.bench:
         _merge_bench(args.bench, "obs_overhead", payload)
     print(json.dumps(payload, indent=2))
@@ -572,10 +701,248 @@ def cmd_obs_overhead(args) -> int:
               file=sys.stderr)
     elif event_errors:
         print("obs-overhead: FAIL (event stream invalid)", file=sys.stderr)
+    elif sweep_failure:
+        print(f"obs-overhead: FAIL ({sweep_failure})", file=sys.stderr)
     elif not passed:
         print("obs-overhead: FAIL (disabled path slower than enabled)",
               file=sys.stderr)
     return 0 if passed else 1
+
+
+def _sweep_overhead_stage(
+    workload: str, scale: float, cells: int, reps: int
+) -> dict:
+    """Certify the sweep telemetry + ledger as non-perturbing.
+
+    Runs the same small serial sweep twice per rep — ledger and
+    progress both off, then ledger writing to a throwaway directory
+    with the progress line forced into a StringIO — and requires the
+    metric payloads to be bit-identical and the instrumented wall time
+    within the overhead budget.
+    """
+    import io
+    import os
+    import tempfile
+    import time
+
+    from repro.runner import RunSpec, SweepRunner
+
+    combos = [
+        ("directory", "none"), ("directory", "SP"),
+        ("broadcast", "none"), ("broadcast", "SP"),
+        ("directory", "oracle"), ("broadcast", "oracle"),
+    ]
+    specs = [
+        RunSpec(workload=workload, scale=scale, protocol=proto,
+                predictor=pred)
+        for proto, pred in combos[:max(1, cells)]
+    ]
+
+    def run_sweep(progress, stream, ledger):
+        runner = SweepRunner(
+            jobs=1, disk=None, progress=progress,
+            progress_stream=stream, ledger=ledger,
+        )
+        start = time.perf_counter()
+        runner.run_many(specs)
+        return time.perf_counter() - start, runner.metrics_payload()
+
+    saved = {
+        k: os.environ.get(k) for k in ("REPRO_LEDGER", "REPRO_LEDGER_DIR")
+    }
+    off_times, on_times = [], []
+    off_payload = on_payload = None
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            for _ in range(reps):
+                os.environ["REPRO_LEDGER"] = "0"
+                elapsed, off_payload = run_sweep(False, None, False)
+                off_times.append(elapsed)
+                os.environ["REPRO_LEDGER"] = "1"
+                os.environ["REPRO_LEDGER_DIR"] = tmp
+                elapsed, on_payload = run_sweep(True, io.StringIO(), True)
+                on_times.append(elapsed)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    t_off, t_on = min(off_times), min(on_times)
+    return {
+        "sweep_cells": len(specs),
+        "sweep_off_s": round(t_off, 4),
+        "sweep_on_s": round(t_on, 4),
+        "sweep_overhead_ratio": (
+            round(t_on / t_off, 3) if t_off else None
+        ),
+        "sweep_counters_identical": off_payload == on_payload,
+    }
+
+
+def _open_ledger_or_fail():
+    """The env-configured ledger, or a printed error and None."""
+    from repro.obs import RunLedger, ledger_enabled
+
+    if not ledger_enabled():
+        print("error: run ledger disabled (REPRO_LEDGER=0)",
+              file=sys.stderr)
+        return None
+    return RunLedger.from_env()
+
+
+def cmd_obs_ledger_list(args) -> int:
+    ledger = _open_ledger_or_fail()
+    if ledger is None:
+        return 1
+    entries = [
+        e for e in ledger.entries()
+        if args.kind is None or e.get("kind") == args.kind
+    ]
+    entries = entries[-max(0, args.last):]
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"ledger empty ({ledger.root})")
+        return 0
+    header = (f"{'run id':<18}{'kind':<13}{'created':<21}"
+              f"{'git':<9}{'cells':>6}  label")
+    print(header)
+    print("-" * len(header))
+    for entry in entries:
+        metrics = entry.get("metrics") or {}
+        cells = metrics.get("cells")
+        n_cells = (
+            len(cells) if isinstance(cells, list)
+            else (1 if metrics else 0)
+        )
+        created = str(entry.get("created", ""))[:19]
+        git = str(
+            (entry.get("host") or {}).get("git_sha") or "-"
+        )[:7]
+        print(
+            f"{entry.get('run_id', '?'):<18}{entry.get('kind', '?'):<13}"
+            f"{created:<21}{git:<9}{n_cells:>6}  "
+            f"{entry.get('label') or ''}"
+        )
+    print(f"({len(entries)} shown, {ledger.root})")
+    return 0
+
+
+def cmd_obs_ledger_show(args) -> int:
+    from repro.obs import LedgerError, render_metrics_report
+
+    ledger = _open_ledger_or_fail()
+    if ledger is None:
+        return 1
+    try:
+        entry = ledger.get(args.run_id)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.summary:
+        print(render_metrics_report(entry))
+    else:
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_obs_ledger_gc(args) -> int:
+    ledger = _open_ledger_or_fail()
+    if ledger is None:
+        return 1
+    removed = ledger.gc(keep=max(0, args.keep))
+    remaining = len(ledger.entries())
+    print(f"ledger gc: removed {removed}, kept {remaining} "
+          f"({ledger.root})")
+    return 0
+
+
+def cmd_obs_ledger_export(args) -> int:
+    ledger = _open_ledger_or_fail()
+    if ledger is None:
+        return 1
+    count = ledger.export(args.output)
+    print(f"exported {count} entries to {args.output}")
+    return 0
+
+
+def _load_run_doc(token: str):
+    """A run doc from a ledger-id prefix or a JSON file path.
+
+    Returns the parsed doc, or prints a one-line error and returns None.
+    """
+    import os
+
+    if os.path.exists(token):
+        try:
+            with open(token) as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    from repro.obs import LedgerError, RunLedger
+
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        print(f"error: {token!r} is not a file and the run ledger is "
+              f"disabled", file=sys.stderr)
+        return None
+    try:
+        return ledger.get(token)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_obs_diff(args) -> int:
+    from repro.obs import DEFAULT_WALL_TOLERANCE, compare_runs
+
+    doc_a = _load_run_doc(args.run_a)
+    if doc_a is None:
+        return 1
+    doc_b = _load_run_doc(args.run_b)
+    if doc_b is None:
+        return 1
+    tolerance = (
+        DEFAULT_WALL_TOLERANCE if args.wall_tolerance is None
+        else args.wall_tolerance
+    )
+    report = compare_runs(
+        doc_a, doc_b,
+        wall_tolerance=tolerance,
+        include_wall=not args.no_wall,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_obs_dashboard(args) -> int:
+    from repro.obs import save_dashboard
+
+    ledger = _open_ledger_or_fail()
+    if ledger is None:
+        return 1
+    entries = [
+        e for e in ledger.entries()
+        if isinstance(e.get("metrics"), dict)
+        and (args.kind is None or e.get("kind") == args.kind)
+    ]
+    entries = entries[-max(1, args.last):]
+    if not entries:
+        print(
+            f"error: no ledger entries with metrics under {ledger.root}; "
+            f"run a sweep first (e.g. python -m repro.experiments fig7)",
+            file=sys.stderr,
+        )
+        return 1
+    save_dashboard(entries, args.out, title=args.title)
+    print(f"dashboard: {len(entries)} runs -> {args.out}")
+    return 0
 
 
 def cmd_check_diff(args) -> int:
@@ -600,6 +967,19 @@ def cmd_check_diff(args) -> int:
     )
     if args.bench:
         _merge_bench(args.bench, args.bench_key, report.to_dict())
+    from repro.obs.ledger import record_run
+
+    record_run(
+        "check",
+        label="diff",
+        phases={"check_s": round(report.elapsed, 4)},
+        extra={
+            "cells": report.cells,
+            "engine_cells": report.engine_cells,
+            "transactions": report.transactions,
+            "passed": report.passed,
+        },
+    )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -633,6 +1013,19 @@ def cmd_check_fuzz(args) -> int:
     )
     if args.bench:
         _merge_bench(args.bench, "fuzz", report.to_dict())
+    from repro.obs.ledger import record_run
+
+    record_run(
+        "check",
+        label="fuzz",
+        phases={"check_s": round(report.elapsed, 4)},
+        extra={
+            "cases": report.cases,
+            "base_seed": report.base_seed,
+            "failures": len(report.failures),
+            "passed": report.passed,
+        },
+    )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:

@@ -112,6 +112,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         disk_cache=False if args.no_cache else None,
         sanitize=args.sanitize,
+        progress=False if args.quiet else None,
     )
     from repro.obs import PhaseTimer
 
@@ -163,6 +164,21 @@ def main(argv=None) -> int:
         if not args.quiet:
             print(f"[metrics: {len(payload['cells'])} cells -> "
                   f"{args.metrics}]")
+    from repro.obs.ledger import record_run
+
+    run_id = record_run(
+        "experiments",
+        metrics=cache.runner.metrics_payload(),
+        phases=timer.breakdown(),
+        label=" ".join(selected),
+        extra={
+            "scale": args.scale,
+            "simulations": cache.simulations,
+            "jobs": cache.runner.jobs,
+        },
+    )
+    if run_id and not args.quiet:
+        print(f"[ledger: run {run_id}]")
     if args.profile:
         print(timer.render())
     return 0

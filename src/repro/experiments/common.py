@@ -38,6 +38,7 @@ class RunCache:
         disk_cache: DiskCache | bool | None = None,
         seed: int | None = None,
         sanitize: bool = False,
+        progress: bool | None = None,
     ) -> None:
         self.machine = machine or MachineConfig()
         self.scale = scale
@@ -52,7 +53,9 @@ class RunCache:
             disk = DiskCache()
         else:
             disk = disk_cache
-        self.runner = SweepRunner(jobs=jobs, disk=disk, verbose=verbose)
+        self.runner = SweepRunner(
+            jobs=jobs, disk=disk, verbose=verbose, progress=progress
+        )
         self._runs: dict = {}
         self._workloads: dict = {}
 

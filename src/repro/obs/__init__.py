@@ -18,9 +18,19 @@ Entry points:
 * :func:`render_report` — terminal accuracy timeline + epoch drill-down;
 * :class:`PhaseTimer` / :func:`profile_call` — wall-phase and cProfile
   instrumentation behind ``--profile``;
-* :func:`host_metadata` — bench provenance stamping.
+* :func:`host_metadata` — bench provenance stamping;
+* :class:`RunLedger` / :func:`record_run` — the persistent, append-only
+  run history every sweep/bench/check writes into;
+* :func:`compare_runs` — the regression sentinel's per-metric diff;
+* :class:`SweepProgress` — live sweep progress/ETA + stall detection;
+* :func:`dashboard_html` — the self-contained HTML dashboard.
 """
 
+from repro.obs.dashboard import (
+    dashboard_data,
+    dashboard_html,
+    save_dashboard,
+)
 from repro.obs.events import (
     DEFAULT_CAPACITY,
     EVENT_KINDS,
@@ -31,7 +41,17 @@ from repro.obs.events import (
     validate_events,
 )
 from repro.obs.hostinfo import git_sha, host_metadata
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerError,
+    RunLedger,
+    default_ledger_dir,
+    ledger_enabled,
+    record_run,
+)
+from repro.obs.live import HeartbeatListener, SweepProgress, stall_timeout
 from repro.obs.metrics import (
+    METRICS_SCHEMA,
     MetricsRegistry,
     aggregate_metrics,
     hop_distribution,
@@ -39,36 +59,63 @@ from repro.obs.metrics import (
     save_metrics,
 )
 from repro.obs.perfetto import perfetto_trace, save_perfetto
+from repro.obs.regress import (
+    DEFAULT_WALL_TOLERANCE,
+    MetricDelta,
+    RegressionReport,
+    compare_runs,
+    normalize_run,
+)
 from repro.obs.profile import PhaseTimer, profile_call, top_functions
 from repro.obs.report import (
     accuracy_timeline,
     epoch_detail,
     epoch_table,
+    render_metrics_report,
     render_report,
 )
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "DEFAULT_WALL_TOLERANCE",
     "EVENT_KINDS",
+    "LEDGER_SCHEMA",
+    "METRICS_SCHEMA",
     "SCHEMA_VERSION",
     "EventTracer",
+    "HeartbeatListener",
+    "LedgerError",
+    "MetricDelta",
     "MetricsRegistry",
     "PhaseTimer",
+    "RegressionReport",
+    "RunLedger",
+    "SweepProgress",
     "accuracy_timeline",
     "aggregate_metrics",
+    "compare_runs",
+    "dashboard_data",
+    "dashboard_html",
+    "default_ledger_dir",
     "epoch_detail",
     "epoch_table",
     "git_sha",
     "hop_distribution",
     "host_metadata",
+    "ledger_enabled",
     "load_events",
     "metrics_from_result",
+    "normalize_run",
     "perfetto_trace",
     "profile_call",
+    "record_run",
+    "render_metrics_report",
     "render_report",
+    "save_dashboard",
     "save_events",
     "save_metrics",
     "save_perfetto",
+    "stall_timeout",
     "top_functions",
     "validate_events",
 ]

@@ -1,0 +1,627 @@
+"""Self-contained HTML dashboard rendered from run-ledger entries.
+
+``repro obs dashboard`` turns one or more ledger entries into a single
+HTML file — inline CSS and JS, zero network fetches, openable from a
+laptop or attached to CI as an artifact.  It is the human-facing face
+of the reproduction:
+
+* a KPI row with the latest sweep's headline numbers;
+* **trajectories across ledger history** — sweep wall time and
+  aggregate prediction accuracy per recorded run, the longitudinal
+  view the regression sentinel gates on;
+* an **accuracy-vs-paper table** per workload (measured communication
+  ratio against the paper's Fig. 1 target, SP accuracy against the
+  ideal);
+* per-workload **communication timelines** as small multiples;
+* the **communication matrix heatmap** (who talks to whom, in bytes of
+  coherence traffic).
+
+Charts follow the repo's dataviz conventions: single-hue sequential
+ramps for magnitude, one categorical hue per role (never cycled), thin
+marks, hairline gridlines, direct labels over legends, and a hover
+tooltip layer; light and dark render from the same palette via CSS
+custom properties.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+
+#: The paper's headline SP accuracy (Fig. 7: 77% average).
+PAPER_AVG_ACCURACY = 0.77
+
+
+def _short(sha) -> str:
+    return sha[:10] if isinstance(sha, str) else "-"
+
+
+def _gauge(cell: dict, name: str):
+    return (cell.get("gauges") or {}).get(name)
+
+
+def _counter(cell: dict, name: str):
+    return (cell.get("counters") or {}).get(name)
+
+
+def _comm_targets() -> dict:
+    try:
+        from repro.workloads.suite import SUITE
+
+        return {
+            name: spec.target_comm_ratio for name, spec in SUITE.items()
+        }
+    except Exception:  # dashboard must render off any checkout state
+        return {}
+
+
+def _entry_summary(entry: dict) -> dict:
+    metrics = entry.get("metrics") or {}
+    aggregate = metrics.get("aggregate") or {}
+    gauges = aggregate.get("gauges") or {}
+    counters = aggregate.get("counters") or {}
+    phases = entry.get("phases") or {}
+    wall = None
+    for key in ("sweep_s", "total_s"):
+        if isinstance(phases.get(key), (int, float)):
+            wall = phases[key]
+            break
+    if wall is None and phases:
+        vals = [v for v in phases.values() if isinstance(v, (int, float))]
+        wall = round(sum(vals), 4) if vals else None
+    return {
+        "run_id": entry.get("run_id", "-"),
+        "kind": entry.get("kind", "-"),
+        "created": entry.get("created", "-"),
+        "git_sha": _short((entry.get("host") or {}).get("git_sha")),
+        "label": entry.get("label"),
+        "cells": len(metrics.get("cells") or []),
+        "accuracy": gauges.get("accuracy"),
+        "comm_ratio": gauges.get("comm_ratio"),
+        "misses": counters.get("misses"),
+        "wall_s": wall,
+    }
+
+
+def _best_cells(entry: dict) -> dict:
+    """The most informative cell per workload (SP/directory preferred)."""
+    cells = (entry.get("metrics") or {}).get("cells") or []
+    chosen: dict = {}
+
+    def rank(cell):
+        return (
+            cell.get("predictor") == "SP",
+            cell.get("protocol") == "directory",
+            _counter(cell, "misses") or 0,
+        )
+
+    for cell in cells:
+        name = cell.get("workload")
+        if name is None:
+            continue
+        if name not in chosen or rank(cell) > rank(chosen[name]):
+            chosen[name] = cell
+    return chosen
+
+
+def _paper_rows(entry: dict) -> list:
+    targets = _comm_targets()
+    rows = []
+    for name, cell in sorted(_best_cells(entry).items()):
+        rows.append({
+            "workload": name,
+            "predictor": cell.get("predictor"),
+            "comm_ratio": _gauge(cell, "comm_ratio"),
+            "target_comm_ratio": targets.get(name),
+            "accuracy": _gauge(cell, "accuracy"),
+            "ideal_accuracy": _gauge(cell, "ideal_accuracy"),
+            "misses": _counter(cell, "misses"),
+        })
+    return rows
+
+
+def _timelines(entry: dict) -> list:
+    out = []
+    for name, cell in sorted(_best_cells(entry).items()):
+        buckets = cell.get("comm_timeline") or []
+        series = [
+            round(b["comm_misses"] / b["misses"], 4) if b.get("misses")
+            else 0.0
+            for b in buckets
+        ]
+        if len(series) >= 2:
+            out.append({"workload": name, "comm_ratio": series})
+    return out
+
+
+def _heatmap(entry: dict) -> dict | None:
+    """Element-wise sum of the entry's comm matrices (same-size only)."""
+    total = None
+    for cell in (entry.get("metrics") or {}).get("cells") or []:
+        matrix = cell.get("comm_matrix")
+        if not matrix:
+            continue
+        if total is None:
+            total = [list(row) for row in matrix]
+        elif len(matrix) == len(total):
+            for i, row in enumerate(matrix):
+                for j, v in enumerate(row):
+                    total[i][j] += v
+    if total is None:
+        return None
+    return {"matrix": total, "cores": len(total)}
+
+
+def dashboard_data(entries: list) -> dict:
+    """The JSON payload embedded into the dashboard page."""
+    if not entries:
+        raise ValueError("dashboard needs at least one ledger entry")
+    latest = entries[-1]
+    return {
+        "generated": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%d %H:%MZ"
+        ),
+        "paper_avg_accuracy": PAPER_AVG_ACCURACY,
+        "entries": [_entry_summary(e) for e in entries],
+        "latest": {
+            "summary": _entry_summary(latest),
+            "paper_rows": _paper_rows(latest),
+            "timelines": _timelines(latest),
+            "heatmap": _heatmap(latest),
+        },
+    }
+
+
+def dashboard_html(entries: list, title: str = "repro run dashboard"
+                   ) -> str:
+    """One self-contained HTML page from ledger entries (oldest first)."""
+    data = dashboard_data(entries)
+    payload = json.dumps(data, sort_keys=True).replace("</", "<\\/")
+    return (
+        _PAGE.replace("__TITLE__", title)
+        .replace("__DATA__", payload)
+    )
+
+
+def save_dashboard(entries: list, path,
+                   title: str = "repro run dashboard") -> str:
+    html = dashboard_html(entries, title=title)
+    with open(path, "w") as fh:
+        fh.write(html)
+    return str(path)
+
+
+_PAGE = r"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+:root {
+  color-scheme: light dark;
+}
+.viz-root {
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --ink-1: #0b0b0b;
+  --ink-2: #52514e;
+  --ink-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;   /* blue: primary series */
+  --series-2: #eb6834;   /* orange: reference/target */
+  --seq-lo: #cde2fb;     /* sequential blue ramp ends */
+  --seq-hi: #0d366b;
+  --good: #006300;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --ink-1: #ffffff;
+    --ink-2: #c3c2b7;
+    --ink-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --seq-lo: #10284a;
+    --seq-hi: #86b6ef;
+    --good: #0ca30c;
+  }
+}
+* { box-sizing: border-box; }
+body.viz-root {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 2px; font-weight: 600; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin: 0 0 16px;
+}
+.card p.note { color: var(--ink-muted); margin: 2px 0 10px; font-size: 12px; }
+#kpi-row { display: flex; flex-wrap: wrap; gap: 16px; margin: 0 0 16px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 12px 18px; min-width: 150px; flex: 1;
+}
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 28px; font-weight: 600; margin-top: 2px; }
+.tile .delta { font-size: 12px; color: var(--ink-muted); }
+.tile .delta.good { color: var(--good); }
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: right; padding: 5px 10px; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; font-size: 12px; }
+th:first-child, td:first-child { text-align: left; }
+svg text { fill: var(--ink-muted); font-size: 11px; }
+svg .axisline { stroke: var(--baseline); stroke-width: 1; }
+svg .gridline { stroke: var(--grid); stroke-width: 1; }
+.multiples {
+  display: grid; gap: 12px;
+  grid-template-columns: repeat(auto-fill, minmax(170px, 1fr));
+}
+.multiple .name { font-size: 12px; color: var(--ink-2); margin-bottom: 2px; }
+#heatmap-grid { display: grid; gap: 2px; width: max-content; }
+#heatmap-grid .hm-cell {
+  width: 22px; height: 22px; border-radius: 3px;
+}
+#heatmap-grid .hm-label {
+  width: 22px; height: 22px; color: var(--ink-muted);
+  font-size: 10px; display: flex; align-items: center;
+  justify-content: center;
+}
+.hm-scale { display: flex; align-items: center; gap: 8px; margin-top: 10px;
+  color: var(--ink-muted); font-size: 11px; }
+.hm-scale .ramp { width: 120px; height: 10px; border-radius: 3px;
+  background: linear-gradient(to right, var(--seq-lo), var(--seq-hi)); }
+#tooltip {
+  position: fixed; pointer-events: none; display: none; z-index: 10;
+  background: var(--surface-1); color: var(--ink-1);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 10px; font-size: 12px; box-shadow: 0 2px 8px rgba(0,0,0,.18);
+}
+#tooltip .v { font-weight: 600; }
+#tooltip .k { color: var(--ink-2); }
+.legend { display: flex; gap: 16px; font-size: 12px; color: var(--ink-2);
+  margin: 4px 0 0; }
+.legend .key { display: inline-block; width: 14px; height: 0;
+  border-top: 2px solid var(--series-1); vertical-align: middle;
+  margin-right: 5px; }
+.legend .key.target { border-top-style: dashed;
+  border-top-color: var(--series-2); }
+</style>
+</head>
+<body class="viz-root">
+<h1>__TITLE__</h1>
+<p class="sub" id="subtitle"></p>
+
+<div id="kpi-row"></div>
+
+<div class="card" id="trajectory">
+  <h2>Sweep wall time across recorded runs</h2>
+  <p class="note">one point per ledger entry, oldest &rarr; newest</p>
+  <div id="wall-chart"></div>
+</div>
+
+<div class="card" id="accuracy-trajectory">
+  <h2>Aggregate SP accuracy across recorded runs</h2>
+  <p class="note">fraction of communicating misses predicted correctly;
+    dashed reference = paper average</p>
+  <div id="acc-chart"></div>
+  <div class="legend"><span><span class="key"></span>measured</span>
+    <span><span class="key target"></span>paper 77%</span></div>
+</div>
+
+<div class="card" id="paper-table">
+  <h2>Latest run vs. paper targets</h2>
+  <p class="note">communication ratio vs. Fig.&nbsp;1 target; SP accuracy
+    vs. its ideal (epoch hot set known a priori)</p>
+  <div id="paper-table-body"></div>
+</div>
+
+<div class="card" id="timelines">
+  <h2>Communication ratio over each run's epochs</h2>
+  <p class="note">small multiples, one per workload (bucketed dynamic
+    epochs, left = run start)</p>
+  <div class="multiples" id="timeline-grid"></div>
+</div>
+
+<div class="card" id="heatmap">
+  <h2>Coherence communication matrix</h2>
+  <p class="note">bytes moved source core &rarr; destination core,
+    summed over the latest run's cells</p>
+  <div id="heatmap-grid"></div>
+  <div class="hm-scale"><span>0</span><span class="ramp"></span>
+    <span id="hm-max"></span></div>
+</div>
+
+<div id="tooltip"></div>
+
+<script>
+const DATA = __DATA__;
+
+const fmt = {
+  pct: v => (v == null ? "–" : (100 * v).toFixed(1) + "%"),
+  secs: v => (v == null ? "–" : v >= 100 ? v.toFixed(0) + "s"
+              : v.toFixed(2) + "s"),
+  num: v => (v == null ? "–" : v.toLocaleString("en-US")),
+};
+
+const tooltip = document.getElementById("tooltip");
+function showTip(evt, rows) {
+  tooltip.textContent = "";
+  rows.forEach(([k, v]) => {
+    const line = document.createElement("div");
+    const vs = document.createElement("span");
+    vs.className = "v"; vs.textContent = v;
+    const ks = document.createElement("span");
+    ks.className = "k"; ks.textContent = " " + k;
+    line.appendChild(vs); line.appendChild(ks);
+    tooltip.appendChild(line);
+  });
+  tooltip.style.display = "block";
+  const pad = 12;
+  let x = evt.clientX + pad, y = evt.clientY + pad;
+  const r = tooltip.getBoundingClientRect();
+  if (x + r.width > window.innerWidth - 8) x = evt.clientX - r.width - pad;
+  if (y + r.height > window.innerHeight - 8) y = evt.clientY - r.height - pad;
+  tooltip.style.left = x + "px"; tooltip.style.top = y + "px";
+}
+function hideTip() { tooltip.style.display = "none"; }
+
+function svgEl(tag, attrs) {
+  const el = document.createElementNS("http://www.w3.org/2000/svg", tag);
+  for (const k in attrs) el.setAttribute(k, attrs[k]);
+  return el;
+}
+
+function niceTicks(maxV, n) {
+  if (maxV <= 0) return [0, 1];
+  const step = Math.pow(10, Math.floor(Math.log10(maxV / n)));
+  const mult = [1, 2, 5, 10].find(m => maxV / (m * step) <= n) || 10;
+  const s = mult * step, ticks = [];
+  for (let v = 0; v <= maxV + 1e-9; v += s) ticks.push(+v.toFixed(6));
+  if (ticks[ticks.length - 1] < maxV) ticks.push(ticks.length * s);
+  return ticks;
+}
+
+// Line chart: series of {x-label, y}, one blue series, optional dashed
+// reference line; crosshair-style nearest-point hover tooltip.
+function lineChart(mount, points, opts) {
+  const W = Math.max(420, Math.min(760, mount.clientWidth || 640));
+  const H = 200, M = {t: 12, r: 16, b: 34, l: 48};
+  const iw = W - M.l - M.r, ih = H - M.t - M.b;
+  const svg = svgEl("svg", {width: W, height: H, role: "img"});
+  const ys = points.map(p => p.y == null ? 0 : p.y);
+  let maxY = Math.max(...ys, opts.ref || 0, 1e-9);
+  const ticks = niceTicks(maxY, 4);
+  maxY = ticks[ticks.length - 1];
+  const X = i => M.l + (points.length < 2 ? iw / 2 : i * iw / (points.length - 1));
+  const Y = v => M.t + ih - (v / maxY) * ih;
+  ticks.forEach(t => {
+    svg.appendChild(svgEl("line", {class: "gridline",
+      x1: M.l, x2: M.l + iw, y1: Y(t), y2: Y(t)}));
+    const lbl = svgEl("text", {x: M.l - 6, y: Y(t) + 4,
+      "text-anchor": "end"});
+    lbl.textContent = opts.fmt(t).replace("–", "0");
+    svg.appendChild(lbl);
+  });
+  svg.appendChild(svgEl("line", {class: "axisline",
+    x1: M.l, x2: M.l + iw, y1: Y(0), y2: Y(0)}));
+  points.forEach((p, i) => {
+    if (points.length <= 12 || i % Math.ceil(points.length / 12) === 0) {
+      const lbl = svgEl("text", {x: X(i), y: H - 14,
+        "text-anchor": "middle"});
+      lbl.textContent = p.label;
+      svg.appendChild(lbl);
+    }
+  });
+  if (opts.ref) {
+    svg.appendChild(svgEl("line", {x1: M.l, x2: M.l + iw,
+      y1: Y(opts.ref), y2: Y(opts.ref),
+      stroke: "var(--series-2)", "stroke-width": 2,
+      "stroke-dasharray": "6 4"}));
+  }
+  const path = points.map((p, i) =>
+    (i ? "L" : "M") + X(i).toFixed(1) + " " + Y(p.y || 0).toFixed(1)
+  ).join(" ");
+  svg.appendChild(svgEl("path", {d: path, fill: "none",
+    stroke: "var(--series-1)", "stroke-width": 2,
+    "stroke-linejoin": "round", "stroke-linecap": "round"}));
+  points.forEach((p, i) => {
+    svg.appendChild(svgEl("circle", {cx: X(i), cy: Y(p.y || 0), r: 4,
+      fill: "var(--series-1)", stroke: "var(--surface-1)",
+      "stroke-width": 2}));
+    const hit = svgEl("circle", {cx: X(i), cy: Y(p.y || 0), r: 14,
+      fill: "transparent"});
+    hit.addEventListener("pointermove", evt =>
+      showTip(evt, [[opts.name, opts.fmt(p.y)], ["run", p.label]]
+        .concat(p.extra || [])));
+    hit.addEventListener("pointerleave", hideTip);
+    svg.appendChild(hit);
+  });
+  mount.appendChild(svg);
+}
+
+// Small multiple: axis-free mini line + 10% area wash, single series.
+function sparkChart(mount, series, name) {
+  const W = 170, H = 56, M = 4;
+  const svg = svgEl("svg", {width: W, height: H});
+  const maxY = Math.max(...series, 1e-9);
+  const X = i => M + i * (W - 2 * M) / Math.max(series.length - 1, 1);
+  const Y = v => H - M - (v / maxY) * (H - 2 * M);
+  const line = series.map((v, i) =>
+    (i ? "L" : "M") + X(i).toFixed(1) + " " + Y(v).toFixed(1)).join(" ");
+  const area = line + " L" + X(series.length - 1).toFixed(1) + " " +
+    (H - M) + " L" + X(0).toFixed(1) + " " + (H - M) + " Z";
+  svg.appendChild(svgEl("path", {d: area, fill: "var(--series-1)",
+    opacity: 0.1}));
+  svg.appendChild(svgEl("path", {d: line, fill: "none",
+    stroke: "var(--series-1)", "stroke-width": 2,
+    "stroke-linejoin": "round"}));
+  const hit = svgEl("rect", {x: 0, y: 0, width: W, height: H,
+    fill: "transparent"});
+  hit.addEventListener("pointermove", evt => {
+    const i = Math.max(0, Math.min(series.length - 1,
+      Math.round((evt.offsetX - M) / ((W - 2 * M) /
+        Math.max(series.length - 1, 1)))));
+    showTip(evt, [[name, fmt.pct(series[i])],
+                  ["epoch bucket", String(i + 1) + "/" + series.length]]);
+  });
+  hit.addEventListener("pointerleave", hideTip);
+  svg.appendChild(hit);
+  mount.appendChild(svg);
+}
+
+function mix(c1, c2, t) {
+  const p = s => [1, 3, 5].map(i => parseInt(s.slice(i, i + 2), 16));
+  const a = p(c1), b = p(c2);
+  return "rgb(" + a.map((v, i) =>
+    Math.round(v + (b[i] - v) * t)).join(",") + ")";
+}
+
+function render() {
+  const entries = DATA.entries, latest = DATA.latest;
+  document.getElementById("subtitle").textContent =
+    entries.length + " ledger " +
+    (entries.length === 1 ? "entry" : "entries") +
+    " · latest " + latest.summary.created +
+    " · commit " + latest.summary.git_sha +
+    " · generated " + DATA.generated;
+
+  // KPI tiles
+  const kpis = [
+    ["SP accuracy", fmt.pct(latest.summary.accuracy),
+     "paper avg " + fmt.pct(DATA.paper_avg_accuracy),
+     latest.summary.accuracy >= DATA.paper_avg_accuracy],
+    ["communication ratio", fmt.pct(latest.summary.comm_ratio),
+     "of L2 misses", false],
+    ["L2 misses", fmt.num(latest.summary.misses), "latest run", false],
+    ["cells", fmt.num(latest.summary.cells),
+     "workload × config", false],
+    ["sweep wall", fmt.secs(latest.summary.wall_s),
+     "latest run", false],
+  ];
+  const row = document.getElementById("kpi-row");
+  kpis.forEach(([label, value, delta, good]) => {
+    const tile = document.createElement("div");
+    tile.className = "tile";
+    const l = document.createElement("div");
+    l.className = "label"; l.textContent = label;
+    const v = document.createElement("div");
+    v.className = "value"; v.textContent = value;
+    const d = document.createElement("div");
+    d.className = "delta" + (good ? " good" : "");
+    d.textContent = delta;
+    tile.appendChild(l); tile.appendChild(v); tile.appendChild(d);
+    row.appendChild(tile);
+  });
+
+  // Trajectories across ledger history
+  const wallPts = entries.map(e => ({
+    label: e.git_sha === "-" ? e.run_id.slice(0, 6) : e.git_sha.slice(0, 7),
+    y: e.wall_s,
+    extra: [["when", e.created], ["kind", e.kind]],
+  }));
+  lineChart(document.getElementById("wall-chart"), wallPts,
+    {name: "sweep wall", fmt: fmt.secs});
+  const accPts = entries.map(e => ({
+    label: e.git_sha === "-" ? e.run_id.slice(0, 6) : e.git_sha.slice(0, 7),
+    y: e.accuracy,
+    extra: [["when", e.created]],
+  }));
+  lineChart(document.getElementById("acc-chart"), accPts,
+    {name: "accuracy", fmt: fmt.pct, ref: DATA.paper_avg_accuracy});
+
+  // Paper comparison table
+  const tbl = document.createElement("table");
+  const head = document.createElement("tr");
+  ["workload", "predictor", "comm ratio", "paper target", "accuracy",
+   "ideal", "L2 misses"].forEach(h => {
+    const th = document.createElement("th");
+    th.textContent = h; head.appendChild(th);
+  });
+  tbl.appendChild(head);
+  latest.paper_rows.forEach(r => {
+    const tr = document.createElement("tr");
+    [r.workload, r.predictor, fmt.pct(r.comm_ratio),
+     fmt.pct(r.target_comm_ratio), fmt.pct(r.accuracy),
+     fmt.pct(r.ideal_accuracy), fmt.num(r.misses)].forEach(v => {
+      const td = document.createElement("td");
+      td.textContent = v == null ? "–" : v;
+      tr.appendChild(td);
+    });
+    tbl.appendChild(tr);
+  });
+  document.getElementById("paper-table-body").appendChild(tbl);
+
+  // Per-workload timelines (small multiples)
+  const grid = document.getElementById("timeline-grid");
+  latest.timelines.forEach(t => {
+    const box = document.createElement("div");
+    box.className = "multiple";
+    const name = document.createElement("div");
+    name.className = "name"; name.textContent = t.workload;
+    box.appendChild(name);
+    sparkChart(box, t.comm_ratio, t.workload + " comm ratio");
+    grid.appendChild(box);
+  });
+  if (!latest.timelines.length)
+    document.getElementById("timelines").style.display = "none";
+
+  // Communication-matrix heatmap (sequential blue ramp)
+  const hm = latest.heatmap;
+  if (!hm) {
+    document.getElementById("heatmap").style.display = "none";
+  } else {
+    const grid2 = document.getElementById("heatmap-grid");
+    const n = hm.cores;
+    grid2.style.gridTemplateColumns =
+      "repeat(" + (n + 1) + ", max-content)";
+    const maxV = Math.max(...hm.matrix.flat(), 1);
+    const style = getComputedStyle(document.body);
+    const lo = style.getPropertyValue("--seq-lo").trim();
+    const hi = style.getPropertyValue("--seq-hi").trim();
+    const corner = document.createElement("div");
+    corner.className = "hm-label"; corner.textContent = "s\\d";
+    grid2.appendChild(corner);
+    for (let j = 0; j < n; j++) {
+      const lbl = document.createElement("div");
+      lbl.className = "hm-label"; lbl.textContent = j;
+      grid2.appendChild(lbl);
+    }
+    hm.matrix.forEach((rowV, i) => {
+      const lbl = document.createElement("div");
+      lbl.className = "hm-label"; lbl.textContent = i;
+      grid2.appendChild(lbl);
+      rowV.forEach((v, j) => {
+        const cell = document.createElement("div");
+        cell.className = "hm-cell";
+        cell.style.background =
+          v ? mix(lo, hi, Math.sqrt(v / maxV)) : "var(--page)";
+        cell.addEventListener("pointermove", evt =>
+          showTip(evt, [[fmt.num(v) + " bytes", ""],
+                        ["core " + i + " → core " + j, ""]]));
+        cell.addEventListener("pointerleave", hideTip);
+        grid2.appendChild(cell);
+      });
+    });
+    document.getElementById("hm-max").textContent =
+      fmt.num(maxV) + " bytes";
+  }
+}
+render();
+</script>
+</body>
+</html>
+"""

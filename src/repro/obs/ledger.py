@@ -1,0 +1,273 @@
+"""The run ledger: a persistent, append-only history of completed runs.
+
+Every finished sweep, single simulation, differential check, and bench
+invocation can append one entry here, so the repository accumulates a
+*longitudinal* record — metrics per commit, per host, per day — instead
+of overwriting a handful of ``BENCH_*.json`` snapshots.  The regression
+sentinel (:mod:`repro.obs.regress`) and the HTML dashboard
+(:mod:`repro.obs.dashboard`) both read from this store.
+
+Design:
+
+* **Append-only JSONL segments.**  Entries are single JSON lines
+  appended to numbered segment files (``segment-000001.jsonl``, …)
+  under the ledger directory; a segment rotates once it crosses
+  :data:`SEGMENT_MAX_BYTES`.  Nothing ever rewrites an existing line
+  (``gc`` builds fresh segments and swaps them in).
+* **Content-addressed.**  Each entry's ``run_id`` is the truncated
+  SHA-256 of its canonical JSON body, so ids are stable, collision-safe
+  handles usable from the CLI (any unambiguous prefix resolves).
+* **Schema-versioned.**  Entries carry :data:`LEDGER_SCHEMA`, the same
+  discipline as the event stream; readers skip (and count) lines they
+  cannot parse rather than crashing on a torn write.
+* **Never perturbing, never fatal.**  Writers record *after* the run
+  completes, touch no simulation state, and swallow I/O errors — a
+  full disk must not fail a sweep.  ``REPRO_LEDGER=0`` disables writes
+  entirely; ``REPRO_LEDGER_DIR`` relocates the store (the default is
+  ``~/.local/share/repro/ledger``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Bump on any backwards-incompatible change to entry fields.
+LEDGER_SCHEMA = 1
+
+#: Rotate to a fresh segment file once the current one crosses this.
+SEGMENT_MAX_BYTES = 4 << 20
+
+#: The entry kinds writers are allowed to record.
+ENTRY_KINDS = frozenset(
+    {"simulate", "sweep", "check", "bench", "experiments"}
+)
+
+
+class LedgerError(ValueError):
+    """A ledger lookup or read failed (missing, ambiguous, corrupt)."""
+
+
+def default_ledger_dir() -> Path:
+    env = os.environ.get("REPRO_LEDGER_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".local" / "share" / "repro" / "ledger"
+
+
+def ledger_enabled() -> bool:
+    return os.environ.get("REPRO_LEDGER", "1") != "0"
+
+
+def _canonical(body: dict) -> bytes:
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":"), default=str
+    ).encode()
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+class RunLedger:
+    """An append-only, content-addressed JSONL store of run records."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_ledger_dir()
+        #: Unparseable lines encountered by the last full read.
+        self.corrupt_lines = 0
+
+    @classmethod
+    def from_env(cls) -> "RunLedger | None":
+        """The default ledger, or ``None`` when ``REPRO_LEDGER=0``."""
+        return cls() if ledger_enabled() else None
+
+    # -- writing --------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        metrics: dict | None = None,
+        phases: dict | None = None,
+        spec_digests: list | None = None,
+        cell_times: dict | None = None,
+        label: str | None = None,
+        extra: dict | None = None,
+    ) -> str:
+        """Append one run record; returns its content-addressed id."""
+        if kind not in ENTRY_KINDS:
+            raise ValueError(
+                f"unknown ledger entry kind {kind!r} "
+                f"(expected one of {sorted(ENTRY_KINDS)})"
+            )
+        from repro.obs.hostinfo import host_metadata
+
+        body = {
+            "schema": LEDGER_SCHEMA,
+            "kind": kind,
+            "created": _utcnow(),
+            "host": host_metadata(),
+        }
+        if label is not None:
+            body["label"] = label
+        if spec_digests:
+            body["spec_digests"] = list(spec_digests)
+        if phases:
+            body["phases"] = dict(phases)
+        if cell_times:
+            body["cell_times"] = {
+                digest: round(seconds, 4)
+                for digest, seconds in cell_times.items()
+            }
+        if metrics is not None:
+            body["metrics"] = metrics
+        if extra:
+            body["extra"] = extra
+        return self.append_entry(body)
+
+    def append_entry(self, body: dict) -> str:
+        """Append a prepared entry body; stamps schema + ``run_id``."""
+        entry = dict(body)
+        entry.setdefault("schema", LEDGER_SCHEMA)
+        entry.setdefault("created", _utcnow())
+        entry["run_id"] = hashlib.sha256(
+            _canonical({k: v for k, v in entry.items() if k != "run_id"})
+        ).hexdigest()[:16]
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self._write_segment(), "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True, default=str))
+            fh.write("\n")
+        return entry["run_id"]
+
+    def _write_segment(self) -> Path:
+        segments = self.segments()
+        if segments:
+            last = segments[-1]
+            try:
+                if last.stat().st_size < SEGMENT_MAX_BYTES:
+                    return last
+            except OSError:
+                pass
+            seq = int(last.stem.split("-")[-1]) + 1
+        else:
+            seq = 1
+        return self.root / f"segment-{seq:06d}.jsonl"
+
+    # -- reading --------------------------------------------------------
+
+    def segments(self) -> list:
+        """Segment files in append order."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("segment-*.jsonl"))
+
+    def entries(self) -> list:
+        """Every parseable entry, oldest first; corrupt lines counted."""
+        out = []
+        corrupt = 0
+        for segment in self.segments():
+            try:
+                with open(segment) as fh:
+                    lines = fh.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn write from a crashed run; the store stays
+                    # readable, the loss is counted, never raised.
+                    corrupt += 1
+                    continue
+                if isinstance(entry, dict):
+                    out.append(entry)
+                else:
+                    corrupt += 1
+        self.corrupt_lines = corrupt
+        return out
+
+    def get(self, run_id: str) -> dict:
+        """The entry whose id starts with ``run_id`` (must be unique)."""
+        if not run_id:
+            raise LedgerError("empty run id")
+        matches = [
+            entry
+            for entry in self.entries()
+            if str(entry.get("run_id", "")).startswith(run_id)
+        ]
+        if not matches:
+            raise LedgerError(
+                f"no ledger entry matching {run_id!r} in {self.root}"
+            )
+        if len({m.get("run_id") for m in matches}) > 1:
+            ids = ", ".join(sorted(m["run_id"] for m in matches)[:4])
+            raise LedgerError(
+                f"run id {run_id!r} is ambiguous (matches {ids}, ...)"
+            )
+        return matches[-1]
+
+    # -- maintenance ----------------------------------------------------
+
+    def gc(self, keep: int = 100) -> int:
+        """Keep only the newest ``keep`` entries; returns removed count.
+
+        Rebuilds the store as fresh segments and atomically swaps them
+        in, so a concurrent reader sees either the old or the new store.
+        """
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        entries = self.entries()
+        removed = len(entries) - keep
+        if removed <= 0:
+            return 0
+        kept = entries[-keep:] if keep else []
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".gc-", suffix=".jsonl"
+        )
+        with os.fdopen(fd, "w") as fh:
+            for entry in kept:
+                fh.write(json.dumps(entry, sort_keys=True, default=str))
+                fh.write("\n")
+        old = self.segments()
+        os.replace(tmp_name, self.root / "segment-000001.jsonl.new")
+        for segment in old:
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+        os.replace(
+            self.root / "segment-000001.jsonl.new",
+            self.root / "segment-000001.jsonl",
+        )
+        return removed
+
+    def export(self, path) -> int:
+        """Write every entry to ``path`` as a JSON array; returns count."""
+        entries = self.entries()
+        with open(path, "w") as fh:
+            json.dump(entries, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return len(entries)
+
+
+def record_run(kind: str, **kw) -> str | None:
+    """Best-effort append to the default ledger.
+
+    Returns the new entry's id, or ``None`` when the ledger is disabled
+    (``REPRO_LEDGER=0``) or the write failed — recording history must
+    never fail the run that produced it.
+    """
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        return None
+    try:
+        return ledger.record(kind, **kw)
+    except (OSError, ValueError):
+        return None

@@ -20,6 +20,13 @@ from __future__ import annotations
 
 import json
 
+#: Stamped into every metrics payload (``save_metrics`` adds it when a
+#: caller-built dict lacks one), mirroring the event stream's
+#: ``SCHEMA_VERSION``.  The regression differ refuses to compare
+#: payloads whose schemas disagree — a one-line error instead of a
+#: ``KeyError`` halfway through the table.
+METRICS_SCHEMA = 1
+
 
 class MetricsRegistry:
     """Named counters, gauges, and histograms with a JSON-safe dump."""
@@ -149,6 +156,7 @@ def metrics_from_result(result, machine=None) -> dict:
         )
 
     payload = {
+        "schema": METRICS_SCHEMA,
         "workload": result.workload,
         "protocol": result.protocol,
         "predictor": result.predictor,
@@ -177,10 +185,12 @@ def aggregate_metrics(cells) -> dict:
     total.gauge("cells", len(cells))
     total.gauge("comm_ratio", round(comm / misses, 6) if misses else 0.0)
     total.gauge("accuracy", round(correct / comm, 6) if comm else 0.0)
-    return total.to_dict()
+    return {"schema": METRICS_SCHEMA, **total.to_dict()}
 
 
 def save_metrics(payload: dict, path) -> None:
+    if "schema" not in payload:
+        payload = {"schema": METRICS_SCHEMA, **payload}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,303 @@
+"""The regression sentinel: per-metric comparison of two runs.
+
+``repro obs diff`` and ``tools/regress.py`` both land here.  Two runs —
+ledger entries, ``metrics.json`` payloads, or single-cell metric dicts —
+are compared metric by metric under a per-kind tolerance policy:
+
+* **counters and histograms are exact.**  Miss counts, prediction
+  outcomes, NoC bytes: the simulator is deterministic per
+  ``CACHE_VERSION``/code-fingerprint, so any drift is a correctness
+  regression, not noise.
+* **gauges are exact** (they are rounded functions of the counters).
+* **wall times get a relative tolerance** (phase timings, ``*_s``
+  gauges) — performance regressions should trip the gate, scheduler
+  jitter should not.
+
+The report renders as a readable per-metric table and carries a single
+``passed`` bit, so CI can gate on the exit code while humans read the
+rows.  Payloads carry a ``schema`` stamp (see
+:data:`repro.obs.metrics.METRICS_SCHEMA`); mismatched schemas are
+refused with a one-line error instead of a ``KeyError`` deep in the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default relative tolerance for wall-time metrics (25%).
+DEFAULT_WALL_TOLERANCE = 0.25
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric: values on both sides and the verdict."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram" | "wall"
+    a: object
+    b: object
+    ok: bool
+    note: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "a": self.a,
+            "b": self.b,
+            "ok": self.ok,
+            "note": self.note,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of comparing two runs."""
+
+    rows: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+    identical_cells: int = 0
+    compared_cells: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors and all(row.ok for row in self.rows)
+
+    @property
+    def failures(self) -> list:
+        return [row for row in self.rows if not row.ok]
+
+    def add(self, name, kind, a, b, ok, note="") -> None:
+        self.rows.append(MetricDelta(name, kind, a, b, ok, note))
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "errors": list(self.errors),
+            "compared_cells": self.compared_cells,
+            "identical_cells": self.identical_cells,
+            "rows": [row.to_dict() for row in self.rows],
+            "failures": len(self.failures),
+        }
+
+    def render(self, show_ok: bool = True) -> str:
+        """The human-facing per-metric table."""
+        lines = []
+        for error in self.errors:
+            lines.append(f"error: {error}")
+        rows = self.rows if show_ok else self.failures
+        if rows:
+            width = max(len(r.name) for r in rows)
+            width = max(width, len("metric"))
+            header = (
+                f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}"
+                f"  {'delta':>9}  status"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in rows:
+                lines.append(
+                    f"{row.name:<{width}}  {_fmt(row.a):>14}  "
+                    f"{_fmt(row.b):>14}  {_delta(row.a, row.b):>9}  "
+                    f"{'ok' if row.ok else 'FAIL'}"
+                    + (f"  ({row.note})" if row.note else "")
+                )
+        if self.compared_cells:
+            lines.append(
+                f"cells: {self.identical_cells}/{self.compared_cells} "
+                f"bit-identical"
+            )
+        lines.append(
+            "regression check: "
+            + ("PASS" if self.passed else f"FAIL ({len(self.failures)} "
+               f"metric(s), {len(self.errors)} error(s))")
+        )
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "-"
+    text = str(value)
+    return text if len(text) <= 14 else text[:11] + "..."
+
+
+def _delta(a, b) -> str:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if a == b:
+            return "0"
+        if a:
+            return f"{(b - a) / a:+.1%}"
+        return f"{b - a:+g}"
+    return "-"
+
+
+def _is_wall_name(name: str) -> bool:
+    return name.endswith("_s") or name.endswith("_seconds")
+
+
+def normalize_run(doc: dict) -> dict:
+    """Lift any accepted payload shape into ``{schema, cells,
+    aggregate, phases}``.
+
+    Accepted: a ledger entry (``metrics`` + ``phases`` keys), a sweep
+    ``metrics.json`` payload (``cells`` + ``aggregate``), or a
+    single-cell metrics dict (``counters``/``gauges``).
+    """
+    phases = dict(doc.get("phases") or {})
+    metrics = doc.get("metrics") if isinstance(doc.get("metrics"), dict) \
+        else doc
+    schema = metrics.get("schema", doc.get("schema"))
+    if "cells" in metrics or "aggregate" in metrics:
+        cells = list(metrics.get("cells") or [])
+        aggregate = dict(metrics.get("aggregate") or {})
+    elif "counters" in metrics or "gauges" in metrics:
+        cells = [metrics]
+        aggregate = {
+            "counters": dict(metrics.get("counters") or {}),
+            "gauges": dict(metrics.get("gauges") or {}),
+        }
+    else:
+        cells = []
+        aggregate = {}
+    return {
+        "schema": schema,
+        "cells": cells,
+        "aggregate": aggregate,
+        "phases": phases,
+    }
+
+
+def _cell_key(cell: dict) -> tuple:
+    return (
+        cell.get("workload"),
+        cell.get("protocol"),
+        cell.get("predictor"),
+        cell.get("num_cores"),
+    )
+
+
+def _group_cells(cells) -> dict:
+    groups: dict = {}
+    for cell in cells:
+        groups.setdefault(_cell_key(cell), []).append(cell)
+    return groups
+
+
+def _compare_section(
+    report: RegressionReport,
+    prefix: str,
+    a: dict,
+    b: dict,
+    wall_tolerance: float,
+    include_wall: bool,
+) -> bool:
+    """Compare one counters/gauges/histograms triple; True if clean."""
+    clean = True
+    for section, kind in (
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("histograms", "histogram"),
+    ):
+        sa = a.get(section) or {}
+        sb = b.get(section) or {}
+        for name in sorted(set(sa) | set(sb)):
+            va, vb = sa.get(name), sb.get(name)
+            label = f"{prefix}{section}.{name}"
+            if kind != "histogram" and _is_wall_name(name):
+                if not include_wall:
+                    continue
+                ok = _wall_ok(va, vb, wall_tolerance)
+                report.add(
+                    label, "wall", va, vb, ok,
+                    note=f"tol ±{wall_tolerance:.0%}",
+                )
+                clean = clean and ok
+                continue
+            ok = va == vb
+            if kind == "histogram":
+                # Bucket dicts are too wide for a table row; identical
+                # ones stay silent, drifted ones get a summary row.
+                if not ok:
+                    report.add(label, kind, "<dist>", "<dist>", False,
+                               note="distribution drifted")
+            else:
+                report.add(label, kind, va, vb, ok)
+            clean = clean and ok
+    return clean
+
+
+def _wall_ok(a, b, tolerance: float) -> bool:
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return a == b
+    if a <= 0:
+        return True
+    return b <= a * (1.0 + tolerance)
+
+
+def compare_runs(
+    doc_a: dict,
+    doc_b: dict,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    include_wall: bool = True,
+    include_cells: bool = True,
+) -> RegressionReport:
+    """Compare two runs; see the module docstring for the policy."""
+    report = RegressionReport()
+    a = normalize_run(doc_a)
+    b = normalize_run(doc_b)
+
+    if a["schema"] != b["schema"]:
+        report.errors.append(
+            f"metrics schema mismatch: baseline has "
+            f"{a['schema']!r}, current has {b['schema']!r} — "
+            f"regenerate the older payload"
+        )
+        return report
+
+    _compare_section(
+        report, "aggregate.", a["aggregate"], b["aggregate"],
+        wall_tolerance, include_wall,
+    )
+
+    if include_wall:
+        pa, pb = a["phases"], b["phases"]
+        for name in sorted(set(pa) | set(pb)):
+            va, vb = pa.get(name), pb.get(name)
+            report.add(
+                f"phases.{name}", "wall", va, vb,
+                _wall_ok(va, vb, wall_tolerance),
+                note=f"tol ±{wall_tolerance:.0%}",
+            )
+
+    if include_cells and (a["cells"] or b["cells"]):
+        ga, gb = _group_cells(a["cells"]), _group_cells(b["cells"])
+        for key in sorted(
+            set(ga) | set(gb), key=lambda k: tuple(str(p) for p in k)
+        ):
+            cells_a, cells_b = ga.get(key, []), gb.get(key, [])
+            label = "/".join(str(p) for p in key[:3])
+            if len(cells_a) != len(cells_b):
+                report.errors.append(
+                    f"cell {label}: {len(cells_a)} baseline vs "
+                    f"{len(cells_b)} current instance(s)"
+                )
+                continue
+            for cell_a, cell_b in zip(cells_a, cells_b):
+                report.compared_cells += 1
+                sub = RegressionReport()
+                clean = _compare_section(
+                    sub, f"cells[{label}].", cell_a, cell_b,
+                    wall_tolerance, include_wall=False,
+                )
+                if clean:
+                    report.identical_cells += 1
+                else:
+                    report.rows.extend(sub.failures)
+                report.errors.extend(sub.errors)
+    return report

@@ -170,3 +170,54 @@ def render_report(
         lines.append("")
         lines.append(epoch_detail(doc, core, limit=limit))
     return "\n".join(lines)
+
+
+def render_metrics_report(payload: dict) -> str:
+    """Terminal report for a *metrics* payload (no event stream).
+
+    Ledger entries carry the metrics registry rather than raw events;
+    this renders the per-cell table plus each cell's communication
+    trajectory as a sparkline, so ``repro obs report <run-id>`` works on
+    anything the ledger recorded.
+    """
+    from repro.analysis.textplots import sparkline
+
+    metrics = payload.get("metrics") if isinstance(
+        payload.get("metrics"), dict) else payload
+    cells = metrics.get("cells")
+    if cells is None and (
+        "counters" in metrics or "gauges" in metrics
+    ):
+        cells = [metrics]
+    cells = cells or []
+    lines = [f"metrics payload: {len(cells)} cell(s)"]
+    aggregate = metrics.get("aggregate") or {}
+    gauges = aggregate.get("gauges") or {}
+    if gauges:
+        lines.append(
+            "aggregate: "
+            + ", ".join(f"{k}={gauges[k]}" for k in sorted(gauges))
+        )
+    header = (f"  {'workload':<15}{'proto':<11}{'pred':<7}"
+              f"{'misses':>10}{'comm':>8}{'acc':>7}  trajectory")
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for cell in cells:
+        counters = cell.get("counters") or {}
+        cg = cell.get("gauges") or {}
+        acc = cg.get("accuracy")
+        trend = [
+            (b["comm_misses"] / b["misses"]) if b.get("misses") else 0.0
+            for b in cell.get("comm_timeline") or []
+        ]
+        lines.append(
+            f"  {str(cell.get('workload')):<15}"
+            f"{str(cell.get('protocol')):<11}"
+            f"{str(cell.get('predictor')):<7}"
+            f"{counters.get('misses', 0):>10,}"
+            f"{cg.get('comm_ratio', 0):>8.1%}"
+            + (f"{acc:>7.1%}" if isinstance(acc, (int, float)) and
+               counters.get("pred_attempted") else f"{'-':>7}")
+            + (f"  [{sparkline(trend)}]" if trend else "")
+        )
+    return "\n".join(lines)

@@ -11,12 +11,24 @@ round-trip, which is what makes parallel and serial sweeps bit-identical.
 ``--jobs 1`` (or ``REPRO_JOBS=1``) selects the serial in-process path:
 no pool, no serialization, live result objects — today's debugging
 behavior, preserved.
+
+Two observability layers ride along, both strictly after-the-fact:
+workers publish per-cell heartbeats over a ``multiprocessing.Queue``
+that the parent renders as a live progress/ETA line with stalled-worker
+detection (:mod:`repro.obs.live`; TTY-aware, ``progress=False`` to
+suppress), and every sweep that actually simulated something is
+recorded in the run ledger (:mod:`repro.obs.ledger`; ``REPRO_LEDGER=0``
+disables) with its spec digests, per-cell wall times, and full metrics
+payload.  Neither touches a simulation counter — results are
+bit-identical with both on, off, or absent.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
 
 from repro.runner.diskcache import DiskCache
 from repro.runner.specs import RunSpec
@@ -25,9 +37,11 @@ from repro.sim.results import SimulationResult
 
 def resolve_jobs(jobs: int | None = None) -> int:
     """Worker-count policy: explicit arg, else REPRO_JOBS, else cpu_count."""
+    source = "jobs"
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
         if env:
+            source = "REPRO_JOBS"
             try:
                 jobs = int(env)
             except ValueError:
@@ -36,7 +50,17 @@ def resolve_jobs(jobs: int | None = None) -> int:
                 ) from None
     if jobs is None:
         jobs = os.cpu_count() or 1
-    return max(1, jobs)
+    if jobs < 1:
+        # A typo'd REPRO_JOBS=0 must not silently masquerade as a
+        # deliberate serial-mode choice.
+        warnings.warn(
+            f"{source}={jobs} is not a valid worker count; "
+            f"clamping to 1 (serial)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        jobs = 1
+    return jobs
 
 
 def _start_method() -> str:
@@ -95,9 +119,37 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     return engine.run()
 
 
+#: Heartbeat queue for the current pool worker (set by the pool
+#: initializer only when the parent is listening; ``None`` means no
+#: telemetry cost at all).
+_heartbeats = None
+
+
+def _init_worker(beats) -> None:
+    global _heartbeats
+    _heartbeats = beats
+
+
+def _beat(kind: str, digest: str, payload) -> None:
+    if _heartbeats is not None:
+        try:
+            _heartbeats.put((kind, digest, payload))
+        except (OSError, ValueError):
+            pass
+
+
 def _worker(spec: RunSpec) -> tuple:
     """Pool task: simulate and ship the serialized result home."""
-    return spec.digest(), execute_spec(spec).to_dict()
+    digest = spec.digest()
+    _beat(
+        "start", digest,
+        f"{spec.workload}/{spec.protocol}/{spec.predictor}",
+    )
+    start = time.perf_counter()
+    payload = execute_spec(spec).to_dict()
+    elapsed = time.perf_counter() - start
+    _beat("finish", digest, elapsed)
+    return digest, payload, elapsed
 
 
 class SweepRunner:
@@ -113,11 +165,25 @@ class SweepRunner:
         jobs: int | None = None,
         disk: DiskCache | None = None,
         verbose: bool = False,
+        progress: bool | None = None,
+        progress_stream=None,
+        ledger: bool = True,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.disk = disk
         self.verbose = verbose
+        #: Live progress line: ``None`` auto-detects a TTY, ``False``
+        #: suppresses entirely (``--quiet``), ``True`` forces.
+        self.progress = progress
+        self.progress_stream = progress_stream
+        #: Record completed sweeps in the run ledger (further gated by
+        #: ``REPRO_LEDGER=0`` at write time).
+        self.ledger = ledger
         self.simulations = 0
+        #: Wall seconds per simulated cell (digest-keyed), stamped into
+        #: the ledger entry; cache hits do not appear here.
+        self.cell_times: dict = {}
+        self.last_run_id: str | None = None
         self._results: dict = {}  # digest -> SimulationResult
         self._specs: dict = {}    # digest -> RunSpec (for metrics context)
 
@@ -154,7 +220,9 @@ class SweepRunner:
                 f"  simulating {spec.workload} / {spec.protocol} / "
                 f"{spec.predictor} ..."
             )
+        start = time.perf_counter()
         result = execute_spec(spec)
+        self.cell_times[spec.digest()] = time.perf_counter() - start
         self.simulations += 1
         self._store(spec.digest(), result)
         return result
@@ -180,32 +248,106 @@ class SweepRunner:
                     f"  sweep: {len(pending)} of {len(unique)} "
                     f"configurations to simulate ({self.jobs} jobs)"
                 )
-            if self.jobs > 1 and len(pending) > 1:
-                self._run_pool(pending)
-            else:
-                for digest, spec in pending:
-                    result = execute_spec(spec)
-                    self.simulations += 1
-                    self._store(digest, result)
+            progress = self._make_progress(len(pending))
+            start = time.perf_counter()
+            try:
+                if self.jobs > 1 and len(pending) > 1:
+                    self._run_pool(pending, progress)
+                else:
+                    for digest, spec in pending:
+                        if progress is not None:
+                            progress.start_cell(
+                                digest,
+                                f"{spec.workload}/{spec.protocol}/"
+                                f"{spec.predictor}",
+                            )
+                        cell_start = time.perf_counter()
+                        result = execute_spec(spec)
+                        elapsed = time.perf_counter() - cell_start
+                        self.cell_times[digest] = elapsed
+                        self.simulations += 1
+                        self._store(digest, result)
+                        if progress is not None:
+                            progress.finish_cell(digest, elapsed)
+            finally:
+                if progress is not None:
+                    progress.close()
+            self._record_sweep(
+                pending, len(unique), time.perf_counter() - start
+            )
         return [self._results[spec.digest()] for spec in specs]
 
-    def _run_pool(self, pending) -> None:
+    def _make_progress(self, pending_count: int):
+        """A live progress display, or None when suppressed/off-TTY."""
+        if self.progress is False:
+            return None
+        from repro.obs.live import SweepProgress
+
+        progress = SweepProgress(
+            total=pending_count,
+            stream=self.progress_stream,
+            enabled=True if self.progress else None,
+        )
+        return progress if progress.enabled else None
+
+    def _record_sweep(self, pending, total_cells: int, elapsed: float
+                      ) -> None:
+        """Append this sweep to the run ledger (best-effort)."""
+        if not self.ledger:
+            return
+        from repro.obs.ledger import record_run
+
+        digests = [digest for digest, _ in pending]
+        self.last_run_id = record_run(
+            "sweep",
+            metrics=self.metrics_payload(),
+            phases={"sweep_s": round(elapsed, 4)},
+            spec_digests=digests,
+            cell_times={
+                digest: self.cell_times[digest]
+                for digest in digests
+                if digest in self.cell_times
+            },
+            extra={
+                "cells_total": total_cells,
+                "cells_simulated": len(pending),
+                "cells_cached": total_cells - len(pending),
+                "jobs": self.jobs,
+            },
+        )
+
+    def _run_pool(self, pending, progress=None) -> None:
         ctx = multiprocessing.get_context(_start_method())
         workers = min(self.jobs, len(pending))
-        with ctx.Pool(processes=workers) as pool:
-            for digest, payload in pool.imap_unordered(
-                _worker, [spec for _, spec in pending]
-            ):
-                self.simulations += 1
-                result = SimulationResult.from_dict(payload)
-                self._results[digest] = result
-                if self.disk is not None:
-                    self.disk.store(digest, payload)
-                if self.verbose:
-                    print(
-                        f"  done {result.workload} / {result.protocol} / "
-                        f"{result.predictor}"
-                    )
+        listener = None
+        pool_kw = {}
+        if progress is not None:
+            # Workers only pay for heartbeats when someone is listening.
+            from repro.obs.live import HeartbeatListener
+
+            beats = ctx.Queue()
+            pool_kw = {"initializer": _init_worker, "initargs": (beats,)}
+            listener = HeartbeatListener(beats, progress)
+            listener.start()
+        try:
+            with ctx.Pool(processes=workers, **pool_kw) as pool:
+                for digest, payload, elapsed in pool.imap_unordered(
+                    _worker, [spec for _, spec in pending]
+                ):
+                    self.simulations += 1
+                    self.cell_times[digest] = elapsed
+                    result = SimulationResult.from_dict(payload)
+                    self._results[digest] = result
+                    if self.disk is not None:
+                        self.disk.store(digest, payload)
+                    if self.verbose:
+                        print(
+                            f"  done {result.workload} / "
+                            f"{result.protocol} / {result.predictor}"
+                        )
+        finally:
+            if listener is not None:
+                listener.stop()
 
     def _store(self, digest: str, result: SimulationResult) -> None:
         self._results[digest] = result
@@ -217,7 +359,11 @@ class SweepRunner:
     def metrics_payload(self) -> dict:
         """Per-cell metrics plus the sweep-level rollup for every result
         this runner holds (cached or freshly simulated)."""
-        from repro.obs.metrics import aggregate_metrics, metrics_from_result
+        from repro.obs.metrics import (
+            METRICS_SCHEMA,
+            aggregate_metrics,
+            metrics_from_result,
+        )
 
         cells = []
         for digest, result in self._results.items():
@@ -225,7 +371,11 @@ class SweepRunner:
             cells.append(metrics_from_result(
                 result, machine=spec.machine if spec is not None else None
             ))
-        return {"cells": cells, "aggregate": aggregate_metrics(cells)}
+        return {
+            "schema": METRICS_SCHEMA,
+            "cells": cells,
+            "aggregate": aggregate_metrics(cells),
+        }
 
     def write_metrics(self, path) -> dict:
         """Write :meth:`metrics_payload` to ``path`` as ``metrics.json``."""

@@ -9,6 +9,16 @@ from repro.workloads.generator import BenchmarkSpec, EpochSpec, LockSpec, build_
 from repro.workloads.patterns import PatternKind
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a throwaway directory for every test.
+
+    Sweeps and CLI commands record history automatically; without this
+    the suite would append junk entries to the user's real ledger.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def small_machine() -> MachineConfig:
     """A 16-core machine with small caches (fast to simulate)."""

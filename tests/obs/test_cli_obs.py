@@ -1,0 +1,234 @@
+"""CLI surface of the ledger, regression diff, dashboard, and reports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import RunLedger
+
+
+def seed_ledger(misses=1000, sweep_s=2.0, label="probe"):
+    """One synthetic sweep entry in the (test-isolated) default ledger."""
+    return RunLedger().record(
+        "sweep",
+        metrics={
+            "schema": 1,
+            "cells": [{
+                "workload": "lu", "protocol": "directory",
+                "predictor": "SP", "num_cores": 16,
+                "counters": {"misses": misses, "pred_attempted": 10},
+                "gauges": {"comm_ratio": 0.4, "accuracy": 0.7},
+            }],
+            "aggregate": {
+                "counters": {"misses": misses},
+                "gauges": {"comm_ratio": 0.4},
+            },
+        },
+        phases={"sweep_s": sweep_s},
+        label=label,
+    )
+
+
+class TestLedgerList:
+    def test_lists_entries(self, capsys):
+        run_id = seed_ledger(label="probe-a")
+        assert main(["obs", "ledger", "list"]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "probe-a" in out
+
+    def test_kind_filter_and_json(self, capsys):
+        seed_ledger()
+        RunLedger().record("bench", extra={"sweep_s": 1.0})
+        assert main(["obs", "ledger", "list", "--kind", "bench",
+                     "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["kind"] for e in entries] == ["bench"]
+
+    def test_empty_ledger_is_not_an_error(self, capsys):
+        assert main(["obs", "ledger", "list"]) == 0
+        assert "ledger empty" in capsys.readouterr().out
+
+    def test_disabled_ledger_exits_one(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert main(["obs", "ledger", "list"]) == 1
+        assert "REPRO_LEDGER=0" in capsys.readouterr().err
+
+
+class TestLedgerShow:
+    def test_show_json(self, capsys):
+        run_id = seed_ledger()
+        assert main(["obs", "ledger", "show", run_id[:8]]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["run_id"] == run_id
+
+    def test_show_summary_table(self, capsys):
+        run_id = seed_ledger()
+        assert main(["obs", "ledger", "show", run_id, "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics payload: 1 cell(s)" in out
+        assert "lu" in out
+
+    def test_missing_entry_one_line_error(self, capsys):
+        seed_ledger()
+        assert main(["obs", "ledger", "show", "feedfeedfeed"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no ledger entry" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_store_still_resolves_good_entries(self, capsys):
+        run_id = seed_ledger()
+        ledger = RunLedger()
+        with open(ledger.segments()[0], "a") as fh:
+            fh.write('{"torn":\n')
+        assert main(["obs", "ledger", "show", run_id]) == 0
+
+    def test_fully_corrupt_store_one_line_error(self, capsys):
+        run_id = seed_ledger()
+        ledger = RunLedger()
+        segment = ledger.segments()[0]
+        segment.write_text('{"all torn\n')
+        assert main(["obs", "ledger", "show", run_id]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestLedgerGcExport:
+    def test_gc(self, capsys):
+        for i in range(5):
+            seed_ledger(misses=i)
+        assert main(["obs", "ledger", "gc", "--keep", "2"]) == 0
+        assert "removed 3, kept 2" in capsys.readouterr().out
+        assert len(RunLedger().entries()) == 2
+
+    def test_export(self, capsys, tmp_path):
+        seed_ledger()
+        out = tmp_path / "all.json"
+        assert main(["obs", "ledger", "export", "-o", str(out)]) == 0
+        assert len(json.loads(out.read_text())) == 1
+
+
+class TestObsDiff:
+    def test_identical_runs_exit_zero(self, capsys):
+        a = seed_ledger(misses=1000)
+        b = seed_ledger(misses=1000, label="again")
+        assert main(["obs", "diff", a[:8], b[:8], "--no-wall"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_counter_drift_exits_one_with_table(self, capsys):
+        a = seed_ledger(misses=1000)
+        b = seed_ledger(misses=1001)
+        assert main(["obs", "diff", a, b, "--no-wall"]) == 1
+        out = capsys.readouterr().out
+        assert "aggregate.counters.misses" in out
+        assert "FAIL" in out
+
+    def test_wall_tolerance_flag(self, capsys):
+        a = seed_ledger(misses=1, sweep_s=2.0)
+        b = seed_ledger(misses=1, sweep_s=2.4, label="slower")
+        assert main(["obs", "diff", a, b,
+                     "--wall-tolerance", "0.1"]) == 1
+        capsys.readouterr()
+        assert main(["obs", "diff", a, b,
+                     "--wall-tolerance", "0.5"]) == 0
+
+    def test_file_paths_accepted(self, capsys, tmp_path):
+        doc = {
+            "schema": 1,
+            "cells": [],
+            "aggregate": {"counters": {"misses": 5}},
+        }
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        path_a.write_text(json.dumps(doc))
+        doc["aggregate"]["counters"]["misses"] = 6
+        path_b.write_text(json.dumps(doc))
+        assert main(["obs", "diff", str(path_a), str(path_b)]) == 1
+
+    def test_json_report(self, capsys):
+        a = seed_ledger(misses=1)
+        b = seed_ledger(misses=2)
+        assert main(["obs", "diff", a, b, "--no-wall", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is False
+
+    def test_unknown_run_one_line_error(self, capsys):
+        seed_ledger()
+        assert main(["obs", "diff", "feedfeed", "feedfeed"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestObsDashboardCommand:
+    def test_renders_from_ledger(self, capsys, tmp_path):
+        seed_ledger(misses=1000)
+        seed_ledger(misses=1001)
+        out = tmp_path / "dash.html"
+        assert main(["obs", "dashboard", "--out", str(out)]) == 0
+        assert "2 runs" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.lstrip().startswith("<!doctype html>")
+        assert "<script src" not in html
+
+    def test_empty_ledger_exits_one(self, capsys, tmp_path):
+        out = tmp_path / "dash.html"
+        assert main(["obs", "dashboard", "--out", str(out)]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert not out.exists()
+
+
+class TestObsReportOnMetrics:
+    def test_report_from_ledger_run_id(self, capsys):
+        run_id = seed_ledger()
+        assert main(["obs", "report", run_id[:8]]) == 0
+        out = capsys.readouterr().out
+        assert "metrics payload: 1 cell(s)" in out
+
+    def test_report_from_metrics_file(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "cells": [{
+                "workload": "fft", "protocol": "broadcast",
+                "predictor": "none",
+                "counters": {"misses": 3},
+                "gauges": {"comm_ratio": 0.1},
+            }],
+            "aggregate": {"gauges": {"comm_ratio": 0.1}},
+        }))
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fft" in out and "broadcast" in out
+
+    def test_export_refuses_metrics_payload(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"schema": 1, "cells": []}))
+        assert main(["obs", "export", str(path),
+                     "-o", str(tmp_path / "out.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not a repro event stream" in err
+        assert "Traceback" not in err
+
+
+class TestSimulateRecordsLedger:
+    def test_simulate_writes_entry(self, capsys):
+        assert main(["simulate", "lu", "--scale", "0.05"]) == 0
+        entries = RunLedger().entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["kind"] == "simulate"
+        assert entry["label"] == "lu/directory/none"
+        assert entry["phases"]["run_s"] >= 0
+        assert entry["metrics"]["counters"]["misses"] > 0
+
+    def test_simulate_honors_disable(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert main(["simulate", "lu", "--scale", "0.05"]) == 0
+        monkeypatch.setenv("REPRO_LEDGER", "1")
+        assert RunLedger().entries() == []

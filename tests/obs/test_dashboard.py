@@ -1,0 +1,144 @@
+"""The HTML dashboard: data shaping and the self-contained page."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.dashboard import (
+    PAPER_AVG_ACCURACY,
+    dashboard_data,
+    dashboard_html,
+    save_dashboard,
+)
+
+
+def make_entry(misses=1000, accuracy=0.7, sweep_s=2.0, sha="abc1234"):
+    return {
+        "schema": 1,
+        "run_id": f"id-{misses}",
+        "kind": "sweep",
+        "created": "2026-08-06T12:00:00Z",
+        "host": {"git_sha": sha},
+        "phases": {"sweep_s": sweep_s},
+        "metrics": {
+            "schema": 1,
+            "cells": [{
+                "workload": "lu", "protocol": "directory",
+                "predictor": "SP", "num_cores": 16,
+                "counters": {"misses": misses,
+                             "comm_misses": misses // 2},
+                "gauges": {"comm_ratio": 0.5, "accuracy": accuracy},
+                "comm_timeline": [
+                    {"misses": 100, "comm_misses": 40},
+                    {"misses": 100, "comm_misses": 60},
+                ],
+                "comm_matrix": [[0, 5], [3, 0]],
+            }],
+            "aggregate": {
+                "counters": {"misses": misses},
+                "gauges": {"accuracy": accuracy, "comm_ratio": 0.5},
+            },
+        },
+    }
+
+
+@pytest.fixture()
+def entries():
+    return [
+        make_entry(misses=1000, accuracy=0.60, sweep_s=3.0),
+        make_entry(misses=1000, accuracy=0.70, sweep_s=2.0),
+    ]
+
+
+class TestDashboardData:
+    def test_requires_entries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            dashboard_data([])
+
+    def test_trajectory_spans_all_entries(self, entries):
+        data = dashboard_data(entries)
+        assert len(data["entries"]) == 2
+        assert [e["accuracy"] for e in data["entries"]] == [0.60, 0.70]
+        assert [e["wall_s"] for e in data["entries"]] == [3.0, 2.0]
+        assert data["paper_avg_accuracy"] == PAPER_AVG_ACCURACY == 0.77
+
+    def test_latest_sections_present(self, entries):
+        latest = dashboard_data(entries)["latest"]
+        assert latest["summary"]["cells"] == 1
+        assert latest["paper_rows"], "paper comparison rows expected"
+        row = latest["paper_rows"][0]
+        assert row["workload"] == "lu"
+        assert row["comm_ratio"] == 0.5
+        assert row["target_comm_ratio"] is not None  # joined from SUITE
+        assert latest["timelines"][0]["comm_ratio"] == [0.4, 0.6]
+        assert latest["heatmap"] == {"matrix": [[0, 5], [3, 0]],
+                                     "cores": 2}
+
+
+class TestDashboardPage:
+    def test_golden_structure(self, entries):
+        html = dashboard_html(entries, title="golden title")
+        assert html.lstrip().startswith("<!doctype html>")
+        assert "golden title" in html
+        for element_id in (
+            "kpi-row", "wall-chart", "acc-chart", "paper-table-body",
+            "timeline-grid", "heatmap-grid", "tooltip",
+        ):
+            assert f'id="{element_id}"' in html, element_id
+
+    def test_self_contained_no_network_fetches(self, entries):
+        html = dashboard_html(entries)
+        assert "<script src" not in html
+        assert "<link" not in html
+        assert "@import" not in html
+        assert "https://" not in html
+        # the only http: occurrence is the (non-fetched) SVG namespace
+        urls = set(re.findall(r"http://[^\"' <)]+", html))
+        assert urls <= {"http://www.w3.org/2000/svg"}
+
+    def test_embedded_payload_parses_and_is_escaped(self, entries):
+        # a hostile label must not break out of the <script> block
+        entries[-1]["label"] = "</script><script>alert(1)</script>"
+        html = dashboard_html(entries)
+        assert "</script><script>alert(1)" not in html
+        match = re.search(r"const DATA = (.*?);\n", html)
+        assert match, "embedded data payload expected"
+        data = json.loads(match.group(1).replace("<\\/", "</"))
+        assert len(data["entries"]) == 2
+
+    def test_dark_mode_and_palette_tokens(self, entries):
+        html = dashboard_html(entries)
+        assert "prefers-color-scheme: dark" in html
+        # the fixed categorical slots: series-1 blue, series-2 orange
+        assert "#2a78d6" in html
+
+    def test_save_dashboard(self, entries, tmp_path):
+        out = tmp_path / "dash.html"
+        save_dashboard(entries, out, title="t")
+        assert out.read_text() == dashboard_html(entries, title="t")
+
+    def test_single_entry_still_renders(self):
+        html = dashboard_html([make_entry()])
+        assert 'id="kpi-row"' in html
+
+
+class TestLedgerRoundTrip:
+    def test_dashboard_from_real_sweep_entries(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        from repro.obs.ledger import RunLedger
+        from repro.runner import RunSpec, SweepRunner
+
+        for scale in (0.05, 0.06):
+            runner = SweepRunner(jobs=1, disk=None, progress=False)
+            runner.run_many([
+                RunSpec(workload="lu", scale=scale, predictor="SP"),
+            ])
+        entries = RunLedger().entries()
+        assert len(entries) == 2
+        out = tmp_path / "dash.html"
+        save_dashboard(entries, out)
+        html = out.read_text()
+        assert "lu" in html
+        assert "<script src" not in html

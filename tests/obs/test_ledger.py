@@ -1,0 +1,220 @@
+"""The run ledger: append-only store, lookups, gc, non-perturbation."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerError,
+    RunLedger,
+    default_ledger_dir,
+    ledger_enabled,
+    record_run,
+)
+
+
+def make_ledger(tmp_path) -> RunLedger:
+    return RunLedger(tmp_path / "ledger")
+
+
+def sample_metrics(misses=100):
+    return {
+        "schema": 1,
+        "cells": [{
+            "workload": "lu", "protocol": "directory", "predictor": "SP",
+            "counters": {"misses": misses},
+            "gauges": {"comm_ratio": 0.4},
+        }],
+        "aggregate": {
+            "counters": {"misses": misses},
+            "gauges": {"comm_ratio": 0.4},
+        },
+    }
+
+
+class TestRecordAndRead:
+    def test_round_trip(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        run_id = ledger.record(
+            "sweep", metrics=sample_metrics(),
+            phases={"sweep_s": 1.25}, label="probe",
+        )
+        assert len(run_id) == 16
+        entries = ledger.entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["run_id"] == run_id
+        assert entry["schema"] == LEDGER_SCHEMA
+        assert entry["kind"] == "sweep"
+        assert entry["label"] == "probe"
+        assert entry["phases"] == {"sweep_s": 1.25}
+        assert entry["metrics"]["cells"][0]["counters"]["misses"] == 100
+        assert "created" in entry and "host" in entry
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown ledger entry kind"):
+            make_ledger(tmp_path).record("party")
+
+    def test_get_by_prefix(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        a = ledger.record("sweep", metrics=sample_metrics(1))
+        b = ledger.record("sweep", metrics=sample_metrics(2))
+        assert ledger.get(a)["run_id"] == a
+        assert ledger.get(a[:6])["run_id"] == a
+        assert ledger.get(b[:6])["run_id"] == b
+
+    def test_get_missing_raises(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        ledger.record("sweep", metrics=sample_metrics())
+        with pytest.raises(LedgerError, match="no ledger entry"):
+            ledger.get("zzzzzz")
+        with pytest.raises(LedgerError, match="empty run id"):
+            ledger.get("")
+
+    def test_get_ambiguous_raises(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        ids = {
+            ledger.record("sweep", metrics=sample_metrics(i))
+            for i in range(40)
+        }
+        prefix = ""  # grow the prefix until it matches >1 id
+        for length in range(1, 16):
+            candidates = {i[:length] for i in ids}
+            if len(candidates) < len(ids):
+                prefix = next(
+                    c for c in candidates
+                    if sum(i.startswith(c) for i in ids) > 1
+                )
+                break
+        assert prefix, "40 ids should collide on some short prefix"
+        with pytest.raises(LedgerError, match="ambiguous"):
+            ledger.get(prefix)
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        good = ledger.record("sweep", metrics=sample_metrics())
+        segment = ledger.segments()[0]
+        with open(segment, "a") as fh:
+            fh.write('{"torn": \n')  # a crashed writer's partial line
+            fh.write("[1, 2, 3]\n")  # parseable but not an entry
+        entries = ledger.entries()
+        assert [e["run_id"] for e in entries] == [good]
+        assert ledger.corrupt_lines == 2
+        # lookups still work over the damaged store
+        assert ledger.get(good)["run_id"] == good
+
+    def test_content_addressed_ids_differ(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        a = ledger.record("sweep", metrics=sample_metrics(1))
+        b = ledger.record("sweep", metrics=sample_metrics(2))
+        assert a != b
+
+
+class TestMaintenance:
+    def test_gc_keeps_newest(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        ids = [
+            ledger.record("sweep", metrics=sample_metrics(i))
+            for i in range(10)
+        ]
+        removed = ledger.gc(keep=3)
+        assert removed == 7
+        assert [e["run_id"] for e in ledger.entries()] == ids[-3:]
+        # a second gc below the floor is a no-op
+        assert ledger.gc(keep=5) == 0
+
+    def test_export(self, tmp_path):
+        ledger = make_ledger(tmp_path)
+        ledger.record("sweep", metrics=sample_metrics(1))
+        ledger.record("bench", extra={"sweep_s": 2.0})
+        out = tmp_path / "export.json"
+        assert ledger.export(out) == 2
+        doc = json.loads(out.read_text())
+        assert [e["kind"] for e in doc] == ["sweep", "bench"]
+
+    def test_segment_rotation(self, tmp_path, monkeypatch):
+        import repro.obs.ledger as ledger_mod
+
+        monkeypatch.setattr(ledger_mod, "SEGMENT_MAX_BYTES", 512)
+        ledger = make_ledger(tmp_path)
+        for i in range(8):
+            ledger.record("sweep", metrics=sample_metrics(i))
+        assert len(ledger.segments()) > 1
+        assert len(ledger.entries()) == 8
+
+
+class TestEnvironmentGates:
+    def test_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "elsewhere"))
+        assert default_ledger_dir() == tmp_path / "elsewhere"
+        run_id = record_run("sweep", metrics=sample_metrics())
+        assert run_id is not None
+        assert RunLedger().get(run_id)["kind"] == "sweep"
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "off"))
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        assert not ledger_enabled()
+        assert RunLedger.from_env() is None
+        assert record_run("sweep", metrics=sample_metrics()) is None
+        assert not (tmp_path / "off").exists()
+
+    def test_record_run_swallows_write_errors(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the ledger dir should be\n")
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(blocker))
+        assert record_run("sweep", metrics=sample_metrics()) is None
+
+
+class TestSweepIntegration:
+    def test_sweep_records_entry_with_cell_times(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        from repro.runner import RunSpec, SweepRunner
+
+        specs = [
+            RunSpec(workload="lu", scale=0.05),
+            RunSpec(workload="lu", scale=0.05, predictor="SP"),
+        ]
+        runner = SweepRunner(jobs=1, disk=None, progress=False)
+        runner.run_many(specs)
+        assert runner.last_run_id is not None
+        entry = RunLedger().get(runner.last_run_id)
+        assert entry["kind"] == "sweep"
+        assert len(entry["spec_digests"]) == 2
+        assert set(entry["cell_times"]) == set(entry["spec_digests"])
+        assert all(t >= 0 for t in entry["cell_times"].values())
+        assert entry["extra"]["cells_simulated"] == 2
+        assert len(entry["metrics"]["cells"]) == 2
+        assert entry["phases"]["sweep_s"] >= 0
+
+    def test_cached_sweep_not_recorded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        from repro.runner import RunSpec, SweepRunner
+
+        spec = RunSpec(workload="lu", scale=0.05)
+        runner = SweepRunner(jobs=1, disk=None, progress=False)
+        runner.run_many([spec])
+        first = runner.last_run_id
+        runner.run_many([spec])  # fully memoized: nothing simulated
+        assert runner.last_run_id == first
+        assert len(RunLedger().entries()) == 1
+
+    def test_ledger_does_not_perturb_counters(self, tmp_path, monkeypatch):
+        """Bit-identical results with the ledger on vs. off."""
+        from repro.runner import RunSpec, SweepRunner
+
+        spec = RunSpec(workload="lu", scale=0.05, predictor="SP")
+
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        off = SweepRunner(jobs=1, disk=None, progress=False)
+        off_result = off.run_many([spec])[0].to_dict()
+
+        monkeypatch.setenv("REPRO_LEDGER", "1")
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        on = SweepRunner(jobs=1, disk=None, progress=False)
+        on_result = on.run_many([spec])[0].to_dict()
+
+        assert off_result == on_result
+        assert on.last_run_id is not None

@@ -1,0 +1,178 @@
+"""Live sweep telemetry: progress line, ETA, stall alarms, heartbeats."""
+
+import io
+import queue
+
+from repro.obs.live import HeartbeatListener, SweepProgress, stall_timeout
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_progress(total=4, stall_s=120.0):
+    clock = FakeClock()
+    stream = io.StringIO()
+    progress = SweepProgress(
+        total=total, stream=stream, enabled=True,
+        stall_s=stall_s, clock=clock,
+    )
+    return progress, stream, clock
+
+
+class TestSweepProgress:
+    def test_status_line_counts_and_eta(self):
+        progress, _, clock = make_progress(total=4)
+        progress.start_cell("d1", "lu/directory/SP")
+        progress.start_cell("d2", "fft/directory/SP")
+        clock.advance(10)
+        progress.finish_cell("d1")
+        line = progress.status_line()
+        assert "1/4 cells" in line
+        assert "1 running" in line
+        # 1 cell per 10s, 3 remaining -> ~30s eta
+        assert "eta 30s" in line
+        assert "10s elapsed" in line
+
+    def test_renders_in_place(self):
+        progress, stream, _ = make_progress(total=2)
+        progress.start_cell("d1", "lu")
+        progress.finish_cell("d1")
+        out = stream.getvalue()
+        assert out.count("\r") >= 2  # rewrites, not newline spam
+        assert "[sweep]" in out
+
+    def test_cell_times_collected(self):
+        progress, _, clock = make_progress()
+        progress.start_cell("d1", "lu")
+        clock.advance(2.5)
+        progress.finish_cell("d1")
+        assert progress.cell_times["d1"] == 2.5
+        # an explicit elapsed (from a worker heartbeat) wins
+        progress.start_cell("d2", "fft")
+        progress.finish_cell("d2", 7.0)
+        assert progress.cell_times["d2"] == 7.0
+
+    def test_stall_warning_names_the_cell_once(self):
+        progress, stream, clock = make_progress(stall_s=30.0)
+        progress.start_cell("d1", "ocean/directory/SP")
+        clock.advance(31)
+        progress.tick()
+        progress.tick()  # second tick must not re-warn
+        out = stream.getvalue()
+        assert out.count("no heartbeat from ocean/directory/SP") == 1
+        assert "stalled worker?" in out
+        assert progress.stalled == ["ocean/directory/SP"]
+
+    def test_no_stall_warning_before_timeout(self):
+        progress, stream, clock = make_progress(stall_s=30.0)
+        progress.start_cell("d1", "lu")
+        clock.advance(10)
+        progress.tick()
+        assert "no heartbeat" not in stream.getvalue()
+        assert progress.stalled == []
+
+    def test_disabled_progress_writes_nothing(self):
+        stream = io.StringIO()
+        progress = SweepProgress(total=2, stream=stream, enabled=False)
+        progress.start_cell("d1", "lu")
+        progress.finish_cell("d1")
+        progress.tick()
+        progress.close()
+        assert stream.getvalue() == ""
+
+    def test_auto_detect_off_tty(self):
+        # StringIO has no isatty -> treated as a pipe, display off
+        progress = SweepProgress(total=1, stream=io.StringIO())
+        assert progress.enabled is False
+
+    def test_close_clears_the_line(self):
+        progress, stream, _ = make_progress(total=1)
+        progress.start_cell("d1", "lu")
+        progress.close()
+        assert stream.getvalue().endswith("\r")
+
+
+class TestStallTimeout:
+    def test_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STALL_S", raising=False)
+        assert stall_timeout() == 120.0
+        monkeypatch.setenv("REPRO_STALL_S", "7.5")
+        assert stall_timeout() == 7.5
+        monkeypatch.setenv("REPRO_STALL_S", "nonsense")
+        assert stall_timeout() == 120.0
+
+
+class TestHeartbeatListener:
+    def test_drains_beats_into_progress(self):
+        progress, _, _ = make_progress(total=2)
+        beats = queue.Queue()
+        listener = HeartbeatListener(beats, progress, poll_s=0.05)
+        listener.start()
+        beats.put(("start", "d1", "lu/directory/SP"))
+        beats.put(("finish", "d1", 1.5))
+        beats.put(("start", "d2", "fft/directory/SP"))
+        beats.put(("finish", "d2", 0.5))
+        listener.stop()
+        assert not listener.is_alive()
+        assert progress.done == 2
+        assert progress.cell_times == {"d1": 1.5, "d2": 0.5}
+
+    def test_idle_listener_ticks_stall_check(self):
+        progress, stream, clock = make_progress(stall_s=5.0)
+        progress.start_cell("d1", "radix/directory/SP")
+        clock.advance(6)
+        beats = queue.Queue()
+        listener = HeartbeatListener(beats, progress, poll_s=0.01)
+        listener.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while not progress.stalled and time.monotonic() < deadline:
+            time.sleep(0.01)
+        listener.stop()
+        assert progress.stalled == ["radix/directory/SP"]
+
+    def test_stop_is_idempotent(self):
+        progress, _, _ = make_progress()
+        listener = HeartbeatListener(queue.Queue(), progress, poll_s=0.05)
+        listener.start()
+        listener.stop()
+        listener.stop()
+        assert not listener.is_alive()
+
+
+class TestRunnerProgressIntegration:
+    def test_serial_sweep_drives_progress(self):
+        from repro.runner import RunSpec, SweepRunner
+
+        stream = io.StringIO()
+        runner = SweepRunner(
+            jobs=1, disk=None, progress=True, progress_stream=stream,
+            ledger=False,
+        )
+        runner.run_many([
+            RunSpec(workload="lu", scale=0.05),
+            RunSpec(workload="lu", scale=0.05, predictor="SP"),
+        ])
+        out = stream.getvalue()
+        assert "[sweep] 2/2 cells" in out
+        assert len(runner.cell_times) == 2
+
+    def test_progress_false_suppresses(self):
+        from repro.runner import RunSpec, SweepRunner
+
+        stream = io.StringIO()
+        runner = SweepRunner(
+            jobs=1, disk=None, progress=False, progress_stream=stream,
+            ledger=False,
+        )
+        runner.run_many([RunSpec(workload="lu", scale=0.05)])
+        assert stream.getvalue() == ""

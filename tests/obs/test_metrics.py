@@ -108,3 +108,36 @@ class TestAggregate:
         agg = aggregate_metrics([])
         assert agg["gauges"]["cells"] == 0
         assert agg["gauges"]["comm_ratio"] == 0.0
+
+
+class TestSchemaStamp:
+    """Satellite: every metrics payload carries its schema version."""
+
+    def test_cell_payload_stamped(self, traced_run):
+        from repro.obs import METRICS_SCHEMA
+
+        result, _ = traced_run
+        payload = metrics_from_result(result)
+        assert payload["schema"] == METRICS_SCHEMA == 1
+
+    def test_aggregate_stamped(self):
+        from repro.obs import METRICS_SCHEMA
+
+        assert aggregate_metrics([])["schema"] == METRICS_SCHEMA
+
+    def test_save_metrics_stamps_unversioned_payloads(self, tmp_path):
+        from repro.obs import METRICS_SCHEMA, save_metrics
+
+        path = tmp_path / "m.json"
+        save_metrics({"cells": []}, path)
+        assert json.loads(path.read_text())["schema"] == METRICS_SCHEMA
+        # an explicit stamp is preserved, not overwritten
+        save_metrics({"schema": 99, "cells": []}, path)
+        assert json.loads(path.read_text())["schema"] == 99
+
+    def test_runner_payload_stamped(self):
+        from repro.obs import METRICS_SCHEMA
+        from repro.runner import SweepRunner
+
+        payload = SweepRunner(jobs=1, ledger=False).metrics_payload()
+        assert payload["schema"] == METRICS_SCHEMA

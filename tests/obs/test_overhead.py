@@ -73,3 +73,33 @@ class TestTinyRing:
         ).run()
         assert tracer.dropped > 0
         assert validate_events(tracer.to_doc()) == []
+
+
+class TestSweepOverheadStage:
+    """The telemetry+ledger half of the overhead gate (CLI-level)."""
+
+    def test_stage_reports_and_passes(self, capsys):
+        from repro.cli import main
+
+        # A generous ratio keeps this a correctness test (counters
+        # identical, stage wired end-to-end), not a timing test; the
+        # tight 1.05 budget is enforced by tools/check.sh on real runs.
+        assert main([
+            "obs", "overhead", "--workload", "lu", "--scale", "0.05",
+            "--reps", "1", "--sweep-cells", "2", "--max-ratio", "10",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep_cells"] == 2
+        assert payload["sweep_counters_identical"] is True
+        assert payload["sweep_overhead_ratio"] > 0
+        assert payload["passed"] is True
+
+    def test_stage_skippable(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "overhead", "--workload", "lu", "--scale", "0.05",
+            "--reps", "1", "--sweep-cells", "0", "--max-ratio", "10",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "sweep_cells" not in payload

@@ -1,0 +1,151 @@
+"""The regression sentinel: tolerance policy, schema gate, rendering."""
+
+import copy
+
+from repro.obs.regress import (
+    DEFAULT_WALL_TOLERANCE,
+    compare_runs,
+    normalize_run,
+)
+
+
+def payload(misses=1000, comm_ratio=0.4, sweep_s=2.0):
+    return {
+        "schema": 1,
+        "cells": [{
+            "workload": "lu", "protocol": "directory", "predictor": "SP",
+            "num_cores": 16,
+            "counters": {"misses": misses, "noc_bytes": 5 * misses},
+            "gauges": {"comm_ratio": comm_ratio},
+            "histograms": {"hops": {"1": misses // 2, "2": misses // 2}},
+        }],
+        "aggregate": {
+            "counters": {"misses": misses},
+            "gauges": {"comm_ratio": comm_ratio},
+        },
+        "phases": {"sweep_s": sweep_s},
+    }
+
+
+class TestNormalize:
+    def test_sweep_payload(self):
+        run = normalize_run(payload())
+        assert run["schema"] == 1
+        assert len(run["cells"]) == 1
+        assert run["aggregate"]["counters"]["misses"] == 1000
+        assert run["phases"] == {"sweep_s": 2.0}
+
+    def test_ledger_entry_shape(self):
+        entry = {
+            "schema": 1, "kind": "sweep",
+            "metrics": payload(), "phases": {"sweep_s": 3.0},
+        }
+        run = normalize_run(entry)
+        assert run["schema"] == 1
+        assert run["cells"][0]["workload"] == "lu"
+        assert run["phases"] == {"sweep_s": 3.0}
+
+    def test_single_cell_shape(self):
+        run = normalize_run({
+            "schema": 1,
+            "counters": {"misses": 7}, "gauges": {"comm_ratio": 0.1},
+        })
+        assert len(run["cells"]) == 1
+        assert run["aggregate"]["counters"]["misses"] == 7
+
+
+class TestPolicy:
+    def test_identical_runs_pass(self):
+        report = compare_runs(payload(), payload())
+        assert report.passed
+        assert report.identical_cells == report.compared_cells == 1
+        assert "PASS" in report.render()
+
+    def test_counter_drift_fails_exactly(self):
+        drifted = payload(misses=1001)
+        report = compare_runs(payload(), drifted)
+        assert not report.passed
+        names = [row.name for row in report.failures]
+        assert "aggregate.counters.misses" in names
+        rendered = report.render()
+        assert "FAIL" in rendered
+        assert "misses" in rendered
+
+    def test_wall_time_within_tolerance_passes(self):
+        report = compare_runs(payload(sweep_s=2.0), payload(sweep_s=2.4))
+        assert report.passed  # +20% < default 25%
+
+    def test_wall_time_over_tolerance_fails(self):
+        report = compare_runs(payload(sweep_s=2.0), payload(sweep_s=3.0))
+        assert not report.passed
+        assert [r.name for r in report.failures] == ["phases.sweep_s"]
+
+    def test_wall_time_improvement_always_passes(self):
+        report = compare_runs(payload(sweep_s=2.0), payload(sweep_s=0.5))
+        assert report.passed
+
+    def test_no_wall_skips_phase_metrics(self):
+        report = compare_runs(
+            payload(sweep_s=2.0), payload(sweep_s=99.0),
+            include_wall=False,
+        )
+        assert report.passed
+        assert not any(row.kind == "wall" for row in report.rows)
+
+    def test_custom_tolerance(self):
+        a, b = payload(sweep_s=2.0), payload(sweep_s=2.4)
+        assert not compare_runs(a, b, wall_tolerance=0.1).passed
+        assert compare_runs(a, b, wall_tolerance=0.5).passed
+        assert DEFAULT_WALL_TOLERANCE == 0.25
+
+    def test_histogram_drift_summarized_not_dumped(self):
+        drifted = copy.deepcopy(payload())
+        drifted["cells"][0]["histograms"]["hops"]["2"] += 1
+        drifted["aggregate"]["histograms"] = {"hops": {"1": 1}}
+        base = copy.deepcopy(payload())
+        base["aggregate"]["histograms"] = {"hops": {"1": 2}}
+        report = compare_runs(base, drifted)
+        assert not report.passed
+        rendered = report.render()
+        assert "<dist>" in rendered
+        assert "{" not in rendered  # bucket dicts never hit the table
+
+    def test_schema_mismatch_refused_one_line(self):
+        newer = payload()
+        newer["schema"] = 2
+        report = compare_runs(payload(), newer)
+        assert not report.passed
+        assert len(report.errors) == 1
+        assert "schema mismatch" in report.errors[0]
+        assert report.rows == []  # refused before any comparison
+
+    def test_cell_count_mismatch_is_an_error(self):
+        twice = payload()
+        twice["cells"] = twice["cells"] + twice["cells"]
+        report = compare_runs(payload(), twice)
+        assert not report.passed
+        assert any("instance(s)" in e for e in report.errors)
+
+    def test_to_dict_round_trips(self):
+        report = compare_runs(payload(), payload(misses=2))
+        doc = report.to_dict()
+        assert doc["passed"] is False
+        assert doc["failures"] > 0
+        assert any(
+            row["name"] == "aggregate.counters.misses"
+            for row in doc["rows"]
+        )
+
+
+class TestRealSweepPayloads:
+    def test_runner_payload_self_compare(self):
+        from repro.runner import RunSpec, SweepRunner
+
+        runner = SweepRunner(jobs=1, disk=None, progress=False,
+                             ledger=False)
+        runner.run_many([RunSpec(workload="lu", scale=0.05,
+                                 predictor="SP")])
+        doc = runner.metrics_payload()
+        report = compare_runs(doc, copy.deepcopy(doc))
+        assert report.passed
+        assert report.identical_cells == 1

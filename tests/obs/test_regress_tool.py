@@ -1,0 +1,109 @@
+"""tools/regress.py: the standalone sentinel's exit-code contract."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "regress.py"
+
+
+@pytest.fixture(scope="module")
+def regress_tool():
+    spec = importlib.util.spec_from_file_location("regress_tool", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["regress_tool"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_payload(path, misses):
+    path.write_text(json.dumps({
+        "schema": 1,
+        "cells": [{
+            "workload": "lu", "protocol": "directory", "predictor": "SP",
+            "counters": {"misses": misses},
+            "gauges": {"comm_ratio": 0.4},
+        }],
+        "aggregate": {"counters": {"misses": misses}},
+    }))
+    return path
+
+
+class TestCompareMode:
+    def test_identical_payloads_exit_zero(self, regress_tool, tmp_path,
+                                          capsys):
+        a = write_payload(tmp_path / "a.json", 100)
+        b = write_payload(tmp_path / "b.json", 100)
+        assert regress_tool.main(["--compare", str(a), str(b)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_drifted_payloads_exit_one(self, regress_tool, tmp_path,
+                                       capsys):
+        a = write_payload(tmp_path / "a.json", 100)
+        b = write_payload(tmp_path / "b.json", 101)
+        assert regress_tool.main(["--compare", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "aggregate.counters.misses" in out
+        assert "FAIL" in out
+
+    def test_json_mode(self, regress_tool, tmp_path, capsys):
+        a = write_payload(tmp_path / "a.json", 100)
+        b = write_payload(tmp_path / "b.json", 101)
+        assert regress_tool.main(
+            ["--compare", str(a), str(b), "--json"]
+        ) == 1
+        assert json.loads(capsys.readouterr().out)["passed"] is False
+
+    def test_missing_file_one_line_error(self, regress_tool, tmp_path,
+                                         capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+        a = write_payload(tmp_path / "a.json", 100)
+        assert regress_tool.main(
+            ["--compare", str(a), str(tmp_path / "nope.json")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestBaselineGate:
+    def test_missing_baseline_exit_one(self, regress_tool, tmp_path,
+                                       capsys):
+        missing = tmp_path / "baselines.json"
+        assert regress_tool.main(["--baseline", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert "--update" in err
+
+    def test_stale_cache_version_exit_one(self, regress_tool, tmp_path,
+                                          capsys):
+        from repro.runner import CACHE_VERSION
+
+        stale = tmp_path / "baselines.json"
+        stale.write_text(json.dumps({
+            "cache_version": CACHE_VERSION - 1,
+            "metrics": {"schema": 1, "cells": [], "aggregate": {}},
+        }))
+        assert regress_tool.main(["--baseline", str(stale)]) == 1
+        err = capsys.readouterr().err
+        assert "cache_version" in err
+        assert "regenerate" in err
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_matches_current_cache_version(self):
+        from repro.runner import CACHE_VERSION
+
+        baseline_path = TOOL.parent.parent / "benchmarks/baselines.json"
+        assert baseline_path.exists(), (
+            "benchmarks/baselines.json must be committed; regenerate "
+            "with tools/regress.py --update"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["cache_version"] == CACHE_VERSION
+        assert baseline["metrics"]["schema"] == 1
+        assert len(baseline["metrics"]["cells"]) == len(
+            baseline["probe"]["grid"]
+        )

@@ -171,11 +171,32 @@ class TestJobsResolution:
 
         assert resolve_jobs() == (os.cpu_count() or 1)
 
-    def test_floor_of_one(self):
+    def test_floor_of_one_warns(self):
         from repro.runner import resolve_jobs
 
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-4) == 1
+        with pytest.warns(RuntimeWarning, match=r"jobs=0 is not a valid"):
+            assert resolve_jobs(0) == 1
+        with pytest.warns(RuntimeWarning, match=r"jobs=-4 is not a valid"):
+            assert resolve_jobs(-4) == 1
+
+    def test_env_floor_of_one_warns(self, monkeypatch):
+        from repro.runner import resolve_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.warns(
+            RuntimeWarning, match=r"REPRO_JOBS=0 is not a valid"
+        ):
+            assert resolve_jobs() == 1
+
+    def test_valid_counts_do_not_warn(self, monkeypatch, recwarn):
+        from repro.runner import resolve_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert resolve_jobs() == 2
+        assert resolve_jobs(1) == 1
+        assert not [
+            w for w in recwarn if issubclass(w.category, RuntimeWarning)
+        ]
 
     def test_garbage_env_names_the_variable(self, monkeypatch):
         from repro.runner import resolve_jobs

@@ -344,10 +344,45 @@ def main(argv=None) -> int:
         payload["profile"] = {"top_functions": top}
         print(stats_text)
 
+    # Merge, don't overwrite: the latest payload replaces the top-level
+    # sections, but the compact per-run history rows accumulate so the
+    # file carries the performance trajectory, not just the last point.
+    history = []
+    if os.path.exists(args.out):
+        try:
+            with open(args.out) as fh:
+                history = json.load(fh).get("history") or []
+        except (OSError, ValueError):
+            history = []
+    history.append({
+        "git_sha": payload["host"].get("git_sha"),
+        "date": payload["host"].get("timestamp")
+        or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "hot_run_s": payload["single_run"]["full_s"],
+        "sweep_s": payload["sweep"]["parallel_cold_s"],
+    })
+    payload["history"] = history
+
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} ({len(history)} history rows)")
+
+    from repro.obs.ledger import record_run
+
+    run_id = record_run(
+        "bench",
+        phases=timer.breakdown(),
+        label="smoke" if args.smoke else "full",
+        extra={
+            "scale": scale,
+            "jobs": jobs,
+            "sweep": payload["sweep"],
+            "single_run": payload["single_run"],
+        },
+    )
+    if run_id:
+        print(f"[ledger: run {run_id}]")
     return 0
 
 

@@ -37,7 +37,15 @@ echo "== observability overhead gate =="
 # Tracing off vs. on: counters must be bit-identical, the event stream
 # must validate, and the disabled path must not run slower than the
 # enabled one (the single falsy check is the only cost when off).
+# The sweep stage additionally certifies the live telemetry + run
+# ledger as non-perturbing and within the overhead budget.
 python -m repro obs overhead --workload lu --scale 0.1 --reps 5 \
     --bench "$BENCH_OUT"
+
+echo "== regression sentinel (probe sweep vs. committed baselines) =="
+# Counters must match benchmarks/baselines.json exactly; a red run is
+# either a real regression or an intentional behavior change, in which
+# case regenerate with `tools/regress.py --update` and commit the diff.
+python tools/regress.py | tee regress-report.txt
 
 echo "== check.sh: all gates green =="

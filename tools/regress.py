@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""The regression sentinel: probe sweep vs. committed baselines.
+
+Runs a small deterministic probe sweep (two workloads x three
+protocol/predictor cells at scale 0.05, serial, no caches) and compares
+its metric payload against ``benchmarks/baselines.json`` with the
+per-kind tolerance policy from :mod:`repro.obs.regress`: counters,
+gauges, and histograms must match exactly (the simulator is
+deterministic per ``CACHE_VERSION``), wall times — off by default
+against a committed baseline, since they are host-specific — get a
+relative tolerance when requested.
+
+Exit code 0 means no drift; 1 means a metric regressed (the per-metric
+table names it) or the baseline predates the current ``CACHE_VERSION``
+and must be regenerated.
+
+Usage::
+
+    PYTHONPATH=src python tools/regress.py                 # gate
+    PYTHONPATH=src python tools/regress.py --update        # new baseline
+    PYTHONPATH=src python tools/regress.py --compare A B   # two payloads
+    PYTHONPATH=src python tools/regress.py --json          # machine output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import host_metadata  # noqa: E402
+from repro.obs.regress import compare_runs  # noqa: E402
+from repro.runner import CACHE_VERSION, RunSpec, SweepRunner  # noqa: E402
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / (
+    "benchmarks/baselines.json"
+)
+
+#: The probe grid: small enough to finish in seconds, wide enough to
+#: touch both protocols, the SP predictor, and two workload shapes.
+PROBE_SCALE = 0.05
+PROBE_GRID = (
+    ("bodytrack", "directory", "none"),
+    ("bodytrack", "directory", "SP"),
+    ("bodytrack", "broadcast", "none"),
+    ("lu", "directory", "none"),
+    ("lu", "directory", "SP"),
+    ("lu", "broadcast", "none"),
+)
+
+
+def probe_payload() -> dict:
+    """Run the probe sweep; returns its schema-stamped metrics payload."""
+    specs = [
+        RunSpec(workload=w, scale=PROBE_SCALE, protocol=proto,
+                predictor=pred)
+        for w, proto, pred in PROBE_GRID
+    ]
+    runner = SweepRunner(jobs=1, disk=None, progress=False, ledger=False)
+    runner.run_many(specs)
+    return runner.metrics_payload()
+
+
+def load_doc(token: str) -> dict | None:
+    """A run doc from a JSON file path or a ledger run-id prefix."""
+    path = Path(token)
+    if path.exists():
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    from repro.obs import LedgerError, RunLedger
+
+    ledger = RunLedger.from_env()
+    if ledger is None:
+        print(f"error: {token!r} is not a file and the run ledger is "
+              f"disabled", file=sys.stderr)
+        return None
+    try:
+        return ledger.get(token)
+    except LedgerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="baseline file (default %(default)s)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="run the probe sweep and (re)write the baseline file",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("A", "B"), default=None,
+        help="compare two payloads (files or ledger run ids) instead "
+             "of probing; wall times compared with the default "
+             "tolerance unless --wall-tolerance overrides it",
+    )
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=None, metavar="FRAC",
+        help="also compare wall times, at this relative tolerance "
+             "(default: skipped against a committed baseline — wall "
+             "clocks are host-specific; counters are not)",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        doc_a = load_doc(args.compare[0])
+        if doc_a is None:
+            return 1
+        doc_b = load_doc(args.compare[1])
+        if doc_b is None:
+            return 1
+        kw = {}
+        if args.wall_tolerance is not None:
+            kw["wall_tolerance"] = args.wall_tolerance
+        report = compare_runs(doc_a, doc_b, **kw)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.passed else 1
+
+    baseline_path = Path(args.baseline)
+
+    if args.update:
+        payload = probe_payload()
+        doc = {
+            "cache_version": CACHE_VERSION,
+            "probe": {
+                "scale": PROBE_SCALE,
+                "grid": [list(cell) for cell in PROBE_GRID],
+            },
+            "host": host_metadata(),
+            "metrics": payload,
+        }
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(baseline_path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline: {len(payload['cells'])} probe cells "
+              f"(cache_version {CACHE_VERSION}) -> {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path}; create one with "
+              f"tools/regress.py --update", file=sys.stderr)
+        return 1
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    if baseline.get("cache_version") != CACHE_VERSION:
+        print(
+            f"error: baseline was recorded at cache_version "
+            f"{baseline.get('cache_version')!r} but the simulator is at "
+            f"{CACHE_VERSION} — intentional behavior change; regenerate "
+            f"with tools/regress.py --update", file=sys.stderr,
+        )
+        return 1
+
+    current = probe_payload()
+    report = compare_runs(
+        baseline.get("metrics") or {},
+        current,
+        wall_tolerance=(
+            args.wall_tolerance if args.wall_tolerance is not None
+            else 0.25
+        ),
+        include_wall=args.wall_tolerance is not None,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(show_ok=False))
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
