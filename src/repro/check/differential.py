@@ -48,6 +48,7 @@ ENGINE_CELLS = (
     ("directory", "SP"),
     ("multicast", "ADDR"),
     ("broadcast", "none"),
+    ("limited", "ORACLE"),
 )
 
 
@@ -249,14 +250,16 @@ def check_engine_paths(
     machine: MachineConfig | None = None,
     report: DiffReport | None = None,
 ) -> list:
-    """The timing engine's two loops must agree on every counter.
+    """The timing engine's three loops must agree on every counter.
 
-    :meth:`SimulationEngine.run` has an interpreted event-by-event loop
-    and a compiled fast path driven by the trace's segment index
-    (:mod:`repro.traces.compile`); the fast path's contract is
-    bit-identity, so this stage runs each cell through both and compares
-    the *complete* ``SimulationResult.to_dict()`` payloads — every
-    counter, histogram, network total, and epoch statistic.
+    :meth:`SimulationEngine.run` has an interpreted event-by-event loop,
+    a compiled fast path driven by the trace's segment index
+    (:mod:`repro.traces.compile`), and a vectorized batch engine over
+    the compiled columns (:mod:`repro.sim.vector`); the fast paths'
+    contract is bit-identity, so this stage runs each cell through all
+    three and compares the *complete* ``SimulationResult.to_dict()``
+    payloads — every counter, histogram, network total, and epoch
+    statistic.
     """
     from repro.check.lockstep import machine_for_cores
     from repro.sim.engine import SimulationEngine
@@ -264,36 +267,45 @@ def check_engine_paths(
     if machine is None:
         machine = machine_for_cores(workload.num_cores)
     divergences = []
+    configs = (
+        ("interpreted", {"use_compiled": False, "use_vector": False}),
+        ("compiled_engine", {"use_compiled": True, "use_vector": False}),
+        ("vector_engine", {"use_vector": True}),
+    )
     for protocol, predictor in cells:
-        payloads = []
-        for use_compiled in (False, True):
+        interpreted = None
+        for loop_name, loop_kw in configs:
             engine = SimulationEngine(
                 workload,
                 machine=machine,
                 protocol=protocol,
                 predictor=predictor,
                 collect_epochs=True,
-                use_compiled=use_compiled,
+                **loop_kw,
             )
-            payloads.append(engine.run().to_dict())
-        interpreted, compiled = payloads
-        if report is not None:
-            report.engine_cells += 1
-            report.transactions += (
-                interpreted["read_misses"] + interpreted["write_misses"]
-                + interpreted["upgrade_misses"]
-            )
-        if interpreted != compiled:
-            divergences.append(Divergence(
-                workload=workload.name,
-                protocol=protocol,
-                predictor=predictor,
-                ref_protocol=protocol,
-                ref_predictor=predictor,
-                field_name="compiled_engine",
-                detail="interpreted (reference) vs compiled (candidate): "
-                       + _dict_diff(interpreted, compiled),
-            ))
+            payload = engine.run().to_dict()
+            if interpreted is None:
+                interpreted = payload
+                if report is not None:
+                    report.engine_cells += 1
+                    report.transactions += (
+                        interpreted["read_misses"]
+                        + interpreted["write_misses"]
+                        + interpreted["upgrade_misses"]
+                    )
+                continue
+            if payload != interpreted:
+                divergences.append(Divergence(
+                    workload=workload.name,
+                    protocol=protocol,
+                    predictor=predictor,
+                    ref_protocol=protocol,
+                    ref_predictor=predictor,
+                    field_name=loop_name,
+                    detail=f"interpreted (reference) vs {loop_name} "
+                           "(candidate): "
+                           + _dict_diff(interpreted, payload),
+                ))
     if report is not None:
         report.divergences.extend(divergences)
     return divergences

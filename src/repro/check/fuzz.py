@@ -40,7 +40,11 @@ CASE_PREDICTORS = ("none", "SP")
 #: suite generators never do — interleaved private/shared spans, think
 #: runs abutting budget boundaries — and the tiny fuzz caches plus the
 #: 64-byte line size keep the compiled private fast path armed.
-CASE_ENGINE_CELLS = (("directory", "SP"), ("broadcast", "none"))
+CASE_ENGINE_CELLS = (
+    ("directory", "SP"),
+    ("broadcast", "none"),
+    ("multicast", "UNI"),
+)
 
 
 def fuzz_machine(num_cores: int) -> MachineConfig:
@@ -136,16 +140,17 @@ def _run_engine_cells(
     machine: MachineConfig,
     cells,
 ) -> CaseFailure | None:
-    """Compiled-vs-interpreted engine equivalence on one fuzz trace.
+    """Engine-path equivalence on one fuzz trace, across all three loops.
 
-    Both loops of :meth:`SimulationEngine.run` replay the case and the
-    complete ``to_dict()`` payloads must match; the trace recompiles
-    from scratch each time, so the compiler's segment classification is
-    fuzzed along with the engine.
+    The interpreted, compiled, and vectorized paths of
+    :meth:`SimulationEngine.run` replay the case and the complete
+    ``to_dict()`` payloads must match; the trace recompiles from scratch
+    each time, so the compiler's segment classification is fuzzed along
+    with the engine.
 
     The compiled run additionally carries an :class:`EventTracer`:
     its stream must validate (epoch pairing, live-epoch references,
-    monotone timestamps), and because the interpreted run is untraced,
+    monotone timestamps), and because the other runs are untraced,
     payload equality doubles as a continuous proof that the tracer
     never perturbs a simulation counter.
     """
@@ -153,11 +158,16 @@ def _run_engine_cells(
     from repro.obs import EventTracer, validate_events
     from repro.sim.engine import SimulationEngine
 
+    configs = (
+        ("interpreted", {"use_compiled": False, "use_vector": False}),
+        ("compiled", {"use_compiled": True, "use_vector": False}),
+        ("vector", {"use_vector": True}),
+    )
     for protocol, predictor in cells:
         cell = f"engine:{protocol}/{predictor}"
-        payloads = []
+        payloads = {}
         tracer = None
-        for use_compiled in (False, True):
+        for loop, loop_kw in configs:
             try:
                 engine = SimulationEngine(
                     workload,
@@ -166,25 +176,25 @@ def _run_engine_cells(
                     predictor=predictor,
                     migrations=migrations,
                     collect_epochs=True,
-                    use_compiled=use_compiled,
+                    **loop_kw,
                 )
-                if use_compiled:
+                if loop == "compiled":
                     tracer = EventTracer()
                     engine.tracer = tracer
-                payloads.append(engine.run().to_dict())
+                payloads[loop] = engine.run().to_dict()
             except Exception as exc:
-                loop = "compiled" if use_compiled else "interpreted"
                 return CaseFailure(
                     kind="crash",
                     cell=f"{cell} ({loop})",
                     detail=f"{type(exc).__name__}: {exc}",
                 )
-        if payloads[0] != payloads[1]:
-            return CaseFailure(
-                kind="divergence",
-                cell=f"{cell} compiled vs interpreted",
-                detail=_dict_diff(payloads[0], payloads[1]),
-            )
+        for loop in ("compiled", "vector"):
+            if payloads["interpreted"] != payloads[loop]:
+                return CaseFailure(
+                    kind="divergence",
+                    cell=f"{cell} {loop} vs interpreted",
+                    detail=_dict_diff(payloads["interpreted"], payloads[loop]),
+                )
         errors = validate_events(tracer.to_doc())
         if errors:
             return CaseFailure(

@@ -754,14 +754,24 @@ def _sweep_overhead_stage(
     off_payload = on_payload = None
     with tempfile.TemporaryDirectory() as tmp:
         try:
-            for _ in range(reps):
-                os.environ["REPRO_LEDGER"] = "0"
-                elapsed, off_payload = run_sweep(False, None, False)
-                off_times.append(elapsed)
-                os.environ["REPRO_LEDGER"] = "1"
-                os.environ["REPRO_LEDGER_DIR"] = tmp
-                elapsed, on_payload = run_sweep(True, io.StringIO(), True)
-                on_times.append(elapsed)
+            for rep in range(reps):
+                # Alternate which side runs first: a host slowing down
+                # mid-stage (thermal/frequency drift after a long CI
+                # run) would otherwise bias whichever side always runs
+                # second, and this gate compares ~0.3s wall times.
+                order = (False, True) if rep % 2 == 0 else (True, False)
+                for instrumented in order:
+                    if instrumented:
+                        os.environ["REPRO_LEDGER"] = "1"
+                        os.environ["REPRO_LEDGER_DIR"] = tmp
+                        elapsed, on_payload = run_sweep(
+                            True, io.StringIO(), True
+                        )
+                        on_times.append(elapsed)
+                    else:
+                        os.environ["REPRO_LEDGER"] = "0"
+                        elapsed, off_payload = run_sweep(False, None, False)
+                        off_times.append(elapsed)
         finally:
             for key, value in saved.items():
                 if value is None:
@@ -1117,6 +1127,8 @@ def cmd_trace_info(args) -> int:
         if magic == b"RTRACEv2":
             compiled = load_compiled(args.input)
             counts = compiled.segment_counts()
+            coverage = compiled.batch_coverage()
+            per_core = coverage["per_core"]
             info = {
                 "format": "repro-trace v2 (binary)",
                 "name": compiled.name,
@@ -1130,6 +1142,19 @@ def cmd_trace_info(args) -> int:
                     len(segs) for segs in compiled.segments
                 ],
                 **counts,
+                # Batch coverage: the share of each core's events inside
+                # PRIVATE/THINK runs, i.e. what the vectorized engine
+                # can batch (the rest takes the per-event path).
+                "vector_fraction": coverage["vector_fraction"],
+                "vector_fraction_per_core": [
+                    c["vector_fraction"] for c in per_core
+                ],
+                "private_events_per_core": [
+                    c["private_events"] for c in per_core
+                ],
+                "think_events_per_core": [
+                    c["think_events"] for c in per_core
+                ],
                 "file_bytes": os.path.getsize(args.input),
             }
         else:
@@ -1153,8 +1178,9 @@ def cmd_trace_info(args) -> int:
     if args.json:
         print(json.dumps(info, indent=2))
         return 0
+    width = max(len(key) for key in info) + 2
     for key, value in info.items():
-        print(f"{key:18s}{value}")
+        print(f"{key:{width}s}{value}")
     return 0
 
 

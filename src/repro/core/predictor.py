@@ -242,9 +242,77 @@ class SPPredictor(TargetPredictor):
         reg = state.predictor_reg
         if not reg:
             return None
+        return self._cached_prediction(state, reg)
+
+    # -- batched private-run interface (engine vector path) -------------
+
+    def peek_private_plan(self, core: int, n: int) -> list:
+        """Plan ``n`` consecutive guaranteed-cold-miss predictions.
+
+        Returns ``[(count, Prediction | None), ...]`` summing to ``n``:
+        exactly the values ``n`` sequential :meth:`predict` calls would
+        return, without mutating predictor state (the engine's vector
+        path batches whole private runs and applies the state effects
+        afterwards via :meth:`commit_private_batch`).  Sound for private
+        runs only: every miss is cold, so :meth:`train` is a no-op and
+        the communication counters — and therefore the warm-up hot set —
+        are frozen for the duration of the batch.
+        """
+        state = self._cores[self._logical(core)]
+        reg = state.predictor_reg
+        if reg:
+            return [(n, self._cached_prediction(state, reg))]
+        if state.source is not PredictionSource.D0:
+            return [(n, None)]
+        cfg = self.config
+        # predict() increments miss_count *before* its warm-up check, so
+        # the j-th call of the batch (1-based) sees miss_count + j.
+        first_adopt = cfg.warmup_misses - state.miss_count
+        if first_adopt > n:
+            return [(n, None)]
+        hot = state.counters.hot_set(
+            cfg.hot_threshold, cfg.max_hot_set_size
+        )
+        if not hot:
+            # The adoption check re-runs every call past the warm-up
+            # boundary, but the counters are frozen: still empty.
+            return [(n, None)]
+        head = max(first_adopt - 1, 0)
+        pred = Prediction(
+            targets=frozenset(self._to_physical(hot)),
+            source=state.source,
+        )
+        if head:
+            return [(head, None), (n - head, pred)]
+        return [(n, pred)]
+
+    def commit_private_batch(self, core: int, n: int) -> None:
+        """Apply the state effects of ``n`` planned :meth:`predict` calls
+        (miss-count advance plus a possible warm-up adoption)."""
+        state = self._cores[self._logical(core)]
+        state.miss_count += n
+        if (
+            state.predictor_reg is None
+            and state.source is PredictionSource.D0
+            and state.miss_count >= self.config.warmup_misses
+        ):
+            hot = state.counters.hot_set(
+                self.config.hot_threshold, self.config.max_hot_set_size
+            )
+            if hot:
+                state.predictor_reg = hot
+                if self.tracer is not None:
+                    self.tracer.warmup(core, hot)
+
+    def _cached_prediction(self, state: _CoreState, reg) -> Prediction:
+        """The memoized Prediction for a non-empty register.  The
+        register changes rarely (sync points, warm-up, recovery) while
+        misses probe it constantly, so the built Prediction is reused
+        until the register, source, or core mapping changes; the
+        register is a frozenset, so identity implies value."""
         mapping = self.mapping
-        # ``migrations`` counts every mapping mutation, so it versions the
-        # cached physical translation.
+        # ``migrations`` counts every mapping mutation, so it versions
+        # the cached physical translation.
         mver = 0 if mapping is None else mapping.migrations
         cached = state.cached_prediction
         if (

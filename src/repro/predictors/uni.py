@@ -36,6 +36,19 @@ class UniPredictor(TargetPredictor):
             return None
         return Prediction(targets=group, source=PredictionSource.TABLE)
 
+    def peek_private_plan(self, core: int, n: int) -> list:
+        """Batched-private-run plan (engine vector path): prediction is
+        a pure function of the core's group entry, which only training
+        mutates — and training is a no-op on the cold misses of a
+        private run (no responder, nothing invalidated)."""
+        group = self._entries[core].group(exclude=core)
+        if not group:
+            return [(n, None)]
+        return [(n, Prediction(targets=group, source=PredictionSource.TABLE))]
+
+    def commit_private_batch(self, core: int, n: int) -> None:
+        """Prediction here mutates nothing; nothing to apply."""
+
     def train(
         self, core: int, block: int, pc: int, kind: MissKind,
         result: TransactionResult,

@@ -51,6 +51,40 @@ from repro.workloads.base import OP_READ, OP_THINK, OP_WRITE, Workload
 #: cached configuration.
 _QUANTUM = 400
 
+_NUMPY_AVAILABLE: bool | None = None
+_NUMPY_WARNED = False
+
+
+def _numpy_available() -> bool:
+    """Whether numpy imports, checked once per process."""
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            _NUMPY_AVAILABLE = False
+        else:
+            _NUMPY_AVAILABLE = True
+    return _NUMPY_AVAILABLE
+
+
+def _warn_no_numpy() -> None:
+    """One warning per process when the vector path wants numpy and the
+    environment lacks it; the run then takes the compiled path."""
+    global _NUMPY_WARNED
+    if _NUMPY_WARNED:
+        return
+    _NUMPY_WARNED = True
+    import warnings
+
+    warnings.warn(
+        "numpy is not installed; the vectorized batch engine is disabled "
+        "and runs take the compiled path (install with "
+        "pip install 'repro[fast]' to enable it)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
 
 class SimulationEngine:
     """One simulation run: a workload on a machine under one protocol.
@@ -86,6 +120,7 @@ class SimulationEngine:
         predictor_entries: int | None = None,
         ideal_metric: bool = True,
         use_compiled: bool | None = None,
+        use_vector: bool | None = None,
         tracer=None,
     ) -> None:
         self.machine = machine or MachineConfig()
@@ -133,6 +168,11 @@ class SimulationEngine:
         #: True/False force the compiled fast path / the reference
         #: event-by-event interpreter.
         self.use_compiled = use_compiled
+        #: Tri-state: None auto-selects the vectorized batch engine when
+        #: the compiled path is enabled, numpy imports, and
+        #: ``REPRO_VECTOR`` is not ``0``; True forces it (still degrades
+        #: gracefully without numpy); False forces it off.
+        self.use_vector = use_vector
         self.collect_epochs = collect_epochs
         self.ideal_metric = ideal_metric
         #: Whether the engine-side epoch/volume bookkeeping runs at all.
@@ -177,19 +217,27 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        """Execute the workload; dispatches to the compiled fast path.
+        """Execute the workload; dispatches to the fastest enabled path.
 
-        The compiled path (the default) consumes the workload's
-        :class:`~repro.traces.compile.CompiledTrace` segment index —
+        Three paths, certified bit-identical by ``repro check diff``:
+        the vectorized batch engine (the default when numpy imports —
+        guaranteed-private runs processed as array operations, see
+        :mod:`repro.sim.vector`), the compiled segment-index loop —
         THINK runs advance the core clock with one bisect per scheduling
         turn, guaranteed-private first touches skip the provably no-op
-        hierarchy probe — and is bit-identical to the event-by-event
-        interpreter; ``repro check diff`` certifies exactly that.
-        ``use_compiled=False`` (or ``REPRO_COMPILED=0``) forces the
-        reference interpreter.
+        hierarchy probe — and the reference event-by-event interpreter.
+        ``use_vector=False`` (or ``REPRO_VECTOR=0``) steps down to the
+        compiled path; ``use_compiled=False`` (or ``REPRO_COMPILED=0``)
+        forces the reference interpreter.  Without numpy the vector path
+        degrades to the compiled one with a single warning, never an
+        ImportError.
         """
         quantum = self._effective_quantum()
         self._attach_tracer()
+        if self._vector_enabled():
+            from repro.sim.vector import run_vector
+
+            return run_vector(self, quantum)
         if self._compiled_enabled():
             return self._run_compiled(quantum)
         return self._run_interpreted(quantum)
@@ -215,6 +263,28 @@ class SimulationEngine:
         if self.use_compiled is not None:
             return self.use_compiled
         return os.environ.get("REPRO_COMPILED", "1") != "0"
+
+    def _vector_enabled(self) -> bool:
+        """Whether to run the vectorized batch engine.
+
+        Explicit ``use_vector=True`` wins (modulo numpy actually
+        importing); in auto mode the vector path rides on top of the
+        compiled one, so anything that forces the reference interpreter
+        (``use_compiled=False``, ``REPRO_COMPILED=0``) disables it too.
+        """
+        if self.use_vector is not None:
+            if self.use_vector and not _numpy_available():
+                _warn_no_numpy()
+                return False
+            return self.use_vector
+        if not self._compiled_enabled():
+            return False
+        if os.environ.get("REPRO_VECTOR", "1") == "0":
+            return False
+        if not _numpy_available():
+            _warn_no_numpy()
+            return False
+        return True
 
     def _effective_quantum(self) -> int:
         """Scheduler quantum: machine config, then environment, then

@@ -1,0 +1,843 @@
+"""Vectorized batch engine over the columnar trace store.
+
+The third execution path of :meth:`SimulationEngine.run` (after the
+reference interpreter and the compiled segment-index loop): it consumes
+the compiled "repro-trace v2" columns through zero-copy numpy views and
+processes whole guaranteed-private runs as array operations, falling
+back to the per-event interpreter at every segment boundary that
+genuinely interleaves cores (sync events, shared epochs, THINK runs —
+the latter were already O(1) per scheduling turn post-PR 3).
+
+Why private runs batch exactly
+------------------------------
+
+Every event of a PRIVATE segment is a *cold* miss on a block no core
+ever cached (sole-toucher first touch, see
+:mod:`repro.traces.compile`).  For each protocol backend a cold
+transaction is a pure function of ``(core, kind, home, predicted set)``:
+
+* ``communicating`` is False, ``responder`` is None, ``invalidated`` is
+  empty and ``prediction_correct`` is None, so the miss handler's
+  communication/epoch/accuracy bookkeeping reduces to per-class counter
+  adds;
+* its latency and NoC traffic are per-class constants, measured here by
+  probing one representative transaction per class on a *scratch*
+  substrate (same mesh and latencies, fresh directory, huge-associative
+  caches so no victim traffic pollutes the delta) built from the same
+  factories as the real one;
+* predictor state advances in a closed form: ``peek_private_plan``
+  returns the exact prediction sequence ``n`` sequential ``predict()``
+  calls would produce (training is a no-op on cold misses, so the
+  underlying counters are frozen), and ``commit_private_batch`` applies
+  the state effects afterwards.
+
+Only the cache *fills* — which evict real victims whose writebacks are
+real traffic — are inherently sequential; they run per event through
+the protocol's own fill helpers, so eviction behavior cannot drift from
+the other two paths.  The scheduler quantum splits a batch at the exact
+event-consume-then-check position of the interpreter via one
+prefix-sum + ``searchsorted``; short windows (a contended quantum
+admits only a few events) skip numpy and walk the same class constants
+in plain Python, so the batch path never loses to the compiled one.
+
+``repro check diff`` and the fuzzer certify all three paths
+bit-identical on the complete ``SimulationResult.to_dict()`` payload.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+
+from repro.cache.cache import CacheConfig, CacheLine
+from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
+from repro.coherence import make_directory, make_protocol
+from repro.coherence.protocol import DirectoryProtocol
+from repro.coherence.snooping import BroadcastProtocol
+from repro.coherence.states import Mesif
+from repro.noc.network import Network
+from repro.sync.points import StaticSyncId, SyncKind
+from repro.traces.compile import BLOCK_SHIFT, SEG_THINK, ensure_compiled
+from repro.workloads.base import OP_READ, OP_THINK, OP_WRITE
+
+#: Minimum events worth routing through numpy; below this the same class
+#: constants are walked in plain Python (a contended scheduler quantum
+#: admits only a handful of ~200-cycle misses per turn, where array-op
+#: fixed costs would exceed the loop they replace).
+_VECTOR_MIN = 24
+
+#: Associativity of the scratch probe caches: large enough that probe
+#: fills never evict (a victim writeback would pollute the measured
+#: per-class traffic delta).
+_SCRATCH_ASSOC = 1 << 12
+
+_UNSET = object()
+
+
+class _ClassConst:
+    """Measured constants of one cold-miss class ``(core, kind, home,
+    predicted set)``: critical-path latency (including the engine-side
+    L2 tag check), histogram bucket, and NoC/snoop traffic deltas."""
+
+    __slots__ = (
+        "latency", "bound", "indirection", "messages", "bytes_total",
+        "byte_links", "byte_routers", "by_category", "snoops",
+        "is_write", "count",
+    )
+
+
+class _LatTable:
+    """Per ``(core, predicted set)``: the class constants for every
+    (kind, home) pair, plus a numpy latency lookup and the minimum
+    latency (an upper bound on events per quantum window)."""
+
+    __slots__ = ("np_lat", "rows", "min_lat")
+
+
+class _ClassProber:
+    """Measures cold-miss class constants on a scratch substrate.
+
+    The scratch network/directory/hierarchies/protocol come from the
+    same factories and configuration as the engine's own, so every
+    measured message and cycle is produced by the real protocol code;
+    each probe uses a fresh block of the requested home, guaranteeing
+    the cold path.  Classes that violate the cold-purity contract
+    (communicating, a responder, invalidations, an accuracy verdict)
+    are reported as unbatchable and the engine falls back per event.
+    """
+
+    def __init__(self, engine) -> None:
+        machine = engine.machine
+        n = machine.num_cores
+        self.num_nodes = n
+        self.l2_tag = engine._l2_tag
+        self.buckets = engine._LATENCY_BUCKETS
+        self.network = Network(
+            machine.mesh(),
+            router_latency=machine.router_latency,
+            link_latency=machine.link_latency,
+        )
+        protocol_name = engine.result.protocol
+        self.directory = make_directory(
+            protocol_name, n,
+            pointers=getattr(engine.directory, "pointers", None),
+        )
+        line = machine.l2.line_size
+        cfg = CacheConfig(
+            size=_SCRATCH_ASSOC * line, assoc=_SCRATCH_ASSOC,
+            line_size=line,
+        )
+        self.hierarchies = [
+            PrivateHierarchy(core, cfg, cfg) for core in range(n)
+        ]
+        self.protocol = make_protocol(
+            protocol_name, self.hierarchies, self.directory, self.network,
+            machine.latencies,
+        )
+        self._next_block = 0
+        self._fills = [0] * n
+        self._consts: dict = {}
+        self._tables: dict = {}
+
+    def table(self, core: int, targets) -> _LatTable | None:
+        """The class-constant table for ``(core, targets)``, or None when
+        any of its classes is unbatchable."""
+        key = (core, targets)
+        tbl = self._tables.get(key, _UNSET)
+        if tbl is not _UNSET:
+            return tbl
+        n = self.num_nodes
+        np_lat = np.empty((2, n), dtype=np.int64)
+        rows = ([None] * n, [None] * n)
+        tbl = _LatTable()
+        for is_write in (0, 1):
+            for home in range(n):
+                const = self._probe(core, is_write, home, targets)
+                if const is None:
+                    self._tables[key] = None
+                    return None
+                np_lat[is_write, home] = const.latency
+                rows[is_write][home] = const
+        tbl.np_lat = np_lat
+        tbl.rows = rows
+        tbl.min_lat = int(np_lat.min())
+        self._tables[key] = tbl
+        return tbl
+
+    def _probe(self, core, is_write, home, targets) -> _ClassConst | None:
+        key = (core, is_write, home, targets)
+        const = self._consts.get(key, _UNSET)
+        if const is not _UNSET:
+            return const
+        if self._fills[core] >= _SCRATCH_ASSOC - 1:
+            # Scratch set nearly full; a further fill could evict.  Far
+            # beyond any realistic class count — refuse rather than risk
+            # a polluted delta.
+            return None
+        n = self.num_nodes
+        block = self._next_block * n + home
+        self._next_block += 1
+        self._fills[core] += 1
+
+        stats = self.network.stats
+        before = (
+            stats.messages, stats.bytes_total, stats.byte_links,
+            stats.byte_routers, dict(stats.bytes_by_category),
+        )
+        snoops_before = self.protocol.snoop_lookups
+        if is_write:
+            tx = self.protocol.write_miss(core, block, targets)
+        else:
+            tx = self.protocol.read_miss(core, block, targets)
+
+        if (
+            tx.communicating
+            or tx.responder is not None
+            or tx.invalidated
+            or not tx.off_chip
+            or tx.prediction_correct is not None
+        ):
+            self._consts[key] = None
+            return None
+
+        const = _ClassConst()
+        const.is_write = bool(is_write)
+        const.count = 0
+        const.latency = self.l2_tag + tx.latency
+        const.bound = self.buckets[bisect_left(self.buckets, const.latency)]
+        const.indirection = 1 if tx.indirection else 0
+        const.messages = stats.messages - before[0]
+        const.bytes_total = stats.bytes_total - before[1]
+        const.byte_links = stats.byte_links - before[2]
+        const.byte_routers = stats.byte_routers - before[3]
+        const.by_category = tuple(
+            (cat, val - before[4].get(cat, 0))
+            for cat, val in stats.bytes_by_category.items()
+            if val != before[4].get(cat, 0)
+        )
+        const.snoops = self.protocol.snoop_lookups - snoops_before
+        self._consts[key] = const
+        return const
+
+
+def _batch_eligible(engine) -> bool:
+    """Whether the per-run invariants allow the batch kernel at all.
+
+    A tracer or verifier observes individual misses in order; a network
+    transcript records individual messages; a predictor without the
+    plan/commit hook pair cannot be batched.  In every such case the
+    vector loop simply runs private segments per event — still
+    bit-identical, certified by the same differential harness.
+    """
+    if engine.tracer is not None or engine.verifier is not None:
+        return False
+    if engine.network._transcript is not None:
+        return False
+    predictor = engine.predictor
+    if predictor is not None and not hasattr(predictor, "peek_private_plan"):
+        return False
+    return True
+
+
+def _make_bulk_fill(engine):
+    """Bulk cold-fill closure ``bulk(core, blocks, writes)``, or None for
+    an unknown protocol backend.
+
+    Mirrors what the protocol's ``_finish_read_fill`` (empty entry) /
+    ``_finish_write_fill`` and ``_handle_victim`` do for a *guaranteed
+    cold* fill — the only case a PRIVATE segment produces: the block is
+    resident nowhere (sole-toucher first touch), so the residency
+    re-checks and per-call dispatch of the general helpers are provably
+    dead weight.  Real victims still pop out of the real caches one by
+    one — their writeback traffic (DATA home for dirty victims; also a
+    CONTROL notification under the directory backends) is accounted with
+    the exact inlined arithmetic of :meth:`Network.send`, and every
+    directory transition goes through the directory's own ``record_*``
+    methods, so limited-pointer semantics cannot drift.
+    """
+    protocol = engine.protocol
+    broadcast = isinstance(protocol, BroadcastProtocol)  # incl. multicast
+    if not broadcast and not isinstance(protocol, DirectoryProtocol):
+        return None
+    directory = engine.directory
+    network = engine.network
+    stats = network.stats
+    by_category = stats.bytes_by_category
+    hops_table = network._hops
+    data_bytes = network._data_bytes
+    control_bytes = network._control_bytes
+    writeback = protocol.CAT_WRITEBACK
+    record_exclusive = directory.record_exclusive_fill
+    record_eviction = directory.record_eviction
+    num_nodes = directory.num_nodes
+    hierarchies = engine.hierarchies
+    modified = Mesif.MODIFIED
+    exclusive = Mesif.EXCLUSIVE
+    invalid = Mesif.INVALID
+
+    def bulk(core, block_list, write_list):
+        hier = hierarchies[core]
+        l2_sets = hier._l2_sets
+        l2_nsets = hier._l2_nsets
+        l2_assoc = hier._l2_assoc
+        l1_sets = hier._l1_sets
+        l1_nsets = hier._l1_nsets
+        l1_assoc = hier._l1_assoc
+        hops_row = hops_table[core]
+        for block, iw in zip(block_list, write_list):
+            # Cold L2 fill: the block is guaranteed absent from both
+            # levels, so this is hierarchy.fill() minus the residency
+            # branches.
+            bucket = l2_sets[block % l2_nsets]
+            victim = None
+            if len(bucket) >= l2_assoc:
+                victim = bucket.pop(next(iter(bucket)))
+                l1_sets[victim.block % l1_nsets].pop(victim.block, None)
+            bucket[block] = CacheLine(
+                block=block, state=modified if iw else exclusive
+            )
+            bucket = l1_sets[block % l1_nsets]
+            if len(bucket) >= l1_assoc:
+                line = bucket.pop(next(iter(bucket)))
+                line.block = block
+                line.state = True
+                bucket[block] = line
+            else:
+                bucket[block] = CacheLine(block=block, state=True)
+            if victim is not None:
+                vstate = victim.state
+                if vstate is not invalid:
+                    dirty = vstate is modified
+                    if dirty or not broadcast:
+                        # _handle_victim's Network.send, inlined: dirty
+                        # victims write data back home; the directory
+                        # backends also notify on clean evictions.
+                        n_bytes = data_bytes if dirty else control_bytes
+                        hops = hops_row[victim.block % num_nodes]
+                        stats.messages += 1
+                        stats.bytes_total += n_bytes
+                        stats.byte_links += n_bytes * hops
+                        stats.byte_routers += n_bytes * (hops + 1)
+                        try:
+                            by_category[writeback] += n_bytes
+                        except KeyError:
+                            by_category[writeback] = n_bytes
+                    record_eviction(victim.block, core, was_dirty=dirty)
+            record_exclusive(block, core, dirty=True if iw else False)
+
+    return bulk
+
+
+def _make_batch(engine, compiled, miss, streams):
+    """Build the private-run batch kernel, or None when ineligible.
+
+    Returns ``(batch, flush)``: ``batch(core, p, end, c, budget) ->
+    (p, c, consumed, over)`` consumes events ``p..end`` of the core's
+    segment under the same consume-then-check budget rule as the
+    interpreter loops, tallying per-class counts in place; ``flush()``
+    folds the deferred tallies into the result/network/hierarchy
+    counters once, at run end.
+    """
+    if not _batch_eligible(engine):
+        return None
+    bulk_fill = _make_bulk_fill(engine)
+    if bulk_fill is None:
+        return None
+
+    prober = _ClassProber(engine)
+    res = engine.result
+    n = engine.machine.num_cores
+    hist = res.latency_histogram
+    net_stats = engine.network.stats
+    by_category = net_stats.bytes_by_category
+    protocol = engine.protocol
+    probe_stats = [hier.stats for hier in engine.hierarchies]
+    track = engine._track
+    epoch_misses = engine._epoch_misses
+    predictor = engine.predictor
+    peek_plan = (
+        predictor.peek_private_plan if predictor is not None else None
+    )
+    commit_plan = (
+        predictor.commit_private_batch if predictor is not None else None
+    )
+
+    compiled.np_columns(0)  # materializes the array('q') columns too
+    ops_q = compiled.ops
+    arg1_q = compiled.arg1
+    # Derived numpy columns, built lazily per core: block ids for the
+    # residual fills, kind selectors and home ids for the class lookups.
+    blocks_cols: list = [None] * n
+    writes_cols: list = [None] * n
+    homes_cols: list = [None] * n
+    #: Events batched per core, flushed into the hierarchy probe stats
+    #: at run end (nothing reads them mid-run; epoch bookkeeping reads
+    #: ``_epoch_misses``, which is kept live).
+    core_events = [0] * n
+    op_write = OP_WRITE
+    outcome_miss = HierarchyOutcome.MISS
+
+    def batch(core, p, end, c, budget):
+        consumed = 0
+
+        if peek_plan is not None:
+            plan = peek_plan(core, end - p)
+        else:
+            plan = ((end - p, None),)
+
+        for count, prediction in plan:
+            remaining = min(count, end - p)
+            if remaining <= 0:
+                continue
+            targets = prediction.targets if prediction is not None else None
+            table = prober.table(core, targets)
+            if table is None:
+                # Unbatchable class: finish the segment through the live
+                # per-event miss handler (predictions re-run in place, so
+                # the uncommitted remainder of the plan is simply
+                # discarded).
+                stats = probe_stats[core]
+                stream = streams[core]
+                while p < end:
+                    ev = stream[p]
+                    p += 1
+                    consumed += 1
+                    stats.accesses += 1
+                    stats.misses += 1
+                    c += miss(
+                        core, ev[1], ev[2], ev[0] == op_write, outcome_miss,
+                    )
+                    if budget is not None and c > budget:
+                        return p, c, consumed, True
+                return p, c, consumed, False
+
+            rows = table.rows
+            min_lat = table.min_lat
+            while remaining > 0:
+                over = False
+                if budget is None:
+                    window = remaining
+                else:
+                    window = min(remaining, (budget - c) // min_lat + 1)
+                if window >= _VECTOR_MIN:
+                    blocks_np = blocks_cols[core]
+                    if blocks_np is None:
+                        ops_np, arg1_np = compiled.np_columns(core)
+                        blocks_np = blocks_cols[core] = (
+                            arg1_np >> BLOCK_SHIFT
+                        )
+                        writes_cols[core] = (
+                            (ops_np == op_write).astype(np.intp)
+                        )
+                        homes_cols[core] = blocks_np % n
+                    hw = homes_cols[core][p:p + window]
+                    ww = writes_cols[core][p:p + window]
+                    cum = table.np_lat[ww, hw].cumsum()
+                    if budget is None:
+                        take = window
+                    else:
+                        idx = int(cum.searchsorted(
+                            budget - c, side="right"
+                        ))
+                        if idx >= window:
+                            take = window
+                        else:
+                            # The crossing event is consumed, as the
+                            # interpreter consumes it before its check.
+                            take = idx + 1
+                            over = True
+                    c += int(cum[take - 1])
+                    counts = np.bincount(
+                        hw[:take] + ww[:take] * n, minlength=2 * n
+                    )
+                    for key in np.nonzero(counts)[0].tolist():
+                        rows[key // n][key % n].count += int(counts[key])
+                    block_list = blocks_np[p:p + take].tolist()
+                    write_list = ww[:take].tolist()
+                else:
+                    # Short window: same class constants, plain Python
+                    # over the array('q') columns (a contended quantum
+                    # admits only a few events; numpy fixed costs would
+                    # dominate).
+                    a1 = arg1_q[core]
+                    ops = ops_q[core]
+                    take = 0
+                    block_list = []
+                    write_list = []
+                    add_block = block_list.append
+                    add_write = write_list.append
+                    while take < remaining:
+                        i = p + take
+                        block = a1[i] >> BLOCK_SHIFT
+                        iw = 1 if ops[i] == op_write else 0
+                        const = rows[iw][block % n]
+                        const.count += 1
+                        c += const.latency
+                        take += 1
+                        add_block(block)
+                        add_write(iw)
+                        if budget is not None and c > budget:
+                            over = True
+                            break
+
+                core_events[core] += take
+                if track:
+                    epoch_misses[core] += take
+                if prediction is not None:
+                    res.pred_attempted += take
+                    res.predicted_target_sum += (
+                        len(prediction.targets) * take
+                    )
+                    res.pred_on_noncomm += take
+                if commit_plan is not None:
+                    commit_plan(core, take)
+
+                bulk_fill(core, block_list, write_list)
+
+                p += take
+                consumed += take
+                remaining -= take
+                if over:
+                    return p, c, consumed, True
+        return p, c, consumed, False
+
+    def flush():
+        """Fold the deferred per-class tallies into the result, network
+        and hierarchy counters (called once, before finalization)."""
+        read_misses = write_misses = lat_sum = indirections = 0
+        offchip = msgs = total = links = routers = snoops = 0
+        for const in prober._consts.values():
+            if const is None:
+                continue
+            cnt = const.count
+            if not cnt:
+                continue
+            const.count = 0
+            if const.is_write:
+                write_misses += cnt
+            else:
+                read_misses += cnt
+            lat_sum += const.latency * cnt
+            bound = const.bound
+            hist[bound] = hist.get(bound, 0) + cnt
+            indirections += const.indirection * cnt
+            offchip += cnt
+            msgs += const.messages * cnt
+            total += const.bytes_total * cnt
+            links += const.byte_links * cnt
+            routers += const.byte_routers * cnt
+            for cat, delta in const.by_category:
+                by_category[cat] = by_category.get(cat, 0) + delta * cnt
+            snoops += const.snoops * cnt
+        res.read_misses += read_misses
+        res.write_misses += write_misses
+        res.miss_latency_sum += lat_sum
+        res.indirections += indirections
+        res.offchip_misses += offchip
+        net_stats.messages += msgs
+        net_stats.bytes_total += total
+        net_stats.byte_links += links
+        net_stats.byte_routers += routers
+        protocol.snoop_lookups += snoops
+        for core in range(n):
+            batched = core_events[core]
+            if batched:
+                core_events[core] = 0
+                stats = probe_stats[core]
+                stats.accesses += batched
+                stats.misses += batched
+
+    return batch, flush
+
+
+def run_vector(engine, quantum: int):
+    """The vectorized engine loop: the compiled loop with PRIVATE runs
+    batched through :func:`_make_batch`.
+
+    Scheduling, sync handling, THINK bisection, and the per-event paths
+    are identical to :meth:`SimulationEngine._run_compiled` — the
+    established two-loop idiom extended by one loop; ``repro check
+    diff`` certifies all three bit-identical.
+    """
+    self = engine
+    n = self.machine.num_cores
+    compiled = ensure_compiled(self.workload)
+    streams = [compiled.events(core) for core in range(n)]
+    lengths = [len(s) for s in streams]
+    use_private = self._block_shift == BLOCK_SHIFT
+    seg_tables = []
+    for core in range(n):
+        segs = compiled.segments[core]
+        if not use_private:
+            segs = [seg for seg in segs if seg[0] == SEG_THINK]
+        seg_tables.append(segs)
+    seg_pos = [0] * n
+
+    pos = [0] * n
+    clock = [0] * n
+    done = [False] * n
+    sync_latency_fn = getattr(self.predictor, "sync_latency", None)
+    self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
+    miss, flush = self._make_miss_handler()
+    batch = batch_flush = None
+    if use_private:
+        made = _make_batch(self, compiled, miss, streams)
+        if made is not None:
+            batch, batch_flush = made
+
+    heap = [(0, core) for core in range(n)]
+    heapq.heapify(heap)
+
+    barrier_index = [0] * n
+    barrier_waiters: dict = {}
+    barrier_pc: dict = {}
+    lock_holder: dict = {}
+    lock_waiters: dict = {}
+    lock_granted: set = set()
+    active = n
+
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    kind_read = AccessKind.READ
+    kind_write = AccessKind.WRITE
+    l1_hit = HierarchyOutcome.L1_HIT
+    l2_hit = HierarchyOutcome.L2_HIT
+    outcome_miss = HierarchyOutcome.MISS
+    barrier_kind = SyncKind.BARRIER
+    lock_kind = SyncKind.LOCK
+    unlock_kind = SyncKind.UNLOCK
+    static_sync_id = StaticSyncId
+    seg_think = SEG_THINK
+    op_write = OP_WRITE
+    bisect = bisect_right
+    classifiers = [hier.classify for hier in self.hierarchies]
+    probe_stats = [hier.stats for hier in self.hierarchies]
+    on_sync = self._on_sync
+    sync_op_latency = self.machine.sync_op_latency
+    sync_cost = self._sync_cost
+    l1_latency = self._l1_latency
+    l2_access = self._l2_access
+    migrations = self.migrations
+    accesses = l1_hits = l2_hits = 0
+
+    while heap:
+        t, core = heappop(heap)
+        c = clock[core]
+        if t > c:
+            c = t
+        budget = (heap[0][0] + quantum) if heap else None
+
+        stream = streams[core]
+        length = lengths[core]
+        p = pos[core]
+        classify = classifiers[core]
+        segs = seg_tables[core]
+        nsegs = len(segs)
+        si = seg_pos[core]
+        while si < nsegs and segs[si][2] <= p:
+            si += 1
+        s_start = segs[si][1] if si < nsegs else length + 1
+        blocked = False
+
+        while p < length:
+            if p >= s_start:
+                seg = segs[si]
+                end = seg[2]
+                if seg[0] == seg_think:
+                    start = seg[1]
+                    prefix = seg[3]
+                    base = prefix[p - start - 1] if p > start else 0
+                    if budget is None:
+                        c += prefix[-1] - base
+                        p = end
+                    else:
+                        i = bisect(prefix, budget - c + base, p - start)
+                        if i >= end - start:
+                            c += prefix[-1] - base
+                            p = end
+                        else:
+                            # Event start+i pushes c past the budget;
+                            # the interpreter consumes it and then
+                            # breaks — so do we.
+                            c += prefix[i] - base
+                            p = start + i + 1
+                            break
+                    si += 1
+                    s_start = segs[si][1] if si < nsegs else length + 1
+                    continue
+                # PRIVATE run: batched when the kernel is armed, else
+                # per event exactly as the compiled loop runs it.
+                if batch is not None:
+                    p, c, consumed, over = batch(core, p, end, c, budget)
+                    accesses += consumed
+                    if over:
+                        break
+                    si += 1
+                    s_start = segs[si][1] if si < nsegs else length + 1
+                    continue
+                stats = probe_stats[core]
+                over = False
+                while p < end:
+                    ev = stream[p]
+                    p += 1
+                    accesses += 1
+                    stats.accesses += 1
+                    stats.misses += 1
+                    c += miss(
+                        core, ev[1], ev[2], ev[0] == op_write,
+                        outcome_miss,
+                    )
+                    if budget is not None and c > budget:
+                        over = True
+                        break
+                if over:
+                    break
+                si += 1
+                s_start = segs[si][1] if si < nsegs else length + 1
+                continue
+            ev = stream[p]
+            op = ev[0]
+            if op == OP_READ or op == OP_WRITE:
+                p += 1
+                accesses += 1
+                is_write = op == OP_WRITE
+                outcome = classify(
+                    ev[1], kind_write if is_write else kind_read
+                )
+                if outcome is l1_hit:
+                    l1_hits += 1
+                    c += l1_latency
+                elif outcome is l2_hit:
+                    l2_hits += 1
+                    c += l2_access
+                else:
+                    c += miss(core, ev[1], ev[2], is_write, outcome)
+            elif op == OP_THINK:
+                p += 1
+                c += ev[1]
+            else:  # OP_SYNC
+                kind, pc, lock_addr = ev[1], ev[2], ev[3]
+                if kind is barrier_kind:
+                    p += 1
+                    idx = barrier_index[core]
+                    barrier_index[core] += 1
+                    if idx in barrier_pc and barrier_pc[idx] != pc:
+                        raise RuntimeError(
+                            f"barrier mismatch at index {idx}: "
+                            f"{barrier_pc[idx]} vs {pc}"
+                        )
+                    barrier_pc[idx] = pc
+                    on_sync(core, static_sync_id(kind=kind, pc=pc), c)
+                    c += sync_cost
+                    waiters = barrier_waiters.setdefault(idx, [])
+                    waiters.append((core, c))
+                    if len(waiters) == active:
+                        if idx in migrations:
+                            self._apply_migration(migrations[idx])
+                        release = (
+                            max(wc for _, wc in waiters)
+                            + sync_op_latency
+                        )
+                        for w_core, _ in waiters:
+                            if w_core == core:
+                                c = release
+                            else:
+                                clock[w_core] = release
+                                heappush(heap, (release, w_core))
+                        del barrier_waiters[idx]
+                        # fall through: this core keeps running
+                    else:
+                        blocked = True
+                        break
+                elif kind is lock_kind:
+                    holder = lock_holder.get(lock_addr)
+                    if holder is None or core in lock_granted:
+                        lock_granted.discard(core)
+                        p += 1
+                        lock_holder[lock_addr] = core
+                        c += sync_op_latency + sync_cost
+                        on_sync(
+                            core,
+                            static_sync_id(
+                                kind=kind, pc=pc, lock_addr=lock_addr
+                            ),
+                            c,
+                        )
+                    else:
+                        # Re-examined when the holder unlocks.
+                        heappush(
+                            lock_waiters.setdefault(lock_addr, []),
+                            (c, core),
+                        )
+                        blocked = True
+                        break
+                elif kind is unlock_kind:
+                    p += 1
+                    if lock_holder.get(lock_addr) != core:
+                        raise RuntimeError(
+                            f"core {core} unlocked {lock_addr:#x} it does "
+                            "not hold"
+                        )
+                    c += sync_op_latency + sync_cost
+                    on_sync(
+                        core,
+                        static_sync_id(
+                            kind=kind, pc=pc, lock_addr=lock_addr
+                        ),
+                        c,
+                    )
+                    waiters = lock_waiters.get(lock_addr)
+                    if waiters:
+                        _, nxt = heappop(waiters)
+                        lock_holder[lock_addr] = nxt
+                        lock_granted.add(nxt)
+                        if c > clock[nxt]:
+                            clock[nxt] = c
+                        heappush(heap, (clock[nxt], nxt))
+                    else:
+                        lock_holder[lock_addr] = None
+                else:
+                    # join / wakeup / broadcast are epoch boundaries
+                    # without blocking semantics in these traces.
+                    p += 1
+                    on_sync(core, static_sync_id(kind=kind, pc=pc), c)
+                    c += sync_cost
+            if budget is not None and c > budget:
+                break
+
+        pos[core] = p
+        clock[core] = c
+        seg_pos[core] = si
+        if blocked:
+            continue
+        if p >= length:
+            if not done[core]:
+                done[core] = True
+                active -= 1
+                self._on_finish(core, clock[core])
+                # A core leaving can make a pending barrier releasable
+                # (uneven streams: the finisher was never going to
+                # arrive).  Re-check parked barriers.
+                for idx in list(barrier_waiters):
+                    waiters = barrier_waiters[idx]
+                    if waiters and len(waiters) == active:
+                        if idx in migrations:
+                            self._apply_migration(migrations[idx])
+                        release = (
+                            max(wc for _, wc in waiters)
+                            + sync_op_latency
+                        )
+                        for w_core, _ in waiters:
+                            clock[w_core] = release
+                            heappush(heap, (release, w_core))
+                        del barrier_waiters[idx]
+            continue
+        heappush(heap, (c, core))
+
+    if active != 0:
+        raise RuntimeError(f"{active} cores never finished (deadlock?)")
+    if batch_flush is not None:
+        batch_flush()
+    return self._finalize(clock, accesses, l1_hits, l2_hits, flush)

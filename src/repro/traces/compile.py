@@ -80,7 +80,7 @@ class CompiledTrace:
     """
 
     __slots__ = ("name", "num_cores", "ops", "arg1", "arg2", "arg3",
-                 "segments", "_events")
+                 "segments", "_events", "_np")
 
     def __init__(self, name, num_cores, ops, arg1, arg2, arg3, segments,
                  events=None):
@@ -95,6 +95,7 @@ class CompiledTrace:
         #: PRIVATE runs.
         self.segments = segments
         self._events = events if events is not None else [None] * num_cores
+        self._np = None           # per-core numpy views, built on demand
 
     def events(self, core: int) -> list:
         """The core's event stream as interpreter tuples (memoized)."""
@@ -123,6 +124,30 @@ class CompiledTrace:
         self.arg2 = a2_cols
         self.arg3 = a3_cols
 
+    def np_columns(self, core: int):
+        """The core's ``(ops, arg1)`` columns as numpy int64 views.
+
+        Zero-copy over the typed columns (``np.frombuffer`` shares the
+        ``array('q')`` buffer, which for store-loaded traces is itself a
+        view over the mmap'd file), memoized per core.  Raises
+        ``ImportError`` when numpy is unavailable — callers gate on the
+        engine's numpy check, never on this method.
+        """
+        cache = self._np
+        if cache is None:
+            cache = self._np = [None] * self.num_cores
+        cols = cache[core]
+        if cols is None:
+            import numpy as np
+
+            self.ensure_columns()
+            cols = (
+                np.frombuffer(self.ops[core], dtype=np.int64),
+                np.frombuffer(self.arg1[core], dtype=np.int64),
+            )
+            cache[core] = cols
+        return cols
+
     def num_events(self, core: int) -> int:
         if self.ops is not None:
             return len(self.ops[core])
@@ -141,6 +166,48 @@ class CompiledTrace:
                 else:
                     private += 1
         return {"think_runs": think, "private_runs": private}
+
+    def batch_coverage(self) -> dict:
+        """How much of the trace the vectorized engine can batch.
+
+        Per core: total events, events inside PRIVATE runs (batched miss
+        transactions), events inside THINK runs (bulk clock advances),
+        the fraction of events falling in either, and the THINK runs'
+        total cycles.  ``repro trace info`` surfaces this so users can
+        predict the vector path's speedup per workload — events outside
+        vectorizable segments take the per-event interpreter path.
+        """
+        per_core = []
+        total_events = total_vector = 0
+        for core in range(self.num_cores):
+            events = self.num_events(core)
+            private_events = think_events = think_cycles = 0
+            for kind, start, end, payload in self.segments[core]:
+                if kind == SEG_THINK:
+                    think_events += end - start
+                    if payload is not None and len(payload):
+                        think_cycles += payload[-1]
+                else:
+                    private_events += end - start
+            vector = private_events + think_events
+            total_events += events
+            total_vector += vector
+            per_core.append({
+                "events": events,
+                "private_events": private_events,
+                "think_events": think_events,
+                "think_cycles": think_cycles,
+                "vector_fraction": (
+                    round(vector / events, 4) if events else 0.0
+                ),
+            })
+        return {
+            "per_core": per_core,
+            "vector_fraction": (
+                round(total_vector / total_events, 4)
+                if total_events else 0.0
+            ),
+        }
 
     def to_workload(self) -> Workload:
         """Rebuild a plain :class:`Workload` (tuple streams)."""

@@ -1,0 +1,230 @@
+"""Vectorized batch engine: three-path equivalence on edge-case traces.
+
+The vector path (:mod:`repro.sim.vector`) promises bit-identity with the
+compiled and interpreted loops of :meth:`SimulationEngine.run`.  The
+differential and fuzz harnesses certify that on suite and adversarial
+workloads; these tests pin the segment-index edge cases those sweeps can
+miss: zero-length THINK runs, single-core traces, ``quantum=1``, and a
+trace whose final segment ends mid-epoch (no closing sync).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.sync.points import SyncKind
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
+
+np = pytest.importorskip("numpy")
+
+N = 16
+
+#: The three loop configurations of SimulationEngine.run.
+PATHS = (
+    ("interpreted", {"use_compiled": False, "use_vector": False}),
+    ("compiled", {"use_compiled": True, "use_vector": False}),
+    ("vector", {"use_vector": True}),
+)
+
+
+def run_all_paths(workload, machine, *, protocol="directory",
+                  predictor="SP", quantum=None):
+    """Run a workload through all three engine loops; payloads by name."""
+    if quantum is not None:
+        machine = MachineConfig(
+            **{**machine.__dict__, "quantum": quantum}
+        )
+    payloads = {}
+    for name, kw in PATHS:
+        engine = SimulationEngine(
+            workload,
+            machine=machine,
+            protocol=protocol,
+            predictor=predictor,
+            collect_epochs=True,
+            **kw,
+        )
+        payloads[name] = engine.run().to_dict()
+    return payloads
+
+
+def assert_identical(payloads):
+    ref = payloads["interpreted"]
+    for name in ("compiled", "vector"):
+        diffs = {
+            k: (ref.get(k), payloads[name].get(k))
+            for k in set(ref) | set(payloads[name])
+            if ref.get(k) != payloads[name].get(k)
+        }
+        assert not diffs, f"{name} vs interpreted: {diffs}"
+
+
+def private_run_streams(n=N, blocks=40, base=0x100000):
+    """Per-core private streams (sole-toucher, cold): batchable runs."""
+    streams = []
+    for core in range(n):
+        s = []
+        for k in range(blocks):
+            addr = base + (core * blocks + k) * 64
+            op = OP_WRITE if k % 3 == 0 else OP_READ
+            s.append((op, addr, 0x40 + k % 7))
+        streams.append(s)
+    return streams
+
+
+class TestZeroLengthThink:
+    def test_zero_cycle_think_runs_between_private_events(
+        self, small_machine
+    ):
+        streams = private_run_streams(blocks=12)
+        for core in range(N):
+            # Zero-length THINK events: the compiler folds them into
+            # think runs whose cycle payload never advances the clock.
+            enriched = []
+            for ev in streams[core]:
+                enriched.append((OP_THINK, 0))
+                enriched.append(ev)
+            enriched.append((OP_THINK, 0))
+            streams[core] = enriched
+        w = Workload(name="zero-think", num_cores=N, events=streams)
+        assert_identical(run_all_paths(w, small_machine))
+
+    def test_think_only_trace(self, small_machine):
+        streams = [
+            [(OP_THINK, 0), (OP_THINK, 13 * (core + 1)), (OP_THINK, 0)]
+            for core in range(N)
+        ]
+        w = Workload(name="think-only", num_cores=N, events=streams)
+        assert_identical(run_all_paths(w, small_machine))
+
+
+class TestSingleCore:
+    def test_single_core_private_trace(self):
+        machine = MachineConfig(mesh_width=1, mesh_height=1)
+        streams = private_run_streams(n=1, blocks=64)
+        w = Workload(name="solo", num_cores=1, events=streams)
+        # SP prediction needs >=2 cores; single-core runs unpredicted.
+        assert_identical(run_all_paths(w, machine, predictor="none"))
+
+    def test_single_core_mixed_trace(self):
+        machine = MachineConfig(mesh_width=1, mesh_height=1)
+        s = []
+        for k in range(20):
+            s.append((OP_READ, 0x4000 + k * 64, 0x40))
+            if k % 5 == 0:
+                s.append((OP_THINK, 7))
+        # Rereads make later touches L1 hits (non-cold, unbatchable).
+        s.extend((OP_READ, 0x4000, 0x41) for _ in range(4))
+        w = Workload(name="solo-mixed", num_cores=1, events=[s])
+        assert_identical(run_all_paths(w, machine, predictor="none"))
+
+
+class TestQuantumOne:
+    def test_quantum_one_private_runs(self, small_machine):
+        streams = private_run_streams(blocks=24)
+        w = Workload(name="q1", num_cores=N, events=streams)
+        assert_identical(run_all_paths(w, small_machine, quantum=1))
+
+    def test_quantum_one_with_barriers(self, small_machine):
+        streams = private_run_streams(blocks=8)
+        for core in range(N):
+            streams[core].append((OP_SYNC, SyncKind.BARRIER, 0x99, None))
+            streams[core].extend(private_run_streams(blocks=6)[core])
+        w = Workload(name="q1-sync", num_cores=N, events=streams)
+        assert_identical(run_all_paths(w, small_machine, quantum=1))
+
+
+class TestFinalSegmentMidEpoch:
+    def test_trace_ends_without_closing_sync(self, small_machine):
+        """Final private run ends mid-epoch: no barrier closes it, so
+        the last segment's events drain under the end-of-stream path."""
+        streams = private_run_streams(blocks=10)
+        for core in range(N):
+            streams[core].insert(
+                10, (OP_SYNC, SyncKind.BARRIER, 0x90, None)
+            )
+            # Tail after the barrier: an open epoch at trace end.
+            streams[core].extend(
+                (OP_READ, 0x900000 + (core * 64 + k) * 64 * N, 0x50)
+                for k in range(5)
+            )
+        w = Workload(name="mid-epoch", num_cores=N, events=streams)
+        assert_identical(run_all_paths(w, small_machine))
+
+    def test_uneven_tails(self, small_machine):
+        """Cores end at different clocks; last finisher is all-private."""
+        streams = private_run_streams(blocks=6)
+        streams[5] = private_run_streams(blocks=120)[5]
+        w = Workload(name="uneven-tail", num_cores=N, events=streams)
+        assert_identical(run_all_paths(w, small_machine))
+
+
+class TestPredictorsAndProtocols:
+    @pytest.mark.parametrize("protocol,predictor", [
+        ("broadcast", "none"),
+        ("multicast", "UNI"),
+        ("limited", "ORACLE"),
+        ("directory", "ADDR"),   # no batch hooks: vector must fall back
+    ])
+    def test_paths_agree_across_backends(
+        self, small_machine, protocol, predictor
+    ):
+        streams = private_run_streams(blocks=16)
+        for core in range(N):
+            streams[core].insert(8, (OP_SYNC, SyncKind.BARRIER, 0x91, None))
+        w = Workload(name=f"grid-{protocol}", num_cores=N, events=streams)
+        assert_identical(run_all_paths(
+            w, small_machine, protocol=protocol, predictor=predictor
+        ))
+
+
+class TestNumpyFallback:
+    def test_missing_numpy_degrades_with_single_warning(
+        self, small_machine, monkeypatch
+    ):
+        """Without numpy the engine must warn once and take the compiled
+        path — never raise ImportError."""
+        monkeypatch.setattr(engine_mod, "_NUMPY_AVAILABLE", False)
+        monkeypatch.setattr(engine_mod, "_NUMPY_WARNED", False)
+        streams = private_run_streams(blocks=8)
+        w = Workload(name="no-numpy", num_cores=N, events=streams)
+
+        engine = SimulationEngine(
+            w, machine=small_machine, use_vector=True
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = engine.run()
+        assert result.accesses == 8 * N
+        relevant = [w_ for w_ in caught
+                    if "numpy" in str(w_.message).lower()]
+        assert len(relevant) == 1
+
+        # Second run: the warning is once-per-process.
+        engine2 = SimulationEngine(
+            w, machine=small_machine, use_vector=True
+        )
+        with warnings.catch_warnings(record=True) as caught2:
+            warnings.simplefilter("always")
+            engine2.run()
+        assert not [w_ for w_ in caught2
+                    if "numpy" in str(w_.message).lower()]
+
+    def test_auto_mode_without_numpy_takes_compiled_path(
+        self, small_machine, monkeypatch
+    ):
+        monkeypatch.setattr(engine_mod, "_NUMPY_AVAILABLE", False)
+        monkeypatch.setattr(engine_mod, "_NUMPY_WARNED", False)
+        streams = private_run_streams(blocks=8)
+        w = Workload(name="auto-no-numpy", num_cores=N, events=streams)
+        engine = SimulationEngine(w, machine=small_machine)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert engine._vector_enabled() is False
+            result = engine.run()
+        assert result.accesses == 8 * N

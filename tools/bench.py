@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the sweep runner, the simulation hot path, and the trace store.
 
-Times five things and writes them to ``BENCH_sweep.json`` so the
+Times six things and writes them to ``BENCH_sweep.json`` so the
 repository's performance trajectory is tracked from run to run:
 
 * a canonical multi-workload sweep, serially in one process (the seed
@@ -19,7 +19,12 @@ repository's performance trajectory is tracked from run to run:
   pays for one simulation; the seed's equivalent regenerated the
   workload from its Python generators and interpreted it;
 * the trace store itself: compile, column encode, save, mmap load, and
-  tuple rehydration for one workload.
+  tuple rehydration for one workload;
+* the vectorized batch engine against the interpreted and compiled
+  loops on the same cells: the hot suite run (contended; vector tracks
+  compiled) and a batch-heavy private-stream synthetic at a coarse
+  quantum (the vector path's target shape, reported with its
+  batch-coverage fraction).
 
 Each sweep gets its own fresh trace-store directory, so "cold" numbers
 include trace compilation and stay reproducible regardless of what
@@ -107,16 +112,113 @@ def time_sweep(grid, scale, jobs, disk, trace_dir) -> float:
         os.environ.pop("REPRO_TRACE_DIR", None)
 
 
-def time_single_run(workload, ideal_metric, use_compiled) -> float:
-    """Engine run only — workload (and its compiled trace) pre-built."""
+def time_single_run(
+    workload, ideal_metric, use_compiled, use_vector=False,
+    machine=None,
+) -> float:
+    """Engine run only — workload (and its compiled trace) pre-built.
+
+    ``use_vector`` is passed explicitly (default off) so the compiled
+    and interpreted cells keep measuring those loops even on hosts where
+    numpy would auto-enable the vectorized batch engine.
+    """
     engine = SimulationEngine(
-        workload, machine=MachineConfig(), protocol="directory",
+        workload, machine=machine or MachineConfig(), protocol="directory",
         predictor="SP", ideal_metric=ideal_metric,
-        use_compiled=use_compiled,
+        use_compiled=use_compiled, use_vector=use_vector,
     )
     start = time.perf_counter()
     engine.run()
     return time.perf_counter() - start
+
+
+def batch_heavy_workload(iterations=12):
+    """A private-stream synthetic: nearly every event is a cold
+    sole-toucher touch inside one long PRIVATE run per epoch — the trace
+    shape the vectorized engine exists for (suite workloads cap its gain
+    via Amdahl; this cell isolates the batch kernel itself)."""
+    from repro.workloads.generator import (
+        BenchmarkSpec, EpochSpec, build_workload,
+    )
+    from repro.workloads.patterns import PatternKind
+
+    spec = BenchmarkSpec(
+        name="privstream",
+        epochs=(EpochSpec(
+            pattern=PatternKind.PRIVATE,
+            consume_blocks=0,
+            produce_blocks=0,
+            private_blocks=400,
+            rereads=0,
+            think=0,
+        ),),
+        iterations=iterations,
+    )
+    return build_workload(spec, scale=1.0)
+
+
+#: Scheduler quantum for the batch-heavy cell.  At the default fine
+#: quantum (400 cycles) a scheduling turn admits only a handful of
+#: private events, so per-turn dispatch dominates every path; a coarse
+#: quantum lets whole private runs batch.  The quantum is an explicit
+#: configuration knob (``MachineConfig.quantum``) and all three engine
+#: paths are certified bit-identical at any given value.
+BATCH_HEAVY_QUANTUM = 100_000
+
+
+def time_vector_cells(hot_workload, reps, iterations=12) -> dict:
+    """Interpreted vs compiled vs vectorized on the same cells.
+
+    Two cells: the hot suite run (bodytrack/directory/SP, default
+    quantum — contended, so vector ~ compiled) and the batch-heavy
+    private-stream synthetic at a coarse quantum (the vectorized
+    engine's target shape).
+    """
+    section = {}
+    default_machine = MachineConfig()
+    cells = (
+        ("hot", hot_workload, default_machine, None),
+        (
+            "batch_heavy",
+            batch_heavy_workload(iterations),
+            MachineConfig(quantum=BATCH_HEAVY_QUANTUM),
+            BATCH_HEAVY_QUANTUM,
+        ),
+    )
+    for label, workload, machine, quantum in cells:
+        compiled = ensure_compiled(workload)
+        coverage = compiled.batch_coverage()["vector_fraction"]
+        times = {}
+        for path, kw in (
+            ("interpreted", {"use_compiled": False}),
+            ("compiled", {"use_compiled": True}),
+            ("vector", {"use_compiled": True, "use_vector": True}),
+        ):
+            times[path] = min(
+                time_single_run(workload, True, machine=machine, **kw)
+                for _ in range(reps)
+            )
+        section[label] = {
+            "workload": workload.name,
+            "predictor": "SP",
+            "quantum": quantum,
+            "vector_fraction": coverage,
+            "interpreted_s": round(times["interpreted"], 3),
+            "compiled_s": round(times["compiled"], 3),
+            "vector_s": round(times["vector"], 3),
+            "speedup_vs_compiled": round(
+                times["compiled"] / times["vector"], 2
+            ) if times["vector"] else None,
+            "speedup_vs_interpreted": round(
+                times["interpreted"] / times["vector"], 2
+            ) if times["vector"] else None,
+        }
+        print(f"  {label}: interpreted {times['interpreted']:.2f}s, "
+              f"compiled {times['compiled']:.2f}s, "
+              f"vector {times['vector']:.2f}s "
+              f"({section[label]['speedup_vs_compiled']}x vs compiled, "
+              f"coverage {coverage})")
+    return section
 
 
 def time_cold_run(scale, trace_dir) -> float:
@@ -286,6 +388,12 @@ def main(argv=None) -> int:
         )
     print(f"  {single_fast_s:.2f}s")
 
+    print("vector engine (interpreted vs compiled vs vectorized) ...")
+    with timer.phase("vector_engine"):
+        vector_section = time_vector_cells(
+            workload, reps, iterations=4 if args.smoke else 12
+        )
+
     sweep = {
         "serial_cold_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_cold_s, 3),
@@ -326,6 +434,7 @@ def main(argv=None) -> int:
             if single_fast_s else None,
         },
         "trace_store": trace_store,
+        "vector": vector_section,
     }
     if scale == 0.5 and not args.smoke:
         payload["single_run"]["seed_full_s"] = SEED_SINGLE_RUN_S
@@ -360,6 +469,9 @@ def main(argv=None) -> int:
         or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "hot_run_s": payload["single_run"]["full_s"],
         "sweep_s": payload["sweep"]["parallel_cold_s"],
+        "vector_hot_s": vector_section["hot"]["vector_s"],
+        "vector_batch_speedup":
+            vector_section["batch_heavy"]["speedup_vs_compiled"],
     })
     payload["history"] = history
 

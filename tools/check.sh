@@ -17,13 +17,21 @@ export PYTHONPATH=src
 echo "== tier-1 test suite =="
 python -m pytest -x -q
 
+echo "== tier-1 without numpy (vector-engine fallback) =="
+# The vectorized batch engine needs numpy; without it the simulator
+# must degrade to the compiled path with one RuntimeWarning, never an
+# ImportError.  An import-blocking stub package shadows any installed
+# numpy and the whole tier-1 suite must still pass.
+PYTHONPATH="tools/no_numpy_stub:src" python -m pytest -x -q
+
 echo "== differential equivalence (quick grid) =="
 python -m repro check diff --quick --bench "$BENCH_OUT"
 
-echo "== compiled-vs-interpreted engine (full suite) =="
-# Every suite workload through both engine loops (the quick grid above
-# already runs the engine cells for its four workloads; this covers the
-# other thirteen with a single lockstep reference cell each).
+echo "== engine-path equivalence (full suite) =="
+# Every suite workload through all three engine loops — interpreted,
+# compiled, vectorized (the quick grid above already runs the engine
+# cells for its four workloads; this covers the other thirteen with a
+# single lockstep reference cell each).
 python -m repro check diff --protocols directory --predictors none \
     --bench "$BENCH_OUT" --bench-key diff_engine_full
 

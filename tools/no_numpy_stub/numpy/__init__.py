@@ -1,0 +1,13 @@
+"""Import-blocking numpy stub for the no-numpy test leg.
+
+Prepending ``tools/no_numpy_stub`` to ``PYTHONPATH`` makes this package
+shadow any installed numpy, so ``import numpy`` raises ImportError — the
+environment a user gets when installing ``repro`` without the ``fast``
+extra.  The tier-1 suite must pass in full: the vectorized batch engine
+degrades to the compiled interpreter with a single RuntimeWarning, and
+nothing else in the package imports numpy at all.
+"""
+
+raise ImportError(
+    "numpy is blocked by tools/no_numpy_stub (no-numpy test leg)"
+)
