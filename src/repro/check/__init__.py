@@ -8,7 +8,10 @@ Three entry points, also exposed as ``python -m repro check ...``:
 * :func:`repro.check.fuzz.run_fuzz` — seeded randomized trace fuzzing
   biased toward nasty interleavings, with automatic shrinking of
   failures to minimal replayable ``.json`` cases;
-* :func:`repro.check.case.replay_case` — re-run a saved case file.
+* :func:`repro.check.case.replay_case` — re-run a saved case file;
+* :func:`repro.check.ingest.run_ingest_check` — certify the
+  SynchroTrace export -> re-ingest round trip and replay the golden
+  conformance corpus.
 """
 
 from repro.check.case import load_case, replay_case, save_case
@@ -24,6 +27,13 @@ from repro.check.fuzz import (
     FuzzReport,
     run_case,
     run_fuzz,
+)
+from repro.check.ingest import (
+    IngestIssue,
+    IngestReport,
+    check_corpus,
+    check_roundtrip,
+    run_ingest_check,
 )
 from repro.check.lockstep import (
     FunctionalSummary,
@@ -42,9 +52,13 @@ __all__ = [
     "Divergence",
     "FunctionalSummary",
     "FuzzReport",
+    "IngestIssue",
+    "IngestReport",
     "LockstepRunner",
     "TraceError",
     "TxRecord",
+    "check_corpus",
+    "check_roundtrip",
     "check_workload",
     "compare_summaries",
     "load_case",
@@ -53,6 +67,7 @@ __all__ = [
     "run_case",
     "run_differential",
     "run_fuzz",
+    "run_ingest_check",
     "run_lockstep",
     "save_case",
     "shrink_case",

@@ -319,23 +319,35 @@ def run_differential(
     seed: int | None = None,
     machine: MachineConfig | None = None,
     engine_cells=ENGINE_CELLS,
+    trace_paths=(),
     verbose: bool = False,
 ) -> DiffReport:
     """The full differential sweep: suite workloads x protocols x
     predictors, each cell checked against the reference cell, plus the
-    compiled-vs-interpreted engine stage per workload."""
+    compiled-vs-interpreted engine stage per workload.
+
+    ``trace_paths`` names external traces (SynchroTrace directories, v1
+    text, or v2 binary files — anything
+    :func:`repro.traces.ingest.load_external` accepts) checked through
+    the same grid after the suite workloads; pass ``workloads=[]`` to
+    certify only traces.  ``workloads=None`` still means the whole
+    suite.
+    """
     from repro.workloads.suite import benchmark_names, load_benchmark
 
-    names = tuple(workloads) if workloads else tuple(benchmark_names())
+    names = (
+        tuple(workloads) if workloads is not None
+        else tuple(benchmark_names())
+    )
     report = DiffReport(
-        workloads=names,
+        workloads=names + tuple(str(p) for p in trace_paths),
         protocols=tuple(protocols),
         predictors=tuple(predictors),
         scale=scale,
     )
     start = time.perf_counter()
-    for name in names:
-        workload = load_benchmark(name, scale=scale, seed=seed)
+
+    def one(label: str, workload: Workload) -> None:
         before = len(report.divergences) + len(report.violations)
         check_workload(
             workload,
@@ -351,8 +363,15 @@ def run_differential(
         if verbose:
             issues = len(report.divergences) + len(report.violations) - before
             status = "ok" if issues == 0 else f"{issues} ISSUE(S)"
-            print(f"  diff {name:15s} "
+            print(f"  diff {label:15s} "
                   f"{len(protocols) * len(predictors)} lockstep + "
                   f"{len(engine_cells)} engine cells: {status}")
+
+    for name in names:
+        one(name, load_benchmark(name, scale=scale, seed=seed))
+    for path in trace_paths:
+        from repro.traces.ingest import load_external
+
+        one(str(path), load_external(path))
     report.elapsed = time.perf_counter() - start
     return report

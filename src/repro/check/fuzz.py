@@ -63,8 +63,10 @@ class CaseFailure:
 
     ``kind`` is ``"sanitizer"`` (a coherence invariant broke),
     ``"divergence"`` (two backends disagreed functionally),
-    ``"crash"`` (a backend raised mid-transaction), or ``"events"``
-    (the observability tracer emitted a schema-invalid event stream).
+    ``"crash"`` (a backend raised mid-transaction), ``"events"``
+    (the observability tracer emitted a schema-invalid event stream),
+    or ``"ingest"`` (the SynchroTrace export -> re-ingest round trip
+    changed the trace or its simulation counters).
     """
 
     kind: str
@@ -131,7 +133,10 @@ def run_case(
                         cell=f"{cell} vs {ref.protocol}/{ref.predictor}",
                         detail=f"{field_name}:\n{detail}",
                     )
-    return _run_engine_cells(workload, migrations, machine, engine_cells)
+    failure = _run_engine_cells(workload, migrations, machine, engine_cells)
+    if failure is not None:
+        return failure
+    return _run_ingest_cell(workload, migrations, machine)
 
 
 def _run_engine_cells(
@@ -202,6 +207,80 @@ def _run_engine_cells(
                 cell=f"{cell} (compiled, traced)",
                 detail="; ".join(errors[:3]),
             )
+    return None
+
+
+def _run_ingest_cell(
+    workload: Workload,
+    migrations: dict | None,
+    machine: MachineConfig,
+) -> CaseFailure | None:
+    """The SynchroTrace round trip, fuzzed.
+
+    Every case is serialized to the external text format in memory,
+    re-ingested, and compared against direct execution: first the raw
+    event streams tuple-for-tuple, then one directory/SP engine cell's
+    complete ``to_dict()`` payload.  Fuzz traces hit parser corners the
+    suite exporter never produces (adjacent think runs, lock ping-pong
+    at segment boundaries), and because this runs inside
+    :func:`run_case`, any divergence shrinks with the ordinary
+    machinery down to a minimal replayable case.
+    """
+    from repro.check.differential import _dict_diff
+    from repro.sim.engine import SimulationEngine
+    from repro.traces.ingest import roundtrip_workload
+    from repro.workloads.trace import TraceFormatError
+
+    try:
+        reingested = roundtrip_workload(workload)
+    except TraceFormatError as exc:
+        return CaseFailure(
+            kind="ingest",
+            cell="ingest:roundtrip",
+            detail=f"export -> re-ingest failed: {exc}",
+        )
+    for core in range(workload.num_cores):
+        original = list(workload.stream(core))
+        replayed = list(reingested.stream(core))
+        if original == replayed:
+            continue
+        for i, (a, b) in enumerate(zip(original, replayed)):
+            if a != b:
+                return CaseFailure(
+                    kind="ingest",
+                    cell=f"ingest:core{core}",
+                    detail=f"event {i}: original {a!r} != "
+                           f"re-ingested {b!r}",
+                )
+        return CaseFailure(
+            kind="ingest",
+            cell=f"ingest:core{core}",
+            detail=f"original has {len(original)} events, "
+                   f"re-ingested {len(replayed)}",
+        )
+    payloads = []
+    for subject in (workload, reingested):
+        try:
+            payloads.append(SimulationEngine(
+                subject,
+                machine=machine,
+                protocol="directory",
+                predictor="SP",
+                migrations=migrations,
+                collect_epochs=True,
+            ).run().to_dict())
+        except Exception as exc:
+            return CaseFailure(
+                kind="ingest",
+                cell="ingest:engine directory/SP",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+    if payloads[0] != payloads[1]:
+        return CaseFailure(
+            kind="ingest",
+            cell="ingest:engine directory/SP",
+            detail=_dict_diff(payloads[0], payloads[1]),
+        )
     return None
 
 

@@ -1,0 +1,324 @@
+"""Ingest conformance: round-trip certification plus the golden corpus.
+
+Two properties make an external-trace frontend trustworthy, and this
+module checks both:
+
+* **Round-trip identity.**  Exporting any workload to the SynchroTrace
+  text format and re-ingesting it must reproduce the exact event
+  streams, and therefore bit-identical ``SimulationResult`` payloads on
+  all three engine paths (interpreted / compiled / vectorized).  Any
+  drift means the parser and exporter disagree about the format — the
+  classic way trace frontends rot.
+* **Corpus conformance.**  A pinned directory of hand-written traces
+  (``tests/data/synchrotrace/``): valid cases must ingest to their
+  recorded event counts and simulation summaries, malformed cases must
+  fail with the expected one-line, line-numbered
+  :class:`~repro.workloads.trace.TraceFormatError`.
+
+``repro check ingest`` runs both stages and can write the outcome as a
+JSON conformance report (the CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.lockstep import machine_for_cores
+from repro.sim.engine import SimulationEngine
+from repro.traces.ingest import ingest_directory, roundtrip_workload
+from repro.workloads.base import Workload
+from repro.workloads.trace import TraceFormatError
+
+#: Grid cells each round-tripped workload is simulated under, per
+#: engine path.  One directory/SP cell keeps the stage affordable while
+#: exercising the predictor-visible surface (sync epochs, PCs, locks).
+ROUNDTRIP_CELLS = (("directory", "SP"),)
+
+#: The three engine paths whose counters must agree pre/post round-trip.
+ENGINE_PATHS = (
+    ("interpreted", {"use_compiled": False, "use_vector": False}),
+    ("compiled", {"use_compiled": True, "use_vector": False}),
+    ("vector", {"use_vector": True}),
+)
+
+#: Name of the pinned-expectation file in a valid corpus case, and of
+#: the expected-error file in a malformed one.
+EXPECTED_JSON = "expected.json"
+EXPECTED_ERROR = "expected_error.txt"
+
+#: A conforming error message: one line, ``<file>:<lineno>: <detail>``.
+_LINE_NUMBERED = re.compile(r"^[^\n]*:\d+: [^\n]+$")
+
+
+@dataclass(frozen=True)
+class IngestIssue:
+    """One conformance failure."""
+
+    stage: str      # "roundtrip" | "corpus-valid" | "corpus-malformed"
+    subject: str    # workload or corpus case name
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.stage} {self.subject}: {self.detail}"
+
+
+@dataclass
+class IngestReport:
+    """Outcome of a conformance run (JSON-safe via :meth:`to_dict`)."""
+
+    workloads: tuple
+    scale: float
+    corpus: str | None
+    roundtrips: int = 0
+    engine_cells: int = 0
+    valid_cases: int = 0
+    malformed_cases: int = 0
+    issues: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.issues
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "workloads": list(self.workloads),
+            "scale": self.scale,
+            "corpus": self.corpus,
+            "roundtrips": self.roundtrips,
+            "engine_cells": self.engine_cells,
+            "valid_cases": self.valid_cases,
+            "malformed_cases": self.malformed_cases,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "issues": [issue.describe() for issue in self.issues],
+        }
+
+
+def _first_stream_diff(a: Workload, b: Workload) -> str | None:
+    """Where two workloads' event streams first disagree, or None."""
+    if a.num_cores != b.num_cores:
+        return f"core counts differ: {a.num_cores} != {b.num_cores}"
+    for core in range(a.num_cores):
+        sa, sb = list(a.stream(core)), list(b.stream(core))
+        if sa == sb:
+            continue
+        for i, (ea, eb) in enumerate(zip(sa, sb)):
+            if ea != eb:
+                return (
+                    f"core {core} event {i}: original {ea!r} != "
+                    f"re-ingested {eb!r}"
+                )
+        return (
+            f"core {core}: original has {len(sa)} events, "
+            f"re-ingested {len(sb)}"
+        )
+    return None
+
+
+def check_roundtrip(
+    workload: Workload,
+    cells=ROUNDTRIP_CELLS,
+    report: IngestReport | None = None,
+) -> list:
+    """Certify one workload's export -> re-ingest round trip.
+
+    Compares the event streams tuple-for-tuple first (the sharpest
+    diagnostic), then the complete ``SimulationResult.to_dict()``
+    payload on every engine path for each grid cell — the compiled and
+    vector paths see a re-ingested trace through their own segment
+    classification, so stream equality alone is not the whole contract.
+    """
+    issues = []
+    reingested = roundtrip_workload(workload)
+    diff = _first_stream_diff(workload, reingested)
+    if diff is not None:
+        issues.append(IngestIssue("roundtrip", workload.name, diff))
+    else:
+        machine = machine_for_cores(workload.num_cores)
+        for protocol, predictor in cells:
+            for path_name, path_kw in ENGINE_PATHS:
+                payloads = []
+                for subject in (workload, reingested):
+                    result = SimulationEngine(
+                        subject, machine=machine, protocol=protocol,
+                        predictor=predictor, **path_kw,
+                    ).run()
+                    payloads.append(result.to_dict())
+                if report is not None:
+                    report.engine_cells += 1
+                if payloads[0] != payloads[1]:
+                    keys = [
+                        k for k in payloads[0]
+                        if payloads[0].get(k) != payloads[1].get(k)
+                    ]
+                    issues.append(IngestIssue(
+                        "roundtrip", workload.name,
+                        f"{protocol}/{predictor} {path_name} counters "
+                        f"diverge after re-ingest (fields: "
+                        f"{', '.join(keys[:6])})",
+                    ))
+    if report is not None:
+        report.roundtrips += 1
+        report.issues.extend(issues)
+    return issues
+
+
+# ----------------------------------------------------------------------
+# golden corpus
+# ----------------------------------------------------------------------
+
+def expected_for(workload: Workload) -> dict:
+    """The pinned expectation payload for a valid corpus case.
+
+    Event totals from the ingest provenance plus the interpreted
+    directory/SP summary on a check-sized machine fitting the trace —
+    the counters a format regression would move.
+    """
+    result = SimulationEngine(
+        workload,
+        machine=machine_for_cores(workload.num_cores),
+        protocol="directory",
+        predictor="SP",
+        use_compiled=False,
+        use_vector=False,
+    ).run()
+    return {
+        "num_cores": workload.num_cores,
+        "events": workload.provenance["events"],
+        "summary": result.summary(),
+    }
+
+
+def check_valid_case(case_dir: Path) -> list:
+    """One valid corpus case: ingest and compare against its pin."""
+    with open(case_dir / EXPECTED_JSON) as fh:
+        expected = json.load(fh)
+    try:
+        workload = ingest_directory(case_dir)
+    except TraceFormatError as exc:
+        return [IngestIssue(
+            "corpus-valid", case_dir.name, f"failed to ingest: {exc}"
+        )]
+    actual = expected_for(workload)
+    issues = []
+    for key, want in expected.items():
+        got = actual.get(key)
+        if got != want:
+            issues.append(IngestIssue(
+                "corpus-valid", case_dir.name,
+                f"{key} mismatch: expected {want!r}, got {got!r}",
+            ))
+    return issues
+
+
+def check_malformed_case(case_dir: Path) -> list:
+    """One malformed corpus case: must raise the pinned error shape."""
+    want = (case_dir / EXPECTED_ERROR).read_text().strip()
+    try:
+        ingest_directory(case_dir)
+    except TraceFormatError as exc:
+        message = str(exc)
+        issues = []
+        if "\n" in message:
+            issues.append(IngestIssue(
+                "corpus-malformed", case_dir.name,
+                f"error spans multiple lines: {message!r}",
+            ))
+        elif not _LINE_NUMBERED.match(message):
+            issues.append(IngestIssue(
+                "corpus-malformed", case_dir.name,
+                f"error is not '<file>:<line>: ...'-shaped: {message!r}",
+            ))
+        if want not in message:
+            issues.append(IngestIssue(
+                "corpus-malformed", case_dir.name,
+                f"error {message!r} does not mention {want!r}",
+            ))
+        return issues
+    return [IngestIssue(
+        "corpus-malformed", case_dir.name,
+        f"ingest unexpectedly succeeded (wanted an error about {want!r})",
+    )]
+
+
+def corpus_cases(corpus: Path, kind: str) -> list:
+    """The corpus' case directories of one kind, sorted by name.
+
+    A valid case holds :data:`EXPECTED_JSON`; a malformed one holds
+    :data:`EXPECTED_ERROR`.  The marker file is required: a case
+    without a pin would silently check nothing.
+    """
+    root = corpus / kind
+    if not root.is_dir():
+        return []
+    marker = EXPECTED_JSON if kind == "valid" else EXPECTED_ERROR
+    cases = []
+    for entry in sorted(root.iterdir()):
+        if entry.is_dir():
+            if not (entry / marker).exists():
+                raise TraceFormatError(
+                    f"{entry}: corpus case without a {marker} pin"
+                )
+            cases.append(entry)
+    return cases
+
+
+def check_corpus(corpus: Path, report: IngestReport | None = None) -> list:
+    """Run every pinned corpus case; returns the issues found."""
+    issues = []
+    for case_dir in corpus_cases(corpus, "valid"):
+        issues.extend(check_valid_case(case_dir))
+        if report is not None:
+            report.valid_cases += 1
+    for case_dir in corpus_cases(corpus, "malformed"):
+        issues.extend(check_malformed_case(case_dir))
+        if report is not None:
+            report.malformed_cases += 1
+    if report is not None:
+        report.issues.extend(issues)
+    return issues
+
+
+def run_ingest_check(
+    workloads=None,
+    scale: float = 0.1,
+    seed: int | None = None,
+    corpus: str | Path | None = None,
+    verbose: bool = False,
+) -> IngestReport:
+    """The full conformance run: round-trip the named suite workloads
+    (default: all 17) through the SynchroTrace format, then replay the
+    golden corpus when one is given."""
+    from repro.workloads.suite import benchmark_names, load_benchmark
+
+    names = (
+        tuple(workloads) if workloads is not None
+        else tuple(benchmark_names())
+    )
+    report = IngestReport(
+        workloads=names,
+        scale=scale,
+        corpus=str(corpus) if corpus is not None else None,
+    )
+    start = time.perf_counter()
+    for name in names:
+        workload = load_benchmark(name, scale=scale, seed=seed)
+        issues = check_roundtrip(workload, report=report)
+        if verbose:
+            status = "ok" if not issues else f"{len(issues)} ISSUE(S)"
+            print(f"  roundtrip {name:15s} "
+                  f"{len(ROUNDTRIP_CELLS) * len(ENGINE_PATHS)} engine "
+                  f"cells: {status}")
+    if corpus is not None:
+        issues = check_corpus(Path(corpus), report=report)
+        if verbose:
+            status = "ok" if not issues else f"{len(issues)} ISSUE(S)"
+            print(f"  corpus    {report.valid_cases} valid + "
+                  f"{report.malformed_cases} malformed cases: {status}")
+    report.elapsed = time.perf_counter() - start
+    return report

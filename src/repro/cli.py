@@ -8,6 +8,9 @@
     python -m repro dump-trace x264 -o x264.trace --scale 0.2
     python -m repro trace compile bodytrack -o bodytrack.rtrace
     python -m repro trace info bodytrack.rtrace
+    python -m repro trace export x264 -o x264-st --format synchrotrace
+    python -m repro trace ingest x264-st -o x264-st.rtrace
+    python -m repro simulate x264-st --trace --predictor SP
     python -m repro simulate lu --predictor SP --events lu-events.json --profile
     python -m repro obs trace bodytrack -o bt-events.json --scale 0.2
     python -m repro obs report bt-events.json --core 0
@@ -18,8 +21,10 @@
     python -m repro obs diff 1a2b3c 4d5e6f
     python -m repro obs dashboard --out dashboard.html
     python -m repro check diff --quick
+    python -m repro check diff --trace x264-st
     python -m repro check fuzz --cases 20 --seed 1234 --out-dir fuzz-cases
     python -m repro check replay fuzz-cases/case-1234.json
+    python -m repro check ingest --corpus tests/data/synchrotrace
 
 (The experiment harness has its own CLI: ``python -m repro.experiments``.)
 """
@@ -126,16 +131,68 @@ def build_parser() -> argparse.ArgumentParser:
     tcomp.set_defaults(func=cmd_trace_compile)
 
     texp = tracesub.add_parser(
-        "export", help="convert a binary v2 trace back to v1 text"
+        "export",
+        help="export a workload or trace as v1 text or SynchroTrace "
+             "per-thread files",
     )
-    texp.add_argument("input", help="path to a v2 .rtrace file")
-    texp.add_argument("-o", "--output", required=True)
+    texp.add_argument(
+        "input",
+        help="benchmark name, or a trace path (v1 text, v2 binary, or "
+             "SynchroTrace directory)",
+    )
+    texp.add_argument("-o", "--output", required=True,
+                      help="output file (v1) or directory (synchrotrace)")
+    texp.add_argument(
+        "--format", choices=("v1", "synchrotrace"), default="v1",
+        help="output format (default %(default)s)",
+    )
+    texp.add_argument("--compress", action="store_true",
+                      help="gzip the per-thread files (synchrotrace only)")
+    texp.add_argument("--scale", type=float, default=0.5,
+                      help="scale used when INPUT is a benchmark name "
+                           "(default %(default)s)")
+    texp.add_argument("--seed", type=int, default=None)
     texp.set_defaults(func=cmd_trace_export)
 
-    tinfo = tracesub.add_parser(
-        "info", help="inspect a trace file (v1 text or v2 binary)"
+    tingest = tracesub.add_parser(
+        "ingest",
+        help="ingest a SynchroTrace-style per-thread trace directory "
+             "into a binary v2 trace",
     )
-    tinfo.add_argument("input", help="path to a trace file")
+    tingest.add_argument(
+        "input",
+        help="directory of sigil.events.out-<tid>[.gz] files (or a "
+             "single thread file)",
+    )
+    tingest.add_argument("-o", "--output", default=None,
+                         help=".rtrace output (default: <input>.rtrace)")
+    tingest.add_argument("--name", default=None,
+                         help="workload name (default: directory name)")
+    tingest.add_argument(
+        "--cores", type=int, default=None,
+        help="core count (default: thread count padded to a power of two)",
+    )
+    tingest.add_argument(
+        "--thread-map", choices=("sorted", "identity"), default="sorted",
+        help="thread->core mapping: 'sorted' packs ascending thread ids "
+             "onto cores 0..n-1, 'identity' uses the thread id as the "
+             "core (default %(default)s)",
+    )
+    tingest.add_argument(
+        "--rebase", action="store_true",
+        help="normalize the memory address space to a zero base "
+             "(sync-object addresses are untouched)",
+    )
+    tingest.add_argument("--json", action="store_true",
+                         help="machine-readable summary")
+    tingest.set_defaults(func=cmd_trace_ingest)
+
+    tinfo = tracesub.add_parser(
+        "info",
+        help="inspect a trace (v1 text, v2 binary, or SynchroTrace "
+             "directory)",
+    )
+    tinfo.add_argument("input", help="path to a trace file or directory")
     tinfo.add_argument("--json", action="store_true",
                        help="machine-readable output")
     tinfo.set_defaults(func=cmd_trace_info)
@@ -311,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None)
     diff.add_argument("--predictors", nargs="+", choices=PREDICTOR_KINDS,
                       default=None)
+    diff.add_argument(
+        "--trace", nargs="+", default=None, metavar="PATH",
+        help="also certify these external traces (SynchroTrace "
+             "directory, v1 text, or v2 binary); with no --workloads/"
+             "--quick, only the traces are checked",
+    )
     diff.add_argument("--scale", type=float, default=0.05,
                       help="workload scale factor (default %(default)s)")
     diff.add_argument("--json", action="store_true",
@@ -348,6 +411,33 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("case", help="path to a case-*.json reproducer")
     replay.set_defaults(func=cmd_check_replay)
 
+    ingest = checksub.add_parser(
+        "ingest",
+        help="certify the SynchroTrace export->re-ingest round trip and "
+             "replay the golden conformance corpus",
+    )
+    ingest.add_argument(
+        "--workloads", nargs="+", choices=benchmark_names(), default=None,
+        help="suite workloads to round-trip (default: all 17)",
+    )
+    ingest.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (default %(default)s)")
+    ingest.add_argument("--seed", type=int, default=None)
+    ingest.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="golden corpus root (valid/ + malformed/ case directories, "
+             "e.g. tests/data/synchrotrace)",
+    )
+    ingest.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the conformance report as JSON (the CI artifact)",
+    )
+    ingest.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    ingest.add_argument("--bench", metavar="PATH", default=None,
+                        help="merge the report into a JSON benchmark file")
+    ingest.set_defaults(func=cmd_check_ingest)
+
     return parser
 
 
@@ -369,7 +459,18 @@ def cmd_list(args) -> int:
 def cmd_simulate(args) -> int:
     machine = MachineConfig()
     if args.trace:
-        workload = load_trace(args.workload)
+        from repro.sim.machine import fit_machine
+        from repro.traces.ingest import load_external
+
+        try:
+            workload = load_external(args.workload)
+        except (OSError, ValueError) as exc:
+            # TraceFormatError / TraceStoreError subclass ValueError: a
+            # missing or malformed trace exits 1 with one line.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if workload.num_cores != machine.num_cores:
+            machine = fit_machine(workload.num_cores)
     else:
         workload = load_benchmark(args.workload, scale=args.scale)
 
@@ -968,11 +1069,16 @@ def cmd_check_diff(args) -> int:
     if args.quick:
         workloads = workloads or list(QUICK_WORKLOADS)
         predictors = predictors or list(QUICK_PREDICTORS)
+    if args.trace and workloads is None and not args.quick:
+        # --trace alone certifies just the external traces; mixing in
+        # the suite needs an explicit --workloads/--quick.
+        workloads = []
     report = run_differential(
         workloads=workloads,
         protocols=tuple(args.protocols or ALL_PROTOCOLS),
         predictors=tuple(predictors or PREDICTOR_KINDS),
         scale=args.scale,
+        trace_paths=tuple(args.trace or ()),
         verbose=not args.json,
     )
     if args.bench:
@@ -1064,6 +1170,53 @@ def cmd_check_replay(args) -> int:
     return 1
 
 
+def cmd_check_ingest(args) -> int:
+    from repro.check.ingest import run_ingest_check
+
+    report = run_ingest_check(
+        workloads=args.workloads,
+        scale=args.scale,
+        seed=args.seed,
+        corpus=args.corpus,
+        verbose=not args.json,
+    )
+    payload = report.to_dict()
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.bench:
+        _merge_bench(args.bench, "ingest", payload)
+    from repro.obs.ledger import record_run
+
+    record_run(
+        "check",
+        label="ingest",
+        phases={"check_s": round(report.elapsed, 4)},
+        extra={
+            "roundtrips": report.roundtrips,
+            "engine_cells": report.engine_cells,
+            "valid_cases": report.valid_cases,
+            "malformed_cases": report.malformed_cases,
+            "passed": report.passed,
+        },
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"ingest: {report.roundtrips} round-trips "
+            f"({report.engine_cells} engine cells), "
+            f"{report.valid_cases} valid + {report.malformed_cases} "
+            f"malformed corpus cases in {report.elapsed:.1f}s -> "
+            + ("PASS" if report.passed else
+               f"{len(report.issues)} ISSUE(S)")
+        )
+        for issue in report.issues[:10]:
+            print(f"  {issue.describe()}")
+    return 0 if report.passed else 1
+
+
 def cmd_dump_trace(args) -> int:
     workload = load_benchmark(args.benchmark, scale=args.scale)
     dump_trace(workload, args.output)
@@ -1099,20 +1252,111 @@ def cmd_trace_compile(args) -> int:
     return 0
 
 
-def cmd_trace_export(args) -> int:
-    from repro.traces import load_compiled
+def _resolve_workload_arg(token, scale, seed):
+    """A workload from a benchmark name or any external trace path.
 
+    A real path always wins (so a trace file that happens to share a
+    benchmark's name stays loadable); otherwise the token must name a
+    suite benchmark.
+    """
+    import os
+
+    from repro.traces.ingest import load_external
+
+    if os.path.exists(token):
+        return load_external(token)
+    if token in benchmark_names():
+        return load_benchmark(token, scale=scale, seed=seed)
+    raise FileNotFoundError(
+        f"{token!r} is neither a trace path nor a benchmark name"
+    )
+
+
+def _provenance_note(workload) -> str | None:
+    """One line describing an ingested workload's origin, or None."""
+    prov = getattr(workload, "provenance", None)
+    if not prov:
+        return None
+    events = prov.get("events", {})
+    syncs = sum(events.get("syncs", {}).values())
+    return (
+        f"source: {prov.get('format', '?')} from {prov.get('source', '?')} "
+        f"({prov.get('threads', '?')} threads, {events.get('reads', 0):,} "
+        f"reads, {events.get('writes', 0):,} writes, {syncs:,} syncs)"
+    )
+
+
+def cmd_trace_export(args) -> int:
     try:
-        compiled = load_compiled(args.input)
+        workload = _resolve_workload_arg(args.input, args.scale, args.seed)
     except (OSError, ValueError) as exc:
-        # TraceStoreError subclasses ValueError: missing and corrupt
-        # inputs both exit 1 with a one-line message, no traceback.
+        # TraceStoreError / TraceFormatError subclass ValueError:
+        # missing and corrupt inputs both exit 1 with one line.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    workload = compiled.to_workload()
-    dump_trace(workload, args.output)
-    print(f"exported {workload.total_events():,} events "
-          f"({workload.num_cores} cores) to {args.output} (v1 text)")
+    note = _provenance_note(workload)
+    if args.format == "synchrotrace":
+        from repro.traces.ingest import export_synchrotrace
+
+        paths = export_synchrotrace(
+            workload, args.output, compress=args.compress
+        )
+        print(
+            f"exported {workload.total_events():,} events to "
+            f"{len(paths)} per-thread files under {args.output} "
+            f"(synchrotrace)"
+        )
+    else:
+        dump_trace(workload, args.output)
+        print(f"exported {workload.total_events():,} events "
+              f"({workload.num_cores} cores) to {args.output} (v1 text)")
+    if note:
+        print(f"  {note}")
+    return 0
+
+
+def cmd_trace_ingest(args) -> int:
+    import os
+
+    from repro.traces import compile_workload, save_compiled
+    from repro.traces.ingest import ingest_directory, ingest_file
+
+    try:
+        if os.path.isdir(args.input):
+            workload = ingest_directory(
+                args.input, name=args.name, num_cores=args.cores,
+                thread_map=args.thread_map, rebase=args.rebase,
+            )
+        else:
+            workload = ingest_file(
+                args.input, name=args.name, num_cores=args.cores,
+                rebase=args.rebase,
+            )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    output = args.output or (str(args.input).rstrip("/") + ".rtrace")
+    compiled = compile_workload(workload)
+    save_compiled(compiled, output)
+    if args.json:
+        print(json.dumps({
+            "output": output,
+            "name": workload.name,
+            "num_cores": workload.num_cores,
+            "events": workload.total_events(),
+            "file_bytes": os.path.getsize(output),
+            "provenance": workload.provenance,
+        }, indent=2))
+        return 0
+    print(
+        f"ingested {workload.name}: {workload.total_events():,} events "
+        f"({workload.provenance['threads']} threads -> "
+        f"{workload.num_cores} cores) -> {output} "
+        f"({os.path.getsize(output):,} bytes)"
+    )
+    note = _provenance_note(workload)
+    if note:
+        print(f"  {note}")
     return 0
 
 
@@ -1122,6 +1366,22 @@ def cmd_trace_info(args) -> int:
     from repro.traces import load_compiled
 
     try:
+        if os.path.isdir(args.input):
+            from repro.traces.ingest import ingest_directory
+
+            workload = ingest_directory(args.input)
+            info = {
+                "format": "synchrotrace (per-thread text)",
+                "name": workload.name,
+                "num_cores": workload.num_cores,
+                "events": workload.total_events(),
+                "events_per_core": [
+                    len(workload.stream(core))
+                    for core in range(workload.num_cores)
+                ],
+                "provenance": workload.provenance,
+            }
+            return _print_trace_info(info, args.json)
         with open(args.input, "rb") as fh:
             magic = fh.read(8)
         if magic == b"RTRACEv2":
@@ -1157,10 +1417,18 @@ def cmd_trace_info(args) -> int:
                 ],
                 "file_bytes": os.path.getsize(args.input),
             }
+            # An ingested trace compiled to v2 carries its provenance
+            # in the header's meta field; report the real origin
+            # instead of presenting it as a synthetic workload.
+            if compiled.meta:
+                info["provenance"] = compiled.meta
         else:
-            workload = load_trace(args.input)
+            from repro.traces.ingest import load_external
+
+            workload = load_external(args.input)
+            prov = getattr(workload, "provenance", None) or {}
             info = {
-                "format": "repro-trace v1 (text)",
+                "format": prov.get("format", "repro-trace v1 (text)"),
                 "name": workload.name,
                 "num_cores": workload.num_cores,
                 "events": workload.total_events(),
@@ -1170,17 +1438,26 @@ def cmd_trace_info(args) -> int:
                 ],
                 "file_bytes": os.path.getsize(args.input),
             }
+            if prov:
+                info["provenance"] = prov
     except (OSError, ValueError) as exc:
         # TraceStoreError / TraceFormatError subclass ValueError: a
         # missing or corrupt path exits 1 with one line, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.json:
+    return _print_trace_info(info, args.json)
+
+
+def _print_trace_info(info: dict, as_json: bool) -> int:
+    if as_json:
         print(json.dumps(info, indent=2))
         return 0
     width = max(len(key) for key in info) + 2
     for key, value in info.items():
-        print(f"{key:{width}s}{value}")
+        if isinstance(value, dict):
+            print(f"{key:{width}s}{json.dumps(value, sort_keys=True)}")
+        else:
+            print(f"{key:{width}s}{value}")
     return 0
 
 

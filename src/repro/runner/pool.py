@@ -91,14 +91,26 @@ def _load_workload(spec: RunSpec):
     copy-on-write through this memo).  ``REPRO_TRACE=0`` falls back to
     generate-and-compile in process.
     """
+    from repro.runner.specs import TRACE_PREFIX
     from repro.traces.store import load_benchmark_compiled
 
     key = (spec.workload, spec.scale, spec.seed)
     workload = _workloads.get(key)
     if workload is None:
-        workload = load_benchmark_compiled(
-            spec.workload, scale=spec.scale, seed=spec.seed
-        )
+        if spec.workload.startswith(TRACE_PREFIX):
+            # External trace: the file bytes are the whole identity
+            # (scale/seed are inert; the spec digest folds in a content
+            # hash instead), so no generator and no trace store — just
+            # load, compile in-process, and memo like any workload.
+            from repro.traces.compile import ensure_compiled
+            from repro.traces.ingest import load_external
+
+            workload = load_external(spec.workload[len(TRACE_PREFIX):])
+            ensure_compiled(workload)
+        else:
+            workload = load_benchmark_compiled(
+                spec.workload, scale=spec.scale, seed=spec.seed
+            )
         _workloads[key] = workload
     return workload
 

@@ -30,7 +30,31 @@ CACHE_VERSION = 3
 _NON_SIMULATION_PARTS = ("experiments", "analysis", "runner", "obs")
 _NON_SIMULATION_FILES = ("cli.py", "report.py", "__main__.py")
 
+#: ``RunSpec.workload`` prefix naming an external trace path instead of
+#: a suite benchmark (``trace:/path/to/trace``).  ``scale`` and ``seed``
+#: are inert for such specs — the trace bytes fully determine the
+#: events — but stay in the digest so equal specs stay equal.
+TRACE_PREFIX = "trace:"
+
 _fingerprint_cache: str | None = None
+_trace_digest_cache: dict = {}
+
+
+def trace_spec_digest(path: str) -> str:
+    """Content hash of an external trace source, memoized per path.
+
+    Folding this into a ``trace:`` spec's digest gives external traces
+    the same self-invalidation story code edits get from
+    :func:`code_fingerprint`: changed trace bytes re-key every cached
+    result instead of replaying a stale one.
+    """
+    digest = _trace_digest_cache.get(path)
+    if digest is None:
+        from repro.traces.ingest import trace_content_digest
+
+        digest = trace_content_digest(path)
+        _trace_digest_cache[path] = digest
+    return digest
 
 
 def code_fingerprint() -> str:
@@ -81,11 +105,16 @@ class RunSpec:
         ``MachineConfig`` is a frozen dataclass tree of scalars, so its
         ``repr`` is a deterministic serialization of the whole machine.
         """
+        workload_id = self.workload
+        if workload_id.startswith(TRACE_PREFIX):
+            workload_id += "\x1e" + trace_spec_digest(
+                workload_id[len(TRACE_PREFIX):]
+            )
         material = "\x1f".join(
             (
                 f"v{CACHE_VERSION}",
                 code_fingerprint(),
-                self.workload,
+                workload_id,
                 repr(self.scale),
                 self.protocol,
                 self.predictor,

@@ -63,3 +63,23 @@ class MachineConfig:
             l1=CacheConfig(size=2 * 1024, assoc=1, line_size=64),
             l2=CacheConfig(size=32 * 1024, assoc=4, line_size=64),
         )
+
+
+def fit_machine(num_cores: int) -> MachineConfig:
+    """A full-size machine whose mesh holds exactly ``num_cores`` tiles.
+
+    Picks the most-square ``width x height`` factorization (height the
+    largest divisor <= sqrt(n)), so the paper's 16 cores keep their 4x4
+    mesh while an ingested trace with a different thread count gets a
+    sensible topology instead of a core-count mismatch error.
+    """
+    if num_cores < 1:
+        raise ValueError(f"cannot build a machine with {num_cores} cores")
+    height = int(num_cores ** 0.5)
+    while num_cores % height:
+        height -= 1
+    from dataclasses import replace
+
+    return replace(
+        MachineConfig(), mesh_width=num_cores // height, mesh_height=height
+    )

@@ -8,6 +8,11 @@ directory and maps them back with ``mmap``.  The simulation engine's
 fast path (``sim.engine``) consumes the segment index directly; results
 are bit-identical to the event-by-event interpreter by construction,
 and the differential harness (``repro check diff``) certifies it.
+
+``ingest.py`` is the real-trace frontend: it parses
+SynchroTrace/Sigil-style per-thread text traces into the same workload
+streams (and compiled columns), exports any workload back to that
+format, and certifies the round trip (``repro check ingest``).
 """
 
 from repro.traces.compile import (
@@ -19,6 +24,16 @@ from repro.traces.compile import (
     attach_compiled,
     compile_workload,
     ensure_compiled,
+)
+from repro.traces.ingest import (
+    export_synchrotrace,
+    ingest_directory,
+    ingest_file,
+    ingest_threads,
+    load_external,
+    roundtrip_workload,
+    synchrotrace_lines,
+    trace_content_digest,
 )
 from repro.traces.store import (
     TraceStore,
@@ -43,9 +58,17 @@ __all__ = [
     "compile_workload",
     "default_trace_dir",
     "ensure_compiled",
+    "export_synchrotrace",
+    "ingest_directory",
+    "ingest_file",
+    "ingest_threads",
     "load_benchmark_compiled",
     "load_compiled",
+    "load_external",
+    "roundtrip_workload",
     "save_compiled",
+    "synchrotrace_lines",
+    "trace_content_digest",
     "trace_store_enabled",
     "workload_key",
 ]

@@ -80,12 +80,15 @@ class CompiledTrace:
     """
 
     __slots__ = ("name", "num_cores", "ops", "arg1", "arg2", "arg3",
-                 "segments", "_events", "_np")
+                 "segments", "meta", "_events", "_np")
 
     def __init__(self, name, num_cores, ops, arg1, arg2, arg3, segments,
-                 events=None):
+                 events=None, meta=None):
         self.name = name
         self.num_cores = num_cores
+        #: Provenance dict for ingested traces (JSON-safe; persisted as
+        #: the optional ``meta`` header field of a v2 file), else None.
+        self.meta = meta
         self.ops = ops            # list[array('q')] per core, or None
         self.arg1 = arg1
         self.arg2 = arg2
@@ -210,11 +213,22 @@ class CompiledTrace:
         }
 
     def to_workload(self) -> Workload:
-        """Rebuild a plain :class:`Workload` (tuple streams)."""
+        """Rebuild a :class:`Workload` (tuple streams).
+
+        A trace carrying provenance ``meta`` comes back as a
+        :class:`~repro.workloads.trace.TraceWorkload`, so an ingested
+        trace loaded from the v2 store still reports its real origin.
+        """
+        events = [self.events(core) for core in range(self.num_cores)]
+        if self.meta is not None:
+            from repro.workloads.trace import TraceWorkload
+
+            return TraceWorkload(
+                name=self.name, num_cores=self.num_cores,
+                events=events, provenance=dict(self.meta),
+            )
         return Workload(
-            name=self.name,
-            num_cores=self.num_cores,
-            events=[self.events(core) for core in range(self.num_cores)],
+            name=self.name, num_cores=self.num_cores, events=events,
         )
 
 
@@ -298,6 +312,7 @@ def compile_workload(workload: Workload) -> CompiledTrace:
         name=workload.name, num_cores=n,
         ops=None, arg1=None, arg2=None, arg3=None,
         segments=seg_tables, events=events,
+        meta=getattr(workload, "provenance", None) or None,
     )
 
 

@@ -1,0 +1,782 @@
+"""SynchroTrace-style trace ingestion: real application traces as
+first-class workloads.
+
+The paper evaluates SP-prediction on real multithreaded applications;
+this repro's 17 workloads are synthetic generators.  This module closes
+the gap: it parses SynchroTrace/Sigil-style per-thread event traces —
+the established interchange format for synchronization-annotated
+multithreaded traces — and lowers them into the same
+:class:`~repro.workloads.base.Workload` event streams (and, via
+:mod:`repro.traces.compile`, the same compiled v2 columns) every engine
+path, predictor, sweep, and check consumes.
+
+Accepted grammar (one event per line; per-thread files named
+``sigil.events.out-<tid>`` with optional ``.gz``):
+
+========== ==========================================================
+event      line form
+========== ==========================================================
+compute    ``EID,TID,IOPS,FLOPS,NREADS,NWRITES`` then chunks
+           ``* START END`` (local read) / ``$ START END`` (local
+           write), addresses as byte ranges
+comm       ``EID,TID`` then one or more ``# SRC_TID SRC_EID START
+           END`` chunks — reads of remotely-produced ranges
+sync       ``EID,TID,pth_ty:SUBTYPE^ADDR`` — a pthread-API event on
+           the sync object at ``ADDR``
+annotation ``! PC`` or ``! PC,LOCKADDR`` (both hex) may end any event
+           line — a dialect extension carrying the calling PC (and,
+           for non-lock sync kinds, a sync-object address) so the
+           exporter round-trips losslessly; absent on real traces
+========== ==========================================================
+
+Event ids must be strictly increasing per thread; ``TID`` must match
+the file's thread; numbers are decimal (``0x`` hex accepted for
+addresses).  Every violation raises a one-line, line-numbered
+:class:`TraceFormatError`.
+
+Lowering rules (the "epoch mapping" — how pthread events land on the
+engine's sync vocabulary of :class:`~repro.sync.points.SyncKind`):
+
+=======  =================  =============================================
+pth_ty   pthread call       lowered to
+=======  =================  =============================================
+1        mutex lock         ``LOCK`` (lock_addr = sync object)
+2        mutex unlock       ``UNLOCK`` (lock_addr = sync object)
+3        thread create      ``WAKEUP`` (the spawn wakes the child)
+4        thread join        ``JOIN``
+5        barrier wait       ``BARRIER`` (object addr is the static id)
+6        cond wait          ``WAKEUP`` (the waiter's wake-up point)
+7        cond signal        ``WAKEUP``
+8        cond broadcast     ``BROADCAST``
+9        spin lock          ``LOCK``
+10       spin unlock        ``UNLOCK``
+=======  =================  =============================================
+
+Every lowered sync event is an epoch boundary; ``LOCK`` keys the
+SP-table by the lock address (Section 4.3 of the paper), everything
+else by the calling PC.  Without a PC annotation the sync object's
+address doubles as the static PC (a stable static id for real traces),
+and memory accesses get one pseudo-PC per access class (local read /
+local write / communicating read) so the INST/ADDR predictors still see
+static sites.  A compute event contributes ``IOPS + FLOPS`` think
+cycles before its accesses; each address range contributes one access
+at its start plus one per cache-line boundary it spans.
+
+The matching exporter (:func:`export_synchrotrace` /
+:func:`synchrotrace_lines`) emits one access per compute event with PC
+annotations, so any synthetic workload round-trips through the external
+format with bit-identical event streams — the property the round-trip
+suite, the fuzzer's ingest cell, and ``repro check ingest`` certify.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import os
+import re
+from pathlib import Path
+
+from repro.sync.points import SyncKind
+from repro.workloads.base import (
+    LINE_SIZE,
+    OP_READ,
+    OP_SYNC,
+    OP_THINK,
+    OP_WRITE,
+    Workload,
+)
+from repro.workloads.trace import TraceFormatError, TraceWorkload, count_events
+
+#: Per-thread trace file naming convention (Sigil/SynchroTrace).
+FILE_PREFIX = "sigil.events.out-"
+
+#: pthread-API subtype numbers (Sigil's ``pth_ty`` vocabulary).
+PTH_MUTEX_LOCK = 1
+PTH_MUTEX_UNLOCK = 2
+PTH_CREATE = 3
+PTH_JOIN = 4
+PTH_BARRIER = 5
+PTH_COND_WAIT = 6
+PTH_COND_SIGNAL = 7
+PTH_COND_BROADCAST = 8
+PTH_SPIN_LOCK = 9
+PTH_SPIN_UNLOCK = 10
+
+#: Ingest lowering: pth_ty subtype -> engine sync kind (surjective).
+INGEST_KIND = {
+    PTH_MUTEX_LOCK: SyncKind.LOCK,
+    PTH_MUTEX_UNLOCK: SyncKind.UNLOCK,
+    PTH_CREATE: SyncKind.WAKEUP,
+    PTH_JOIN: SyncKind.JOIN,
+    PTH_BARRIER: SyncKind.BARRIER,
+    PTH_COND_WAIT: SyncKind.WAKEUP,
+    PTH_COND_SIGNAL: SyncKind.WAKEUP,
+    PTH_COND_BROADCAST: SyncKind.BROADCAST,
+    PTH_SPIN_LOCK: SyncKind.LOCK,
+    PTH_SPIN_UNLOCK: SyncKind.UNLOCK,
+}
+
+#: Export mapping: engine sync kind -> pth_ty subtype.  Injective under
+#: :data:`INGEST_KIND` (each chosen subtype lowers back to its kind),
+#: which is what makes the round trip exact.
+EXPORT_SUBTYPE = {
+    SyncKind.LOCK: PTH_MUTEX_LOCK,
+    SyncKind.UNLOCK: PTH_MUTEX_UNLOCK,
+    SyncKind.JOIN: PTH_JOIN,
+    SyncKind.BARRIER: PTH_BARRIER,
+    SyncKind.WAKEUP: PTH_COND_SIGNAL,
+    SyncKind.BROADCAST: PTH_COND_BROADCAST,
+}
+
+#: Pseudo-PC per access class for traces without PC annotations: one
+#: static site per class keeps the INST/ADDR predictors meaningful on
+#: real traces (which carry no PCs) while staying deterministic.
+PSEUDO_PC_READ = 0x51600000
+PSEUDO_PC_WRITE = 0x51600008
+PSEUDO_PC_COMM = 0x51600010
+
+_FILE_RE = re.compile(
+    re.escape(FILE_PREFIX) + r"(\d+)(\.gz)?$"
+)
+
+_THREAD_MAPS = ("sorted", "identity")
+
+
+def _int_field(tok: str, label: str, what: str):
+    """Parse a decimal (or 0x-hex) integer field, or raise one line."""
+    try:
+        return int(tok, 16) if tok[:2].lower() == "0x" else int(tok, 10)
+    except ValueError:
+        raise TraceFormatError(f"{label}: bad {what} {tok!r}") from None
+
+
+def _range_addrs(start: int, end: int, line_size: int) -> list:
+    """Access addresses for a byte range: its start plus one per
+    cache-line boundary the range spans."""
+    addrs = [start]
+    nxt = (start // line_size + 1) * line_size
+    while nxt <= end:
+        addrs.append(nxt)
+        nxt += line_size
+    return addrs
+
+
+class _ThreadParse:
+    """One thread's parsed stream plus what cross-thread checks need."""
+
+    __slots__ = ("tid", "label", "events", "barriers", "stats")
+
+    def __init__(self, tid: int, label: str):
+        self.tid = tid
+        self.label = label
+        self.events: list = []
+        #: (barrier static pc, lineno) per arrival, in order.
+        self.barriers: list = []
+        self.stats = {
+            "reads": 0, "writes": 0, "comm_reads": 0, "comm_edges": 0,
+            "thinks": 0, "think_cycles": 0, "syncs": {},
+        }
+
+
+def parse_thread(
+    lines,
+    tid: int,
+    label: str = "<trace>",
+    line_size: int = LINE_SIZE,
+) -> _ThreadParse:
+    """Parse one thread's event lines into engine tuples.
+
+    ``lines`` is any iterable of text lines.  Raises a one-line,
+    line-numbered :class:`TraceFormatError` on the first malformed
+    record; validates per-thread invariants inline (monotone event
+    ids, matching thread id, balanced and properly nested lock/unlock,
+    no lock held across a barrier or at thread end).
+    """
+    parse = _ThreadParse(tid, label)
+    events = parse.events
+    stats = parse.stats
+    sync_counts = stats["syncs"]
+    last_eid = None
+    held: list = []  # lock-address stack (nesting order)
+    held_lines: list = []
+    lineno = 0
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        where = f"{label}:{lineno}"
+        tokens = line.split()
+        head = tokens[0].split(",")
+        if len(head) < 2:
+            raise TraceFormatError(
+                f"{where}: truncated event header {tokens[0]!r}"
+            )
+        eid = _int_field(head[0], where, "event id")
+        line_tid = _int_field(head[1], where, "thread id")
+        if line_tid != tid:
+            raise TraceFormatError(
+                f"{where}: thread id {line_tid} in a thread-{tid} trace"
+            )
+        if last_eid is not None and eid <= last_eid:
+            raise TraceFormatError(
+                f"{where}: non-monotonic event id {eid} after {last_eid}"
+            )
+        last_eid = eid
+
+        # Trailing "! PC[,LOCKADDR]" annotation (dialect extension).
+        pc = None
+        annot_addr = None
+        if "!" in tokens:
+            bang = tokens.index("!")
+            annot = tokens[bang + 1:]
+            tokens = tokens[:bang]
+            if len(annot) != 1:
+                raise TraceFormatError(
+                    f"{where}: truncated '!' annotation"
+                )
+            parts = annot[0].split(",")
+            pc = _int_field(
+                "0x" + parts[0], where, "annotation pc"
+            )
+            if len(parts) > 1:
+                annot_addr = _int_field(
+                    "0x" + parts[1], where, "annotation address"
+                )
+
+        if len(head) == 3 and head[2].startswith("pth_ty:"):
+            _parse_sync(
+                parse, head[2], pc, annot_addr, where,
+                held, held_lines,
+            )
+            kind = events[-1][1].value
+            sync_counts[kind] = sync_counts.get(kind, 0) + 1
+        elif len(head) == 2:
+            _parse_comm(parse, tokens[1:], pc, where, line_size)
+        elif len(head) == 6:
+            _parse_compute(parse, head, tokens[1:], pc, where, line_size)
+        else:
+            raise TraceFormatError(
+                f"{where}: unknown event kind {tokens[0]!r} "
+                f"(expected compute, comm, or pth_ty sync)"
+            )
+
+    if held:
+        raise TraceFormatError(
+            f"{label}:{held_lines[-1]}: lock {held[-1]:#x} still held at "
+            f"end of thread {tid}"
+        )
+    return parse
+
+
+def _parse_sync(
+    parse: _ThreadParse, field: str, pc, annot_addr, where: str,
+    held: list, held_lines: list,
+) -> None:
+    body = field[len("pth_ty:"):]
+    sub_tok, sep, addr_tok = body.partition("^")
+    if not sep or not addr_tok:
+        raise TraceFormatError(
+            f"{where}: truncated sync event {field!r} "
+            f"(expected pth_ty:SUBTYPE^ADDR)"
+        )
+    subtype = _int_field(sub_tok, where, "pth_ty subtype")
+    kind = INGEST_KIND.get(subtype)
+    if kind is None:
+        raise TraceFormatError(
+            f"{where}: unknown pthread event type {subtype} "
+            f"(known: {sorted(INGEST_KIND)})"
+        )
+    addr = _int_field(addr_tok, where, "sync address")
+
+    if kind in (SyncKind.LOCK, SyncKind.UNLOCK):
+        lock_addr = addr
+        if pc is None:
+            pc = addr  # the lock address doubles as the static site
+    else:
+        lock_addr = annot_addr  # None unless the annotation restored one
+        if pc is None:
+            pc = addr  # sync object address as the static id
+
+    if kind is SyncKind.LOCK:
+        if lock_addr in held:
+            raise TraceFormatError(
+                f"{where}: lock {lock_addr:#x} acquired while already "
+                f"held (self-deadlock)"
+            )
+        held.append(lock_addr)
+        held_lines.append(int(where.rsplit(":", 1)[1]))
+    elif kind is SyncKind.UNLOCK:
+        if not held or held[-1] != lock_addr:
+            raise TraceFormatError(
+                f"{where}: unlock of {lock_addr:#x} "
+                + ("not held" if lock_addr not in held
+                   else f"badly nested inside {held[-1]:#x}")
+            )
+        held.pop()
+        held_lines.pop()
+    elif kind is SyncKind.BARRIER:
+        if held:
+            raise TraceFormatError(
+                f"{where}: barrier arrival with lock {held[-1]:#x} held "
+                f"(deadlock)"
+            )
+        lineno = int(where.rsplit(":", 1)[1])
+        parse.barriers.append((pc, lineno))
+    parse.events.append((OP_SYNC, kind, pc, lock_addr))
+
+
+def _parse_compute(
+    parse: _ThreadParse, head, chunks, pc, where: str, line_size: int
+) -> None:
+    iops = _int_field(head[2], where, "iops count")
+    flops = _int_field(head[3], where, "flops count")
+    _int_field(head[4], where, "read count")
+    _int_field(head[5], where, "write count")
+    cycles = iops + flops
+    accesses = _parse_chunks(chunks, where, ("*", "$"), line_size)
+    events = parse.events
+    stats = parse.stats
+    if cycles > 0 or not accesses:
+        # A zero-op, zero-access compute event still round-trips as an
+        # explicit (OP_THINK, 0) so re-ingested streams match exactly.
+        events.append((OP_THINK, cycles))
+        stats["thinks"] += 1
+        stats["think_cycles"] += cycles
+    for tag, addrs in accesses:
+        if tag == "*":
+            op, default_pc, key = OP_READ, PSEUDO_PC_READ, "reads"
+        else:
+            op, default_pc, key = OP_WRITE, PSEUDO_PC_WRITE, "writes"
+        use_pc = pc if pc is not None else default_pc
+        for addr in addrs:
+            events.append((op, addr, use_pc))
+            stats[key] += 1
+
+
+def _parse_comm(
+    parse: _ThreadParse, chunks, pc, where: str, line_size: int
+) -> None:
+    groups = _parse_chunks(chunks, where, ("#",), line_size)
+    if not groups:
+        raise TraceFormatError(
+            f"{where}: comm event without any '# SRC_TID SRC_EID START "
+            f"END' chunk"
+        )
+    events = parse.events
+    stats = parse.stats
+    use_pc = pc if pc is not None else PSEUDO_PC_COMM
+    for _tag, addrs in groups:
+        stats["comm_edges"] += 1
+        for addr in addrs:
+            events.append((OP_READ, addr, use_pc))
+            stats["comm_reads"] += 1
+
+
+def _parse_chunks(tokens, where: str, tags, line_size: int) -> list:
+    """Split an event line's tail into (tag, access addresses) groups.
+
+    Compute chunks (``*``/``$``) carry ``START END``; comm chunks
+    (``#``) carry ``SRC_TID SRC_EID START END``.
+    """
+    groups = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tag = tokens[i]
+        if tag not in tags:
+            raise TraceFormatError(
+                f"{where}: unexpected token {tag!r} "
+                f"(expected one of {'/'.join(tags)})"
+            )
+        width = 4 if tag == "#" else 2
+        args = tokens[i + 1: i + 1 + width]
+        if len(args) < width:
+            raise TraceFormatError(
+                f"{where}: truncated {tag!r} chunk "
+                f"(expected {width} fields, got {len(args)})"
+            )
+        start = _int_field(args[-2], where, "range start")
+        end = _int_field(args[-1], where, "range end")
+        if end < start:
+            raise TraceFormatError(
+                f"{where}: backwards address range "
+                f"{start:#x}..{end:#x}"
+            )
+        groups.append((tag, _range_addrs(start, end, line_size)))
+        i += 1 + width
+    return groups
+
+
+# ----------------------------------------------------------------------
+# whole-workload assembly
+# ----------------------------------------------------------------------
+
+def _check_barriers(parses) -> None:
+    """Cross-thread barrier consistency, mirroring the engine's check.
+
+    The engine requires the i-th barrier arrival of every core to name
+    the same static barrier; arriving at different barriers in
+    different orders deadlocks it.  Caught here with the offending
+    file and line instead of mid-simulation.
+    """
+    reference: dict = {}  # index -> (pc, label, lineno)
+    for parse in parses:
+        for index, (pc, lineno) in enumerate(parse.barriers):
+            ref = reference.get(index)
+            if ref is None:
+                reference[index] = (pc, parse.label, lineno)
+            elif ref[0] != pc:
+                raise TraceFormatError(
+                    f"{parse.label}:{lineno}: out-of-order barrier "
+                    f"arrival: thread {parse.tid}'s barrier #{index} is "
+                    f"{pc:#x} but {ref[1]}:{ref[2]} arrived at {ref[0]:#x}"
+                )
+
+
+def _rebase_addresses(streams, line_size: int) -> int:
+    """Shift all memory addresses down so the lowest touched cache line
+    starts at 0 (``rebase`` normalization).  Returns the base removed.
+    Sync-object addresses are a separate namespace and stay put."""
+    low = None
+    for stream in streams:
+        for ev in stream:
+            if ev[0] == OP_READ or ev[0] == OP_WRITE:
+                if low is None or ev[1] < low:
+                    low = ev[1]
+    if not low:
+        return 0
+    base = (low // line_size) * line_size
+    if base == 0:
+        return 0
+    for stream in streams:
+        for i, ev in enumerate(stream):
+            if ev[0] == OP_READ or ev[0] == OP_WRITE:
+                stream[i] = (ev[0], ev[1] - base, ev[2])
+    return base
+
+
+def _pad_cores(threads: int) -> int:
+    """Default core count: the next power of two >= the thread count
+    (always a rectangular mesh; 16 for the typical <=16-thread trace)."""
+    cores = 1
+    while cores < threads:
+        cores *= 2
+    return cores
+
+
+def ingest_threads(
+    sources,
+    name: str = "ingested",
+    num_cores: int | None = None,
+    thread_map: str = "sorted",
+    rebase: bool = False,
+    source: str = "<memory>",
+    line_size: int = LINE_SIZE,
+) -> TraceWorkload:
+    """Assemble per-thread SynchroTrace streams into a workload.
+
+    ``sources`` is a list of ``(label, tid, lines)`` triples, one per
+    thread (``lines`` any iterable of text lines).  ``thread_map``
+    picks the thread->core assignment: ``"sorted"`` packs threads onto
+    cores 0..n-1 in ascending tid order, ``"identity"`` uses the tid as
+    the core number.  ``num_cores`` overrides the padded default;
+    ``rebase`` shifts the memory address space down to zero.
+    """
+    if thread_map not in _THREAD_MAPS:
+        raise TraceFormatError(
+            f"unknown thread map {thread_map!r} (choose from "
+            f"{'/'.join(_THREAD_MAPS)})"
+        )
+    if not sources:
+        raise TraceFormatError(f"{source}: no thread traces to ingest")
+    seen: dict = {}
+    for label, tid, _lines in sources:
+        if tid in seen:
+            raise TraceFormatError(
+                f"{label}: duplicate thread id {tid} "
+                f"(also in {seen[tid]})"
+            )
+        seen[tid] = label
+
+    parses = [
+        parse_thread(lines, tid, label, line_size=line_size)
+        for label, tid, lines in sources
+    ]
+    _check_barriers(parses)
+
+    tids = [p.tid for p in parses]
+    if thread_map == "identity":
+        slots = {p.tid: p for p in parses}
+        needed = max(tids) + 1
+    else:
+        ordered = sorted(parses, key=lambda p: p.tid)
+        slots = {core: p for core, p in enumerate(ordered)}
+        needed = len(parses)
+    cores = num_cores if num_cores is not None else _pad_cores(needed)
+    if cores < needed:
+        raise TraceFormatError(
+            f"{source}: {needed} cores required by thread map "
+            f"{thread_map!r} but only {cores} configured"
+        )
+
+    streams = [
+        slots[core].events if core in slots else []
+        for core in range(cores)
+    ]
+    base = _rebase_addresses(streams, line_size) if rebase else 0
+
+    totals = {
+        "reads": 0, "writes": 0, "comm_reads": 0, "comm_edges": 0,
+        "thinks": 0, "think_cycles": 0, "syncs": {},
+    }
+    for parse in parses:
+        for key, value in parse.stats.items():
+            if key == "syncs":
+                for kind, count in value.items():
+                    totals["syncs"][kind] = (
+                        totals["syncs"].get(kind, 0) + count
+                    )
+            else:
+                totals[key] += value
+    totals["syncs"] = dict(sorted(totals["syncs"].items()))
+
+    return TraceWorkload(
+        name=name,
+        num_cores=cores,
+        events=streams,
+        provenance={
+            "format": "synchrotrace",
+            "source": source,
+            "threads": len(parses),
+            "thread_ids": sorted(tids),
+            "thread_map": thread_map,
+            "files": sorted(p.label for p in parses),
+            "events": totals,
+            "rebase": base,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# filesystem frontend
+# ----------------------------------------------------------------------
+
+def _open_lines(path: Path):
+    """The file's text lines; ``.gz`` is decompressed transparently."""
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="ascii") as fh:
+            return fh.readlines()
+    with open(path, "r", encoding="ascii") as fh:
+        return fh.readlines()
+
+
+def thread_files(directory: Path) -> list:
+    """``(path, tid)`` for every per-thread trace file, sorted by tid."""
+    found = []
+    for entry in sorted(directory.iterdir()):
+        match = _FILE_RE.match(entry.name)
+        if match:
+            found.append((entry, int(match.group(1))))
+    found.sort(key=lambda item: item[1])
+    return found
+
+
+def ingest_directory(
+    path: str | os.PathLike,
+    name: str | None = None,
+    num_cores: int | None = None,
+    thread_map: str = "sorted",
+    rebase: bool = False,
+) -> TraceWorkload:
+    """Ingest a directory of ``sigil.events.out-<tid>`` thread traces."""
+    directory = Path(path)
+    files = thread_files(directory)
+    if not files:
+        raise TraceFormatError(
+            f"{directory}: no '{FILE_PREFIX}<tid>' thread trace files"
+        )
+    sources = [
+        (file.name, tid, _open_lines(file)) for file, tid in files
+    ]
+    return ingest_threads(
+        sources,
+        name=name or directory.name,
+        num_cores=num_cores,
+        thread_map=thread_map,
+        rebase=rebase,
+        source=str(directory),
+    )
+
+
+def ingest_file(
+    path: str | os.PathLike,
+    name: str | None = None,
+    num_cores: int | None = None,
+    rebase: bool = False,
+) -> TraceWorkload:
+    """Ingest a single per-thread trace file (tid from its name, else 0)."""
+    file = Path(path)
+    match = _FILE_RE.match(file.name)
+    tid = int(match.group(1)) if match else 0
+    return ingest_threads(
+        [(file.name, tid, _open_lines(file))],
+        name=name or file.stem,
+        num_cores=num_cores,
+        rebase=rebase,
+        source=str(file),
+    )
+
+
+def load_external(
+    path: str | os.PathLike,
+    name: str | None = None,
+    num_cores: int | None = None,
+    thread_map: str = "sorted",
+    rebase: bool = False,
+) -> Workload:
+    """Load any external trace: format auto-detected from the path.
+
+    * a directory -> SynchroTrace per-thread files (:func:`ingest_directory`)
+    * ``RTRACEv2`` magic -> compiled binary store file (columns mapped,
+      compiled trace attached)
+    * ``# repro-trace v1`` magic -> v1 text trace
+    * anything else -> a single SynchroTrace thread file
+
+    The returned workload carries provenance when the source format
+    does, and the mapped :class:`~repro.traces.compile.CompiledTrace`
+    for v2 files.
+    """
+    p = Path(path)
+    if p.is_dir():
+        return ingest_directory(
+            p, name=name, num_cores=num_cores,
+            thread_map=thread_map, rebase=rebase,
+        )
+    with open(p, "rb") as fh:
+        magic = fh.read(16)
+    if magic[:8] == b"RTRACEv2":
+        from repro.traces.store import load_compiled
+
+        compiled = load_compiled(p)
+        workload = compiled.to_workload()
+        workload._compiled = compiled
+        return workload
+    if magic.startswith(b"# repro-trace v1"):
+        from repro.workloads.trace import load_trace
+
+        return load_trace(p)
+    return ingest_file(p, name=name, num_cores=num_cores, rebase=rebase)
+
+
+def trace_content_digest(path: str | os.PathLike) -> str:
+    """Content hash of an external trace source (file or directory).
+
+    Used by :meth:`~repro.runner.specs.RunSpec.digest` so cached results
+    for ``trace:<path>`` specs self-invalidate when the trace bytes
+    change, exactly like the source fingerprint does for code.
+    """
+    p = Path(path)
+    digest = hashlib.sha256()
+    if p.is_dir():
+        files = [f for f, _tid in thread_files(p)] or sorted(
+            f for f in p.iterdir() if f.is_file()
+        )
+    else:
+        files = [p]
+    for file in files:
+        digest.update(file.name.encode())
+        digest.update(file.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# exporter
+# ----------------------------------------------------------------------
+
+def synchrotrace_lines(
+    workload: Workload, core: int, line_size: int = LINE_SIZE
+):
+    """One core's events as SynchroTrace text lines (no newlines).
+
+    Each memory access becomes its own compute event whose address
+    range stays inside one cache line, and every line carries a
+    ``! PC`` annotation — the two choices that make re-ingestion
+    reproduce the original event stream bit-for-bit.
+    """
+    eid = 0
+    for ev in workload.stream(core):
+        eid += 1
+        op = ev[0]
+        if op == OP_THINK:
+            yield f"{eid},{core},{ev[1]},0,0,0"
+        elif op == OP_READ or op == OP_WRITE:
+            addr, pc = ev[1], ev[2]
+            end = addr | (line_size - 1)
+            if end < addr:  # negative addresses: keep the range degenerate
+                end = addr
+            chunk = "* " if op == OP_READ else "$ "
+            counts = "1,0" if op == OP_READ else "0,1"
+            yield (
+                f"{eid},{core},0,0,{counts} {chunk}{addr} {end} ! {pc:x}"
+            )
+        elif op == OP_SYNC:
+            kind, pc, lock_addr = ev[1], ev[2], ev[3]
+            subtype = EXPORT_SUBTYPE[kind]
+            if kind in (SyncKind.LOCK, SyncKind.UNLOCK):
+                obj, annot = lock_addr, f"{pc:x}"
+            elif lock_addr is not None:
+                obj, annot = pc, f"{pc:x},{lock_addr:x}"
+            else:
+                obj, annot = pc, f"{pc:x}"
+            yield f"{eid},{core},pth_ty:{subtype}^{obj:#x} ! {annot}"
+        else:
+            raise TraceFormatError(f"unknown event opcode {op!r}")
+
+
+def export_synchrotrace(
+    workload: Workload,
+    out_dir: str | os.PathLike,
+    compress: bool = False,
+) -> list:
+    """Write a workload as per-thread SynchroTrace files; returns paths."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for core in range(workload.num_cores):
+        suffix = ".gz" if compress else ""
+        path = directory / f"{FILE_PREFIX}{core}{suffix}"
+        opener = (
+            (lambda p: gzip.open(p, "wt", encoding="ascii"))
+            if compress else
+            (lambda p: open(p, "w", encoding="ascii"))
+        )
+        with opener(path) as fh:
+            for line in synchrotrace_lines(workload, core):
+                fh.write(line)
+                fh.write("\n")
+        paths.append(path)
+    return paths
+
+
+def roundtrip_workload(workload: Workload) -> TraceWorkload:
+    """Export to SynchroTrace text in memory and re-ingest.
+
+    The re-ingested workload keeps the original's name and core count,
+    so any downstream payload (``SimulationResult.to_dict()``) must be
+    bit-identical — the property the round-trip suite and the fuzzer's
+    ingest cell assert.
+    """
+    sources = [
+        (f"{FILE_PREFIX}{core}", core,
+         synchrotrace_lines(workload, core))
+        for core in range(workload.num_cores)
+    ]
+    return ingest_threads(
+        sources,
+        name=workload.name,
+        num_cores=workload.num_cores,
+        thread_map="identity",
+        source="<roundtrip>",
+    )

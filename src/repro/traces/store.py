@@ -8,6 +8,10 @@ Layout of a v2 file (all integers little-endian):
       {"version": 2, "name": ..., "num_cores": N, "byteorder": ...,
        "cores": [{"events": n, "segments": m}, ...]}
 
+  plus an optional ``"meta"`` key: the provenance dict of an ingested
+  external trace (absent for generated workloads; readers that predate
+  it ignore unknown keys, so the format version stays 2)
+
 * per core, in order: the four event columns (``n`` signed 64-bit words
   each: op, arg1, arg2, arg3), then the segment table (``m`` triples of
   signed 64-bit words: kind, start, end).
@@ -77,6 +81,8 @@ def write_compiled(compiled: CompiledTrace, fh) -> None:
             for core in range(compiled.num_cores)
         ],
     }
+    if compiled.meta is not None:
+        header["meta"] = compiled.meta
     blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
     fh.write(_MAGIC)
     fh.write(struct.pack("<I", len(blob)))
@@ -196,6 +202,7 @@ def _parse(mm, label: str) -> CompiledTrace:
         num_cores=num_cores,
         ops=ops_cols, arg1=a1_cols, arg2=a2_cols, arg3=a3_cols,
         segments=inflate_segments(seg_triples, a1_cols),
+        meta=header.get("meta"),
     )
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import io
 import os
+from dataclasses import dataclass, field
 
 from repro.sync.points import SyncKind
 from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
@@ -30,6 +31,45 @@ _MAGIC = "# repro-trace v1"
 
 class TraceFormatError(ValueError):
     """The trace file is malformed or from an unknown format version."""
+
+
+@dataclass
+class TraceWorkload(Workload):
+    """A workload that came from an external trace, not a generator.
+
+    ``provenance`` records where the events came from (source path,
+    format, original thread ids, event counts by kind, mapping options)
+    so ``trace info``/``export`` and reports describe the trace's real
+    origin instead of assuming a synthetic generator name.  The dict is
+    JSON-safe and travels with the compiled v2 file as its ``meta``
+    header field (:mod:`repro.traces.store`).
+    """
+
+    provenance: dict = field(default_factory=dict)
+
+
+def count_events(workload: Workload) -> dict:
+    """Event totals by kind (JSON-safe; used for trace provenance)."""
+    reads = writes = thinks = 0
+    syncs: dict = {}
+    for core in range(workload.num_cores):
+        for ev in workload.stream(core):
+            op = ev[0]
+            if op == OP_READ:
+                reads += 1
+            elif op == OP_WRITE:
+                writes += 1
+            elif op == OP_THINK:
+                thinks += 1
+            else:
+                kind = ev[1].value
+                syncs[kind] = syncs.get(kind, 0) + 1
+    return {
+        "reads": reads,
+        "writes": writes,
+        "thinks": thinks,
+        "syncs": dict(sorted(syncs.items())),
+    }
 
 
 def dump_trace(workload: Workload, path: str | os.PathLike) -> None:
@@ -62,9 +102,25 @@ def write_trace(workload: Workload, fh: io.TextIOBase) -> None:
 
 
 def load_trace(path: str | os.PathLike) -> Workload:
-    """Read a workload back from a trace file."""
+    """Read a workload back from a trace file.
+
+    The result is a :class:`TraceWorkload`: it carries provenance
+    (source path, format, per-kind event counts) that ``trace info``
+    and ``trace export`` report instead of guessing at a generator.
+    """
     with open(path, "r", encoding="ascii") as fh:
-        return read_trace(fh)
+        workload = read_trace(fh)
+    return TraceWorkload(
+        name=workload.name,
+        num_cores=workload.num_cores,
+        events=workload.events,
+        provenance={
+            "format": "repro-trace v1 (text)",
+            "source": str(path),
+            "threads": workload.num_cores,
+            "events": count_events(workload),
+        },
+    )
 
 
 def read_trace(fh: io.TextIOBase) -> Workload:

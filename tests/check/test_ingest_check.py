@@ -1,0 +1,151 @@
+"""Wiring tests for the ingest frontend: conformance harness, RunSpec
+``trace:`` specs, the differential sweep's trace legs, the fuzzer's
+ingest cell, and machine fitting for arbitrary trace core counts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.runner.specs as specs
+import repro.traces.ingest as ingest_mod
+from repro.check.differential import run_differential
+from repro.check.fuzz import run_case
+from repro.check.ingest import run_ingest_check
+from repro.runner.pool import SweepRunner
+from repro.runner.specs import TRACE_PREFIX, RunSpec
+from repro.sim.machine import MachineConfig, fit_machine
+from repro.traces.ingest import export_synchrotrace
+from repro.workloads.fuzz import FuzzConfig, generate_fuzz_case
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from tests.conftest import make_spec
+
+CORPUS = Path(__file__).resolve().parents[2] / "tests/data/synchrotrace"
+PINGPONG = CORPUS / "valid" / "lock-pingpong"
+
+
+@pytest.fixture
+def trace_dir(tmp_path):
+    """A small exported SynchroTrace directory."""
+    workload = build_workload(make_spec(PatternKind.STRIDE, iterations=2))
+    out = tmp_path / "trace"
+    export_synchrotrace(workload, out)
+    return out
+
+
+class TestConformanceHarness:
+    def test_full_run_passes_and_serializes(self):
+        report = run_ingest_check(
+            workloads=["x264"], scale=0.02, seed=7, corpus=CORPUS
+        )
+        assert report.passed
+        assert report.roundtrips == 1
+        assert report.engine_cells == 3  # one cell x three engine paths
+        assert report.valid_cases >= 3
+        assert report.malformed_cases >= 4
+        payload = report.to_dict()
+        json.dumps(payload)  # JSON-safe (the CI artifact)
+        assert payload["passed"] is True
+        assert payload["issues"] == []
+
+
+class TestTraceRunSpecs:
+    def make(self, path, **overrides):
+        base = dict(
+            workload=f"{TRACE_PREFIX}{path}",
+            scale=0.05,
+            machine=MachineConfig.small(),
+        )
+        base.update(overrides)
+        return RunSpec(**base)
+
+    def test_digest_folds_trace_content(self, trace_dir, monkeypatch):
+        monkeypatch.setattr(specs, "_trace_digest_cache", {})
+        before = self.make(trace_dir).digest()
+        first = trace_dir / "sigil.events.out-0"
+        first.write_text(first.read_text() + "90000,0,1,0,0,0\n")
+        monkeypatch.setattr(specs, "_trace_digest_cache", {})
+        assert self.make(trace_dir).digest() != before
+
+    def test_digest_is_stable_for_unchanged_trace(self, trace_dir):
+        assert (
+            self.make(trace_dir).digest() == self.make(trace_dir).digest()
+        )
+
+    def test_trace_spec_runs_through_the_pool(self, trace_dir):
+        runner = SweepRunner(jobs=1, disk=None)
+        result = runner.run(self.make(trace_dir))
+        assert runner.simulations == 1
+        assert result.misses > 0
+
+    def test_scale_and_seed_are_inert_for_trace_specs(self, trace_dir):
+        runner = SweepRunner(jobs=1, disk=None)
+        a = runner.run(self.make(trace_dir, scale=0.05, seed=1))
+        b = runner.run(self.make(trace_dir, scale=0.5, seed=2))
+        assert a.to_dict() == b.to_dict()
+
+
+class TestDifferentialTraceLeg:
+    def test_trace_only_differential(self):
+        report = run_differential(
+            workloads=[],
+            protocols=("directory", "broadcast"),
+            predictors=("SP",),
+            trace_paths=[PINGPONG],
+        )
+        assert report.passed
+        assert str(PINGPONG) in report.workloads
+        assert report.cells > 0
+
+    def test_empty_workloads_without_traces_checks_nothing(self):
+        report = run_differential(
+            workloads=[],
+            protocols=("directory",),
+            predictors=("SP",),
+        )
+        assert report.workloads == ()
+        assert report.cells == 0
+
+
+class TestFuzzIngestCell:
+    SMALL = FuzzConfig(
+        num_cores=4, segment_events=20, barrier_rounds=2, storm_blocks=48
+    )
+
+    def test_clean_case_passes_the_ingest_cell(self):
+        fc = generate_fuzz_case(3, self.SMALL)
+        assert run_case(fc.workload, fc.migrations) is None
+
+    def test_roundtrip_corruption_is_caught(self, monkeypatch):
+        orig = ingest_mod.roundtrip_workload
+
+        def corrupted(workload):
+            reingested = orig(workload)
+            reingested.events[0] = reingested.events[0][:-1]
+            return reingested
+
+        monkeypatch.setattr(ingest_mod, "roundtrip_workload", corrupted)
+        fc = generate_fuzz_case(3, self.SMALL)
+        failure = run_case(fc.workload, fc.migrations)
+        assert failure is not None
+        assert failure.kind == "ingest"
+        assert failure.cell.startswith("ingest:")
+
+
+class TestFitMachine:
+    @pytest.mark.parametrize(
+        "cores,dims",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (6, (3, 2)),
+         (7, (7, 1)), (8, (4, 2)), (16, (4, 4))],
+    )
+    def test_most_square_factorization(self, cores, dims):
+        machine = fit_machine(cores)
+        assert (machine.mesh_width, machine.mesh_height) == dims
+        assert machine.num_cores == cores
+
+    def test_rejects_empty_machines(self):
+        with pytest.raises(ValueError):
+            fit_machine(0)

@@ -1,0 +1,377 @@
+"""Unit tests for the SynchroTrace-style ingestion frontend."""
+
+import gzip
+
+import pytest
+
+from repro.sync.points import SyncKind
+from repro.traces.compile import compile_workload, ensure_compiled
+from repro.traces.ingest import (
+    EXPORT_SUBTYPE,
+    INGEST_KIND,
+    PSEUDO_PC_COMM,
+    PSEUDO_PC_READ,
+    PSEUDO_PC_WRITE,
+    export_synchrotrace,
+    ingest_directory,
+    ingest_file,
+    ingest_threads,
+    load_external,
+    parse_thread,
+    roundtrip_workload,
+    synchrotrace_lines,
+    trace_content_digest,
+)
+from repro.traces.store import load_compiled, save_compiled
+from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE
+from repro.workloads.generator import build_workload
+from repro.workloads.patterns import PatternKind
+from repro.workloads.trace import TraceFormatError, TraceWorkload
+from tests.conftest import make_spec
+
+
+def ingest_one(lines, **kwargs):
+    """A single-thread workload from raw trace lines."""
+    return ingest_threads([("t0", 0, lines)], **kwargs)
+
+
+class TestGrammar:
+    def test_compute_event_think_plus_accesses(self):
+        parse = parse_thread(
+            ["1,0,10,5,1,1 * 0x100 0x107 $ 0x200 0x207"], tid=0
+        )
+        assert parse.events == [
+            (OP_THINK, 15),
+            (OP_READ, 0x100, PSEUDO_PC_READ),
+            (OP_WRITE, 0x200, PSEUDO_PC_WRITE),
+        ]
+
+    def test_zero_op_compute_is_explicit_think(self):
+        parse = parse_thread(["1,0,0,0,0,0"], tid=0)
+        assert parse.events == [(OP_THINK, 0)]
+
+    def test_zero_op_compute_with_access_has_no_think(self):
+        parse = parse_thread(["1,0,0,0,1,0 * 0x100 0x107"], tid=0)
+        assert parse.events == [(OP_READ, 0x100, PSEUDO_PC_READ)]
+
+    def test_range_splits_per_cache_line(self):
+        parse = parse_thread(["1,0,0,0,1,0 * 0x3c 0x85"], tid=0)
+        # 0x3c..0x85 spans lines 0, 1, and 2: the start plus each
+        # crossed 64-byte boundary becomes one access.
+        addrs = [ev[1] for ev in parse.events]
+        assert addrs == [0x3C, 0x40, 0x80]
+
+    def test_comm_event_reads_with_comm_pc(self):
+        parse = parse_thread(["3,0 # 1 17 0x500 0x507"], tid=0)
+        assert parse.events == [(OP_READ, 0x500, PSEUDO_PC_COMM)]
+        assert parse.stats["comm_edges"] == 1
+        assert parse.stats["comm_reads"] == 1
+
+    def test_decimal_addresses_accepted(self):
+        parse = parse_thread(["1,0,0,0,1,0 * 256 263"], tid=0)
+        assert parse.events == [(OP_READ, 256, PSEUDO_PC_READ)]
+
+    def test_annotation_restores_pc(self):
+        parse = parse_thread(["1,0,0,0,1,0 * 0x100 0x107 ! beef"], tid=0)
+        assert parse.events == [(OP_READ, 0x100, 0xBEEF)]
+
+    def test_blank_lines_ignored(self):
+        parse = parse_thread(["", "1,0,3,0,0,0", "   "], tid=0)
+        assert parse.events == [(OP_THINK, 3)]
+
+
+class TestSyncMapping:
+    @pytest.mark.parametrize("subtype,kind", sorted(INGEST_KIND.items()))
+    def test_every_subtype_lowers(self, subtype, kind):
+        if subtype in (1, 9):  # acquire kinds need a matching release
+            lines = [f"1,0,pth_ty:{subtype}^0x40", "2,0,pth_ty:2^0x40"]
+            probe = 0
+        elif subtype in (2, 10):  # release kinds need a prior acquire
+            lines = ["1,0,pth_ty:1^0x40", f"2,0,pth_ty:{subtype}^0x40"]
+            probe = 1
+        else:
+            lines = [f"1,0,pth_ty:{subtype}^0x40"]
+            probe = 0
+        parse = parse_thread(lines, tid=0)
+        assert parse.events[probe][1] is kind
+
+    def test_lock_keys_by_object_address(self):
+        parse = parse_thread(
+            ["1,0,pth_ty:1^0x40", "2,0,pth_ty:2^0x40"], tid=0
+        )
+        assert parse.events[0] == (OP_SYNC, SyncKind.LOCK, 0x40, 0x40)
+        assert parse.events[1] == (OP_SYNC, SyncKind.UNLOCK, 0x40, 0x40)
+
+    def test_barrier_uses_object_as_static_pc(self):
+        parse = parse_thread(["1,0,pth_ty:5^0x3000"], tid=0)
+        assert parse.events[0] == (OP_SYNC, SyncKind.BARRIER, 0x3000, None)
+
+    def test_export_mapping_is_injective_under_ingest(self):
+        for kind, subtype in EXPORT_SUBTYPE.items():
+            assert INGEST_KIND[subtype] is kind
+
+    def test_annotation_restores_lock_addr_on_non_lock_kind(self):
+        parse = parse_thread(["1,0,pth_ty:7^0x99 ! 99,42"], tid=0)
+        assert parse.events[0] == (OP_SYNC, SyncKind.WAKEUP, 0x99, 0x42)
+
+
+class TestValidation:
+    def assert_one_line_numbered(self, excinfo):
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert ":2:" in message or ":1:" in message
+
+    def test_non_monotonic_eid(self):
+        with pytest.raises(TraceFormatError, match="non-monotonic") as ei:
+            parse_thread(["2,0,1,0,0,0", "2,0,1,0,0,0"], tid=0)
+        self.assert_one_line_numbered(ei)
+
+    def test_wrong_thread_id(self):
+        with pytest.raises(TraceFormatError, match="thread-7 trace"):
+            parse_thread(["1,0,1,0,0,0"], tid=7)
+
+    def test_unknown_event_kind(self):
+        with pytest.raises(TraceFormatError, match="unknown event kind"):
+            parse_thread(["1,0,zorp"], tid=0)
+
+    def test_unknown_pthread_subtype(self):
+        with pytest.raises(TraceFormatError,
+                           match="unknown pthread event type 42"):
+            parse_thread(["1,0,pth_ty:42^0x40"], tid=0)
+
+    def test_truncated_chunk(self):
+        with pytest.raises(TraceFormatError, match=r"truncated '\*' chunk"):
+            parse_thread(["1,0,0,0,1,0 * 0x100"], tid=0)
+
+    def test_backwards_range(self):
+        with pytest.raises(TraceFormatError, match="backwards"):
+            parse_thread(["1,0,0,0,1,0 * 0x107 0x100"], tid=0)
+
+    def test_unlock_not_held(self):
+        with pytest.raises(TraceFormatError, match="not held"):
+            parse_thread(["1,0,pth_ty:2^0x40"], tid=0)
+
+    def test_badly_nested_unlock(self):
+        with pytest.raises(TraceFormatError, match="badly nested"):
+            parse_thread(
+                ["1,0,pth_ty:1^0x40", "2,0,pth_ty:1^0x80",
+                 "3,0,pth_ty:2^0x40"],
+                tid=0,
+            )
+
+    def test_lock_held_at_end(self):
+        with pytest.raises(TraceFormatError, match="still held"):
+            parse_thread(["1,0,pth_ty:1^0x40"], tid=0)
+
+    def test_barrier_with_lock_held(self):
+        with pytest.raises(TraceFormatError, match="barrier arrival"):
+            parse_thread(
+                ["1,0,pth_ty:1^0x40", "2,0,pth_ty:5^0x3000"], tid=0
+            )
+
+    def test_cross_thread_barrier_order(self):
+        sources = [
+            ("a", 0, ["1,0,pth_ty:5^0x10", "2,0,pth_ty:5^0x20"]),
+            ("b", 1, ["1,1,pth_ty:5^0x20", "2,1,pth_ty:5^0x10"]),
+        ]
+        with pytest.raises(TraceFormatError,
+                           match="out-of-order barrier") as ei:
+            ingest_threads(sources)
+        message = str(ei.value)
+        assert "\n" not in message
+        assert message.startswith("b:1:")
+
+    def test_duplicate_thread_id(self):
+        with pytest.raises(TraceFormatError, match="duplicate thread id"):
+            ingest_threads([("a", 0, []), ("b", 0, [])])
+
+    def test_empty_sources(self):
+        with pytest.raises(TraceFormatError, match="no thread traces"):
+            ingest_threads([])
+
+
+class TestAssembly:
+    def test_cores_padded_to_power_of_two(self):
+        sources = [
+            (f"t{i}", i, [f"1,{i},1,0,0,0"]) for i in range(3)
+        ]
+        workload = ingest_threads(sources)
+        assert workload.num_cores == 4
+        assert workload.stream(3) == []
+
+    def test_sorted_thread_map_packs_gaps(self):
+        sources = [
+            ("a", 4, ["1,4,1,0,0,0"]),
+            ("b", 9, ["1,9,2,0,0,0"]),
+        ]
+        workload = ingest_threads(sources, thread_map="sorted")
+        assert workload.num_cores == 2
+        assert workload.stream(0) == [(OP_THINK, 1)]
+        assert workload.stream(1) == [(OP_THINK, 2)]
+
+    def test_identity_thread_map_preserves_tids(self):
+        sources = [("a", 2, ["1,2,1,0,0,0"])]
+        workload = ingest_threads(sources, thread_map="identity")
+        assert workload.num_cores == 4
+        assert workload.stream(2) == [(OP_THINK, 1)]
+
+    def test_too_few_cores_rejected(self):
+        sources = [(f"t{i}", i, []) for i in range(4)]
+        with pytest.raises(TraceFormatError, match="cores required"):
+            ingest_threads(sources, num_cores=2)
+
+    def test_unknown_thread_map_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown thread map"):
+            ingest_threads([("a", 0, [])], thread_map="hash")
+
+    def test_rebase_shifts_memory_not_locks(self):
+        lines = [
+            "1,0,0,0,1,0 * 0x10020 0x10027",
+            "2,0,pth_ty:1^0x40",
+            "3,0,pth_ty:2^0x40",
+        ]
+        workload = ingest_one(lines, rebase=True)
+        assert workload.stream(0)[0] == (OP_READ, 0x20, PSEUDO_PC_READ)
+        assert workload.stream(0)[1][3] == 0x40  # lock object untouched
+        assert workload.provenance["rebase"] == 0x10000
+
+    def test_provenance_event_totals(self):
+        lines = [
+            "1,0,7,0,1,1 * 0x100 0x107 $ 0x140 0x147",
+            "2,0,pth_ty:5^0x3000",
+            "3,0 # 1 1 0x200 0x207",
+        ]
+        workload = ingest_one(lines, name="probe")
+        assert isinstance(workload, TraceWorkload)
+        events = workload.provenance["events"]
+        assert events["reads"] == 1
+        assert events["writes"] == 1
+        assert events["comm_reads"] == 1
+        assert events["thinks"] == 1
+        assert events["think_cycles"] == 7
+        assert events["syncs"] == {"barrier": 1}
+
+
+@pytest.fixture
+def source():
+    return build_workload(
+        make_spec(PatternKind.STRIDE, locks=1, iterations=2)
+    )
+
+
+class TestExporter:
+    def test_roundtrip_is_bit_identical(self, source):
+        reingested = roundtrip_workload(source)
+        assert reingested.name == source.name
+        assert reingested.num_cores == source.num_cores
+        for core in range(source.num_cores):
+            assert reingested.stream(core) == source.stream(core)
+
+    def test_every_line_reingests_alone(self, source):
+        # Each exported line must be self-describing (annotation
+        # included), so any prefix of a thread file stays parseable.
+        lines = list(synchrotrace_lines(source, 0))
+        parse = parse_thread(lines[:5], tid=0)
+        assert parse.events == list(source.stream(0))[:5]
+
+    def test_export_to_directory_and_back(self, source, tmp_path):
+        out = tmp_path / "st"
+        paths = export_synchrotrace(source, out)
+        assert len(paths) == source.num_cores
+        back = ingest_directory(
+            out, name=source.name, num_cores=source.num_cores,
+            thread_map="identity",
+        )
+        for core in range(source.num_cores):
+            assert back.stream(core) == source.stream(core)
+
+    def test_gzip_export_and_ingest(self, source, tmp_path):
+        out = tmp_path / "st-gz"
+        paths = export_synchrotrace(source, out, compress=True)
+        assert all(p.suffix == ".gz" for p in paths)
+        with gzip.open(paths[0], "rt") as fh:
+            assert fh.readline().strip()
+        back = ingest_directory(
+            out, num_cores=source.num_cores, thread_map="identity"
+        )
+        assert back.stream(0) == source.stream(0)
+
+
+class TestLoadExternal:
+    def test_directory_autodetect(self, source, tmp_path):
+        out = tmp_path / "st"
+        export_synchrotrace(source, out)
+        workload = load_external(
+            out, num_cores=source.num_cores, thread_map="identity"
+        )
+        assert workload.provenance["format"] == "synchrotrace"
+
+    def test_v2_autodetect_keeps_compiled(self, source, tmp_path):
+        path = tmp_path / "t.rtrace"
+        save_compiled(compile_workload(source), path)
+        workload = load_external(path)
+        assert workload._compiled is not None
+        assert workload.stream(0) == source.stream(0)
+
+    def test_v1_autodetect(self, source, tmp_path):
+        from repro.workloads.trace import dump_trace
+
+        path = tmp_path / "t.trace"
+        dump_trace(source, path)
+        workload = load_external(path)
+        assert workload.provenance["format"] == "repro-trace v1 (text)"
+        assert workload.stream(0) == source.stream(0)
+
+    def test_single_file_autodetect(self, source, tmp_path):
+        out = tmp_path / "st"
+        export_synchrotrace(source, out)
+        workload = load_external(out / "sigil.events.out-3")
+        assert workload.num_cores == 1  # sorted map packs one thread
+        assert workload.provenance["threads"] == 1
+        assert workload.provenance["thread_ids"] == [3]
+
+    def test_ingest_file_reads_tid_from_name(self, source, tmp_path):
+        out = tmp_path / "st"
+        export_synchrotrace(source, out)
+        workload = ingest_file(out / "sigil.events.out-2")
+        assert workload.provenance["thread_ids"] == [2]
+
+
+class TestContentDigest:
+    def test_digest_changes_with_bytes(self, source, tmp_path):
+        out = tmp_path / "st"
+        export_synchrotrace(source, out)
+        before = trace_content_digest(out)
+        path = out / "sigil.events.out-0"
+        path.write_text(path.read_text() + "\n")
+        assert trace_content_digest(out) != before
+
+    def test_digest_stable(self, source, tmp_path):
+        out = tmp_path / "st"
+        export_synchrotrace(source, out)
+        assert trace_content_digest(out) == trace_content_digest(out)
+
+
+class TestProvenancePlumbing:
+    def test_compile_carries_meta(self, tmp_path):
+        workload = ingest_one(["1,0,5,0,0,0"], name="probe")
+        compiled = ensure_compiled(workload)
+        assert compiled.meta == workload.provenance
+
+    def test_store_roundtrips_meta(self, tmp_path):
+        workload = ingest_one(["1,0,5,0,0,0"], name="probe")
+        path = tmp_path / "t.rtrace"
+        save_compiled(compile_workload(workload), path)
+        back = load_compiled(path)
+        assert back.meta == workload.provenance
+        rebuilt = back.to_workload()
+        assert isinstance(rebuilt, TraceWorkload)
+        assert rebuilt.provenance == workload.provenance
+
+    def test_synthetic_workload_has_no_meta(self, tmp_path):
+        synthetic = build_workload(make_spec(PatternKind.STABLE))
+        compiled = compile_workload(synthetic)
+        assert compiled.meta is None
+        path = tmp_path / "t.rtrace"
+        save_compiled(compiled, path)
+        assert load_compiled(path).meta is None

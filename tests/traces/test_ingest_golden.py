@@ -1,0 +1,62 @@
+"""Golden SynchroTrace corpus: pinned valid traces and malformed
+variants under ``tests/data/synchrotrace/``.
+
+Valid cases must ingest to their recorded event totals and interpreted
+directory/SP summaries; malformed cases must raise a one-line,
+line-numbered :class:`~repro.workloads.trace.TraceFormatError`
+mentioning the pinned phrase.  The same harness backs
+``repro check ingest --corpus``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.check.ingest import (
+    EXPECTED_ERROR,
+    EXPECTED_JSON,
+    check_malformed_case,
+    check_valid_case,
+    corpus_cases,
+)
+from repro.workloads.trace import TraceFormatError
+
+CORPUS = Path(__file__).resolve().parents[2] / "tests/data/synchrotrace"
+
+VALID = corpus_cases(CORPUS, "valid")
+MALFORMED = corpus_cases(CORPUS, "malformed")
+
+
+def test_corpus_is_populated():
+    assert len(VALID) >= 3
+    assert len(MALFORMED) >= 4
+
+
+@pytest.mark.parametrize("case", VALID, ids=lambda c: c.name)
+def test_valid_case_matches_pin(case):
+    issues = check_valid_case(case)
+    assert not issues, "; ".join(issue.describe() for issue in issues)
+
+
+@pytest.mark.parametrize("case", MALFORMED, ids=lambda c: c.name)
+def test_malformed_case_raises_pinned_error(case):
+    issues = check_malformed_case(case)
+    assert not issues, "; ".join(issue.describe() for issue in issues)
+
+
+def test_unpinned_case_is_rejected(tmp_path):
+    corpus = tmp_path / "corpus"
+    stray = corpus / "valid" / "no-pin"
+    stray.mkdir(parents=True)
+    (stray / "sigil.events.out-0").write_text("1,0,1,0,0,0\n")
+    with pytest.raises(TraceFormatError, match="without a"):
+        corpus_cases(corpus, "valid")
+
+
+def test_every_case_has_exactly_one_marker():
+    for case in VALID:
+        assert not (case / EXPECTED_ERROR).exists()
+    for case in MALFORMED:
+        assert not (case / EXPECTED_JSON).exists()

@@ -1,0 +1,76 @@
+"""Round-trip certification: every suite workload survives SynchroTrace
+export -> re-ingest with bit-identical simulation counters.
+
+Each of the 17 workloads is exported to SynchroTrace text in memory,
+re-ingested, and certified two ways:
+
+* the event streams must match tuple-for-tuple (the sharpest check —
+  any parser/exporter disagreement shows up as a precise event diff);
+* the re-ingested workload's complete ``SimulationResult.to_dict()``
+  payload must equal the original's on all three engine paths
+  (interpreted / compiled / vectorized).  The original is simulated
+  once on the interpreted path; ``test_engine_equivalence.py`` already
+  certifies the original's three paths against each other, so one
+  reference payload pins all three comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.ingest import ENGINE_PATHS, _first_stream_diff
+from repro.check.lockstep import machine_for_cores
+from repro.sim.engine import SimulationEngine
+from repro.traces.ingest import roundtrip_workload
+from repro.workloads.suite import benchmark_names, load_benchmark
+
+SCALE = 0.02
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def roundtrips():
+    """name -> (original, re-ingested), built once for the module."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            workload = load_benchmark(name, scale=SCALE, seed=SEED)
+            cache[name] = (workload, roundtrip_workload(workload))
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_streams_roundtrip_bit_identical(roundtrips, name):
+    workload, reingested = roundtrips(name)
+    assert _first_stream_diff(workload, reingested) is None
+    assert reingested.name == workload.name
+    assert reingested.num_cores == workload.num_cores
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_counters_roundtrip_on_every_engine_path(roundtrips, name):
+    workload, reingested = roundtrips(name)
+    machine = machine_for_cores(workload.num_cores)
+
+    def run(subject, **path_kw):
+        return SimulationEngine(
+            subject, machine=machine, protocol="directory",
+            predictor="SP", **path_kw,
+        ).run().to_dict()
+
+    reference = run(
+        workload, use_compiled=False, use_vector=False
+    )
+    for path_name, path_kw in ENGINE_PATHS:
+        payload = run(reingested, **path_kw)
+        diverging = [
+            key for key in reference
+            if reference.get(key) != payload.get(key)
+        ]
+        assert payload == reference, (
+            f"{name}: {path_name} counters diverge after re-ingest "
+            f"(fields: {', '.join(diverging[:6])})"
+        )

@@ -41,6 +41,17 @@ trap 'rm -rf "$FUZZ_DIR"' EXIT
 python -m repro check fuzz --cases 8 --seed 1234 \
     --out-dir "$FUZZ_DIR" --bench "$BENCH_OUT"
 
+echo "== ingest conformance (round trip + golden corpus) =="
+# One suite workload through the SynchroTrace export -> re-ingest round
+# trip on all three engine paths, plus the pinned golden corpus (valid
+# traces must hit their recorded counters, malformed ones their exact
+# one-line errors).  The full 17-workload certification runs in tier-1
+# (tests/traces/test_ingest_roundtrip.py); this leg writes the
+# conformance report CI uploads as an artifact.
+python -m repro check ingest --workloads x264 --scale 0.05 --seed 7 \
+    --corpus tests/data/synchrotrace \
+    --report conformance-report.json --bench "$BENCH_OUT"
+
 echo "== observability overhead gate =="
 # Tracing off vs. on: counters must be bit-identical, the event stream
 # must validate, and the disabled path must not run slower than the
