@@ -315,6 +315,15 @@ def build_parser() -> argparse.ArgumentParser:
     lexp.add_argument("-o", "--output", required=True)
     lexp.set_defaults(func=cmd_obs_ledger_export)
 
+    limp = ledgersub.add_parser(
+        "import",
+        help="merge an export file into this ledger "
+             "(content-addressed dedupe; re-import is a no-op)",
+    )
+    limp.add_argument("input", help="a ledger export file (JSON array) "
+                                    "or raw JSONL segment")
+    limp.set_defaults(func=cmd_obs_ledger_import)
+
     odiff = obssub.add_parser(
         "diff",
         help="regression sentinel: per-metric comparison of two runs "
@@ -979,6 +988,26 @@ def cmd_obs_ledger_export(args) -> int:
     return 0
 
 
+def cmd_obs_ledger_import(args) -> int:
+    from repro.obs import LedgerError
+
+    ledger = _open_ledger_or_fail()
+    if ledger is None:
+        return 1
+    try:
+        counts = ledger.import_entries(args.input)
+    except (OSError, LedgerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"imported {counts['imported']} entries from {args.input} "
+          f"({counts['duplicates']} already present, "
+          f"{counts['rejected']} rejected)")
+    # Rejections are integrity failures (id/body mismatch or unparsable
+    # rows), worth a red exit so scripted merges notice; duplicates are
+    # the normal idempotent case.
+    return 1 if counts["rejected"] else 0
+
+
 def _load_run_doc(token: str):
     """A run doc from a ledger-id prefix or a JSON file path.
 
@@ -1416,6 +1445,11 @@ def cmd_trace_info(args) -> int:
                     c["think_events"] for c in per_core
                 ],
                 "file_bytes": os.path.getsize(args.input),
+                # Cross-quantum windows: the interaction-free spans the
+                # vector engine can fuse across scheduling turns, with
+                # their mean length and why each one ends (see
+                # docs/architecture.md, "Cross-quantum batching").
+                **compiled.window_stats(),
             }
             # An ingested trace compiled to v2 carries its provenance
             # in the header's meta field; report the real origin

@@ -246,17 +246,25 @@ class SPPredictor(TargetPredictor):
 
     # -- batched private-run interface (engine vector path) -------------
 
-    def peek_private_plan(self, core: int, n: int) -> list:
+    def peek_private_plan(self, core: int, n: int, blocks=None,
+                          pcs=None) -> list:
         """Plan ``n`` consecutive guaranteed-cold-miss predictions.
 
         Returns ``[(count, Prediction | None), ...]`` summing to ``n``:
         exactly the values ``n`` sequential :meth:`predict` calls would
         return, without mutating predictor state (the engine's vector
         path batches whole private runs and applies the state effects
-        afterwards via :meth:`commit_private_batch`).  Sound for private
+        afterwards via :meth:`commit_private_batch`).  A predictor may
+        instead return ``None`` — "cannot plan this run" — and the
+        engine falls back to per-event prediction.  Sound for private
         runs only: every miss is cold, so :meth:`train` is a no-op and
         the communication counters — and therefore the warm-up hot set —
         are frozen for the duration of the batch.
+
+        ``blocks``/``pcs`` carry the run's per-event keys for predictors
+        whose tables are block- or pc-indexed (``plan_needs_keys`` on
+        the predictor class asks the engine to materialize them); the
+        SP register is per-core, so they are ignored here.
         """
         state = self._cores[self._logical(core)]
         reg = state.predictor_reg
@@ -286,7 +294,8 @@ class SPPredictor(TargetPredictor):
             return [(head, None), (n - head, pred)]
         return [(n, pred)]
 
-    def commit_private_batch(self, core: int, n: int) -> None:
+    def commit_private_batch(self, core: int, n: int, blocks=None,
+                             pcs=None) -> None:
         """Apply the state effects of ``n`` planned :meth:`predict` calls
         (miss-count advance plus a possible warm-up adoption)."""
         state = self._cores[self._logical(core)]

@@ -256,6 +256,81 @@ class RunLedger:
             fh.write("\n")
         return len(entries)
 
+    def import_entries(self, path) -> dict:
+        """Merge an ``export`` file back in; the inverse of :meth:`export`.
+
+        Accepts a JSON array (what ``export`` writes) or raw JSONL (a
+        segment file copied off another host).  Entries are merged by
+        content-addressed ``run_id``: re-importing our own export is a
+        no-op, and importing a colleague's export interleaves their
+        history without duplicating shared entries.  An entry whose
+        stored ``run_id`` does not match the recomputed hash of its
+        body is rejected — the id doubles as the integrity check.
+
+        Returns ``{"imported", "duplicates", "rejected"}`` counts.
+        """
+        with open(path) as fh:
+            text = fh.read()
+        rejected = 0
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, list):
+            data = doc
+        elif isinstance(doc, dict) and ("run_id" in doc or "kind" in doc):
+            # A one-line JSONL segment parses as a whole-document dict;
+            # accept it when it looks like a ledger entry.
+            data = [doc]
+        elif doc is not None:
+            raise LedgerError(
+                f"{path}: expected a JSON array of ledger entries"
+            )
+        else:
+            data = []
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data.append(json.loads(line))
+                except json.JSONDecodeError:
+                    rejected += 1
+        have = {
+            entry.get("run_id")
+            for entry in self.entries()
+            if entry.get("run_id")
+        }
+        imported = duplicates = 0
+        for entry in data:
+            if not isinstance(entry, dict):
+                rejected += 1
+                continue
+            expect = hashlib.sha256(
+                _canonical({
+                    k: v for k, v in entry.items() if k != "run_id"
+                })
+            ).hexdigest()[:16]
+            stored = entry.get("run_id")
+            if stored is not None and stored != expect:
+                rejected += 1
+                continue
+            if expect in have:
+                duplicates += 1
+                continue
+            # append_entry restamps from the body, reproducing `expect`
+            # bit-for-bit — imported ids stay stable across hosts.  (A
+            # hand-written entry missing schema/created gets those
+            # defaulted first, shifting its id; track the real one.)
+            have.add(self.append_entry(entry))
+            have.add(expect)
+            imported += 1
+        return {
+            "imported": imported,
+            "duplicates": duplicates,
+            "rejected": rejected,
+        }
+
 
 def record_run(kind: str, **kw) -> str | None:
     """Best-effort append to the default ledger.

@@ -65,6 +65,65 @@ class AddrPredictor(TargetPredictor):
             if node != core:
                 entry.train_up(node)
 
+    #: The batch planner must materialize per-event block keys for this
+    #: predictor (its tables are macroblock-indexed).
+    plan_needs_keys = True
+
+    def peek_private_plan(self, core: int, n: int, blocks=None,
+                          pcs=None) -> list | None:
+        """Plan ``n`` cold-miss predictions without mutating the table.
+
+        Sound for private runs: every miss is cold (no responder,
+        nothing invalidated), so ``train`` only allocates and touches
+        LRU order — and a freshly allocated entry has zero counters,
+        which predicts nothing under both policies, so allocations are
+        prediction-neutral within the batch.  The one case where an
+        allocation could change a later prediction is a capacity-bounded
+        table overflowing (the evicted warm entry might key a later
+        event); the plan declines (returns ``None``) there and the
+        engine falls back to per-event prediction.
+        """
+        if blocks is None:
+            return None
+        table = self._tables[core]
+        entries = table._entries
+        bpm = self.blocks_per_macroblock
+        keys = [block // bpm for block in blocks]
+        if table.max_entries is not None:
+            fresh = set(keys) - entries.keys()
+            if len(entries) + len(fresh) > table.max_entries:
+                return None
+        policy = self.policy
+        plan = []
+        prev_group = None
+        count = 0
+        for key in keys:
+            entry = entries.get(key)
+            group = (
+                entry.predict(policy, exclude=core)
+                if entry is not None else frozenset()
+            )
+            if count and group == prev_group:
+                count += 1
+            else:
+                if count:
+                    plan.append((count, _as_prediction(prev_group)))
+                prev_group = group
+                count = 1
+        if count:
+            plan.append((count, _as_prediction(prev_group)))
+        return plan
+
+    def commit_private_batch(self, core: int, n: int, blocks=None,
+                             pcs=None) -> None:
+        """Replay the table effects of ``n`` cold predict+train pairs:
+        per event, allocate-or-touch the macroblock entry in order (the
+        probe's LRU touch is subsumed by the train allocation's)."""
+        table = self._tables[core]
+        bpm = self.blocks_per_macroblock
+        for block in blocks:
+            table.entry(block // bpm)
+
     def observe_external(self, core: int, block: int, requester: int) -> None:
         """An external coherence request from ``requester`` touched us.
 
@@ -80,3 +139,9 @@ class AddrPredictor(TargetPredictor):
 
     def table_entries(self) -> int:
         return sum(len(table) for table in self._tables)
+
+
+def _as_prediction(group: frozenset) -> Prediction | None:
+    if not group:
+        return None
+    return Prediction(targets=group, source=PredictionSource.TABLE)

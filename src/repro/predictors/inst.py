@@ -58,8 +58,64 @@ class InstPredictor(TargetPredictor):
             if node != core:
                 entry.train_up(node)
 
+    #: The batch planner must materialize per-event pc keys for this
+    #: predictor (its tables are instruction-indexed).
+    plan_needs_keys = True
+
+    def peek_private_plan(self, core: int, n: int, blocks=None,
+                          pcs=None) -> list | None:
+        """Plan ``n`` cold-miss predictions without mutating the table.
+
+        Same soundness argument as ``AddrPredictor.peek_private_plan``
+        (cold trains only allocate, fresh entries are prediction-neutral
+        under both policies); declines when a capacity-bounded table
+        would overflow mid-batch.
+        """
+        if pcs is None:
+            return None
+        table = self._tables[core]
+        entries = table._entries
+        if table.max_entries is not None:
+            fresh = set(pcs) - entries.keys()
+            if len(entries) + len(fresh) > table.max_entries:
+                return None
+        policy = self.policy
+        plan = []
+        prev_group = None
+        count = 0
+        for pc in pcs:
+            entry = entries.get(pc)
+            group = (
+                entry.predict(policy, exclude=core)
+                if entry is not None else frozenset()
+            )
+            if count and group == prev_group:
+                count += 1
+            else:
+                if count:
+                    plan.append((count, _as_prediction(prev_group)))
+                prev_group = group
+                count = 1
+        if count:
+            plan.append((count, _as_prediction(prev_group)))
+        return plan
+
+    def commit_private_batch(self, core: int, n: int, blocks=None,
+                             pcs=None) -> None:
+        """Replay the table effects of ``n`` cold predict+train pairs:
+        allocate-or-touch the pc entry per event, in order."""
+        table = self._tables[core]
+        for pc in pcs:
+            table.entry(pc)
+
     def storage_bits(self, num_cores: int) -> int:
         return sum(table.storage_bits() for table in self._tables)
 
     def table_entries(self) -> int:
         return sum(len(table) for table in self._tables)
+
+
+def _as_prediction(group: frozenset) -> Prediction | None:
+    if not group:
+        return None
+    return Prediction(targets=group, source=PredictionSource.TABLE)

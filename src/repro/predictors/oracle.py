@@ -35,14 +35,16 @@ class OraclePredictor(TargetPredictor):
             return None
         return Prediction(targets=minimal, source=PredictionSource.TABLE)
 
-    def peek_private_plan(self, core: int, n: int) -> list:
+    def peek_private_plan(self, core: int, n: int, blocks=None,
+                          pcs=None) -> list:
         """Batched-private-run plan (engine vector path): every block in
         a private run is an uncached sole-toucher first touch, so the
         directory entry is empty and the oracle declines to predict —
         mid-batch fills never alias a later block of the same batch."""
         return [(n, None)]
 
-    def commit_private_batch(self, core: int, n: int) -> None:
+    def commit_private_batch(self, core: int, n: int, blocks=None,
+                             pcs=None) -> None:
         """Prediction here mutates nothing; nothing to apply."""
 
     def train(

@@ -106,9 +106,67 @@ class OwnerTwoLevelPredictor(TargetPredictor):
             entry.observe(result.responder)
             table.move_to_end(key)
 
+    #: The batch planner must materialize per-event block keys for this
+    #: predictor (its tables are macroblock-indexed).
+    plan_needs_keys = True
+
+    def peek_private_plan(self, core: int, n: int, blocks=None,
+                          pcs=None) -> list | None:
+        """Plan ``n`` cold-miss predictions without mutating the table.
+
+        Private misses are READ/WRITE kinds (never UPGRADE) and their
+        results carry no responder, so ``train`` is a strict no-op for
+        the whole batch — the table contents are frozen and the peek is
+        a pure read.  The only per-event mutation is ``predict``'s LRU
+        touch on present entries, replayed by the commit.
+        """
+        if blocks is None:
+            return None
+        table = self._tables[core]
+        bpm = self.blocks_per_macroblock
+        plan = []
+        prev_owner = None
+        count = 0
+        for block in blocks:
+            entry = table.get(block // bpm)
+            owner = (
+                entry.owner
+                if entry is not None and entry.confident
+                and entry.owner != core else None
+            )
+            if count and owner == prev_owner:
+                count += 1
+            else:
+                if count:
+                    plan.append((count, _owner_prediction(prev_owner)))
+                prev_owner = owner
+                count = 1
+        if count:
+            plan.append((count, _owner_prediction(prev_owner)))
+        return plan
+
+    def commit_private_batch(self, core: int, n: int, blocks=None,
+                             pcs=None) -> None:
+        """Replay ``predict``'s LRU touches: move each present entry to
+        the back of the table, per event, in order."""
+        table = self._tables[core]
+        bpm = self.blocks_per_macroblock
+        for block in blocks:
+            key = block // bpm
+            if key in table:
+                table.move_to_end(key)
+
     def storage_bits(self, num_cores: int) -> int:
         bits_per_entry = 32 + 4 + 2  # tag + owner id + confidence
         return sum(len(t) for t in self._tables) * bits_per_entry
 
     def table_entries(self) -> int:
         return sum(len(t) for t in self._tables)
+
+
+def _owner_prediction(owner: int | None) -> Prediction | None:
+    if owner is None:
+        return None
+    return Prediction(
+        targets=frozenset((owner,)), source=PredictionSource.TABLE
+    )

@@ -36,7 +36,8 @@ class UniPredictor(TargetPredictor):
             return None
         return Prediction(targets=group, source=PredictionSource.TABLE)
 
-    def peek_private_plan(self, core: int, n: int) -> list:
+    def peek_private_plan(self, core: int, n: int, blocks=None,
+                          pcs=None) -> list:
         """Batched-private-run plan (engine vector path): prediction is
         a pure function of the core's group entry, which only training
         mutates — and training is a no-op on the cold misses of a
@@ -46,7 +47,8 @@ class UniPredictor(TargetPredictor):
             return [(n, None)]
         return [(n, Prediction(targets=group, source=PredictionSource.TABLE))]
 
-    def commit_private_batch(self, core: int, n: int) -> None:
+    def commit_private_batch(self, core: int, n: int, blocks=None,
+                             pcs=None) -> None:
         """Prediction here mutates nothing; nothing to apply."""
 
     def train(

@@ -18,8 +18,11 @@ from repro.sim.machine import MachineConfig
 
 #: Bump when the serialized result payload changes shape, or when the
 #: spec's identity widens (v3: ``MachineConfig.quantum`` entered
-#: ``repr(machine)`` and thus every digest).
-CACHE_VERSION = 3
+#: ``repr(machine)`` and thus every digest; v4: the vector engine grew
+#: cross-quantum window fusion and the shared-run fast path — results
+#: are certified bit-identical, but stale caches from builds predating
+#: the certification sweep are retired defensively).
+CACHE_VERSION = 4
 
 #: Package subtrees that only *consume* results; editing them cannot
 #: change what a simulation produces, so they are excluded from the

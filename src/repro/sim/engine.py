@@ -32,6 +32,7 @@ from bisect import bisect_left, bisect_right
 from repro.cache.hierarchy import AccessKind, HierarchyOutcome, PrivateHierarchy
 from repro.coherence import make_directory, make_protocol
 from repro.coherence.protocol import MissKind
+from repro.coherence.states import Mesif
 from repro.core.signatures import DEFAULT_HOT_THRESHOLD
 from repro.noc.network import Network
 from repro.predictors.base import TargetPredictor
@@ -322,7 +323,7 @@ class SimulationEngine:
         # predictor after construction, so bind here, not in __init__).
         # The compiled path builds its handler from the same factory, so
         # miss accounting cannot drift between the two paths.
-        miss, flush = self._make_miss_handler()
+        miss, flush, _ = self._make_miss_handler()
 
         heap = [(0, core) for core in range(n)]
         heapq.heapify(heap)
@@ -556,7 +557,7 @@ class SimulationEngine:
         done = [False] * n
         sync_latency_fn = getattr(self.predictor, "sync_latency", None)
         self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
-        miss, flush = self._make_miss_handler()
+        miss, flush, _ = self._make_miss_handler()
 
         heap = [(0, core) for core in range(n)]
         heapq.heapify(heap)
@@ -855,9 +856,19 @@ class SimulationEngine:
         pc_volume = res.pc_volume
         whole_run_volume = res.whole_run_volume
         num_cores = res.num_cores
-        tx_read = self.protocol.read_miss
-        tx_write = self.protocol.write_miss
-        tx_upgrade = self.protocol.upgrade_miss
+        # The vector path may install a warm-transaction memo (see
+        # repro.sim.vector._TxMemo) that wraps the protocol entry points
+        # with replayed accounting + live state transitions; the other
+        # paths bind the protocol directly.
+        tx_memo = getattr(self, "_tx_memo", None)
+        if tx_memo is not None:
+            tx_read = tx_memo.read_miss
+            tx_write = tx_memo.write_miss
+            tx_upgrade = tx_memo.upgrade_miss
+        else:
+            tx_read = self.protocol.read_miss
+            tx_write = self.protocol.write_miss
+            tx_upgrade = self.protocol.upgrade_miss
         predictor = self.predictor
         predict = predictor.predict if predictor is not None else None
         train = predictor.train if predictor is not None else None
@@ -1020,7 +1031,278 @@ class SimulationEngine:
             res.pred_correct += pred_correct
             res.pred_incorrect += pred_incorrect
 
-        return miss, flush
+        run_shared = None
+        if tx_memo is not None:
+            # Shared-run fast path (vector engine only; armed with the
+            # transaction memo, so no tracer/verifier/transcript watches
+            # individual events).  Processes a run of consecutive
+            # READ/WRITE trace events in one call: classification and
+            # every state transition stay live and per event, but the
+            # memo is probed inline and each memoized class carries a
+            # lazily built accounting row (latency, histogram bucket,
+            # flag increments, the counter-facing node fan), so the
+            # per-event work of ``miss`` collapses to counter arithmetic
+            # accumulated in locals and flushed into the same closure
+            # cells once per run.  Memo-cold events fall back to
+            # ``miss`` itself — every counter keeps exactly one owner.
+            proto = self.protocol
+            directory = proto.directory
+            entries_get = directory._entries.get
+            dir_peek = directory.peek
+            finish_read = proto._finish_read_fill
+            finish_write = proto._finish_write_fill
+            apply_inv = proto._apply_write_invalidations
+            record_upgrade = directory.record_store_upgrade
+            hierarchies = proto.hierarchies
+            num_nodes = tx_memo.num_nodes
+            tracked = tx_memo.tracked
+            tracked_get = tracked.get if tracked is not None else None
+            absent = tx_memo.absent
+            coarse = tx_memo.coarse
+            empty_frozen = frozenset()
+            empty_fp = (None, None, False, empty_frozen)
+            memo_get = tx_memo.memo.get
+            record = tx_memo._record
+            net_stats = tx_memo.stats
+            by_cat = tx_memo.by_category
+            l1_hit_o = HierarchyOutcome.L1_HIT
+            l2_hit_o = HierarchyOutcome.L2_HIT
+            ak_read = AccessKind.READ
+            ak_write = AccessKind.WRITE
+            mesif_modified = Mesif.MODIFIED
+            l1_lat = self._l1_latency
+            l2_lat = self._l2_access
+            inf = float("inf")
+
+            def run_shared(core, stream, p, end, c, budget, classify):
+                nonlocal read_misses, write_misses, upgrade_misses
+                nonlocal miss_latency_sum, indirections, offchip
+                nonlocal comm_misses, actual_target_sum
+                nonlocal pred_attempted, predicted_target_sum
+                nonlocal pred_on_noncomm, pred_on_comm
+                nonlocal pred_correct, pred_incorrect
+
+                if budget is None:
+                    budget = inf
+                rm = wm = um = 0
+                lat_sum = ind = off = cm = ats = 0
+                pa = pts = pnc = pcm = pcor = pinc = 0
+                nl1 = nl2 = nmiss = 0
+                d_msgs = d_total = d_links = d_routers = d_snoops = 0
+                cat_acc = None
+                ecomm = emiss = 0
+                over = False
+                hier = hierarchies[core]
+                if track:
+                    pend = pending_minimal[core]
+                    counts = comm_counts[core]
+                    volume = whole_run_volume[core]
+                p0 = p
+                while p < end:
+                    ev = stream[p]
+                    op = ev[0]
+                    if op > 1:
+                        break
+                    addr = ev[1]
+                    is_write = op == 1
+                    outcome = classify(
+                        addr, ak_write if is_write else ak_read
+                    )
+                    p += 1
+                    if outcome is l1_hit_o:
+                        nl1 += 1
+                        c += l1_lat
+                        if c > budget:
+                            over = True
+                            break
+                        continue
+                    if outcome is l2_hit_o:
+                        nl2 += 1
+                        c += l2_lat
+                        if c > budget:
+                            over = True
+                            break
+                        continue
+                    nmiss += 1
+                    block = addr >> block_shift
+                    if outcome is outcome_miss:
+                        kc = 1 if is_write else 0
+                        kind = kind_write if is_write else kind_read
+                    else:
+                        kc = 2
+                        kind = kind_upgrade
+                    if predict is not None:
+                        prediction = predict(core, block, ev[2], kind)
+                        targets = (
+                            prediction.targets
+                            if prediction is not None else None
+                        )
+                    else:
+                        prediction = targets = None
+                    entry = entries_get(block)
+                    if entry is None:
+                        fp = empty_fp
+                    else:
+                        sharers = entry.sharers
+                        fp = (
+                            entry.owner, entry.forwarder, entry.dirty,
+                            frozenset(sharers) if sharers
+                            else empty_frozen,
+                        )
+                    if tracked_get is None:
+                        key = (kc, core, block % num_nodes, targets, fp)
+                    else:
+                        t = tracked_get(block, absent)
+                        if t is None:
+                            t = coarse
+                        elif t is not absent:
+                            t = frozenset(t)
+                        key = (
+                            kc, core, block % num_nodes, targets, fp, t
+                        )
+                    row = memo_get(key)
+                    if row is None:
+                        # Cold transaction class: run and record the
+                        # real flow (its own mutation tail and live
+                        # traffic included), then share the accounting
+                        # block below.  ``predict`` already ran — going
+                        # through ``miss`` here would call it twice and
+                        # skew stateful predictors' warm-up counts.
+                        record(key, kc, core, block, targets)
+                        row = memo_get(key)
+                        replayed = False
+                    else:
+                        replayed = True
+                    tx = row[0]
+                    aux = row[7]
+                    if aux is None:
+                        latency = l2_tag + tx.latency
+                        minimal = tx.minimal_targets
+                        responder = tx.responder
+                        nodes = []
+                        if responder is not None and responder != core:
+                            nodes.append(responder)
+                        for node in tx.invalidated:
+                            if node != core:
+                                nodes.append(node)
+                        aux = row[7] = (
+                            latency,
+                            buckets[bisect_left(buckets, latency)],
+                            1 if tx.indirection else 0,
+                            1 if tx.off_chip else 0,
+                            tx.communicating,
+                            len(minimal), minimal, tuple(nodes),
+                            tx.prediction_correct,
+                        )
+                    (latency, bound, d_ind, d_off, communicating,
+                     n_min, minimal, nodes, correct) = aux
+                    if kc == 0:
+                        rm += 1
+                    elif kc == 1:
+                        wm += 1
+                    else:
+                        um += 1
+                    lat_sum += latency
+                    hist[bound] = hist.get(bound, 0) + 1
+                    ind += d_ind
+                    off += d_off
+                    if communicating:
+                        cm += 1
+                        ats += n_min
+                    if track:
+                        if communicating:
+                            ecomm += 1
+                            pend.append(minimal)
+                        emiss += 1
+                        for node in nodes:
+                            counts[node] += 1
+                            volume[node] += 1
+                        if collect_epochs and communicating:
+                            slot = pc_volume.setdefault(
+                                (core, ev[2]), [0] * num_cores
+                            )
+                            for node in nodes:
+                                slot[node] += 1
+                    if prediction is not None:
+                        pa += 1
+                        pts += len(targets)
+                        if correct is None:
+                            pnc += 1
+                        else:
+                            pcm += 1
+                            if correct:
+                                pcor += 1
+                                correct_by_source[prediction.source] = (
+                                    correct_by_source.get(
+                                        prediction.source, 0
+                                    ) + 1
+                                )
+                            else:
+                                pinc += 1
+                    if replayed:
+                        d_msgs += row[1]
+                        d_total += row[2]
+                        d_links += row[3]
+                        d_routers += row[4]
+                        cats = row[5]
+                        if cats:
+                            if cat_acc is None:
+                                cat_acc = {}
+                            for cat, delta in cats:
+                                cat_acc[cat] = cat_acc.get(cat, 0) + delta
+                        d_snoops += row[6]
+                        # Live mutation tail — the protocol's own
+                        # finishing statements per flow kind (_TxMemo).
+                        if kc == 0:
+                            finish_read(core, block, dir_peek(block))
+                        elif kc == 1:
+                            apply_inv(core, block, minimal)
+                            finish_write(core, block)
+                        else:
+                            apply_inv(core, block, minimal)
+                            hier.set_state(block, mesif_modified)
+                            record_upgrade(block, core)
+                    if predict is not None:
+                        train(core, block, ev[2], kind, tx)
+                        if observe_external is not None:
+                            responder = tx.responder
+                            if responder is not None:
+                                observe_external(responder, block, core)
+                            for node in tx.invalidated:
+                                observe_external(node, block, core)
+                    c += latency
+                    if c > budget:
+                        over = True
+                        break
+                read_misses += rm
+                write_misses += wm
+                upgrade_misses += um
+                miss_latency_sum += lat_sum
+                indirections += ind
+                offchip += off
+                comm_misses += cm
+                actual_target_sum += ats
+                pred_attempted += pa
+                predicted_target_sum += pts
+                pred_on_noncomm += pnc
+                pred_on_comm += pcm
+                pred_correct += pcor
+                pred_incorrect += pinc
+                if track:
+                    epoch_comm[core] += ecomm
+                    epoch_misses[core] += emiss
+                net_stats.messages += d_msgs
+                net_stats.bytes_total += d_total
+                net_stats.byte_links += d_links
+                net_stats.byte_routers += d_routers
+                if d_snoops:
+                    proto.snoop_lookups += d_snoops
+                if cat_acc is not None:
+                    for cat, delta in cat_acc.items():
+                        by_cat[cat] = by_cat.get(cat, 0) + delta
+                return p, c, p - p0, nl1, nl2, nmiss, over
+
+        return miss, flush, run_shared
 
     # ------------------------------------------------------------------
     # sync-point handling

@@ -40,6 +40,41 @@ prefix-sum + ``searchsorted``; short windows (a contended quantum
 admits only a few events) skip numpy and walk the same class constants
 in plain Python, so the batch path never loses to the compiled one.
 
+Cross-quantum windows
+---------------------
+
+At the default 400-cycle quantum each scheduling turn admits only a
+couple of misses, so the per-turn costs of planning a batch (predictor
+peek, class table, commit) used to dominate.  The trace compiler now
+emits per-core *fusible-span* footprint summaries (maximal chains of
+back-to-back THINK/PRIVATE segments whose shared-access count is zero
+and whose end precedes the next sync marker — see
+:meth:`CompiledTrace.span_summaries`).  Before running a turn for a
+core parked at a span start, :func:`run_vector` builds a *window*: one
+per-event cumulative-cost array over the whole span plus the frozen
+single-chunk prediction plan.  Every later turn inside the span is then
+a single ``bisect`` over that array — the interpreter's quantum breaks
+replayed arithmetically — followed by eager per-slice fills and
+predictor commits, so counters and cache/directory state stay
+bit-identical.  Windows are dropped on thread migration and rebuilt
+(re-peeked) whenever a foreign shared miss could have trained the
+core's table (ADDR-style ``observe_external`` predictors).
+
+Warm-transaction memo
+---------------------
+
+Shared epochs repeat: a stable producer/consumer pattern issues the
+same miss against the same directory state epoch after epoch.  On the
+plain full-map directory backend a transaction's latency/traffic is a
+pure function of ``(kind, core, home, predicted set, directory-entry
+fingerprint)``, so the vector path memoizes it: the first occurrence
+runs the real protocol flow (with victim handling deferred and
+replayed live), later occurrences apply the recorded counter deltas
+and run the protocol's own mutation tail (fills, invalidations,
+directory records) live.  State transitions therefore execute the
+exact same code as the other two paths; only the accounting arithmetic
+is replayed.
+
 ``repro check diff`` and the fuzzer certify all three paths
 bit-identical on the complete ``SimulationResult.to_dict()`` payload.
 """
@@ -73,7 +108,19 @@ _VECTOR_MIN = 24
 #: per-class traffic delta).
 _SCRATCH_ASSOC = 1 << 12
 
+#: Minimum span length (events) worth building a cross-quantum window
+#: for; shorter spans are served by the per-turn batch kernel.
+_WINDOW_MIN = 6
+
+#: Warm-transaction memo capacity; cleared wholesale when full (the
+#: working set of distinct (kind, core, home, predicted, fingerprint)
+#: classes is orders of magnitude smaller on every known workload).
+_MEMO_CAP = 1 << 16
+
 _UNSET = object()
+_ABSENT = object()
+_COARSE = object()
+_EMPTY_FROZEN: frozenset = frozenset()
 
 
 class _ClassConst:
@@ -89,11 +136,46 @@ class _ClassConst:
 
 
 class _LatTable:
-    """Per ``(core, predicted set)``: the class constants for every
-    (kind, home) pair, plus a numpy latency lookup and the minimum
-    latency (an upper bound on events per quantum window)."""
+    """Per ``(core, predicted set)``: lazily probed class constants for
+    each (kind, home) pair, a numpy latency lookup filled in as classes
+    are first seen, and a running minimum latency.
 
-    __slots__ = ("np_lat", "rows", "min_lat")
+    Eagerly probing all ``2 * n`` classes per table cost more than it
+    saved on contended workloads (most tables see a handful of homes),
+    so rows are probed on demand.  ``min_lat`` only sizes numpy windows;
+    until the first probe it is unknown (0) and the caller substitutes
+    1 — an undersized window just splits a batch into more slices, the
+    budget cut itself is exact either way.
+    """
+
+    __slots__ = ("prober", "core", "targets", "np_lat", "rows", "min_lat",
+                 "pending", "has_dead")
+
+    def __init__(self, prober, core, targets, n):
+        self.prober = prober
+        self.core = core
+        self.targets = targets
+        self.np_lat = np.zeros((2, n), dtype=np.int64)
+        self.rows = ([_UNSET] * n, [_UNSET] * n)
+        self.min_lat = 0
+        self.pending = 2 * n
+        self.has_dead = False
+
+    def get(self, iw, home):
+        """The class constant for ``(iw, home)``, probed on first use;
+        None marks an unbatchable class."""
+        const = self.rows[iw][home]
+        if const is _UNSET:
+            const = self.prober._probe(self.core, iw, home, self.targets)
+            self.rows[iw][home] = const
+            self.pending -= 1
+            if const is None:
+                self.has_dead = True
+            else:
+                self.np_lat[iw, home] = const.latency
+                if not self.min_lat or const.latency < self.min_lat:
+                    self.min_lat = const.latency
+        return const
 
 
 class _ClassProber:
@@ -141,29 +223,16 @@ class _ClassProber:
         self._consts: dict = {}
         self._tables: dict = {}
 
-    def table(self, core: int, targets) -> _LatTable | None:
-        """The class-constant table for ``(core, targets)``, or None when
-        any of its classes is unbatchable."""
+    def table(self, core: int, targets) -> _LatTable:
+        """The (lazily probed) class-constant table for ``(core,
+        targets)``; unbatchable classes surface as None from its
+        :meth:`_LatTable.get`."""
         key = (core, targets)
-        tbl = self._tables.get(key, _UNSET)
-        if tbl is not _UNSET:
-            return tbl
-        n = self.num_nodes
-        np_lat = np.empty((2, n), dtype=np.int64)
-        rows = ([None] * n, [None] * n)
-        tbl = _LatTable()
-        for is_write in (0, 1):
-            for home in range(n):
-                const = self._probe(core, is_write, home, targets)
-                if const is None:
-                    self._tables[key] = None
-                    return None
-                np_lat[is_write, home] = const.latency
-                rows[is_write][home] = const
-        tbl.np_lat = np_lat
-        tbl.rows = rows
-        tbl.min_lat = int(np_lat.min())
-        self._tables[key] = tbl
+        tbl = self._tables.get(key)
+        if tbl is None:
+            tbl = self._tables[key] = _LatTable(
+                self, core, targets, self.num_nodes
+            )
         return tbl
 
     def _probe(self, core, is_write, home, targets) -> _ClassConst | None:
@@ -220,6 +289,190 @@ class _ClassProber:
         const.snoops = self.protocol.snoop_lookups - snoops_before
         self._consts[key] = const
         return const
+
+
+class _TxMemo:
+    """Warm-transaction memo for the vector path's shared lane.
+
+    Wraps ``DirectoryProtocol.{read,write,upgrade}_miss``.  For the
+    plain full-map backend (and its limited-pointer directory variant)
+    the *accounting* side of a transaction — latency, NoC traffic,
+    snoop lookups, and every ``TransactionResult`` field — is a pure
+    function of ``(kind, core, home, predicted set, fingerprint)``,
+    where the fingerprint captures everything the flow reads from the
+    directory: owner, forwarder, dirty bit, the sharer set, and (for
+    limited-pointer organizations) the tracked-pointer state that feeds
+    ``can_verify`` / ``invalidation_fanout``.  The home tile stands in
+    for the block itself: two blocks with the same home and the same
+    fingerprint are indistinguishable to the accounting arithmetic.
+
+    The first occurrence of a class runs the real protocol method with
+    ``_handle_victim`` shadowed (victims are collected and processed
+    through the real helper immediately after — their traffic depends
+    on the victim, not the class) and records the counter deltas plus
+    the result object.  A hit replays the deltas and then runs the
+    protocol's own *mutation tail* live — the exact statements each
+    flow ends with — so cache, directory and pointer state transitions
+    execute the same code as the other two engine paths:
+
+    * READ: ``_finish_read_fill(core, block, peek(block))`` (the live
+      entry matches the recorded fingerprint by key construction);
+    * WRITE: ``_apply_write_invalidations`` + ``_finish_write_fill``;
+    * UPGRADE: ``_apply_write_invalidations`` + ``set_state(MODIFIED)``
+      + ``record_store_upgrade``.
+
+    Armed only when no tracer/verifier observes individual misses and
+    no network transcript records individual messages (the protocol's
+    own send memos fall back to live sends exactly then).
+    """
+
+    __slots__ = (
+        "proto", "directory", "hierarchies", "stats", "by_category",
+        "num_nodes", "tracked", "memo",
+    )
+
+    #: Key sentinels, exposed as class attributes so the engine's
+    #: shared-run handler (which cannot import this module — it must
+    #: work without numpy) builds byte-identical keys.
+    absent = _ABSENT
+    coarse = _COARSE
+
+    def __init__(self, protocol) -> None:
+        self.proto = protocol
+        self.directory = protocol.directory
+        self.hierarchies = protocol.hierarchies
+        self.stats = protocol.network.stats
+        self.by_category = self.stats.bytes_by_category
+        self.num_nodes = protocol.directory.num_nodes
+        # LimitedPointerDirectory hardware-precision state; None for the
+        # full-map organization (whose can_verify/fanout answers are
+        # already functions of the entry fingerprint).
+        self.tracked = getattr(protocol.directory, "_tracked", None)
+        self.memo: dict = {}
+
+    def _key(self, kind, core, block, predicted):
+        entry = self.directory.peek(block)
+        sharers = entry.sharers
+        fp = (
+            entry.owner, entry.forwarder, entry.dirty,
+            frozenset(sharers) if sharers else _EMPTY_FROZEN,
+        )
+        tracked = self.tracked
+        if tracked is None:
+            return (kind, core, block % self.num_nodes, predicted, fp)
+        t = tracked.get(block, _ABSENT)
+        if t is None:
+            t = _COARSE
+        elif t is not _ABSENT:
+            t = frozenset(t)
+        return (kind, core, block % self.num_nodes, predicted, fp, t)
+
+    def read_miss(self, core, block, predicted=None):
+        key = self._key(0, core, block, predicted)
+        hit = self.memo.get(key)
+        if hit is None:
+            return self._record(key, 0, core, block, predicted)
+        tx = self._replay(hit)
+        self.proto._finish_read_fill(core, block, self.directory.peek(block))
+        return tx
+
+    def write_miss(self, core, block, predicted=None):
+        key = self._key(1, core, block, predicted)
+        hit = self.memo.get(key)
+        if hit is None:
+            return self._record(key, 1, core, block, predicted)
+        tx = self._replay(hit)
+        proto = self.proto
+        proto._apply_write_invalidations(core, block, tx.minimal_targets)
+        proto._finish_write_fill(core, block)
+        return tx
+
+    def upgrade_miss(self, core, block, predicted=None):
+        key = self._key(2, core, block, predicted)
+        hit = self.memo.get(key)
+        if hit is None:
+            return self._record(key, 2, core, block, predicted)
+        tx = self._replay(hit)
+        self.proto._apply_write_invalidations(core, block, tx.minimal_targets)
+        self.hierarchies[core].set_state(block, Mesif.MODIFIED)
+        self.directory.record_store_upgrade(block, core)
+        return tx
+
+    def _record(self, key, kind, core, block, predicted):
+        proto = self.proto
+        stats = self.stats
+        by_cat = self.by_category
+        deferred: list = []
+        # Shadow the bound method with a collector (instance attribute
+        # wins the lookup); victims re-run through the real helper below
+        # so their traffic and directory notifications stay live.
+        proto._handle_victim = lambda c, v, _d=deferred: _d.append((c, v))
+        msgs0 = stats.messages
+        total0 = stats.bytes_total
+        links0 = stats.byte_links
+        routers0 = stats.byte_routers
+        cats0 = dict(by_cat)
+        snoops0 = proto.snoop_lookups
+        try:
+            if kind == 0:
+                tx = proto.read_miss(core, block, predicted)
+            elif kind == 1:
+                tx = proto.write_miss(core, block, predicted)
+            else:
+                tx = proto.upgrade_miss(core, block, predicted)
+        finally:
+            del proto._handle_victim
+        memo = self.memo
+        if len(memo) >= _MEMO_CAP:
+            memo.clear()
+        # A list, not a tuple: the last slot is reserved for the shared
+        # run handler's lazily built per-class accounting row (see
+        # ``SimulationEngine._make_miss_handler``).
+        memo[key] = [
+            tx,
+            stats.messages - msgs0,
+            stats.bytes_total - total0,
+            stats.byte_links - links0,
+            stats.byte_routers - routers0,
+            tuple(
+                (cat, val - cats0.get(cat, 0))
+                for cat, val in by_cat.items()
+                if val != cats0.get(cat, 0)
+            ),
+            proto.snoop_lookups - snoops0,
+            None,
+        ]
+        for v_core, victim in deferred:
+            proto._handle_victim(v_core, victim)
+        return tx
+
+    def _replay(self, hit):
+        tx, msgs, total, links, routers, cats, snoops, _aux = hit
+        stats = self.stats
+        stats.messages += msgs
+        stats.bytes_total += total
+        stats.byte_links += links
+        stats.byte_routers += routers
+        by_cat = self.by_category
+        for cat, delta in cats:
+            try:
+                by_cat[cat] += delta
+            except KeyError:
+                by_cat[cat] = delta
+        self.proto.snoop_lookups += snoops
+        return tx
+
+
+def _make_tx_memo(engine) -> _TxMemo | None:
+    """Build the shared-lane transaction memo when the run's invariants
+    allow it (see :class:`_TxMemo`); None otherwise."""
+    if engine.tracer is not None or engine.verifier is not None:
+        return None
+    if engine.network._transcript is not None:
+        return None
+    if type(engine.protocol) is not DirectoryProtocol:
+        return None
+    return _TxMemo(engine.protocol)
 
 
 def _batch_eligible(engine) -> bool:
@@ -330,15 +583,33 @@ def _make_bulk_fill(engine):
     return bulk
 
 
+class _Window:
+    """One cross-quantum fusion window: the per-event cumulative-cost
+    array and frozen plan for a fusible span (see module docstring)."""
+
+    __slots__ = (
+        "p0", "end", "m", "cum", "consts", "blocks", "writes", "pcs",
+        "aprefix", "prediction", "stamp",
+    )
+
+
 def _make_batch(engine, compiled, miss, streams):
     """Build the private-run batch kernel, or None when ineligible.
 
-    Returns ``(batch, flush)``: ``batch(core, p, end, c, budget) ->
-    (p, c, consumed, over)`` consumes events ``p..end`` of the core's
-    segment under the same consume-then-check budget rule as the
-    interpreter loops, tallying per-class counts in place; ``flush()``
-    folds the deferred tallies into the result/network/hierarchy
-    counters once, at run end.
+    Returns ``(batch, flush, build_window, consume_window)``:
+
+    * ``batch(core, p, end, c, budget) -> (p, c, consumed, over)``
+      consumes events ``p..end`` of one PRIVATE segment under the same
+      consume-then-check budget rule as the interpreter loops, tallying
+      per-class counts in place;
+    * ``build_window(core, si, p, span_end, stamp)`` precomputes a
+      :class:`_Window` over the fusible span starting at segment ``si``
+      (or None when the span cannot be fused — multi-chunk plan, an
+      unbatchable class, nothing but THINK time);
+    * ``consume_window(win, core, p, c, budget)`` replays one
+      scheduling turn's slice of a window arithmetically;
+    * ``flush()`` folds the deferred tallies into the
+      result/network/hierarchy counters once, at run end.
     """
     if not _batch_eligible(engine):
         return None
@@ -363,10 +634,17 @@ def _make_batch(engine, compiled, miss, streams):
     commit_plan = (
         predictor.commit_private_batch if predictor is not None else None
     )
+    needs_keys = bool(getattr(predictor, "plan_needs_keys", False))
+    observes = (
+        predictor is not None
+        and getattr(predictor, "observe_external", None) is not None
+    )
 
     compiled.np_columns(0)  # materializes the array('q') columns too
     ops_q = compiled.ops
     arg1_q = compiled.arg1
+    arg2_q = compiled.arg2
+    segments = compiled.segments
     # Derived numpy columns, built lazily per core: block ids for the
     # residual fills, kind selectors and home ids for the class lookups.
     blocks_cols: list = [None] * n
@@ -378,53 +656,71 @@ def _make_batch(engine, compiled, miss, streams):
     core_events = [0] * n
     op_write = OP_WRITE
     outcome_miss = HierarchyOutcome.MISS
+    seg_think = SEG_THINK
+
+    def fallback(core, p, end, c, budget, consumed):
+        """Finish the segment through the live per-event miss handler
+        (predictions re-run in place, so any uncommitted remainder of a
+        plan is simply discarded)."""
+        stats = probe_stats[core]
+        stream = streams[core]
+        while p < end:
+            ev = stream[p]
+            p += 1
+            consumed += 1
+            stats.accesses += 1
+            stats.misses += 1
+            c += miss(
+                core, ev[1], ev[2], ev[0] == op_write, outcome_miss,
+            )
+            if budget is not None and c > budget:
+                return p, c, consumed, True
+        return p, c, consumed, False
 
     def batch(core, p, end, c, budget):
         consumed = 0
 
+        if needs_keys:
+            kb = [a >> BLOCK_SHIFT for a in arg1_q[core][p:end]]
+            kp = arg2_q[core][p:end].tolist()
+        else:
+            kb = kp = None
         if peek_plan is not None:
-            plan = peek_plan(core, end - p)
+            if needs_keys:
+                plan = peek_plan(core, end - p, blocks=kb, pcs=kp)
+            else:
+                plan = peek_plan(core, end - p)
+            if plan is None:
+                # The predictor declined (e.g. a capacity-bounded table
+                # would overflow mid-batch): run the segment per event.
+                return fallback(core, p, end, c, budget, consumed)
         else:
             plan = ((end - p, None),)
 
+        p0 = p
         for count, prediction in plan:
             remaining = min(count, end - p)
             if remaining <= 0:
                 continue
             targets = prediction.targets if prediction is not None else None
             table = prober.table(core, targets)
-            if table is None:
-                # Unbatchable class: finish the segment through the live
-                # per-event miss handler (predictions re-run in place, so
-                # the uncommitted remainder of the plan is simply
-                # discarded).
-                stats = probe_stats[core]
-                stream = streams[core]
-                while p < end:
-                    ev = stream[p]
-                    p += 1
-                    consumed += 1
-                    stats.accesses += 1
-                    stats.misses += 1
-                    c += miss(
-                        core, ev[1], ev[2], ev[0] == op_write, outcome_miss,
-                    )
-                    if budget is not None and c > budget:
-                        return p, c, consumed, True
-                return p, c, consumed, False
-
             rows = table.rows
-            min_lat = table.min_lat
+            table_get = table.get
             while remaining > 0:
                 over = False
+                dead = False
                 if budget is None:
                     window = remaining
                 else:
-                    window = min(remaining, (budget - c) // min_lat + 1)
-                if window >= _VECTOR_MIN:
+                    window = min(
+                        remaining,
+                        (budget - c) // (table.min_lat or 1) + 1,
+                    )
+                use_np = window >= _VECTOR_MIN
+                if use_np:
                     blocks_np = blocks_cols[core]
                     if blocks_np is None:
-                        ops_np, arg1_np = compiled.np_columns(core)
+                        ops_np, arg1_np, _arg2_np = compiled.np_columns(core)
                         blocks_np = blocks_cols[core] = (
                             arg1_np >> BLOCK_SHIFT
                         )
@@ -434,6 +730,16 @@ def _make_batch(engine, compiled, miss, streams):
                         homes_cols[core] = blocks_np % n
                     hw = homes_cols[core][p:p + window]
                     ww = writes_cols[core][p:p + window]
+                    if table.pending or table.has_dead:
+                        # Probe the distinct classes of this slice; an
+                        # unbatchable one routes through the short walk,
+                        # which commits the batchable prefix and falls
+                        # back per event.
+                        for key in np.unique(hw + ww * n).tolist():
+                            if table_get(key // n, key % n) is None:
+                                use_np = False
+                                break
+                if use_np:
                     cum = table.np_lat[ww, hw].cumsum()
                     if budget is None:
                         take = window
@@ -472,7 +778,13 @@ def _make_batch(engine, compiled, miss, streams):
                         i = p + take
                         block = a1[i] >> BLOCK_SHIFT
                         iw = 1 if ops[i] == op_write else 0
-                        const = rows[iw][block % n]
+                        home = block % n
+                        const = rows[iw][home]
+                        if const is _UNSET:
+                            const = table_get(iw, home)
+                        if const is None:
+                            dead = True
+                            break
                         const.count += 1
                         c += const.latency
                         take += 1
@@ -482,26 +794,203 @@ def _make_batch(engine, compiled, miss, streams):
                             over = True
                             break
 
-                core_events[core] += take
-                if track:
-                    epoch_misses[core] += take
-                if prediction is not None:
-                    res.pred_attempted += take
-                    res.predicted_target_sum += (
-                        len(prediction.targets) * take
-                    )
-                    res.pred_on_noncomm += take
-                if commit_plan is not None:
-                    commit_plan(core, take)
+                if take:
+                    core_events[core] += take
+                    if track:
+                        epoch_misses[core] += take
+                    if prediction is not None:
+                        res.pred_attempted += take
+                        res.predicted_target_sum += (
+                            len(prediction.targets) * take
+                        )
+                        res.pred_on_noncomm += take
+                    if commit_plan is not None:
+                        if needs_keys:
+                            ki = p - p0
+                            commit_plan(
+                                core, take,
+                                blocks=kb[ki:ki + take],
+                                pcs=kp[ki:ki + take],
+                            )
+                        else:
+                            commit_plan(core, take)
 
-                bulk_fill(core, block_list, write_list)
+                    bulk_fill(core, block_list, write_list)
 
-                p += take
-                consumed += take
-                remaining -= take
+                    p += take
+                    consumed += take
+                    remaining -= take
+                if dead:
+                    return fallback(core, p, end, c, budget, consumed)
                 if over:
                     return p, c, consumed, True
         return p, c, consumed, False
+
+    def build_window(core, si, p, span_end, stamp):
+        """Precompute the cumulative-cost replay for the fusible span
+        ``[p, span_end)`` starting inside segment ``si``; None when the
+        span cannot be fused this time around."""
+        segs = segments[core]
+        nsegs = len(segs)
+        a1 = arg1_q[core]
+        ops = ops_q[core]
+        a2 = arg2_q[core]
+
+        # Materialize the private-event keys and ask the predictor for
+        # one frozen plan over the whole span.  A multi-chunk plan (SP
+        # warm-up adoption mid-span) or a decline means per-turn
+        # batching still works but cross-turn fusion would not be
+        # bit-identical — skip the window.
+        prediction = None
+        if peek_plan is not None:
+            kb = []
+            kp = []
+            j = si
+            while j < nsegs and segs[j][1] < span_end:
+                kind, s, e, _payload = segs[j]
+                if s < p:
+                    s = p
+                if kind != seg_think:
+                    for i in range(s, e):
+                        kb.append(a1[i] >> BLOCK_SHIFT)
+                        kp.append(a2[i])
+                j += 1
+            if not kb:
+                return None  # THINK-only: the bisect path already fuses
+            if needs_keys:
+                plan = peek_plan(core, len(kb), blocks=kb, pcs=kp)
+            else:
+                plan = peek_plan(core, len(kb))
+            if plan is None or len(plan) != 1:
+                return None
+            prediction = plan[0][1]
+
+        targets = prediction.targets if prediction is not None else None
+        table = prober.table(core, targets)
+        rows = table.rows
+        table_get = table.get
+
+        cum: list = []
+        consts: list = []
+        blocks: list = []
+        writes: list = []
+        pcs: list = []
+        aprefix = [0]
+        total = 0
+        na = 0
+        j = si
+        while j < nsegs and segs[j][1] < span_end:
+            kind, s, e, payload = segs[j]
+            start = s
+            if s < p:
+                s = p
+            if kind == seg_think:
+                base = payload[s - start - 1] if s > start else 0
+                for i in range(s, e):
+                    cyc = payload[i - start]
+                    total += cyc - base
+                    base = cyc
+                    cum.append(total)
+                    consts.append(None)
+                    blocks.append(0)
+                    writes.append(0)
+                    pcs.append(0)
+                    aprefix.append(na)
+            else:
+                for i in range(s, e):
+                    block = a1[i] >> BLOCK_SHIFT
+                    iw = 1 if ops[i] == op_write else 0
+                    home = block % n
+                    const = rows[iw][home]
+                    if const is _UNSET:
+                        const = table_get(iw, home)
+                    if const is None:
+                        return None
+                    total += const.latency
+                    na += 1
+                    cum.append(total)
+                    consts.append(const)
+                    blocks.append(block)
+                    writes.append(iw)
+                    pcs.append(a2[i])
+                    aprefix.append(na)
+            j += 1
+        if na == 0:
+            return None
+
+        win = _Window()
+        win.p0 = p
+        win.end = span_end
+        win.m = len(cum)
+        win.cum = cum
+        win.consts = consts
+        win.blocks = blocks
+        win.writes = writes
+        win.pcs = pcs
+        win.aprefix = aprefix
+        win.prediction = prediction
+        # Staleness only matters when a foreign shared miss can train
+        # this core's table (observe_external); otherwise the plan is
+        # frozen for the span's lifetime by construction.
+        win.stamp = stamp if observes else None
+        return win
+
+    def consume_window(win, core, p, c, budget):
+        """Replay one scheduling turn's slice of a window: bisect the
+        cumulative costs for the interpreter's consume-then-check break
+        position, then apply fills/commits/tallies for the slice."""
+        i0 = p - win.p0
+        cum = win.cum
+        m = win.m
+        base = cum[i0 - 1] if i0 else 0
+        if budget is None:
+            nk = m
+            over = False
+        else:
+            idx = bisect_right(cum, budget - c + base, i0)
+            if idx >= m:
+                nk = m
+                over = False
+            else:
+                # The crossing event is consumed before the break.
+                nk = idx + 1
+                over = True
+        c += cum[nk - 1] - base
+        na = win.aprefix[nk] - win.aprefix[i0]
+        if na:
+            consts = win.consts
+            w_blocks = win.blocks
+            w_writes = win.writes
+            block_list: list = []
+            write_list: list = []
+            add_block = block_list.append
+            add_write = write_list.append
+            for i in range(i0, nk):
+                const = consts[i]
+                if const is not None:
+                    const.count += 1
+                    add_block(w_blocks[i])
+                    add_write(w_writes[i])
+            core_events[core] += na
+            if track:
+                epoch_misses[core] += na
+            prediction = win.prediction
+            if prediction is not None:
+                res.pred_attempted += na
+                res.predicted_target_sum += len(prediction.targets) * na
+                res.pred_on_noncomm += na
+            if commit_plan is not None:
+                if needs_keys:
+                    w_pcs = win.pcs
+                    pl = [
+                        w_pcs[i] for i in range(i0, nk)
+                        if consts[i] is not None
+                    ]
+                    commit_plan(core, na, blocks=block_list, pcs=pl)
+                else:
+                    commit_plan(core, na)
+            bulk_fill(core, block_list, write_list)
+        return win.p0 + nk, c, na, over
 
     def flush():
         """Fold the deferred per-class tallies into the result, network
@@ -549,7 +1038,7 @@ def _make_batch(engine, compiled, miss, streams):
                 stats.accesses += batched
                 stats.misses += batched
 
-    return batch, flush
+    return batch, flush, build_window, consume_window
 
 
 def run_vector(engine, quantum: int):
@@ -580,12 +1069,34 @@ def run_vector(engine, quantum: int):
     done = [False] * n
     sync_latency_fn = getattr(self.predictor, "sync_latency", None)
     self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
-    miss, flush = self._make_miss_handler()
-    batch = batch_flush = None
+    # Arm the shared-lane transaction memo before the handler binds the
+    # protocol entry points, then clear the hook (the closure holds the
+    # bound methods; nothing else should see it).
+    self._tx_memo = _make_tx_memo(self)
+    miss, flush, run_shared = self._make_miss_handler()
+    self._tx_memo = None
+    batch = batch_flush = build_window = consume_window = None
     if use_private:
         made = _make_batch(self, compiled, miss, streams)
         if made is not None:
-            batch, batch_flush = made
+            batch, batch_flush, build_window, consume_window = made
+
+    # Cross-quantum windows: per-core span-start lookup from the
+    # compile-time footprint summaries, the live window per core, and a
+    # staleness stamp bumped on every shared-lane miss (a foreign miss
+    # may train an observe_external predictor's table, invalidating a
+    # frozen plan — the window then rebuilds, i.e. re-peeks, from its
+    # current position).
+    if build_window is not None:
+        span_starts = [
+            {rec[0]: rec for rec in spans}
+            for spans in compiled.span_summaries()
+        ]
+        windows: list = [None] * n
+    else:
+        span_starts = None
+        windows = None
+    shake = 0
 
     heap = [(0, core) for core in range(n)]
     heapq.heapify(heap)
@@ -643,6 +1154,44 @@ def run_vector(engine, quantum: int):
 
         while p < length:
             if p >= s_start:
+                if windows is not None:
+                    win = windows[core]
+                    if win is not None:
+                        if not (win.p0 <= p < win.end):
+                            win = windows[core] = None
+                        elif win.stamp is not None and win.stamp != shake:
+                            # A foreign shared miss may have trained this
+                            # core's table: re-peek from here.
+                            win = windows[core] = build_window(
+                                core, si, p, win.end, shake
+                            )
+                    if win is None and p == s_start:
+                        rec = span_starts[core].get(p)
+                        if (
+                            rec is not None
+                            and rec[4] == 0
+                            and rec[1] - p >= _WINDOW_MIN
+                            and not (
+                                segs[si][0] == seg_think
+                                and segs[si][2] >= rec[1]
+                            )
+                        ):
+                            win = windows[core] = build_window(
+                                core, si, p, rec[1], shake
+                            )
+                    if win is not None:
+                        p, c, na, over = consume_window(
+                            win, core, p, c, budget
+                        )
+                        accesses += na
+                        if p >= win.end:
+                            windows[core] = None
+                        while si < nsegs and segs[si][2] <= p:
+                            si += 1
+                        s_start = segs[si][1] if si < nsegs else length + 1
+                        if over:
+                            break
+                        continue
                 seg = segs[si]
                 end = seg[2]
                 if seg[0] == seg_think:
@@ -700,6 +1249,23 @@ def run_vector(engine, quantum: int):
             ev = stream[p]
             op = ev[0]
             if op == OP_READ or op == OP_WRITE:
+                if run_shared is not None:
+                    # Shared-run fast path: one call consumes the whole
+                    # run of consecutive memory events (see
+                    # SimulationEngine._make_miss_handler), with the
+                    # same consume-then-check budget arithmetic.
+                    p, c, na, h1, h2, nm, over = run_shared(
+                        core, stream, p,
+                        s_start if s_start <= length else length,
+                        c, budget, classify,
+                    )
+                    accesses += na
+                    l1_hits += h1
+                    l2_hits += h2
+                    shake += nm
+                    if over:
+                        break
+                    continue
                 p += 1
                 accesses += 1
                 is_write = op == OP_WRITE
@@ -714,6 +1280,7 @@ def run_vector(engine, quantum: int):
                     c += l2_access
                 else:
                     c += miss(core, ev[1], ev[2], is_write, outcome)
+                    shake += 1
             elif op == OP_THINK:
                 p += 1
                 c += ev[1]
@@ -736,6 +1303,11 @@ def run_vector(engine, quantum: int):
                     if len(waiters) == active:
                         if idx in migrations:
                             self._apply_migration(migrations[idx])
+                            if windows is not None:
+                                # Migration remaps predictor cores;
+                                # every frozen plan is suspect.
+                                for w in range(n):
+                                    windows[w] = None
                         release = (
                             max(wc for _, wc in waiters)
                             + sync_op_latency
@@ -825,6 +1397,9 @@ def run_vector(engine, quantum: int):
                     if waiters and len(waiters) == active:
                         if idx in migrations:
                             self._apply_migration(migrations[idx])
+                            if windows is not None:
+                                for w in range(n):
+                                    windows[w] = None
                         release = (
                             max(wc for _, wc in waiters)
                             + sync_op_latency

@@ -48,6 +48,7 @@ re-encoding.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 
 from repro.sync.points import SyncKind
 from repro.workloads.base import OP_READ, OP_SYNC, OP_THINK, OP_WRITE, Workload
@@ -68,6 +69,17 @@ FORMAT_VERSION = 2
 #: other configured line size).
 BLOCK_SHIFT = 6
 
+#: Bucket count for a span's home/footprint bitset.  Blocks hash into
+#: ``1 << (block % HOME_MASK_BUCKETS)``; 63 keeps the mask inside a
+#: signed int64 (bit 63 would overflow ``array('q')`` on disk).  The
+#: mask is the canonical interleave-class summary of a span's private
+#: footprint — a conservative pairwise-disjointness probe for future
+#: cross-core fusion.  Today's fusion gate is stricter and simpler:
+#: fusible spans contain no shared blocks at all (``shared_count == 0``
+#: by construction), so two cores' spans can never interact regardless
+#: of mask overlap.
+HOME_MASK_BUCKETS = 63
+
 
 class CompiledTrace:
     """A workload lowered to typed columns plus the segment index.
@@ -80,10 +92,10 @@ class CompiledTrace:
     """
 
     __slots__ = ("name", "num_cores", "ops", "arg1", "arg2", "arg3",
-                 "segments", "meta", "_events", "_np")
+                 "segments", "summaries", "meta", "_events", "_np")
 
     def __init__(self, name, num_cores, ops, arg1, arg2, arg3, segments,
-                 events=None, meta=None):
+                 events=None, meta=None, summaries=None):
         self.name = name
         self.num_cores = num_cores
         #: Provenance dict for ingested traces (JSON-safe; persisted as
@@ -97,6 +109,10 @@ class CompiledTrace:
         #: the cumulative-cycle prefix array for THINK runs, None for
         #: PRIVATE runs.
         self.segments = segments
+        #: Per-core fusible-span footprint summaries (see
+        #: :meth:`span_summaries`); loaded from a v2 file's optional
+        #: spans section, or computed lazily on first use.
+        self.summaries = summaries
         self._events = events if events is not None else [None] * num_cores
         self._np = None           # per-core numpy views, built on demand
 
@@ -128,7 +144,7 @@ class CompiledTrace:
         self.arg3 = a3_cols
 
     def np_columns(self, core: int):
-        """The core's ``(ops, arg1)`` columns as numpy int64 views.
+        """The core's ``(ops, arg1, arg2)`` columns as numpy int64 views.
 
         Zero-copy over the typed columns (``np.frombuffer`` shares the
         ``array('q')`` buffer, which for store-loaded traces is itself a
@@ -147,6 +163,7 @@ class CompiledTrace:
             cols = (
                 np.frombuffer(self.ops[core], dtype=np.int64),
                 np.frombuffer(self.arg1[core], dtype=np.int64),
+                np.frombuffer(self.arg2[core], dtype=np.int64),
             )
             cache[core] = cols
         return cols
@@ -210,6 +227,114 @@ class CompiledTrace:
                 round(total_vector / total_events, 4)
                 if total_events else 0.0
             ),
+        }
+
+    def span_summaries(self) -> list:
+        """Per-core fusible-span footprint summaries (memoized).
+
+        A *span* is a maximal chain of back-to-back vectorizable
+        segments (each next segment starts exactly where the previous
+        one ends, with no shared access or sync in between).  Inside a
+        span a core touches only THINK time and guaranteed-private
+        blocks, so no other core can observe or be observed by it — the
+        vector engine may fuse every scheduling quantum that falls
+        inside the span into one arithmetic replay.
+
+        Each record is a 5-tuple of ints, exactly what the v2 store
+        serializes per span::
+
+            (start, end, next_sync, home_mask, shared_count)
+
+        ``start``/``end`` are event indices (half-open), ``next_sync``
+        is the index of the first ``OP_SYNC`` event at or after ``end``
+        (or the stream length), ``home_mask`` is the 63-bucket block
+        bitset (see :data:`HOME_MASK_BUCKETS`), and ``shared_count`` is
+        the number of shared-block accesses inside the span — zero by
+        construction, stored so the run-time disjointness check is an
+        explicit comparison rather than an implicit assumption.
+        """
+        spans = self.summaries
+        if spans is None:
+            spans = self.summaries = [
+                self._compute_spans(core) for core in range(self.num_cores)
+            ]
+        return spans
+
+    def _compute_spans(self, core: int) -> list:
+        segs = self.segments[core]
+        n = self.num_events(core)
+        if self.ops is not None:
+            ops_col = self.ops[core]
+            a1_col = self.arg1[core]
+            syncs = [p for p in range(n) if ops_col[p] == OP_SYNC]
+
+            def block_at(p):
+                return a1_col[p] >> BLOCK_SHIFT
+        else:
+            stream = self._events[core]
+            syncs = [p for p, ev in enumerate(stream) if ev[0] == OP_SYNC]
+
+            def block_at(p):
+                return stream[p][1] >> BLOCK_SHIFT
+
+        spans = []
+        for i, j in _iter_spans(segs):
+            start = segs[i][1]
+            end = segs[j][2]
+            mask = 0
+            for k in range(i, j + 1):
+                kind, s, e, _payload = segs[k]
+                if kind == SEG_PRIVATE:
+                    for p in range(s, e):
+                        mask |= 1 << (block_at(p) % HOME_MASK_BUCKETS)
+            si = bisect_left(syncs, end)
+            next_sync = syncs[si] if si < len(syncs) else n
+            spans.append((start, end, next_sync, mask, 0))
+        return spans
+
+    def window_stats(self) -> dict:
+        """Cross-quantum window statistics for ``trace info``.
+
+        Counts the fusible spans (windows the vector engine can replay
+        across scheduling turns), how many fuse two or more segments,
+        the mean window length in events, and why each window ends
+        (``sync`` boundary, a ``shared_access`` that could interact, or
+        plain ``trace_end``).
+        """
+        spans = total_events = multi_segment = 0
+        reasons = {"sync": 0, "shared_access": 0, "trace_end": 0}
+        for core in range(self.num_cores):
+            segs = self.segments[core]
+            n = self.num_events(core)
+            if self.ops is not None:
+                ops_col = self.ops[core]
+
+                def op_at(p):
+                    return ops_col[p]
+            else:
+                stream = self._events[core]
+
+                def op_at(p):
+                    return stream[p][0]
+            for i, j in _iter_spans(segs):
+                spans += 1
+                total_events += segs[j][2] - segs[i][1]
+                if j > i:
+                    multi_segment += 1
+                end = segs[j][2]
+                if end >= n:
+                    reasons["trace_end"] += 1
+                elif op_at(end) == OP_SYNC:
+                    reasons["sync"] += 1
+                else:
+                    reasons["shared_access"] += 1
+        return {
+            "windows": spans,
+            "multi_segment_windows": multi_segment,
+            "mean_window_events": (
+                round(total_events / spans, 2) if spans else 0.0
+            ),
+            "window_end_reasons": reasons,
         }
 
     def to_workload(self) -> Workload:
@@ -334,6 +459,19 @@ def attach_compiled(workload: Workload, compiled: CompiledTrace) -> None:
             or compiled.total_events() != workload.total_events()):
         raise ValueError("compiled trace does not match workload shape")
     workload._compiled = compiled
+
+
+def _iter_spans(segs):
+    """Yield ``(i, j)`` index pairs of maximal back-to-back segment
+    chains — each chain is one fusible span (see ``span_summaries``)."""
+    nsegs = len(segs)
+    i = 0
+    while i < nsegs:
+        j = i
+        while j + 1 < nsegs and segs[j + 1][1] == segs[j][2]:
+            j += 1
+        yield i, j
+        i = j + 1
 
 
 def _encode_columns(stream) -> tuple:

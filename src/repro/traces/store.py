@@ -10,11 +10,18 @@ Layout of a v2 file (all integers little-endian):
 
   plus an optional ``"meta"`` key: the provenance dict of an ingested
   external trace (absent for generated workloads; readers that predate
-  it ignore unknown keys, so the format version stays 2)
+  it ignore unknown keys, so the format version stays 2), and an
+  optional ``"spans"`` key: per-core fusible-span counts announcing the
+  footprint-summary section below (absent in older files — the spans
+  are derived data and recompute lazily)
 
 * per core, in order: the four event columns (``n`` signed 64-bit words
   each: op, arg1, arg2, arg3), then the segment table (``m`` triples of
-  signed 64-bit words: kind, start, end).
+  signed 64-bit words: kind, start, end);
+
+* when the header carries ``"spans"``: per core, ``k`` footprint
+  summaries of 5 signed 64-bit words each — start, end, next_sync,
+  home_mask, shared_count (see ``CompiledTrace.span_summaries``).
 
 The expected file size is fully determined by the header, so truncation
 is detected before any column is touched.  Columns are materialized with
@@ -68,6 +75,7 @@ class TraceStoreError(ValueError):
 
 def write_compiled(compiled: CompiledTrace, fh) -> None:
     compiled.ensure_columns()
+    spans = compiled.span_summaries()
     header = {
         "version": FORMAT_VERSION,
         "name": compiled.name,
@@ -81,6 +89,7 @@ def write_compiled(compiled: CompiledTrace, fh) -> None:
             for core in range(compiled.num_cores)
         ],
     }
+    header["spans"] = [len(spans[core]) for core in range(compiled.num_cores)]
     if compiled.meta is not None:
         header["meta"] = compiled.meta
     blob = json.dumps(header, separators=(",", ":")).encode("utf-8")
@@ -97,6 +106,11 @@ def write_compiled(compiled: CompiledTrace, fh) -> None:
             seg.append(start)
             seg.append(end)
         fh.write(seg.tobytes())
+    for core in range(compiled.num_cores):
+        span_col = array("q")
+        for record in spans[core]:
+            span_col.extend(record)
+        fh.write(span_col.tobytes())
 
 
 def save_compiled(compiled: CompiledTrace, path: str | os.PathLike) -> None:
@@ -165,10 +179,18 @@ def _parse(mm, label: str) -> CompiledTrace:
     if not isinstance(cores, list) or len(cores) != num_cores:
         raise TraceStoreError(f"{label}: malformed core table")
 
+    span_counts = header.get("spans")
+    if span_counts is not None and (
+        not isinstance(span_counts, list) or len(span_counts) != num_cores
+    ):
+        raise TraceStoreError(f"{label}: malformed span table")
+
     expected = body + hlen + sum(
         (4 * entry["events"] + 3 * entry["segments"]) * _ITEM
         for entry in cores
     )
+    if span_counts is not None:
+        expected += sum(5 * k for k in span_counts) * _ITEM
     if len(mm) != expected:
         raise TraceStoreError(
             f"{label}: size {len(mm)} != expected {expected} "
@@ -197,12 +219,24 @@ def _parse(mm, label: str) -> CompiledTrace:
         ]
         seg_triples.append(triples)
 
+    summaries = None
+    if span_counts is not None:
+        summaries = []
+        for k in span_counts:
+            col = array("q")
+            col.frombytes(mm[offset: offset + 5 * k * _ITEM])
+            offset += 5 * k * _ITEM
+            summaries.append([
+                tuple(col[5 * i: 5 * i + 5]) for i in range(k)
+            ])
+
     return CompiledTrace(
         name=header.get("name", "trace"),
         num_cores=num_cores,
         ops=ops_cols, arg1=a1_cols, arg2=a2_cols, arg3=a3_cols,
         segments=inflate_segments(seg_triples, a1_cols),
         meta=header.get("meta"),
+        summaries=summaries,
     )
 
 

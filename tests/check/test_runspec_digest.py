@@ -15,15 +15,17 @@ from repro.runner.pool import SweepRunner
 from repro.runner.specs import CACHE_VERSION, RunSpec
 from repro.sim.machine import MachineConfig
 
-#: sha256 digest of the fixture spec below under CACHE_VERSION 3 and a
+#: sha256 digest of the fixture spec below under CACHE_VERSION 4 and a
 #: code fingerprint of "ffffffffffffffff".  Recompute ONLY when the key
 #: material changes on purpose (and bump CACHE_VERSION when you do).
-#: (v3: ``MachineConfig.quantum`` widened the machine repr.)
+#: (v3: ``MachineConfig.quantum`` widened the machine repr; v4: vector
+#: engine cross-quantum fusion — defensive retirement of pre-sweep
+#: caches, key material otherwise unchanged.)
 PINNED_DIGEST = (
-    "8f53363e2ee1fa6717a3f4a3accb650e095a1b1e852bfa86d64ac6547e558a9b"
+    "cf301d82ce9bd6f95ead1fee6a495cbb49d2c3af32066807124f604fc9676694"
 )
 PINNED_SANITIZE_DIGEST = (
-    "68b742fed56b234cae9040b97f110f928c98e40695a85f13354680b8c824b9ac"
+    "cb827cc397b474643059e4d502706406b20853ac35ae4b68e863e37f6f32ee5c"
 )
 
 
@@ -49,7 +51,7 @@ def fixture_spec(**overrides) -> RunSpec:
 
 class TestDigestStability:
     def test_cache_version_is_pinned(self):
-        assert CACHE_VERSION == 3
+        assert CACHE_VERSION == 4
 
     def test_known_config_has_known_digest(self, fixed_fingerprint):
         assert fixture_spec().digest() == PINNED_DIGEST

@@ -133,6 +133,65 @@ class TestMaintenance:
         doc = json.loads(out.read_text())
         assert [e["kind"] for e in doc] == ["sweep", "bench"]
 
+    def test_import_round_trip(self, tmp_path):
+        """export -> import into a fresh ledger -> identical entries,
+        identical content-addressed ids; re-import is a no-op."""
+        src = RunLedger(tmp_path / "src")
+        ids = {
+            src.record("sweep", metrics=sample_metrics(1)),
+            src.record("bench", extra={"sweep_s": 2.0}),
+        }
+        out = tmp_path / "export.json"
+        src.export(out)
+
+        dst = RunLedger(tmp_path / "dst")
+        counts = dst.import_entries(out)
+        assert counts == {"imported": 2, "duplicates": 0, "rejected": 0}
+        assert {e["run_id"] for e in dst.entries()} == ids
+        assert dst.entries() == src.entries()
+
+        # Idempotent: importing the same export again adds nothing.
+        counts = dst.import_entries(out)
+        assert counts == {"imported": 0, "duplicates": 2, "rejected": 0}
+        assert len(dst.entries()) == 2
+
+        # Merging into a ledger that already has its own history
+        # interleaves rather than duplicates.
+        dst.record("check", extra={"grid": "quick"})
+        counts = dst.import_entries(out)
+        assert counts["imported"] == 0 and counts["duplicates"] == 2
+        assert len(dst.entries()) == 3
+
+    def test_import_accepts_raw_jsonl_segment(self, tmp_path):
+        src = RunLedger(tmp_path / "src")
+        rid = src.record("bench", extra={"sweep_s": 1.0})
+        segment = src.segments()[0]
+        dst = RunLedger(tmp_path / "dst")
+        counts = dst.import_entries(segment)
+        assert counts == {"imported": 1, "duplicates": 0, "rejected": 0}
+        assert dst.entries()[0]["run_id"] == rid
+
+    def test_import_rejects_tampered_entries(self, tmp_path):
+        """The content-addressed id is the integrity check: an entry
+        whose body no longer hashes to its run_id must not merge."""
+        src = RunLedger(tmp_path / "src")
+        src.record("bench", extra={"sweep_s": 1.0})
+        entries = src.entries()
+        entries[0]["extra"]["sweep_s"] = 99.0  # tamper, keep old id
+        out = tmp_path / "tampered.json"
+        out.write_text(json.dumps(entries))
+        dst = RunLedger(tmp_path / "dst")
+        counts = dst.import_entries(out)
+        assert counts == {"imported": 0, "duplicates": 0, "rejected": 1}
+        assert dst.entries() == []
+
+    def test_import_non_array_document_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a list"}')
+        dst = RunLedger(tmp_path / "dst")
+        with pytest.raises(LedgerError):
+            dst.import_entries(bad)
+
     def test_segment_rotation(self, tmp_path, monkeypatch):
         import repro.obs.ledger as ledger_mod
 

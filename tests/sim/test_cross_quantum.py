@@ -1,0 +1,161 @@
+"""Quantum invariance: bit-identical counters at every quantum.
+
+The scheduler quantum selects one of many valid fine-grain
+interleavings, so for a fixed quantum all three engine loops must agree
+bit-for-bit — including the vector path's cross-quantum window fusion,
+which replays quantum breaks arithmetically instead of taking them.
+These tests sweep the quantum from pathological (1 cycle: a scheduling
+turn per event) through the default (400) to effectively-unbounded
+(100000: whole epochs per turn), on a sharing-heavy and a sharing-free
+workload, with numpy present and absent (the vector path must degrade
+to the compiled loop, not diverge or raise).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.sim.engine as engine_mod
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.workloads.base import OP_READ, OP_WRITE, Workload
+from repro.workloads.generator import (
+    BenchmarkSpec,
+    EpochSpec,
+    LockSpec,
+    build_workload,
+)
+from repro.workloads.patterns import PatternKind
+
+#: Pathological, sub-quantum, the default, and whole-epochs-per-turn.
+QUANTA = (1, 100, 400, 100000)
+
+PATHS = (
+    ("interpreted", {"use_compiled": False, "use_vector": False}),
+    ("compiled", {"use_compiled": True, "use_vector": False}),
+    ("vector", {"use_vector": True}),
+)
+
+
+@pytest.fixture(scope="module")
+def sharing_heavy():
+    """Producer/consumer epochs: nearly every miss is a coherence
+    transaction, so the vector path leans on the shared-run handler and
+    the transaction memo rather than private batches."""
+    spec = BenchmarkSpec(
+        name="xq-sharing",
+        epochs=(
+            EpochSpec(
+                pattern=PatternKind.NEIGHBOR,
+                consume_blocks=8,
+                produce_blocks=8,
+                private_blocks=2,
+                rereads=1,
+                think=3,
+            ),
+            EpochSpec(
+                pattern=PatternKind.STABLE,
+                consume_blocks=6,
+                produce_blocks=6,
+                private_blocks=0,
+                rereads=0,
+                think=0,
+            ),
+        ),
+        # Lock-protected migratory data: acquisition order — and with it
+        # the coherence traffic — depends on the interleaving, which is
+        # what makes this workload quantum-sensitive.
+        locks=(LockSpec(n_sites=2, protected_blocks=2, think=5),),
+        iterations=4,
+    )
+    return build_workload(spec, scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def sharing_free():
+    """Sole-toucher private streams: every segment is a fusible span,
+    so cross-quantum windows form wherever the quantum permits."""
+    streams = []
+    for core in range(16):
+        s = []
+        for k in range(60):
+            addr = 0x200000 + (core * 60 + k) * 64
+            s.append((OP_WRITE if k % 4 == 0 else OP_READ,
+                      addr, 0x30 + k % 5))
+        streams.append(s)
+    return Workload(name="xq-private", num_cores=16, events=streams)
+
+
+def run_paths(workload, quantum, with_numpy, monkeypatch):
+    if not with_numpy:
+        # Simulate an install without the optional dependency: the
+        # vector request must silently become a compiled run (the
+        # once-per-process warning is pinned by TestNumpyFallback).
+        monkeypatch.setattr(engine_mod, "_NUMPY_AVAILABLE", False)
+        monkeypatch.setattr(engine_mod, "_NUMPY_WARNED", True)
+    machine = MachineConfig(
+        **{**MachineConfig.small().__dict__, "quantum": quantum}
+    )
+    payloads = {}
+    for name, kw in PATHS:
+        engine = SimulationEngine(
+            workload, machine=machine, protocol="directory",
+            predictor="SP", collect_epochs=True, **kw,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            payloads[name] = engine.run().to_dict()
+    return payloads
+
+
+def assert_identical(payloads):
+    ref = payloads["interpreted"]
+    for name in ("compiled", "vector"):
+        diffs = {
+            k: (ref.get(k), payloads[name].get(k))
+            for k in set(ref) | set(payloads[name])
+            if ref.get(k) != payloads[name].get(k)
+        }
+        assert not diffs, f"{name} vs interpreted: {diffs}"
+
+
+@pytest.mark.parametrize("with_numpy", (True, False),
+                         ids=("numpy", "no-numpy"))
+@pytest.mark.parametrize("quantum", QUANTA)
+class TestQuantumInvariance:
+    def test_sharing_heavy(self, sharing_heavy, quantum, with_numpy,
+                           monkeypatch):
+        assert_identical(
+            run_paths(sharing_heavy, quantum, with_numpy, monkeypatch)
+        )
+
+    def test_sharing_free(self, sharing_free, quantum, with_numpy,
+                          monkeypatch):
+        assert_identical(
+            run_paths(sharing_free, quantum, with_numpy, monkeypatch)
+        )
+
+
+class TestQuantumChangesInterleaving:
+    def test_quantum_is_a_real_knob(self, sharing_heavy):
+        """Sanity for the invariance tests above: different quanta give
+        different (each internally-consistent) interleavings, so the
+        per-quantum identity checks are not vacuously comparing one
+        schedule with itself."""
+        engine_fine = SimulationEngine(
+            sharing_heavy, machine=MachineConfig(
+                **{**MachineConfig.small().__dict__, "quantum": 1}
+            ),
+            protocol="directory", predictor="SP", use_compiled=True,
+        )
+        engine_coarse = SimulationEngine(
+            sharing_heavy, machine=MachineConfig(
+                **{**MachineConfig.small().__dict__, "quantum": 100000}
+            ),
+            protocol="directory", predictor="SP", use_compiled=True,
+        )
+        fine = engine_fine.run().to_dict()
+        coarse = engine_coarse.run().to_dict()
+        assert fine != coarse

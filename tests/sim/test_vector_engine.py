@@ -169,7 +169,7 @@ class TestPredictorsAndProtocols:
         ("broadcast", "none"),
         ("multicast", "UNI"),
         ("limited", "ORACLE"),
-        ("directory", "ADDR"),   # no batch hooks: vector must fall back
+        ("directory", "ADDR"),   # batch hooks: keyed peek/commit plans
     ])
     def test_paths_agree_across_backends(
         self, small_machine, protocol, predictor

@@ -112,6 +112,47 @@ def time_sweep(grid, scale, jobs, disk, trace_dir) -> float:
         os.environ.pop("REPRO_TRACE_DIR", None)
 
 
+def time_interleaved(cells, reps) -> dict:
+    """Min-of-``reps`` per cell, cells round-robined inside each rep.
+
+    Timing the cells back-to-back (all reps of A, then all of B) lets
+    slow host drift — thermal throttling, a background compile, cgroup
+    rebalancing — land entirely on whichever cell runs later, which is
+    how a 1-CPU host once recorded the fast path "losing" to the
+    interpreter it is strictly a subset of.  Interleaving hands every
+    cell the same slice of every drift regime, and the per-cell minimum
+    then compares like against like.
+    """
+    best = {}
+    for _ in range(reps):
+        for label, thunk in cells:
+            elapsed = thunk()
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+    return best
+
+
+def warn_fast_phases(pairs) -> list:
+    """One warning line per "fast" cell that lost to its baseline.
+
+    ``pairs`` is ``(label, fast_s, baseline_label, baseline_s)``.  A
+    fast path losing is either measurement drift (rerun; the interleaved
+    timers make this rare) or a real regression — both deserve a loud
+    line and a ``warnings`` entry in the payload rather than a silently
+    recorded inversion.
+    """
+    warnings = []
+    for label, fast_s, base_label, base_s in pairs:
+        if fast_s and base_s and fast_s > base_s:
+            warnings.append(
+                f"{label} ({fast_s:.3f}s) is slower than its baseline "
+                f"{base_label} ({base_s:.3f}s)"
+            )
+    for line in warnings:
+        print(f"WARNING: {line}", file=sys.stderr)
+    return warnings
+
+
 def time_single_run(
     workload, ideal_metric, use_compiled, use_vector=False,
     machine=None,
@@ -174,10 +215,12 @@ def time_vector_cells(hot_workload, reps, iterations=12) -> dict:
     private-stream synthetic at a coarse quantum (the vectorized
     engine's target shape).
     """
+    from repro.sim.engine import _QUANTUM
+
     section = {}
     default_machine = MachineConfig()
     cells = (
-        ("hot", hot_workload, default_machine, None),
+        ("hot", hot_workload, default_machine, _QUANTUM),
         (
             "batch_heavy",
             batch_heavy_workload(iterations),
@@ -188,16 +231,18 @@ def time_vector_cells(hot_workload, reps, iterations=12) -> dict:
     for label, workload, machine, quantum in cells:
         compiled = ensure_compiled(workload)
         coverage = compiled.batch_coverage()["vector_fraction"]
-        times = {}
-        for path, kw in (
-            ("interpreted", {"use_compiled": False}),
-            ("compiled", {"use_compiled": True}),
-            ("vector", {"use_compiled": True, "use_vector": True}),
-        ):
-            times[path] = min(
-                time_single_run(workload, True, machine=machine, **kw)
-                for _ in range(reps)
-            )
+        times = time_interleaved(
+            [
+                (path, lambda kw=kw: time_single_run(
+                    workload, True, machine=machine, **kw))
+                for path, kw in (
+                    ("interpreted", {"use_compiled": False}),
+                    ("compiled", {"use_compiled": True}),
+                    ("vector", {"use_compiled": True, "use_vector": True}),
+                )
+            ],
+            reps,
+        )
         section[label] = {
             "workload": workload.name,
             "predictor": "SP",
@@ -219,6 +264,127 @@ def time_vector_cells(hot_workload, reps, iterations=12) -> dict:
               f"({section[label]['speedup_vs_compiled']}x vs compiled, "
               f"coverage {coverage})")
     return section
+
+
+#: Vector may not lose to the compiled loop by more than this on any
+#: default-quantum suite cell (the ``--default-quantum`` gate).
+VECTOR_LOSS_TOLERANCE = 0.05
+
+#: The default-quantum gate's measurement scale.  Below ~0.4 the traces
+#: are short enough that the vector engine's one-time costs (transaction
+#: memo warm-up, window construction) dominate and vector loses a few
+#: percent on the contended cells; that is warm-up, not steady state,
+#: and gating on it would only measure trace length.
+DEFAULT_QUANTUM_SCALE = 0.5
+
+
+def time_default_quantum_suite(scale, reps) -> dict:
+    """Vector vs compiled on the contended suite at the *default* quantum.
+
+    The vector engine's historical weak spot: a 400-cycle quantum admits
+    only a handful of events per scheduling turn, so per-turn dispatch
+    used to erase the batch gains.  Cross-quantum window fusion and the
+    shared-run fast path are what make the vector path competitive here;
+    this cell times all four suite workloads (directory / SP, default
+    ``MachineConfig``), interleaved min-of-``reps``, and lists every
+    cell where vector loses by more than :data:`VECTOR_LOSS_TOLERANCE`.
+    """
+    from repro.sim.engine import _QUANTUM
+
+    machine = MachineConfig()
+    section = {
+        "scale": scale,
+        "quantum": machine.quantum if machine.quantum is not None
+        else _QUANTUM,
+        "predictor": "SP",
+        "protocol": "directory",
+        "cells": {},
+        "losses": [],
+    }
+    suite = {"compiled": 0.0, "vector": 0.0}
+    for name in SWEEP_WORKLOADS:
+        workload = load_benchmark(name, scale=scale)
+        ensure_compiled(workload)
+
+        def cells(w=workload):
+            return [
+                ("compiled", lambda: time_single_run(
+                    w, True, use_compiled=True, machine=machine)),
+                ("vector", lambda: time_single_run(
+                    w, True, use_compiled=True, use_vector=True,
+                    machine=machine)),
+            ]
+
+        times = time_interleaved(cells(), reps)
+
+        def ratio(t):
+            return t["compiled"] / t["vector"] if t["vector"] else None
+
+        speedup = ratio(times)
+        if speedup is not None and speedup < 1.0 - VECTOR_LOSS_TOLERANCE:
+            # Confirm before failing: on cells whose true ratio sits
+            # near parity the per-rep noise band is wider than the
+            # tolerance, so one unlucky draw must not fail the gate.
+            # A real regression loses the re-measure too.
+            print(f"  {name}: vector behind at {speedup:.3f}x, "
+                  f"re-measuring ...")
+            retry = time_interleaved(cells(), reps + 2)
+            times = {k: min(times[k], retry[k]) for k in times}
+            speedup = ratio(times)
+        section["cells"][name] = {
+            "compiled_s": round(times["compiled"], 3),
+            "vector_s": round(times["vector"], 3),
+            "speedup": round(speedup, 3) if speedup else None,
+        }
+        suite["compiled"] += times["compiled"]
+        suite["vector"] += times["vector"]
+        print(f"  {name}: compiled {times['compiled']:.3f}s, "
+              f"vector {times['vector']:.3f}s "
+              f"({section['cells'][name]['speedup']}x)")
+        if speedup is not None and speedup < 1.0 - VECTOR_LOSS_TOLERANCE:
+            section["losses"].append(
+                f"{name}: vector {times['vector']:.3f}s loses to compiled "
+                f"{times['compiled']:.3f}s ({speedup:.3f}x, tolerance "
+                f"{1.0 - VECTOR_LOSS_TOLERANCE:.2f}x, confirmed by "
+                f"re-measure)"
+            )
+    section["suite_compiled_s"] = round(suite["compiled"], 3)
+    section["suite_vector_s"] = round(suite["vector"], 3)
+    section["suite_speedup"] = (
+        round(suite["compiled"] / suite["vector"], 3)
+        if suite["vector"] else None
+    )
+    print(f"  suite: compiled {section['suite_compiled_s']}s, "
+          f"vector {section['suite_vector_s']}s "
+          f"({section['suite_speedup']}x)")
+    return section
+
+
+def merge_section(out_path, section) -> None:
+    """Fold the default-quantum section into an existing bench file.
+
+    The standalone ``--default-quantum`` leg must not clobber a full
+    bench payload, so it rewrites only its own subsection (creating a
+    minimal file when none exists).
+    """
+    payload = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {}
+    payload.setdefault("vector", {})["default_quantum_suite"] = section
+    host = host_metadata()
+    payload.setdefault("history", []).append({
+        "git_sha": host.get("git_sha"),
+        "date": host.get("timestamp")
+        or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "vector_suite_speedup": section["suite_speedup"],
+    })
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 def time_cold_run(scale, trace_dir) -> float:
@@ -300,7 +466,28 @@ def main(argv=None) -> int:
         help="cProfile one hot single run and record the hottest "
              "functions in the payload",
     )
+    parser.add_argument(
+        "--default-quantum", action="store_true",
+        help="run only the default-quantum contended-suite leg "
+             "(vector vs compiled, interleaved); merges the section "
+             "into the output file and exits nonzero if vector loses "
+             "to compiled by more than 5%% on any suite cell",
+    )
     args = parser.parse_args(argv)
+
+    if args.default_quantum:
+        reps = max(1, min(args.reps, 3))
+        scale = args.scale
+        print(f"# default-quantum suite gate: scale {scale}, "
+              f"min of {reps} interleaved reps")
+        section = time_default_quantum_suite(scale, reps)
+        merge_section(args.out, section)
+        print(f"merged default_quantum_suite into {args.out}")
+        if section["losses"]:
+            for line in section["losses"]:
+                print(f"GATE FAILED: {line}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.smoke:
         scale = float(os.environ.get("REPRO_SCALE", "0.05"))
@@ -366,33 +553,40 @@ def main(argv=None) -> int:
     workload = load_benchmark("bodytrack", scale=scale)
     ensure_compiled(workload)  # steady state: the store supplies this
 
-    print("single hot run (compiled fast path, full bookkeeping) ...")
-    with timer.phase("single_hot"):
-        single_s = min(
-            time_single_run(workload, True, use_compiled=True)
-            for _ in range(reps)
+    print("single hot runs (compiled / interpreted / fast-path, "
+          "interleaved) ...")
+    with timer.phase("single_runs"):
+        single_best = time_interleaved(
+            (
+                ("hot", lambda: time_single_run(
+                    workload, True, use_compiled=True)),
+                ("interpreted", lambda: time_single_run(
+                    workload, True, use_compiled=False)),
+                ("fast_path", lambda: time_single_run(
+                    workload, False, use_compiled=True)),
+            ),
+            reps,
         )
-    print(f"  {single_s:.2f}s")
-    print("single hot run (interpreted loop, full bookkeeping) ...")
-    with timer.phase("single_interpreted"):
-        interpreted_s = min(
-            time_single_run(workload, True, use_compiled=False)
-            for _ in range(reps)
-        )
-    print(f"  {interpreted_s:.2f}s")
-    print("single hot run (compiled, ideal_metric off) ...")
-    with timer.phase("single_fast_path"):
-        single_fast_s = min(
-            time_single_run(workload, False, use_compiled=True)
-            for _ in range(reps)
-        )
-    print(f"  {single_fast_s:.2f}s")
+    single_s = single_best["hot"]
+    interpreted_s = single_best["interpreted"]
+    single_fast_s = single_best["fast_path"]
+    print(f"  compiled {single_s:.2f}s, interpreted {interpreted_s:.2f}s, "
+          f"fast-path {single_fast_s:.2f}s")
 
     print("vector engine (interpreted vs compiled vs vectorized) ...")
     with timer.phase("vector_engine"):
         vector_section = time_vector_cells(
             workload, reps, iterations=4 if args.smoke else 12
         )
+
+    suite_section = None
+    if not args.smoke:
+        print("vector engine (default-quantum contended suite) ...")
+        with timer.phase("vector_suite"):
+            suite_section = time_default_quantum_suite(
+                DEFAULT_QUANTUM_SCALE, reps=min(reps, 3)
+            )
+        vector_section["default_quantum_suite"] = suite_section
 
     sweep = {
         "serial_cold_s": round(serial_s, 3),
@@ -436,6 +630,21 @@ def main(argv=None) -> int:
         "trace_store": trace_store,
         "vector": vector_section,
     }
+    fast_pairs = [
+        ("single_run.full_s (compiled)", single_s,
+         "single_run.interpreted_s", interpreted_s),
+        ("single_run.fast_path_s", single_fast_s,
+         "single_run.full_s", single_s),
+    ]
+    for label, cell in vector_section.items():
+        if isinstance(cell, dict) and "vector_s" in cell:
+            fast_pairs.append((
+                f"vector.{label}.vector_s", cell["vector_s"],
+                f"vector.{label}.compiled_s", cell["compiled_s"],
+            ))
+    warnings = warn_fast_phases(fast_pairs)
+    if warnings:
+        payload["warnings"] = warnings
     if scale == 0.5 and not args.smoke:
         payload["single_run"]["seed_full_s"] = SEED_SINGLE_RUN_S
         payload["single_run"]["speedup_vs_seed"] = round(
@@ -463,7 +672,7 @@ def main(argv=None) -> int:
                 history = json.load(fh).get("history") or []
         except (OSError, ValueError):
             history = []
-    history.append({
+    row = {
         "git_sha": payload["host"].get("git_sha"),
         "date": payload["host"].get("timestamp")
         or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -472,7 +681,10 @@ def main(argv=None) -> int:
         "vector_hot_s": vector_section["hot"]["vector_s"],
         "vector_batch_speedup":
             vector_section["batch_heavy"]["speedup_vs_compiled"],
-    })
+    }
+    if suite_section is not None:
+        row["vector_suite_speedup"] = suite_section["suite_speedup"]
+    history.append(row)
     payload["history"] = history
 
     with open(args.out, "w") as fh:
@@ -495,6 +707,10 @@ def main(argv=None) -> int:
     )
     if run_id:
         print(f"[ledger: run {run_id}]")
+    if suite_section is not None and suite_section["losses"]:
+        for line in suite_section["losses"]:
+            print(f"GATE FAILED: {line}", file=sys.stderr)
+        return 1
     return 0
 
 

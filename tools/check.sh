@@ -61,6 +61,16 @@ echo "== observability overhead gate =="
 python -m repro obs overhead --workload lu --scale 0.1 --reps 5 \
     --bench "$BENCH_OUT"
 
+echo "== vector default-quantum gate (contended suite) =="
+# Cross-quantum window fusion and the shared-run fast path must keep
+# the vectorized engine competitive at the *default* 400-cycle quantum
+# (its historical weak spot): vector may not lose to the compiled loop
+# by more than 5% on any contended-suite cell.  Interleaved min-of-3
+# timing at scale 0.5 (below ~0.4, memo warm-up dominates the short
+# traces and the gate would measure trace length, not steady state).
+# The measured speedups merge into BENCH_sweep.json.
+python tools/bench.py --default-quantum --reps 3 --out BENCH_sweep.json
+
 echo "== regression sentinel (probe sweep vs. committed baselines) =="
 # Counters must match benchmarks/baselines.json exactly; a red run is
 # either a real regression or an intentional behavior change, in which
