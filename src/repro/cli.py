@@ -254,16 +254,51 @@ def build_parser() -> argparse.ArgumentParser:
     oreport.set_defaults(func=cmd_obs_report)
 
     oexp = obssub.add_parser(
-        "export", help="export an event stream for external viewers"
+        "export",
+        help="export an event stream and/or sweep spans for external "
+             "viewers",
     )
-    oexp.add_argument("input", help="a saved events .json file")
+    oexp.add_argument(
+        "input", nargs="?", default=None,
+        help="a saved events .json file (optional when --feed is given)",
+    )
     oexp.add_argument("-o", "--output", required=True)
     oexp.add_argument(
         "--perfetto", action="store_true",
         help="Chrome/Perfetto trace_event JSON for ui.perfetto.dev "
              "(the default and only format today)",
     )
+    oexp.add_argument(
+        "--feed", metavar="PATH", default=None,
+        help="merge sweep spans from this telemetry feed as process "
+             "tracks alongside the simulator tracks",
+    )
     oexp.set_defaults(func=cmd_obs_export)
+
+    ofeed = obssub.add_parser(
+        "feed", help="the sweep telemetry feed (append-only JSONL)"
+    )
+    feedsub = ofeed.add_subparsers(dest="feed_command", required=True)
+
+    fval = feedsub.add_parser(
+        "validate",
+        help="strict structural validation (ordering, span pairing); "
+             "tolerates a torn final line and a live tail",
+    )
+    fval.add_argument("path", help="a feed .jsonl file")
+    fval.add_argument("--json", action="store_true")
+    fval.add_argument(
+        "--strict-tail", action="store_true",
+        help="also fail on a truncated final line or an unclosed "
+             "final session (for feeds of finished sweeps)",
+    )
+    fval.set_defaults(func=cmd_obs_feed_validate)
+
+    fshow = feedsub.add_parser(
+        "show", help="per-session summary of a feed (cells, span rollup)"
+    )
+    fshow.add_argument("path", help="a feed .jsonl file")
+    fshow.set_defaults(func=cmd_obs_feed_show)
 
     oover = obssub.add_parser(
         "overhead",
@@ -284,6 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-cells", type=int, default=3,
         help="cells in the telemetry+ledger sweep stage "
              "(default %(default)s; 0 skips the stage)",
+    )
+    oover.add_argument(
+        "--spans", action="store_true",
+        help="also certify the spans+feed layer: a fully instrumented "
+             "sweep (spans, feed, progress, ledger) vs. all-off, "
+             "bit-identical counters, and the feed must validate",
     )
     oover.set_defaults(func=cmd_obs_overhead)
 
@@ -306,9 +347,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metrics table instead of raw JSON")
     lshow.set_defaults(func=cmd_obs_ledger_show)
 
-    lgc = ledgersub.add_parser("gc", help="trim the ledger to recent runs")
-    lgc.add_argument("--keep", type=int, default=100,
-                     help="entries to keep (default %(default)s)")
+    lgc = ledgersub.add_parser(
+        "gc",
+        help="trim the ledger by count, age, and/or size "
+             "(no criteria: keep the newest 100)",
+    )
+    lgc.add_argument("--keep", type=int, default=None,
+                     help="keep only the newest N entries")
+    lgc.add_argument("--older-than", type=float, default=None,
+                     metavar="DAYS",
+                     help="drop entries created more than DAYS days ago")
+    lgc.add_argument("--max-size", type=float, default=None,
+                     metavar="MB",
+                     help="drop oldest entries until the store fits MB "
+                          "megabytes")
+    lgc.add_argument("--dry-run", action="store_true",
+                     help="report what would be removed; change nothing")
     lgc.set_defaults(func=cmd_obs_ledger_gc)
 
     lexp = ledgersub.add_parser("export", help="export all entries as JSON")
@@ -353,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only entries of this kind (default: any with "
                             "metrics)")
     odash.add_argument("--title", default="repro run dashboard")
+    odash.add_argument(
+        "--feed", metavar="PATH", default=None,
+        help="render a sweep-waterfall panel from this telemetry feed",
+    )
     odash.set_defaults(func=cmd_obs_dashboard)
 
     check = sub.add_parser(
@@ -716,16 +774,86 @@ def cmd_obs_report(args) -> int:
 
 
 def cmd_obs_export(args) -> int:
-    from repro.obs import save_perfetto
+    from repro.obs import FeedError, feed_spans, read_feed, save_perfetto
 
-    doc = _load_event_doc(args.input)
-    if doc is None:
+    if args.input is None and args.feed is None:
+        print("error: nothing to export (give an events file, --feed, "
+              "or both)", file=sys.stderr)
         return 1
-    trace = save_perfetto(doc, args.output)
+    doc = None
+    if args.input is not None:
+        doc = _load_event_doc(args.input)
+        if doc is None:
+            return 1
+    spans: list = []
+    resources: list = []
+    if args.feed is not None:
+        try:
+            spans, resources = feed_spans(read_feed(args.feed))
+        except FeedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not spans:
+            print(f"error: no closed spans in feed {args.feed}",
+                  file=sys.stderr)
+            return 1
+    trace = save_perfetto(doc, args.output, spans=spans,
+                          resources=resources)
+    parts = []
+    if doc is not None:
+        parts.append("simulator events")
+    if spans:
+        parts.append(f"{len(spans)} sweep spans")
     print(
-        f"wrote {len(trace['traceEvents']):,} trace events to "
-        f"{args.output} (open in ui.perfetto.dev)"
+        f"wrote {len(trace['traceEvents']):,} trace events "
+        f"({' + '.join(parts)}) to {args.output} "
+        f"(open in ui.perfetto.dev)"
     )
+    return 0
+
+
+def cmd_obs_feed_validate(args) -> int:
+    from repro.obs import FeedError, validate_feed
+
+    try:
+        report = validate_feed(args.path)
+    except FeedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    passed = report.passed and not (
+        args.strict_tail and (report.truncated or report.open_tail)
+    )
+    if args.json:
+        doc = report.to_dict()
+        doc["passed"] = passed
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        flags = []
+        if report.truncated:
+            flags.append("torn final line")
+        if report.open_tail:
+            flags.append("final session still open")
+        print(
+            f"feed {args.path}: {report.records} records, "
+            f"{report.sessions} session(s), {report.spans} spans, "
+            f"{report.cells} cells"
+            + (f" [{', '.join(flags)}]" if flags else "")
+        )
+        for msg in report.errors:
+            print(f"  error: {msg}")
+        print(f"feed validation: {'PASS' if passed else 'FAIL'}")
+    return 0 if passed else 1
+
+
+def cmd_obs_feed_show(args) -> int:
+    from repro.obs import FeedError, read_feed, render_feed_report
+
+    try:
+        records = read_feed(args.path)
+    except FeedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_feed_report(records))
     return 0
 
 
@@ -803,6 +931,24 @@ def cmd_obs_overhead(args) -> int:
             )
         passed = passed and sweep_failure is None
         payload["passed"] = passed
+    span_failure = None
+    if args.spans:
+        stage = _span_overhead_stage(
+            args.workload, args.scale, max(1, args.sweep_cells), reps
+        )
+        payload.update(stage)
+        if not stage["span_counters_identical"]:
+            span_failure = "spans/feed perturbed sweep counters"
+        elif stage["span_feed_errors"]:
+            span_failure = "span feed failed strict validation"
+        elif stage["span_on_s"] > stage["span_off_s"] * args.max_ratio:
+            span_failure = (
+                f"spans+feed sweep overhead "
+                f"{stage['span_overhead_ratio']:.3f}x exceeds "
+                f"{args.max_ratio}x"
+            )
+        passed = passed and span_failure is None
+        payload["passed"] = passed
     if args.bench:
         _merge_bench(args.bench, "obs_overhead", payload)
     print(json.dumps(payload, indent=2))
@@ -813,6 +959,8 @@ def cmd_obs_overhead(args) -> int:
         print("obs-overhead: FAIL (event stream invalid)", file=sys.stderr)
     elif sweep_failure:
         print(f"obs-overhead: FAIL ({sweep_failure})", file=sys.stderr)
+    elif span_failure:
+        print(f"obs-overhead: FAIL ({span_failure})", file=sys.stderr)
     elif not passed:
         print("obs-overhead: FAIL (disabled path slower than enabled)",
               file=sys.stderr)
@@ -864,6 +1012,14 @@ def _sweep_overhead_stage(
     off_payload = on_payload = None
     with tempfile.TemporaryDirectory() as tmp:
         try:
+            # One untimed warm-up pair: the first bare sweep pays the
+            # workload-memo fill and the first instrumented sweep pays
+            # ledger-directory creation — one-time costs, not overhead.
+            os.environ["REPRO_LEDGER"] = "0"
+            run_sweep(False, None, False)
+            os.environ["REPRO_LEDGER"] = "1"
+            os.environ["REPRO_LEDGER_DIR"] = tmp
+            run_sweep(True, io.StringIO(), True)
             for rep in range(reps):
                 # Alternate which side runs first: a host slowing down
                 # mid-stage (thermal/frequency drift after a long CI
@@ -897,6 +1053,122 @@ def _sweep_overhead_stage(
             round(t_on / t_off, 3) if t_off else None
         ),
         "sweep_counters_identical": off_payload == on_payload,
+    }
+
+
+def _span_overhead_stage(
+    workload: str, scale: float, cells: int, reps: int
+) -> dict:
+    """Certify the span tracer + telemetry feed as non-perturbing.
+
+    The spans analogue of :func:`_sweep_overhead_stage`: the same small
+    serial sweep with *everything* on — spans, feed, progress into a
+    StringIO, ledger into a throwaway directory — against all-off, with
+    the run order alternated per rep.  Requires bit-identical metric
+    payloads, the accumulated multi-session feed to pass strict
+    validation, and the instrumented wall within the overhead budget.
+    """
+    import io
+    import os
+    import tempfile
+    import time
+
+    from repro.obs import validate_feed
+    from repro.runner import RunSpec, SweepRunner
+
+    combos = [
+        ("directory", "none"), ("directory", "SP"),
+        ("broadcast", "none"), ("broadcast", "SP"),
+        ("directory", "oracle"), ("broadcast", "oracle"),
+    ]
+    specs = [
+        RunSpec(workload=workload, scale=scale, protocol=proto,
+                predictor=pred)
+        for proto, pred in combos[:max(1, cells)]
+    ]
+
+    def run_sweep(instrumented, feed_path):
+        runner = SweepRunner(
+            jobs=1, disk=None,
+            progress=instrumented,
+            progress_stream=io.StringIO() if instrumented else None,
+            ledger=instrumented,
+            feed=feed_path if instrumented else None,
+            spans=instrumented,
+        )
+        start = time.perf_counter()
+        runner.run_many(specs)
+        return time.perf_counter() - start, runner.metrics_payload()
+
+    saved = {
+        k: os.environ.get(k)
+        for k in ("REPRO_LEDGER", "REPRO_LEDGER_DIR", "REPRO_FEED")
+    }
+    os.environ.pop("REPRO_FEED", None)
+    off_times, on_times = [], []
+    off_payload = on_payload = None
+    feed_sessions = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        feed_path = os.path.join(tmp, "overhead-feed.jsonl")
+        try:
+            # One untimed pair first: the first instrumented sweep pays
+            # ledger-directory creation and the feed-file open, the
+            # first bare sweep pays the workload-memo fill — neither
+            # belongs in the measurement.
+            os.environ["REPRO_LEDGER"] = "0"
+            run_sweep(False, None)
+            os.environ["REPRO_LEDGER"] = "1"
+            os.environ["REPRO_LEDGER_DIR"] = tmp
+            run_sweep(True, feed_path)
+            feed_sessions += 1
+            for rep in range(reps):
+                # Same drift hedge as the telemetry stage: alternate
+                # which side runs first so a host slowing down mid-stage
+                # cannot bias one side.
+                order = (False, True) if rep % 2 == 0 else (True, False)
+                for instrumented in order:
+                    if instrumented:
+                        os.environ["REPRO_LEDGER"] = "1"
+                        os.environ["REPRO_LEDGER_DIR"] = tmp
+                        elapsed, on_payload = run_sweep(True, feed_path)
+                        on_times.append(elapsed)
+                        feed_sessions += 1
+                    else:
+                        os.environ["REPRO_LEDGER"] = "0"
+                        elapsed, off_payload = run_sweep(False, None)
+                        off_times.append(elapsed)
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        # Every rep appended one complete session to the same file —
+        # strict validation must hold across all of them, closed tails
+        # included.
+        report = validate_feed(feed_path)
+        feed_errors = list(report.errors)
+        if report.truncated:
+            feed_errors.append("feed truncated after a clean close")
+        if report.open_tail:
+            feed_errors.append("final feed session left open")
+        if report.sessions != feed_sessions:
+            feed_errors.append(
+                f"expected {feed_sessions} sessions, found "
+                f"{report.sessions}"
+            )
+    t_off, t_on = min(off_times), min(on_times)
+    return {
+        "span_cells": len(specs),
+        "span_off_s": round(t_off, 4),
+        "span_on_s": round(t_on, 4),
+        "span_overhead_ratio": (
+            round(t_on / t_off, 3) if t_off else None
+        ),
+        "span_counters_identical": off_payload == on_payload,
+        "span_feed_records": report.records,
+        "span_feed_sessions": report.sessions,
+        "span_feed_errors": feed_errors,
     }
 
 
@@ -972,10 +1244,27 @@ def cmd_obs_ledger_gc(args) -> int:
     ledger = _open_ledger_or_fail()
     if ledger is None:
         return 1
-    removed = ledger.gc(keep=max(0, args.keep))
+    max_bytes = (
+        None if args.max_size is None
+        else int(args.max_size * 1024 * 1024)
+    )
+    try:
+        removed = ledger.gc(
+            keep=None if args.keep is None else max(0, args.keep),
+            older_than_days=args.older_than,
+            max_bytes=max_bytes,
+            dry_run=args.dry_run,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     remaining = len(ledger.entries())
-    print(f"ledger gc: removed {removed}, kept {remaining} "
-          f"({ledger.root})")
+    if args.dry_run:
+        print(f"ledger gc (dry run): would remove {removed}, "
+              f"keeping {remaining - removed} ({ledger.root})")
+    else:
+        print(f"ledger gc: removed {removed}, kept {remaining} "
+              f"({ledger.root})")
     return 0
 
 
@@ -1062,7 +1351,7 @@ def cmd_obs_diff(args) -> int:
 
 
 def cmd_obs_dashboard(args) -> int:
-    from repro.obs import save_dashboard
+    from repro.obs import FeedError, read_feed, save_dashboard
 
     ledger = _open_ledger_or_fail()
     if ledger is None:
@@ -1080,8 +1369,20 @@ def cmd_obs_dashboard(args) -> int:
             file=sys.stderr,
         )
         return 1
-    save_dashboard(entries, args.out, title=args.title)
-    print(f"dashboard: {len(entries)} runs -> {args.out}")
+    feed_records = None
+    if args.feed is not None:
+        try:
+            feed_records = read_feed(args.feed)
+        except FeedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    save_dashboard(entries, args.out, title=args.title,
+                   feed_records=feed_records)
+    print(
+        f"dashboard: {len(entries)} runs"
+        + (" + sweep waterfall" if feed_records else "")
+        + f" -> {args.out}"
+    )
     return 0
 
 

@@ -90,6 +90,12 @@ def main(argv=None) -> int:
         help="print a wall-phase breakdown (sweep vs. each experiment) "
              "when done",
     )
+    parser.add_argument(
+        "--feed", metavar="PATH", default=None,
+        help="append the sweep's live telemetry feed (spans, heartbeats, "
+             "resource samples) to this JSONL file; tail it with "
+             "'repro obs feed show' (default: REPRO_FEED)",
+    )
     args = parser.parse_args(argv)
 
     if args.clear_cache:
@@ -113,6 +119,7 @@ def main(argv=None) -> int:
         disk_cache=False if args.no_cache else None,
         sanitize=args.sanitize,
         progress=False if args.quiet else None,
+        feed=args.feed,
     )
     from repro.obs import PhaseTimer
 

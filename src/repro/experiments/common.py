@@ -39,6 +39,7 @@ class RunCache:
         seed: int | None = None,
         sanitize: bool = False,
         progress: bool | None = None,
+        feed=None,
     ) -> None:
         self.machine = machine or MachineConfig()
         self.scale = scale
@@ -54,7 +55,8 @@ class RunCache:
         else:
             disk = disk_cache
         self.runner = SweepRunner(
-            jobs=jobs, disk=disk, verbose=verbose, progress=progress
+            jobs=jobs, disk=disk, verbose=verbose, progress=progress,
+            feed=feed,
         )
         self._runs: dict = {}
         self._workloads: dict = {}

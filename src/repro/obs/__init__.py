@@ -23,7 +23,11 @@ Entry points:
   run history every sweep/bench/check writes into;
 * :func:`compare_runs` — the regression sentinel's per-metric diff;
 * :class:`SweepProgress` — live sweep progress/ETA + stall detection;
-* :func:`dashboard_html` — the self-contained HTML dashboard.
+* :func:`dashboard_html` — the self-contained HTML dashboard;
+* :class:`SpanTracer` / :func:`resource_sample` — hierarchical sweep
+  pipeline spans with cross-process context propagation;
+* :class:`FeedWriter` / :func:`validate_feed` — the append-only JSONL
+  telemetry feed sweeps stream and clients tail.
 """
 
 from repro.obs.dashboard import (
@@ -39,6 +43,17 @@ from repro.obs.events import (
     load_events,
     save_events,
     validate_events,
+)
+from repro.obs.feed import (
+    FEED_KINDS,
+    FEED_SCHEMA,
+    FeedError,
+    FeedReport,
+    FeedWriter,
+    feed_spans,
+    last_session,
+    read_feed,
+    validate_feed,
 )
 from repro.obs.hostinfo import git_sha, host_metadata
 from repro.obs.ledger import (
@@ -58,7 +73,11 @@ from repro.obs.metrics import (
     metrics_from_result,
     save_metrics,
 )
-from repro.obs.perfetto import perfetto_trace, save_perfetto
+from repro.obs.perfetto import (
+    perfetto_spans,
+    perfetto_trace,
+    save_perfetto,
+)
 from repro.obs.regress import (
     DEFAULT_WALL_TOLERANCE,
     MetricDelta,
@@ -71,18 +90,31 @@ from repro.obs.report import (
     accuracy_timeline,
     epoch_detail,
     epoch_table,
+    render_feed_report,
     render_metrics_report,
     render_report,
+)
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    SpanTracer,
+    new_trace_id,
+    resource_sample,
 )
 
 __all__ = [
     "DEFAULT_CAPACITY",
     "DEFAULT_WALL_TOLERANCE",
     "EVENT_KINDS",
+    "FEED_KINDS",
+    "FEED_SCHEMA",
     "LEDGER_SCHEMA",
     "METRICS_SCHEMA",
     "SCHEMA_VERSION",
+    "SPAN_SCHEMA",
     "EventTracer",
+    "FeedError",
+    "FeedReport",
+    "FeedWriter",
     "HeartbeatListener",
     "LedgerError",
     "MetricDelta",
@@ -90,6 +122,7 @@ __all__ = [
     "PhaseTimer",
     "RegressionReport",
     "RunLedger",
+    "SpanTracer",
     "SweepProgress",
     "accuracy_timeline",
     "aggregate_metrics",
@@ -99,18 +132,25 @@ __all__ = [
     "default_ledger_dir",
     "epoch_detail",
     "epoch_table",
+    "feed_spans",
     "git_sha",
     "hop_distribution",
     "host_metadata",
+    "last_session",
     "ledger_enabled",
     "load_events",
     "metrics_from_result",
+    "new_trace_id",
     "normalize_run",
+    "perfetto_spans",
     "perfetto_trace",
     "profile_call",
+    "read_feed",
     "record_run",
+    "render_feed_report",
     "render_metrics_report",
     "render_report",
+    "resource_sample",
     "save_dashboard",
     "save_events",
     "save_metrics",
@@ -118,4 +158,5 @@ __all__ = [
     "stall_timeout",
     "top_functions",
     "validate_events",
+    "validate_feed",
 ]

@@ -14,7 +14,10 @@ of the reproduction:
   ideal);
 * per-workload **communication timelines** as small multiples;
 * the **communication matrix heatmap** (who talks to whom, in bytes of
-  coherence traffic).
+  coherence traffic);
+* with ``--feed``, a **sweep waterfall** — the span timeline of the
+  latest telemetry-feed session (parent pipeline plus every worker's
+  load/run/flush), the distributed-trace view of the sweep itself.
 
 Charts follow the repo's dataviz conventions: single-hue sequential
 ramps for magnitude, one categorical hue per role (never cycled), thin
@@ -152,7 +155,39 @@ def _heatmap(entry: dict) -> dict | None:
     return {"matrix": total, "cores": len(total)}
 
 
-def dashboard_data(entries: list) -> dict:
+#: Waterfall row cap — past this the panel notes how many were dropped
+#: (never silently truncates).
+_WATERFALL_MAX_ROWS = 250
+
+
+def _waterfall(feed_records) -> dict | None:
+    """Span rows for the waterfall panel, from the newest feed session."""
+    from repro.obs.feed import feed_spans, last_session
+
+    spans, _ = feed_spans(last_session(feed_records))
+    spans = [
+        s for s in spans
+        if s.get("t0") is not None and s.get("t1") is not None
+    ]
+    if not spans:
+        return None
+    base = min(s["t0"] for s in spans)
+    parent_pids = {s["pid"] for s in spans if s.get("name") == "sweep"}
+    rows = []
+    for span in sorted(spans, key=lambda s: s["t0"]):
+        rows.append({
+            "name": span.get("name", "?"),
+            "pid": span.get("pid"),
+            "parent_process": span.get("pid") in parent_pids,
+            "t0": round(span["t0"] - base, 6),
+            "dur": round(span["t1"] - span["t0"], 6),
+            "cell": (span.get("attrs") or {}).get("cell"),
+        })
+    dropped = max(0, len(rows) - _WATERFALL_MAX_ROWS)
+    return {"rows": rows[:_WATERFALL_MAX_ROWS], "dropped": dropped}
+
+
+def dashboard_data(entries: list, feed_records=None) -> dict:
     """The JSON payload embedded into the dashboard page."""
     if not entries:
         raise ValueError("dashboard needs at least one ledger entry")
@@ -163,6 +198,9 @@ def dashboard_data(entries: list) -> dict:
         ),
         "paper_avg_accuracy": PAPER_AVG_ACCURACY,
         "entries": [_entry_summary(e) for e in entries],
+        "waterfall": (
+            _waterfall(feed_records) if feed_records else None
+        ),
         "latest": {
             "summary": _entry_summary(latest),
             "paper_rows": _paper_rows(latest),
@@ -172,10 +210,10 @@ def dashboard_data(entries: list) -> dict:
     }
 
 
-def dashboard_html(entries: list, title: str = "repro run dashboard"
-                   ) -> str:
+def dashboard_html(entries: list, title: str = "repro run dashboard",
+                   feed_records=None) -> str:
     """One self-contained HTML page from ledger entries (oldest first)."""
-    data = dashboard_data(entries)
+    data = dashboard_data(entries, feed_records=feed_records)
     payload = json.dumps(data, sort_keys=True).replace("</", "<\\/")
     return (
         _PAGE.replace("__TITLE__", title)
@@ -184,8 +222,10 @@ def dashboard_html(entries: list, title: str = "repro run dashboard"
 
 
 def save_dashboard(entries: list, path,
-                   title: str = "repro run dashboard") -> str:
-    html = dashboard_html(entries, title=title)
+                   title: str = "repro run dashboard",
+                   feed_records=None) -> str:
+    html = dashboard_html(entries, title=title,
+                          feed_records=feed_records)
     with open(path, "w") as fh:
         fh.write(html)
     return str(path)
@@ -343,6 +383,14 @@ svg .gridline { stroke: var(--grid); stroke-width: 1; }
   <div id="heatmap-grid"></div>
   <div class="hm-scale"><span>0</span><span class="ramp"></span>
     <span id="hm-max"></span></div>
+</div>
+
+<div class="card" id="waterfall">
+  <h2>Sweep waterfall (telemetry feed)</h2>
+  <p class="note">spans from the newest feed session &mdash; parent
+    pipeline in orange, worker cells in blue (run solid, load dark,
+    flush muted)</p>
+  <div id="waterfall-chart"></div>
 </div>
 
 <div id="tooltip"></div>
@@ -618,6 +666,58 @@ function render() {
     });
     document.getElementById("hm-max").textContent =
       fmt.num(maxV) + " bytes";
+  }
+
+  // Sweep waterfall from the telemetry feed
+  const wf = DATA.waterfall;
+  if (!wf || !wf.rows.length) {
+    document.getElementById("waterfall").style.display = "none";
+  } else {
+    const mount = document.getElementById("waterfall-chart");
+    const rows = wf.rows;
+    const W = Math.max(520, Math.min(900, mount.clientWidth || 760));
+    const rowH = 16, M2 = {l: 86, r: 12, t: 4, b: 18};
+    const H = M2.t + rows.length * rowH + M2.b;
+    const total = Math.max(...rows.map(r => r.t0 + r.dur), 1e-9);
+    const X = s => M2.l + s / total * (W - M2.l - M2.r);
+    const svg = svgEl("svg", {width: W, height: H});
+    niceTicks(total, 5).forEach(t => {
+      if (t > total) return;
+      svg.appendChild(svgEl("line", {class: "gridline",
+        x1: X(t), x2: X(t), y1: M2.t, y2: H - M2.b}));
+      const lbl = svgEl("text", {x: X(t), y: H - 4,
+        "text-anchor": "middle"});
+      lbl.textContent = fmt.secs(t);
+      svg.appendChild(lbl);
+    });
+    const color = r => r.parent_process ? "var(--series-2)"
+      : r.name === "cell" ? "var(--seq-lo)"
+      : r.name === "run" ? "var(--series-1)"
+      : r.name === "load" ? "var(--seq-hi)"
+      : "var(--ink-muted)";
+    rows.forEach((r, i) => {
+      const y = M2.t + i * rowH;
+      const bar = svgEl("rect", {x: X(r.t0), y: y + 2,
+        width: Math.max(1.5, X(r.t0 + r.dur) - X(r.t0)),
+        height: rowH - 5, rx: 2, fill: color(r)});
+      bar.addEventListener("pointermove", evt =>
+        showTip(evt, [[r.name, fmt.secs(r.dur)],
+                      ["pid", String(r.pid)]]
+          .concat(r.cell ? [["cell", r.cell]] : [])));
+      bar.addEventListener("pointerleave", hideTip);
+      svg.appendChild(bar);
+      const lbl = svgEl("text", {x: M2.l - 6, y: y + rowH - 5,
+        "text-anchor": "end"});
+      lbl.textContent = r.name;
+      svg.appendChild(lbl);
+    });
+    mount.appendChild(svg);
+    if (wf.dropped) {
+      const note = document.createElement("p");
+      note.className = "note";
+      note.textContent = wf.dropped + " more span(s) not shown";
+      mount.appendChild(note);
+    }
   }
 }
 render();

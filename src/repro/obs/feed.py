@@ -1,0 +1,362 @@
+"""The telemetry feed: an append-only JSONL stream any client can tail.
+
+This is the wire format of the ROADMAP's sweep-as-a-service item: one
+flat file (``--feed PATH`` / ``REPRO_FEED``) that the sweep parent
+appends to as the sweep executes — span opens/closes, worker heartbeats
+(cell start/finish), resource samples, metric snapshots — flushed per
+line so ``tail -f`` (or a future websocket bridge) sees records the
+moment they happen.
+
+Single-writer by construction: only the *parent* process writes.
+Workers ship their spans and samples home over the heartbeat queue, and
+the parent serializes everything into one totally-ordered stream.  That
+is what makes the strict validation possible: per-session ``seq`` is
+consecutive from 0, ``ts`` (the parent's wall clock at write time) is
+non-decreasing, spans close only after they open, cells finish only
+after they start.
+
+One file may hold many *sessions* (sweep invocations appending in
+turn); each starts with a ``feed_open`` header carrying the schema
+version and trace id, and normally ends with ``feed_close``.  The
+validator (:func:`validate_feed`) is strict about everything except the
+two realities of live appends, mirroring the event-stream validator's
+discipline: a torn *final* line (a write caught mid-flight) and a
+missing ``feed_close`` on the *final* session (a crash, or a reader
+tailing a sweep still running) are tolerated and flagged, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump on any backwards-incompatible change to feed record fields.
+FEED_SCHEMA = 1
+
+#: Every record kind a feed may contain.
+FEED_KINDS = frozenset({
+    "feed_open",    # session header: schema, trace id, writer pid, meta
+    "plan",         # cell counts after the cache probe
+    "cell_start",   # worker heartbeat: cell dispatched
+    "cell_finish",  # worker heartbeat: cell done, wall seconds
+    "span_open",    # span record (no t1 yet)
+    "span_close",   # full span record, resource sample attached
+    "resource",     # point-in-time resource sample (parent or worker)
+    "metric",       # aggregate metrics snapshot
+    "feed_close",   # session footer: record count
+})
+
+
+class FeedError(ValueError):
+    """A feed could not be read at all (missing file, not JSONL)."""
+
+
+class FeedWriter:
+    """Appends one sweep session to a feed file, flushing per record.
+
+    Construction writes the ``feed_open`` header; :meth:`close` writes
+    ``feed_close``.  After the file is open, I/O errors flip
+    ``self.failed`` and silently drop subsequent records — a full disk
+    must not fail the sweep that was being observed (the same contract
+    the ledger keeps).  Opening the file itself *does* raise: a
+    mistyped ``--feed`` path should fail loudly, not observe nothing.
+    """
+
+    def __init__(self, path, trace: str | None = None,
+                 meta: dict | None = None) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.failed = False
+        header = {"schema": FEED_SCHEMA, "pid": os.getpid()}
+        if trace:
+            header["trace"] = trace
+        if meta:
+            header.update(meta)
+        self.record("feed_open", **header)
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one record; stamps ``seq``/``ts``, never raises."""
+        if self.failed:
+            return
+        with self._lock:
+            rec = {"seq": self._seq, "ts": round(time.time(), 6),
+                   "kind": kind}
+            for key, value in fields.items():
+                if key not in rec:
+                    rec[key] = value
+            try:
+                self._fh.write(
+                    json.dumps(rec, sort_keys=True, default=str) + "\n"
+                )
+                self._fh.flush()
+            except (OSError, ValueError):
+                self.failed = True
+                return
+            self._seq += 1
+
+    def span_sink(self, kind: str, record: dict) -> None:
+        """A :class:`~repro.obs.spans.SpanTracer` sink writing here."""
+        self.record(kind, **record)
+
+    def close(self, **fields) -> None:
+        self.record("feed_close", records=self._seq, **fields)
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FeedWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- reading ------------------------------------------------------------
+
+
+def read_feed(path) -> list:
+    """Every parseable record, in file order (torn lines skipped).
+
+    The tolerant reader for consumers (dashboard, Perfetto export,
+    reports); :func:`validate_feed` is the strict one.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        raise FeedError(f"cannot read feed {path}: {exc}") from None
+    records = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict):
+            records.append(rec)
+    return records
+
+
+def last_session(records) -> list:
+    """The records of the newest session in a (possibly long) feed."""
+    start = 0
+    for i, rec in enumerate(records):
+        if rec.get("kind") == "feed_open":
+            start = i
+    return list(records[start:])
+
+
+def feed_spans(records) -> tuple:
+    """``(spans, resources)`` extracted from feed records.
+
+    Spans come from ``span_close`` records (complete, with ``t1`` and
+    any resource sample); the feed bookkeeping keys are stripped so
+    what returns is the span record the tracer emitted.  Standalone
+    ``resource`` records keep their feed ``ts`` — it is their only
+    timestamp.
+    """
+    spans, resources = [], []
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "span_close":
+            spans.append({
+                k: v for k, v in rec.items()
+                if k not in ("seq", "ts", "kind")
+            })
+        elif kind == "resource":
+            resources.append({
+                k: v for k, v in rec.items() if k not in ("seq", "kind")
+            })
+    return spans, resources
+
+
+# -- validation ---------------------------------------------------------
+
+
+@dataclass
+class FeedReport:
+    """What :func:`validate_feed` found."""
+
+    path: str | None = None
+    records: int = 0
+    sessions: int = 0
+    spans: int = 0
+    cells: int = 0
+    errors: list = field(default_factory=list)
+    #: The final line was torn mid-write (tolerated, flagged).
+    truncated: bool = False
+    #: The final session has no ``feed_close`` — a live tail or a crash
+    #: (tolerated, flagged).
+    open_tail: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "records": self.records,
+            "sessions": self.sessions,
+            "spans": self.spans,
+            "cells": self.cells,
+            "errors": list(self.errors),
+            "truncated": self.truncated,
+            "open_tail": self.open_tail,
+            "passed": self.passed,
+        }
+
+
+class _Session:
+    __slots__ = ("line", "next_seq", "last_ts", "open_spans",
+                 "open_cells", "closed")
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+        self.next_seq = 0
+        self.last_ts = None
+        self.open_spans: set = set()
+        self.open_cells: set = set()
+        self.closed = False
+
+
+def validate_feed(path, max_errors: int = 20) -> FeedReport:
+    """Strict structural validation of a feed file.
+
+    Checks, per session: header first, ``seq`` consecutive from 0,
+    ``ts`` non-decreasing, known kinds only, every ``span_close``
+    matches an open span, every ``cell_finish`` a started cell, and
+    ``feed_close`` leaves nothing open.  Tolerates exactly two things,
+    both flagged on the report: a torn final line and an unclosed
+    *final* session.  Errors accumulate up to ``max_errors``.
+    """
+    report = FeedReport(path=str(path))
+    try:
+        with open(path, encoding="utf-8") as fh:
+            raw_lines = fh.read().splitlines()
+    except OSError as exc:
+        raise FeedError(f"cannot read feed {path}: {exc}") from None
+
+    def err(msg: str) -> None:
+        if len(report.errors) < max_errors:
+            report.errors.append(msg)
+
+    numbered = [
+        (i + 1, line.strip())
+        for i, line in enumerate(raw_lines)
+        if line.strip()
+    ]
+    session = None
+    for pos, (lineno, line) in enumerate(numbered):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if pos == len(numbered) - 1:
+                report.truncated = True  # a write caught mid-flight
+            else:
+                err(f"line {lineno}: unparseable JSON mid-file")
+            continue
+        if not isinstance(rec, dict):
+            err(f"line {lineno}: record is not an object")
+            continue
+        report.records += 1
+        kind = rec.get("kind")
+        seq = rec.get("seq")
+        ts = rec.get("ts")
+        if kind not in FEED_KINDS:
+            err(f"line {lineno}: unknown record kind {kind!r}")
+            continue
+        if not isinstance(seq, int) or not isinstance(ts, (int, float)):
+            err(f"line {lineno}: missing/invalid seq or ts")
+            continue
+        if kind == "feed_open":
+            if session is not None and not session.closed:
+                err(
+                    f"line {lineno}: new session while the session from "
+                    f"line {session.line} is still open"
+                )
+            session = _Session(lineno)
+            report.sessions += 1
+            if rec.get("schema") != FEED_SCHEMA:
+                err(
+                    f"line {lineno}: unsupported feed schema "
+                    f"{rec.get('schema')!r} (expected {FEED_SCHEMA})"
+                )
+        elif session is None:
+            err(f"line {lineno}: {kind} record before any feed_open")
+            continue
+        if seq != session.next_seq:
+            err(
+                f"line {lineno}: seq {seq} breaks the sequence "
+                f"(expected {session.next_seq})"
+            )
+        session.next_seq = seq + 1  # resync so one gap is one error
+        if session.last_ts is not None and ts < session.last_ts:
+            err(
+                f"line {lineno}: ts {ts} moves backwards "
+                f"(previous {session.last_ts})"
+            )
+        session.last_ts = ts
+
+        if kind == "span_open":
+            span_id = rec.get("span_id")
+            if not span_id:
+                err(f"line {lineno}: span_open without span_id")
+            elif span_id in session.open_spans:
+                err(f"line {lineno}: span {span_id} opened twice")
+            else:
+                session.open_spans.add(span_id)
+        elif kind == "span_close":
+            span_id = rec.get("span_id")
+            if span_id not in session.open_spans:
+                err(
+                    f"line {lineno}: span_close for "
+                    f"{span_id!r} which is not open"
+                )
+            else:
+                session.open_spans.discard(span_id)
+            report.spans += 1
+        elif kind == "cell_start":
+            digest = rec.get("digest")
+            if not digest:
+                err(f"line {lineno}: cell_start without digest")
+            elif digest in session.open_cells:
+                err(f"line {lineno}: cell {digest[:12]} started twice")
+            else:
+                session.open_cells.add(digest)
+        elif kind == "cell_finish":
+            digest = rec.get("digest")
+            if digest not in session.open_cells:
+                err(
+                    f"line {lineno}: cell_finish for "
+                    f"{str(digest)[:12]!r} which never started"
+                )
+            else:
+                session.open_cells.discard(digest)
+            report.cells += 1
+        elif kind == "feed_close":
+            if session.open_spans:
+                err(
+                    f"line {lineno}: feed_close with "
+                    f"{len(session.open_spans)} span(s) still open"
+                )
+            if session.open_cells:
+                err(
+                    f"line {lineno}: feed_close with "
+                    f"{len(session.open_cells)} cell(s) still running"
+                )
+            session.closed = True
+    if session is not None and not session.closed:
+        report.open_tail = True  # live tail or crashed writer: tolerated
+    return report

@@ -73,6 +73,23 @@ def _utcnow() -> str:
     return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
 
 
+def _created_ts(entry: dict, default: float) -> float:
+    """The entry's ``created`` stamp as a POSIX timestamp."""
+    raw = entry.get("created")
+    if not isinstance(raw, str):
+        return default
+    try:
+        parsed = datetime.strptime(raw, "%Y-%m-%dT%H:%M:%SZ")
+    except ValueError:
+        try:
+            parsed = datetime.fromisoformat(raw.replace("Z", "+00:00"))
+        except ValueError:
+            return default
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed.timestamp()
+
+
 class RunLedger:
     """An append-only, content-addressed JSONL store of run records."""
 
@@ -215,19 +232,63 @@ class RunLedger:
 
     # -- maintenance ----------------------------------------------------
 
-    def gc(self, keep: int = 100) -> int:
-        """Keep only the newest ``keep`` entries; returns removed count.
+    def gc(
+        self,
+        keep: int | None = None,
+        older_than_days: float | None = None,
+        max_bytes: int | None = None,
+        dry_run: bool = False,
+        now: datetime | None = None,
+    ) -> int:
+        """Trim the store by count, age, and/or size; returns how many
+        entries were (or, under ``dry_run``, would be) removed.
+
+        Criteria compose: age first (drop entries whose ``created`` is
+        more than ``older_than_days`` old), then size (drop oldest
+        entries until the serialized survivors fit ``max_bytes``), then
+        count (keep only the newest ``keep``).  With no criterion at
+        all, ``keep`` defaults to 100 — the original behavior.  Entries
+        whose ``created`` stamp cannot be parsed are treated as new
+        (never age-collected; losing history to a malformed timestamp
+        would be worse than keeping it).
 
         Rebuilds the store as fresh segments and atomically swaps them
         in, so a concurrent reader sees either the old or the new store.
         """
-        if keep < 0:
+        if keep is None and older_than_days is None and max_bytes is None:
+            keep = 100
+        if keep is not None and keep < 0:
             raise ValueError("keep must be >= 0")
+        if older_than_days is not None and older_than_days < 0:
+            raise ValueError("older_than_days must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
         entries = self.entries()
-        removed = len(entries) - keep
-        if removed <= 0:
-            return 0
-        kept = entries[-keep:] if keep else []
+        kept = entries
+        if older_than_days is not None:
+            if now is None:
+                now = datetime.now(timezone.utc)
+            cutoff = now.timestamp() - older_than_days * 86400.0
+            kept = [
+                entry for entry in kept
+                if _created_ts(entry, default=now.timestamp()) >= cutoff
+            ]
+        if max_bytes is not None:
+            sizes = [
+                len(json.dumps(e, sort_keys=True, default=str)) + 1
+                for e in kept
+            ]
+            total = sum(sizes)
+            drop = 0
+            while drop < len(kept) and total > max_bytes:
+                total -= sizes[drop]  # oldest first
+                drop += 1
+            kept = kept[drop:]
+        if keep is not None and len(kept) > keep:
+            kept = kept[-keep:] if keep else []
+        removed = len(entries) - len(kept)
+        if removed <= 0 or dry_run:
+            return max(removed, 0)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=".gc-", suffix=".jsonl"
         )

@@ -5,10 +5,18 @@ parent process renders a single in-place status line — cells done,
 cells running, throughput, ETA — fed either directly (serial sweeps) or
 by per-cell heartbeats that pool workers publish over a
 ``multiprocessing.Queue`` (``cell started`` / ``cell finished``, with
-wall time).  A worker that goes quiet for longer than the stall
-interval (``REPRO_STALL_S``, default 120 s) earns a one-line warning
-naming the offending configuration, so a hung cell is visible long
-before the sweep's timeout would be.
+wall time).  Workers with span tracing armed also ship their span
+opens/closes over the same queue, so the progress display knows *which
+phase* (load/run/flush) each worker is in.  A worker that goes quiet
+for longer than the stall interval (``REPRO_STALL_S``, default 120 s)
+earns a one-line warning naming the offending configuration — and the
+phase it went quiet in — so a hung cell is visible long before the
+sweep's timeout would be.
+
+The listener also fans beats into an optional ``sink`` callback — this
+is how span records and resource samples reach the telemetry feed
+(:mod:`repro.obs.feed`) and the parent's span collector: one thread,
+one total order.
 
 Rendering is TTY-aware: off a terminal (CI logs, pipes) nothing is
 drawn unless explicitly forced, so logs stay clean.  All of this lives
@@ -64,7 +72,8 @@ class SweepProgress:
         self.done = 0
         self.cell_times: dict = {}
         self.stalled: list = []
-        self._running: dict = {}  # digest -> (label, started_at)
+        # digest -> (label, started_at, last_beat, phase)
+        self._running: dict = {}
         self._warned: set = set()
         self._started_at = clock()
         self._line_len = 0
@@ -72,8 +81,22 @@ class SweepProgress:
     # -- lifecycle ------------------------------------------------------
 
     def start_cell(self, digest: str, label: str) -> None:
-        self._running[digest] = (label, self.clock())
+        now = self.clock()
+        self._running[digest] = (label, now, now, None)
         self.render()
+
+    def set_phase(self, digest: str, phase: str | None) -> None:
+        """The cell's currently-open span label (load/run/flush).
+
+        A phase change is fresh evidence of life, so it refreshes the
+        heartbeat clock and re-arms the stall warning for this cell.
+        """
+        entry = self._running.get(digest)
+        if entry is not None:
+            self._running[digest] = (
+                entry[0], entry[1], self.clock(), phase
+            )
+            self._warned.discard(digest)
 
     def finish_cell(self, digest: str, elapsed: float | None = None) -> None:
         entry = self._running.pop(digest, None)
@@ -87,14 +110,19 @@ class SweepProgress:
     def tick(self) -> None:
         """Periodic stall check; call whenever no heartbeat arrived."""
         now = self.clock()
-        for digest, (label, started) in self._running.items():
-            quiet = now - started
+        for digest, (label, _started, last_beat, phase) in (
+            self._running.items()
+        ):
+            quiet = now - last_beat
             if quiet >= self.stall_s and digest not in self._warned:
                 self._warned.add(digest)
                 self.stalled.append(label)
+                where = (
+                    f"stalled in {phase}" if phase else "stalled worker?"
+                )
                 self._write_line(
                     f"sweep: no heartbeat from {label} for "
-                    f"{quiet:.0f}s (stalled worker?)\n"
+                    f"{quiet:.0f}s ({where})\n"
                 )
         self.render()
 
@@ -149,39 +177,96 @@ class SweepProgress:
 
 
 #: Heartbeat message kinds pool workers publish.
-HEARTBEAT_KINDS = ("start", "finish")
+HEARTBEAT_KINDS = (
+    "start", "finish", "span_open", "span_close", "resource"
+)
 
 
 class HeartbeatListener(threading.Thread):
-    """Drains worker heartbeats into a :class:`SweepProgress`.
+    """Drains worker heartbeats into a :class:`SweepProgress` and an
+    optional ``sink``.
 
     Runs in the sweep parent while the pool executes; a ``get`` timeout
     (no heartbeat for ``poll_s``) triggers the progress stall check.
-    Stop with :meth:`stop` — it enqueues a sentinel so shutdown never
-    races a blocked ``get``.
+    Every beat is also handed to ``sink(kind, digest, payload)`` when
+    one is given — that single callback, on this single thread, is how
+    worker spans and resource samples reach the telemetry feed in one
+    total order.  With a sink attached, the listener additionally
+    emits a *parent*-process resource sample every ``sample_s``
+    seconds, so the feed shows both sides of the sweep.
+
+    Span beats drive the progress display's phase tracking: the
+    per-cell stack of open spans names the phase a stall warning
+    blames.  Stop with :meth:`stop` — it enqueues a sentinel so
+    shutdown never races a blocked ``get``; because the sweep runner
+    joins the pool before stopping, every worker's final beats are
+    already queued ahead of the sentinel and the drain is complete and
+    deterministic.
     """
 
     _SENTINEL = ("__stop__", None, None)
 
-    def __init__(self, beats, progress: SweepProgress,
-                 poll_s: float = 1.0) -> None:
+    def __init__(self, beats, progress: SweepProgress | None = None,
+                 poll_s: float = 1.0, sink=None,
+                 sample_s: float = 2.0) -> None:
         super().__init__(name="sweep-heartbeats", daemon=True)
         self.beats = beats
         self.progress = progress
         self.poll_s = poll_s
+        self.sink = sink
+        self.sample_s = sample_s
+        self._spans: dict = {}  # digest -> [(span_id, name), ...]
 
     def run(self) -> None:
+        last_sample = time.monotonic()
         while True:
+            item = None
             try:
-                kind, digest, payload = self.beats.get(timeout=self.poll_s)
+                item = self.beats.get(timeout=self.poll_s)
             except (queue_mod.Empty, OSError, EOFError):
-                self.progress.tick()
-                continue
-            if kind == self._SENTINEL[0]:
-                return
-            if kind == "start":
+                if self.progress is not None:
+                    self.progress.tick()
+            if item is not None:
+                kind, digest, payload = item
+                if kind == self._SENTINEL[0]:
+                    return
+                if self.sink is not None:
+                    self.sink(kind, digest, payload)
+                self._dispatch(kind, digest, payload)
+            if (
+                self.sink is not None
+                and time.monotonic() - last_sample >= self.sample_s
+            ):
+                last_sample = time.monotonic()
+                from repro.obs.spans import resource_sample
+
+                self.sink("resource", None, resource_sample())
+
+    def _dispatch(self, kind, digest, payload) -> None:
+        if kind == "span_open":
+            stack = self._spans.setdefault(digest, [])
+            stack.append(
+                (payload.get("span_id"), payload.get("name"))
+            )
+            if self.progress is not None:
+                self.progress.set_phase(digest, payload.get("name"))
+        elif kind == "span_close":
+            span_id = payload.get("span_id")
+            stack = [
+                entry for entry in self._spans.get(digest, [])
+                if entry[0] != span_id
+            ]
+            self._spans[digest] = stack
+            if self.progress is not None:
+                self.progress.set_phase(
+                    digest, stack[-1][1] if stack else None
+                )
+        elif kind == "start":
+            if self.progress is not None:
                 self.progress.start_cell(digest, payload)
-            elif kind == "finish":
+        elif kind == "finish":
+            self._spans.pop(digest, None)
+            if self.progress is not None:
                 self.progress.finish_cell(digest, payload)
 
     def stop(self) -> None:

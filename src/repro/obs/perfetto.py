@@ -19,6 +19,15 @@ Trace Event JSON format that https://ui.perfetto.dev (and Chrome's
 Timestamps: the simulator's cycle counts are written verbatim into
 ``ts``.  The viewer labels them as microseconds; read "1 µs" as
 "1 cycle".
+
+Sweep spans (:mod:`repro.obs.spans`, usually extracted from a telemetry
+feed) merge into the same timeline as additional process tracks: each
+participating OS process — the sweep parent and every pool worker —
+becomes a ``pid`` whose single track holds its spans as ``X`` slices,
+with resource samples as per-process ``C`` counters (RSS).  Span
+timestamps are wall-clock seconds rebased to the earliest span and
+scaled to microseconds, so one export shows the sweep fan-out above and
+per-miss simulator activity below.
 """
 
 from __future__ import annotations
@@ -46,11 +55,88 @@ def _epoch_name(begin: dict) -> str:
     return f"{kind} {key[0]}:{key[1]:#x}" if len(key) == 2 else f"{kind} {key}"
 
 
-def perfetto_trace(doc: dict) -> dict:
-    """Trace Event JSON (``{"traceEvents": [...]}``) for an event doc."""
+def perfetto_spans(spans, resources=()) -> list:
+    """Trace events for sweep span records (one track per OS process).
+
+    The sweep parent is recognizable as the process owning the
+    ``sweep`` root span; every other pid is a pool worker.  Wall-clock
+    ``t0``/``t1`` are rebased to the earliest span and scaled to µs.
+    """
+    spans = [
+        s for s in spans
+        if s.get("t0") is not None and s.get("t1") is not None
+    ]
+    if not spans:
+        return []
+    base = min(s["t0"] for s in spans)
+    parent_pids = {s["pid"] for s in spans if s.get("name") == "sweep"}
+    out: list = []
+    for pid in sorted({s["pid"] for s in spans}):
+        role = "sweep parent" if pid in parent_pids else "sweep worker"
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"{role} (pid {pid})"},
+        })
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "pipeline"},
+        })
+    for span in spans:
+        args = {
+            "span_id": span.get("span_id"),
+            "parent": span.get("parent"),
+            "trace": span.get("trace"),
+        }
+        args.update(span.get("attrs") or {})
+        resource = span.get("resource")
+        if resource:
+            args["resource"] = resource
+        out.append({
+            "name": span.get("name", "?"),
+            "cat": "sweep",
+            "ph": "X",
+            "pid": span["pid"],
+            "tid": 0,
+            "ts": round((span["t0"] - base) * 1e6, 3),
+            "dur": max(1.0, round((span["t1"] - span["t0"]) * 1e6, 3)),
+            "args": args,
+        })
+        if resource and resource.get("rss_kb") is not None:
+            out.append({
+                "name": f"rss pid {span['pid']}",
+                "cat": "sweep",
+                "ph": "C",
+                "pid": span["pid"],
+                "tid": 0,
+                "ts": round((span["t1"] - base) * 1e6, 3),
+                "args": {"rss_kb": resource["rss_kb"]},
+            })
+    for sample in resources:
+        pid = sample.get("pid")
+        if pid is None or sample.get("rss_kb") is None:
+            continue
+        ts = sample.get("ts")
+        out.append({
+            "name": f"rss pid {pid}",
+            "cat": "sweep",
+            "ph": "C",
+            "pid": pid,
+            "tid": 0,
+            "ts": round(((ts - base) if ts is not None else 0) * 1e6, 3),
+            "args": {"rss_kb": sample["rss_kb"]},
+        })
+    return out
+
+
+def perfetto_trace(doc: dict | None, spans=None, resources=()) -> dict:
+    """Trace Event JSON (``{"traceEvents": [...]}``) for an event doc,
+    sweep spans, or both merged into one timeline."""
+    doc = doc if doc is not None else {}
     meta = doc.get("meta", {})
     events = doc.get("events", [])
     out: list = []
+    if spans:
+        out.extend(perfetto_spans(spans, resources))
 
     cores = sorted({
         ev["core"] for ev in events if ev.get("core") is not None
@@ -145,9 +231,10 @@ def perfetto_trace(doc: dict) -> dict:
     }
 
 
-def save_perfetto(doc: dict, path) -> dict:
-    """Write the Perfetto JSON for an event doc to ``path``."""
-    trace = perfetto_trace(doc)
+def save_perfetto(doc: dict | None, path, spans=None,
+                  resources=()) -> dict:
+    """Write the Perfetto JSON for an event doc and/or spans to ``path``."""
+    trace = perfetto_trace(doc, spans=spans, resources=resources)
     with open(path, "w") as fh:
         json.dump(trace, fh)
         fh.write("\n")

@@ -221,3 +221,68 @@ def render_metrics_report(payload: dict) -> str:
             + (f"  [{sparkline(trend)}]" if trend else "")
         )
     return "\n".join(lines)
+
+
+def render_feed_report(records) -> str:
+    """Terminal report for a telemetry feed (``repro obs feed show``).
+
+    One block per session: the header metadata, the cell count and
+    total wall, and a per-span-name rollup (count, total seconds) —
+    the waterfall, flattened for a terminal.
+    """
+    sessions: list = []
+    for rec in records:
+        if rec.get("kind") == "feed_open" or not sessions:
+            sessions.append([])
+        sessions[-1].append(rec)
+    if not sessions:
+        return "feed: empty"
+    lines = [f"feed: {len(records)} record(s), {len(sessions)} session(s)"]
+    for idx, session in enumerate(sessions, 1):
+        head = session[0] if session[0].get("kind") == "feed_open" else {}
+        closed = any(r.get("kind") == "feed_close" for r in session)
+        spans: dict = {}
+        cells = 0
+        cell_wall = 0.0
+        peak_rss = 0
+        for rec in session:
+            kind = rec.get("kind")
+            if kind == "span_close":
+                t0, t1 = rec.get("t0"), rec.get("t1")
+                if t0 is not None and t1 is not None:
+                    slot = spans.setdefault(
+                        rec.get("name", "?"), [0, 0.0]
+                    )
+                    slot[0] += 1
+                    slot[1] += t1 - t0
+                rss = (rec.get("resource") or {}).get("rss_kb")
+                if rss:
+                    peak_rss = max(peak_rss, rss)
+            elif kind == "cell_finish":
+                cells += 1
+                cell_wall += rec.get("wall_s") or 0.0
+            elif kind == "resource":
+                rss = rec.get("rss_kb")
+                if rss:
+                    peak_rss = max(peak_rss, rss)
+        state = "closed" if closed else "open (live tail or crash)"
+        lines.append(
+            f"session {idx}: trace={head.get('trace', '?')} "
+            f"jobs={head.get('jobs', '?')} pid={head.get('pid', '?')} "
+            f"[{state}]"
+        )
+        lines.append(
+            f"  cells finished: {cells} ({cell_wall:.2f}s worker wall)"
+            + (f" · peak rss {peak_rss / 1024:.0f} MiB" if peak_rss
+               else "")
+        )
+        if spans:
+            width = max(len(name) for name in spans)
+            for name in sorted(
+                spans, key=lambda n: spans[n][1], reverse=True
+            ):
+                count, total = spans[name]
+                lines.append(
+                    f"    {name:<{width}}  x{count:<5} {total:>9.3f}s"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Hierarchical spans over the sweep pipeline, across process borders.
+
+The event tracer (:mod:`repro.obs.events`) sees *inside* one simulation;
+spans see the pipeline *around* it: the parent opens a sweep-root span,
+and every phase — cache probe, dispatch, per-cell trace-store load,
+engine run, result flush, ledger write — opens a child span under it.
+Pool workers participate through the same wire the heartbeats use: the
+parent ships ``(trace_id, root_span_id)`` through the pool initializer,
+workers stamp it onto their spans, and finished span records travel home
+over the heartbeat ``multiprocessing.Queue``.  Every record carries the
+emitting OS pid and wall-clock timestamps (one shared timebase across
+processes), so the merged timeline reads like a distributed trace.
+
+Records are plain JSON-safe dicts (no Span class to pickle)::
+
+    {"schema": 1, "span_id": "1a2b-3", "parent": "1a2b-1",
+     "trace": "f00dfeed...", "name": "run", "pid": 6698,
+     "t0": 1754... , "t1": 1754..., "attrs": {...}, "resource": {...}}
+
+``span_id`` is ``{pid:x}-{seq:x}`` with a *process-wide* sequence, so
+ids stay unique however many tracers a worker creates.  ``resource`` is
+a :func:`resource_sample` — RSS and user/sys CPU via ``getrusage`` plus
+caller-supplied counters (trace-store memo reuse, ``_TxMemo`` hit rate).
+
+Nothing here touches a simulation counter: spans wrap engine calls,
+they never enter them.  ``repro obs overhead --spans`` certifies the
+whole spans+feed layer at ≤5% of sweep wall time with bit-identical
+results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+import time
+from contextlib import contextmanager
+
+#: Bump on any backwards-incompatible change to span record fields.
+SPAN_SCHEMA = 1
+
+#: Process-wide span sequence; keeps ids unique across tracer instances
+#: (a pool worker builds one tracer per cell).
+_next_span = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id binding one sweep's spans together."""
+    return os.urandom(8).hex()
+
+
+def resource_sample(**counters) -> dict:
+    """A point-in-time resource snapshot of *this* process.
+
+    ``getrusage`` keeps this dependency-free: RSS high-water mark and
+    cumulative user/sys CPU seconds.  Extra keyword counters (memo hit
+    rates, mmap reuse) are merged in verbatim.  On platforms without
+    the ``resource`` module the sample degrades to pid + counters.
+    """
+    sample = {"pid": os.getpid()}
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        rss = usage.ru_maxrss
+        if sys.platform == "darwin":  # bytes there, KiB on Linux
+            rss //= 1024
+        sample["rss_kb"] = int(rss)
+        sample["cpu_user_s"] = round(usage.ru_utime, 3)
+        sample["cpu_sys_s"] = round(usage.ru_stime, 3)
+    except (ImportError, OSError, ValueError):
+        pass
+    sample.update(counters)
+    return sample
+
+
+class SpanTracer:
+    """Opens and closes spans; optionally streams them to a sink.
+
+    ``sink(kind, record)`` — ``kind`` is ``"span_open"`` or
+    ``"span_close"`` — is how records leave the process: the sweep
+    parent points it at the telemetry feed, pool workers point it at
+    the heartbeat queue.  Closed records also accumulate in
+    ``self.records`` for the post-sweep :meth:`summary`.
+
+    ``root_parent`` seeds cross-process parentage: a worker tracer
+    built :meth:`from_wire` parents its top-level spans under the
+    sweep-root span that lives in another process.
+    """
+
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        root_parent: str | None = None,
+        sink=None,
+        clock=time.time,
+    ) -> None:
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.root_parent = root_parent
+        self.sink = sink
+        self.clock = clock
+        #: Closed span records, in close order (parent-side this also
+        #: collects worker spans forwarded over the heartbeat queue).
+        self.records: list = []
+
+    # -- cross-process propagation --------------------------------------
+
+    def wire(self, span: dict | None = None) -> tuple:
+        """The picklable context to ship to workers."""
+        parent = span["span_id"] if span is not None else self.root_parent
+        return (self.trace_id, parent)
+
+    @classmethod
+    def from_wire(cls, wire, sink=None, clock=time.time) -> "SpanTracer":
+        trace_id, parent = wire
+        return cls(
+            trace_id=trace_id, root_parent=parent, sink=sink, clock=clock
+        )
+
+    # -- span lifecycle -------------------------------------------------
+
+    def start(self, name: str, parent=None, attrs: dict | None = None
+              ) -> dict:
+        """Open a span; returns its (mutable, still-open) record.
+
+        ``parent`` is a span record or id; unset spans parent under
+        ``root_parent`` (the cross-process anchor), which may be None
+        for the true root.
+        """
+        if isinstance(parent, dict):
+            parent = parent["span_id"]
+        elif parent is None:
+            parent = self.root_parent
+        record = {
+            "schema": SPAN_SCHEMA,
+            "span_id": f"{os.getpid():x}-{next(_next_span):x}",
+            "parent": parent,
+            "trace": self.trace_id,
+            "name": name,
+            "pid": os.getpid(),
+            "t0": self.clock(),
+            "t1": None,
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        if self.sink is not None:
+            open_view = {k: v for k, v in record.items() if k != "t1"}
+            self.sink("span_open", open_view)
+        return record
+
+    def finish(self, span: dict, attrs: dict | None = None,
+               resource: dict | None = None) -> dict:
+        """Close a span, optionally merging attrs / a resource sample."""
+        if span.get("t1") is not None:
+            return span  # already closed (idempotent for finally blocks)
+        span["t1"] = self.clock()
+        if attrs:
+            span.setdefault("attrs", {}).update(attrs)
+        if resource is not None:
+            span["resource"] = resource
+        self.records.append(span)
+        if self.sink is not None:
+            self.sink("span_close", dict(span))
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent=None, attrs: dict | None = None):
+        """``with tracer.span("run"):`` — closes on exit, error or not."""
+        record = self.start(name, parent=parent, attrs=attrs)
+        try:
+            yield record
+        except BaseException:
+            self.finish(record, attrs={"error": True})
+            raise
+        else:
+            self.finish(record)
+
+    # -- aggregation ----------------------------------------------------
+
+    def collect(self, record: dict) -> None:
+        """Adopt a closed span record from another process."""
+        self.records.append(record)
+
+    def summary(self) -> dict:
+        """Per-name rollup of closed spans: count and total wall seconds.
+
+        This is what the sweep runner stamps into the ledger entry —
+        compact enough to keep forever, detailed enough to see where a
+        sweep's wall time went.
+        """
+        out: dict = {}
+        for record in self.records:
+            t0, t1 = record.get("t0"), record.get("t1")
+            if t0 is None or t1 is None:
+                continue
+            slot = out.setdefault(
+                record.get("name", "?"), {"count": 0, "total_s": 0.0}
+            )
+            slot["count"] += 1
+            slot["total_s"] += t1 - t0
+        for slot in out.values():
+            slot["total_s"] = round(slot["total_s"], 4)
+        return out

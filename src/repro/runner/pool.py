@@ -12,15 +12,27 @@ round-trip, which is what makes parallel and serial sweeps bit-identical.
 no pool, no serialization, live result objects — today's debugging
 behavior, preserved.
 
-Two observability layers ride along, both strictly after-the-fact:
-workers publish per-cell heartbeats over a ``multiprocessing.Queue``
-that the parent renders as a live progress/ETA line with stalled-worker
-detection (:mod:`repro.obs.live`; TTY-aware, ``progress=False`` to
-suppress), and every sweep that actually simulated something is
-recorded in the run ledger (:mod:`repro.obs.ledger`; ``REPRO_LEDGER=0``
-disables) with its spec digests, per-cell wall times, and full metrics
-payload.  Neither touches a simulation counter — results are
-bit-identical with both on, off, or absent.
+Observability rides along, strictly after-the-fact, in three layers:
+
+* **Heartbeats + spans.**  Workers publish per-cell heartbeats and
+  hierarchical span records (:mod:`repro.obs.spans` — trace-store
+  load, engine run, result flush, with resource samples) over a
+  ``multiprocessing.Queue``; the parent's listener renders a live
+  progress/ETA line with phase-aware stalled-worker detection
+  (:mod:`repro.obs.live`) and collects the spans under its own
+  sweep-root span.  ``REPRO_SPANS=0`` or ``spans=False`` disarms.
+* **Telemetry feed.**  With ``feed=PATH`` (or ``REPRO_FEED``) the
+  parent — the feed's only writer — streams every span, heartbeat,
+  resource sample, and a final metrics snapshot to an append-only
+  JSONL feed (:mod:`repro.obs.feed`) that clients can tail live.
+* **Run ledger.**  Every sweep that actually simulated something is
+  recorded (:mod:`repro.obs.ledger`; ``REPRO_LEDGER=0`` disables) with
+  its spec digests, per-cell wall times, full metrics payload, and the
+  span summary.
+
+None of it touches a simulation counter — results are bit-identical
+with every layer on, off, or absent, which ``repro obs overhead
+--spans`` certifies along with the ≤5% wall-overhead bound.
 """
 
 from __future__ import annotations
@@ -79,6 +91,11 @@ def _start_method() -> str:
 #: Per-process workload memo: building a trace is itself expensive, and
 #: one worker typically simulates several configurations of one workload.
 _workloads: dict = {}
+#: Memo traffic counters — the "trace-store mmap reuse" number span
+#: resource samples report (a hit means the columns were already mapped
+#: in this process; no store I/O, no recompile).
+_workload_loads = 0
+_workload_hits = 0
 
 
 def _load_workload(spec: RunSpec):
@@ -91,12 +108,14 @@ def _load_workload(spec: RunSpec):
     copy-on-write through this memo).  ``REPRO_TRACE=0`` falls back to
     generate-and-compile in process.
     """
+    global _workload_loads, _workload_hits
     from repro.runner.specs import TRACE_PREFIX
     from repro.traces.store import load_benchmark_compiled
 
     key = (spec.workload, spec.scale, spec.seed)
     workload = _workloads.get(key)
     if workload is None:
+        _workload_loads += 1
         if spec.workload.startswith(TRACE_PREFIX):
             # External trace: the file bytes are the whole identity
             # (scale/seed are inert; the spec digest folds in a content
@@ -112,15 +131,16 @@ def _load_workload(spec: RunSpec):
                 spec.workload, scale=spec.scale, seed=spec.seed
             )
         _workloads[key] = workload
+    else:
+        _workload_hits += 1
     return workload
 
 
-def execute_spec(spec: RunSpec) -> SimulationResult:
-    """Simulate one configuration (in whatever process this runs in)."""
+def _build_engine(spec: RunSpec, workload):
     from repro.sim.engine import SimulationEngine
 
-    engine = SimulationEngine(
-        _load_workload(spec),
+    return SimulationEngine(
+        workload,
         machine=spec.machine,
         protocol=spec.protocol,
         predictor=spec.predictor,
@@ -128,18 +148,81 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         collect_epochs=spec.collect_epochs,
         sanitize=spec.sanitize,
     )
-    return engine.run()
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Simulate one configuration (in whatever process this runs in)."""
+    return _build_engine(spec, _load_workload(spec)).run()
+
+
+def _traced_execute(spec: RunSpec, tracer, parent, label: str,
+                    digest: str) -> tuple:
+    """Like :func:`execute_spec`, wrapped in spans; returns
+    ``(cell_span, result)`` with the cell span still open (the caller
+    closes it after the flush span, attaching the resource sample).
+
+    The spans wrap the engine — never enter it — so counters stay
+    bit-identical with tracing on or off.
+    """
+    cell = tracer.start(
+        "cell", parent=parent,
+        attrs={"cell": label, "digest": digest[:12]},
+    )
+    memo_hit = (spec.workload, spec.scale, spec.seed) in _workloads
+    load = tracer.start("load", parent=cell)
+    workload = _load_workload(spec)
+    tracer.finish(load, attrs={"memo_hit": memo_hit})
+    run = tracer.start(
+        "run", parent=cell,
+        attrs={"sanitize": True} if spec.sanitize else None,
+    )
+    engine = _build_engine(spec, workload)
+    result = engine.run()
+    run_attrs = {"cycles": result.cycles, "misses": result.misses}
+    if spec.sanitize:
+        run_attrs["sanitizer_checks"] = result.sanitizer_checks
+    # The vector path's shared-transaction memo, when it armed: how
+    # many distinct transaction classes the shared lane actually ran
+    # vs. replayed (an estimate of the memo's hit rate over the
+    # communication misses it serves).
+    tx = getattr(engine, "_tx_memo_stats", None)
+    if tx is not None:
+        classes = len(tx.memo)
+        run_attrs["tx_memo_classes"] = classes
+        if result.comm_misses:
+            run_attrs["tx_memo_hit_rate"] = round(
+                max(0.0, 1.0 - classes / result.comm_misses), 4
+            )
+    tracer.finish(run, attrs=run_attrs)
+    return cell, result
+
+
+def _worker_resource() -> dict:
+    """A worker/serial resource sample with trace-store reuse counters."""
+    from repro.obs.spans import resource_sample
+
+    return resource_sample(
+        workload_memo={
+            "entries": len(_workloads),
+            "loads": _workload_loads,
+            "hits": _workload_hits,
+        },
+    )
 
 
 #: Heartbeat queue for the current pool worker (set by the pool
 #: initializer only when the parent is listening; ``None`` means no
 #: telemetry cost at all).
 _heartbeats = None
+#: Span wire context ``(trace_id, root_span_id)`` from the parent, set
+#: alongside the queue when span tracing is armed.
+_span_wire = None
 
 
-def _init_worker(beats) -> None:
-    global _heartbeats
+def _init_worker(beats, span_wire=None) -> None:
+    global _heartbeats, _span_wire
     _heartbeats = beats
+    _span_wire = span_wire
 
 
 def _beat(kind: str, digest: str, payload) -> None:
@@ -153,12 +236,24 @@ def _beat(kind: str, digest: str, payload) -> None:
 def _worker(spec: RunSpec) -> tuple:
     """Pool task: simulate and ship the serialized result home."""
     digest = spec.digest()
-    _beat(
-        "start", digest,
-        f"{spec.workload}/{spec.protocol}/{spec.predictor}",
-    )
+    label = f"{spec.workload}/{spec.protocol}/{spec.predictor}"
+    _beat("start", digest, label)
     start = time.perf_counter()
-    payload = execute_spec(spec).to_dict()
+    if _span_wire is not None and _heartbeats is not None:
+        from repro.obs.spans import SpanTracer
+
+        # Span records ride the heartbeat queue home; the parent is
+        # the single writer of the feed, so ordering stays total.
+        tracer = SpanTracer.from_wire(
+            _span_wire, sink=lambda kind, rec: _beat(kind, digest, rec)
+        )
+        cell, result = _traced_execute(spec, tracer, None, label, digest)
+        flush = tracer.start("flush", parent=cell)
+        payload = result.to_dict()
+        tracer.finish(flush)
+        tracer.finish(cell, resource=_worker_resource())
+    else:
+        payload = execute_spec(spec).to_dict()
     elapsed = time.perf_counter() - start
     _beat("finish", digest, elapsed)
     return digest, payload, elapsed
@@ -180,6 +275,8 @@ class SweepRunner:
         progress: bool | None = None,
         progress_stream=None,
         ledger: bool = True,
+        feed=None,
+        spans: bool | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.disk = disk
@@ -191,11 +288,23 @@ class SweepRunner:
         #: Record completed sweeps in the run ledger (further gated by
         #: ``REPRO_LEDGER=0`` at write time).
         self.ledger = ledger
+        #: Telemetry feed path (``REPRO_FEED`` supplies a default);
+        #: ``None`` writes no feed.
+        if feed is None:
+            feed = os.environ.get("REPRO_FEED") or None
+        self.feed = feed
+        #: Span tracing of the sweep pipeline (``REPRO_SPANS=0``
+        #: disarms); certified ≤5% overhead, bit-identical counters.
+        if spans is None:
+            spans = os.environ.get("REPRO_SPANS", "1") != "0"
+        self.spans = bool(spans)
         self.simulations = 0
         #: Wall seconds per simulated cell (digest-keyed), stamped into
         #: the ledger entry; cache hits do not appear here.
         self.cell_times: dict = {}
         self.last_run_id: str | None = None
+        self.last_trace_id: str | None = None
+        self.last_span_summary: dict | None = None
         self._results: dict = {}  # digest -> SimulationResult
         self._specs: dict = {}    # digest -> RunSpec (for metrics context)
 
@@ -244,50 +353,143 @@ class SweepRunner:
 
         Cached configurations are served from memo/disk; the rest fan
         out over the pool when ``jobs > 1``, else run serially in
-        process.
+        process.  When span tracing is armed this whole method executes
+        under a ``sweep`` root span; when a feed is configured, one
+        feed session brackets it.
         """
         unique: dict = {}
         for spec in specs:
             unique.setdefault(spec.digest(), spec)
-        pending = [
-            (digest, spec)
-            for digest, spec in unique.items()
-            if self.fetch(spec) is None
-        ]
-        if pending:
-            if self.verbose:
-                print(
-                    f"  sweep: {len(pending)} of {len(unique)} "
-                    f"configurations to simulate ({self.jobs} jobs)"
-                )
-            progress = self._make_progress(len(pending))
-            start = time.perf_counter()
-            try:
-                if self.jobs > 1 and len(pending) > 1:
-                    self._run_pool(pending, progress)
-                else:
-                    for digest, spec in pending:
-                        if progress is not None:
-                            progress.start_cell(
-                                digest,
-                                f"{spec.workload}/{spec.protocol}/"
-                                f"{spec.predictor}",
-                            )
-                        cell_start = time.perf_counter()
-                        result = execute_spec(spec)
-                        elapsed = time.perf_counter() - cell_start
-                        self.cell_times[digest] = elapsed
-                        self.simulations += 1
-                        self._store(digest, result)
-                        if progress is not None:
-                            progress.finish_cell(digest, elapsed)
-            finally:
-                if progress is not None:
-                    progress.close()
-            self._record_sweep(
-                pending, len(unique), time.perf_counter() - start
+        tracer = feed = root = None
+        if self.spans:
+            from repro.obs.spans import SpanTracer
+
+            tracer = SpanTracer()
+            self.last_trace_id = tracer.trace_id
+        if self.feed:
+            from repro.obs.feed import FeedWriter
+
+            feed = FeedWriter(
+                self.feed,
+                trace=tracer.trace_id if tracer is not None else None,
+                meta={"jobs": self.jobs, "cells_requested": len(specs)},
             )
+            if tracer is not None:
+                tracer.sink = feed.span_sink
+        try:
+            if tracer is not None:
+                root = tracer.start(
+                    "sweep",
+                    attrs={"jobs": self.jobs, "cells": len(unique)},
+                )
+                probe = tracer.start("cache_probe", parent=root)
+            pending = [
+                (digest, spec)
+                for digest, spec in unique.items()
+                if self.fetch(spec) is None
+            ]
+            cached = len(unique) - len(pending)
+            if tracer is not None:
+                tracer.finish(
+                    probe, attrs={"pending": len(pending), "cached": cached}
+                )
+            if feed is not None:
+                feed.record(
+                    "plan",
+                    cells_total=len(unique),
+                    cells_pending=len(pending),
+                    cells_cached=cached,
+                )
+            if pending:
+                if self.verbose:
+                    print(
+                        f"  sweep: {len(pending)} of {len(unique)} "
+                        f"configurations to simulate ({self.jobs} jobs)"
+                    )
+                progress = self._make_progress(len(pending))
+                start = time.perf_counter()
+                dispatch = None
+                if tracer is not None:
+                    dispatch = tracer.start(
+                        "dispatch", parent=root,
+                        attrs={"cells": len(pending)},
+                    )
+                try:
+                    if self.jobs > 1 and len(pending) > 1:
+                        self._run_pool(
+                            pending, progress,
+                            tracer=tracer, root=root, feed=feed,
+                        )
+                    else:
+                        self._run_serial(
+                            pending, progress,
+                            tracer=tracer, root=root, feed=feed,
+                        )
+                finally:
+                    if progress is not None:
+                        progress.close()
+                if dispatch is not None:
+                    tracer.finish(dispatch)
+                elapsed = time.perf_counter() - start
+                metrics = None
+                if feed is not None or self.ledger:
+                    metrics = self.metrics_payload()
+                if feed is not None:
+                    feed.record(
+                        "metric",
+                        sweep_s=round(elapsed, 4),
+                        cells_simulated=len(pending),
+                        aggregate=metrics["aggregate"],
+                    )
+                if tracer is not None:
+                    tracer.finish(root)
+                    self.last_span_summary = tracer.summary()
+                self._record_sweep(
+                    pending, len(unique), elapsed,
+                    metrics=metrics, tracer=tracer,
+                )
+            elif tracer is not None:
+                tracer.finish(root)
+                self.last_span_summary = tracer.summary()
+        finally:
+            if tracer is not None and root is not None:
+                tracer.finish(root)  # idempotent; covers error exits
+            if feed is not None:
+                feed.close()
         return [self._results[spec.digest()] for spec in specs]
+
+    def _run_serial(self, pending, progress, tracer=None, root=None,
+                    feed=None) -> None:
+        for digest, spec in pending:
+            label = (
+                f"{spec.workload}/{spec.protocol}/{spec.predictor}"
+            )
+            if progress is not None:
+                progress.start_cell(digest, label)
+            if feed is not None:
+                feed.record("cell_start", digest=digest, cell=label)
+            cell_start = time.perf_counter()
+            if tracer is not None:
+                cell, result = _traced_execute(
+                    spec, tracer, root, label, digest
+                )
+                flush = tracer.start("flush", parent=cell)
+                self._store(digest, result)
+                tracer.finish(flush)
+                tracer.finish(cell, resource=_worker_resource())
+            else:
+                result = execute_spec(spec)
+                self._store(digest, result)
+            elapsed = time.perf_counter() - cell_start
+            self.cell_times[digest] = elapsed
+            self.simulations += 1
+            if feed is not None:
+                feed.record(
+                    "cell_finish", digest=digest,
+                    wall_s=round(elapsed, 4),
+                )
+            if progress is not None:
+                progress.finish_cell(digest, elapsed)
 
     def _make_progress(self, pending_count: int):
         """A live progress display, or None when suppressed/off-TTY."""
@@ -302,17 +504,27 @@ class SweepRunner:
         )
         return progress if progress.enabled else None
 
-    def _record_sweep(self, pending, total_cells: int, elapsed: float
-                      ) -> None:
+    def _record_sweep(self, pending, total_cells: int, elapsed: float,
+                      metrics: dict | None = None, tracer=None) -> None:
         """Append this sweep to the run ledger (best-effort)."""
         if not self.ledger:
             return
         from repro.obs.ledger import record_run
 
         digests = [digest for digest, _ in pending]
+        extra = {
+            "cells_total": total_cells,
+            "cells_simulated": len(pending),
+            "cells_cached": total_cells - len(pending),
+            "jobs": self.jobs,
+        }
+        if tracer is not None:
+            extra["trace"] = tracer.trace_id
+            extra["spans"] = tracer.summary()
         self.last_run_id = record_run(
             "sweep",
-            metrics=self.metrics_payload(),
+            metrics=metrics if metrics is not None
+            else self.metrics_payload(),
             phases={"sweep_s": round(elapsed, 4)},
             spec_digests=digests,
             cell_times={
@@ -320,44 +532,86 @@ class SweepRunner:
                 for digest in digests
                 if digest in self.cell_times
             },
-            extra={
-                "cells_total": total_cells,
-                "cells_simulated": len(pending),
-                "cells_cached": total_cells - len(pending),
-                "jobs": self.jobs,
-            },
+            extra=extra,
         )
 
-    def _run_pool(self, pending, progress=None) -> None:
+    def _beat_sink(self, feed, tracer):
+        """The listener callback fanning worker beats into feed/tracer."""
+        if feed is None and tracer is None:
+            return None
+
+        def sink(kind, digest, payload):
+            if kind in ("span_open", "span_close"):
+                if kind == "span_close" and tracer is not None:
+                    tracer.collect(payload)
+                if feed is not None:
+                    feed.record(kind, **payload)
+            elif kind == "resource":
+                if feed is not None:
+                    feed.record("resource", **payload)
+            elif kind == "start":
+                if feed is not None:
+                    feed.record("cell_start", digest=digest, cell=payload)
+            elif kind == "finish":
+                if feed is not None:
+                    feed.record(
+                        "cell_finish", digest=digest,
+                        wall_s=round(payload, 4),
+                    )
+
+        return sink
+
+    def _run_pool(self, pending, progress=None, tracer=None, root=None,
+                  feed=None) -> None:
         ctx = multiprocessing.get_context(_start_method())
         workers = min(self.jobs, len(pending))
         listener = None
         pool_kw = {}
-        if progress is not None:
-            # Workers only pay for heartbeats when someone is listening.
+        if progress is not None or tracer is not None or feed is not None:
+            # Workers only pay for heartbeats when someone is listening
+            # (a progress display, the span collector, or the feed).
             from repro.obs.live import HeartbeatListener
 
             beats = ctx.Queue()
-            pool_kw = {"initializer": _init_worker, "initargs": (beats,)}
-            listener = HeartbeatListener(beats, progress)
+            wire = tracer.wire(root) if tracer is not None else None
+            pool_kw = {
+                "initializer": _init_worker, "initargs": (beats, wire),
+            }
+            listener = HeartbeatListener(
+                beats, progress, sink=self._beat_sink(feed, tracer)
+            )
             listener.start()
+        pool = ctx.Pool(processes=workers, **pool_kw)
+        clean = False
         try:
-            with ctx.Pool(processes=workers, **pool_kw) as pool:
-                for digest, payload, elapsed in pool.imap_unordered(
-                    _worker, [spec for _, spec in pending]
-                ):
-                    self.simulations += 1
-                    self.cell_times[digest] = elapsed
-                    result = SimulationResult.from_dict(payload)
-                    self._results[digest] = result
-                    if self.disk is not None:
-                        self.disk.store(digest, payload)
-                    if self.verbose:
-                        print(
-                            f"  done {result.workload} / "
-                            f"{result.protocol} / {result.predictor}"
-                        )
+            for digest, payload, elapsed in pool.imap_unordered(
+                _worker, [spec for _, spec in pending]
+            ):
+                self.simulations += 1
+                self.cell_times[digest] = elapsed
+                result = SimulationResult.from_dict(payload)
+                self._results[digest] = result
+                if self.disk is not None:
+                    self.disk.store(digest, payload)
+                if self.verbose:
+                    print(
+                        f"  done {result.workload} / "
+                        f"{result.protocol} / {result.predictor}"
+                    )
+            # Deterministic drain: close()+join() waits for every
+            # worker to exit, which flushes their queue feeder threads
+            # — the final beats (span closes, cell finishes) are in the
+            # queue before the listener's stop sentinel goes in behind
+            # them.  (A `with Pool` block would terminate() instead,
+            # racing workers' last beats and occasionally losing a
+            # finish_cell under spawn.)
+            pool.close()
+            pool.join()
+            clean = True
         finally:
+            if not clean:
+                pool.terminate()
+                pool.join()
             if listener is not None:
                 listener.stop()
 

@@ -1071,9 +1071,13 @@ def run_vector(engine, quantum: int):
     self._sync_cost = sync_latency_fn() if sync_latency_fn else 0
     # Arm the shared-lane transaction memo before the handler binds the
     # protocol entry points, then clear the hook (the closure holds the
-    # bound methods; nothing else should see it).
+    # bound methods; nothing in the miss path should see it).  A
+    # stats-only alias survives for observability: span resource
+    # samples read len(memo) — distinct transaction classes — after
+    # the run; nothing consults it while the run executes.
     self._tx_memo = _make_tx_memo(self)
     miss, flush, run_shared = self._make_miss_handler()
+    self._tx_memo_stats = self._tx_memo
     self._tx_memo = None
     batch = batch_flush = build_window = consume_window = None
     if use_private:

@@ -17,6 +17,10 @@ def _isolated_ledger(tmp_path, monkeypatch):
     the suite would append junk entries to the user's real ledger.
     """
     monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    # Likewise for the telemetry feed: a REPRO_FEED inherited from the
+    # environment would make every sweep in the suite append to it.
+    monkeypatch.delenv("REPRO_FEED", raising=False)
+    monkeypatch.delenv("REPRO_SPANS", raising=False)
 
 
 @pytest.fixture

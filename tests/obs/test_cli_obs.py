@@ -5,7 +5,9 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.obs.feed import FeedWriter
 from repro.obs.ledger import RunLedger
+from repro.obs.spans import SpanTracer
 
 
 def seed_ledger(misses=1000, sweep_s=2.0, label="probe"):
@@ -214,6 +216,170 @@ class TestObsReportOnMetrics:
         assert err.startswith("error:")
         assert "not a repro event stream" in err
         assert "Traceback" not in err
+
+
+def write_feed(path, close=True, cells=2):
+    """A well-formed feed session with a root span + cell spans."""
+    writer = FeedWriter(path, trace="feedcafe", meta={"jobs": 2})
+    tracer = SpanTracer(trace_id="feedcafe", sink=writer.span_sink)
+    root = tracer.start("sweep")
+    for i in range(cells):
+        digest = f"d{i:02d}" * 6
+        writer.record("cell_start", digest=digest, label=f"cell-{i}")
+        with tracer.span("cell", parent=root,
+                         attrs={"cell": f"cell-{i}"}):
+            pass
+        writer.record("cell_finish", digest=digest, wall_s=0.1)
+    tracer.finish(root)
+    if close:
+        writer.close()
+    else:
+        writer._fh.close()  # simulate a killed writer: no feed_close
+
+
+class TestFeedValidateCommand:
+    def test_clean_feed_passes(self, capsys, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(path)
+        assert main(["obs", "feed", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert "feed validation: PASS" in out
+
+    def test_strict_tail_fails_open_session(self, capsys, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(path, close=False)
+        assert main(["obs", "feed", "validate", str(path)]) == 0
+        assert "final session still open" in capsys.readouterr().out
+        assert main(["obs", "feed", "validate", str(path),
+                     "--strict-tail"]) == 1
+        assert "feed validation: FAIL" in capsys.readouterr().out
+
+    def test_json_report(self, capsys, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(path, cells=3)
+        assert main(["obs", "feed", "validate", str(path),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert doc["cells"] == 3
+        assert doc["errors"] == []
+
+    def test_corrupt_feed_fails_with_errors(self, capsys, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(path)
+        lines = path.read_text().splitlines()
+        del lines[2]  # a seq gap mid-session
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["obs", "feed", "validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "error:" in out
+        assert "feed validation: FAIL" in out
+
+    def test_missing_feed_one_line_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["obs", "feed", "validate", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestFeedShowCommand:
+    def test_renders_sessions(self, capsys, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(path)
+        assert main(["obs", "feed", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "feedcafe" in out
+        assert "cells finished: 2" in out
+
+    def test_missing_feed_errors(self, capsys, tmp_path):
+        assert main(["obs", "feed", "show",
+                     str(tmp_path / "nope.jsonl")]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestExportFeedSpans:
+    def test_spans_only_export(self, capsys, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        write_feed(feed)
+        out = tmp_path / "trace.json"
+        assert main(["obs", "export", "--feed", str(feed),
+                     "-o", str(out)]) == 0
+        msg = capsys.readouterr().out
+        assert "3 sweep spans" in msg
+        assert "simulator events" not in msg
+        trace = json.loads(out.read_text())
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert "sweep" in cats
+
+    def test_no_input_at_all_errors(self, capsys, tmp_path):
+        assert main(["obs", "export",
+                     "-o", str(tmp_path / "trace.json")]) == 1
+        err = capsys.readouterr().err
+        assert "nothing to export" in err
+
+    def test_feed_without_closed_spans_errors(self, capsys, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        writer = FeedWriter(feed, trace="cafe")
+        writer.record("metric", value=1)
+        writer.close()
+        assert main(["obs", "export", "--feed", str(feed),
+                     "-o", str(tmp_path / "trace.json")]) == 1
+        assert "no closed spans" in capsys.readouterr().err
+
+
+class TestLedgerGcCriteria:
+    def test_dry_run_changes_nothing(self, capsys):
+        for i in range(5):
+            seed_ledger(misses=i)
+        assert main(["obs", "ledger", "gc", "--keep", "2",
+                     "--dry-run"]) == 0
+        assert "would remove 3, keeping 2" in capsys.readouterr().out
+        assert len(RunLedger().entries()) == 5
+
+    def test_older_than_keeps_fresh_entries(self, capsys):
+        for i in range(3):
+            seed_ledger(misses=i)
+        assert main(["obs", "ledger", "gc",
+                     "--older-than", "30"]) == 0
+        assert "removed 0, kept 3" in capsys.readouterr().out
+
+    def test_max_size_drops_oldest(self, capsys):
+        for i in range(4):
+            seed_ledger(misses=i)
+        assert main(["obs", "ledger", "gc", "--max-size", "0"]) == 0
+        assert "kept 0" in capsys.readouterr().out
+        assert RunLedger().entries() == []
+
+    def test_negative_criteria_one_line_error(self, capsys):
+        seed_ledger()
+        assert main(["obs", "ledger", "gc",
+                     "--older-than", "-1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
+class TestDashboardFeedFlag:
+    def test_feed_adds_waterfall(self, capsys, tmp_path):
+        seed_ledger()
+        feed = tmp_path / "feed.jsonl"
+        write_feed(feed)
+        out = tmp_path / "dash.html"
+        assert main(["obs", "dashboard", "--feed", str(feed),
+                     "--out", str(out)]) == 0
+        assert "+ sweep waterfall" in capsys.readouterr().out
+        assert 'id="waterfall-chart"' in out.read_text()
+
+    def test_bad_feed_errors_before_writing(self, capsys, tmp_path):
+        seed_ledger()
+        out = tmp_path / "dash.html"
+        assert main(["obs", "dashboard",
+                     "--feed", str(tmp_path / "nope.jsonl"),
+                     "--out", str(out)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+        assert not out.exists()
 
 
 class TestSimulateRecordsLedger:

@@ -123,6 +123,69 @@ class TestDashboardPage:
         assert 'id="kpi-row"' in html
 
 
+def make_feed_records(trace="feedcafe"):
+    """A minimal closed session with parent + worker spans."""
+    return [
+        {"seq": 0, "ts": 1.0, "kind": "feed_open", "schema": 1,
+         "pid": 100, "trace": trace, "jobs": 2},
+        {"seq": 1, "ts": 1.1, "kind": "span_open", "span_id": "64-1",
+         "name": "sweep", "pid": 100, "trace": trace, "t0": 1000.0},
+        {"seq": 2, "ts": 1.6, "kind": "span_close", "span_id": "c8-1",
+         "parent": "64-1", "name": "cell", "pid": 200, "trace": trace,
+         "t0": 1000.1, "t1": 1000.4,
+         "attrs": {"cell": "lu/directory/SP"}},
+        {"seq": 3, "ts": 1.7, "kind": "span_close", "span_id": "64-1",
+         "name": "sweep", "pid": 100, "trace": trace,
+         "t0": 1000.0, "t1": 1000.5},
+        {"seq": 4, "ts": 1.8, "kind": "feed_close", "records": 4},
+    ]
+
+
+class TestWaterfall:
+    def test_rows_from_newest_session(self, entries):
+        data = dashboard_data(entries, feed_records=make_feed_records())
+        wf = data["waterfall"]
+        assert wf["dropped"] == 0
+        assert [r["name"] for r in wf["rows"]] == ["sweep", "cell"]
+        root, cell = wf["rows"]
+        assert root["parent_process"] is True
+        assert cell["parent_process"] is False
+        assert root["t0"] == 0.0 and root["dur"] == 0.5
+        assert cell["t0"] == 0.1
+        assert cell["cell"] == "lu/directory/SP"
+
+    def test_no_feed_no_waterfall(self, entries):
+        assert dashboard_data(entries)["waterfall"] is None
+        assert dashboard_data(
+            entries, feed_records=[]
+        )["waterfall"] is None
+
+    def test_feed_without_closed_spans_is_none(self, entries):
+        records = [r for r in make_feed_records()
+                   if r["kind"] != "span_close"]
+        data = dashboard_data(entries, feed_records=records)
+        assert data["waterfall"] is None
+
+    def test_row_cap_reports_dropped(self, entries):
+        from repro.obs import dashboard as dashboard_mod
+
+        records = make_feed_records()[:1]
+        for i in range(dashboard_mod._WATERFALL_MAX_ROWS + 10):
+            records.append({
+                "seq": i + 1, "ts": 1.0 + i * 0.001,
+                "kind": "span_close", "span_id": f"c8-{i}",
+                "name": "cell", "pid": 200,
+                "t0": 1000.0 + i, "t1": 1000.5 + i,
+            })
+        wf = dashboard_data(entries, feed_records=records)["waterfall"]
+        assert len(wf["rows"]) == dashboard_mod._WATERFALL_MAX_ROWS
+        assert wf["dropped"] == 10
+
+    def test_page_carries_waterfall_panel(self, entries):
+        html = dashboard_html(entries, feed_records=make_feed_records())
+        assert 'id="waterfall-chart"' in html
+
+
 class TestLedgerRoundTrip:
     def test_dashboard_from_real_sweep_entries(self, tmp_path,
                                                monkeypatch):

@@ -1,0 +1,202 @@
+"""The telemetry feed: writer discipline, tolerant reads, strict checks."""
+
+import json
+
+import pytest
+
+from repro.obs.feed import (
+    FEED_SCHEMA,
+    FeedError,
+    FeedWriter,
+    feed_spans,
+    last_session,
+    read_feed,
+    validate_feed,
+)
+from repro.obs.spans import SpanTracer
+
+
+def write_session(path, cells=2, close=True, trace="cafe"):
+    """One well-formed session: spans via a real tracer, cell beats."""
+    writer = FeedWriter(path, trace=trace, meta={"jobs": 1})
+    tracer = SpanTracer(trace_id=trace, sink=writer.span_sink)
+    root = tracer.start("sweep")
+    for i in range(cells):
+        digest = f"d{i:02d}" * 6
+        writer.record("cell_start", digest=digest, label=f"cell-{i}")
+        with tracer.span("cell", parent=root):
+            pass
+        writer.record("cell_finish", digest=digest, wall_s=0.1)
+    tracer.finish(root)
+    if close:
+        writer.close()
+    else:
+        writer._fh.close()
+    return writer
+
+
+class TestWriter:
+    def test_round_trip_validates_strictly(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path, cells=3)
+        report = validate_feed(path)
+        assert report.passed
+        assert report.errors == []
+        assert report.sessions == 1
+        assert report.cells == 3
+        assert report.spans == 4  # 3 cell spans + the root
+        assert not report.truncated and not report.open_tail
+
+    def test_header_and_stamps(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path, cells=1)
+        records = read_feed(path)
+        head = records[0]
+        assert head["kind"] == "feed_open"
+        assert head["schema"] == FEED_SCHEMA
+        assert head["trace"] == "cafe"
+        assert head["jobs"] == 1
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        times = [r["ts"] for r in records]
+        assert times == sorted(times)
+        assert records[-1]["kind"] == "feed_close"
+        assert records[-1]["records"] == len(records) - 1
+
+    def test_fields_cannot_override_stamps(self, tmp_path):
+        writer = FeedWriter(tmp_path / "feed.jsonl")
+        writer.record("metric", seq=999, ts=-1, value=3)
+        writer.close()
+        records = read_feed(tmp_path / "feed.jsonl")
+        metric = records[1]
+        assert metric["kind"] == "metric"
+        assert metric["seq"] == 1 and metric["ts"] > 0
+        assert metric["value"] == 3
+
+    def test_io_failure_flips_failed_not_raises(self, tmp_path):
+        writer = FeedWriter(tmp_path / "feed.jsonl")
+        writer._fh.close()  # simulate the disk going away mid-sweep
+        writer.record("metric", value=1)
+        assert writer.failed
+        writer.record("metric", value=2)  # still silent
+        writer.close()
+
+    def test_unwritable_path_raises_loudly(self, tmp_path):
+        blocker = tmp_path / "dir-where-file-should-be"
+        blocker.mkdir()
+        with pytest.raises(OSError):
+            FeedWriter(blocker)
+
+    def test_multiple_sessions_append(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path, cells=1, trace="aa")
+        write_session(path, cells=2, trace="bb")
+        report = validate_feed(path)
+        assert report.passed and report.sessions == 2
+        tail = last_session(read_feed(path))
+        assert tail[0]["trace"] == "bb"
+        assert sum(1 for r in tail if r["kind"] == "cell_finish") == 2
+
+
+class TestValidation:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path)
+        with open(path, "a") as fh:
+            fh.write('{"seq": 99, "kind": "met')  # caught mid-write
+        report = validate_feed(path)
+        assert report.passed
+        assert report.truncated
+
+    def test_mid_file_garbage_is_an_error(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "!!not json!!")
+        path.write_text("\n".join(lines) + "\n")
+        report = validate_feed(path)
+        assert not report.passed
+        assert any("unparseable" in e for e in report.errors)
+
+    def test_seq_gap_detected_once(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path)
+        records = [json.loads(line) for line in
+                   path.read_text().splitlines()]
+        records[3]["seq"] += 5  # one gap
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        report = validate_feed(path)
+        # resync after the gap: exactly two seq errors (the jump and
+        # the fall back), not one per subsequent record
+        seq_errors = [e for e in report.errors if "seq" in e]
+        assert 1 <= len(seq_errors) <= 2
+
+    def test_unopened_span_close_is_an_error(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        writer = FeedWriter(path)
+        writer.record("span_close", span_id="ghost-1", name="x",
+                      t0=1.0, t1=2.0)
+        writer.close()
+        report = validate_feed(path)
+        assert any("not open" in e for e in report.errors)
+
+    def test_close_with_open_spans_is_an_error(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        writer = FeedWriter(path)
+        writer.record("span_open", span_id="a-1", name="x", t0=1.0)
+        writer.close()
+        report = validate_feed(path)
+        assert any("still open" in e for e in report.errors)
+
+    def test_unclosed_final_session_tolerated(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path, close=False)
+        report = validate_feed(path)
+        assert report.passed
+        assert report.open_tail
+
+    def test_unclosed_earlier_session_is_an_error(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_session(path, close=False)
+        write_session(path, close=True)
+        report = validate_feed(path)
+        assert not report.passed
+        assert any("still open" in e for e in report.errors)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        writer = FeedWriter(path)
+        writer.close()
+        with open(path, "a") as fh:
+            fh.write(json.dumps(
+                {"seq": 0, "ts": 1.0, "kind": "party"}) + "\n")
+        report = validate_feed(path)
+        assert any("unknown record kind" in e for e in report.errors)
+
+    def test_missing_file_raises_feed_error(self, tmp_path):
+        with pytest.raises(FeedError):
+            validate_feed(tmp_path / "nope.jsonl")
+        with pytest.raises(FeedError):
+            read_feed(tmp_path / "nope.jsonl")
+
+
+class TestExtraction:
+    def test_feed_spans_strips_bookkeeping(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        writer = write_session(path, cells=2)
+        records = read_feed(writer.path)
+        spans, resources = feed_spans(records)
+        assert len(spans) == 3
+        for span in spans:
+            assert "seq" not in span and "kind" not in span
+            assert span["t0"] is not None and span["t1"] is not None
+
+    def test_standalone_resources_keep_feed_ts(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        writer = FeedWriter(path)
+        writer.record("resource", pid=1234, rss_kb=4096)
+        writer.close()
+        _, resources = feed_spans(read_feed(path))
+        assert resources[0]["pid"] == 1234
+        assert "ts" in resources[0]  # its only timestamp

@@ -100,6 +100,114 @@ class TestSweepProgress:
         assert stream.getvalue().endswith("\r")
 
 
+class TestPhaseTracking:
+    def test_stall_warning_names_the_phase(self):
+        progress, stream, clock = make_progress(stall_s=30.0)
+        progress.start_cell("d1", "ocean/directory/SP")
+        progress.set_phase("d1", "run")
+        clock.advance(31)
+        progress.tick()
+        out = stream.getvalue()
+        assert "no heartbeat from ocean/directory/SP" in out
+        assert "(stalled in run)" in out
+        assert "stalled worker?" not in out
+
+    def test_phase_change_rearms_the_warning(self):
+        progress, stream, clock = make_progress(stall_s=30.0)
+        progress.start_cell("d1", "lu/directory/SP")
+        clock.advance(31)
+        progress.tick()
+        assert stream.getvalue().count("no heartbeat") == 1
+        # a span beat proves the worker is alive: warn again only after
+        # another full stall window of silence
+        progress.set_phase("d1", "flush")
+        progress.tick()
+        assert stream.getvalue().count("no heartbeat") == 1
+        clock.advance(31)
+        progress.tick()
+        assert stream.getvalue().count("no heartbeat") == 2
+        assert "(stalled in flush)" in stream.getvalue()
+
+    def test_listener_span_beats_drive_phases(self):
+        import time
+
+        def wait_for(cond):
+            deadline = time.monotonic() + 5.0
+            while not cond() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert cond()
+
+        progress, stream, clock = make_progress(total=1, stall_s=30.0)
+        beats = queue.Queue()
+        listener = HeartbeatListener(beats, progress, poll_s=0.05)
+        listener.start()
+        beats.put(("start", "d1", "lu/directory/SP"))
+        beats.put(("span_open", "d1",
+                   {"span_id": "a-1", "name": "cell", "t0": 1.0}))
+        beats.put(("span_open", "d1",
+                   {"span_id": "a-2", "name": "run", "t0": 1.1,
+                    "parent": "a-1"}))
+        wait_for(lambda: progress._running.get("d1", ("", 0, 0, None))[3]
+                 == "run")
+        clock.advance(31)
+        progress.tick()
+        assert "(stalled in run)" in stream.getvalue()
+        # closing the inner span falls back to the enclosing one
+        beats.put(("span_close", "d1",
+                   {"span_id": "a-2", "name": "run", "t0": 1.1,
+                    "t1": 2.0}))
+        wait_for(lambda: progress._running.get("d1", ("", 0, 0, None))[3]
+                 == "cell")
+        clock.advance(31)
+        progress.tick()
+        assert "(stalled in cell)" in stream.getvalue()
+        beats.put(("finish", "d1", 1.5))
+        listener.stop()
+        assert progress.done == 1
+
+    def test_listener_forwards_beats_to_sink(self):
+        seen = []
+        beats = queue.Queue()
+        listener = HeartbeatListener(
+            beats, progress=None, poll_s=0.05,
+            sink=lambda kind, digest, payload:
+                seen.append((kind, digest)),
+            sample_s=3600.0,
+        )
+        listener.start()
+        beats.put(("start", "d1", "lu"))
+        beats.put(("span_open", "d1", {"span_id": "a-1", "name": "cell"}))
+        beats.put(("span_close", "d1",
+                   {"span_id": "a-1", "name": "cell", "t1": 2.0}))
+        beats.put(("finish", "d1", 0.5))
+        listener.stop()
+        assert seen == [
+            ("start", "d1"), ("span_open", "d1"),
+            ("span_close", "d1"), ("finish", "d1"),
+        ]
+
+    def test_listener_emits_periodic_resource_samples(self):
+        seen = []
+        beats = queue.Queue()
+        listener = HeartbeatListener(
+            beats, progress=None, poll_s=0.01,
+            sink=lambda kind, digest, payload:
+                seen.append((kind, payload)),
+            sample_s=0.0,  # sample on every loop iteration
+        )
+        listener.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.01)
+        listener.stop()
+        kinds = {k for k, _ in seen}
+        assert "resource" in kinds
+        sample = next(p for k, p in seen if k == "resource")
+        assert sample["pid"] > 0
+
+
 class TestStallTimeout:
     def test_default_and_override(self, monkeypatch):
         monkeypatch.delenv("REPRO_STALL_S", raising=False)

@@ -1,9 +1,44 @@
 """Perfetto trace_event export."""
 
 import json
+from pathlib import Path
 
-from repro.obs import perfetto_trace, save_perfetto
+from repro.obs import perfetto_spans, perfetto_trace, save_perfetto
 from repro.obs.perfetto import _epoch_name
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "perfetto"
+
+#: Fixed span records (one parent process, one worker) for the golden
+#: export: every timestamp is pinned so the output is byte-stable.
+SWEEP_SPANS = [
+    {"schema": 1, "span_id": "64-1", "parent": None, "trace": "feedcafe",
+     "name": "sweep", "pid": 100, "t0": 1000.0, "t1": 1000.5,
+     "attrs": {"cells": 1}},
+    {"schema": 1, "span_id": "c8-1", "parent": "64-1", "trace": "feedcafe",
+     "name": "cell", "pid": 200, "t0": 1000.1, "t1": 1000.4,
+     "attrs": {"cell": "lu/directory/SP"},
+     "resource": {"pid": 200, "rss_kb": 51200}},
+    {"schema": 1, "span_id": "c8-2", "parent": "c8-1", "trace": "feedcafe",
+     "name": "run", "pid": 200, "t0": 1000.15, "t1": 1000.35},
+]
+
+SWEEP_RESOURCES = [
+    {"pid": 100, "rss_kb": 40960, "ts": 1000.25},
+]
+
+#: A minimal simulator event doc: one core, one closed epoch.
+TINY_DOC = {
+    "schema": 1,
+    "meta": {"workload": "lu", "protocol": "directory", "predictor": "SP"},
+    "dropped": 0,
+    "capacity": 64,
+    "events": [
+        {"t": "epoch_begin", "core": 0, "ts": 10, "epoch": 1,
+         "kind": "barrier", "key": ["barrier", 4096]},
+        {"t": "epoch_end", "core": 0, "ts": 90, "epoch": 1,
+         "misses": 4, "comm": 2, "preds": 2, "correct": 1},
+    ],
+}
 
 
 class TestPerfettoTrace:
@@ -72,6 +107,76 @@ class TestPerfettoTrace:
         assert json.loads(path.read_text()) == trace
 
 
+class TestSweepSpanTracks:
+    def test_processes_get_named_tracks(self):
+        events = perfetto_spans(SWEEP_SPANS, SWEEP_RESOURCES)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {
+            e["pid"]: e["args"]["name"] for e in meta
+            if e["name"] == "process_name"
+        }
+        assert names == {
+            100: "sweep parent (pid 100)",
+            200: "sweep worker (pid 200)",
+        }
+
+    def test_spans_become_rebased_slices(self):
+        events = perfetto_spans(SWEEP_SPANS)
+        slices = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert slices["sweep"]["ts"] == 0.0  # earliest span is the base
+        assert slices["sweep"]["dur"] == 500000.0  # 0.5 s in µs
+        assert slices["cell"]["ts"] == 100000.0
+        assert slices["run"]["args"]["parent"] == "c8-1"
+        assert slices["cell"]["args"]["cell"] == "lu/directory/SP"
+
+    def test_resources_become_rss_counters(self):
+        events = perfetto_spans(SWEEP_SPANS, SWEEP_RESOURCES)
+        counters = [e for e in events if e["ph"] == "C"]
+        by_pid = {e["pid"]: e["args"]["rss_kb"] for e in counters}
+        assert by_pid == {200: 51200, 100: 40960}
+
+    def test_open_spans_are_skipped(self):
+        open_span = dict(SWEEP_SPANS[0], t1=None)
+        assert perfetto_spans([open_span]) == []
+        assert perfetto_spans([]) == []
+
+    def test_merged_trace_keeps_both_track_types(self):
+        trace = perfetto_trace(
+            TINY_DOC, spans=SWEEP_SPANS, resources=SWEEP_RESOURCES
+        )
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {0, 100, 200}  # simulator + parent + worker
+        cats = {e.get("cat") for e in trace["traceEvents"] if "cat" in e}
+        assert {"sweep", "epoch"} <= cats
+
+    def test_spans_only_export_needs_no_doc(self):
+        trace = perfetto_trace(None, spans=SWEEP_SPANS)
+        assert all(
+            e["pid"] in (100, 200) for e in trace["traceEvents"]
+        )
+        assert trace["otherData"]["schema"] is None
+
+    def test_golden_merged_export(self, tmp_path):
+        """The pinned end-to-end export: simulator tracks + sweep spans.
+
+        Regenerate after an intentional format change with::
+
+            PYTHONPATH=src python tests/obs/test_perfetto.py
+        """
+        golden = GOLDEN_DIR / "merged_trace.json"
+        trace = perfetto_trace(
+            TINY_DOC, spans=SWEEP_SPANS, resources=SWEEP_RESOURCES
+        )
+        assert trace == json.loads(golden.read_text())
+
+    def test_save_merged_round_trips(self, tmp_path):
+        path = tmp_path / "merged.json"
+        trace = save_perfetto(
+            TINY_DOC, path, spans=SWEEP_SPANS, resources=SWEEP_RESOURCES
+        )
+        assert json.loads(path.read_text()) == trace
+
+
 class TestEpochName:
     def test_lock_key_hex(self):
         assert _epoch_name(
@@ -80,3 +185,14 @@ class TestEpochName:
 
     def test_pre_sync_interval(self):
         assert _epoch_name({"kind": "start", "key": None}) == "start"
+
+
+if __name__ == "__main__":
+    # Regenerate the golden export after an intentional format change.
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    out = GOLDEN_DIR / "merged_trace.json"
+    doc = perfetto_trace(
+        TINY_DOC, spans=SWEEP_SPANS, resources=SWEEP_RESOURCES
+    )
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")

@@ -1,0 +1,117 @@
+"""The span tracer: nesting, wire propagation, sinks, resource samples."""
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    SpanTracer,
+    new_trace_id,
+    resource_sample,
+)
+
+
+class TestSpanLifecycle:
+    def test_start_finish_round_trip(self):
+        tracer = SpanTracer(clock=iter([10.0, 12.5]).__next__)
+        span = tracer.start("sweep", attrs={"cells": 3})
+        assert span["schema"] == SPAN_SCHEMA
+        assert span["trace"] == tracer.trace_id
+        assert span["t0"] == 10.0 and span["t1"] is None
+        tracer.finish(span)
+        assert span["t1"] == 12.5
+        assert tracer.records == [span]
+        assert span["attrs"] == {"cells": 3}
+
+    def test_nesting_links_parents(self):
+        tracer = SpanTracer()
+        root = tracer.start("sweep")
+        child = tracer.start("dispatch", parent=root)
+        assert child["parent"] == root["span_id"]
+        assert root["parent"] is None
+        assert child["span_id"] != root["span_id"]
+
+    def test_finish_is_idempotent(self):
+        clock = iter([1.0, 2.0, 99.0]).__next__
+        tracer = SpanTracer(clock=clock)
+        span = tracer.start("cell")
+        tracer.finish(span)
+        tracer.finish(span)  # second finish must not move t1
+        assert span["t1"] == 2.0
+        assert tracer.records == [span]
+
+    def test_context_manager_flags_errors(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                raise RuntimeError("boom")
+        (span,) = tracer.records
+        assert span["t1"] is not None
+        assert span["attrs"]["error"] is True
+
+    def test_span_ids_unique_across_tracers(self):
+        # Worker processes build one tracer per cell; the module-level
+        # counter must keep ids unique within the process regardless.
+        a = SpanTracer().start("x")
+        b = SpanTracer().start("x")
+        assert a["span_id"] != b["span_id"]
+
+
+class TestWirePropagation:
+    def test_wire_and_from_wire(self):
+        parent = SpanTracer()
+        root = parent.start("sweep")
+        wire = parent.wire(root)
+        child = SpanTracer.from_wire(wire)
+        assert child.trace_id == parent.trace_id
+        span = child.start("cell")
+        assert span["parent"] == root["span_id"]
+        assert span["trace"] == parent.trace_id
+
+    def test_wire_without_span_uses_root_parent(self):
+        tracer = SpanTracer()
+        trace_id, parent_id = tracer.wire()
+        assert trace_id == tracer.trace_id
+        assert parent_id is None
+
+
+class TestSink:
+    def test_sink_sees_open_and_close(self):
+        seen = []
+        tracer = SpanTracer(sink=lambda kind, rec: seen.append((kind, rec)))
+        span = tracer.start("load")
+        tracer.finish(span)
+        kinds = [k for k, _ in seen]
+        assert kinds == ["span_open", "span_close"]
+        open_rec, close_rec = seen[0][1], seen[1][1]
+        assert "t1" not in open_rec or open_rec.get("t1") is None
+        assert close_rec["t1"] is not None
+
+    def test_collect_merges_foreign_records(self):
+        tracer = SpanTracer()
+        foreign = {"span_id": "abc-1", "name": "cell", "t0": 1, "t1": 2}
+        tracer.collect(foreign)
+        assert foreign in tracer.records
+
+    def test_summary_rolls_up_by_name(self):
+        clock = iter([0.0, 1.0, 1.0, 3.0]).__next__
+        tracer = SpanTracer(clock=clock)
+        for _ in range(2):
+            span = tracer.start("run")
+            tracer.finish(span)
+        summary = tracer.summary()
+        assert summary == {"run": {"count": 2, "total_s": 3.0}}
+
+
+class TestResourceSample:
+    def test_sample_shape(self):
+        sample = resource_sample(extra_counter=7)
+        assert sample["pid"] > 0
+        assert sample["extra_counter"] == 7
+        # rusage fields degrade to absent, never to garbage
+        for key in ("rss_kb", "cpu_user_s", "cpu_sys_s"):
+            if key in sample:
+                assert sample[key] >= 0
+
+    def test_trace_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+        assert len(new_trace_id()) == 16

@@ -1,0 +1,109 @@
+"""Cross-process span propagation through the worker pool.
+
+The distributed-tracing guarantees, under both multiprocessing start
+methods:
+
+* worker spans carry the parent's trace id and parent under the
+  sweep-root span, with their own OS pids;
+* the feed written during a ``--jobs 2`` sweep passes *strict*
+  validation — every span closed, every started cell finished (the
+  deterministic heartbeat drain on pool shutdown);
+* instrumentation changes no simulation counter: results are
+  bit-identical to a spans-off serial sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import RunLedger, read_feed, validate_feed
+from repro.obs.feed import feed_spans, last_session
+from repro.runner import RunSpec, SweepRunner
+
+SCALE = 0.05
+
+SPECS = [
+    RunSpec(workload="lu", scale=SCALE, predictor="SP"),
+    RunSpec(workload="x264", scale=SCALE),
+    RunSpec(workload="lu", scale=SCALE, protocol="broadcast"),
+]
+
+
+def run_traced_sweep(tmp_path, monkeypatch, start_method):
+    monkeypatch.setenv("REPRO_MP_START", start_method)
+    feed_path = tmp_path / f"feed-{start_method}.jsonl"
+    runner = SweepRunner(
+        jobs=2, disk=None, progress=False,
+        feed=feed_path, spans=True,
+    )
+    results = runner.run_many(SPECS)
+    return runner, feed_path, results
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+class TestSpanPropagation:
+    def test_pool_sweep_feed_validates_strictly(
+        self, tmp_path, monkeypatch, start_method
+    ):
+        runner, feed_path, results = run_traced_sweep(
+            tmp_path, monkeypatch, start_method
+        )
+        report = validate_feed(feed_path)
+        assert report.errors == []
+        assert report.passed
+        # the deterministic drain: every dispatched cell finished
+        assert report.cells == len(SPECS)
+        assert not report.truncated and not report.open_tail
+
+        records = last_session(read_feed(feed_path))
+        spans, _resources = feed_spans(records)
+        parent_pid = os.getpid()
+        trace = runner.last_trace_id
+        assert trace is not None
+        assert all(s["trace"] == trace for s in spans)
+
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        root = by_name["sweep"][0]
+        assert root["pid"] == parent_pid
+
+        worker_pids = {s["pid"] for s in by_name["cell"]}
+        assert parent_pid not in worker_pids
+        assert len(by_name["cell"]) == len(SPECS)
+        # every worker cell span hangs off the parent's root span
+        assert all(
+            s["parent"] == root["span_id"] for s in by_name["cell"]
+        )
+        # the phases inside each cell stayed in the worker process
+        for name in ("load", "run", "flush"):
+            assert {s["pid"] for s in by_name[name]} <= worker_pids
+
+    def test_counters_identical_to_untraced_serial(
+        self, tmp_path, monkeypatch, start_method
+    ):
+        monkeypatch.setenv("REPRO_LEDGER", "0")
+        bare = SweepRunner(jobs=1, disk=None, progress=False, spans=False)
+        expected = [r.to_dict() for r in bare.run_many(SPECS)]
+        monkeypatch.setenv("REPRO_LEDGER", "1")
+
+        _, _, results = run_traced_sweep(
+            tmp_path, monkeypatch, start_method
+        )
+        assert [r.to_dict() for r in results] == expected
+
+    def test_ledger_entry_carries_trace_and_span_summary(
+        self, tmp_path, monkeypatch, start_method
+    ):
+        runner, _, _ = run_traced_sweep(tmp_path, monkeypatch, start_method)
+        assert runner.last_run_id is not None
+        entry = RunLedger().get(runner.last_run_id)
+        assert entry["extra"]["trace"] == runner.last_trace_id
+        spans = entry["extra"]["spans"]
+        assert spans == runner.last_span_summary
+        for name in ("sweep", "dispatch", "cell", "run"):
+            assert spans[name]["count"] >= 1
+            assert spans[name]["total_s"] >= 0
+        assert spans["cell"]["count"] == len(SPECS)

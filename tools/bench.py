@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the sweep runner, the simulation hot path, and the trace store.
 
-Times six things and writes them to ``BENCH_sweep.json`` so the
+Times seven things and writes them to ``BENCH_sweep.json`` so the
 repository's performance trajectory is tracked from run to run:
 
 * a canonical multi-workload sweep, serially in one process (the seed
@@ -24,7 +24,11 @@ repository's performance trajectory is tracked from run to run:
   loops on the same cells: the hot suite run (contended; vector tracks
   compiled) and a batch-heavy private-stream synthetic at a coarse
   quantum (the vector path's target shape, reported with its
-  batch-coverage fraction).
+  batch-coverage fraction);
+* the span tracer + telemetry feed: a fully instrumented serial sweep
+  (spans, feed, progress, ledger) against all-off, interleaved — the
+  overhead ratio joins the history rows so the ≤5% guarantee has a
+  trajectory, not just a gate.
 
 Each sweep gets its own fresh trace-store directory, so "cold" numbers
 include trace compilation and stay reproducible regardless of what
@@ -588,6 +592,14 @@ def main(argv=None) -> int:
             )
         vector_section["default_quantum_suite"] = suite_section
 
+    print("span tracer + telemetry feed overhead (instrumented sweep) ...")
+    from repro.cli import _span_overhead_stage
+    with timer.phase("span_overhead"):
+        span_section = _span_overhead_stage(
+            "lu", 0.05 if args.smoke else 0.1, cells=3,
+            reps=min(reps, 3),
+        )
+
     sweep = {
         "serial_cold_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_cold_s, 3),
@@ -629,6 +641,7 @@ def main(argv=None) -> int:
         },
         "trace_store": trace_store,
         "vector": vector_section,
+        "span_overhead": span_section,
     }
     fast_pairs = [
         ("single_run.full_s (compiled)", single_s,
@@ -684,6 +697,7 @@ def main(argv=None) -> int:
     }
     if suite_section is not None:
         row["vector_suite_speedup"] = suite_section["suite_speedup"]
+    row["span_overhead_ratio"] = span_section["span_overhead_ratio"]
     history.append(row)
     payload["history"] = history
 

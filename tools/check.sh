@@ -57,9 +57,26 @@ echo "== observability overhead gate =="
 # must validate, and the disabled path must not run slower than the
 # enabled one (the single falsy check is the only cost when off).
 # The sweep stage additionally certifies the live telemetry + run
-# ledger as non-perturbing and within the overhead budget.
+# ledger as non-perturbing and within the overhead budget, and --spans
+# extends the same contract to the span tracer + telemetry feed.
 python -m repro obs overhead --workload lu --scale 0.1 --reps 5 \
-    --bench "$BENCH_OUT"
+    --spans --bench "$BENCH_OUT"
+
+echo "== distributed sweep tracing (feed + waterfall artifacts) =="
+# A small two-worker sweep streaming its telemetry feed: the feed must
+# pass strict validation (ordering, span/cell pairing, closed tail),
+# and the span timeline exports as CI artifacts — the Perfetto trace
+# with both sweep-process and simulator tracks, and the dashboard with
+# the sweep waterfall panel.
+SWEEP_FEED="sweep-feed.jsonl"
+rm -f "$SWEEP_FEED"
+python -m repro.experiments fig7 --scale 0.05 --jobs 2 --no-cache \
+    --feed "$SWEEP_FEED" --quiet > /dev/null
+python -m repro obs feed validate "$SWEEP_FEED" --strict-tail
+python -m repro obs export --feed "$SWEEP_FEED" \
+    -o sweep-spans-perfetto.json
+python -m repro obs dashboard --feed "$SWEEP_FEED" \
+    --out sweep-dashboard.html
 
 echo "== vector default-quantum gate (contended suite) =="
 # Cross-quantum window fusion and the shared-run fast path must keep
