@@ -65,7 +65,10 @@ class CaseFailure:
     ``"divergence"`` (two backends disagreed functionally),
     ``"crash"`` (a backend raised mid-transaction), ``"events"``
     (the observability tracer emitted a schema-invalid event stream),
-    or ``"ingest"`` (the SynchroTrace export -> re-ingest round trip
+    ``"forensics"`` (mispredict attribution lost or double-counted an
+    outcome: taxonomy totals must equal the counter-derived mispredict
+    universe, every mispredict classified exactly once), or
+    ``"ingest"`` (the SynchroTrace export -> re-ingest round trip
     changed the trace or its simulation counters).
     """
 
@@ -158,20 +161,34 @@ def _run_engine_cells(
     monotone timestamps), and because the other runs are untraced,
     payload equality doubles as a continuous proof that the tracer
     never perturbs a simulation counter.
+
+    A fourth run repeats the vector config with a
+    :class:`~repro.obs.ForensicsCollector` attached — attribution
+    disarms the batch kernels, so this fuzzes the per-event fallback —
+    and its payload must still match the interpreted reference, while
+    the forensics doc must cross-validate against the counters (every
+    mispredict classified exactly once).
     """
     from repro.check.differential import _dict_diff
-    from repro.obs import EventTracer, validate_events
+    from repro.obs import (
+        EventTracer,
+        ForensicsCollector,
+        validate_events,
+        validate_forensics,
+    )
     from repro.sim.engine import SimulationEngine
 
     configs = (
         ("interpreted", {"use_compiled": False, "use_vector": False}),
         ("compiled", {"use_compiled": True, "use_vector": False}),
         ("vector", {"use_vector": True}),
+        ("forensics", {"use_vector": True}),
     )
     for protocol, predictor in cells:
         cell = f"engine:{protocol}/{predictor}"
         payloads = {}
         tracer = None
+        forensics = None
         for loop, loop_kw in configs:
             try:
                 engine = SimulationEngine(
@@ -186,6 +203,9 @@ def _run_engine_cells(
                 if loop == "compiled":
                     tracer = EventTracer()
                     engine.tracer = tracer
+                elif loop == "forensics":
+                    forensics = ForensicsCollector()
+                    engine.forensics = forensics
                 payloads[loop] = engine.run().to_dict()
             except Exception as exc:
                 return CaseFailure(
@@ -193,7 +213,7 @@ def _run_engine_cells(
                     cell=f"{cell} ({loop})",
                     detail=f"{type(exc).__name__}: {exc}",
                 )
-        for loop in ("compiled", "vector"):
+        for loop in ("compiled", "vector", "forensics"):
             if payloads["interpreted"] != payloads[loop]:
                 return CaseFailure(
                     kind="divergence",
@@ -205,6 +225,15 @@ def _run_engine_cells(
             return CaseFailure(
                 kind="events",
                 cell=f"{cell} (compiled, traced)",
+                detail="; ".join(errors[:3]),
+            )
+        errors = validate_forensics(
+            forensics.to_doc(), payloads["forensics"]
+        )
+        if errors:
+            return CaseFailure(
+                kind="forensics",
+                cell=f"{cell} (vector, forensics)",
                 detail="; ".join(errors[:3]),
             )
     return None

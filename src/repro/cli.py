@@ -227,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=65536,
         help="event ring capacity (default %(default)s)",
     )
+    otrace.add_argument(
+        "--forensics", action="store_true",
+        help="attach mispredict attribution so every pred event (and "
+             "the Perfetto mispredict instants exported from it) "
+             "carries its taxonomy class as `tax`",
+    )
     otrace.set_defaults(func=cmd_obs_trace)
 
     oreport = obssub.add_parser(
@@ -298,7 +304,63 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="per-session summary of a feed (cells, span rollup)"
     )
     fshow.add_argument("path", help="a feed .jsonl file")
+    fshow.add_argument(
+        "--follow", action="store_true",
+        help="tail the feed live (one line per record as it is "
+             "appended; Ctrl-C to stop)",
+    )
+    fshow.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval in seconds for --follow "
+             "(default %(default)s)",
+    )
     fshow.set_defaults(func=cmd_obs_feed_show)
+
+    owhy = obssub.add_parser(
+        "why",
+        help="prediction forensics: decompose every mispredict into a "
+             "causal taxonomy (cold-sync, evicted-entry, ...)",
+    )
+    owhy.add_argument(
+        "workload", nargs="?", default=None, choices=benchmark_names(),
+        help="drill into one workload (default: the whole suite table)",
+    )
+    owhy.add_argument(
+        "--protocol", choices=PROTOCOL_NAMES, default="directory"
+    )
+    owhy.add_argument(
+        "--predictor", default="SP",
+        choices=[k for k in PREDICTOR_KINDS if k != "none"],
+    )
+    owhy.add_argument("--scale", type=float, default=0.1)
+    owhy.add_argument(
+        "--taxonomy", default=None,
+        help="drill-down: show only this taxonomy class",
+    )
+    owhy.add_argument(
+        "--sync", default=None,
+        help="drill-down: show only this sync-point label "
+             "(e.g. pc:4096)",
+    )
+    owhy.add_argument(
+        "--examples", type=int, default=3,
+        help="example miss chains kept per class (default %(default)s)",
+    )
+    owhy.add_argument(
+        "--max-other", type=float, default=0.10,
+        help="fail when a workload's other-rate exceeds this fraction "
+             "(default %(default)s)",
+    )
+    owhy.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the forensics docs as a JSON artifact",
+    )
+    owhy.add_argument(
+        "--record", action="store_true",
+        help="record the taxonomy as forensics.* counters in the run "
+             "ledger (obs diff then flags taxonomy drift)",
+    )
+    owhy.set_defaults(func=cmd_obs_why)
 
     oover = obssub.add_parser(
         "overhead",
@@ -325,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also certify the spans+feed layer: a fully instrumented "
              "sweep (spans, feed, progress, ledger) vs. all-off, "
              "bit-identical counters, and the feed must validate",
+    )
+    oover.add_argument(
+        "--forensics", action="store_true",
+        help="also certify the forensics layer: counters bit-identical "
+             "with attribution on/off, the forensics doc consistent "
+             "with the counters, and the disabled path no slower than "
+             "the enabled",
     )
     oover.set_defaults(func=cmd_obs_overhead)
 
@@ -680,13 +749,14 @@ def _merge_bench(path: str, key: str, payload: dict) -> None:
 
 
 def cmd_obs_trace(args) -> int:
-    from repro.obs import EventTracer, save_events
+    from repro.obs import EventTracer, ForensicsCollector, save_events
 
     tracer = EventTracer(capacity=args.capacity)
+    forensics = ForensicsCollector() if args.forensics else None
     workload = load_benchmark(args.workload, scale=args.scale)
     result = SimulationEngine(
         workload, machine=MachineConfig(), protocol=args.protocol,
-        predictor=args.predictor, tracer=tracer,
+        predictor=args.predictor, tracer=tracer, forensics=forensics,
     ).run()
     doc = save_events(tracer, args.output)
     print(
@@ -697,6 +767,12 @@ def cmd_obs_trace(args) -> int:
         print(
             f"  {result.workload}: accuracy {result.accuracy:.1%} over "
             f"{result.comm_misses:,} communicating misses"
+        )
+    if forensics is not None:
+        fdoc = forensics.to_doc()
+        print(
+            f"  forensics: {fdoc['mispredicts']:,} mispredicts "
+            f"attributed ({fdoc['other_rate']:.1%} other)"
         )
     return 0
 
@@ -848,6 +924,15 @@ def cmd_obs_feed_validate(args) -> int:
 def cmd_obs_feed_show(args) -> int:
     from repro.obs import FeedError, read_feed, render_feed_report
 
+    if args.follow:
+        from repro.obs import follow_feed, render_feed_line
+
+        try:
+            for rec in follow_feed(args.path, poll=args.interval):
+                print(render_feed_line(rec), flush=True)
+        except KeyboardInterrupt:
+            pass  # Ctrl-C is how a tail ends; exit clean.
+        return 0
     try:
         records = read_feed(args.path)
     except FeedError as exc:
@@ -855,6 +940,75 @@ def cmd_obs_feed_show(args) -> int:
         return 1
     print(render_feed_report(records))
     return 0
+
+
+def cmd_obs_why(args) -> int:
+    """Prediction forensics: run with attribution on, decompose every
+    mispredict, and gate on exact totals plus a bounded other-rate."""
+    from repro.obs import (
+        FORENSICS_SCHEMA,
+        ForensicsCollector,
+        metrics_from_result,
+        record_run,
+        render_forensics_detail,
+        render_forensics_report,
+        validate_forensics,
+    )
+
+    names = (
+        [args.workload] if args.workload else list(benchmark_names())
+    )
+    machine = MachineConfig()
+    docs, cells, errors = [], [], []
+    for name in names:
+        workload = load_benchmark(name, scale=args.scale)
+        collector = ForensicsCollector(
+            examples_per_class=max(1, args.examples)
+        )
+        engine = SimulationEngine(
+            workload, machine=machine, protocol=args.protocol,
+            predictor=args.predictor, forensics=collector,
+        )
+        result = engine.run()
+        doc = collector.to_doc()
+        cell_errors = validate_forensics(doc, result.to_dict())
+        if doc["other_rate"] > args.max_other:
+            cell_errors.append(
+                f"other-rate {doc['other_rate']:.1%} exceeds "
+                f"{args.max_other:.0%}"
+            )
+        errors.extend(f"{name}: {msg}" for msg in cell_errors)
+        docs.append(doc)
+        cells.append(metrics_from_result(result, machine, forensics=doc))
+    if args.workload:
+        print(render_forensics_detail(
+            docs[0], taxonomy=args.taxonomy, sync=args.sync,
+            examples=args.examples,
+        ))
+    else:
+        print(render_forensics_report(docs))
+    if args.json:
+        artifact = {
+            "schema": FORENSICS_SCHEMA,
+            "protocol": args.protocol,
+            "predictor": args.predictor,
+            "scale": args.scale,
+            "workloads": docs,
+            "errors": errors,
+            "passed": not errors,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.record:
+        record_run("sweep", label="obs-why", metrics={"cells": cells})
+    for msg in errors:
+        print(f"error: {msg}", file=sys.stderr)
+    print(f"obs-why: {'PASS' if not errors else 'FAIL'} "
+          f"({len(docs)} workload(s), "
+          f"{sum(d['mispredicts'] for d in docs):,} mispredicts "
+          f"attributed)")
+    return 0 if not errors else 1
 
 
 def cmd_obs_overhead(args) -> int:
@@ -949,6 +1103,26 @@ def cmd_obs_overhead(args) -> int:
             )
         passed = passed and span_failure is None
         payload["passed"] = passed
+    forensics_failure = None
+    if args.forensics:
+        stage = _forensics_overhead_stage(args.workload, args.scale, reps)
+        payload.update(stage)
+        if not stage["forensics_counters_identical"]:
+            forensics_failure = "forensics perturbed counters"
+        elif stage["forensics_errors"]:
+            forensics_failure = (
+                "forensics doc inconsistent with counters"
+            )
+        elif (
+            stage["forensics_off_s"]
+            > stage["forensics_on_s"] * args.max_ratio
+        ):
+            forensics_failure = (
+                "forensics-off path slower than enabled beyond "
+                f"{args.max_ratio}x"
+            )
+        passed = passed and forensics_failure is None
+        payload["passed"] = passed
     if args.bench:
         _merge_bench(args.bench, "obs_overhead", payload)
     print(json.dumps(payload, indent=2))
@@ -961,6 +1135,9 @@ def cmd_obs_overhead(args) -> int:
         print(f"obs-overhead: FAIL ({sweep_failure})", file=sys.stderr)
     elif span_failure:
         print(f"obs-overhead: FAIL ({span_failure})", file=sys.stderr)
+    elif forensics_failure:
+        print(f"obs-overhead: FAIL ({forensics_failure})",
+              file=sys.stderr)
     elif not passed:
         print("obs-overhead: FAIL (disabled path slower than enabled)",
               file=sys.stderr)
@@ -1169,6 +1346,69 @@ def _span_overhead_stage(
         "span_feed_records": report.records,
         "span_feed_sessions": report.sessions,
         "span_feed_errors": feed_errors,
+    }
+
+
+def _forensics_overhead_stage(
+    workload_name: str, scale: float, reps: int
+) -> dict:
+    """Certify the forensics attribution layer as non-perturbing.
+
+    Off-vs-on runs of one workload, order alternated per rep,
+    min-of-reps: counters must be bit-identical (attach disarms the
+    vector batch kernels, so the on side exercises the per-event
+    fallback), the forensics doc must cross-validate against those
+    counters, and the disabled path must stay no slower than the
+    enabled one.  The on/off wall ratio is reported for the bench
+    trajectory — the on side being slower is expected (it forgoes the
+    batch kernels), the off side being slower would mean the hooks
+    leak cost into the default path.
+    """
+    import time
+
+    from repro.obs import ForensicsCollector, validate_forensics
+
+    machine = MachineConfig()
+    workload = load_benchmark(workload_name, scale=scale)
+
+    def run_once(forensics):
+        engine = SimulationEngine(
+            workload, machine=machine, protocol="directory",
+            predictor="SP", forensics=forensics,
+        )
+        start = time.perf_counter()
+        result = engine.run()
+        return time.perf_counter() - start, result.to_dict()
+
+    run_once(None)  # warm the compiled trace and code paths
+    off_times, on_times = [], []
+    off_payload = on_payload = None
+    doc = None
+    for rep in range(max(1, reps)):
+        # Alternate order per rep: same host-drift hedge as the other
+        # stages.
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        for enabled in order:
+            if enabled:
+                collector = ForensicsCollector()
+                elapsed, on_payload = run_once(collector)
+                on_times.append(elapsed)
+                doc = collector.to_doc()
+            else:
+                elapsed, off_payload = run_once(None)
+                off_times.append(elapsed)
+    errors = validate_forensics(doc, on_payload)
+    t_off, t_on = min(off_times), min(on_times)
+    return {
+        "forensics_off_s": round(t_off, 4),
+        "forensics_on_s": round(t_on, 4),
+        "forensics_overhead_ratio": (
+            round(t_on / t_off, 3) if t_off else None
+        ),
+        "forensics_counters_identical": off_payload == on_payload,
+        "forensics_mispredicts": doc.get("mispredicts") if doc else None,
+        "forensics_other_rate": doc.get("other_rate") if doc else None,
+        "forensics_errors": errors,
     }
 
 

@@ -414,6 +414,48 @@ class SPPredictor(TargetPredictor):
         """
         if self.mapping is not None:
             self.mapping.apply_permutation(physical_of_logical)
+        else:
+            # Stamp the table so forensics can tell which signatures were
+            # trained before the unabsorbed move (their physical IDs are
+            # stale — the Section 5.5 failure mode).
+            self.table.migration_seq = self.table.seq
+
+    def prediction_provenance(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> dict:
+        """The causal chain behind the core's current prediction state.
+
+        Called by the forensics layer (:mod:`repro.obs.forensics`) after
+        a miss outcome is known — never from the engine hot path — and
+        reads predictor state without mutating any of it.
+        """
+        state = self._cores[self._logical(core)]
+        prov = {
+            "predictor": self.name,
+            "key": (
+                list(state.epoch_key) if state.epoch_key is not None
+                else None
+            ),
+            "is_lock": state.epoch_is_lock,
+            "source": state.source.value,
+            "miss_count": state.miss_count,
+            "warmup_misses": self.config.warmup_misses,
+            "warmup": (
+                state.predictor_reg is None
+                and state.source is PredictionSource.D0
+            ),
+            "mapped": self.mapping is not None,
+            "confidence": state.confidence.value,
+        }
+        if state.epoch_key is not None:
+            prov.update(
+                self.table.provenance(
+                    self._logical(core), state.epoch_key
+                )
+            )
+        else:
+            prov["present"] = False
+        return prov
 
     # -- profile-guided warm start --------------------------------------
 

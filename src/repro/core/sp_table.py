@@ -32,6 +32,14 @@ class SPTableEntry:
     period: int | None = None
     instances_recorded: int = 0
     mean_volume: float = 0.0
+    #: Provenance counters for the forensics layer (repro.obs.forensics):
+    #: the table's train sequence number at allocation and at the last
+    #: push, whether this entry replaced one previously evicted under
+    #: the same key, and the union of every core ID ever pushed into it.
+    created_seq: int = 0
+    last_train_seq: int = -1
+    reinserted_after_evict: bool = False
+    ever_seen: set = field(default_factory=set)
 
     @property
     def alternating(self) -> bool:
@@ -45,6 +53,7 @@ class SPTableEntry:
         while len(self.signatures) > self.depth:
             self.signatures.popleft()
         self.instances_recorded += 1
+        self.ever_seen.update(signature)
         # Running mean of per-instance communication volume (noise floor).
         n = self.instances_recorded
         self.mean_volume += (volume - self.mean_volume) / n
@@ -81,6 +90,15 @@ class SPTable:
         self.lookups = 0
         self.updates = 0
         self.evictions = 0
+        #: Monotonic train tick (bumped once per :meth:`record`);
+        #: entries stamp it so the forensics layer can age signatures.
+        self.seq = 0
+        #: full_key -> times an entry under that key was evicted.
+        self.evicted_keys: dict = {}
+        #: ``seq`` at the last migration a mapping-less predictor could
+        #: not absorb (None until one happens); entries last trained at
+        #: or before this tick hold pre-migration physical IDs.
+        self.migration_seq: int | None = None
 
     @staticmethod
     def _full_key(core: int, table_key: tuple) -> tuple:
@@ -102,7 +120,11 @@ class SPTable:
         key = self._full_key(core, table_key)
         entry = self._entries.get(key)
         if entry is None:
-            entry = SPTableEntry(depth=self.depth)
+            entry = SPTableEntry(
+                depth=self.depth,
+                created_seq=self.seq,
+                reinserted_after_evict=key in self.evicted_keys,
+            )
             self._entries[key] = entry
             self._enforce_capacity()
         self._entries.move_to_end(key)
@@ -113,8 +135,10 @@ class SPTable:
     ) -> SPTableEntry:
         """Store an ending epoch's signature (Table 2's final action)."""
         self.updates += 1
+        self.seq += 1
         entry = self.entry(core, table_key)
         entry.push(signature, volume)
+        entry.last_train_seq = self.seq
         if self.tracer is not None:
             self.tracer.sp_insert(
                 core, self._full_key(core, table_key), signature
@@ -127,11 +151,42 @@ class SPTable:
         while len(self._entries) > self.max_entries:
             key, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            self.evicted_keys[key] = self.evicted_keys.get(key, 0) + 1
             if self.tracer is not None:
                 self.tracer.sp_evict(key)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def provenance(self, core: int, table_key: tuple) -> dict:
+        """Forensics-facing view of one entry's history state.
+
+        Reads ``_entries`` directly — no LRU touch, no ``lookups``
+        bump — so attribution can never perturb simulation counters.
+        """
+        key = self._full_key(core, table_key)
+        entry = self._entries.get(key)
+        prior = self.evicted_keys.get(key, 0)
+        if entry is None:
+            return {"present": False, "prior_evictions": prior}
+        return {
+            "present": True,
+            "trains": entry.instances_recorded,
+            "depth": entry.available_depth,
+            "config_depth": self.depth,
+            "shallow": entry.available_depth < self.depth,
+            "age": (
+                self.seq - entry.last_train_seq
+                if entry.last_train_seq >= 0 else None
+            ),
+            "reinserted_after_evict": entry.reinserted_after_evict,
+            "prior_evictions": prior,
+            "ever_seen": sorted(entry.ever_seen),
+            "stale_migration": (
+                self.migration_seq is not None
+                and 0 <= entry.last_train_seq <= self.migration_seq
+            ),
+        }
 
     # -- profile-guided warm start (Section 5.2's off-line suggestion) --
 

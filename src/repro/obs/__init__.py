@@ -27,7 +27,9 @@ Entry points:
 * :class:`SpanTracer` / :func:`resource_sample` — hierarchical sweep
   pipeline spans with cross-process context propagation;
 * :class:`FeedWriter` / :func:`validate_feed` — the append-only JSONL
-  telemetry feed sweeps stream and clients tail.
+  telemetry feed sweeps stream and clients tail;
+* :class:`ForensicsCollector` / :func:`classify_miss` — causal
+  mispredict attribution into a closed taxonomy (``repro obs why``).
 """
 
 from repro.obs.dashboard import (
@@ -51,9 +53,18 @@ from repro.obs.feed import (
     FeedReport,
     FeedWriter,
     feed_spans,
+    follow_feed,
     last_session,
     read_feed,
     validate_feed,
+)
+from repro.obs.forensics import (
+    FORENSICS_SCHEMA,
+    TAXONOMY,
+    ForensicsCollector,
+    classify_miss,
+    expected_mispredicts,
+    validate_forensics,
 )
 from repro.obs.hostinfo import git_sha, host_metadata
 from repro.obs.ledger import (
@@ -90,7 +101,10 @@ from repro.obs.report import (
     accuracy_timeline,
     epoch_detail,
     epoch_table,
+    render_feed_line,
     render_feed_report,
+    render_forensics_detail,
+    render_forensics_report,
     render_metrics_report,
     render_report,
 )
@@ -107,14 +121,17 @@ __all__ = [
     "EVENT_KINDS",
     "FEED_KINDS",
     "FEED_SCHEMA",
+    "FORENSICS_SCHEMA",
     "LEDGER_SCHEMA",
     "METRICS_SCHEMA",
     "SCHEMA_VERSION",
     "SPAN_SCHEMA",
+    "TAXONOMY",
     "EventTracer",
     "FeedError",
     "FeedReport",
     "FeedWriter",
+    "ForensicsCollector",
     "HeartbeatListener",
     "LedgerError",
     "MetricDelta",
@@ -126,13 +143,16 @@ __all__ = [
     "SweepProgress",
     "accuracy_timeline",
     "aggregate_metrics",
+    "classify_miss",
     "compare_runs",
     "dashboard_data",
     "dashboard_html",
     "default_ledger_dir",
     "epoch_detail",
     "epoch_table",
+    "expected_mispredicts",
     "feed_spans",
+    "follow_feed",
     "git_sha",
     "hop_distribution",
     "host_metadata",
@@ -147,7 +167,10 @@ __all__ = [
     "profile_call",
     "read_feed",
     "record_run",
+    "render_feed_line",
     "render_feed_report",
+    "render_forensics_detail",
+    "render_forensics_report",
     "render_metrics_report",
     "render_report",
     "resource_sample",
@@ -159,4 +182,5 @@ __all__ = [
     "top_functions",
     "validate_events",
     "validate_feed",
+    "validate_forensics",
 ]

@@ -137,6 +137,35 @@ def _timelines(entry: dict) -> list:
     return out
 
 
+def _forensics_rows(entry: dict) -> list:
+    """Per-workload mispredict taxonomy from ``forensics.*`` counters.
+
+    ``repro obs why --record`` folds each workload's taxonomy into its
+    metrics cell as ``forensics.<class>`` counters; this picks them back
+    out for the stacked panel.  Empty when the entry never ran
+    forensics.
+    """
+    from repro.obs.forensics import TAXONOMY
+
+    rows = []
+    for name, cell in sorted(_best_cells(entry).items()):
+        counters = cell.get("counters") or {}
+        taxonomy = {
+            cls: counters.get(f"forensics.{cls}", 0) for cls in TAXONOMY
+        }
+        total = counters.get("forensics.mispredicts")
+        if total is None and not any(taxonomy.values()):
+            continue
+        rows.append({
+            "workload": name,
+            "mispredicts": (
+                total if total is not None else sum(taxonomy.values())
+            ),
+            "taxonomy": taxonomy,
+        })
+    return rows
+
+
 def _heatmap(entry: dict) -> dict | None:
     """Element-wise sum of the entry's comm matrices (same-size only)."""
     total = None
@@ -189,6 +218,8 @@ def _waterfall(feed_records) -> dict | None:
 
 def dashboard_data(entries: list, feed_records=None) -> dict:
     """The JSON payload embedded into the dashboard page."""
+    from repro.obs.forensics import TAXONOMY
+
     if not entries:
         raise ValueError("dashboard needs at least one ledger entry")
     latest = entries[-1]
@@ -197,6 +228,7 @@ def dashboard_data(entries: list, feed_records=None) -> dict:
             "%Y-%m-%d %H:%MZ"
         ),
         "paper_avg_accuracy": PAPER_AVG_ACCURACY,
+        "taxonomy_order": list(TAXONOMY),
         "entries": [_entry_summary(e) for e in entries],
         "waterfall": (
             _waterfall(feed_records) if feed_records else None
@@ -206,6 +238,7 @@ def dashboard_data(entries: list, feed_records=None) -> dict:
             "paper_rows": _paper_rows(latest),
             "timelines": _timelines(latest),
             "heatmap": _heatmap(latest),
+            "forensics": _forensics_rows(latest),
         },
     }
 
@@ -339,6 +372,8 @@ svg .gridline { stroke: var(--grid); stroke-width: 1; }
   margin-right: 5px; }
 .legend .key.target { border-top-style: dashed;
   border-top-color: var(--series-2); }
+.legend .chip { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; vertical-align: middle; margin-right: 5px; }
 </style>
 </head>
 <body class="viz-root">
@@ -374,6 +409,15 @@ svg .gridline { stroke: var(--grid); stroke-width: 1; }
   <p class="note">small multiples, one per workload (bucketed dynamic
     epochs, left = run start)</p>
   <div class="multiples" id="timeline-grid"></div>
+</div>
+
+<div class="card" id="forensics">
+  <h2>Mispredict taxonomy per workload</h2>
+  <p class="note">causal attribution of every mispredict
+    (<code>repro obs why</code> forensics counters); each bar is one
+    workload's composition, total at right</p>
+  <div id="forensics-chart"></div>
+  <div class="legend" id="forensics-legend"></div>
 </div>
 
 <div class="card" id="heatmap">
@@ -626,6 +670,64 @@ function render() {
   });
   if (!latest.timelines.length)
     document.getElementById("timelines").style.display = "none";
+
+  // Mispredict taxonomy (stacked composition bars, one per workload)
+  const fx = latest.forensics || [];
+  if (!fx.length) {
+    document.getElementById("forensics").style.display = "none";
+  } else {
+    const order = DATA.taxonomy_order || [];
+    const fxStyle = getComputedStyle(document.body);
+    const fxLo = fxStyle.getPropertyValue("--seq-lo").trim();
+    const fxHi = fxStyle.getPropertyValue("--seq-hi").trim();
+    // Sequential ramp position per class; "other" gets the accent hue
+    // so unexplained mispredicts stand out.
+    const colorOf = cls => cls === "other" ? "var(--series-2)"
+      : mix(fxLo, fxHi,
+            order.indexOf(cls) / Math.max(order.length - 1, 1));
+    const mount = document.getElementById("forensics-chart");
+    const W = Math.max(420, Math.min(760, mount.clientWidth || 640));
+    const rowH = 24, M3 = {l: 110, r: 76, t: 4, b: 4};
+    const H = M3.t + fx.length * rowH + M3.b;
+    const svg = svgEl("svg", {width: W, height: H});
+    fx.forEach((row, i) => {
+      const y = M3.t + i * rowH;
+      const lbl = svgEl("text", {x: M3.l - 6, y: y + rowH - 9,
+        "text-anchor": "end"});
+      lbl.textContent = row.workload;
+      svg.appendChild(lbl);
+      const total = Math.max(row.mispredicts, 1);
+      let x = M3.l;
+      order.forEach(cls => {
+        const v = row.taxonomy[cls] || 0;
+        if (!v) return;
+        const w = v / total * (W - M3.l - M3.r);
+        const bar = svgEl("rect", {x: x, y: y + 4,
+          width: Math.max(w, 1), height: rowH - 9, fill: colorOf(cls)});
+        bar.addEventListener("pointermove", evt =>
+          showTip(evt, [[cls, fmt.num(v)],
+                        ["share", fmt.pct(v / total)],
+                        ["workload", row.workload]]));
+        bar.addEventListener("pointerleave", hideTip);
+        svg.appendChild(bar);
+        x += w;
+      });
+      const tot = svgEl("text", {x: x + 6, y: y + rowH - 9});
+      tot.textContent = fmt.num(row.mispredicts);
+      svg.appendChild(tot);
+    });
+    mount.appendChild(svg);
+    const leg = document.getElementById("forensics-legend");
+    order.forEach(cls => {
+      const item = document.createElement("span");
+      const chip = document.createElement("span");
+      chip.className = "chip";
+      chip.style.background = colorOf(cls);
+      item.appendChild(chip);
+      item.appendChild(document.createTextNode(cls));
+      leg.appendChild(item);
+    });
+  }
 
   // Communication-matrix heatmap (sequential blue ramp)
   const hm = latest.heatmap;

@@ -38,7 +38,9 @@ Event kinds (the ``t`` field; every event also has ``core`` and ``ts``):
 ``pred``        one predicted L2 miss: ``epoch``, ``miss`` (ordinal
                 within the epoch), ``kind``, ``predicted``,
                 ``actual`` (the minimal sufficient set), ``correct``
-                (None on a non-communicating miss), ``source``
+                (None on a non-communicating miss), ``source``;
+                when forensics ran, mispredicts also carry ``tax``
+                (taxonomy class)
 ``pred_repair`` the directory repaired an insufficient predicted
                 set: ``kind``, ``predicted``, ``minimal``,
                 ``missing``
@@ -126,8 +128,13 @@ class EventTracer:
         )
 
     def on_miss(self, core, kind, predicted, actual, correct, source,
-                latency, communicating) -> None:
-        """One L2 miss completed; emits a ``pred`` event if predicted."""
+                latency, communicating) -> dict | None:
+        """One L2 miss completed; emits a ``pred`` event if predicted.
+
+        Returns the emitted event dict (or ``None`` when nothing was
+        predicted) so the engine can stamp post-hoc annotations — the
+        forensics layer's taxonomy class rides along as ``tax``.
+        """
         epoch = self._ensure_epoch(core)
         epoch["misses"] += 1
         if communicating:
@@ -136,11 +143,11 @@ class EventTracer:
         epoch["cursor"] = cursor
         self._last_ts[core] = cursor
         if predicted is None:
-            return
+            return None
         epoch["preds"] += 1
         if correct:
             epoch["correct"] += 1
-        self.emit(
+        return self.emit(
             "pred", core, cursor,
             epoch=epoch["epoch"], miss=epoch["misses"], kind=kind,
             predicted=sorted(predicted), actual=sorted(actual),

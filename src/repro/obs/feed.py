@@ -181,6 +181,60 @@ def feed_spans(records) -> tuple:
     return spans, resources
 
 
+def follow_feed(path, poll: float = 0.5, _sleep=time.sleep):
+    """``tail -f`` over a feed: yield each record as it is appended.
+
+    Tolerates everything a live writer can do to the file: a missing
+    file (waits for it to appear), a torn final line (buffers the
+    partial tail until its newline arrives), and truncation/rotation
+    (detected by the file shrinking; reading restarts from the top).
+    Unparseable *complete* lines are skipped, matching
+    :func:`read_feed`.  The generator never returns on its own — break
+    out of it (the CLI stops on ``KeyboardInterrupt``).
+
+    ``_sleep`` is injectable for tests; the iterator blocks in it
+    between polls.
+    """
+    path = Path(path)
+    offset = 0
+    tail = ""
+    while True:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            _sleep(poll)
+            continue
+        if size < offset:
+            # Truncated or rotated underneath us: start over.
+            offset = 0
+            tail = ""
+        if size == offset:
+            _sleep(poll)
+            continue
+        try:
+            with open(path, encoding="utf-8") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+                offset = fh.tell()
+        except OSError:
+            _sleep(poll)
+            continue
+        tail += chunk
+        # Only lines that end in a newline are complete; a torn final
+        # line stays buffered until the writer finishes it.
+        *complete, tail = tail.split("\n")
+        for line in complete:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(rec, dict):
+                yield rec
+
+
 # -- validation ---------------------------------------------------------
 
 

@@ -1,0 +1,324 @@
+"""Prediction forensics: causal attribution for every mispredict.
+
+The tracer (:mod:`repro.obs.events`) records *that* a prediction missed
+— predicted vs. actual destination sets.  This layer records *why*: for
+every prediction outcome it captures the provenance chain behind the
+predicting state (which table entry produced the set, how it was
+assembled, eviction pressure, warm-up state, migration status) and
+classifies each mispredict into a closed taxonomy.  That decomposes the
+paper's residual ~23% miss rate the way its analysis sections do, and
+it is the introspection substrate the learned-predictor roadmap item
+needs.
+
+Taxonomy (classifier rules first-match-wins, mapped to the paper):
+
+``over-prediction``
+    A non-empty prediction on a *non-communicating* miss — bandwidth
+    spent, nothing misdirected (the paper's Section 5.3 traffic cost).
+``cold-sync``
+    No usable history yet: the sync point's entry is absent or
+    untrained, the predictor is still in its warm-up interval, or a
+    warm-up/d0 hot set mispredicted (Section 4.2's d = 0 case).
+``evicted-entry``
+    The entry that would have predicted was evicted under a capacity
+    cap and has not been rebuilt (Figure 13's space-sensitivity loss).
+``capacity-conflict``
+    The entry was rebuilt after an eviction but its history is still
+    shallower than the configured depth — the mispredict is the
+    eviction's echo, not a behavior change.
+``migration``
+    The signature was trained before a thread migration that a
+    mapping-less predictor could not absorb, so its physical core IDs
+    are stale (the Section 5.5 problem).
+``first-sharing``
+    An actual sharer never appeared in the entry's history at all — no
+    stored signature could have predicted it (first dynamic instance
+    of a sharing pattern).
+``stale-signature``
+    Every actual sharer was known to the entry, but the stored
+    signature no longer matches — sharing behavior shifted between
+    training and use (what confidence-triggered recovery, Section 4.4,
+    exists to catch).
+``other``
+    Nothing above applies — in practice only predictors that report no
+    provenance.
+
+Like the tracer, this layer is strictly outside the simulation: the
+engine holds a ``forensics`` attribute defaulting to ``None``, every
+hook is one falsy check, and attach disarms the vector batch kernels
+exactly like tracer attach (per-event fallback, bit-identical
+counters).  ``repro obs overhead --forensics`` certifies both
+properties.
+"""
+
+from __future__ import annotations
+
+#: Bump on any backwards-incompatible change to the forensics doc.
+FORENSICS_SCHEMA = 1
+
+#: The closed taxonomy, in report order.
+TAXONOMY = (
+    "cold-sync",
+    "evicted-entry",
+    "stale-signature",
+    "migration",
+    "first-sharing",
+    "over-prediction",
+    "capacity-conflict",
+    "other",
+)
+
+#: Example miss chains kept per taxonomy class.
+EXAMPLES_PER_CLASS = 3
+
+
+def classify_miss(
+    predicted,
+    actual,
+    prediction_correct,
+    communicating: bool,
+    provenance: dict | None,
+) -> str | None:
+    """Classify one prediction outcome; ``None`` for non-mispredicts.
+
+    ``predicted`` is the predicted target set (or ``None`` when the
+    predictor declined), ``actual`` the transaction's minimal target
+    set, ``prediction_correct`` the protocol's verdict (``None`` on
+    non-communicating misses), and ``provenance`` the predictor's
+    :meth:`~repro.predictors.base.TargetPredictor.prediction_provenance`
+    dict.  Pure function — the classifier rules in the module docstring
+    are this code, in order.
+    """
+    prov = provenance or {}
+    if predicted is not None and prediction_correct is None:
+        return "over-prediction"
+    if predicted is not None and prediction_correct:
+        return None
+    if predicted is None and not communicating:
+        return None
+    if predicted is None:
+        # Uncovered communicating miss: nothing was predicted.
+        if not prov.get("present"):
+            if prov.get("prior_evictions"):
+                return "evicted-entry"
+            return "cold-sync"
+        if prov.get("warmup") or not prov.get("trains"):
+            return "cold-sync"
+    else:
+        # Incorrect prediction on a communicating miss.
+        if prov.get("stale_migration"):
+            return "migration"
+        if prov.get("reinserted_after_evict") and prov.get("shallow"):
+            return "capacity-conflict"
+        if prov.get("source") == "d0":
+            return "cold-sync"
+    ever_seen = prov.get("ever_seen")
+    if ever_seen is None:
+        return "other"
+    known = set(ever_seen)
+    if any(target not in known for target in actual):
+        return "first-sharing"
+    return "stale-signature"
+
+
+def _sync_label(provenance: dict | None) -> str:
+    key = (provenance or {}).get("key")
+    if key is None:
+        return "(pre-sync)"
+    return ":".join(str(part) for part in key)
+
+
+class ForensicsCollector:
+    """Per-run mispredict attribution, attached like a tracer.
+
+    The engine calls :meth:`on_outcome` once per miss *after* the
+    transaction resolves and *before* training (so provenance reflects
+    the state that actually predicted).  Correct predictions only bump
+    a counter; classification and the provenance query run on failures
+    alone.  Nothing here ever touches a simulation counter.
+    """
+
+    def __init__(self, examples_per_class: int = EXAMPLES_PER_CLASS):
+        self.examples_per_class = examples_per_class
+        self.workload = self.protocol = self.predictor_name = None
+        self.num_cores = 0
+        self._predictor = None
+        self._provenance = None
+        self.outcomes = 0
+        self.correct = 0
+        self.mispredicts = 0
+        self.sync_points = 0
+        self.migrations = 0
+        self.taxonomy = {name: 0 for name in TAXONOMY}
+        self.by_sync: dict = {}
+        self.examples: dict = {name: [] for name in TAXONOMY}
+        self._epoch = []
+
+    def begin_run(
+        self, workload, num_cores, protocol, predictor_name, predictor
+    ) -> None:
+        self.workload = workload
+        self.num_cores = num_cores
+        self.protocol = protocol
+        self.predictor_name = predictor_name
+        self._predictor = predictor
+        self._provenance = (
+            predictor.prediction_provenance
+            if predictor is not None else None
+        )
+        self._epoch = [0] * num_cores
+
+    # -- engine hooks ---------------------------------------------------
+
+    def on_sync(self, core, clock, static_id) -> None:
+        self.sync_points += 1
+        self._epoch[core] += 1
+
+    def on_migrate(self, permutation) -> None:
+        self.migrations += 1
+
+    def on_finish(self, core, clock=0) -> None:
+        pass
+
+    def on_outcome(
+        self, core, block, pc, kind, predicted, actual,
+        prediction_correct, communicating,
+    ) -> str | None:
+        """Record one miss outcome; returns the taxonomy class for a
+        mispredict (so the engine can stamp the tracer's pred event),
+        ``None`` otherwise."""
+        self.outcomes += 1
+        if prediction_correct:
+            self.correct += 1
+            return None
+        if predicted is None and not communicating:
+            return None
+        provenance = (
+            self._provenance(core, block, pc, kind)
+            if self._provenance is not None else None
+        )
+        tax = classify_miss(
+            predicted, actual, prediction_correct, communicating,
+            provenance,
+        )
+        if tax is None:
+            return None
+        self.mispredicts += 1
+        self.taxonomy[tax] += 1
+        label = _sync_label(provenance)
+        per_sync = self.by_sync.get(label)
+        if per_sync is None:
+            per_sync = self.by_sync[label] = {}
+        per_sync[tax] = per_sync.get(tax, 0) + 1
+        bucket = self.examples[tax]
+        if len(bucket) < self.examples_per_class:
+            bucket.append({
+                "core": core,
+                "epoch": self._epoch[core] if self._epoch else 0,
+                "block": block,
+                "pc": pc,
+                "kind": kind,
+                "predicted": sorted(predicted) if predicted else [],
+                "actual": sorted(actual),
+                "communicating": communicating,
+                "provenance": provenance,
+            })
+        return tax
+
+    # -- reporting ------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """The JSON-able forensics document for reports and the ledger."""
+        return {
+            "schema": FORENSICS_SCHEMA,
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "predictor": self.predictor_name,
+            "num_cores": self.num_cores,
+            "outcomes": self.outcomes,
+            "correct": self.correct,
+            "mispredicts": self.mispredicts,
+            "sync_points": self.sync_points,
+            "migrations": self.migrations,
+            "taxonomy": dict(self.taxonomy),
+            "other_rate": (
+                round(self.taxonomy["other"] / self.mispredicts, 4)
+                if self.mispredicts else 0.0
+            ),
+            "by_sync": {
+                label: dict(counts)
+                for label, counts in self.by_sync.items()
+            },
+            "examples": {
+                name: list(items)
+                for name, items in self.examples.items() if items
+            },
+        }
+
+
+def expected_mispredicts(counters: dict) -> int:
+    """The tracer-side mispredict total from result counters.
+
+    The mispredict universe is: incorrect predictions on communicating
+    misses, plus predictions on non-communicating misses
+    (over-prediction), plus *uncovered* communicating misses (no
+    prediction where one was needed).
+    """
+    uncovered = counters.get("comm_misses", 0) - counters.get(
+        "pred_on_comm", 0
+    )
+    return (
+        counters.get("pred_incorrect", 0)
+        + counters.get("pred_on_noncomm", 0)
+        + uncovered
+    )
+
+
+def validate_forensics(doc: dict, counters: dict) -> list:
+    """Cross-check a forensics doc against result counters.
+
+    Returns a list of error strings (empty when consistent): the
+    taxonomy must sum exactly to the doc's mispredict total, that total
+    must match the counter-derived mispredict universe, every class
+    must be a taxonomy member, and the per-sync-point rows must sum
+    back to the taxonomy.  ``counters`` is a result ``to_dict()``
+    payload's ``counters``-shaped dict (any mapping with the
+    ``pred_*``/``comm_misses`` keys).
+    """
+    errors = []
+    taxonomy = doc.get("taxonomy") or {}
+    for name in taxonomy:
+        if name not in TAXONOMY:
+            errors.append(f"unknown taxonomy class {name!r}")
+    tax_total = sum(taxonomy.values())
+    if tax_total != doc.get("mispredicts"):
+        errors.append(
+            f"taxonomy sums to {tax_total}, doc records "
+            f"{doc.get('mispredicts')} mispredicts"
+        )
+    if doc.get("predictor") not in (None, "none"):
+        expected = expected_mispredicts(counters)
+        if doc.get("mispredicts") != expected:
+            errors.append(
+                f"doc records {doc.get('mispredicts')} mispredicts, "
+                f"counters imply {expected} "
+                f"(pred_incorrect + pred_on_noncomm + uncovered)"
+            )
+    elif doc.get("mispredicts"):
+        errors.append(
+            "predictor-less run recorded "
+            f"{doc.get('mispredicts')} mispredicts (expected 0)"
+        )
+    by_sync = doc.get("by_sync") or {}
+    sync_totals: dict = {}
+    for counts in by_sync.values():
+        for name, n in counts.items():
+            sync_totals[name] = sync_totals.get(name, 0) + n
+    for name in TAXONOMY:
+        if sync_totals.get(name, 0) != taxonomy.get(name, 0):
+            errors.append(
+                f"per-sync rows for {name!r} sum to "
+                f"{sync_totals.get(name, 0)}, taxonomy has "
+                f"{taxonomy.get(name, 0)}"
+            )
+    return errors

@@ -108,13 +108,18 @@ def accuracy_over_time(result, buckets: int = 20) -> list:
     return out
 
 
-def metrics_from_result(result, machine=None) -> dict:
+def metrics_from_result(result, machine=None, forensics=None) -> dict:
     """The canonical metrics payload for one simulation cell.
 
     Folds the result's aggregate counters into a registry, plus the
     distributions a flat counter dump loses: epoch lengths, per-miss
     latency buckets, the per-core communication matrix, and (when a
     machine is supplied) the volume-weighted NoC hop distribution.
+
+    ``forensics`` is an optional forensics doc (or collector); its
+    taxonomy lands as ``forensics.<class>`` counters plus
+    ``forensics.mispredicts``, so the exact-match counter policy of
+    ``repro obs diff`` flags taxonomy drift with no differ changes.
     """
     reg = MetricsRegistry()
 
@@ -154,6 +159,14 @@ def metrics_from_result(result, machine=None) -> dict:
             "noc_hops",
             hop_distribution(result.whole_run_volume, machine.mesh()),
         )
+    if forensics is not None:
+        doc = (
+            forensics.to_doc() if hasattr(forensics, "to_doc")
+            else forensics
+        )
+        reg.count("forensics.mispredicts", doc.get("mispredicts", 0))
+        for name, value in (doc.get("taxonomy") or {}).items():
+            reg.count(f"forensics.{name}", value)
 
     payload = {
         "schema": METRICS_SCHEMA,

@@ -9,8 +9,9 @@ Trace Event JSON format that https://ui.perfetto.dev (and Chrome's
 * each **sync-epoch** becomes a complete-duration ``X`` slice spanning
   its begin/end clocks, labeled by its sync kind and SP-table key, with
   the epoch's miss/prediction stats in ``args``;
-* **sync-points**, **mispredictions** (``pred`` with ``correct: false``
-  and ``pred_repair``), and **SP-table / confidence** activity become
+* **sync-points**, **mispredictions** (``pred`` with ``correct: false``,
+  ``pred_repair``, and — in forensics runs — over-predictions carrying
+  a ``tax`` class), and **SP-table / confidence** activity become
   instant ``i`` events on the owning core's track;
 * each epoch's **prediction accuracy** is emitted as a ``C`` counter
   series per core, so the timeline view shows accuracy evolving as hot
@@ -191,7 +192,22 @@ def perfetto_trace(doc: dict | None, spans=None, resources=()) -> dict:
                 },
             })
         elif t == "pred":
-            if ev.get("correct") is False and ts is not None:
+            # Instants for incorrect predictions, plus — when a
+            # forensics run attributed them — over-predictions
+            # (``correct: null`` but classified, i.e. carrying ``tax``).
+            wrong = ev.get("correct") is False or (
+                ev.get("correct") is None and ev.get("tax") is not None
+            )
+            if wrong and ts is not None:
+                args = {
+                    "predicted": ev.get("predicted"),
+                    "actual": ev.get("actual"),
+                    "source": ev.get("source"),
+                }
+                # Forensics taxonomy class, when the run attributed it.
+                tax = ev.get("tax")
+                if tax is not None:
+                    args["tax"] = tax
                 out.append({
                     "name": "mispredict",
                     "cat": "prediction",
@@ -200,11 +216,7 @@ def perfetto_trace(doc: dict | None, spans=None, resources=()) -> dict:
                     "pid": 0,
                     "tid": core,
                     "ts": ts,
-                    "args": {
-                        "predicted": ev.get("predicted"),
-                        "actual": ev.get("actual"),
-                        "source": ev.get("source"),
-                    },
+                    "args": args,
                 })
         elif t in _INSTANT_KINDS:
             if ts is None or core is None:

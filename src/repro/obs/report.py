@@ -223,6 +223,198 @@ def render_metrics_report(payload: dict) -> str:
     return "\n".join(lines)
 
 
+#: Column labels for the taxonomy table, in taxonomy order.
+_TAX_SHORT = {
+    "cold-sync": "cold",
+    "evicted-entry": "evict",
+    "stale-signature": "stale",
+    "migration": "migr",
+    "first-sharing": "first",
+    "over-prediction": "over",
+    "capacity-conflict": "cap",
+    "other": "other",
+}
+
+
+def render_forensics_report(docs) -> str:
+    """Suite-level taxonomy table (``repro obs why``).
+
+    One row per forensics doc (workload): the mispredict total and how
+    it decomposes across the closed taxonomy, with a totals row.
+    """
+    from repro.obs.forensics import TAXONOMY
+
+    docs = list(docs)
+    lines = [f"prediction forensics: {len(docs)} workload(s)"]
+    header = f"  {'workload':<15}{'mispred':>9}"
+    for name in TAXONOMY:
+        header += f"{_TAX_SHORT[name]:>8}"
+    header += f"{'other%':>8}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    totals = {name: 0 for name in TAXONOMY}
+    total_mispredicts = 0
+    for doc in docs:
+        taxonomy = doc.get("taxonomy") or {}
+        mispredicts = doc.get("mispredicts", 0)
+        total_mispredicts += mispredicts
+        row = f"  {str(doc.get('workload')):<15}{mispredicts:>9,}"
+        for name in TAXONOMY:
+            n = taxonomy.get(name, 0)
+            totals[name] += n
+            row += f"{n:>8,}"
+        row += f"{doc.get('other_rate', 0.0):>8.1%}"
+        lines.append(row)
+    if len(docs) > 1:
+        lines.append("  " + "-" * (len(header) - 2))
+        row = f"  {'total':<15}{total_mispredicts:>9,}"
+        for name in TAXONOMY:
+            row += f"{totals[name]:>8,}"
+        other_rate = (
+            totals["other"] / total_mispredicts if total_mispredicts
+            else 0.0
+        )
+        row += f"{other_rate:>8.1%}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def _fmt_provenance(prov: dict | None) -> str:
+    if not prov:
+        return "no provenance (predictor reports none)"
+    parts = [f"predictor={prov.get('predictor')}"]
+    key = prov.get("key")
+    parts.append(
+        "key=" + (":".join(str(p) for p in key) if key else "(pre-sync)")
+    )
+    if prov.get("source") is not None:
+        parts.append(f"source={prov['source']}")
+    if not prov.get("present"):
+        parts.append("entry=absent")
+        if prov.get("prior_evictions"):
+            parts.append(f"prior_evictions={prov['prior_evictions']}")
+        return " ".join(parts)
+    for field in (
+        "trains", "warmup", "shallow", "reinserted_after_evict",
+        "prior_evictions", "age", "stale_migration", "confidence",
+        "owner",
+    ):
+        value = prov.get(field)
+        if value not in (None, False, 0):
+            parts.append(f"{field}={value}")
+    ever = prov.get("ever_seen")
+    if ever is not None:
+        parts.append(f"ever_seen={ever}")
+    return " ".join(parts)
+
+
+def render_forensics_detail(
+    doc: dict,
+    taxonomy: str | None = None,
+    sync: str | None = None,
+    examples: int = 3,
+) -> str:
+    """Drill-down for one workload's forensics doc.
+
+    Taxonomy decomposition per sync point (filtered by ``--taxonomy`` /
+    ``--sync``), then each shown class's example miss chains with the
+    full provenance line.
+    """
+    from repro.obs.forensics import TAXONOMY
+
+    classes = [taxonomy] if taxonomy else list(TAXONOMY)
+    lines = [
+        f"workload {doc.get('workload')} / {doc.get('protocol')} / "
+        f"{doc.get('predictor')}: {doc.get('mispredicts', 0):,} "
+        f"mispredicts over {doc.get('outcomes', 0):,} outcomes "
+        f"({doc.get('sync_points', 0):,} sync points, "
+        f"{doc.get('migrations', 0)} migrations)"
+    ]
+    by_sync = doc.get("by_sync") or {}
+    rows = [
+        (label, counts) for label, counts in by_sync.items()
+        if (sync is None or label == sync)
+        and any(counts.get(c) for c in classes)
+    ]
+    rows.sort(
+        key=lambda item: -sum(item[1].get(c, 0) for c in classes)
+    )
+    if rows:
+        width = max(len(label) for label, _ in rows)
+        lines.append("")
+        lines.append("per sync point (worst first):")
+        for label, counts in rows:
+            detail = ", ".join(
+                f"{c}={counts[c]:,}" for c in classes if counts.get(c)
+            )
+            total = sum(counts.get(c, 0) for c in classes)
+            lines.append(f"  {label:<{width}}  {total:>8,}  {detail}")
+    else:
+        lines.append("no mispredicts match the filter")
+    shown = doc.get("examples") or {}
+    for name in classes:
+        bucket = shown.get(name) or []
+        if sync is not None:
+            bucket = [
+                ex for ex in bucket
+                if _sync_of_example(ex) == sync
+            ]
+        if not bucket:
+            continue
+        lines.append("")
+        lines.append(f"{name}: {doc.get('taxonomy', {}).get(name, 0):,} "
+                     f"mispredict(s); example chain(s):")
+        for ex in bucket[:examples]:
+            lines.append(
+                f"  core {ex.get('core')} epoch {ex.get('epoch')} "
+                f"{ex.get('kind')} block={ex.get('block'):#x} "
+                f"pc={ex.get('pc'):#x}: predicted {ex.get('predicted')} "
+                f"actual {ex.get('actual')}"
+            )
+            lines.append(f"    {_fmt_provenance(ex.get('provenance'))}")
+    return "\n".join(lines)
+
+
+def _sync_of_example(example: dict) -> str:
+    prov = example.get("provenance") or {}
+    key = prov.get("key")
+    if key is None:
+        return "(pre-sync)"
+    return ":".join(str(part) for part in key)
+
+
+def render_feed_line(rec: dict) -> str:
+    """One compact line per feed record (``obs feed show --follow``)."""
+    kind = rec.get("kind", "?")
+    if kind == "feed_open":
+        return (f"[open] trace={rec.get('trace', '?')} "
+                f"pid={rec.get('pid', '?')} jobs={rec.get('jobs', '?')}")
+    if kind == "feed_close":
+        return f"[close] trace={rec.get('trace', '?')}"
+    if kind == "span_close":
+        t0, t1 = rec.get("t0"), rec.get("t1")
+        dur = (f"{t1 - t0:.3f}s" if t0 is not None and t1 is not None
+               else "?")
+        rss = (rec.get("resource") or {}).get("rss_kb")
+        return (f"[span] {rec.get('name', '?')} {dur}"
+                + (f" rss={rss / 1024:.0f}MiB" if rss else ""))
+    if kind == "cell_start":
+        return f"[cell] start {rec.get('cell', '?')}"
+    if kind == "cell_finish":
+        wall = rec.get("wall_s")
+        return (f"[cell] done {str(rec.get('digest', '?'))[:12]} "
+                + (f"{wall:.2f}s" if wall is not None else "?"))
+    if kind == "resource":
+        rss = rec.get("rss_kb")
+        return ("[rss] "
+                + (f"{rss / 1024:.0f}MiB" if rss else "?")
+                + f" pid={rec.get('pid', '?')}")
+    keys = ", ".join(
+        f"{k}={rec[k]}" for k in sorted(rec) if k not in ("kind",)
+    )
+    return f"[{kind}] {keys}"
+
+
 def render_feed_report(records) -> str:
     """Terminal report for a telemetry feed (``repro obs feed show``).
 

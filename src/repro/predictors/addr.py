@@ -124,6 +124,18 @@ class AddrPredictor(TargetPredictor):
         for block in blocks:
             table.entry(block // bpm)
 
+    def prediction_provenance(self, core, block, pc, kind) -> dict:
+        """Causal chain for the forensics layer: the macroblock entry's
+        train history (read-only, no LRU touch)."""
+        key = self._key(block)
+        prov = {
+            "predictor": self.name,
+            "key": ["macroblock", key],
+            "source": PredictionSource.TABLE.value,
+        }
+        prov.update(self._tables[core].provenance(key))
+        return prov
+
     def observe_external(self, core: int, block: int, requester: int) -> None:
         """An external coherence request from ``requester`` touched us.
 

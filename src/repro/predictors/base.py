@@ -67,6 +67,20 @@ class TargetPredictor(abc.ABC):
     def on_sync(self, core: int, static_id: StaticSyncId) -> None:
         """Notification of a sync-point (only SP-prediction reacts)."""
 
+    def prediction_provenance(
+        self, core: int, block: int, pc: int, kind: MissKind
+    ) -> dict | None:
+        """The causal chain behind the state that predicted this miss.
+
+        Implementations return a JSON-able dict the forensics layer
+        (:mod:`repro.obs.forensics`) classifies mispredicts from; see
+        that module for the shared field schema.  ``None`` (the default)
+        means "no provenance available" and classifies as ``other``.
+        Must be read-only: it is called after an outcome is known and
+        may never touch predictor or simulation state.
+        """
+        return None
+
     def on_finish(self, core: int) -> None:
         """Notification that a core's execution ended."""
 

@@ -44,13 +44,21 @@ class GroupEntry:
     config: GroupPredictorConfig
     counts: list = field(init=False)
     rollover: int = 0
+    #: Provenance counters for the forensics layer: total train-ups and
+    #: the union of every target ever trained into this entry (the
+    #: decaying ``counts`` forget; attribution must not).
+    trains: int = 0
+    ever_seen: set = field(init=False)
 
     def __post_init__(self) -> None:
         self.counts = [0] * self.num_cores
+        self.ever_seen = set()
 
     def train_up(self, target: int) -> None:
         """Accumulate recent activity towards ``target``."""
         self.counts[target] = min(self.config.counter_max, self.counts[target] + 1)
+        self.trains += 1
+        self.ever_seen.add(target)
         self.rollover += 1
         if self.rollover >= self.config.rollover_period:
             self.rollover = 0
@@ -109,6 +117,8 @@ class GroupTable:
         self.max_entries = max_entries
         self._entries: OrderedDict = OrderedDict()
         self.evictions = 0
+        #: key -> times an entry under that key was evicted (forensics).
+        self.evicted_keys: dict = {}
 
     def probe(self, key) -> GroupEntry | None:
         entry = self._entries.get(key)
@@ -123,13 +133,33 @@ class GroupTable:
             self._entries[key] = entry
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+                    old_key, _ = self._entries.popitem(last=False)
                     self.evictions += 1
+                    self.evicted_keys[old_key] = (
+                        self.evicted_keys.get(old_key, 0) + 1
+                    )
         self._entries.move_to_end(key)
         return entry
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def provenance(self, key) -> dict:
+        """Forensics-facing view of one entry (no LRU touch)."""
+        entry = self._entries.get(key)
+        prior = self.evicted_keys.get(key, 0)
+        if entry is None:
+            return {"present": False, "prior_evictions": prior}
+        return {
+            "present": True,
+            "trains": entry.trains,
+            "warmup": entry.trains < self.config.activation,
+            "shallow": False,
+            "reinserted_after_evict": prior > 0,
+            "prior_evictions": prior,
+            "ever_seen": sorted(entry.ever_seen),
+            "counts": list(entry.counts),
+        }
 
     def storage_bits(self, tag_bits: int = 32) -> int:
         capacity = self.max_entries if self.max_entries is not None else len(self)

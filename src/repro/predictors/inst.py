@@ -108,6 +108,17 @@ class InstPredictor(TargetPredictor):
         for pc in pcs:
             table.entry(pc)
 
+    def prediction_provenance(self, core, block, pc, kind) -> dict:
+        """Causal chain for the forensics layer: the pc entry's train
+        history (read-only, no LRU touch)."""
+        prov = {
+            "predictor": self.name,
+            "key": ["pc", pc],
+            "source": PredictionSource.TABLE.value,
+        }
+        prov.update(self._tables[core].provenance(pc))
+        return prov
+
     def storage_bits(self, num_cores: int) -> int:
         return sum(table.storage_bits() for table in self._tables)
 

@@ -19,7 +19,7 @@ of its reach by construction.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.coherence.protocol import MissKind, TransactionResult
 from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
@@ -29,11 +29,21 @@ from repro.predictors.base import Prediction, PredictionSource, TargetPredictor
 class _OwnerEntry:
     owner: int
     confidence: int = 1  # start mildly confident in the first sighting
+    #: Forensics provenance: observations absorbed and every owner ever
+    #: sighted (filled by the constructor's first sighting too).
+    trains: int = 0
+    ever_seen: set = field(default_factory=set)
 
     CONF_MAX = 3
     CONF_PREDICT = 2
 
+    def __post_init__(self) -> None:
+        self.trains = 1
+        self.ever_seen = {self.owner}
+
     def observe(self, owner: int) -> None:
+        self.trains += 1
+        self.ever_seen.add(owner)
         if owner == self.owner:
             self.confidence = min(self.CONF_MAX, self.confidence + 1)
         else:
@@ -65,6 +75,8 @@ class OwnerTwoLevelPredictor(TargetPredictor):
         self.blocks_per_macroblock = blocks_per_macroblock
         self.max_entries = max_entries
         self._tables = [OrderedDict() for _ in range(num_cores)]
+        #: Per-core key -> eviction count (forensics provenance).
+        self._evicted = [dict() for _ in range(num_cores)]
 
     def _key(self, block: int) -> int:
         return block // self.blocks_per_macroblock
@@ -100,8 +112,10 @@ class OwnerTwoLevelPredictor(TargetPredictor):
         if entry is None:
             table[key] = _OwnerEntry(owner=result.responder)
             if self.max_entries is not None:
+                evicted = self._evicted[core]
                 while len(table) > self.max_entries:
-                    table.popitem(last=False)
+                    old_key, _ = table.popitem(last=False)
+                    evicted[old_key] = evicted.get(old_key, 0) + 1
         else:
             entry.observe(result.responder)
             table.move_to_end(key)
@@ -155,6 +169,34 @@ class OwnerTwoLevelPredictor(TargetPredictor):
             key = block // bpm
             if key in table:
                 table.move_to_end(key)
+
+    def prediction_provenance(self, core, block, pc, kind) -> dict:
+        """Causal chain for the forensics layer: the macroblock entry's
+        remembered owner and confidence (read-only, no LRU touch)."""
+        key = self._key(block)
+        prior = self._evicted[core].get(key, 0)
+        prov = {
+            "predictor": self.name,
+            "key": ["macroblock", key],
+            "source": PredictionSource.TABLE.value,
+            "prior_evictions": prior,
+        }
+        entry = self._tables[core].get(key)
+        if entry is None:
+            prov["present"] = False
+            return prov
+        prov.update({
+            "present": True,
+            "trains": entry.trains,
+            # Below the prediction threshold the entry behaves as cold.
+            "warmup": not entry.confident,
+            "shallow": False,
+            "reinserted_after_evict": prior > 0,
+            "ever_seen": sorted(entry.ever_seen),
+            "owner": entry.owner,
+            "confidence": entry.confidence,
+        })
+        return prov
 
     def storage_bits(self, num_cores: int) -> int:
         bits_per_entry = 32 + 4 + 2  # tag + owner id + confidence

@@ -62,5 +62,23 @@ class UniPredictor(TargetPredictor):
             if node != core:
                 entry.train_up(node)
 
+    def prediction_provenance(self, core, block, pc, kind) -> dict:
+        """Causal chain for the forensics layer: the core's single group
+        entry (index-less, so every miss shares one key per core)."""
+        entry = self._entries[core]
+        return {
+            "predictor": self.name,
+            "key": ["core", core],
+            "source": PredictionSource.TABLE.value,
+            "present": True,
+            "trains": entry.trains,
+            "warmup": entry.trains < self.config.activation,
+            "shallow": False,
+            "reinserted_after_evict": False,
+            "prior_evictions": 0,
+            "ever_seen": sorted(entry.ever_seen),
+            "counts": list(entry.counts),
+        }
+
     def storage_bits(self, num_cores: int) -> int:
         return self.num_cores * self.config.entry_bits(num_cores)

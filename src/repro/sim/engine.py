@@ -123,6 +123,7 @@ class SimulationEngine:
         use_compiled: bool | None = None,
         use_vector: bool | None = None,
         tracer=None,
+        forensics=None,
     ) -> None:
         self.machine = machine or MachineConfig()
         if workload.num_cores != self.machine.num_cores:
@@ -165,6 +166,12 @@ class SimulationEngine:
         #: tracer never touches a simulation counter either way, so
         #: results are bit-identical with tracing on or off.
         self.tracer = tracer
+        #: Optional :class:`repro.obs.forensics.ForensicsCollector`.
+        #: Same contract as the tracer: ``None`` costs one falsy check
+        #: per hook site, attach disarms the vector batch kernels (per
+        #: event fallback), and no simulation counter is ever touched —
+        #: counters stay bit-identical with forensics on or off.
+        self.forensics = forensics
         #: Tri-state: None consults ``REPRO_COMPILED`` (default on);
         #: True/False force the compiled fast path / the reference
         #: event-by-event interpreter.
@@ -235,6 +242,7 @@ class SimulationEngine:
         """
         quantum = self._effective_quantum()
         self._attach_tracer()
+        self._attach_forensics()
         if self._vector_enabled():
             from repro.sim.vector import run_vector
 
@@ -259,6 +267,18 @@ class SimulationEngine:
             table = getattr(self.predictor, "table", None)
             if table is not None:
                 table.tracer = tracer
+
+    def _attach_forensics(self) -> None:
+        """Hand the forensics collector its run identity and a predictor
+        handle for lazy provenance queries.  A no-op when detached."""
+        forensics = self.forensics
+        if forensics is None:
+            return
+        forensics.begin_run(
+            self.workload.name, self.machine.num_cores,
+            self.result.protocol, self.result.predictor,
+            self.predictor,
+        )
 
     def _compiled_enabled(self) -> bool:
         if self.use_compiled is not None:
@@ -886,6 +906,9 @@ class SimulationEngine:
         verifier = self.verifier
         check_block = verifier.check_block if verifier is not None else None
         tracer = self.tracer
+        # Forensics only attributes predictor outcomes; without a
+        # predictor there is nothing to attribute and the hook stays off.
+        forensics = self.forensics if predictor is not None else None
 
         # Transaction numbers are 1-based miss ordinals across cores;
         # the result fields lag until flush, so count from their base.
@@ -991,13 +1014,26 @@ class SimulationEngine:
                         pred_incorrect += 1
 
             if tracer is not None:
-                tracer.on_miss(
+                pred_event = tracer.on_miss(
                     core, kind.value, targets, tx.minimal_targets,
                     tx.prediction_correct,
                     prediction.source.value if prediction is not None
                     else None,
                     latency, communicating,
                 )
+            if forensics is not None:
+                # Before train(): provenance must reflect the state that
+                # actually predicted, not the post-outcome update.
+                tax = forensics.on_outcome(
+                    core, block, pc, kind.value, targets,
+                    tx.minimal_targets, tx.prediction_correct,
+                    communicating,
+                )
+                if (
+                    tax is not None and tracer is not None
+                    and pred_event is not None
+                ):
+                    pred_event["tax"] = tax
 
             if check_block is not None:
                 check_block(
@@ -1313,6 +1349,8 @@ class SimulationEngine:
             # Before the predictor reacts, so its recovery/warm-up events
             # land inside the epoch the sync-point opens.
             self.tracer.on_sync(core, clock, static_id)
+        if self.forensics is not None:
+            self.forensics.on_sync(core, clock, static_id)
         if self._track:
             self._close_epoch(core)
             self._trackers[core].observe(static_id)
@@ -1326,6 +1364,8 @@ class SimulationEngine:
 
     def _apply_migration(self, permutation) -> None:
         """Notify a mapping-aware predictor that threads moved cores."""
+        if self.forensics is not None:
+            self.forensics.on_migrate(permutation)
         if self.predictor is None:
             return
         on_migrate = getattr(self.predictor, "on_migrate", None)
@@ -1335,6 +1375,8 @@ class SimulationEngine:
     def _on_finish(self, core: int, clock: int = 0) -> None:
         if self.tracer is not None:
             self.tracer.on_finish(core, clock)
+        if self.forensics is not None:
+            self.forensics.on_finish(core, clock)
         if self._track:
             self._close_epoch(core)
             self._trackers[core].finish()

@@ -468,6 +468,8 @@ def _make_tx_memo(engine) -> _TxMemo | None:
     allow it (see :class:`_TxMemo`); None otherwise."""
     if engine.tracer is not None or engine.verifier is not None:
         return None
+    if engine.forensics is not None:
+        return None
     if engine.network._transcript is not None:
         return None
     if type(engine.protocol) is not DirectoryProtocol:
@@ -478,13 +480,16 @@ def _make_tx_memo(engine) -> _TxMemo | None:
 def _batch_eligible(engine) -> bool:
     """Whether the per-run invariants allow the batch kernel at all.
 
-    A tracer or verifier observes individual misses in order; a network
-    transcript records individual messages; a predictor without the
-    plan/commit hook pair cannot be batched.  In every such case the
-    vector loop simply runs private segments per event — still
-    bit-identical, certified by the same differential harness.
+    A tracer, verifier, or forensics collector observes individual
+    misses in order; a network transcript records individual messages;
+    a predictor without the plan/commit hook pair cannot be batched.
+    In every such case the vector loop simply runs private segments per
+    event — still bit-identical, certified by the same differential
+    harness.
     """
     if engine.tracer is not None or engine.verifier is not None:
+        return False
+    if engine.forensics is not None:
         return False
     if engine.network._transcript is not None:
         return False

@@ -212,3 +212,50 @@ class TestCaseFiles:
         path.write_text(json.dumps({"format": "something-else"}))
         with pytest.raises(ValueError):
             load_case(path)
+
+
+class TestForensicsCell:
+    """The attribution-conservation cell of the engine-path grid."""
+
+    def test_clean_trace_passes_forensics_cell(self):
+        # run_case already covers this (fourth engine config), but pin
+        # it explicitly: attribution on the vector path must neither
+        # perturb counters nor lose a mispredict.
+        fc = generate_fuzz_case(11, SMALL)
+        assert run_case(fc.workload, fc.migrations) is None
+
+    def test_lost_attribution_is_a_forensics_failure(self, monkeypatch):
+        # A collector that silently drops every outcome breaks the
+        # conservation law (taxonomy totals == counter-derived
+        # mispredict universe); the fuzzer must flag it as a
+        # "forensics" failure, not a crash or counter diff.
+        from repro.obs import ForensicsCollector
+
+        monkeypatch.setattr(
+            ForensicsCollector, "on_outcome",
+            lambda self, *args, **kwargs: None,
+        )
+        fc = generate_fuzz_case(11, SMALL)
+        failure = run_case(fc.workload, fc.migrations)
+        assert failure is not None
+        assert failure.kind == "forensics"
+        assert "mispredicts" in failure.detail
+
+    def test_double_counting_is_a_forensics_failure(self, monkeypatch):
+        # The dual corruption: every mispredict attributed twice.
+        from repro.obs import ForensicsCollector
+
+        orig = ForensicsCollector.on_outcome
+
+        def doubled(self, *args, **kwargs):
+            tax = orig(self, *args, **kwargs)
+            if tax is not None:
+                self.mispredicts += 1
+                self.taxonomy[tax] += 1
+            return tax
+
+        monkeypatch.setattr(ForensicsCollector, "on_outcome", doubled)
+        fc = generate_fuzz_case(11, SMALL)
+        failure = run_case(fc.workload, fc.migrations)
+        assert failure is not None
+        assert failure.kind == "forensics"

@@ -398,3 +398,42 @@ class TestSimulateRecordsLedger:
         assert main(["simulate", "lu", "--scale", "0.05"]) == 0
         monkeypatch.setenv("REPRO_LEDGER", "1")
         assert RunLedger().entries() == []
+
+
+class TestObsWhyCommand:
+    def test_single_workload_detail_with_json_artifact(
+        self, capsys, tmp_path
+    ):
+        artifact = tmp_path / "forensics-report.json"
+        assert main(["obs", "why", "x264", "--scale", "0.05",
+                     "--json", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "x264" in out
+        assert "obs-why: PASS" in out
+        report = json.loads(artifact.read_text())
+        assert report["passed"] is True
+        assert report["errors"] == []
+        [doc] = report["workloads"]
+        assert doc["workload"] == "x264"
+        assert sum(doc["taxonomy"].values()) == doc["mispredicts"]
+
+    def test_taxonomy_drill_down_filters(self, capsys):
+        assert main(["obs", "why", "x264", "--scale", "0.05",
+                     "--taxonomy", "cold-sync", "--examples", "1"]) == 0
+        assert "cold-sync" in capsys.readouterr().out
+
+    def test_unattainable_other_budget_fails(self, capsys):
+        # A negative budget no run can meet forces the gate red.
+        assert main(["obs", "why", "x264", "--scale", "0.05",
+                     "--max-other", "-1"]) == 1
+        captured = capsys.readouterr()
+        assert "obs-why: FAIL" in captured.out
+        assert "other-rate" in captured.err
+
+    def test_record_lands_taxonomy_in_ledger(self, capsys):
+        assert main(["obs", "why", "x264", "--scale", "0.05",
+                     "--record"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "ledger", "list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert any(e.get("label") == "obs-why" for e in entries)

@@ -205,3 +205,41 @@ class TestLedgerRoundTrip:
         html = out.read_text()
         assert "lu" in html
         assert "<script src" not in html
+
+
+class TestForensicsPanel:
+    @staticmethod
+    def entry_with_taxonomy():
+        entry = make_entry()
+        entry["metrics"]["cells"][0]["counters"].update({
+            "forensics.mispredicts": 120,
+            "forensics.cold-sync": 70,
+            "forensics.over-prediction": 48,
+            "forensics.other": 2,
+        })
+        return entry
+
+    def test_rows_extracted_from_forensics_counters(self):
+        data = dashboard_data([self.entry_with_taxonomy()])
+        [row] = data["latest"]["forensics"]
+        assert row["workload"] == "lu"
+        assert row["mispredicts"] == 120
+        assert row["taxonomy"]["cold-sync"] == 70
+        assert row["taxonomy"]["over-prediction"] == 48
+        assert sum(row["taxonomy"].values()) == 120
+
+    def test_taxonomy_order_matches_module(self):
+        from repro.obs.forensics import TAXONOMY
+
+        data = dashboard_data([make_entry()])
+        assert data["taxonomy_order"] == list(TAXONOMY)
+
+    def test_runs_without_forensics_show_no_rows(self):
+        data = dashboard_data([make_entry()])
+        assert data["latest"]["forensics"] == []
+
+    def test_page_carries_forensics_panel(self):
+        html = dashboard_html([self.entry_with_taxonomy()])
+        assert 'id="forensics"' in html
+        assert 'id="forensics-chart"' in html
+        assert 'id="forensics-legend"' in html

@@ -9,6 +9,7 @@ from repro.obs.feed import (
     FeedError,
     FeedWriter,
     feed_spans,
+    follow_feed,
     last_session,
     read_feed,
     validate_feed,
@@ -200,3 +201,94 @@ class TestExtraction:
         _, resources = feed_spans(read_feed(path))
         assert resources[0]["pid"] == 1234
         assert "ts" in resources[0]  # its only timestamp
+
+
+class StopFollow(Exception):
+    """Raised from the injected sleep to break out of the follower."""
+
+
+class TestFollow:
+    """``follow_feed``: the blocking tail behind ``feed show --follow``.
+
+    The injected ``_sleep`` doubles as the test's writer — each poll
+    gap is where a live producer would act — and raises
+    :class:`StopFollow` when the script runs out, standing in for the
+    CLI's Ctrl-C.
+    """
+
+    @staticmethod
+    def scripted_sleep(*steps):
+        """A ``_sleep`` that runs one scripted action per poll gap."""
+        script = list(steps)
+
+        def _sleep(_poll):
+            if not script:
+                raise StopFollow
+            script.pop(0)()
+
+        return _sleep
+
+    def test_yields_complete_lines_in_order(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"seq": 0}\n{"seq": 1}\n')
+        gen = follow_feed(path, _sleep=self.scripted_sleep())
+        assert next(gen) == {"seq": 0}
+        assert next(gen) == {"seq": 1}
+        with pytest.raises(StopFollow):
+            next(gen)
+
+    def test_waits_for_missing_file_then_tails_it(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        gen = follow_feed(
+            path,
+            _sleep=self.scripted_sleep(
+                lambda: path.write_text('{"seq": 0}\n')
+            ),
+        )
+        assert next(gen) == {"seq": 0}
+
+    def test_torn_tail_buffered_until_newline_arrives(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"seq": 0}\n{"seq": ')
+
+        def finish_line():
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write('1}\n')
+
+        gen = follow_feed(path, _sleep=self.scripted_sleep(finish_line))
+        assert next(gen) == {"seq": 0}
+        # The torn half-record must not surface until its newline.
+        assert next(gen) == {"seq": 1}
+
+    def test_appended_records_picked_up_after_drain(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"seq": 0}\n')
+
+        def append():
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write('{"seq": 1}\n')
+
+        gen = follow_feed(path, _sleep=self.scripted_sleep(append))
+        assert next(gen) == {"seq": 0}
+        assert next(gen) == {"seq": 1}
+
+    def test_truncation_restarts_from_the_top(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"seq": 0}\n{"seq": 1}\n')
+        gen = follow_feed(
+            path,
+            _sleep=self.scripted_sleep(
+                lambda: path.write_text('{"seq": 9}\n')
+            ),
+        )
+        assert next(gen) == {"seq": 0}
+        assert next(gen) == {"seq": 1}
+        assert next(gen) == {"seq": 9}
+
+    def test_garbage_complete_lines_skipped(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('not json\n{"seq": 0}\n')
+        gen = follow_feed(path, _sleep=self.scripted_sleep())
+        assert next(gen) == {"seq": 0}
+        with pytest.raises(StopFollow):
+            next(gen)

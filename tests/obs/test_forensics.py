@@ -1,0 +1,238 @@
+"""Prediction forensics: classifier rules, attach contract, goldens.
+
+Three layers of coverage:
+
+* ``classify_miss`` as a pure function — one case per taxonomy rule,
+  in the first-match-wins order the module docstring documents.
+* The engine attach contract — counters bit-identical with forensics
+  on/off on all three engine paths, and the produced doc consistent
+  with the result counters for every predictor kind and quantum.
+* Pinned golden taxonomy docs for two suite workloads, regenerated
+  (after an intentional classifier change) with::
+
+      PYTHONPATH=src python tests/obs/test_forensics.py
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    ForensicsCollector,
+    classify_miss,
+    expected_mispredicts,
+    validate_forensics,
+)
+from repro.obs.forensics import TAXONOMY
+from repro.predictors.factory import PREDICTOR_KINDS
+from repro.sim.engine import SimulationEngine
+from repro.sim.machine import MachineConfig
+from repro.workloads import load_benchmark
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "forensics"
+
+#: Two suite workloads whose taxonomy decomposition is pinned.
+GOLDEN_WORKLOADS = ("lu", "x264")
+GOLDEN_SCALE = 0.05
+
+#: The trimmed, order-stable view of a forensics doc that the goldens
+#: pin (examples carry raw pointers and are exercised elsewhere).
+GOLDEN_KEYS = (
+    "workload", "protocol", "predictor", "mispredicts", "taxonomy",
+    "by_sync",
+)
+
+#: The three engine loops, as (label, engine kwargs).
+ENGINE_PATHS = (
+    ("interp", {"use_compiled": False, "use_vector": False}),
+    ("compiled", {"use_compiled": True, "use_vector": False}),
+    ("vector", {"use_vector": True}),
+)
+
+
+def run_forensics(name, *, scale=0.05, predictor="SP", machine=None,
+                  **engine_kw):
+    """One benchmark run with a collector attached: (result, doc)."""
+    workload = load_benchmark(name, scale=scale)
+    forensics = ForensicsCollector()
+    result = SimulationEngine(
+        workload, machine=machine, predictor=predictor,
+        forensics=forensics, **engine_kw,
+    ).run()
+    return result, forensics.to_doc()
+
+
+class TestClassifyMiss:
+    """One case per classifier rule, in rule order."""
+
+    def test_correct_prediction_is_not_a_mispredict(self):
+        assert classify_miss([1], [1], True, True, {}) is None
+
+    def test_silent_noncommunicating_miss_is_not_a_mispredict(self):
+        assert classify_miss(None, [], None, False, None) is None
+
+    def test_prediction_on_noncommunicating_miss_is_over_prediction(self):
+        assert classify_miss(
+            [1], [], None, False, {"present": True}
+        ) == "over-prediction"
+
+    def test_uncovered_after_eviction_is_evicted_entry(self):
+        prov = {"present": False, "prior_evictions": 2}
+        assert classify_miss(None, [1], None, True, prov) == "evicted-entry"
+
+    def test_uncovered_with_no_history_is_cold_sync(self):
+        assert classify_miss(
+            None, [1], None, True, {"present": False}
+        ) == "cold-sync"
+
+    def test_uncovered_untrained_entry_is_cold_sync(self):
+        prov = {"present": True, "trains": 0}
+        assert classify_miss(None, [1], None, True, prov) == "cold-sync"
+
+    def test_uncovered_in_warmup_is_cold_sync(self):
+        prov = {"present": True, "trains": 5, "warmup": True}
+        assert classify_miss(None, [1], None, True, prov) == "cold-sync"
+
+    def test_uncovered_trained_entry_falls_through_to_history(self):
+        prov = {"present": True, "trains": 4, "ever_seen": [1, 2]}
+        assert classify_miss(None, [3], None, True, prov) == "first-sharing"
+
+    def test_stale_migration_wins_for_incorrect_prediction(self):
+        prov = {
+            "stale_migration": True, "reinserted_after_evict": True,
+            "shallow": True, "ever_seen": [1, 2],
+        }
+        assert classify_miss([1], [2], False, True, prov) == "migration"
+
+    def test_reinserted_shallow_entry_is_capacity_conflict(self):
+        prov = {
+            "reinserted_after_evict": True, "shallow": True,
+            "ever_seen": [1, 2],
+        }
+        assert classify_miss(
+            [1], [2], False, True, prov
+        ) == "capacity-conflict"
+
+    def test_d0_hot_set_mispredict_is_cold_sync(self):
+        prov = {"source": "d0", "ever_seen": [1, 2]}
+        assert classify_miss([1], [2], False, True, prov) == "cold-sync"
+
+    def test_never_seen_sharer_is_first_sharing(self):
+        prov = {"present": True, "trains": 3, "ever_seen": [1]}
+        assert classify_miss([1], [2], False, True, prov) == "first-sharing"
+
+    def test_known_sharers_wrong_signature_is_stale_signature(self):
+        prov = {"present": True, "trains": 3, "ever_seen": [1, 2]}
+        assert classify_miss(
+            [1], [2], False, True, prov
+        ) == "stale-signature"
+
+    def test_no_provenance_is_other(self):
+        assert classify_miss([1], [2], False, True, None) == "other"
+
+    def test_every_rule_lands_in_the_closed_taxonomy(self):
+        cases = [
+            ([1], [], None, False, {}),
+            (None, [1], None, True, {"present": False}),
+            ([1], [2], False, True, None),
+            ([1], [2], False, True, {"ever_seen": [1]}),
+        ]
+        for case in cases:
+            assert classify_miss(*case) in TAXONOMY
+
+
+class TestEngineAttach:
+    """The tracer-grade attach contract on all three engine loops."""
+
+    @pytest.mark.parametrize("name", ("lu", "fft"))
+    def test_counters_bit_identical_on_off_all_paths(self, name):
+        reference = None
+        for label, engine_kw in ENGINE_PATHS:
+            workload = load_benchmark(name, scale=0.05)
+            plain = SimulationEngine(
+                workload, predictor="SP", **engine_kw
+            ).run().to_dict()
+            result, doc = run_forensics(name, **engine_kw)
+            attached = result.to_dict()
+            assert attached == plain, f"forensics perturbed {label}"
+            if reference is None:
+                reference = plain
+            assert plain == reference, f"{label} diverged across paths"
+            assert validate_forensics(doc, attached) == []
+
+    def test_taxonomy_identical_across_paths(self):
+        docs = [
+            run_forensics("lu", **engine_kw)[1]
+            for _, engine_kw in ENGINE_PATHS
+        ]
+        assert docs[0]["taxonomy"] == docs[1]["taxonomy"]
+        assert docs[0]["taxonomy"] == docs[2]["taxonomy"]
+        assert docs[0]["by_sync"] == docs[1]["by_sync"]
+        assert docs[0]["by_sync"] == docs[2]["by_sync"]
+
+    @pytest.mark.parametrize("quantum", (1, 400, 100000))
+    @pytest.mark.parametrize("kind", PREDICTOR_KINDS)
+    def test_every_predictor_kind_and_quantum_validates(
+        self, kind, quantum
+    ):
+        machine = replace(MachineConfig(), quantum=quantum)
+        result, doc = run_forensics(
+            "fft", scale=0.05, predictor=kind, machine=machine
+        )
+        payload = result.to_dict()
+        errors = validate_forensics(doc, payload)
+        assert errors == [], f"{kind}@q{quantum}: {errors}"
+        assert sum(doc["taxonomy"].values()) == doc["mispredicts"]
+        if kind != "none":
+            assert doc["mispredicts"] == expected_mispredicts(payload)
+
+    def test_capacity_cap_still_attributes_every_mispredict(self):
+        # A 2-entry SP table forces evictions; the eviction-echo
+        # classes may appear but attribution must stay exact.
+        result, doc = run_forensics(
+            "lu", predictor="SP", predictor_entries=2
+        )
+        assert validate_forensics(doc, result.to_dict()) == []
+
+    def test_example_chains_carry_provenance(self):
+        _, doc = run_forensics("lu")
+        assert doc["examples"], "lu run produced no mispredict examples"
+        for name, items in doc["examples"].items():
+            assert name in TAXONOMY
+            for item in items:
+                assert sorted(item["actual"]) == item["actual"]
+                assert "provenance" in item
+
+
+@pytest.mark.parametrize("name", GOLDEN_WORKLOADS)
+class TestGoldenTaxonomy:
+    """The pinned decomposition for two suite workloads.
+
+    A diff here is either a real classifier/predictor change (update
+    the golden intentionally) or an attribution regression.
+    """
+
+    def test_matches_golden(self, name):
+        result, doc = run_forensics(name, scale=GOLDEN_SCALE)
+        assert validate_forensics(doc, result.to_dict()) == []
+        trimmed = {key: doc[key] for key in GOLDEN_KEYS}
+        golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        assert trimmed == golden
+
+
+if __name__ == "__main__":
+    # Regenerate the goldens after an intentional classifier change.
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name in GOLDEN_WORKLOADS:
+        result, doc = run_forensics(name, scale=GOLDEN_SCALE)
+        errors = validate_forensics(doc, result.to_dict())
+        if errors:
+            raise SystemExit(f"{name}: inconsistent doc: {errors}")
+        out = GOLDEN_DIR / f"{name}.json"
+        trimmed = {key: doc[key] for key in GOLDEN_KEYS}
+        out.write_text(
+            json.dumps(trimmed, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {out}")

@@ -103,3 +103,34 @@ class TestSweepOverheadStage:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert "sweep_cells" not in payload
+
+
+class TestForensicsOverheadStage:
+    """The mispredict-attribution half of the overhead gate."""
+
+    def test_stage_reports_and_passes(self, capsys):
+        from repro.cli import main
+
+        # Generous ratio: this certifies the wiring (bit-identical
+        # counters, doc cross-validates), not the timing budget.
+        assert main([
+            "obs", "overhead", "--workload", "fft", "--scale", "0.05",
+            "--reps", "1", "--sweep-cells", "0", "--max-ratio", "10",
+            "--forensics",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["forensics_counters_identical"] is True
+        assert payload["forensics_errors"] == []
+        assert payload["forensics_mispredicts"] > 0
+        assert payload["forensics_overhead_ratio"] > 0
+        assert payload["passed"] is True
+
+    def test_stage_off_by_default(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "obs", "overhead", "--workload", "fft", "--scale", "0.05",
+            "--reps", "1", "--sweep-cells", "0", "--max-ratio", "10",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "forensics_counters_identical" not in payload

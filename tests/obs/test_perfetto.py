@@ -26,7 +26,8 @@ SWEEP_RESOURCES = [
     {"pid": 100, "rss_kb": 40960, "ts": 1000.25},
 ]
 
-#: A minimal simulator event doc: one core, one closed epoch.
+#: A minimal simulator event doc: one core, one closed epoch holding
+#: one forensics-attributed mispredict.
 TINY_DOC = {
     "schema": 1,
     "meta": {"workload": "lu", "protocol": "directory", "predictor": "SP"},
@@ -35,6 +36,9 @@ TINY_DOC = {
     "events": [
         {"t": "epoch_begin", "core": 0, "ts": 10, "epoch": 1,
          "kind": "barrier", "key": ["barrier", 4096]},
+        {"t": "pred", "core": 0, "ts": 42, "epoch": 1, "miss": 2,
+         "kind": "read", "predicted": [1], "actual": [2],
+         "correct": False, "source": "table", "tax": "stale-signature"},
         {"t": "epoch_end", "core": 0, "ts": 90, "epoch": 1,
          "misses": 4, "comm": 2, "preds": 2, "correct": 1},
     ],
@@ -81,6 +85,46 @@ class TestPerfettoTrace:
         assert len(instants) == len(wrong)
         if instants:
             assert "predicted" in instants[0]["args"]
+
+    def test_mispredict_instants_carry_tax_when_present(self):
+        trace = perfetto_trace(TINY_DOC)
+        [instant] = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "mispredict"
+        ]
+        assert instant["args"]["predicted"] == [1]
+        assert instant["args"]["actual"] == [2]
+        assert instant["args"]["tax"] == "stale-signature"
+
+    def test_attributed_over_prediction_becomes_instant(self):
+        # ``correct: null`` preds are invisible normally, but once a
+        # forensics run classifies one it is a mispredict and exports.
+        doc = json.loads(json.dumps(TINY_DOC))
+        over = dict(
+            doc["events"][1], ts=50, correct=None, actual=[],
+            tax="over-prediction",
+        )
+        doc["events"].insert(2, over)
+        trace = perfetto_trace(doc)
+        instants = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "mispredict"
+        ]
+        assert len(instants) == 2
+        assert instants[1]["args"]["tax"] == "over-prediction"
+
+    def test_mispredict_instants_omit_tax_without_forensics(self):
+        # Without a forensics collector no pred event carries a
+        # taxonomy class, and the exporter must not invent the key.
+        doc = json.loads(json.dumps(TINY_DOC))
+        for ev in doc["events"]:
+            ev.pop("tax", None)
+        trace = perfetto_trace(doc)
+        [instant] = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "mispredict"
+        ]
+        assert "tax" not in instant["args"]
 
     def test_other_data_carries_meta(self, traced_doc):
         trace = perfetto_trace(traced_doc)

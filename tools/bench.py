@@ -28,7 +28,11 @@ repository's performance trajectory is tracked from run to run:
 * the span tracer + telemetry feed: a fully instrumented serial sweep
   (spans, feed, progress, ledger) against all-off, interleaved — the
   overhead ratio joins the history rows so the ≤5% guarantee has a
-  trajectory, not just a gate.
+  trajectory, not just a gate;
+* prediction forensics: the same off-vs-on interleaved discipline for
+  the mispredict-attribution layer — the off side must stay free (its
+  ratio joins the history rows), the on side is allowed to pay for the
+  per-event fallback it forces.
 
 Each sweep gets its own fresh trace-store directory, so "cold" numbers
 include trace compilation and stay reproducible regardless of what
@@ -600,6 +604,13 @@ def main(argv=None) -> int:
             reps=min(reps, 3),
         )
 
+    print("prediction forensics overhead (attribution off vs. on) ...")
+    from repro.cli import _forensics_overhead_stage
+    with timer.phase("forensics_overhead"):
+        forensics_section = _forensics_overhead_stage(
+            "lu", 0.05 if args.smoke else 0.1, reps=min(reps, 3),
+        )
+
     sweep = {
         "serial_cold_s": round(serial_s, 3),
         "parallel_cold_s": round(parallel_cold_s, 3),
@@ -642,6 +653,7 @@ def main(argv=None) -> int:
         "trace_store": trace_store,
         "vector": vector_section,
         "span_overhead": span_section,
+        "forensics_overhead": forensics_section,
     }
     fast_pairs = [
         ("single_run.full_s (compiled)", single_s,
@@ -698,6 +710,9 @@ def main(argv=None) -> int:
     if suite_section is not None:
         row["vector_suite_speedup"] = suite_section["suite_speedup"]
     row["span_overhead_ratio"] = span_section["span_overhead_ratio"]
+    row["forensics_overhead_ratio"] = (
+        forensics_section["forensics_overhead_ratio"]
+    )
     history.append(row)
     payload["history"] = history
 

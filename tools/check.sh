@@ -57,10 +57,19 @@ echo "== observability overhead gate =="
 # must validate, and the disabled path must not run slower than the
 # enabled one (the single falsy check is the only cost when off).
 # The sweep stage additionally certifies the live telemetry + run
-# ledger as non-perturbing and within the overhead budget, and --spans
-# extends the same contract to the span tracer + telemetry feed.
+# ledger as non-perturbing and within the overhead budget, --spans
+# extends the same contract to the span tracer + telemetry feed, and
+# --forensics to the mispredict-attribution layer (bit-identical
+# counters with attribution on/off, doc consistent with counters).
 python -m repro obs overhead --workload lu --scale 0.1 --reps 5 \
-    --spans --bench "$BENCH_OUT"
+    --spans --forensics --bench "$BENCH_OUT"
+
+echo "== prediction forensics (taxonomy artifact) =="
+# Every suite workload's mispredicts decomposed into the causal
+# taxonomy: totals must match the counter-derived mispredict universe
+# exactly and no workload may leave more than 10% unexplained
+# ("other").  The taxonomy JSON uploads as a CI artifact.
+python -m repro obs why --scale 0.1 --json forensics-report.json
 
 echo "== distributed sweep tracing (feed + waterfall artifacts) =="
 # A small two-worker sweep streaming its telemetry feed: the feed must
